@@ -1,0 +1,90 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "component/registry.h"
+#include "runtime/application.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace aars::bench {
+
+/// Markdown-ish table printer so every experiment reports uniform rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : "";
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t w : widths) {
+      std::printf("%s|", std::string(w + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+inline std::string fmt_us(util::Duration d) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(d));
+  return buffer;
+}
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+/// A self-contained simulated world for the macro experiments.
+struct World {
+  sim::EventLoop loop;
+  sim::Network network;
+  component::ComponentRegistry registry;
+  std::unique_ptr<runtime::Application> app;
+
+  explicit World(std::uint64_t seed = 42) {
+    runtime::Application::Config config;
+    config.seed = seed;
+    app = std::make_unique<runtime::Application>(loop, network, registry,
+                                                 config);
+  }
+};
+
+}  // namespace aars::bench

@@ -1,0 +1,137 @@
+// E10 — Rush-hour multimedia: adaptive quality vs arbitrary dropping.
+//
+// Claim (§2): "if users get connected to wireless multimedia telecom
+// services during rush hours, dynamic adaptability may be required to
+// master the adaptation instead of dropping calls [or] rejecting packets
+// arbitrarily with no care about the rendering."
+//
+// Call arrivals follow the rush-hour trace; the server budget is fixed.
+// Policies: arbitrary_drop (all-or-nothing HD admission) vs adaptive_ladder
+// (degrade along the quality ladder). Reported: calls offered/admitted/
+// dropped, mean granted quality, delivered utility, frame failures.
+#include <functional>
+
+#include "common.h"
+#include "sim/workload.h"
+#include "telecom/admission.h"
+#include "telecom/media.h"
+#include "telecom/session.h"
+#include "util/rng.h"
+
+namespace aars::bench {
+namespace {
+
+using util::Value;
+
+struct Outcome {
+  int offered = 0;
+  int admitted = 0;
+  int dropped = 0;
+  double mean_granted_quality = 0;
+  double delivered_utility = 0;
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_failed = 0;
+};
+
+constexpr util::Duration kRun = util::seconds(120);
+
+Outcome run(telecom::AdmissionPolicy& policy, double peak_calls_per_s,
+            std::uint64_t seed) {
+  World world(seed);
+  const auto server_node = world.network.add_node("server", 500).id();
+  const auto access = world.network.add_node("access", 100000).id();
+  sim::LinkSpec link;
+  link.latency = util::milliseconds(2);
+  world.network.add_duplex_link(server_node, access, link);
+  telecom::register_media_components(world.registry);
+  auto& app = *world.app;
+  const auto media =
+      app.instantiate("MediaServer", "media", server_node, Value{}).value();
+  connector::ConnectorSpec spec;
+  spec.name = "media";
+  const auto conn = app.create_connector(spec).value();
+  (void)app.add_provider(conn, media);
+
+  telecom::SessionManager::Options options;
+  options.service = conn;
+  options.fps = 5.0;
+  telecom::SessionManager sessions(app, options);
+
+  // Admission budget: 80% of the serving node capacity.
+  const double budget = 500.0 * 0.8;
+
+  Outcome outcome;
+  util::RunningStats granted;
+  util::Rng rng(seed);
+  sim::TraceArrivals trace = sim::rush_hour_trace(0.3, peak_calls_per_s,
+                                                  kRun);
+  auto arrivals = std::make_shared<std::function<void()>>();
+  *arrivals = [&, arrivals] {
+    if (world.loop.now() > kRun) return;
+    ++outcome.offered;
+    const telecom::AdmissionDecision decision = policy.admit(
+        sessions, budget,
+        telecom::AdmissionRequest{telecom::QualityLadder::kMax});
+    if (decision.admitted) {
+      ++outcome.admitted;
+      const auto length = static_cast<util::Duration>(
+          rng.exponential(static_cast<double>(util::seconds(20))));
+      const auto id = sessions.start_session(
+          decision.quality, access,
+          world.loop.now() + std::max<util::Duration>(length, 500000));
+      // Record the quality the session actually starts at (the global
+      // ceiling may sit below the admission grant).
+      granted.add(sessions.quality(id).value_or(decision.quality));
+    } else {
+      ++outcome.dropped;
+    }
+    world.loop.schedule_after(trace.next_gap(world.loop.now(), rng),
+                              *arrivals);
+  };
+  world.loop.schedule_after(0, *arrivals);
+  world.loop.run();
+
+  outcome.mean_granted_quality = granted.mean();
+  outcome.delivered_utility = sessions.delivered_utility();
+  outcome.frames_ok = sessions.frames_ok();
+  outcome.frames_failed = sessions.frames_failed();
+  return outcome;
+}
+
+}  // namespace
+}  // namespace aars::bench
+
+int main() {
+  using namespace aars;
+  using namespace aars::bench;
+  banner("E10: rush-hour multimedia admission",
+         "Paper claim (S2): mastering adaptation (quality ladder) beats "
+         "dropping calls arbitrarily with no care about the rendering. "
+         "Same rush-hour demand, same server budget.");
+
+  Table table({"policy", "peak(calls/s)", "offered", "admitted", "dropped",
+               "drop_frac", "mean_quality", "delivered_utility",
+               "frames_ok", "frames_failed"});
+  for (double peak : {1.0, 2.0, 4.0}) {
+    telecom::ArbitraryDropPolicy arbitrary;
+    telecom::AdaptiveLadderPolicy adaptive;
+    for (telecom::AdmissionPolicy* policy :
+         {static_cast<telecom::AdmissionPolicy*>(&arbitrary),
+          static_cast<telecom::AdmissionPolicy*>(&adaptive)}) {
+      const Outcome o = run(*policy, peak, 42);
+      table.add_row(
+          {policy->name(), fmt(peak, 1), std::to_string(o.offered),
+           std::to_string(o.admitted), std::to_string(o.dropped),
+           fmt(o.offered ? static_cast<double>(o.dropped) / o.offered : 0),
+           fmt(o.mean_granted_quality), fmt(o.delivered_utility, 1),
+           std::to_string(o.frames_ok), std::to_string(o.frames_failed)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: at every peak rate the adaptive ladder drops far "
+      "fewer calls and delivers more total utility; the arbitrary policy "
+      "keeps per-call quality at HD but rejects most of the rush-hour "
+      "demand.\n");
+  return 0;
+}

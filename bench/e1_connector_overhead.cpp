@@ -1,0 +1,97 @@
+// E1 — Connector overhead.
+//
+// Claim (§3): "a connector is a light-weight component which functions as a
+// glue of components and induces a low overload."
+//
+// Measures wall-clock ns/op for: a direct in-process handler call, the same
+// call routed through a connector, and through a connector carrying 1..8
+// interceptors. The expected shape: connector adds a small constant factor;
+// each interceptor adds a small increment.
+#include <benchmark/benchmark.h>
+
+#include "adapt/filters.h"
+#include "common.h"
+#include "testing_components.h"
+
+namespace aars::bench {
+namespace {
+
+using aars::bench_testing::EchoServer;
+using util::Value;
+
+struct Setup {
+  World world;
+  util::ComponentId server;
+  util::ConnectorId connector;
+  util::NodeId node;
+
+  explicit Setup(std::size_t interceptors) {
+    node = world.network.add_node("n", 1e9).id();
+    world.registry.register_type("EchoServer", [](const std::string& name) {
+      return std::make_unique<EchoServer>(name);
+    });
+    server =
+        world.app->instantiate("EchoServer", "e", node, Value{}).value();
+    connector::ConnectorSpec spec;
+    spec.name = "c";
+    connector = world.app->create_connector(spec).value();
+    (void)world.app->add_provider(connector, server);
+    connector::Connector* conn = world.app->find_connector(connector);
+    for (std::size_t i = 0; i < interceptors; ++i) {
+      auto chain = std::make_shared<adapt::FilterChain>(
+          "chain" + std::to_string(i));
+      (void)chain->attach(std::make_shared<adapt::TagFilter>(
+          "tag" + std::to_string(i), "k" + std::to_string(i), Value{1}));
+      (void)conn->attach_interceptor(std::move(chain), static_cast<int>(i));
+    }
+  }
+};
+
+void BM_DirectHandlerCall(benchmark::State& state) {
+  Setup setup(0);
+  component::Component* comp = setup.world.app->find_component(setup.server);
+  component::Message message;
+  message.operation = "echo";
+  message.payload = Value::object({{"text", "x"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp->handle(message));
+  }
+}
+BENCHMARK(BM_DirectHandlerCall);
+
+void BM_ConnectorCall(benchmark::State& state) {
+  Setup setup(static_cast<std::size_t>(state.range(0)));
+  const Value args = Value::object({{"text", "x"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setup.world.app->invoke_sync(setup.connector, "echo", args,
+                                     setup.node));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " interceptors");
+}
+BENCHMARK(BM_ConnectorCall)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ConnectorEventSend(benchmark::State& state) {
+  Setup setup(0);
+  const Value args = Value::object({{"text", "x"}});
+  for (auto _ : state) {
+    (void)setup.world.app->send_event(setup.connector, "echo", args,
+                                      setup.node);
+    setup.world.loop.run();
+  }
+}
+BENCHMARK(BM_ConnectorEventSend);
+
+}  // namespace
+}  // namespace aars::bench
+
+int main(int argc, char** argv) {
+  aars::bench::banner(
+      "E1: connector overhead",
+      "Paper claim: connectors are light-weight glue with low overload. "
+      "Compare ns/op of direct handler calls vs connector-mediated calls "
+      "vs connector + N interceptors.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E4 — Composition-filter interception cost.
+//
+// Claim (§2): filters are declarative message manipulators that can be
+// layered and dynamically attached; selective filters apply only to chosen
+// messages. This bench measures wall-clock cost per call as the chain grows
+// (0..32 filters) and compares all-message vs selective filters.
+#include <benchmark/benchmark.h>
+
+#include "adapt/filters.h"
+#include "common.h"
+#include "testing_components.h"
+
+namespace aars::bench {
+namespace {
+
+using bench_testing::EchoServer;
+using util::Value;
+
+struct Setup {
+  World world;
+  util::ConnectorId connector;
+  util::NodeId node;
+  std::shared_ptr<adapt::FilterChain> chain;
+
+  Setup(std::size_t filters, bool selective_miss) {
+    node = world.network.add_node("n", 1e9).id();
+    world.registry.register_type("EchoServer", [](const std::string& name) {
+      return std::make_unique<EchoServer>(name);
+    });
+    const auto server =
+        world.app->instantiate("EchoServer", "e", node, Value{}).value();
+    connector::ConnectorSpec spec;
+    spec.name = "c";
+    connector = world.app->create_connector(spec).value();
+    (void)world.app->add_provider(connector, server);
+    chain = std::make_shared<adapt::FilterChain>("chain");
+    for (std::size_t i = 0; i < filters; ++i) {
+      auto tag = std::make_shared<adapt::TagFilter>(
+          "t" + std::to_string(i), "k" + std::to_string(i), Value{1});
+      if (selective_miss) {
+        // Selective filter bound to an operation the workload never uses:
+        // matches() rejects cheaply.
+        (void)chain->attach(std::make_shared<adapt::SelectiveFilter>(
+            std::vector<std::string>{"never_called"}, tag));
+      } else {
+        (void)chain->attach(std::move(tag));
+      }
+    }
+    (void)world.app->find_connector(connector)->attach_interceptor(chain);
+  }
+};
+
+void BM_FilterChainAllMessages(benchmark::State& state) {
+  Setup setup(static_cast<std::size_t>(state.range(0)), false);
+  const Value args = Value::object({{"text", "x"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setup.world.app->invoke_sync(setup.connector, "echo", args,
+                                     setup.node));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " filters (apply)");
+}
+BENCHMARK(BM_FilterChainAllMessages)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32);
+
+void BM_FilterChainSelectiveMiss(benchmark::State& state) {
+  Setup setup(static_cast<std::size_t>(state.range(0)), true);
+  const Value args = Value::object({{"text", "x"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setup.world.app->invoke_sync(setup.connector, "echo", args,
+                                     setup.node));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " filters (skip)");
+}
+BENCHMARK(BM_FilterChainSelectiveMiss)->Arg(8)->Arg(32);
+
+void BM_FilterAttachDetach(benchmark::State& state) {
+  Setup setup(0, false);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto filter = std::make_shared<adapt::TagFilter>(
+        "dyn" + std::to_string(i++), "k", Value{1});
+    (void)setup.chain->attach(filter);
+    (void)setup.chain->detach(filter->name());
+  }
+}
+BENCHMARK(BM_FilterAttachDetach);
+
+}  // namespace
+}  // namespace aars::bench
+
+int main(int argc, char** argv) {
+  aars::bench::banner(
+      "E4: composition filter chain cost",
+      "Paper claim (S2): filters layer declaratively and can be attached/"
+      "removed at run time; selective filters touch only chosen messages. "
+      "Expect linear growth in chain length; near-flat cost for selective "
+      "misses; cheap attach/detach.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

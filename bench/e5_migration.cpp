@@ -1,0 +1,157 @@
+// E5 — Geographic reconfiguration for load balancing.
+//
+// Claim (§1): "geographical changes ... are especially used for load
+// balancing ... An alternative reconfiguration is to host components on a
+// less loaded hardware, so that the components can execute faster."
+//
+// Topology: 4 edge nodes; all service components start on one node (the
+// hot spot). Clients on every node issue requests. At t = 2 s the managed
+// run migrates components off the hot node to the calmest nodes; the
+// baseline run leaves placement alone. Reported: mean/p99 latency before
+// and after, hot-node utilisation.
+#include <functional>
+
+#include "common.h"
+#include "meta/introspection.h"
+#include "reconfig/engine.h"
+#include "testing_components.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace aars::bench {
+namespace {
+
+using bench_testing::EchoServer;
+using util::Value;
+
+struct Outcome {
+  double before_mean = 0;
+  double before_p99 = 0;
+  double after_mean = 0;
+  double after_p99 = 0;
+  double hot_utilization = 0;
+  int migrations = 0;
+};
+
+Outcome run(bool migrate, double lambda_per_service, std::uint64_t seed) {
+  World world(seed);
+  std::vector<util::NodeId> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(
+        world.network.add_node("edge" + std::to_string(i), 4000).id());
+  }
+  sim::LinkSpec link;
+  link.latency = util::milliseconds(2);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      world.network.add_duplex_link(nodes[i], nodes[j], link);
+    }
+  }
+  world.registry.register_type("EchoServer", [](const std::string& name) {
+    return std::make_unique<EchoServer>(name, /*work=*/2.0);
+  });
+  auto& app = *world.app;
+
+  // Four services, all initially packed onto edge0 (the hot spot).
+  constexpr int kServices = 4;
+  std::vector<util::ConnectorId> connectors;
+  std::vector<util::ComponentId> services;
+  for (int i = 0; i < kServices; ++i) {
+    const auto id = app.instantiate("EchoServer", "svc" + std::to_string(i),
+                                    nodes[0], Value{})
+                        .value();
+    services.push_back(id);
+    connector::ConnectorSpec spec;
+    spec.name = "to_svc" + std::to_string(i);
+    const auto conn = app.create_connector(spec).value();
+    (void)app.add_provider(conn, id);
+    connectors.push_back(conn);
+  }
+
+  util::Histogram before;
+  util::Histogram after;
+  const util::SimTime change_at = util::seconds(2);
+  const util::SimTime end_at = util::seconds(4);
+  util::Rng rng(seed);
+
+  // Each service has its own client population on a distinct node.
+  for (int i = 0; i < kServices; ++i) {
+    const auto origin = nodes[static_cast<std::size_t>(i)];
+    const auto conn = connectors[static_cast<std::size_t>(i)];
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [&world, &app, &rng, &before, &after, conn, origin,
+             lambda_per_service, change_at, end_at, pump] {
+      if (world.loop.now() > end_at) return;
+      app.invoke_async(
+          conn, "echo", Value::object({{"text", "x"}}), origin,
+          [&world, &before, &after, change_at](util::Result<Value> r,
+                                               util::Duration latency) {
+            if (!r.ok()) return;
+            if (world.loop.now() < change_at) {
+              before.add(static_cast<double>(latency));
+            } else {
+              after.add(static_cast<double>(latency));
+            }
+          });
+      world.loop.schedule_after(rng.poisson_gap(lambda_per_service), *pump);
+    };
+    world.loop.schedule_after(0, *pump);
+  }
+
+  Outcome outcome;
+  reconfig::ReconfigurationEngine engine(app);
+  if (migrate) {
+    world.loop.schedule_at(change_at, [&] {
+      // Spread services: svc_i moves to node_i (closer to its demand and
+      // off the hot spot).
+      for (int i = 1; i < kServices; ++i) {
+        engine.migrate_component(
+            services[static_cast<std::size_t>(i)],
+            nodes[static_cast<std::size_t>(i)],
+            [&outcome](const reconfig::ReconfigReport& report) {
+              if (report.success) ++outcome.migrations;
+            });
+      }
+    });
+  }
+  world.loop.run();
+
+  outcome.before_mean = before.mean();
+  outcome.before_p99 = before.p99();
+  outcome.after_mean = after.mean();
+  outcome.after_p99 = after.p99();
+  outcome.hot_utilization =
+      world.network.node(nodes[0]).utilization(world.loop.now());
+  return outcome;
+}
+
+}  // namespace
+}  // namespace aars::bench
+
+int main() {
+  using namespace aars;
+  using namespace aars::bench;
+  banner("E5: geographic reconfiguration for load balancing",
+         "Paper claim (S1): migrating components to less loaded hardware "
+         "makes them execute faster. 4 services packed on one node, then "
+         "spread at t=2s; baseline never migrates.");
+
+  Table table({"policy", "load(req/s/svc)", "before_mean(us)",
+               "before_p99(us)", "after_mean(us)", "after_p99(us)",
+               "migrations"});
+  for (double lambda : {300.0, 600.0, 900.0}) {
+    for (bool migrate : {false, true}) {
+      const Outcome o = run(migrate, lambda, 11);
+      table.add_row({migrate ? "migrate_at_2s" : "static", fmt(lambda, 0),
+                     fmt(o.before_mean, 0), fmt(o.before_p99, 0),
+                     fmt(o.after_mean, 0), fmt(o.after_p99, 0),
+                     std::to_string(o.migrations)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: identical 'before' columns; after migration the "
+      "mean/p99 collapse towards the uncontended service time while the "
+      "static policy keeps degrading as backlog accumulates.\n");
+  return 0;
+}

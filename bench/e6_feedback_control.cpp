@@ -1,0 +1,196 @@
+// E6 — Feedback control of QoS with classical and soft-computing
+// controllers.
+//
+// Claim (§3): "feedback control systems present advantages to control
+// dynamic adaptive and reconfigurable systems"; intelligent (fuzzy / GA)
+// controllers suit plants without analytic models (footnote 3).
+//
+// Plant: a media server whose frame latency grows with offered load; the
+// actuator is the global session quality level; the disturbance is the
+// rush-hour session arrival trace. Controllers compared: none (always max
+// quality), PID (hand gains), fuzzy (Mamdani 5x5), GA-tuned PID.
+// Reported: QoS violation fraction, mean latency, mean quality, frames ok.
+#include <functional>
+
+#include "common.h"
+#include "control/fuzzy.h"
+#include "control/ga.h"
+#include "control/pid.h"
+#include "qos/monitor.h"
+#include "sim/workload.h"
+#include "telecom/media.h"
+#include "telecom/session.h"
+#include "util/rng.h"
+
+namespace aars::bench {
+namespace {
+
+using util::Value;
+
+struct Outcome {
+  double violation_fraction = 0;
+  double mean_latency_ms = 0;
+  double mean_quality = 0;
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_failed = 0;
+};
+
+constexpr util::Duration kRun = util::seconds(60);
+constexpr util::Duration kControlPeriod = util::milliseconds(250);
+constexpr util::Duration kLatencyBound = util::milliseconds(40);
+
+Outcome run(control::Controller& controller, std::uint64_t seed) {
+  World world(seed);
+  const auto server_node = world.network.add_node("server", 200).id();
+  const auto access = world.network.add_node("access", 50000).id();
+  sim::LinkSpec link;
+  link.latency = util::milliseconds(2);
+  world.network.add_duplex_link(server_node, access, link);
+  telecom::register_media_components(world.registry);
+  auto& app = *world.app;
+  const auto media =
+      app.instantiate("MediaServer", "media", server_node, Value{}).value();
+  connector::ConnectorSpec spec;
+  spec.name = "media";
+  const auto conn = app.create_connector(spec).value();
+  (void)app.add_provider(conn, media);
+
+  telecom::SessionManager::Options options;
+  options.service = conn;
+  options.fps = 5.0;
+  telecom::SessionManager sessions(app, options);
+
+  qos::QosContract contract;
+  contract.name = "media";
+  contract.max_mean_latency = kLatencyBound;
+  qos::QosMonitor monitor(world.loop, contract, util::milliseconds(500));
+  util::RunningStats latencies;
+  util::RunningStats qualities;
+  sessions.on_frame([&](util::SessionId, util::Duration latency, bool ok,
+                        int quality) {
+    monitor.record_call(latency, ok);
+    if (ok) latencies.add(util::to_millis(latency));
+    qualities.add(quality);
+  });
+
+  // Rush-hour session arrivals: base 0.5/s, peak 4/s; sessions last ~8 s.
+  util::Rng rng(seed);
+  sim::TraceArrivals trace =
+      sim::rush_hour_trace(0.5, 4.0, kRun);
+  auto arrivals = std::make_shared<std::function<void()>>();
+  *arrivals = [&world, &sessions, &rng, &trace, access, arrivals] {
+    if (world.loop.now() > kRun) return;
+    const auto length = static_cast<util::Duration>(
+        rng.exponential(static_cast<double>(util::seconds(8))));
+    (void)sessions.start_session(telecom::QualityLadder::kMax, access,
+                                 world.loop.now() + std::max<util::Duration>(
+                                                        length, 100000));
+    world.loop.schedule_after(trace.next_gap(world.loop.now(), rng),
+                              *arrivals);
+  };
+  world.loop.schedule_after(0, *arrivals);
+
+  // The control loop: normalised latency error -> quality delta.
+  int violations = 0;
+  int evaluations = 0;
+  double quality = telecom::QualityLadder::kMax;
+  auto control_tick = std::make_shared<std::function<void()>>();
+  *control_tick = [&world, &sessions, &monitor, &controller, &quality,
+                   &violations, &evaluations, control_tick] {
+    if (world.loop.now() > kRun) return;
+    const qos::Compliance compliance = monitor.evaluate();
+    ++evaluations;
+    if (!compliance.compliant) ++violations;
+    const double bound = static_cast<double>(kLatencyBound);
+    const double observed = monitor.mean_latency();
+    const double error = (bound - observed) / bound;  // >0: headroom
+    const double delta =
+        controller.update(error, util::to_seconds(kControlPeriod));
+    quality = std::clamp(quality + delta, 0.0,
+                         static_cast<double>(telecom::QualityLadder::kMax));
+    sessions.set_global_quality(static_cast<int>(quality + 0.5));
+    world.loop.schedule_after(kControlPeriod, *control_tick);
+  };
+  world.loop.schedule_after(kControlPeriod, *control_tick);
+
+  world.loop.run();
+
+  Outcome outcome;
+  outcome.violation_fraction =
+      evaluations > 0 ? static_cast<double>(violations) / evaluations : 0.0;
+  outcome.mean_latency_ms = latencies.mean();
+  outcome.mean_quality = qualities.mean();
+  outcome.frames_ok = sessions.frames_ok();
+  outcome.frames_failed = sessions.frames_failed();
+  return outcome;
+}
+
+/// GA fitness: violations + latency overage of a PID candidate on a short
+/// version of the same scenario.
+double pid_fitness(const std::vector<double>& gains) {
+  control::PidController pid({gains[0], gains[1], gains[2]}, -2.0, 2.0);
+  const Outcome o = run(pid, /*seed=*/5);
+  return o.violation_fraction * 100.0 +
+         std::max(0.0, o.mean_latency_ms - 40.0);
+}
+
+}  // namespace
+}  // namespace aars::bench
+
+int main() {
+  using namespace aars;
+  using namespace aars::bench;
+  banner("E6: feedback control of QoS under rush-hour load",
+         "Paper claim (S3): feedback control corrects the system during "
+         "operation; fuzzy/GA 'intelligent controllers' handle plants with "
+         "no analytic model. Latency bound: 40 ms mean.");
+
+  Table table({"controller", "violation_frac", "mean_latency(ms)",
+               "mean_quality", "frames_ok", "frames_failed"});
+
+  const auto report = [&](const char* name, const Outcome& o) {
+    table.add_row({name, fmt(o.violation_fraction), fmt(o.mean_latency_ms),
+                   fmt(o.mean_quality), std::to_string(o.frames_ok),
+                   std::to_string(o.frames_failed)});
+  };
+
+  {
+    control::NullController none;
+    report("none(max quality)", run(none, 42));
+  }
+  {
+    control::PidController pid({0.6, 0.3, 0.05}, -2.0, 2.0);
+    report("pid(hand gains)", run(pid, 42));
+  }
+  {
+    control::FuzzyController fuzzy =
+        control::FuzzyController::make_standard(2.0, 8.0, 1.5);
+    report("fuzzy(mamdani 5x5)", run(fuzzy, 42));
+  }
+  {
+    std::printf("tuning PID gains with the GA (this runs the scenario "
+                "repeatedly)...\n");
+    control::GaTuner::Options ga_options;
+    ga_options.population = 8;
+    ga_options.generations = 6;
+    control::GaTuner tuner(ga_options);
+    const auto tuned =
+        tuner.tune({0.0, 0.0, 0.0}, {3.0, 1.5, 0.3}, pid_fitness);
+    control::PidController pid(
+        {tuned.best_genome[0], tuned.best_genome[1], tuned.best_genome[2]},
+        -2.0, 2.0);
+    char label[96];
+    std::snprintf(label, sizeof(label), "pid(GA kp=%.2f ki=%.2f kd=%.2f)",
+                  tuned.best_genome[0], tuned.best_genome[1],
+                  tuned.best_genome[2]);
+    report(label, run(pid, 42));
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: no-control violates the latency bound for most of "
+      "the rush hour (high violation_frac, very high latency); every "
+      "controller cuts violations sharply by degrading quality during the "
+      "peak; GA-tuned PID <= hand PID; fuzzy competitive on this nonlinear "
+      "plant.\n");
+  return 0;
+}

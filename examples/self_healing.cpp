@@ -1,0 +1,176 @@
+// Self-healing: Durra-style event-triggered error recovery.
+//
+// A flaky component starts failing; a FLO/C rule ("failure_detected
+// implies replace") drives the reconfiguration engine to replace it with a
+// fresh instance, preserving the accumulated state. A permittedIf rule
+// gates reconfiguration during a maintenance freeze.
+//
+//   $ ./self_healing
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "component/component.h"
+#include "meta/rules.h"
+#include "reconfig/engine.h"
+#include "util/rng.h"
+
+using namespace aars;
+
+namespace {
+
+// A worker that degrades: after `break_after` requests it starts failing.
+class FlakyWorker : public component::Component {
+ public:
+  explicit FlakyWorker(const std::string& instance_name)
+      : component::Component("FlakyWorker", instance_name) {
+    component::InterfaceDescription iface("Work", 1);
+    iface.add_service(component::ServiceSignature{
+        "work", {}, util::ValueType::kInt});
+    set_provided(iface);
+    register_operation("work", 1.0,
+                       [this](const util::Value&)
+                           -> util::Result<util::Value> {
+                         ++handled_total_;
+                         ++served_by_this_instance_;
+                         if (broken_) {
+                           return util::Error{util::ErrorCode::kInternal,
+                                              "hardware fault"};
+                         }
+                         // Each *instance* wears out after ~40 requests —
+                         // an instance fault, not application state.
+                         if (served_by_this_instance_ > 40) broken_ = true;
+                         return util::Value{handled_total_};
+                       });
+  }
+
+ protected:
+  void save_state(util::Value& state) const override {
+    state["handled_total"] = handled_total_;
+    // Note: `broken_` is deliberately NOT part of the logical state — the
+    // fault is in the hardware/instance, not the application state.
+  }
+  util::Status load_state(const util::Value& state) override {
+    if (state.contains("handled_total")) {
+      handled_total_ = state.at("handled_total").as_int();
+    }
+    return util::Status::success();
+  }
+
+ private:
+  std::int64_t handled_total_ = 0;
+  std::int64_t served_by_this_instance_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace
+
+int main() {
+  sim::EventLoop loop;
+  sim::Network network;
+  component::ComponentRegistry registry;
+  registry.register_class<FlakyWorker>("FlakyWorker");
+  runtime::Application app(loop, network, registry);
+
+  const auto node = network.add_node("host", 10000).id();
+  const auto client = network.add_node("client", 10000).id();
+  sim::LinkSpec link;
+  link.latency = util::milliseconds(1);
+  network.add_duplex_link(node, client, link);
+
+  auto worker =
+      app.instantiate("FlakyWorker", "worker", node, util::Value{}).value();
+  connector::ConnectorSpec spec;
+  spec.name = "svc";
+  const auto conn = app.create_connector(spec).value();
+  (void)app.add_provider(conn, worker);
+
+  reconfig::ReconfigurationEngine engine(app);
+  meta::RuleEngine rules(loop);
+
+  // Gate: reconfiguration is only permitted outside the maintenance freeze
+  // (permittedIf, §1 FLO/C operators).
+  bool frozen = false;
+  meta::Rule gate;
+  gate.name = "freeze_gate";
+  gate.trigger_event = "failure_detected";
+  gate.op = meta::RuleOperator::kPermittedIf;
+  gate.guard = [&frozen](const meta::Event&) { return !frozen; };
+  (void)rules.add_rule(std::move(gate));
+
+  // Recovery rule: failure_detected implies replace (Durra-style
+  // event-triggered reconfiguration for error recovery, §1).
+  int generation = 1;
+  meta::Rule recover;
+  recover.name = "recover";
+  recover.trigger_event = "failure_detected";
+  recover.op = meta::RuleOperator::kImplies;
+  recover.action = [&](const meta::Event&) {
+    const std::string next = "worker_v" + std::to_string(++generation);
+    std::printf("[t=%.2fs] rule 'recover' fires -> replacing with %s\n",
+                util::to_seconds(loop.now()), next.c_str());
+    engine.replace_component(
+        worker, "FlakyWorker", next,
+        [&](const reconfig::ReconfigReport& report) {
+          if (report.success) {
+            worker = report.new_component;
+            std::printf("[t=%.2fs] healed in %lld us (state preserved)\n",
+                        util::to_seconds(loop.now()),
+                        static_cast<long long>(report.duration()));
+          } else {
+            std::printf("[t=%.2fs] recovery FAILED: %s\n",
+                        util::to_seconds(loop.now()), report.error.c_str());
+          }
+        });
+  };
+  (void)rules.add_rule(std::move(recover));
+
+  // Failure detector: three consecutive errors emit failure_detected.
+  int consecutive_failures = 0;
+  app.add_call_listener([&](const runtime::CallRecord& record) {
+    if (record.ok) {
+      consecutive_failures = 0;
+      return;
+    }
+    if (++consecutive_failures == 3) {
+      consecutive_failures = 0;
+      rules.emit("failure_detected",
+                 util::Value::object(
+                     {{"component",
+                       static_cast<std::int64_t>(record.provider.raw())}}));
+    }
+  });
+
+  // Client load.
+  util::Rng rng(5);
+  int ok = 0;
+  int failed = 0;
+  std::function<void()> pump = [&] {
+    if (loop.now() > util::seconds(5)) return;
+    app.invoke_async(conn, "work", util::Value{}, client,
+                     [&](util::Result<util::Value> r, util::Duration) {
+                       r.ok() ? ++ok : ++failed;
+                     });
+    loop.schedule_after(rng.poisson_gap(50), pump);
+  };
+  loop.schedule_after(0, pump);
+
+  // A short maintenance freeze to show the permittedIf gate.
+  loop.schedule_at(util::milliseconds(500), [&] {
+    frozen = true;
+    std::printf("[t=0.50s] maintenance freeze ON\n");
+  });
+  loop.schedule_at(util::milliseconds(1200), [&] {
+    frozen = false;
+    std::printf("[t=1.20s] maintenance freeze OFF\n");
+  });
+
+  loop.run();
+
+  std::printf(
+      "\n%d calls ok, %d failed; %llu rule firings, %llu gated; healed %d "
+      "time(s)\n",
+      ok, failed, static_cast<unsigned long long>(rules.fired()),
+      static_cast<unsigned long long>(rules.rejected()), generation - 1);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Telecom adaptation: the paper's motivating scenario end to end.
+//
+// A multimedia service faces a rush-hour surge. A fuzzy feedback
+// controller (RAML acting through the session manager) degrades the
+// quality ladder during the peak instead of letting latency blow up, then
+// recovers as the surge passes. Adaptive middleware reacts to a degraded
+// access link by switching compression on.
+//
+//   $ ./telecom_adaptation
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "adapt/middleware.h"
+#include "control/fuzzy.h"
+#include "qos/monitor.h"
+#include "sim/workload.h"
+#include "telecom/media.h"
+#include "telecom/session.h"
+#include "util/rng.h"
+
+using namespace aars;
+
+int main() {
+  sim::EventLoop loop;
+  sim::Network network;
+  component::ComponentRegistry registry;
+  telecom::register_media_components(registry);
+  runtime::Application app(loop, network, registry);
+
+  const auto server = network.add_node("media_server", 400).id();
+  const auto access = network.add_node("access", 100000).id();
+  sim::LinkSpec link;
+  link.latency = util::milliseconds(3);
+  network.add_duplex_link(server, access, link);
+
+  const auto media =
+      app.instantiate("MediaServer", "media", server, util::Value{}).value();
+  connector::ConnectorSpec spec;
+  spec.name = "media";
+  const auto conn = app.create_connector(spec).value();
+  (void)app.add_provider(conn, media);
+
+  telecom::SessionManager::Options options;
+  options.service = conn;
+  options.fps = 5.0;
+  telecom::SessionManager sessions(app, options);
+
+  qos::QosContract contract;
+  contract.name = "media";
+  contract.max_mean_latency = util::milliseconds(50);
+  qos::QosMonitor monitor(loop, contract, util::milliseconds(500));
+  sessions.on_frame([&](util::SessionId, util::Duration latency, bool ok,
+                        int) { monitor.record_call(latency, ok); });
+
+  // Fuzzy feedback loop on the quality ladder.
+  control::FuzzyController fuzzy =
+      control::FuzzyController::make_standard(2.0, 8.0, 1.5);
+  double quality = telecom::QualityLadder::kMax;
+  std::function<void()> control_tick = [&] {
+    if (loop.now() > util::seconds(60)) return;
+    const double bound = static_cast<double>(contract.max_mean_latency);
+    const double error = (bound - monitor.mean_latency()) / bound;
+    quality = std::clamp(quality + fuzzy.update(error, 0.25), 0.0, 4.0);
+    sessions.set_global_quality(static_cast<int>(quality + 0.5));
+    loop.schedule_after(util::milliseconds(250), control_tick);
+  };
+  loop.schedule_after(util::milliseconds(250), control_tick);
+
+  // Rush-hour call arrivals.
+  util::Rng rng(7);
+  sim::TraceArrivals trace =
+      sim::rush_hour_trace(0.4, 3.0, util::seconds(60));
+  std::function<void()> arrivals = [&] {
+    if (loop.now() > util::seconds(60)) return;
+    const auto length = static_cast<util::Duration>(
+        rng.exponential(static_cast<double>(util::seconds(15))));
+    (void)sessions.start_session(
+        telecom::QualityLadder::kMax, access,
+        loop.now() + std::max<util::Duration>(length, 500000));
+    loop.schedule_after(trace.next_gap(loop.now(), rng), arrivals);
+  };
+  loop.schedule_after(0, arrivals);
+
+  // Adaptive middleware watches the access link.
+  adapt::AdaptiveMiddleware middleware(app, conn);
+  loop.schedule_at(util::seconds(20), [&] {
+    std::printf("[t=20s] access link degrades (bandwidth -70%%)\n");
+    if (sim::LinkSpec* l = network.find_link(access, server)) {
+      l->bandwidth_bytes_per_sec *= 0.3;
+    }
+    const std::size_t changes = middleware.adapt_to_platform();
+    std::printf("[t=20s] middleware adapted (%zu change(s)); stack now:",
+                changes);
+    for (const std::string& s : middleware.stack()) {
+      std::printf(" %s", s.c_str());
+    }
+    std::printf("\n");
+  });
+
+  // Progress report every 10 simulated seconds.
+  std::function<void()> report = [&] {
+    std::printf(
+        "[t=%2.0fs] sessions=%2zu quality=%d mean_latency=%5.1f ms "
+        "frames ok/failed = %llu/%llu\n",
+        util::to_seconds(loop.now()), sessions.active_count(),
+        sessions.global_quality(), monitor.mean_latency() / 1000.0,
+        static_cast<unsigned long long>(sessions.frames_ok()),
+        static_cast<unsigned long long>(sessions.frames_failed()));
+    if (loop.now() < util::seconds(60)) {
+      loop.schedule_after(util::seconds(10), report);
+    }
+  };
+  loop.schedule_after(util::seconds(10), report);
+
+  loop.run();
+
+  std::printf(
+      "\nrush hour survived: %llu frames delivered, utility %.1f, "
+      "final quality level %d\n",
+      static_cast<unsigned long long>(sessions.frames_ok()),
+      sessions.delivered_utility(), sessions.global_quality());
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "adapt/adaptive_interface.h"
+
+namespace aars::adapt {
+
+using component::Component;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+MetaComponent::MetaComponent(Component& base) : base_(base) {
+  base_.observe([this](const component::Message&, const Result<Value>&) {
+    ++observed_;
+  });
+}
+
+Value MetaComponent::describe() const {
+  Value ops{util::ValueList{}};
+  for (const std::string& op : base_.operations()) {
+    ops.as_list().push_back(Value::object(
+        {{"name", op}, {"work_cost", base_.work_cost(op)}}));
+  }
+  Value required{util::ValueList{}};
+  for (const component::RequiredPort& port : base_.required()) {
+    required.as_list().push_back(Value::object(
+        {{"port", port.name}, {"interface", port.interface.name()}}));
+  }
+  return Value::object({
+      {"type", base_.type_name()},
+      {"instance", base_.instance_name()},
+      {"lifecycle", std::string(component::to_string(base_.lifecycle()))},
+      {"provided", base_.provided().name()},
+      {"provided_version",
+       static_cast<std::int64_t>(base_.provided().version())},
+      {"operations", ops},
+      {"required", required},
+      {"attributes", base_.attributes()},
+      {"handled", static_cast<std::int64_t>(base_.handled_count())},
+      {"quiescent", base_.quiescent()},
+  });
+}
+
+void MetaComponent::trace(TraceHook hook) {
+  util::require(static_cast<bool>(hook), "trace hook required");
+  base_.observe([hook = std::move(hook)](const component::Message& message,
+                                         const Result<Value>& result) {
+    hook(message.operation, result.ok());
+  });
+}
+
+Status MetaComponent::refine_operation(const std::string& operation,
+                                       Refiner refiner, double work_cost) {
+  util::require(static_cast<bool>(refiner), "refiner required");
+  Component::OperationHandler base = base_.operation_handler(operation);
+  if (!base) {
+    return Error{ErrorCode::kNotFound,
+                 base_.instance_name() + ": no operation '" + operation +
+                     "'"};
+  }
+  undo_[operation].push_back(Saved{base, base_.work_cost(operation)});
+  return base_.replace_operation(
+      operation,
+      [refiner = std::move(refiner), base](const Value& args) {
+        return refiner(args, base);
+      },
+      work_cost);
+}
+
+Status MetaComponent::undo_refinement(const std::string& operation) {
+  auto it = undo_.find(operation);
+  if (it == undo_.end() || it->second.empty()) {
+    return Error{ErrorCode::kNotFound,
+                 "no refinement to undo for '" + operation + "'"};
+  }
+  Saved saved = std::move(it->second.back());
+  it->second.pop_back();
+  return base_.replace_operation(operation, std::move(saved.handler),
+                                 saved.work_cost);
+}
+
+std::size_t MetaComponent::refinement_depth(
+    const std::string& operation) const {
+  auto it = undo_.find(operation);
+  return it == undo_.end() ? 0 : it->second.size();
+}
+
+}  // namespace aars::adapt

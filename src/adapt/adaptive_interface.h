@@ -1,0 +1,64 @@
+// Adaptive component interfaces: the AJ-style meta-protocol.
+//
+// "Adaptive component interfaces using dedicated programming languages can
+// be used, for example, to modify structures and components, and to
+// generate adaptive components. ... the programming language AJ introduces
+// a meta-level protocol to observe and modify base level executions" (§2,
+// [Kast02]).  [Kast02] separates *introspection* (absorption/metaification:
+// observing a component) from *intercession* (changing it).
+//
+// MetaComponent absorbs an existing component: it exposes a reflective
+// description, installs execution observers, and can refine (wrap) or
+// replace individual operation handlers at run time — with an undo stack so
+// refinements compose and retract cleanly.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "component/component.h"
+#include "util/errors.h"
+
+namespace aars::adapt {
+
+class MetaComponent {
+ public:
+  using Refiner = std::function<util::Result<util::Value>(
+      const util::Value& args,
+      const component::Component::OperationHandler& base)>;
+  using TraceHook = std::function<void(const std::string& operation, bool ok)>;
+
+  /// Absorbs (metaifies) `base`. The base component keeps running.
+  explicit MetaComponent(component::Component& base);
+
+  // --- introspection -----------------------------------------------------------
+  /// Reflective description: type, lifecycle, operations, attributes,
+  /// counters — the observation half of the meta-protocol.
+  util::Value describe() const;
+  /// Installs an execution observer on the base component.
+  void trace(TraceHook hook);
+  std::uint64_t observed() const { return observed_; }
+
+  // --- intercession -----------------------------------------------------------
+  /// Wraps the current handler of `operation`: the refiner receives the
+  /// arguments and the previous handler ("proceed").
+  util::Status refine_operation(const std::string& operation, Refiner refiner,
+                                double work_cost);
+  /// Pops the most recent refinement of `operation`.
+  util::Status undo_refinement(const std::string& operation);
+  /// Depth of the refinement stack for `operation`.
+  std::size_t refinement_depth(const std::string& operation) const;
+
+ private:
+  component::Component& base_;
+  std::uint64_t observed_ = 0;
+  struct Saved {
+    component::Component::OperationHandler handler;
+    double work_cost;
+  };
+  std::map<std::string, std::vector<Saved>> undo_;
+};
+
+}  // namespace aars::adapt

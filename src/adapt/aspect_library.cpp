@@ -1,0 +1,57 @@
+#include "adapt/aspect_library.h"
+
+#include "adapt/filters.h"
+#include "adapt/middleware.h"
+
+namespace aars::adapt {
+
+using util::Result;
+using util::Value;
+
+MetricsAspect::MetricsAspect() = default;
+
+connector::Interceptor::Verdict MetricsAspect::before(
+    component::Message& request, Result<Value>* /*reply_out*/) {
+  ++calls_[request.operation];
+  ++total_;
+  return Verdict::kPass;
+}
+
+void MetricsAspect::after(const component::Message& request,
+                          Result<Value>& reply) {
+  if (!reply.ok()) ++failures_[request.operation];
+}
+
+std::uint64_t MetricsAspect::calls(const std::string& operation) const {
+  auto it = calls_.find(operation);
+  return it == calls_.end() ? 0 : it->second;
+}
+
+std::uint64_t MetricsAspect::failures(const std::string& operation) const {
+  auto it = failures_.find(operation);
+  return it == failures_.end() ? 0 : it->second;
+}
+
+void register_standard_aspects(connector::ConnectorFactory& factory) {
+  factory.add_aspect_provider(
+      [](const std::string& aspect)
+          -> std::shared_ptr<connector::Interceptor> {
+        if (aspect == "logging") {
+          auto chain = std::make_shared<FilterChain>("logging");
+          (void)chain->attach(std::make_shared<LoggingFilter>());
+          return chain;
+        }
+        if (aspect == "metrics") return std::make_shared<MetricsAspect>();
+        if (aspect == "tracing") return std::make_shared<TracingService>();
+        if (aspect == "checksum") return std::make_shared<ChecksumService>();
+        if (aspect == "encryption") {
+          return std::make_shared<EncryptionService>();
+        }
+        if (aspect == "compression") {
+          return std::make_shared<CompressionService>();
+        }
+        return nullptr;
+      });
+}
+
+}  // namespace aars::adapt

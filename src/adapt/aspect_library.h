@@ -1,0 +1,44 @@
+// Standard aspect families for the connector factory.
+//
+// The connector factory generates connectors "according to the description
+// of elementary services and aspects that are selected" (§3); this library
+// registers the stock aspects an operator can name in a ConnectorSpec or in
+// the ADL's `aspects [...]` list.
+//
+// Available aspect names:
+//   logging     — capture message log
+//   metrics     — per-operation call counters
+//   tracing     — middleware tracing service
+//   checksum    — payload integrity
+//   encryption  — confidentiality marker
+//   compression — bandwidth reduction
+#pragma once
+
+#include "connector/factory.h"
+
+namespace aars::adapt {
+
+/// A metrics interceptor counting calls and failures per operation.
+class MetricsAspect final : public connector::Interceptor {
+ public:
+  MetricsAspect();
+  Verdict before(component::Message& request,
+                 util::Result<util::Value>* reply_out) override;
+  void after(const component::Message& request,
+             util::Result<util::Value>& reply) override;
+  std::string name() const override { return "metrics"; }
+
+  std::uint64_t calls(const std::string& operation) const;
+  std::uint64_t failures(const std::string& operation) const;
+  std::uint64_t total_calls() const { return total_; }
+
+ private:
+  std::map<std::string, std::uint64_t> calls_;
+  std::map<std::string, std::uint64_t> failures_;
+  std::uint64_t total_ = 0;
+};
+
+/// Registers the standard aspect families on a factory.
+void register_standard_aspects(connector::ConnectorFactory& factory);
+
+}  // namespace aars::adapt

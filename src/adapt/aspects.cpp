@@ -1,0 +1,109 @@
+#include "adapt/aspects.h"
+
+#include "util/strings.h"
+
+namespace aars::adapt {
+
+using util::Error;
+using util::ErrorCode;
+
+Pointcut Pointcut::any() {
+  return Pointcut{[](const Message&) { return true; }};
+}
+
+Pointcut Pointcut::operation(std::string name) {
+  return Pointcut{[name = std::move(name)](const Message& m) {
+    return m.operation == name;
+  }};
+}
+
+Pointcut Pointcut::operation_prefix(std::string prefix) {
+  return Pointcut{[prefix = std::move(prefix)](const Message& m) {
+    return util::starts_with(m.operation, prefix);
+  }};
+}
+
+Pointcut Pointcut::header(std::string key) {
+  return Pointcut{[key = std::move(key)](const Message& m) {
+    return m.headers.contains(key);
+  }};
+}
+
+Pointcut Pointcut::operator&&(const Pointcut& other) const {
+  auto lhs = matches;
+  auto rhs = other.matches;
+  return Pointcut{[lhs, rhs](const Message& m) { return lhs(m) && rhs(m); }};
+}
+
+AspectInterceptor::AspectInterceptor(Aspect aspect)
+    : aspect_(std::move(aspect)) {
+  util::require(static_cast<bool>(aspect_.pointcut.matches),
+                "aspect pointcut required");
+}
+
+connector::Interceptor::Verdict AspectInterceptor::before(
+    Message& request, Result<Value>* reply_out) {
+  if (!aspect_.pointcut.matches(request)) return Verdict::kPass;
+  ++matched_;
+  if (aspect_.advice.before) aspect_.advice.before(request);
+  if (aspect_.advice.around) {
+    if (std::optional<Result<Value>> reply = aspect_.advice.around(request)) {
+      if (reply_out != nullptr) *reply_out = std::move(*reply);
+      return Verdict::kHandled;
+    }
+  }
+  return Verdict::kPass;
+}
+
+void AspectInterceptor::after(const Message& request, Result<Value>& reply) {
+  if (!aspect_.pointcut.matches(request)) return;
+  if (aspect_.advice.after) aspect_.advice.after(request, reply);
+}
+
+AspectWeaver::AspectWeaver(runtime::Application& app) : app_(app) {}
+
+Status AspectWeaver::weave(util::ConnectorId connector, Aspect aspect) {
+  connector::Connector* conn = app_.find_connector(connector);
+  if (conn == nullptr) return Error{ErrorCode::kNotFound, "no such connector"};
+  const std::string name = aspect.name;
+  if (Status s = conn->attach_interceptor(
+          std::make_shared<AspectInterceptor>(std::move(aspect)),
+          /*priority=*/0);
+      !s.ok()) {
+    return s;
+  }
+  woven_.emplace_back(connector, name);
+  return Status::success();
+}
+
+Status AspectWeaver::unweave(util::ConnectorId connector,
+                             const std::string& aspect_name) {
+  connector::Connector* conn = app_.find_connector(connector);
+  if (conn == nullptr) return Error{ErrorCode::kNotFound, "no such connector"};
+  if (Status s = conn->detach_interceptor(aspect_name); !s.ok()) return s;
+  for (auto it = woven_.begin(); it != woven_.end(); ++it) {
+    if (it->first == connector && it->second == aspect_name) {
+      woven_.erase(it);
+      break;
+    }
+  }
+  return Status::success();
+}
+
+Status AspectWeaver::weave_everywhere(const Aspect& aspect) {
+  for (util::ConnectorId id : app_.connector_ids()) {
+    if (Status s = weave(id, aspect); !s.ok()) return s;
+  }
+  return Status::success();
+}
+
+std::vector<std::string> AspectWeaver::woven(
+    util::ConnectorId connector) const {
+  std::vector<std::string> out;
+  for (const auto& [conn, name] : woven_) {
+    if (conn == connector) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace aars::adapt

@@ -1,0 +1,87 @@
+// Run-time aspect weaving.
+//
+// AspectJ weaves "statically ... into the source code" and interchanges
+// aspects through dynamic dispatch (§2); the paper argues composition
+// operators "should not be limited to compile-time ... but also provided at
+// deployment-time and run-time" (§3).  This module provides the run-time
+// variant: an Aspect = pointcut + advice, woven into connectors as an
+// interceptor, attachable and removable while traffic flows.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "runtime/application.h"
+
+namespace aars::adapt {
+
+using component::Message;
+using util::Result;
+using util::Status;
+using util::Value;
+
+/// Message predicate selecting join points.
+struct Pointcut {
+  std::function<bool(const Message&)> matches;
+
+  static Pointcut any();
+  static Pointcut operation(std::string name);
+  static Pointcut operation_prefix(std::string prefix);
+  static Pointcut header(std::string key);
+  /// Conjunction of two pointcuts.
+  Pointcut operator&&(const Pointcut& other) const;
+};
+
+/// Advice bodies; any subset may be set.
+struct Advice {
+  std::function<void(Message&)> before;
+  std::function<void(const Message&, Result<Value>&)> after;
+  /// Around advice may short-circuit by returning a reply.
+  std::function<std::optional<Result<Value>>(Message&)> around;
+};
+
+struct Aspect {
+  std::string name;
+  Pointcut pointcut;
+  Advice advice;
+  int priority = 0;
+};
+
+/// One woven aspect as a connector interceptor.
+class AspectInterceptor final : public connector::Interceptor {
+ public:
+  explicit AspectInterceptor(Aspect aspect);
+  Verdict before(Message& request, Result<Value>* reply_out) override;
+  void after(const Message& request, Result<Value>& reply) override;
+  std::string name() const override { return aspect_.name; }
+  std::uint64_t matched() const { return matched_; }
+
+ private:
+  Aspect aspect_;
+  std::uint64_t matched_ = 0;
+};
+
+/// Weaves aspects into connectors of a running application and tracks what
+/// was woven where, so aspects can be removed or re-woven after a connector
+/// swap.
+class AspectWeaver {
+ public:
+  explicit AspectWeaver(runtime::Application& app);
+
+  Status weave(util::ConnectorId connector, Aspect aspect);
+  Status unweave(util::ConnectorId connector, const std::string& aspect_name);
+  /// Weaves into every current connector of the application (a crosscutting
+  /// deployment).
+  Status weave_everywhere(const Aspect& aspect);
+  std::vector<std::string> woven(util::ConnectorId connector) const;
+
+ private:
+  runtime::Application& app_;
+  std::vector<std::pair<util::ConnectorId, std::string>> woven_;
+};
+
+}  // namespace aars::adapt

@@ -1,0 +1,202 @@
+#include "adapt/filters.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace aars::adapt {
+
+using util::Error;
+using util::ErrorCode;
+
+FilterChain::FilterChain(std::string name) : name_(std::move(name)) {}
+
+Status FilterChain::attach(std::shared_ptr<Filter> filter,
+                           std::size_t position) {
+  util::require(filter != nullptr, "filter required");
+  for (const auto& existing : filters_) {
+    if (existing->name() == filter->name()) {
+      return Error{ErrorCode::kAlreadyExists,
+                   name_ + ": filter '" + filter->name() + "' present"};
+    }
+  }
+  if (position >= filters_.size()) {
+    filters_.push_back(std::move(filter));
+  } else {
+    filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(position),
+                    std::move(filter));
+  }
+  return Status::success();
+}
+
+Status FilterChain::detach(const std::string& filter_name) {
+  for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+    if ((*it)->name() == filter_name) {
+      filters_.erase(it);
+      return Status::success();
+    }
+  }
+  return Error{ErrorCode::kNotFound,
+               name_ + ": filter '" + filter_name + "' not attached"};
+}
+
+std::vector<std::string> FilterChain::filter_names() const {
+  std::vector<std::string> out;
+  out.reserve(filters_.size());
+  for (const auto& f : filters_) out.push_back(f->name());
+  return out;
+}
+
+connector::Interceptor::Verdict FilterChain::before(Message& request,
+                                                    Result<Value>* reply_out) {
+  for (const auto& filter : filters_) {
+    if (!filter->matches(request)) continue;
+    const Filter::Outcome outcome = filter->on_request(request, reply_out);
+    if (outcome == Filter::Outcome::kBlock) return Verdict::kBlock;
+    if (outcome == Filter::Outcome::kRespond) return Verdict::kHandled;
+  }
+  return Verdict::kPass;
+}
+
+void FilterChain::after(const Message& request, Result<Value>& reply) {
+  for (auto it = filters_.rbegin(); it != filters_.rend(); ++it) {
+    if ((*it)->matches(request)) (*it)->on_reply(request, reply);
+  }
+}
+
+// --- LoggingFilter ------------------------------------------------------------
+
+LoggingFilter::LoggingFilter(std::string name) : name_(std::move(name)) {}
+
+Filter::Outcome LoggingFilter::on_request(Message& message,
+                                          Result<Value>* /*reply*/) {
+  entries_.push_back(util::format("%s seq=%llu", message.operation.c_str(),
+                                  static_cast<unsigned long long>(
+                                      message.sequence)));
+  return Outcome::kPass;
+}
+
+// --- TransformFilter ----------------------------------------------------------
+
+TransformFilter::TransformFilter(std::string name, Transform transform)
+    : name_(std::move(name)), transform_(std::move(transform)) {
+  util::require(static_cast<bool>(transform_), "transform required");
+}
+
+Filter::Outcome TransformFilter::on_request(Message& message,
+                                            Result<Value>* /*reply*/) {
+  transform_(message.payload);
+  return Outcome::kPass;
+}
+
+// --- GuardFilter ----------------------------------------------------------------
+
+GuardFilter::GuardFilter(std::string name, Predicate allow)
+    : name_(std::move(name)), allow_(std::move(allow)) {
+  util::require(static_cast<bool>(allow_), "predicate required");
+}
+
+Filter::Outcome GuardFilter::on_request(Message& message,
+                                        Result<Value>* reply) {
+  if (allow_(message)) return Outcome::kPass;
+  ++blocked_;
+  if (reply != nullptr) {
+    *reply = Result<Value>(Error{ErrorCode::kRejected,
+                                 name_ + ": message rejected by guard"});
+  }
+  return Outcome::kBlock;
+}
+
+// --- SelectiveFilter ---------------------------------------------------------
+
+SelectiveFilter::SelectiveFilter(std::vector<std::string> operations,
+                                 std::shared_ptr<Filter> inner)
+    : operations_(std::move(operations)), inner_(std::move(inner)) {
+  util::require(inner_ != nullptr, "inner filter required");
+}
+
+std::string SelectiveFilter::name() const {
+  return "selective(" + inner_->name() + ")";
+}
+
+bool SelectiveFilter::matches(const Message& message) const {
+  return std::find(operations_.begin(), operations_.end(),
+                   message.operation) != operations_.end() &&
+         inner_->matches(message);
+}
+
+Filter::Outcome SelectiveFilter::on_request(Message& message,
+                                            Result<Value>* reply) {
+  return inner_->on_request(message, reply);
+}
+
+void SelectiveFilter::on_reply(const Message& message, Result<Value>& reply) {
+  inner_->on_reply(message, reply);
+}
+
+// --- RateLimitFilter ---------------------------------------------------------
+
+RateLimitFilter::RateLimitFilter(std::string name, double messages_per_second,
+                                 double burst, Clock clock)
+    : name_(std::move(name)),
+      rate_(messages_per_second),
+      burst_(burst),
+      clock_(std::move(clock)),
+      tokens_(burst) {
+  util::require(rate_ > 0.0 && burst_ >= 1.0, "invalid rate limiter config");
+  util::require(static_cast<bool>(clock_), "clock required");
+  last_ = clock_();
+}
+
+Filter::Outcome RateLimitFilter::on_request(Message& /*message*/,
+                                            Result<Value>* reply) {
+  const util::SimTime now = clock_();
+  tokens_ = std::min(
+      burst_, tokens_ + rate_ * util::to_seconds(now - last_));
+  last_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return Outcome::kPass;
+  }
+  ++throttled_;
+  if (reply != nullptr) {
+    *reply = Result<Value>(
+        Error{ErrorCode::kResourceExhausted, name_ + ": rate limit"});
+  }
+  return Outcome::kBlock;
+}
+
+// --- SequencingFilter --------------------------------------------------------
+
+SequencingFilter::SequencingFilter(std::string name)
+    : name_(std::move(name)) {}
+
+Filter::Outcome SequencingFilter::on_request(Message& message,
+                                             Result<Value>* /*reply*/) {
+  if (message.sequence != 0 && message.sequence < last_sequence_) {
+    ++reordered_;
+  }
+  last_sequence_ = std::max(last_sequence_, message.sequence);
+  return Outcome::kPass;
+}
+
+// --- TagFilter ------------------------------------------------------------------
+
+TagFilter::TagFilter(std::string name, std::string key, Value value)
+    : name_(std::move(name)), key_(std::move(key)), value_(std::move(value)) {}
+
+Filter::Outcome TagFilter::on_request(Message& message,
+                                      Result<Value>* /*reply*/) {
+  message.headers[key_] = value_;
+  ++tagged_;
+  return Outcome::kPass;
+}
+
+void TagFilter::on_reply(const Message& /*message*/, Result<Value>& reply) {
+  if (reply.ok() && reply.value().is_map()) {
+    reply.value().as_map().erase(key_);
+  }
+}
+
+}  // namespace aars::adapt

@@ -1,0 +1,187 @@
+// Composition filters.
+//
+// "Filters intercept messages that are sent and received by components.
+// Filters can be applied to all input and output messages or filters can
+// select particular messages. ... In case of run-time implementation,
+// filters can be dynamically attached to or removed from the components"
+// (§2, [Berg01]).  A FilterChain is a connector interceptor hosting an
+// ordered list of declarative message manipulators.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "util/time.h"
+
+namespace aars::adapt {
+
+using component::Message;
+using util::Result;
+using util::Status;
+using util::Value;
+
+/// One declarative message manipulator.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  enum class Outcome {
+    kPass,     // message continues (possibly modified)
+    kBlock,    // message rejected
+    kRespond,  // filter answers on behalf of the provider
+  };
+
+  virtual std::string name() const = 0;
+  /// Selective filters override this; default: applies to every message.
+  virtual bool matches(const Message& message) const {
+    (void)message;
+    return true;
+  }
+  /// Request-path hook; may mutate the message. When returning kRespond,
+  /// fill `*reply`.
+  virtual Outcome on_request(Message& message, Result<Value>* reply) = 0;
+  /// Reply-path hook (runs in reverse order for filters that matched).
+  virtual void on_reply(const Message& message, Result<Value>& reply) {
+    (void)message;
+    (void)reply;
+  }
+};
+
+/// Ordered filter chain, attachable to any connector.
+class FilterChain final : public connector::Interceptor {
+ public:
+  explicit FilterChain(std::string name);
+
+  /// Appends (or inserts at `position`) a filter. Names must be unique.
+  Status attach(std::shared_ptr<Filter> filter, std::size_t position = kEnd);
+  Status detach(const std::string& filter_name);
+  std::vector<std::string> filter_names() const;
+  std::size_t size() const { return filters_.size(); }
+
+  Verdict before(Message& request, Result<Value>* reply_out) override;
+  void after(const Message& request, Result<Value>& reply) override;
+  std::string name() const override { return name_; }
+
+  static constexpr std::size_t kEnd = ~std::size_t{0};
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<Filter>> filters_;
+};
+
+// --- concrete filter family ---------------------------------------------------
+
+/// Captures matching messages for introspection; never alters them.
+class LoggingFilter final : public Filter {
+ public:
+  explicit LoggingFilter(std::string name = "logging");
+  std::string name() const override { return name_; }
+  Outcome on_request(Message& message, Result<Value>* reply) override;
+  const std::vector<std::string>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> entries_;
+};
+
+/// Applies a user transformation to matching request payloads.
+class TransformFilter final : public Filter {
+ public:
+  using Transform = std::function<void(Value&)>;
+  TransformFilter(std::string name, Transform transform);
+  std::string name() const override { return name_; }
+  Outcome on_request(Message& message, Result<Value>* reply) override;
+
+ private:
+  std::string name_;
+  Transform transform_;
+};
+
+/// Blocks messages failing a predicate (an input guard).
+class GuardFilter final : public Filter {
+ public:
+  using Predicate = std::function<bool(const Message&)>;
+  GuardFilter(std::string name, Predicate allow);
+  std::string name() const override { return name_; }
+  Outcome on_request(Message& message, Result<Value>* reply) override;
+  std::uint64_t blocked() const { return blocked_; }
+
+ private:
+  std::string name_;
+  Predicate allow_;
+  std::uint64_t blocked_ = 0;
+};
+
+/// Selective wrapper: applies an inner filter only to chosen operations.
+class SelectiveFilter final : public Filter {
+ public:
+  SelectiveFilter(std::vector<std::string> operations,
+                  std::shared_ptr<Filter> inner);
+  std::string name() const override;
+  bool matches(const Message& message) const override;
+  Outcome on_request(Message& message, Result<Value>* reply) override;
+  void on_reply(const Message& message, Result<Value>& reply) override;
+
+ private:
+  std::vector<std::string> operations_;
+  std::shared_ptr<Filter> inner_;
+};
+
+/// Token-bucket rate limiter on the simulated clock.
+class RateLimitFilter final : public Filter {
+ public:
+  using Clock = std::function<util::SimTime()>;
+  RateLimitFilter(std::string name, double messages_per_second, double burst,
+                  Clock clock);
+  std::string name() const override { return name_; }
+  Outcome on_request(Message& message, Result<Value>* reply) override;
+  std::uint64_t throttled() const { return throttled_; }
+
+ private:
+  std::string name_;
+  double rate_;
+  double burst_;
+  Clock clock_;
+  double tokens_;
+  util::SimTime last_ = 0;
+  std::uint64_t throttled_ = 0;
+};
+
+/// Verifies per-channel sequence monotonicity; counts reorderings
+/// ("sequencing filters may require specific order", §2).
+class SequencingFilter final : public Filter {
+ public:
+  explicit SequencingFilter(std::string name = "sequencing");
+  std::string name() const override { return name_; }
+  Outcome on_request(Message& message, Result<Value>* reply) override;
+  std::uint64_t reordered() const { return reordered_; }
+
+ private:
+  std::string name_;
+  std::uint64_t last_sequence_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+/// Stamps a header on the request and strips it from replies (a minimal
+/// "meta" filter used to verify reply-path traversal).
+class TagFilter final : public Filter {
+ public:
+  TagFilter(std::string name, std::string key, Value value);
+  std::string name() const override { return name_; }
+  Outcome on_request(Message& message, Result<Value>* reply) override;
+  void on_reply(const Message& message, Result<Value>& reply) override;
+  std::uint64_t tagged() const { return tagged_; }
+
+ private:
+  std::string name_;
+  std::string key_;
+  Value value_;
+  std::uint64_t tagged_ = 0;
+};
+
+}  // namespace aars::adapt

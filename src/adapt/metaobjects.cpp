@@ -1,0 +1,175 @@
+#include "adapt/metaobjects.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace aars::adapt {
+
+using util::Error;
+using util::ErrorCode;
+
+MetaObject::MetaObject(std::string name, WrapperKind kind, int priority)
+    : name_(std::move(name)), kind_(kind), priority_(priority) {}
+
+LambdaMetaObject::LambdaMetaObject(std::string name, WrapperKind kind,
+                                   int priority, Body body)
+    : MetaObject(std::move(name), kind, priority), body_(std::move(body)) {
+  util::require(static_cast<bool>(body_), "meta-object body required");
+}
+
+Result<Value> LambdaMetaObject::invoke(Message& message, const Next& next) {
+  return body_(message, next);
+}
+
+MetaObjectChain::MetaObjectChain(
+    std::vector<std::shared_ptr<MetaObject>> ordered, Terminal terminal)
+    : ordered_(std::move(ordered)), terminal_(std::move(terminal)) {}
+
+util::Result<MetaObjectChain> MetaObjectChain::compose(
+    std::vector<std::shared_ptr<MetaObject>> objects,
+    std::vector<OrderConstraint> constraints, Terminal terminal) {
+  util::require(static_cast<bool>(terminal), "terminal handler required");
+  // Validate names and exclusivity.
+  std::set<std::string> names;
+  std::map<std::string, std::string> exclusive_groups;  // group -> holder
+  for (const auto& obj : objects) {
+    util::require(obj != nullptr, "null meta-object");
+    if (!names.insert(obj->name()).second) {
+      return Error{ErrorCode::kAlreadyExists,
+                   "duplicate meta-object '" + obj->name() + "'"};
+    }
+    if (obj->kind() == WrapperKind::kExclusive) {
+      const std::string group =
+          obj->group().empty() ? "<default>" : obj->group();
+      auto [it, inserted] = exclusive_groups.emplace(group, obj->name());
+      if (!inserted) {
+        return Error{ErrorCode::kIncompatible,
+                     "exclusive meta-objects '" + it->second + "' and '" +
+                         obj->name() + "' share group '" + group + "'"};
+      }
+    }
+  }
+  for (const OrderConstraint& c : constraints) {
+    if (!names.count(c.earlier) || !names.count(c.later)) {
+      return Error{ErrorCode::kNotFound,
+                   "constraint references unknown meta-object ('" +
+                       c.earlier + "' before '" + c.later + "')"};
+    }
+  }
+
+  // Base order: priority, then declaration order (stable).
+  std::vector<std::shared_ptr<MetaObject>> base = objects;
+  std::stable_sort(base.begin(), base.end(),
+                   [](const auto& a, const auto& b) {
+                     return a->priority() < b->priority();
+                   });
+
+  // Apply explicit constraints with a topological sort seeded by the base
+  // order (Kahn's algorithm; ties resolved by base position).
+  std::map<std::string, std::size_t> base_pos;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base_pos[base[i]->name()] = i;
+  }
+  std::map<std::string, std::set<std::string>> successors;
+  std::map<std::string, std::size_t> indegree;
+  for (const auto& obj : base) indegree[obj->name()] = 0;
+  for (const OrderConstraint& c : constraints) {
+    if (successors[c.earlier].insert(c.later).second) {
+      ++indegree[c.later];
+    }
+  }
+  std::vector<std::shared_ptr<MetaObject>> ordered;
+  std::set<std::pair<std::size_t, std::string>> ready;
+  for (const auto& obj : base) {
+    if (indegree[obj->name()] == 0) {
+      ready.emplace(base_pos[obj->name()], obj->name());
+    }
+  }
+  std::map<std::string, std::shared_ptr<MetaObject>> by_name;
+  for (const auto& obj : base) by_name[obj->name()] = obj;
+  while (!ready.empty()) {
+    const auto [pos, name] = *ready.begin();
+    ready.erase(ready.begin());
+    ordered.push_back(by_name[name]);
+    for (const std::string& next : successors[name]) {
+      if (--indegree[next] == 0) {
+        ready.emplace(base_pos[next], next);
+      }
+    }
+  }
+  if (ordered.size() != base.size()) {
+    return Error{ErrorCode::kCycleDetected,
+                 "ordering constraints contain a cycle"};
+  }
+  return MetaObjectChain(std::move(ordered), std::move(terminal));
+}
+
+Result<Value> MetaObjectChain::invoke(Message& message) const {
+  // Build the chain-of-responsibility from the tail up.
+  std::function<Result<Value>(Message&, std::size_t)> run =
+      [this, &run](Message& msg, std::size_t index) -> Result<Value> {
+    if (index >= ordered_.size()) return terminal_(msg);
+    const auto& object = ordered_[index];
+    if (object->kind() == WrapperKind::kConditional &&
+        !object->applies(msg)) {
+      return run(msg, index + 1);
+    }
+    return object->invoke(
+        msg, [&run, index](Message& inner) { return run(inner, index + 1); });
+  };
+  return run(message, 0);
+}
+
+std::vector<std::string> MetaObjectChain::order() const {
+  std::vector<std::string> out;
+  out.reserve(ordered_.size());
+  for (const auto& obj : ordered_) out.push_back(obj->name());
+  return out;
+}
+
+ChainController::Step ChainController::sequence(std::vector<Step> steps) {
+  util::require(!steps.empty(), "sequence needs at least one step");
+  return [steps = std::move(steps)](Message& message) -> Result<Value> {
+    Result<Value> last = Value{};
+    for (const Step& step : steps) {
+      last = step(message);
+      if (!last.ok()) return last;
+    }
+    return last;
+  };
+}
+
+ChainController::Step ChainController::branch(
+    std::function<bool(const Message&)> predicate, Step when_true,
+    Step when_false) {
+  util::require(static_cast<bool>(predicate), "predicate required");
+  return [predicate = std::move(predicate), when_true = std::move(when_true),
+          when_false = std::move(when_false)](Message& message) {
+    return predicate(message) ? when_true(message) : when_false(message);
+  };
+}
+
+ChainController::Step ChainController::retry(Step step, std::size_t attempts) {
+  util::require(attempts >= 1, "retry needs at least one attempt");
+  return [step = std::move(step), attempts](Message& message) {
+    Result<Value> last = Error{ErrorCode::kInternal, "unreached"};
+    for (std::size_t i = 0; i < attempts; ++i) {
+      last = step(message);
+      if (last.ok()) return last;
+    }
+    return last;
+  };
+}
+
+ChainController::Step ChainController::lift(std::shared_ptr<MetaObject> object,
+                                            Step next) {
+  util::require(object != nullptr, "meta-object required");
+  return [object = std::move(object), next = std::move(next)](
+             Message& message) {
+    return object->invoke(message,
+                          [&next](Message& inner) { return next(inner); });
+  };
+}
+
+}  // namespace aars::adapt

@@ -1,0 +1,144 @@
+// Interaction patterns: composable meta-object chains.
+//
+// "Interaction patterns are used to chain meta-objects so that
+// meta-controllers can be composed. This requires specification of the
+// partially ordered relations among meta-objects (priority, order of the
+// declaration). Runtime composition needs detailed knowledge of ... the
+// important properties of the wrappers (conditional, mandatory, exclusive,
+// modificatory)" (§2, [Pawl99]).  [Blay02] adds "more control structures so
+// that composition of calls can be managed in any order" — provided here by
+// ChainController.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "component/message.h"
+#include "util/errors.h"
+
+namespace aars::adapt {
+
+using component::Message;
+using util::Result;
+using util::Status;
+using util::Value;
+
+/// Wrapper properties declared per meta-object.
+enum class WrapperKind {
+  kConditional,   // may be skipped when its condition is false
+  kMandatory,     // must appear in every composed chain
+  kExclusive,     // at most one per exclusion group
+  kModificatory,  // rewrites the message (affects ordering constraints)
+};
+
+constexpr const char* to_string(WrapperKind k) {
+  switch (k) {
+    case WrapperKind::kConditional: return "conditional";
+    case WrapperKind::kMandatory: return "mandatory";
+    case WrapperKind::kExclusive: return "exclusive";
+    case WrapperKind::kModificatory: return "modificatory";
+  }
+  return "?";
+}
+
+/// A meta-object: one link of the chain-of-responsibility.
+class MetaObject {
+ public:
+  /// Invokes the rest of the chain.
+  using Next = std::function<Result<Value>(Message&)>;
+
+  MetaObject(std::string name, WrapperKind kind, int priority);
+  virtual ~MetaObject() = default;
+
+  const std::string& name() const { return name_; }
+  WrapperKind kind() const { return kind_; }
+  int priority() const { return priority_; }
+  /// Exclusion group (only meaningful for kExclusive).
+  const std::string& group() const { return group_; }
+  void set_group(std::string group) { group_ = std::move(group); }
+  /// Condition for kConditional wrappers; default: always applies.
+  virtual bool applies(const Message& message) const {
+    (void)message;
+    return true;
+  }
+  /// The wrapper body; must call `next` (possibly after rewriting) unless
+  /// it decides to answer directly.
+  virtual Result<Value> invoke(Message& message, const Next& next) = 0;
+
+ private:
+  std::string name_;
+  WrapperKind kind_;
+  int priority_;
+  std::string group_;
+};
+
+/// Functional meta-object for in-place definitions.
+class LambdaMetaObject final : public MetaObject {
+ public:
+  using Body = std::function<Result<Value>(Message&, const MetaObject::Next&)>;
+  LambdaMetaObject(std::string name, WrapperKind kind, int priority,
+                   Body body);
+  Result<Value> invoke(Message& message, const Next& next) override;
+
+ private:
+  Body body_;
+};
+
+/// A validated, ordered chain of meta-objects around a terminal handler.
+class MetaObjectChain {
+ public:
+  using Terminal = std::function<Result<Value>(Message&)>;
+
+  /// Declares that `earlier` must run before `later` (a partial-order
+  /// constraint in addition to priorities).
+  struct OrderConstraint {
+    std::string earlier;
+    std::string later;
+  };
+
+  /// Composes and validates:
+  ///  * duplicate names are rejected,
+  ///  * two kExclusive objects sharing a group are rejected,
+  ///  * ordering = priority, then declaration order, then constraints;
+  ///    contradictory constraints (a cycle) are rejected with
+  ///    kCycleDetected.
+  static util::Result<MetaObjectChain> compose(
+      std::vector<std::shared_ptr<MetaObject>> objects,
+      std::vector<OrderConstraint> constraints, Terminal terminal);
+
+  /// Runs the message through the chain (conditional wrappers whose
+  /// condition fails are skipped) down to the terminal handler.
+  Result<Value> invoke(Message& message) const;
+
+  std::vector<std::string> order() const;
+  std::size_t size() const { return ordered_.size(); }
+
+ private:
+  MetaObjectChain(std::vector<std::shared_ptr<MetaObject>> ordered,
+                  Terminal terminal);
+
+  std::vector<std::shared_ptr<MetaObject>> ordered_;
+  Terminal terminal_;
+};
+
+/// Blay02-style controller: explicit control structures over meta-object
+/// invocations, freeing composition from the fixed chain order.
+class ChainController {
+ public:
+  using Step = std::function<Result<Value>(Message&)>;
+
+  /// Runs steps in sequence; the last step's result wins. Any error stops
+  /// the sequence.
+  static Step sequence(std::vector<Step> steps);
+  /// Chooses a branch by predicate.
+  static Step branch(std::function<bool(const Message&)> predicate,
+                     Step when_true, Step when_false);
+  /// Retries `step` up to `attempts` times while it returns an error.
+  static Step retry(Step step, std::size_t attempts);
+  /// Lifts a meta-object (with terminal `next`) into a Step.
+  static Step lift(std::shared_ptr<MetaObject> object, Step next);
+};
+
+}  // namespace aars::adapt

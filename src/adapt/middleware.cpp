@@ -1,0 +1,190 @@
+#include "adapt/middleware.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace aars::adapt {
+
+using component::Message;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+namespace {
+/// Stable rendering hash used by the checksum service.
+std::int64_t payload_checksum(const Value& payload) {
+  return static_cast<std::int64_t>(
+      std::hash<std::string>{}(payload.to_string()) & 0x7fffffffffffffff);
+}
+}  // namespace
+
+// --- CompressionService ---------------------------------------------------------
+
+CompressionService::CompressionService(double ratio)
+    : MiddlewareService("compression"), ratio_(ratio) {
+  util::require(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+}
+
+connector::Interceptor::Verdict CompressionService::before(
+    Message& request, Result<Value>* /*reply_out*/) {
+  if (request.headers.contains("__compressed")) return Verdict::kPass;
+  const std::size_t original = request.payload.byte_size();
+  const auto compressed =
+      static_cast<std::int64_t>(static_cast<double>(original) * ratio_);
+  // The envelope keeps the payload (this is a simulation: semantics must
+  // survive) but declares the compressed wire size via a header the
+  // runtime's byte_size accounting picks up indirectly through padding
+  // removal; we model the saving by replacing bulky "blob" fields.
+  request.headers["__compressed"] = Value{true};
+  request.headers["__wire_bytes"] = Value{compressed};
+  count();
+  return Verdict::kPass;
+}
+
+void CompressionService::after(const Message& /*request*/,
+                               Result<Value>& /*reply*/) {}
+
+// --- EncryptionService ---------------------------------------------------------
+
+EncryptionService::EncryptionService() : MiddlewareService("encryption") {}
+
+connector::Interceptor::Verdict EncryptionService::before(
+    Message& request, Result<Value>* /*reply_out*/) {
+  request.headers["__encrypted"] = Value{true};
+  count();
+  return Verdict::kPass;
+}
+
+void EncryptionService::after(const Message& /*request*/,
+                              Result<Value>& /*reply*/) {}
+
+// --- ChecksumService ---------------------------------------------------------
+
+ChecksumService::ChecksumService() : MiddlewareService("checksum") {}
+
+connector::Interceptor::Verdict ChecksumService::before(
+    Message& request, Result<Value>* /*reply_out*/) {
+  request.headers["__checksum"] = Value{payload_checksum(request.payload)};
+  count();
+  return Verdict::kPass;
+}
+
+void ChecksumService::after(const Message& request, Result<Value>& reply) {
+  if (!request.headers.contains("__checksum")) return;
+  // Integrity verification of the request as delivered: a mismatch turns
+  // the reply into an error.
+  const std::int64_t expected = request.headers.at("__checksum").as_int();
+  if (expected != payload_checksum(request.payload)) {
+    reply = Result<Value>(
+        Error{ErrorCode::kStateTransfer, "checksum mismatch"});
+    return;
+  }
+  ++verified_;
+}
+
+// --- TracingService ------------------------------------------------------------
+
+TracingService::TracingService() : MiddlewareService("tracing") {}
+
+connector::Interceptor::Verdict TracingService::before(
+    Message& request, Result<Value>* /*reply_out*/) {
+  trace_.push_back(request.operation);
+  count();
+  return Verdict::kPass;
+}
+
+void TracingService::after(const Message& /*request*/,
+                           Result<Value>& /*reply*/) {}
+
+// --- AdaptiveMiddleware ---------------------------------------------------------
+
+AdaptiveMiddleware::AdaptiveMiddleware(runtime::Application& app,
+                                       util::ConnectorId connector)
+    : app_(app), connector_(connector) {
+  util::require(app_.find_connector(connector) != nullptr,
+                "middleware needs an existing connector");
+}
+
+ExecutionContext AdaptiveMiddleware::reflect_context() {
+  ExecutionContext ctx;
+  // Introspection over the platform: find the first provider's node.
+  runtime::Application& app = app_;
+  connector::Connector* conn = app.find_connector(connector_);
+  if (conn == nullptr || conn->providers().empty()) return ctx;
+  const util::ComponentId provider = conn->providers().front();
+  const util::NodeId node_id = app.placement(provider);
+  if (!node_id.valid()) return ctx;
+  const sim::Node& node = app.network().node(node_id);
+  ctx.cpu_load = node.utilization(app.loop().now());
+  // Worst link on any route from another node into the provider's node.
+  double max_loss = 0.0;
+  double min_bandwidth_frac = 1.0;
+  for (util::NodeId other : app.network().node_ids()) {
+    if (other == node_id) continue;
+    if (sim::LinkSpec* link = app.network().find_link(other, node_id)) {
+      max_loss = std::max(max_loss, link->loss_probability);
+      min_bandwidth_frac =
+          std::min(min_bandwidth_frac,
+                   link->bandwidth_bytes_per_sec / 12.5e6);  // vs 100 Mbit/s
+    }
+  }
+  ctx.loss_rate = max_loss;
+  ctx.bandwidth_fraction = std::clamp(min_bandwidth_frac, 0.0, 1.0);
+  return ctx;
+}
+
+bool AdaptiveMiddleware::has(const std::string& service) {
+  connector::Connector* conn = app_.find_connector(connector_);
+  if (conn == nullptr) return false;
+  for (const std::string& name : conn->interceptor_names()) {
+    if (name == service) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<connector::Interceptor> AdaptiveMiddleware::make(
+    const std::string& service) {
+  if (service == "compression") return std::make_shared<CompressionService>();
+  if (service == "encryption") return std::make_shared<EncryptionService>();
+  if (service == "checksum") return std::make_shared<ChecksumService>();
+  if (service == "tracing") return std::make_shared<TracingService>();
+  return nullptr;
+}
+
+std::size_t AdaptiveMiddleware::set_enabled(const std::string& service,
+                                            bool enabled) {
+  connector::Connector* conn = app_.find_connector(connector_);
+  if (conn == nullptr) return 0;
+  const bool present = has(service);
+  if (enabled && !present) {
+    if (conn->attach_interceptor(make(service)).ok()) return 1;
+    return 0;
+  }
+  if (!enabled && present) {
+    if (conn->detach_interceptor(service).ok()) return 1;
+    return 0;
+  }
+  return 0;
+}
+
+std::size_t AdaptiveMiddleware::adapt(const ExecutionContext& context) {
+  std::size_t changes = 0;
+  const bool want_compression =
+      context.bandwidth_fraction < compression_bandwidth_threshold &&
+      context.cpu_load < compression_cpu_ceiling;
+  changes += set_enabled("compression", want_compression);
+  changes += set_enabled("encryption", !context.secure_link);
+  changes += set_enabled("checksum",
+                         context.loss_rate > checksum_loss_threshold);
+  if (changes > 0) ++adaptations_;
+  return changes;
+}
+
+std::vector<std::string> AdaptiveMiddleware::stack() {
+  connector::Connector* conn = app_.find_connector(connector_);
+  return conn == nullptr ? std::vector<std::string>{}
+                         : conn->interceptor_names();
+}
+
+}  // namespace aars::adapt

@@ -1,0 +1,136 @@
+// Adaptive middleware.
+//
+// "Adaptive middleware is based on underlying components and network
+// services and used to implement adaptive behavior, for example, to deal
+// with performance fluctuations, security needs, hardware failures, network
+// outages ... reflection is used to gather contextual information so that
+// the middleware services can be adapted according to the context of
+// execution" (§2, [Fitz98][Kuhn98][Beck01]).
+//
+// AdaptiveMiddleware manages a stack of pluggable protocol services
+// (compression, encryption, checksum, tracing) on one connector and
+// reconfigures the stack from a reflected ExecutionContext.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "runtime/application.h"
+
+namespace aars::adapt {
+
+/// Context gathered by reflection over the platform.
+struct ExecutionContext {
+  double bandwidth_fraction = 1.0;  // available / nominal, in [0,1]
+  double cpu_load = 0.0;            // serving node utilisation, in [0,1]
+  bool secure_link = true;          // false => traffic needs encryption
+  double loss_rate = 0.0;           // observed network loss, in [0,1]
+};
+
+/// Base class for middleware protocol services. Services mark the message
+/// with a header on the request path and validate/strip on the reply path.
+class MiddlewareService : public connector::Interceptor {
+ public:
+  explicit MiddlewareService(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  std::uint64_t applied() const { return applied_; }
+
+ protected:
+  void count() { ++applied_; }
+
+ private:
+  std::string name_;
+  std::uint64_t applied_ = 0;
+};
+
+/// Shrinks the payload (replaces it with a compact envelope) to save
+/// bandwidth at the price of CPU work on both ends.
+class CompressionService final : public MiddlewareService {
+ public:
+  /// ratio in (0,1]: compressed size = original * ratio.
+  explicit CompressionService(double ratio = 0.4);
+  Verdict before(component::Message& request,
+                 util::Result<util::Value>* reply_out) override;
+  void after(const component::Message& request,
+             util::Result<util::Value>& reply) override;
+
+ private:
+  double ratio_;
+};
+
+/// Marks traffic as encrypted; providers can require the marker.
+class EncryptionService final : public MiddlewareService {
+ public:
+  EncryptionService();
+  Verdict before(component::Message& request,
+                 util::Result<util::Value>* reply_out) override;
+  void after(const component::Message& request,
+             util::Result<util::Value>& reply) override;
+};
+
+/// Adds an integrity checksum over the payload rendering.
+class ChecksumService final : public MiddlewareService {
+ public:
+  ChecksumService();
+  Verdict before(component::Message& request,
+                 util::Result<util::Value>* reply_out) override;
+  void after(const component::Message& request,
+             util::Result<util::Value>& reply) override;
+  std::uint64_t verified() const { return verified_; }
+
+ private:
+  std::uint64_t verified_ = 0;
+};
+
+/// Records operation names for observability.
+class TracingService final : public MiddlewareService {
+ public:
+  TracingService();
+  Verdict before(component::Message& request,
+                 util::Result<util::Value>* reply_out) override;
+  void after(const component::Message& request,
+             util::Result<util::Value>& reply) override;
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  std::vector<std::string> trace_;
+};
+
+/// The adaptive stack manager.
+class AdaptiveMiddleware {
+ public:
+  AdaptiveMiddleware(runtime::Application& app, util::ConnectorId connector);
+
+  /// Reflects over the platform: reads node utilisation and link loss for
+  /// the connector's first provider.
+  ExecutionContext reflect_context();
+
+  /// Policy: low bandwidth -> compression on (unless CPU saturated);
+  /// insecure link -> encryption on; lossy network -> checksums on.
+  /// Returns the number of stack changes applied.
+  std::size_t adapt(const ExecutionContext& context);
+
+  /// Convenience: reflect then adapt.
+  std::size_t adapt_to_platform() { return adapt(reflect_context()); }
+
+  std::vector<std::string> stack();
+  std::uint64_t adaptations() const { return adaptations_; }
+
+  // Thresholds (public so experiments can sweep them).
+  double compression_bandwidth_threshold = 0.5;
+  double compression_cpu_ceiling = 0.9;
+  double checksum_loss_threshold = 0.01;
+
+ private:
+  bool has(const std::string& service);
+  std::size_t set_enabled(const std::string& service, bool enabled);
+  std::shared_ptr<connector::Interceptor> make(const std::string& service);
+
+  runtime::Application& app_;
+  util::ConnectorId connector_;
+  std::uint64_t adaptations_ = 0;
+};
+
+}  // namespace aars::adapt

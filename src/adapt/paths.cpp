@@ -1,0 +1,118 @@
+#include "adapt/paths.h"
+
+namespace aars::adapt {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+CompositionPath::CompositionPath(runtime::Application& app, std::string name)
+    : app_(app), name_(std::move(name)) {}
+
+Status CompositionPath::add_stage(const std::string& stage) {
+  if (frozen_) {
+    return Error{ErrorCode::kInvalidArgument,
+                 name_ + ": path is frozen; stages cannot be added"};
+  }
+  if (find_stage(stage) != nullptr) {
+    return Error{ErrorCode::kAlreadyExists,
+                 name_ + ": stage '" + stage + "' exists"};
+  }
+  stages_.push_back(Stage{stage, {}, ""});
+  return Status::success();
+}
+
+std::vector<std::string> CompositionPath::stages() const {
+  std::vector<std::string> out;
+  out.reserve(stages_.size());
+  for (const Stage& s : stages_) out.push_back(s.name);
+  return out;
+}
+
+CompositionPath::Stage* CompositionPath::find_stage(const std::string& name) {
+  for (Stage& s : stages_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const CompositionPath::Stage* CompositionPath::find_stage(
+    const std::string& name) const {
+  for (const Stage& s : stages_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Status CompositionPath::add_alternative(const std::string& stage,
+                                        const std::string& alt_name,
+                                        Alternative alt) {
+  Stage* s = find_stage(stage);
+  if (s == nullptr) {
+    return Error{ErrorCode::kNotFound, name_ + ": no stage '" + stage + "'"};
+  }
+  if (s->alternatives.count(alt_name)) {
+    return Error{ErrorCode::kAlreadyExists,
+                 name_ + ": alternative '" + alt_name + "' exists"};
+  }
+  s->alternatives.emplace(alt_name, alt);
+  if (s->active.empty()) s->active = alt_name;
+  return Status::success();
+}
+
+Status CompositionPath::select(const std::string& stage,
+                               const std::string& alt_name) {
+  Stage* s = find_stage(stage);
+  if (s == nullptr) {
+    return Error{ErrorCode::kNotFound, name_ + ": no stage '" + stage + "'"};
+  }
+  if (!s->alternatives.count(alt_name)) {
+    return Error{ErrorCode::kNotFound,
+                 name_ + ": no alternative '" + alt_name + "' in stage '" +
+                     stage + "'"};
+  }
+  s->active = alt_name;
+  return Status::success();
+}
+
+Result<std::string> CompositionPath::selected(const std::string& stage) const {
+  const Stage* s = find_stage(stage);
+  if (s == nullptr) {
+    return Error{ErrorCode::kNotFound, name_ + ": no stage '" + stage + "'"};
+  }
+  if (s->active.empty()) {
+    return Error{ErrorCode::kUnavailable,
+                 name_ + ": stage '" + stage + "' has no alternative"};
+  }
+  return s->active;
+}
+
+Result<Value> CompositionPath::execute(const Value& input,
+                                       util::NodeId origin) {
+  if (stages_.empty()) {
+    return Error{ErrorCode::kInvalidArgument, name_ + ": path has no stages"};
+  }
+  ++executions_;
+  Value data = input;
+  for (const Stage& stage : stages_) {
+    if (stage.active.empty()) {
+      return Error{ErrorCode::kUnavailable,
+                   name_ + ": stage '" + stage.name + "' unselected"};
+    }
+    const Alternative& alt = stage.alternatives.at(stage.active);
+    runtime::Application::CallOutcome outcome = app_.invoke_sync(
+        alt.connector, alt.operation, Value::object({{"data", data}}),
+        origin);
+    if (!outcome.result.ok()) {
+      return Error{outcome.result.error().code(),
+                   name_ + ": stage '" + stage.name + "' failed: " +
+                       outcome.result.error().message()};
+    }
+    data = std::move(outcome.result).value();
+  }
+  return data;
+}
+
+}  // namespace aars::adapt

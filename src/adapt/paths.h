@@ -1,0 +1,76 @@
+// Composition paths.
+//
+// "Composition paths are used to select the elementary services that are
+// incorporated within the families of services. The selection is specified
+// according to a predefined path (extraction, coding and transferring
+// infrastructure for video service) ... The stages of composition paths,
+// however, are frozen and there is no way to consider new steps
+// dynamically" (§2, [Hong01]).
+//
+// A CompositionPath is an ordered sequence of stages; each stage has a set
+// of interchangeable alternatives (connector + operation).  Alternatives
+// can be added and selected at any time, but once the path is frozen the
+// *stage structure* cannot change — attempting to add a stage returns an
+// error, deliberately mirroring the limitation the paper calls out.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/application.h"
+
+namespace aars::adapt {
+
+class CompositionPath {
+ public:
+  struct Alternative {
+    util::ConnectorId connector;
+    std::string operation;
+  };
+
+  CompositionPath(runtime::Application& app, std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a stage; only valid before freeze().
+  util::Status add_stage(const std::string& stage);
+  /// Freezes the stage structure.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+  std::vector<std::string> stages() const;
+
+  /// Registers an alternative for a stage (allowed after freeze: only the
+  /// stage list is frozen, not the service selection).
+  util::Status add_alternative(const std::string& stage,
+                               const std::string& alt_name, Alternative alt);
+  /// Selects which alternative serves a stage.
+  util::Status select(const std::string& stage, const std::string& alt_name);
+  util::Result<std::string> selected(const std::string& stage) const;
+
+  /// Runs the pipeline: stage k receives {"data": <output of k-1>}; the
+  /// initial stage receives {"data": input}. Fails on the first stage
+  /// error.
+  util::Result<util::Value> execute(const util::Value& input,
+                                    util::NodeId origin);
+
+  std::uint64_t executions() const { return executions_; }
+
+ private:
+  struct Stage {
+    std::string name;
+    std::map<std::string, Alternative> alternatives;
+    std::string active;
+  };
+
+  Stage* find_stage(const std::string& name);
+  const Stage* find_stage(const std::string& name) const;
+
+  runtime::Application& app_;
+  std::string name_;
+  bool frozen_ = false;
+  std::vector<Stage> stages_;
+  std::uint64_t executions_ = 0;
+};
+
+}  // namespace aars::adapt

@@ -1,0 +1,166 @@
+#include "adapt/slots.h"
+
+namespace aars::adapt {
+
+using connector::ConnectorSpec;
+using connector::RoutingPolicy;
+using util::ComponentId;
+using util::ConnectorId;
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+CompositionFramework::CompositionFramework(runtime::Application& app)
+    : app_(app) {}
+
+Status CompositionFramework::add_slot(
+    const std::string& slot, component::InterfaceDescription family) {
+  if (component_slots_.count(slot)) {
+    return Error{ErrorCode::kAlreadyExists, "slot '" + slot + "' exists"};
+  }
+  ConnectorSpec spec;
+  spec.name = "slot_" + slot;
+  spec.routing = RoutingPolicy::kDirect;
+  util::Result<ConnectorId> created = app_.create_connector(spec);
+  if (!created.ok()) return created.error();
+  component_slots_.emplace(
+      slot, ComponentSlot{std::move(family), created.value(),
+                          ComponentId::invalid()});
+  return Status::success();
+}
+
+Status CompositionFramework::plug(const std::string& slot,
+                                  ComponentId component) {
+  auto it = component_slots_.find(slot);
+  if (it == component_slots_.end()) {
+    return Error{ErrorCode::kNotFound, "no slot '" + slot + "'"};
+  }
+  const component::Component* comp = app_.find_component(component);
+  if (comp == nullptr) {
+    return Error{ErrorCode::kNotFound, "no such component"};
+  }
+  // Family compliance: the electronic-card shape check.
+  if (Status s = comp->provided().satisfies(it->second.family); !s.ok()) {
+    return Error{ErrorCode::kIncompatible,
+                 "slot '" + slot + "': " + s.error().message()};
+  }
+  if (it->second.occupant.valid()) {
+    if (Status s = app_.remove_provider(it->second.connector,
+                                        it->second.occupant);
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (Status s = app_.add_provider(it->second.connector, component); !s.ok()) {
+    // Restore the previous occupant on failure.
+    if (it->second.occupant.valid()) {
+      (void)app_.add_provider(it->second.connector, it->second.occupant);
+    }
+    return s;
+  }
+  it->second.occupant = component;
+  return Status::success();
+}
+
+Status CompositionFramework::unplug(const std::string& slot) {
+  auto it = component_slots_.find(slot);
+  if (it == component_slots_.end()) {
+    return Error{ErrorCode::kNotFound, "no slot '" + slot + "'"};
+  }
+  if (!it->second.occupant.valid()) {
+    return Error{ErrorCode::kUnavailable, "slot '" + slot + "' is empty"};
+  }
+  if (Status s =
+          app_.remove_provider(it->second.connector, it->second.occupant);
+      !s.ok()) {
+    return s;
+  }
+  it->second.occupant = ComponentId::invalid();
+  return Status::success();
+}
+
+ComponentId CompositionFramework::plugged(const std::string& slot) const {
+  auto it = component_slots_.find(slot);
+  return it == component_slots_.end() ? ComponentId::invalid()
+                                      : it->second.occupant;
+}
+
+ConnectorId CompositionFramework::slot_connector(
+    const std::string& slot) const {
+  auto it = component_slots_.find(slot);
+  return it == component_slots_.end() ? ConnectorId::invalid()
+                                      : it->second.connector;
+}
+
+std::vector<std::string> CompositionFramework::slots() const {
+  std::vector<std::string> out;
+  out.reserve(component_slots_.size());
+  for (const auto& [name, slot] : component_slots_) out.push_back(name);
+  return out;
+}
+
+Status CompositionFramework::add_aspect_slot(const std::string& slot,
+                                             ConnectorId connector) {
+  if (aspect_slots_.count(slot)) {
+    return Error{ErrorCode::kAlreadyExists,
+                 "aspect slot '" + slot + "' exists"};
+  }
+  if (app_.find_connector(connector) == nullptr) {
+    return Error{ErrorCode::kNotFound, "no such connector"};
+  }
+  aspect_slots_.emplace(slot, AspectSlot{connector, ""});
+  return Status::success();
+}
+
+Status CompositionFramework::plug_aspect(
+    const std::string& slot, std::shared_ptr<connector::Interceptor> aspect) {
+  auto it = aspect_slots_.find(slot);
+  if (it == aspect_slots_.end()) {
+    return Error{ErrorCode::kNotFound, "no aspect slot '" + slot + "'"};
+  }
+  connector::Connector* conn = app_.find_connector(it->second.connector);
+  if (conn == nullptr) {
+    return Error{ErrorCode::kNotFound, "slot connector removed"};
+  }
+  util::require(aspect != nullptr, "aspect required");
+  const std::string name = aspect->name();
+  if (!it->second.occupant_name.empty()) {
+    if (Status s = conn->detach_interceptor(it->second.occupant_name);
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (Status s = conn->attach_interceptor(std::move(aspect)); !s.ok()) {
+    return s;
+  }
+  it->second.occupant_name = name;
+  return Status::success();
+}
+
+Status CompositionFramework::unplug_aspect(const std::string& slot) {
+  auto it = aspect_slots_.find(slot);
+  if (it == aspect_slots_.end()) {
+    return Error{ErrorCode::kNotFound, "no aspect slot '" + slot + "'"};
+  }
+  if (it->second.occupant_name.empty()) {
+    return Error{ErrorCode::kUnavailable, "aspect slot '" + slot + "' empty"};
+  }
+  connector::Connector* conn = app_.find_connector(it->second.connector);
+  if (conn == nullptr) {
+    return Error{ErrorCode::kNotFound, "slot connector removed"};
+  }
+  if (Status s = conn->detach_interceptor(it->second.occupant_name); !s.ok()) {
+    return s;
+  }
+  it->second.occupant_name.clear();
+  return Status::success();
+}
+
+std::vector<std::string> CompositionFramework::aspect_slots() const {
+  std::vector<std::string> out;
+  out.reserve(aspect_slots_.size());
+  for (const auto& [name, slot] : aspect_slots_) out.push_back(name);
+  return out;
+}
+
+}  // namespace aars::adapt

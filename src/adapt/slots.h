@@ -1,0 +1,68 @@
+// Composition framework with pluggable slots.
+//
+// "Composition Frameworks, with pluggable components is similar to
+// electronic cards in a cabinet, where each slot is reserved to a component
+// of a predefined family with compliant specifications ... Composition
+// Frameworks allows interchanging components and aspects dynamically" (§2,
+// [Cons01]).
+//
+// A slot declares the interface family it accepts; plugging checks
+// compliance and rewires the slot's connector to the new component, so
+// callers bound to the slot observe the interchange transparently.  Aspect
+// slots do the same for interceptors on a connector.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "component/interface.h"
+#include "runtime/application.h"
+
+namespace aars::adapt {
+
+class CompositionFramework {
+ public:
+  explicit CompositionFramework(runtime::Application& app);
+
+  /// Declares a component slot accepting implementations of `family`.
+  /// Creates the slot's direct connector; callers bind to it once.
+  util::Status add_slot(const std::string& slot,
+                        component::InterfaceDescription family);
+  /// Plugs a component into a slot: compliance-checked interchange.
+  util::Status plug(const std::string& slot, util::ComponentId component);
+  /// Empties the slot (callers get kUnavailable until re-plugged).
+  util::Status unplug(const std::string& slot);
+  /// Currently plugged component (invalid id when empty).
+  util::ComponentId plugged(const std::string& slot) const;
+  /// The connector callers bind against.
+  util::ConnectorId slot_connector(const std::string& slot) const;
+  std::vector<std::string> slots() const;
+
+  /// Declares an aspect slot on a connector: a named interception point
+  /// whose occupant can be swapped dynamically.
+  util::Status add_aspect_slot(const std::string& slot,
+                               util::ConnectorId connector);
+  util::Status plug_aspect(const std::string& slot,
+                           std::shared_ptr<connector::Interceptor> aspect);
+  util::Status unplug_aspect(const std::string& slot);
+  std::vector<std::string> aspect_slots() const;
+
+ private:
+  struct ComponentSlot {
+    component::InterfaceDescription family;
+    util::ConnectorId connector;
+    util::ComponentId occupant;
+  };
+  struct AspectSlot {
+    util::ConnectorId connector;
+    std::string occupant_name;  // empty when unplugged
+  };
+
+  runtime::Application& app_;
+  std::map<std::string, ComponentSlot> component_slots_;
+  std::map<std::string, AspectSlot> aspect_slots_;
+};
+
+}  // namespace aars::adapt

@@ -1,0 +1,84 @@
+// The Strategy pattern with run-time switching.
+//
+// "The Strategy pattern is commonly used to implement dynamically changing
+// algorithms ... This pattern separates alternative algorithms that are to
+// be changed from the adaptation mechanism that implements the change" (§2).
+// StrategyRegistry holds the alternatives; switching is O(1) and fires
+// observer hooks so the meta-level can audit adaptations.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace aars::adapt {
+
+template <typename Signature>
+class StrategyRegistry;
+
+template <typename R, typename... Args>
+class StrategyRegistry<R(Args...)> {
+ public:
+  using Strategy = std::function<R(Args...)>;
+  using SwitchHook =
+      std::function<void(const std::string& from, const std::string& to)>;
+
+  /// Registers an alternative; the first registration becomes active.
+  util::Status register_strategy(const std::string& name, Strategy strategy) {
+    util::require(static_cast<bool>(strategy), "strategy must be callable");
+    if (strategies_.count(name)) {
+      return util::Error{util::ErrorCode::kAlreadyExists,
+                         "strategy '" + name + "' already registered"};
+    }
+    strategies_.emplace(name, std::move(strategy));
+    if (active_.empty()) active_ = name;
+    return util::Status::success();
+  }
+
+  /// Switches the active algorithm; hooks observe the change.
+  util::Status select(const std::string& name) {
+    auto it = strategies_.find(name);
+    if (it == strategies_.end()) {
+      return util::Error{util::ErrorCode::kNotFound,
+                         "no strategy '" + name + "'"};
+    }
+    if (name != active_) {
+      const std::string previous = active_;
+      active_ = name;
+      ++switches_;
+      for (const SwitchHook& hook : hooks_) hook(previous, name);
+    }
+    return util::Status::success();
+  }
+
+  const std::string& active() const { return active_; }
+  std::size_t size() const { return strategies_.size(); }
+  std::uint64_t switches() const { return switches_; }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(strategies_.size());
+    for (const auto& [name, s] : strategies_) out.push_back(name);
+    return out;
+  }
+
+  void on_switch(SwitchHook hook) { hooks_.push_back(std::move(hook)); }
+
+  /// Invokes the active strategy. Precondition: at least one registered.
+  R invoke(Args... args) {
+    auto it = strategies_.find(active_);
+    util::require(it != strategies_.end(), "no active strategy");
+    return it->second(std::forward<Args>(args)...);
+  }
+
+ private:
+  std::map<std::string, Strategy> strategies_;
+  std::string active_;
+  std::uint64_t switches_ = 0;
+  std::vector<SwitchHook> hooks_;
+};
+
+}  // namespace aars::adapt

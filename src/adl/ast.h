@@ -1,0 +1,135 @@
+// Abstract syntax of the AARS configuration language.
+//
+// The language follows the shape the paper attributes to Polylith and the
+// ADL family (§1): interface definitions, component types with provided and
+// required services, node/link topology, instances with placement, connector
+// declarations, and bindings between required ports and serving instances.
+//
+// Example:
+//
+//   interface Storage version 1 {
+//     service put(key: string, value: string) -> bool;
+//     service get(key: string) -> string;
+//   }
+//   component CacheServer provides Storage {
+//     requires backing: Storage;
+//     attribute capacity: int = 1024;
+//   }
+//   node edge { capacity 2000; }
+//   node core { capacity 8000; }
+//   link edge <-> core { latency 5ms; bandwidth 100mbps; }
+//   instance cache: CacheServer on edge { capacity = 4096; }
+//   instance store: DiskStore on core;
+//   connector c0 { routing direct; delivery sync; }
+//   bind cache.backing -> store via c0;
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/value.h"
+
+namespace aars::adl {
+
+/// Location of a construct in the source text (for diagnostics).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+struct AstParam {
+  std::string name;
+  std::string type;  // int|double|string|bool|list|map|any
+  bool optional = false;
+};
+
+struct AstService {
+  std::string name;
+  std::vector<AstParam> params;
+  std::string result_type = "any";
+  SourceLoc loc;
+};
+
+struct AstInterface {
+  std::string name;
+  int version = 1;
+  std::vector<AstService> services;
+  SourceLoc loc;
+};
+
+struct AstRequire {
+  std::string port;
+  std::string interface;
+  SourceLoc loc;
+};
+
+struct AstAttribute {
+  std::string name;
+  std::string type;
+  util::Value default_value;
+  SourceLoc loc;
+};
+
+struct AstComponent {
+  std::string name;
+  std::string provides;  // interface name; may be empty for pure clients
+  std::vector<AstRequire> requires_;
+  std::vector<AstAttribute> attributes;
+  SourceLoc loc;
+};
+
+struct AstNode {
+  std::string name;
+  double capacity = 1000.0;  // work units / second
+  SourceLoc loc;
+};
+
+struct AstLink {
+  std::string from;
+  std::string to;
+  bool duplex = false;
+  std::int64_t latency_us = 1000;
+  double bandwidth_bytes_per_sec = 12.5e6;
+  std::int64_t jitter_us = 0;
+  double loss = 0.0;
+  SourceLoc loc;
+};
+
+struct AstInstance {
+  std::string name;
+  std::string type;
+  std::string node;
+  std::vector<std::pair<std::string, util::Value>> attribute_overrides;
+  SourceLoc loc;
+};
+
+struct AstConnector {
+  std::string name;
+  std::string routing = "direct";   // direct|round_robin|broadcast|least_backlog
+  std::string delivery = "sync";    // sync|queued
+  std::int64_t capacity = 1024;
+  std::vector<std::string> aspects;
+  SourceLoc loc;
+};
+
+struct AstBinding {
+  std::string from_instance;
+  std::string from_port;
+  std::vector<std::string> to_instances;  // one or more providers
+  std::string via_connector;              // empty => implicit direct
+  SourceLoc loc;
+};
+
+/// A whole configuration unit.
+struct Configuration {
+  std::vector<AstInterface> interfaces;
+  std::vector<AstComponent> components;
+  std::vector<AstNode> nodes;
+  std::vector<AstLink> links;
+  std::vector<AstInstance> instances;
+  std::vector<AstConnector> connectors;
+  std::vector<AstBinding> bindings;
+};
+
+}  // namespace aars::adl

@@ -1,0 +1,38 @@
+// Tokeniser for the configuration language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adl/ast.h"
+#include "util/errors.h"
+
+namespace aars::adl {
+
+enum class TokenKind {
+  kIdentifier,  // foo, foo.bar
+  kInteger,     // 42 (after unit normalisation)
+  kFloat,       // 3.14
+  kString,      // "text"
+  kPunct,       // { } ( ) [ ] : ; , =
+  kArrow,       // ->
+  kDuplexArrow, // <->
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier/punct text or string contents
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  SourceLoc loc;
+};
+
+/// Tokenises `source`. Units on numbers are normalised:
+///   durations -> microseconds: us, ms, s
+///   rates     -> bytes/second: bps, kbps, mbps, gbps (decimal, bits input)
+/// Comments run from `//` to end of line.
+util::Result<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace aars::adl

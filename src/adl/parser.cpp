@@ -1,0 +1,431 @@
+#include "adl/parser.h"
+
+#include "adl/lexer.h"
+#include "util/strings.h"
+
+namespace aars::adl {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Configuration> run() {
+    Configuration config;
+    while (!at_end()) {
+      const Token& head = peek();
+      if (head.kind != TokenKind::kIdentifier) {
+        return fail("expected a declaration keyword");
+      }
+      util::Status status = Error{ErrorCode::kInternal, "unset"};
+      if (head.text == "interface") {
+        status = parse_interface(config);
+      } else if (head.text == "component") {
+        status = parse_component(config);
+      } else if (head.text == "node") {
+        status = parse_node(config);
+      } else if (head.text == "link") {
+        status = parse_link(config);
+      } else if (head.text == "instance") {
+        status = parse_instance(config);
+      } else if (head.text == "connector") {
+        status = parse_connector(config);
+      } else if (head.text == "bind") {
+        status = parse_binding(config);
+      } else {
+        return fail("unknown declaration '" + head.text + "'");
+      }
+      if (!status.ok()) return status.error();
+    }
+    return config;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool at_end() const { return peek().kind == TokenKind::kEnd; }
+
+  bool check_punct(const char* p) const {
+    return peek().kind == TokenKind::kPunct && peek().text == p;
+  }
+  bool match_punct(const char* p) {
+    if (!check_punct(p)) return false;
+    advance();
+    return true;
+  }
+  bool check_keyword(const char* kw) const {
+    return peek().kind == TokenKind::kIdentifier && peek().text == kw;
+  }
+  bool match_keyword(const char* kw) {
+    if (!check_keyword(kw)) return false;
+    advance();
+    return true;
+  }
+
+  Error fail(const std::string& what) const {
+    return Error{ErrorCode::kParseError,
+                 util::format("line %d: %s (near '%s')", peek().loc.line,
+                              what.c_str(), peek().text.c_str())};
+  }
+
+  util::Status expect_punct(const char* p) {
+    if (!match_punct(p)) return fail(std::string("expected '") + p + "'");
+    return util::Status::success();
+  }
+
+  Result<std::string> expect_identifier(const char* what) {
+    if (peek().kind != TokenKind::kIdentifier) {
+      return fail(std::string("expected ") + what);
+    }
+    return advance().text;
+  }
+
+  Result<Value> parse_literal() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        advance();
+        return Value{t.int_value};
+      case TokenKind::kFloat:
+        advance();
+        return Value{t.float_value};
+      case TokenKind::kString:
+        advance();
+        return Value{t.text};
+      case TokenKind::kIdentifier:
+        if (t.text == "true") {
+          advance();
+          return Value{true};
+        }
+        if (t.text == "false") {
+          advance();
+          return Value{false};
+        }
+        if (t.text == "null") {
+          advance();
+          return Value{};
+        }
+        return fail("expected a literal");
+      default:
+        return fail("expected a literal");
+    }
+  }
+
+  // interface Name [version N] { service name(p: type, ...) -> type; ... }
+  util::Status parse_interface(Configuration& config) {
+    AstInterface iface;
+    iface.loc = peek().loc;
+    advance();  // interface
+    auto name = expect_identifier("interface name");
+    if (!name.ok()) return name.error();
+    iface.name = name.value();
+    if (match_keyword("version")) {
+      if (peek().kind != TokenKind::kInteger) return fail("expected version");
+      iface.version = static_cast<int>(advance().int_value);
+    }
+    if (auto s = expect_punct("{"); !s.ok()) return s;
+    while (!check_punct("}")) {
+      if (!match_keyword("service")) return fail("expected 'service'");
+      AstService service;
+      service.loc = peek().loc;
+      auto sname = expect_identifier("service name");
+      if (!sname.ok()) return sname.error();
+      service.name = sname.value();
+      if (auto s = expect_punct("("); !s.ok()) return s;
+      while (!check_punct(")")) {
+        AstParam param;
+        if (match_keyword("optional")) param.optional = true;
+        auto pname = expect_identifier("parameter name");
+        if (!pname.ok()) return pname.error();
+        param.name = pname.value();
+        if (auto s = expect_punct(":"); !s.ok()) return s;
+        auto ptype = expect_identifier("parameter type");
+        if (!ptype.ok()) return ptype.error();
+        param.type = ptype.value();
+        service.params.push_back(std::move(param));
+        if (!match_punct(",")) break;
+      }
+      if (auto s = expect_punct(")"); !s.ok()) return s;
+      if (peek().kind == TokenKind::kArrow) {
+        advance();
+        auto rtype = expect_identifier("result type");
+        if (!rtype.ok()) return rtype.error();
+        service.result_type = rtype.value();
+      }
+      if (auto s = expect_punct(";"); !s.ok()) return s;
+      iface.services.push_back(std::move(service));
+    }
+    advance();  // }
+    config.interfaces.push_back(std::move(iface));
+    return util::Status::success();
+  }
+
+  // component Name [provides Iface] { requires port: Iface; attribute n: t = lit; }
+  util::Status parse_component(Configuration& config) {
+    AstComponent comp;
+    comp.loc = peek().loc;
+    advance();  // component
+    auto name = expect_identifier("component name");
+    if (!name.ok()) return name.error();
+    comp.name = name.value();
+    if (match_keyword("provides")) {
+      auto iface = expect_identifier("provided interface");
+      if (!iface.ok()) return iface.error();
+      comp.provides = iface.value();
+    }
+    if (match_punct(";")) {
+      config.components.push_back(std::move(comp));
+      return util::Status::success();
+    }
+    if (auto s = expect_punct("{"); !s.ok()) return s;
+    while (!check_punct("}")) {
+      if (match_keyword("requires")) {
+        AstRequire req;
+        req.loc = peek().loc;
+        auto port = expect_identifier("port name");
+        if (!port.ok()) return port.error();
+        req.port = port.value();
+        if (auto s = expect_punct(":"); !s.ok()) return s;
+        auto iface = expect_identifier("required interface");
+        if (!iface.ok()) return iface.error();
+        req.interface = iface.value();
+        if (auto s = expect_punct(";"); !s.ok()) return s;
+        comp.requires_.push_back(std::move(req));
+      } else if (match_keyword("attribute")) {
+        AstAttribute attr;
+        attr.loc = peek().loc;
+        auto aname = expect_identifier("attribute name");
+        if (!aname.ok()) return aname.error();
+        attr.name = aname.value();
+        if (auto s = expect_punct(":"); !s.ok()) return s;
+        auto atype = expect_identifier("attribute type");
+        if (!atype.ok()) return atype.error();
+        attr.type = atype.value();
+        if (match_punct("=")) {
+          auto lit = parse_literal();
+          if (!lit.ok()) return lit.error();
+          attr.default_value = lit.value();
+        }
+        if (auto s = expect_punct(";"); !s.ok()) return s;
+        comp.attributes.push_back(std::move(attr));
+      } else {
+        return fail("expected 'requires' or 'attribute'");
+      }
+    }
+    advance();  // }
+    config.components.push_back(std::move(comp));
+    return util::Status::success();
+  }
+
+  // node Name { capacity N; }
+  util::Status parse_node(Configuration& config) {
+    AstNode node;
+    node.loc = peek().loc;
+    advance();  // node
+    auto name = expect_identifier("node name");
+    if (!name.ok()) return name.error();
+    node.name = name.value();
+    if (auto s = expect_punct("{"); !s.ok()) return s;
+    while (!check_punct("}")) {
+      if (match_keyword("capacity")) {
+        if (peek().kind != TokenKind::kInteger &&
+            peek().kind != TokenKind::kFloat) {
+          return fail("expected capacity value");
+        }
+        node.capacity = advance().float_value;
+        if (node.capacity <= 0) return fail("capacity must be positive");
+        if (auto s = expect_punct(";"); !s.ok()) return s;
+      } else {
+        return fail("expected 'capacity'");
+      }
+    }
+    advance();  // }
+    config.nodes.push_back(std::move(node));
+    return util::Status::success();
+  }
+
+  // link A -> B { latency 5ms; bandwidth 100mbps; jitter 1ms; loss 0.01; }
+  util::Status parse_link(Configuration& config) {
+    AstLink link;
+    link.loc = peek().loc;
+    advance();  // link
+    auto from = expect_identifier("link source node");
+    if (!from.ok()) return from.error();
+    link.from = from.value();
+    if (peek().kind == TokenKind::kArrow) {
+      advance();
+    } else if (peek().kind == TokenKind::kDuplexArrow) {
+      link.duplex = true;
+      advance();
+    } else {
+      return fail("expected '->' or '<->'");
+    }
+    auto to = expect_identifier("link target node");
+    if (!to.ok()) return to.error();
+    link.to = to.value();
+    if (auto s = expect_punct("{"); !s.ok()) return s;
+    while (!check_punct("}")) {
+      auto prop = expect_identifier("link property");
+      if (!prop.ok()) return prop.error();
+      if (peek().kind != TokenKind::kInteger &&
+          peek().kind != TokenKind::kFloat) {
+        return fail("expected a numeric value");
+      }
+      const Token value = advance();
+      if (prop.value() == "latency") {
+        link.latency_us = value.kind == TokenKind::kInteger
+                              ? value.int_value
+                              : static_cast<std::int64_t>(value.float_value);
+      } else if (prop.value() == "bandwidth") {
+        link.bandwidth_bytes_per_sec = value.float_value;
+      } else if (prop.value() == "jitter") {
+        link.jitter_us = value.kind == TokenKind::kInteger
+                             ? value.int_value
+                             : static_cast<std::int64_t>(value.float_value);
+      } else if (prop.value() == "loss") {
+        link.loss = value.float_value;
+        if (link.loss < 0.0 || link.loss > 1.0) {
+          return fail("loss must be in [0,1]");
+        }
+      } else {
+        return fail("unknown link property '" + prop.value() + "'");
+      }
+      if (auto s = expect_punct(";"); !s.ok()) return s;
+    }
+    advance();  // }
+    config.links.push_back(std::move(link));
+    return util::Status::success();
+  }
+
+  // instance name: Type on node [{ attr = lit; ... }] ;
+  util::Status parse_instance(Configuration& config) {
+    AstInstance inst;
+    inst.loc = peek().loc;
+    advance();  // instance
+    auto name = expect_identifier("instance name");
+    if (!name.ok()) return name.error();
+    inst.name = name.value();
+    if (auto s = expect_punct(":"); !s.ok()) return s;
+    auto type = expect_identifier("component type");
+    if (!type.ok()) return type.error();
+    inst.type = type.value();
+    if (!match_keyword("on")) return fail("expected 'on <node>'");
+    auto node = expect_identifier("node name");
+    if (!node.ok()) return node.error();
+    inst.node = node.value();
+    if (match_punct("{")) {
+      while (!check_punct("}")) {
+        auto aname = expect_identifier("attribute name");
+        if (!aname.ok()) return aname.error();
+        if (auto s = expect_punct("="); !s.ok()) return s;
+        auto lit = parse_literal();
+        if (!lit.ok()) return lit.error();
+        inst.attribute_overrides.emplace_back(aname.value(), lit.value());
+        if (auto s = expect_punct(";"); !s.ok()) return s;
+      }
+      advance();  // }
+    } else if (!match_punct(";")) {
+      return fail("expected '{' or ';'");
+    }
+    config.instances.push_back(std::move(inst));
+    return util::Status::success();
+  }
+
+  // connector name { routing X; delivery Y; capacity N; aspects [a, b]; }
+  util::Status parse_connector(Configuration& config) {
+    AstConnector conn;
+    conn.loc = peek().loc;
+    advance();  // connector
+    auto name = expect_identifier("connector name");
+    if (!name.ok()) return name.error();
+    conn.name = name.value();
+    if (auto s = expect_punct("{"); !s.ok()) return s;
+    while (!check_punct("}")) {
+      auto prop = expect_identifier("connector property");
+      if (!prop.ok()) return prop.error();
+      if (prop.value() == "routing") {
+        auto v = expect_identifier("routing policy");
+        if (!v.ok()) return v.error();
+        conn.routing = v.value();
+      } else if (prop.value() == "delivery") {
+        auto v = expect_identifier("delivery mode");
+        if (!v.ok()) return v.error();
+        conn.delivery = v.value();
+      } else if (prop.value() == "capacity") {
+        if (peek().kind != TokenKind::kInteger) {
+          return fail("expected integer capacity");
+        }
+        conn.capacity = advance().int_value;
+      } else if (prop.value() == "aspects") {
+        if (auto s = expect_punct("["); !s.ok()) return s;
+        while (!check_punct("]")) {
+          auto aspect = expect_identifier("aspect name");
+          if (!aspect.ok()) return aspect.error();
+          conn.aspects.push_back(aspect.value());
+          if (!match_punct(",")) break;
+        }
+        if (auto s = expect_punct("]"); !s.ok()) return s;
+      } else {
+        return fail("unknown connector property '" + prop.value() + "'");
+      }
+      if (auto s = expect_punct(";"); !s.ok()) return s;
+    }
+    advance();  // }
+    config.connectors.push_back(std::move(conn));
+    return util::Status::success();
+  }
+
+  // bind inst.port -> provider[, provider2] [via connector] ;
+  util::Status parse_binding(Configuration& config) {
+    AstBinding bind;
+    bind.loc = peek().loc;
+    advance();  // bind
+    auto source = expect_identifier("binding source (instance.port)");
+    if (!source.ok()) return source.error();
+    const auto parts = util::split(source.value(), '.');
+    if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+      return fail("binding source must be 'instance.port'");
+    }
+    bind.from_instance = parts[0];
+    bind.from_port = parts[1];
+    if (peek().kind != TokenKind::kArrow) return fail("expected '->'");
+    advance();
+    while (true) {
+      auto target = expect_identifier("provider instance");
+      if (!target.ok()) return target.error();
+      bind.to_instances.push_back(target.value());
+      if (!match_punct(",")) break;
+    }
+    if (match_keyword("via")) {
+      auto conn = expect_identifier("connector name");
+      if (!conn.ok()) return conn.error();
+      bind.via_connector = conn.value();
+    }
+    if (auto s = expect_punct(";"); !s.ok()) return s;
+    config.bindings.push_back(std::move(bind));
+    return util::Status::success();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Configuration> parse(std::string_view source) {
+  Result<std::vector<Token>> tokens = tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens).value());
+  return parser.run();
+}
+
+}  // namespace aars::adl

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the configuration language.
+#pragma once
+
+#include <string_view>
+
+#include "adl/ast.h"
+#include "util/errors.h"
+
+namespace aars::adl {
+
+/// Parses a complete configuration unit. On failure the error message
+/// carries the line number of the offending token.
+util::Result<Configuration> parse(std::string_view source);
+
+}  // namespace aars::adl

@@ -1,0 +1,35 @@
+// Semantic validation of parsed configurations.
+//
+// ADLs "create, validate and update architectures" (§1); this pass performs
+// the validation step: name resolution, attribute type checking, and —
+// following Wright — binding compatibility at the interface level.  The
+// output is a CompiledConfiguration the deployer consumes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adl/ast.h"
+#include "component/interface.h"
+#include "util/errors.h"
+
+namespace aars::adl {
+
+/// Validation result: the AST plus resolved interface descriptions.
+struct CompiledConfiguration {
+  Configuration ast;
+  std::map<std::string, component::InterfaceDescription> interfaces;
+  /// instance name -> index in ast.instances
+  std::map<std::string, std::size_t> instance_index;
+  /// connector name -> index in ast.connectors
+  std::map<std::string, std::size_t> connector_index;
+};
+
+/// Maps an ADL type name to a runtime ValueType. kNull encodes "any".
+util::Result<util::ValueType> value_type_from_name(const std::string& name);
+
+/// Validates the configuration. All diagnostics carry source line numbers.
+util::Result<CompiledConfiguration> validate(Configuration config);
+
+}  // namespace aars::adl

@@ -1,0 +1,176 @@
+#include "component/component.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace aars::component {
+
+using util::Error;
+using util::ErrorCode;
+using util::Value;
+
+Component::Component(std::string type_name, std::string instance_name)
+    : type_name_(std::move(type_name)),
+      instance_name_(std::move(instance_name)) {}
+
+std::vector<std::string> Component::operations() const {
+  std::vector<std::string> out;
+  out.reserve(operations_.size());
+  for (const auto& [name, entry] : operations_) out.push_back(name);
+  return out;
+}
+
+double Component::work_cost(const std::string& operation) const {
+  auto it = operations_.find(operation);
+  return it == operations_.end() ? 0.0 : it->second.work_cost;
+}
+
+Status Component::initialize(const Value& attributes) {
+  if (lifecycle_ != LifecycleState::kCreated) {
+    return Error{ErrorCode::kInvalidArgument,
+                 instance_name_ + ": initialize from state " +
+                     std::string(to_string(lifecycle_))};
+  }
+  attributes_ = attributes;
+  if (Status s = on_initialize(attributes); !s.ok()) return s;
+  lifecycle_ = LifecycleState::kInitialized;
+  return Status::success();
+}
+
+Status Component::activate() {
+  if (lifecycle_ != LifecycleState::kInitialized &&
+      lifecycle_ != LifecycleState::kPassivated) {
+    return Error{ErrorCode::kInvalidArgument,
+                 instance_name_ + ": activate from state " +
+                     std::string(to_string(lifecycle_))};
+  }
+  lifecycle_ = LifecycleState::kActive;
+  on_activate();
+  return Status::success();
+}
+
+Status Component::passivate() {
+  if (lifecycle_ != LifecycleState::kActive) {
+    return Error{ErrorCode::kInvalidArgument,
+                 instance_name_ + ": passivate from state " +
+                     std::string(to_string(lifecycle_))};
+  }
+  if (!quiescent()) {
+    return Error{ErrorCode::kNotQuiescent,
+                 instance_name_ + ": passivate while an activity is running"};
+  }
+  lifecycle_ = LifecycleState::kPassivated;
+  on_passivate();
+  return Status::success();
+}
+
+Status Component::remove() {
+  if (lifecycle_ == LifecycleState::kRemoved) {
+    return Error{ErrorCode::kInvalidArgument,
+                 instance_name_ + ": already removed"};
+  }
+  if (!quiescent()) {
+    return Error{ErrorCode::kNotQuiescent,
+                 instance_name_ + ": remove while an activity is running"};
+  }
+  lifecycle_ = LifecycleState::kRemoved;
+  on_remove();
+  return Status::success();
+}
+
+void Component::register_operation(const std::string& operation,
+                                   double work_cost,
+                                   OperationHandler handler) {
+  util::require(static_cast<bool>(handler), "operation handler required");
+  util::require(work_cost >= 0.0, "work cost must be non-negative");
+  operations_[operation] = OperationEntry{std::move(handler), work_cost};
+}
+
+Status Component::replace_operation(const std::string& operation,
+                                    OperationHandler handler,
+                                    double work_cost) {
+  auto it = operations_.find(operation);
+  if (it == operations_.end()) {
+    return Error{ErrorCode::kNotFound,
+                 instance_name_ + ": no operation '" + operation + "'"};
+  }
+  it->second = OperationEntry{std::move(handler), work_cost};
+  return Status::success();
+}
+
+Component::OperationHandler Component::operation_handler(
+    const std::string& operation) const {
+  auto it = operations_.find(operation);
+  return it == operations_.end() ? OperationHandler{} : it->second.handler;
+}
+
+Result<Value> Component::handle(const Message& message) {
+  // Observers (the introspection half of the meta-protocol) see every
+  // dispatched message, including rejected ones.
+  const auto finish = [this, &message](Result<Value> result) {
+    ++handled_;
+    for (const Observer& observer : observers_) observer(message, result);
+    return result;
+  };
+  if (lifecycle_ != LifecycleState::kActive) {
+    return finish(Error{ErrorCode::kUnavailable,
+                        instance_name_ + ": not active (" +
+                            std::string(to_string(lifecycle_)) + ")"});
+  }
+  auto it = operations_.find(message.operation);
+  if (it == operations_.end()) {
+    return finish(Error{ErrorCode::kNotFound,
+                        instance_name_ + ": no operation '" +
+                            message.operation + "'"});
+  }
+  if (const ServiceSignature* sig = provided_.find(message.operation)) {
+    if (Status s = sig->validate_args(message.payload); !s.ok()) {
+      return finish(s.error());
+    }
+  }
+  ++activity_depth_;
+  Result<Value> result = it->second.handler(message.payload);
+  --activity_depth_;
+  return finish(std::move(result));
+}
+
+Result<Value> Component::call(const std::string& port,
+                              const std::string& operation,
+                              const Value& args) {
+  if (!sender_) {
+    return Error{ErrorCode::kUnavailable,
+                 instance_name_ + ": port '" + port + "' is not bound"};
+  }
+  return sender_(port, operation, args);
+}
+
+Snapshot Component::snapshot() const {
+  Snapshot snap;
+  snap.type_name = type_name_;
+  snap.attributes = attributes_;
+  snap.resume_point = resume_point_;
+  snap.handled = handled_;
+  Value state;
+  save_state(state);
+  snap.state = std::move(state);
+  return snap;
+}
+
+Status Component::restore(const Snapshot& snapshot) {
+  if (snapshot.type_name != type_name_) {
+    // State transfer across types is allowed only when the new type opts in
+    // by accepting the old state tree; by default it is an error.
+    AARS_DEBUG << instance_name_ << ": cross-type restore from "
+               << snapshot.type_name;
+  }
+  attributes_ = snapshot.attributes;
+  resume_point_ = snapshot.resume_point;
+  handled_ = snapshot.handled;
+  if (Status s = load_state(snapshot.state); !s.ok()) {
+    return Error{ErrorCode::kStateTransfer,
+                 instance_name_ + ": restore failed: " + s.error().message()};
+  }
+  return Status::success();
+}
+
+}  // namespace aars::component

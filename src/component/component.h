@@ -1,0 +1,203 @@
+// The component abstraction.
+//
+// A Component exposes one provided interface, declares required ports, and
+// handles messages through a mutable operation table.  Three design points
+// come straight from the paper:
+//
+//  * Lifecycle + quiescence: reconfiguration "should be initiated at some
+//    specific execution points" (§1, Polylith).  Components track an
+//    activity depth; quiescent() is the reconfiguration point predicate.
+//  * Strong state transfer: "new components must be initialized with
+//    adequate internal state variables, contexts, program counters and
+//    registers" (§1).  snapshot()/restore() carry a Value state tree plus a
+//    resume point marker — the program-counter analogue.
+//  * Open operation table: the AJ-style meta-protocol (§2, adaptive
+//    component interfaces) can observe and replace operation handlers at
+//    run-time through replace_operation()/observe().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "component/interface.h"
+#include "component/message.h"
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/value.h"
+
+namespace aars::component {
+
+using util::ComponentId;
+using util::Result;
+using util::Status;
+
+enum class LifecycleState {
+  kCreated,     // constructed, not yet initialised
+  kInitialized, // attributes applied, not yet receiving messages
+  kActive,      // processing messages
+  kPassivated,  // temporarily not accepting messages (quiesced)
+  kRemoved,     // detached; terminal
+};
+
+constexpr const char* to_string(LifecycleState s) {
+  switch (s) {
+    case LifecycleState::kCreated: return "created";
+    case LifecycleState::kInitialized: return "initialized";
+    case LifecycleState::kActive: return "active";
+    case LifecycleState::kPassivated: return "passivated";
+    case LifecycleState::kRemoved: return "removed";
+  }
+  return "?";
+}
+
+/// Serialised component state for strong reconfiguration.
+struct Snapshot {
+  std::string type_name;
+  util::Value attributes;
+  util::Value state;          // component-specific state tree
+  std::string resume_point;   // "program counter": where to continue
+  std::uint64_t handled = 0;  // messages processed so far
+};
+
+/// A required port declaration: the component calls out through it.
+struct RequiredPort {
+  std::string name;
+  InterfaceDescription interface;
+};
+
+/// Base class for all components.
+class Component {
+ public:
+  /// Handler for one provided operation.
+  using OperationHandler = std::function<Result<util::Value>(
+      const util::Value& args)>;
+  /// Outgoing call gate, installed by the runtime when the component is
+  /// bound. Arguments: (port, operation, args).
+  using Sender = std::function<Result<util::Value>(
+      const std::string&, const std::string&, const util::Value&)>;
+  /// Observation hook for the meta-level: fired around every handled
+  /// message (introspection without intercession).
+  using Observer = std::function<void(const Message&,
+                                      const Result<util::Value>&)>;
+
+  Component(std::string type_name, std::string instance_name);
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  // --- identity & introspection -------------------------------------------
+  ComponentId id() const { return id_; }
+  void set_id(ComponentId id) { id_ = id; }
+  const std::string& type_name() const { return type_name_; }
+  const std::string& instance_name() const { return instance_name_; }
+  LifecycleState lifecycle() const { return lifecycle_; }
+  const InterfaceDescription& provided() const { return provided_; }
+  const std::vector<RequiredPort>& required() const { return required_; }
+  const util::Value& attributes() const { return attributes_; }
+  std::uint64_t handled_count() const { return handled_; }
+  /// Operation names currently dispatchable (reflects runtime edits).
+  std::vector<std::string> operations() const;
+  /// Work units charged for one invocation of `operation` (sim cost).
+  double work_cost(const std::string& operation) const;
+
+  // --- lifecycle ------------------------------------------------------------
+  Status initialize(const util::Value& attributes);
+  Status activate();
+  Status passivate();
+  Status remove();
+
+  // --- message handling -----------------------------------------------------
+  /// Dispatches a request/event to its operation handler. Validates the
+  /// arguments against the provided interface first.
+  Result<util::Value> handle(const Message& message);
+
+  // --- quiescence (reconfiguration points) ----------------------------------
+  /// True when the component is between activities: safe to snapshot/swap.
+  bool quiescent() const { return activity_depth_ == 0; }
+  int activity_depth() const { return activity_depth_; }
+
+  // --- strong state transfer --------------------------------------------------
+  Snapshot snapshot() const;
+  Status restore(const Snapshot& snapshot);
+
+  // --- meta-protocol (intercession on the operation table) -------------------
+  /// Replaces an operation handler at run-time. The operation must exist in
+  /// the provided interface (the interface itself does not change).
+  Status replace_operation(const std::string& operation,
+                           OperationHandler handler, double work_cost);
+  /// Returns a copy of the current handler (empty when unknown); used by
+  /// the meta-protocol to wrap/refine base-level executions.
+  OperationHandler operation_handler(const std::string& operation) const;
+  /// Registers an observer fired after every handled message.
+  void observe(Observer observer) { observers_.push_back(std::move(observer)); }
+  std::size_t observer_count() const { return observers_.size(); }
+
+  // --- wiring (runtime only) --------------------------------------------------
+  void set_sender(Sender sender) { sender_ = std::move(sender); }
+  bool bound() const { return static_cast<bool>(sender_); }
+
+ protected:
+  // --- API for concrete components -------------------------------------------
+  /// Declares the provided interface. Call from the constructor.
+  void set_provided(InterfaceDescription interface) {
+    provided_ = std::move(interface);
+  }
+  /// Declares a required port. Call from the constructor.
+  void add_required(RequiredPort port) {
+    required_.push_back(std::move(port));
+  }
+  /// Registers an operation handler with its simulated work cost.
+  void register_operation(const std::string& operation, double work_cost,
+                          OperationHandler handler);
+
+  /// Makes an outgoing call through a required port.
+  Result<util::Value> call(const std::string& port,
+                           const std::string& operation,
+                           const util::Value& args);
+
+  /// Subclass hooks.
+  virtual Status on_initialize(const util::Value& /*attributes*/) {
+    return Status::success();
+  }
+  virtual void on_activate() {}
+  virtual void on_passivate() {}
+  virtual void on_remove() {}
+  /// Default snapshot: subclasses add their state under keys of `state`.
+  virtual void save_state(util::Value& /*state*/) const {}
+  virtual Status load_state(const util::Value& /*state*/) {
+    return Status::success();
+  }
+
+  /// Resume-point marker ("program counter"). Subclasses set it at their
+  /// reconfiguration points; it is carried through snapshots.
+  void set_resume_point(std::string label) { resume_point_ = std::move(label); }
+  const std::string& resume_point() const { return resume_point_; }
+
+  util::Value& mutable_attributes() { return attributes_; }
+
+ private:
+  struct OperationEntry {
+    OperationHandler handler;
+    double work_cost = 1.0;
+  };
+
+  ComponentId id_;
+  std::string type_name_;
+  std::string instance_name_;
+  LifecycleState lifecycle_ = LifecycleState::kCreated;
+  InterfaceDescription provided_;
+  std::vector<RequiredPort> required_;
+  std::map<std::string, OperationEntry> operations_;
+  std::vector<Observer> observers_;
+  Sender sender_;
+  util::Value attributes_;
+  std::string resume_point_ = "start";
+  std::uint64_t handled_ = 0;
+  int activity_depth_ = 0;
+};
+
+}  // namespace aars::component

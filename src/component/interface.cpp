@@ -1,0 +1,154 @@
+#include "component/interface.h"
+
+#include "util/strings.h"
+
+namespace aars::component {
+
+using util::Error;
+using util::ErrorCode;
+
+Status ServiceSignature::validate_args(const Value& args) const {
+  if (!args.is_map() && !args.is_null()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "arguments for " + name + " must be a map"};
+  }
+  for (const ParamSpec& p : params) {
+    const Value& v = args.at(p.name);
+    if (v.is_null()) {
+      if (!p.optional) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "missing required parameter '" + p.name + "' of " + name};
+      }
+      continue;
+    }
+    if (p.type != ValueType::kNull && v.type() != p.type) {
+      // Allow int where double is declared (numeric widening).
+      if (!(p.type == ValueType::kDouble && v.is_int())) {
+        return Error{ErrorCode::kInvalidArgument,
+                     util::format("parameter '%s' of %s: expected %s, got %s",
+                                  p.name.c_str(), name.c_str(),
+                                  to_string(p.type), to_string(v.type()))};
+      }
+    }
+  }
+  return Status::success();
+}
+
+InterfaceDescription& InterfaceDescription::add_service(ServiceSignature sig) {
+  util::require(!sig.name.empty(), "service name must not be empty");
+  services_[sig.name] = std::move(sig);
+  return *this;
+}
+
+const ServiceSignature* InterfaceDescription::find(
+    const std::string& service) const {
+  auto it = services_.find(service);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+namespace {
+Status check_signature_kept(const ServiceSignature& old_sig,
+                            const ServiceSignature& new_sig,
+                            const std::string& interface_name) {
+  if (new_sig.result != old_sig.result) {
+    return Error{ErrorCode::kIncompatible,
+                 util::format("%s.%s: result type changed from %s to %s",
+                              interface_name.c_str(), old_sig.name.c_str(),
+                              to_string(old_sig.result),
+                              to_string(new_sig.result))};
+  }
+  // Every old parameter must still exist with the same type & optionality
+  // not strengthened.
+  for (const ParamSpec& old_p : old_sig.params) {
+    const ParamSpec* new_p = nullptr;
+    for (const ParamSpec& candidate : new_sig.params) {
+      if (candidate.name == old_p.name) {
+        new_p = &candidate;
+        break;
+      }
+    }
+    if (new_p == nullptr) {
+      return Error{ErrorCode::kIncompatible,
+                   util::format("%s.%s: parameter '%s' was removed",
+                                interface_name.c_str(), old_sig.name.c_str(),
+                                old_p.name.c_str())};
+    }
+    if (new_p->type != old_p.type) {
+      return Error{ErrorCode::kIncompatible,
+                   util::format("%s.%s: parameter '%s' changed type",
+                                interface_name.c_str(), old_sig.name.c_str(),
+                                old_p.name.c_str())};
+    }
+  }
+  // New parameters must be optional, or old calls would break.
+  for (const ParamSpec& new_p : new_sig.params) {
+    bool existed = false;
+    for (const ParamSpec& old_p : old_sig.params) {
+      if (old_p.name == new_p.name) {
+        existed = true;
+        break;
+      }
+    }
+    if (!existed && !new_p.optional) {
+      return Error{ErrorCode::kIncompatible,
+                   util::format("%s.%s: new parameter '%s' must be optional",
+                                interface_name.c_str(), old_sig.name.c_str(),
+                                new_p.name.c_str())};
+    }
+  }
+  return Status::success();
+}
+}  // namespace
+
+Status InterfaceDescription::check_compliance(
+    const InterfaceDescription& previous, const InterfaceDescription& next) {
+  if (previous.name() != next.name()) {
+    return Error{ErrorCode::kIncompatible,
+                 "interface name changed from " + previous.name() + " to " +
+                     next.name()};
+  }
+  if (next.version() <= previous.version()) {
+    return Error{ErrorCode::kIncompatible,
+                 util::format("version must increase (%d -> %d)",
+                              previous.version(), next.version())};
+  }
+  for (const auto& [name, old_sig] : previous.services()) {
+    const ServiceSignature* new_sig = next.find(name);
+    if (new_sig == nullptr) {
+      return Error{ErrorCode::kIncompatible,
+                   "service '" + name + "' was removed from " + next.name()};
+    }
+    if (Status s = check_signature_kept(old_sig, *new_sig, next.name());
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::success();
+}
+
+Status InterfaceDescription::satisfies(
+    const InterfaceDescription& required) const {
+  if (name_ != required.name()) {
+    return Error{ErrorCode::kIncompatible,
+                 "interface mismatch: provides " + name_ + ", requires " +
+                     required.name()};
+  }
+  if (version_ < required.version()) {
+    return Error{ErrorCode::kIncompatible,
+                 util::format("%s: provided version %d < required version %d",
+                              name_.c_str(), version_, required.version())};
+  }
+  for (const auto& [name, req_sig] : required.services()) {
+    const ServiceSignature* prov_sig = find(name);
+    if (prov_sig == nullptr) {
+      return Error{ErrorCode::kIncompatible,
+                   name_ + ": required service '" + name + "' not provided"};
+    }
+    if (Status s = check_signature_kept(req_sig, *prov_sig, name_); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace aars::component

@@ -1,0 +1,76 @@
+// Typed, versioned component interfaces.
+//
+// The paper's "interface modification" change class requires that "the
+// signatures of the provided services are modified and extended while
+// keeping the compliancy with previous versions" (§1).  InterfaceDescription
+// carries a version number and check_compliance() enforces exactly that
+// rule: a newer version must accept every call the older version accepted.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/value.h"
+
+namespace aars::component {
+
+using util::Status;
+using util::Value;
+using util::ValueType;
+
+/// One parameter of a service signature.
+struct ParamSpec {
+  std::string name;
+  ValueType type = ValueType::kNull;  // kNull accepts any type
+  bool optional = false;
+};
+
+/// One provided service (operation): name, parameters, result type.
+struct ServiceSignature {
+  std::string name;
+  std::vector<ParamSpec> params;
+  ValueType result = ValueType::kNull;
+
+  /// Validates an argument map against this signature.
+  Status validate_args(const Value& args) const;
+};
+
+/// A named, versioned set of service signatures.
+class InterfaceDescription {
+ public:
+  InterfaceDescription() = default;
+  InterfaceDescription(std::string name, int version)
+      : name_(std::move(name)), version_(version) {}
+
+  const std::string& name() const { return name_; }
+  int version() const { return version_; }
+
+  InterfaceDescription& add_service(ServiceSignature sig);
+  const ServiceSignature* find(const std::string& service) const;
+  const std::map<std::string, ServiceSignature>& services() const {
+    return services_;
+  }
+  std::size_t size() const { return services_.size(); }
+
+  /// Backward-compliance check: `next` must (a) keep every service of
+  /// `previous`, (b) not add new mandatory parameters to kept services,
+  /// (c) not change kept parameter or result types.  New services and new
+  /// optional parameters are allowed ("modified and extended").
+  static Status check_compliance(const InterfaceDescription& previous,
+                                 const InterfaceDescription& next);
+
+  /// Can a provider exposing `this` serve a client requiring `required`?
+  /// True when same name, provider version >= required version, and every
+  /// required service exists with compatible shape.
+  Status satisfies(const InterfaceDescription& required) const;
+
+ private:
+  std::string name_;
+  int version_ = 1;
+  std::map<std::string, ServiceSignature> services_;
+};
+
+}  // namespace aars::component

@@ -1,0 +1,28 @@
+#include "component/message.h"
+
+namespace aars::component {
+
+Message make_response(const Message& request, Value result) {
+  Message response;
+  response.kind = MessageKind::kResponse;
+  response.operation = request.operation;
+  response.payload = std::move(result);
+  response.sender = request.target;
+  response.target = request.sender;
+  response.correlation = request.id;
+  return response;
+}
+
+Message make_error_response(const Message& request, const std::string& code,
+                            const std::string& text) {
+  Message response = make_response(
+      request, Value::object({{"error", code}, {"message", text}}));
+  return response;
+}
+
+bool is_error_response(const Message& message) {
+  return message.kind == MessageKind::kResponse &&
+         message.payload.contains("error");
+}
+
+}  // namespace aars::component

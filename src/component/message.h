@@ -1,0 +1,73 @@
+// Messages exchanged between components.
+//
+// Filters, injectors and connectors operate on messages as first-class
+// values ("filters are defined as declarative message manipulators", §2), so
+// Message is a plain value type with an open `headers` map for metadata
+// added by interception layers.
+#pragma once
+
+#include <string>
+
+#include "util/ids.h"
+#include "util/time.h"
+#include "util/value.h"
+
+namespace aars::component {
+
+using util::ComponentId;
+using util::MessageId;
+using util::SimTime;
+using util::Value;
+
+enum class MessageKind {
+  kRequest,   // expects a response
+  kResponse,  // answer to a request (correlation set)
+  kEvent,     // one-way notification
+  kControl,   // runtime/meta-level traffic (quiescence, reconfiguration)
+};
+
+constexpr const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kRequest: return "request";
+    case MessageKind::kResponse: return "response";
+    case MessageKind::kEvent: return "event";
+    case MessageKind::kControl: return "control";
+  }
+  return "?";
+}
+
+/// A single message. Value semantics: interceptors copy & transform freely.
+struct Message {
+  MessageId id;
+  MessageKind kind = MessageKind::kRequest;
+  std::string operation;
+  Value payload;
+  Value headers;  // metadata added by filters/injectors/middleware
+
+  ComponentId sender;
+  ComponentId target;
+  std::string target_port;  // required-port name on the sender side
+
+  std::uint64_t sequence = 0;     // per-channel sequence number
+  MessageId correlation;          // for responses: the request id
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+
+  /// Payload + headers footprint, used to charge network bandwidth.
+  std::size_t byte_size() const {
+    return 64 + operation.size() + payload.byte_size() + headers.byte_size();
+  }
+};
+
+/// Builds a response carrying `result` for `request`.
+Message make_response(const Message& request, Value result);
+
+/// Builds an error response; the payload carries {"error": code_name,
+/// "message": text} so failures can cross component boundaries as data.
+Message make_error_response(const Message& request, const std::string& code,
+                            const std::string& text);
+
+/// True when the message is an error response built by make_error_response.
+bool is_error_response(const Message& message);
+
+}  // namespace aars::component

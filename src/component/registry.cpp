@@ -1,0 +1,38 @@
+#include "component/registry.h"
+
+namespace aars::component {
+
+using util::Error;
+using util::ErrorCode;
+
+void ComponentRegistry::register_type(const std::string& type_name,
+                                      Factory factory) {
+  util::require(static_cast<bool>(factory), "factory must be callable");
+  util::require(!type_name.empty(), "type name must not be empty");
+  factories_[type_name] = std::move(factory);
+}
+
+bool ComponentRegistry::has_type(const std::string& type_name) const {
+  return factories_.count(type_name) > 0;
+}
+
+std::vector<std::string> ComponentRegistry::type_names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+util::Result<std::unique_ptr<Component>> ComponentRegistry::create(
+    const std::string& type_name, const std::string& instance_name) const {
+  auto it = factories_.find(type_name);
+  if (it == factories_.end()) {
+    return Error{ErrorCode::kNotFound,
+                 "unknown component type '" + type_name + "'"};
+  }
+  std::unique_ptr<Component> instance = it->second(instance_name);
+  util::require(instance != nullptr, "factory returned null component");
+  return instance;
+}
+
+}  // namespace aars::component

@@ -1,0 +1,138 @@
+#include "connector/connector.h"
+
+#include <algorithm>
+
+namespace aars::connector {
+
+using util::Error;
+using util::ErrorCode;
+
+Connector::Connector(ConnectorId id, ConnectorSpec spec)
+    : id_(id), spec_(std::move(spec)) {
+  util::require(!spec_.name.empty(), "connector name required");
+}
+
+Status Connector::add_provider(ComponentId provider) {
+  util::require(provider.valid(), "invalid provider id");
+  if (has_provider(provider)) {
+    return Error{ErrorCode::kAlreadyExists,
+                 name() + ": provider already attached"};
+  }
+  if (spec_.routing == RoutingPolicy::kDirect && !providers_.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 name() + ": direct connector allows a single provider"};
+  }
+  providers_.push_back(provider);
+  return Status::success();
+}
+
+Status Connector::remove_provider(ComponentId provider) {
+  auto it = std::find(providers_.begin(), providers_.end(), provider);
+  if (it == providers_.end()) {
+    return Error{ErrorCode::kNotFound, name() + ": provider not attached"};
+  }
+  const std::size_t index =
+      static_cast<std::size_t>(std::distance(providers_.begin(), it));
+  providers_.erase(it);
+  if (round_robin_next_ > index) --round_robin_next_;
+  if (!providers_.empty()) round_robin_next_ %= providers_.size();
+  return Status::success();
+}
+
+bool Connector::has_provider(ComponentId provider) const {
+  return std::find(providers_.begin(), providers_.end(), provider) !=
+         providers_.end();
+}
+
+Result<ComponentId> Connector::select_target(const Message& /*message*/,
+                                             const LoadProbe& probe) {
+  if (providers_.empty()) {
+    return Error{ErrorCode::kUnavailable, name() + ": no provider attached"};
+  }
+  switch (spec_.routing) {
+    case RoutingPolicy::kDirect:
+      return providers_.front();
+    case RoutingPolicy::kRoundRobin: {
+      const ComponentId target = providers_[round_robin_next_];
+      round_robin_next_ = (round_robin_next_ + 1) % providers_.size();
+      return target;
+    }
+    case RoutingPolicy::kLeastBacklog: {
+      if (!probe) return providers_.front();
+      ComponentId best = providers_.front();
+      std::int64_t best_backlog = probe(best);
+      for (std::size_t i = 1; i < providers_.size(); ++i) {
+        const std::int64_t backlog = probe(providers_[i]);
+        if (backlog < best_backlog) {
+          best = providers_[i];
+          best_backlog = backlog;
+        }
+      }
+      return best;
+    }
+    case RoutingPolicy::kBroadcast:
+      return Error{ErrorCode::kInvalidArgument,
+                   name() + ": broadcast connector cannot select one target"};
+  }
+  return Error{ErrorCode::kInternal, "unknown routing policy"};
+}
+
+Status Connector::attach_interceptor(std::shared_ptr<Interceptor> interceptor,
+                                     int priority) {
+  util::require(interceptor != nullptr, "interceptor required");
+  const std::string iname = interceptor->name();
+  for (const Slot& slot : interceptors_) {
+    if (slot.interceptor->name() == iname) {
+      return Error{ErrorCode::kAlreadyExists,
+                   name() + ": interceptor '" + iname + "' already attached"};
+    }
+  }
+  interceptors_.push_back(
+      Slot{priority, attach_counter_++, std::move(interceptor)});
+  std::stable_sort(interceptors_.begin(), interceptors_.end(),
+                   [](const Slot& a, const Slot& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.order < b.order;
+                   });
+  return Status::success();
+}
+
+Status Connector::detach_interceptor(const std::string& name_to_remove) {
+  for (auto it = interceptors_.begin(); it != interceptors_.end(); ++it) {
+    if (it->interceptor->name() == name_to_remove) {
+      interceptors_.erase(it);
+      return Status::success();
+    }
+  }
+  return Error{ErrorCode::kNotFound,
+               name() + ": interceptor '" + name_to_remove + "' not attached"};
+}
+
+std::vector<std::string> Connector::interceptor_names() const {
+  std::vector<std::string> out;
+  out.reserve(interceptors_.size());
+  for (const Slot& slot : interceptors_) {
+    out.push_back(slot.interceptor->name());
+  }
+  return out;
+}
+
+Interceptor::Verdict Connector::run_before(Message& request,
+                                           Result<Value>* reply_out) {
+  for (const Slot& slot : interceptors_) {
+    const Interceptor::Verdict verdict =
+        slot.interceptor->before(request, reply_out);
+    if (verdict != Interceptor::Verdict::kPass) return verdict;
+  }
+  return Interceptor::Verdict::kPass;
+}
+
+void Connector::run_after(const Message& request, Result<Value>& reply) {
+  for (auto it = interceptors_.rbegin(); it != interceptors_.rend(); ++it) {
+    it->interceptor->after(request, reply);
+  }
+}
+
+}  // namespace aars::connector

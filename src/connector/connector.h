@@ -1,0 +1,157 @@
+// First-class connectors.
+//
+// "Connectors are abstractions for component interactions ... a connector is
+// a light-weight component which functions as a glue of components and
+// induces a low overload" (§3).  A Connector routes messages from callers to
+// serving components, hosts an ordered chain of interceptors (the attachment
+// point for filters, aspects, injectors and middleware services), and can
+// carry an LTS protocol that a monitor checks at run time.
+//
+// Connectors are deliberately *passive*: timing (queueing, network delay) is
+// applied by the runtime so that connectors stay interchangeable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "component/message.h"
+#include "lts/lts.h"
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/value.h"
+
+namespace aars::connector {
+
+using component::Message;
+using util::ComponentId;
+using util::ConnectorId;
+using util::Result;
+using util::Status;
+using util::Value;
+
+/// How a connector picks the serving component for a request.
+enum class RoutingPolicy {
+  kDirect,        // single provider
+  kRoundRobin,    // rotate among providers
+  kBroadcast,     // all providers (events only)
+  kLeastBacklog,  // provider whose node has the smallest backlog
+};
+
+/// When the runtime delivers a relayed message.
+enum class DeliveryMode {
+  kSync,    // caller blocks; request/response in one activity
+  kQueued,  // enqueued, delivered asynchronously by the event loop
+};
+
+constexpr const char* to_string(RoutingPolicy p) {
+  switch (p) {
+    case RoutingPolicy::kDirect: return "direct";
+    case RoutingPolicy::kRoundRobin: return "round_robin";
+    case RoutingPolicy::kBroadcast: return "broadcast";
+    case RoutingPolicy::kLeastBacklog: return "least_backlog";
+  }
+  return "?";
+}
+
+/// Message interception point.  Filters, runtime aspects, injectors and
+/// middleware services all plug in through this interface (adapt/ provides
+/// the concrete families).
+class Interceptor {
+ public:
+  virtual ~Interceptor() = default;
+
+  enum class Verdict {
+    kPass,     // continue down the chain
+    kBlock,    // reject the message (reply_out holds the error)
+    kHandled,  // interceptor produced the reply; skip the provider
+  };
+
+  /// Runs on the request path; may mutate the message.
+  virtual Verdict before(Message& request, Result<Value>* reply_out) = 0;
+  /// Runs on the reply path (reverse order); may mutate the reply.
+  virtual void after(const Message& request, Result<Value>& reply) = 0;
+  /// Identifying name for attach/detach and introspection.
+  virtual std::string name() const = 0;
+};
+
+/// Connector construction parameters.
+struct ConnectorSpec {
+  std::string name;
+  RoutingPolicy routing = RoutingPolicy::kDirect;
+  DeliveryMode delivery = DeliveryMode::kSync;
+  std::size_t queue_capacity = 1024;  // bound for kQueued delivery
+  /// Optional protocol roles for conformance monitoring.
+  std::optional<lts::Lts> caller_role;
+  std::optional<lts::Lts> provider_role;
+};
+
+/// Queries the runtime for a provider's current backlog (microseconds).
+using LoadProbe = std::function<std::int64_t(ComponentId)>;
+
+/// A connector instance.
+class Connector {
+ public:
+  Connector(ConnectorId id, ConnectorSpec spec);
+
+  ConnectorId id() const { return id_; }
+  const std::string& name() const { return spec_.name; }
+  const ConnectorSpec& spec() const { return spec_; }
+  RoutingPolicy routing() const { return spec_.routing; }
+  DeliveryMode delivery() const { return spec_.delivery; }
+
+  // --- participants ---------------------------------------------------------
+  Status add_provider(ComponentId provider);
+  Status remove_provider(ComponentId provider);
+  const std::vector<ComponentId>& providers() const { return providers_; }
+  bool has_provider(ComponentId provider) const;
+
+  // --- routing ----------------------------------------------------------------
+  /// Picks the target for a non-broadcast message.
+  Result<ComponentId> select_target(const Message& message,
+                                    const LoadProbe& probe);
+  /// All targets for a broadcast.
+  const std::vector<ComponentId>& broadcast_targets() const {
+    return providers_;
+  }
+
+  // --- interception -----------------------------------------------------------
+  /// Attaches an interceptor; lower `priority` runs earlier on the request
+  /// path. Names must be unique per connector.
+  Status attach_interceptor(std::shared_ptr<Interceptor> interceptor,
+                            int priority = 0);
+  Status detach_interceptor(const std::string& name);
+  std::vector<std::string> interceptor_names() const;
+  std::size_t interceptor_count() const { return interceptors_.size(); }
+
+  /// Runs the request path. Returns kPass/kBlock/kHandled like a single
+  /// interceptor; on kBlock/kHandled `reply_out` carries the outcome.
+  Interceptor::Verdict run_before(Message& request,
+                                  Result<Value>* reply_out);
+  /// Runs the reply path in reverse order over the interceptors that saw
+  /// the request.
+  void run_after(const Message& request, Result<Value>& reply);
+
+  // --- statistics ------------------------------------------------------------
+  std::uint64_t relayed() const { return relayed_; }
+  void count_relay() { ++relayed_; }
+
+ private:
+  struct Slot {
+    int priority;
+    std::uint64_t order;  // attach order for stable sorting
+    std::shared_ptr<Interceptor> interceptor;
+  };
+
+  ConnectorId id_;
+  ConnectorSpec spec_;
+  std::vector<ComponentId> providers_;
+  std::vector<Slot> interceptors_;
+  std::size_t round_robin_next_ = 0;
+  std::uint64_t attach_counter_ = 0;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace aars::connector

@@ -1,0 +1,67 @@
+#include "connector/factory.h"
+
+namespace aars::connector {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+void ConnectorFactory::add_aspect_provider(AspectProvider provider) {
+  util::require(static_cast<bool>(provider), "aspect provider required");
+  providers_.push_back(std::move(provider));
+}
+
+Status ConnectorFactory::validate_spec(const ConnectorSpec& spec) const {
+  if (spec.name.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "connector spec needs a name"};
+  }
+  if (spec.queue_capacity == 0 && spec.delivery == DeliveryMode::kQueued) {
+    return Error{ErrorCode::kInvalidArgument,
+                 spec.name + ": queued connector needs capacity > 0"};
+  }
+  if (spec.caller_role && spec.provider_role) {
+    const lts::CompatibilityReport report =
+        lts::check_compatibility(*spec.caller_role, *spec.provider_role);
+    if (!report.compatible) {
+      return Error{ErrorCode::kIncompatible,
+                   spec.name + ": protocol roles incompatible: " +
+                       report.diagnosis};
+    }
+  }
+  return Status::success();
+}
+
+std::shared_ptr<Interceptor> ConnectorFactory::resolve(
+    const std::string& aspect) const {
+  // Later providers win: scan in reverse registration order.
+  for (auto it = providers_.rbegin(); it != providers_.rend(); ++it) {
+    if (std::shared_ptr<Interceptor> interceptor = (*it)(aspect)) {
+      return interceptor;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<Connector>> ConnectorFactory::create(
+    ConnectorSpec spec, const std::vector<std::string>& aspects) {
+  if (Status s = validate_spec(spec); !s.ok()) return s.error();
+  auto connector = std::make_unique<Connector>(ids_.next(), std::move(spec));
+  int priority = 0;
+  for (const std::string& aspect : aspects) {
+    std::shared_ptr<Interceptor> interceptor = resolve(aspect);
+    if (interceptor == nullptr) {
+      return Error{ErrorCode::kNotFound,
+                   connector->name() + ": unknown aspect '" + aspect + "'"};
+    }
+    if (Status s = connector->attach_interceptor(std::move(interceptor),
+                                                 priority++);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  ++created_;
+  return connector;
+}
+
+}  // namespace aars::connector

@@ -1,0 +1,52 @@
+// Connector factory.
+//
+// "A connector-factory may be used to generate connectors according to the
+// description of elementary services and aspects that are selected for a
+// specific collaboration" (§3).  The factory builds a Connector from a spec
+// plus a list of aspect names; aspects resolve to interceptors through a
+// pluggable AspectProvider, so the adaptation layer can contribute filter
+// and aspect families without a dependency cycle.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "lts/lts.h"
+#include "util/errors.h"
+#include "util/ids.h"
+
+namespace aars::connector {
+
+/// Builds an interceptor for a named aspect, or nullptr when unknown.
+using AspectProvider =
+    std::function<std::shared_ptr<Interceptor>(const std::string&)>;
+
+class ConnectorFactory {
+ public:
+  /// Registers an aspect family provider. Later providers win on conflicts.
+  void add_aspect_provider(AspectProvider provider);
+
+  /// Checks the two protocol roles of a spec for compatibility (when both
+  /// are present) before any connector with that spec is generated.
+  util::Status validate_spec(const ConnectorSpec& spec) const;
+
+  /// Generates a connector: validates the spec, then attaches the selected
+  /// aspects in order (priority = list index).
+  util::Result<std::unique_ptr<Connector>> create(
+      ConnectorSpec spec, const std::vector<std::string>& aspects = {});
+
+  std::uint64_t created() const { return created_; }
+
+ private:
+  std::shared_ptr<Interceptor> resolve(const std::string& aspect) const;
+
+  util::IdGenerator<util::ConnectorId> ids_;
+  std::vector<AspectProvider> providers_;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace aars::connector

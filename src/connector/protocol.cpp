@@ -1,0 +1,70 @@
+#include "connector/protocol.h"
+
+namespace aars::connector {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+ProtocolMonitor::ProtocolMonitor(lts::Lts protocol)
+    : protocol_(std::move(protocol)), state_(protocol_.initial()) {}
+
+void ProtocolMonitor::follow_taus() {
+  // Follow a bounded chain of internal moves (deterministic prefix).
+  for (std::size_t guard = 0; guard < protocol_.state_count(); ++guard) {
+    const auto out = protocol_.outgoing(state_);
+    if (out.size() != 1 ||
+        out.front()->label.direction != lts::Direction::kInternal) {
+      return;
+    }
+    state_ = out.front()->to;
+  }
+}
+
+Status ProtocolMonitor::observe(const std::string& action,
+                                lts::Direction direction) {
+  follow_taus();
+  ++observed_;
+  for (const lts::Transition* t : protocol_.outgoing(state_)) {
+    if (t->label.action == action && t->label.direction == direction) {
+      state_ = t->to;
+      return Status::success();
+    }
+  }
+  ++violations_;
+  return Error{ErrorCode::kIncompatible,
+               protocol_.name() + ": action '" + action +
+                   std::string(lts::to_string(direction)) +
+                   "' not allowed in state " + std::to_string(state_)};
+}
+
+void ProtocolMonitor::reset() {
+  state_ = protocol_.initial();
+  observed_ = 0;
+  violations_ = 0;
+}
+
+ProtocolConformanceInterceptor::ProtocolConformanceInterceptor(
+    std::string name, lts::Lts protocol, bool enforce)
+    : name_(std::move(name)),
+      monitor_(std::move(protocol)),
+      enforce_(enforce) {}
+
+Interceptor::Verdict ProtocolConformanceInterceptor::before(
+    component::Message& request, util::Result<util::Value>* reply_out) {
+  const Status observed =
+      monitor_.observe(request.operation, lts::Direction::kInput);
+  if (!observed.ok() && enforce_) {
+    if (reply_out != nullptr) {
+      *reply_out = util::Result<util::Value>(observed.error());
+    }
+    return Verdict::kBlock;
+  }
+  return Verdict::kPass;
+}
+
+void ProtocolConformanceInterceptor::after(
+    const component::Message& /*request*/,
+    util::Result<util::Value>& /*reply*/) {}
+
+}  // namespace aars::connector

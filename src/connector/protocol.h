@@ -1,0 +1,71 @@
+// Runtime protocol conformance monitoring.
+//
+// A connector can carry LTS role descriptions (§3: "connectors are modeled
+// using first order automata, which defines the states of collaboration").
+// The ProtocolMonitor walks the automaton as messages flow and flags the
+// first action the protocol does not allow.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "connector/connector.h"
+#include "lts/lts.h"
+#include "util/errors.h"
+
+namespace aars::connector {
+
+class ProtocolMonitor {
+ public:
+  explicit ProtocolMonitor(lts::Lts protocol);
+
+  /// Advances on `action` with the given direction. kIncompatible when the
+  /// current state has no such transition. Internal (tau) transitions are
+  /// followed eagerly before matching.
+  util::Status observe(const std::string& action, lts::Direction direction);
+
+  /// Current automaton state.
+  lts::StateId state() const { return state_; }
+  /// True when the collaboration may legally stop here.
+  bool may_stop() const { return protocol_.is_final(state_); }
+  /// Number of observed actions.
+  std::uint64_t observed() const { return observed_; }
+  /// Number of violations flagged so far (monitor keeps running).
+  std::uint64_t violations() const { return violations_; }
+
+  void reset();
+
+ private:
+  void follow_taus();
+
+  lts::Lts protocol_;
+  lts::StateId state_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+/// Attaches a ProtocolMonitor to live connector traffic: each request is
+/// observed as `<operation>?` (the provider-side reception). With
+/// `enforce` set, out-of-protocol messages are rejected instead of merely
+/// counted — the connector becomes a run-time contract checker.
+class ProtocolConformanceInterceptor final : public Interceptor {
+ public:
+  ProtocolConformanceInterceptor(std::string name, lts::Lts protocol,
+                                 bool enforce);
+
+  Verdict before(component::Message& request,
+                 util::Result<util::Value>* reply_out) override;
+  void after(const component::Message& request,
+             util::Result<util::Value>& reply) override;
+  std::string name() const override { return name_; }
+
+  const ProtocolMonitor& monitor() const { return monitor_; }
+  ProtocolMonitor& monitor() { return monitor_; }
+
+ private:
+  std::string name_;
+  ProtocolMonitor monitor_;
+  bool enforce_;
+};
+
+}  // namespace aars::connector

@@ -1,0 +1,35 @@
+// Feedback-controller interface.
+//
+// "Among promising approaches, feedback control systems present advantages
+// to control dynamic adaptive and reconfigurable systems" (§3).  All
+// controllers share one shape: given the tracking error (setpoint minus
+// measurement) and the elapsed time, produce a corrective output.  The
+// QoS control loops in experiments E6/E10 plug any of these behind the same
+// actuator.
+#pragma once
+
+#include <string>
+
+namespace aars::control {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  /// One control step. `error` = setpoint - measurement; `dt_seconds` > 0.
+  virtual double update(double error, double dt_seconds) = 0;
+  virtual void reset() = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The no-control baseline: output is always zero (the system never
+/// corrects itself).
+class NullController final : public Controller {
+ public:
+  double update(double /*error*/, double /*dt_seconds*/) override {
+    return 0.0;
+  }
+  void reset() override {}
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace aars::control

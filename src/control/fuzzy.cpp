@@ -1,0 +1,133 @@
+#include "control/fuzzy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aars::control {
+
+double TriangularSet::membership(double x) const {
+  if (a == b && x <= b) return 1.0;  // left shoulder
+  if (b == c && x >= b) return 1.0;  // right shoulder
+  if (x <= a || x >= c) return 0.0;
+  if (x == b) return 1.0;
+  if (x < b) return (x - a) / (b - a);
+  return (c - x) / (c - b);
+}
+
+FuzzyVariable::FuzzyVariable(std::string name) : name_(std::move(name)) {}
+
+FuzzyVariable& FuzzyVariable::add_set(TriangularSet set) {
+  util::require(set.a <= set.b && set.b <= set.c,
+                "triangular set requires a <= b <= c");
+  sets_.push_back(std::move(set));
+  return *this;
+}
+
+const TriangularSet* FuzzyVariable::find(const std::string& label) const {
+  for (const TriangularSet& s : sets_) {
+    if (s.label == label) return &s;
+  }
+  return nullptr;
+}
+
+double FuzzyVariable::membership(const std::string& label, double x) const {
+  const TriangularSet* set = find(label);
+  return set == nullptr ? 0.0 : set->membership(x);
+}
+
+FuzzyVariable FuzzyVariable::standard5(std::string name, double range) {
+  util::require(range > 0.0, "range must be positive");
+  FuzzyVariable var(std::move(name));
+  const double r = range;
+  var.add_set({"NB", -r, -r, -r / 2});
+  var.add_set({"NS", -r, -r / 2, 0});
+  var.add_set({"ZE", -r / 2, 0, r / 2});
+  var.add_set({"PS", 0, r / 2, r});
+  var.add_set({"PB", r / 2, r, r});
+  return var;
+}
+
+FuzzyController::FuzzyController(FuzzyVariable error, FuzzyVariable derror,
+                                 FuzzyVariable output,
+                                 std::vector<FuzzyRule> rules)
+    : error_(std::move(error)),
+      derror_(std::move(derror)),
+      output_(std::move(output)),
+      rules_(std::move(rules)) {
+  util::require(!rules_.empty(), "fuzzy controller needs rules");
+  for (const FuzzyRule& rule : rules_) {
+    util::require(output_.find(rule.output_label) != nullptr,
+                  "rule references unknown output set");
+    util::require(rule.error_label.empty() ||
+                      error_.find(rule.error_label) != nullptr,
+                  "rule references unknown error set");
+    util::require(rule.derror_label.empty() ||
+                      derror_.find(rule.derror_label) != nullptr,
+                  "rule references unknown derror set");
+  }
+}
+
+double FuzzyController::update(double error, double dt_seconds) {
+  util::require(dt_seconds > 0.0, "dt must be positive");
+  const double derror =
+      primed_ ? (error - previous_error_) / dt_seconds : 0.0;
+  previous_error_ = error;
+  primed_ = true;
+
+  // Mamdani inference: rule strength = min of antecedent memberships;
+  // aggregate per output set by max.
+  std::vector<double> strength(output_.sets().size(), 0.0);
+  for (const FuzzyRule& rule : rules_) {
+    double mu = 1.0;
+    if (!rule.error_label.empty()) {
+      mu = std::min(mu, error_.membership(rule.error_label, error));
+    }
+    if (!rule.derror_label.empty()) {
+      mu = std::min(mu, derror_.membership(rule.derror_label, derror));
+    }
+    if (mu <= 0.0) continue;
+    for (std::size_t i = 0; i < output_.sets().size(); ++i) {
+      if (output_.sets()[i].label == rule.output_label) {
+        strength[i] = std::max(strength[i], mu);
+      }
+    }
+  }
+  // Centroid defuzzification over set centroids (height method).
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < strength.size(); ++i) {
+    numerator += strength[i] * output_.sets()[i].centroid();
+    denominator += strength[i];
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+void FuzzyController::reset() {
+  previous_error_ = 0.0;
+  primed_ = false;
+}
+
+FuzzyController FuzzyController::make_standard(double error_range,
+                                               double derror_range,
+                                               double output_range) {
+  FuzzyVariable error = FuzzyVariable::standard5("error", error_range);
+  FuzzyVariable derror = FuzzyVariable::standard5("derror", derror_range);
+  FuzzyVariable output = FuzzyVariable::standard5("output", output_range);
+  // The classic anti-diagonal PD table: large positive error and falling
+  // derivative -> strong positive output, etc.
+  const char* labels[5] = {"NB", "NS", "ZE", "PS", "PB"};
+  // table[e][de] with indices NB..PB; output index clamped sum.
+  std::vector<FuzzyRule> rules;
+  for (int e = 0; e < 5; ++e) {
+    for (int de = 0; de < 5; ++de) {
+      // e and de measured as (index - 2) in [-2, 2]; control action is
+      // proportional to the combined deviation, inverted for damping.
+      const int combined = std::clamp((e - 2) + (de - 2), -2, 2) + 2;
+      rules.push_back(FuzzyRule{labels[e], labels[de], labels[combined]});
+    }
+  }
+  return FuzzyController(std::move(error), std::move(derror),
+                         std::move(output), std::move(rules));
+}
+
+}  // namespace aars::control

@@ -1,0 +1,87 @@
+// Fuzzy-logic controller.
+//
+// "By intelligent controller, we mean the application of soft computing
+// techniques to the design of control systems ... currently, computational
+// intelligence techniques are based on fuzzy-logic, neural-networks and
+// genetic algorithms" (§3, footnote 3).  This is a two-input (error,
+// error-derivative) Mamdani controller with triangular membership
+// functions and centroid defuzzification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "util/errors.h"
+
+namespace aars::control {
+
+/// Triangular membership function over [a, c] peaking at b. Shoulder sets
+/// (a == b or b == c) saturate at the open end.
+struct TriangularSet {
+  std::string label;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  double membership(double x) const;
+  double centroid() const { return b; }
+};
+
+/// A linguistic variable: a named family of fuzzy sets.
+class FuzzyVariable {
+ public:
+  explicit FuzzyVariable(std::string name);
+
+  FuzzyVariable& add_set(TriangularSet set);
+  const TriangularSet* find(const std::string& label) const;
+  const std::vector<TriangularSet>& sets() const { return sets_; }
+  const std::string& name() const { return name_; }
+
+  /// Degree of membership of `x` in set `label` (0 when unknown).
+  double membership(const std::string& label, double x) const;
+
+  /// Builds the standard 5-set partition NB/NS/ZE/PS/PB over
+  /// [-range, range].
+  static FuzzyVariable standard5(std::string name, double range);
+
+ private:
+  std::string name_;
+  std::vector<TriangularSet> sets_;
+};
+
+/// IF error IS <e> AND derror IS <de> THEN output IS <out>.
+/// Empty antecedent labels mean "any".
+struct FuzzyRule {
+  std::string error_label;
+  std::string derror_label;
+  std::string output_label;
+};
+
+class FuzzyController final : public Controller {
+ public:
+  FuzzyController(FuzzyVariable error, FuzzyVariable derror,
+                  FuzzyVariable output, std::vector<FuzzyRule> rules);
+
+  double update(double error, double dt_seconds) override;
+  void reset() override;
+  std::string name() const override { return "fuzzy"; }
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// The canonical 5x5 PD-style rule base over standard5 partitions:
+  /// output pushes against error and damps against its derivative.
+  static FuzzyController make_standard(double error_range,
+                                       double derror_range,
+                                       double output_range);
+
+ private:
+  FuzzyVariable error_;
+  FuzzyVariable derror_;
+  FuzzyVariable output_;
+  std::vector<FuzzyRule> rules_;
+  double previous_error_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace aars::control

@@ -1,0 +1,109 @@
+#include "control/ga.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace aars::control {
+
+GaTuner::GaTuner(Options options) : options_(options) {
+  util::require(options_.population >= 4, "population too small");
+  util::require(options_.elites < options_.population,
+                "elites must be < population");
+  util::require(options_.tournament >= 1, "tournament size must be >= 1");
+}
+
+GaTuner::Outcome GaTuner::tune(const std::vector<double>& lower,
+                               const std::vector<double>& upper,
+                               const Fitness& fitness) {
+  util::require(!lower.empty() && lower.size() == upper.size(),
+                "bounds must be non-empty and congruent");
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    util::require(lower[i] < upper[i], "lower bound must be < upper bound");
+  }
+  util::require(static_cast<bool>(fitness), "fitness function required");
+
+  util::Rng rng(options_.seed);
+  const std::size_t genes = lower.size();
+
+  struct Individual {
+    std::vector<double> genome;
+    double fitness = 0.0;
+  };
+
+  Outcome outcome;
+  const auto evaluate = [&](Individual& ind) {
+    ind.fitness = fitness(ind.genome);
+    ++outcome.evaluations;
+  };
+
+  // Initial population: uniform random within bounds.
+  std::vector<Individual> population(options_.population);
+  for (Individual& ind : population) {
+    ind.genome.resize(genes);
+    for (std::size_t g = 0; g < genes; ++g) {
+      ind.genome[g] = rng.uniform(lower[g], upper[g]);
+    }
+    evaluate(ind);
+  }
+
+  const auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+
+  const auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (std::size_t i = 0; i < options_.tournament; ++i) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1));
+      if (best == nullptr || population[idx].fitness < best->fitness) {
+        best = &population[idx];
+      }
+    }
+    return *best;
+  };
+
+  for (std::size_t gen = 0; gen < options_.generations; ++gen) {
+    std::sort(population.begin(), population.end(), by_fitness);
+    outcome.history.push_back(population.front().fitness);
+
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (std::size_t e = 0; e < options_.elites; ++e) {
+      next.push_back(population[e]);
+    }
+    while (next.size() < population.size()) {
+      const Individual& a = tournament_pick();
+      const Individual& b = tournament_pick();
+      Individual child;
+      child.genome.resize(genes);
+      // Blend (BLX-style) crossover gene-wise, else copy the fitter parent.
+      const bool cross = rng.chance(options_.crossover_rate);
+      for (std::size_t g = 0; g < genes; ++g) {
+        if (cross) {
+          const double mix = rng.uniform();
+          child.genome[g] = mix * a.genome[g] + (1.0 - mix) * b.genome[g];
+        } else {
+          child.genome[g] =
+              (a.fitness <= b.fitness ? a : b).genome[g];
+        }
+        if (rng.chance(options_.mutation_rate)) {
+          const double sigma =
+              options_.mutation_sigma * (upper[g] - lower[g]);
+          child.genome[g] += rng.normal(0.0, sigma);
+        }
+        child.genome[g] = std::clamp(child.genome[g], lower[g], upper[g]);
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+  std::sort(population.begin(), population.end(), by_fitness);
+  outcome.history.push_back(population.front().fitness);
+  outcome.best_genome = population.front().genome;
+  outcome.best_fitness = population.front().fitness;
+  return outcome;
+}
+
+}  // namespace aars::control

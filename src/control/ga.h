@@ -1,0 +1,52 @@
+// Genetic-algorithm parameter tuner.
+//
+// The soft-computing third leg (§3 footnote: "fuzzy-logic, neural-networks
+// and genetic algorithms").  GaTuner minimises a fitness function (e.g. the
+// ITAE of a candidate controller on a recorded load trace) over a bounded
+// real-valued genome — used in E6 to tune PID gains automatically.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aars::control {
+
+class GaTuner {
+ public:
+  struct Options {
+    std::size_t population = 24;
+    std::size_t generations = 30;
+    std::size_t tournament = 3;
+    double crossover_rate = 0.9;
+    double mutation_rate = 0.2;
+    /// Gaussian mutation stddev as a fraction of each gene's range.
+    double mutation_sigma = 0.1;
+    std::size_t elites = 2;
+    std::uint64_t seed = 1234;
+  };
+
+  /// Lower fitness is better.
+  using Fitness = std::function<double(const std::vector<double>&)>;
+
+  struct Outcome {
+    std::vector<double> best_genome;
+    double best_fitness = 0.0;
+    /// Best fitness after each generation (for convergence plots).
+    std::vector<double> history;
+    std::size_t evaluations = 0;
+  };
+
+  GaTuner(Options options);
+  GaTuner() : GaTuner(Options{}) {}
+
+  /// Minimises `fitness` over genomes bounded by [lower[i], upper[i]].
+  Outcome tune(const std::vector<double>& lower,
+               const std::vector<double>& upper, const Fitness& fitness);
+
+ private:
+  Options options_;
+};
+
+}  // namespace aars::control

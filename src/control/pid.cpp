@@ -1,0 +1,42 @@
+#include "control/pid.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace aars::control {
+
+PidController::PidController(Gains gains, double output_min,
+                             double output_max)
+    : gains_(gains), output_min_(output_min), output_max_(output_max) {
+  util::require(output_min < output_max, "invalid output range");
+}
+
+double PidController::update(double error, double dt_seconds) {
+  util::require(dt_seconds > 0.0, "dt must be positive");
+  const double p = gains_.kp * error;
+  double i = 0.0;
+  if (gains_.ki != 0.0) {
+    integral_ += error * dt_seconds;
+    // Anti-windup: keep the integral contribution within the output range.
+    const double i_max = std::max(std::abs(output_min_), std::abs(output_max_)) /
+                         std::abs(gains_.ki);
+    integral_ = std::clamp(integral_, -i_max, i_max);
+    i = gains_.ki * integral_;
+  }
+  double d = 0.0;
+  if (gains_.kd != 0.0 && primed_) {
+    d = gains_.kd * (error - previous_error_) / dt_seconds;
+  }
+  previous_error_ = error;
+  primed_ = true;
+  return std::clamp(p + i + d, output_min_, output_max_);
+}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  previous_error_ = 0.0;
+  primed_ = false;
+}
+
+}  // namespace aars::control

@@ -1,0 +1,38 @@
+// PID controller — the classical-control reference point the paper cites
+// from [Dutt97][Kuo95] before arguing for soft-computing controllers.
+#pragma once
+
+#include "control/controller.h"
+
+namespace aars::control {
+
+class PidController final : public Controller {
+ public:
+  struct Gains {
+    double kp = 1.0;
+    double ki = 0.0;
+    double kd = 0.0;
+  };
+
+  /// `output_min/max` clamp the output; the integrator is clamped to the
+  /// same range scaled by 1/ki (conditional anti-windup).
+  PidController(Gains gains, double output_min, double output_max);
+
+  double update(double error, double dt_seconds) override;
+  void reset() override;
+  std::string name() const override { return "pid"; }
+
+  const Gains& gains() const { return gains_; }
+  void set_gains(Gains gains) { gains_ = gains; }
+  double integral() const { return integral_; }
+
+ private:
+  Gains gains_;
+  double output_min_;
+  double output_max_;
+  double integral_ = 0.0;
+  double previous_error_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace aars::control

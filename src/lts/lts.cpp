@@ -1,0 +1,294 @@
+#include "lts/lts.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace aars::lts {
+
+std::string Label::to_string() const {
+  if (direction == Direction::kInternal) return "tau";
+  return action + lts::to_string(direction);
+}
+
+Label in(std::string action) {
+  return Label{std::move(action), Direction::kInput};
+}
+Label out(std::string action) {
+  return Label{std::move(action), Direction::kOutput};
+}
+Label tau() { return Label{"", Direction::kInternal}; }
+
+Lts::Lts(std::string name) : name_(std::move(name)) {
+  add_state();  // state 0: initial
+}
+
+StateId Lts::add_state(bool final_state) {
+  final_.push_back(final_state);
+  adjacency_.emplace_back();
+  return final_.size() - 1;
+}
+
+void Lts::set_final(StateId state, bool final_state) {
+  util::require(state < final_.size(), "unknown state");
+  final_[state] = final_state;
+}
+
+bool Lts::is_final(StateId state) const {
+  util::require(state < final_.size(), "unknown state");
+  return final_[state];
+}
+
+void Lts::add_transition(StateId from, Label label, StateId to) {
+  util::require(from < final_.size() && to < final_.size(),
+                "transition endpoints must exist");
+  adjacency_[from].push_back(transitions_.size());
+  transitions_.push_back(Transition{from, std::move(label), to});
+}
+
+std::vector<const Transition*> Lts::outgoing(StateId state) const {
+  util::require(state < adjacency_.size(), "unknown state");
+  std::vector<const Transition*> out;
+  out.reserve(adjacency_[state].size());
+  for (std::size_t idx : adjacency_[state]) out.push_back(&transitions_[idx]);
+  return out;
+}
+
+std::vector<std::string> Lts::alphabet() const {
+  std::set<std::string> names;
+  for (const Transition& t : transitions_) {
+    if (t.label.direction != Direction::kInternal) names.insert(t.label.action);
+  }
+  return {names.begin(), names.end()};
+}
+
+std::vector<StateId> Lts::reachable() const {
+  std::vector<bool> seen(state_count(), false);
+  std::deque<StateId> frontier{initial()};
+  seen[initial()] = true;
+  std::vector<StateId> out;
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop_front();
+    out.push_back(s);
+    for (std::size_t idx : adjacency_[s]) {
+      const StateId next = transitions_[idx].to;
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+bool Lts::deadlock_free() const {
+  for (StateId s : reachable()) {
+    if (adjacency_[s].empty() && !final_[s]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Pair-state bookkeeping for the product construction.
+struct PairHash {
+  std::size_t operator()(const std::pair<StateId, StateId>& p) const {
+    return p.first * 1000003u + p.second;
+  }
+};
+
+bool is_shared(const std::string& action,
+               const std::set<std::string>& shared) {
+  return shared.count(action) > 0;
+}
+
+}  // namespace
+
+Lts compose(const Lts& a, const Lts& b) {
+  const auto alpha_a = a.alphabet();
+  const auto alpha_b = b.alphabet();
+  std::set<std::string> shared;
+  {
+    std::set<std::string> sa(alpha_a.begin(), alpha_a.end());
+    for (const std::string& x : alpha_b) {
+      if (sa.count(x)) shared.insert(x);
+    }
+  }
+
+  Lts product(a.name() + "||" + b.name());
+  std::map<std::pair<StateId, StateId>, StateId> index;
+  std::deque<std::pair<StateId, StateId>> frontier;
+
+  const auto intern = [&](StateId sa, StateId sb) -> StateId {
+    const auto key = std::make_pair(sa, sb);
+    auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    StateId id;
+    if (index.empty()) {
+      id = product.initial();  // state 0 exists already
+    } else {
+      id = product.add_state();
+    }
+    product.set_final(id, a.is_final(sa) && b.is_final(sb));
+    index.emplace(key, id);
+    frontier.emplace_back(sa, sb);
+    return id;
+  };
+
+  intern(a.initial(), b.initial());
+  while (!frontier.empty()) {
+    const auto [sa, sb] = frontier.front();
+    frontier.pop_front();
+    const StateId from = index.at({sa, sb});
+
+    // Synchronised moves on shared actions with opposite directions.
+    for (const Transition* ta : a.outgoing(sa)) {
+      if (ta->label.direction == Direction::kInternal ||
+          !is_shared(ta->label.action, shared)) {
+        continue;
+      }
+      for (const Transition* tb : b.outgoing(sb)) {
+        if (tb->label.action != ta->label.action) continue;
+        const bool opposite =
+            (ta->label.direction == Direction::kOutput &&
+             tb->label.direction == Direction::kInput) ||
+            (ta->label.direction == Direction::kInput &&
+             tb->label.direction == Direction::kOutput);
+        if (!opposite) continue;
+        const StateId to = intern(ta->to, tb->to);
+        product.add_transition(from,
+                               Label{ta->label.action, Direction::kInternal},
+                               to);
+      }
+    }
+    // Interleaved moves: internal labels and non-shared actions.
+    for (const Transition* ta : a.outgoing(sa)) {
+      if (ta->label.direction != Direction::kInternal &&
+          is_shared(ta->label.action, shared)) {
+        continue;
+      }
+      const StateId to = intern(ta->to, sb);
+      product.add_transition(from, ta->label, to);
+    }
+    for (const Transition* tb : b.outgoing(sb)) {
+      if (tb->label.direction != Direction::kInternal &&
+          is_shared(tb->label.action, shared)) {
+        continue;
+      }
+      const StateId to = intern(sa, tb->to);
+      product.add_transition(from, tb->label, to);
+    }
+  }
+  return product;
+}
+
+CompatibilityReport check_compatibility(const Lts& a, const Lts& b) {
+  CompatibilityReport report;
+  const Lts product = compose(a, b);
+  report.product_states = product.state_count();
+
+  // BFS from the initial state remembering the path.
+  std::vector<int> parent(product.state_count(), -1);
+  std::vector<std::string> via(product.state_count());
+  std::vector<bool> seen(product.state_count(), false);
+  std::deque<StateId> frontier{product.initial()};
+  seen[product.initial()] = true;
+
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop_front();
+    const auto out = product.outgoing(s);
+    if (out.empty() && !product.is_final(s)) {
+      report.compatible = false;
+      report.diagnosis = "deadlock: no joint transition and not a final state";
+      // Reconstruct the trace.
+      std::vector<std::string> trace;
+      for (StateId at = s; parent[at] >= 0;
+           at = static_cast<StateId>(parent[at])) {
+        trace.push_back(via[at]);
+      }
+      std::reverse(trace.begin(), trace.end());
+      report.counterexample = std::move(trace);
+      return report;
+    }
+    for (const Transition* t : out) {
+      if (!seen[t->to]) {
+        seen[t->to] = true;
+        parent[t->to] = static_cast<int>(s);
+        via[t->to] = t->label.to_string();
+        frontier.push_back(t->to);
+      }
+    }
+  }
+  return report;
+}
+
+Lts request_reply_client(std::size_t pipeline_depth) {
+  util::require(pipeline_depth >= 1, "pipeline depth must be >= 1");
+  Lts lts("rr-client");
+  // States 0..depth: i requests in flight. Initial state is final (idle).
+  lts.set_final(lts.initial(), true);
+  std::vector<StateId> states{lts.initial()};
+  for (std::size_t i = 1; i <= pipeline_depth; ++i) {
+    states.push_back(lts.add_state());
+  }
+  for (std::size_t i = 0; i < pipeline_depth; ++i) {
+    lts.add_transition(states[i], out("request"), states[i + 1]);
+    lts.add_transition(states[i + 1], in("reply"), states[i]);
+  }
+  return lts;
+}
+
+Lts request_reply_server() {
+  Lts lts("rr-server");
+  lts.set_final(lts.initial(), true);
+  const StateId busy = lts.add_state();
+  lts.add_transition(lts.initial(), in("request"), busy);
+  lts.add_transition(busy, out("reply"), lts.initial());
+  return lts;
+}
+
+Lts event_source() {
+  Lts lts("event-source");
+  lts.set_final(lts.initial(), true);
+  lts.add_transition(lts.initial(), out("event"), lts.initial());
+  return lts;
+}
+
+Lts event_sink() {
+  Lts lts("event-sink");
+  lts.set_final(lts.initial(), true);
+  lts.add_transition(lts.initial(), in("event"), lts.initial());
+  return lts;
+}
+
+Lts sequential_emitter(std::size_t n, const std::string& prefix) {
+  util::require(n >= 1, "need at least one action");
+  Lts lts("seq-emitter");
+  StateId prev = lts.initial();
+  for (std::size_t i = 0; i < n; ++i) {
+    const StateId next = (i + 1 == n) ? lts.initial()
+                                      : lts.add_state();
+    lts.add_transition(prev, out(prefix + std::to_string(i)), next);
+    prev = next;
+  }
+  lts.set_final(lts.initial(), true);
+  return lts;
+}
+
+Lts sequential_acceptor(std::size_t n, const std::string& prefix) {
+  util::require(n >= 1, "need at least one action");
+  Lts lts("seq-acceptor");
+  StateId prev = lts.initial();
+  for (std::size_t i = 0; i < n; ++i) {
+    const StateId next = (i + 1 == n) ? lts.initial()
+                                      : lts.add_state();
+    lts.add_transition(prev, in(prefix + std::to_string(i)), next);
+    prev = next;
+  }
+  lts.set_final(lts.initial(), true);
+  return lts;
+}
+
+}  // namespace aars::lts

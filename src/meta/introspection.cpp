@@ -1,0 +1,155 @@
+#include "meta/introspection.h"
+
+// GCC 12's -Wmaybe-uninitialized fires a known false positive deep inside
+// std::variant copy construction materialised from Value::object
+// initializer lists in this translation unit.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace aars::meta {
+
+using component::Component;
+using connector::Connector;
+using util::ComponentId;
+using util::ConnectorId;
+using util::NodeId;
+using util::Value;
+
+SystemView::SystemView(runtime::Application& app) : app_(app) {}
+
+Value SystemView::describe_component(ComponentId id) {
+  const Component* comp = app_.find_component(id);
+  if (comp == nullptr) return Value{};
+  Value ops{util::ValueList{}};
+  for (const std::string& op : comp->operations()) {
+    ops.as_list().push_back(Value{op});
+  }
+  const NodeId node = app_.placement(id);
+  return Value::object({
+      {"id", static_cast<std::int64_t>(id.raw())},
+      {"instance", comp->instance_name()},
+      {"type", comp->type_name()},
+      {"lifecycle", std::string(component::to_string(comp->lifecycle()))},
+      {"provided", comp->provided().name()},
+      {"version", static_cast<std::int64_t>(comp->provided().version())},
+      {"operations", ops},
+      {"node", static_cast<std::int64_t>(node.raw())},
+      {"handled", static_cast<std::int64_t>(comp->handled_count())},
+      {"quiescent", comp->quiescent()},
+  });
+}
+
+Value SystemView::describe_connector(ConnectorId id) {
+  Connector* conn = app_.find_connector(id);
+  if (conn == nullptr) return Value{};
+  Value providers{util::ValueList{}};
+  for (ComponentId provider : conn->providers()) {
+    providers.as_list().push_back(
+        Value{static_cast<std::int64_t>(provider.raw())});
+  }
+  Value interceptors{util::ValueList{}};
+  for (const std::string& name : conn->interceptor_names()) {
+    interceptors.as_list().push_back(Value{name});
+  }
+  return Value::object({
+      {"id", static_cast<std::int64_t>(id.raw())},
+      {"name", conn->name()},
+      {"routing", std::string(connector::to_string(conn->routing()))},
+      {"providers", providers},
+      {"interceptors", interceptors},
+      {"relayed", static_cast<std::int64_t>(conn->relayed())},
+  });
+}
+
+Value SystemView::describe_node(NodeId id) {
+  const sim::Node& node = app_.network().node(id);
+  const util::SimTime now = app_.loop().now();
+  return Value::object({
+      {"id", static_cast<std::int64_t>(id.raw())},
+      {"name", node.name()},
+      {"capacity", node.capacity()},
+      {"utilization", node.utilization(now)},
+      {"backlog_us", node.backlog(now)},
+      {"jobs", static_cast<std::int64_t>(node.jobs())},
+  });
+}
+
+Value SystemView::describe_system() {
+  Value components{util::ValueList{}};
+  for (ComponentId id : app_.component_ids()) {
+    components.as_list().push_back(describe_component(id));
+  }
+  Value connectors{util::ValueList{}};
+  for (ConnectorId id : app_.connector_ids()) {
+    connectors.as_list().push_back(describe_connector(id));
+  }
+  Value nodes{util::ValueList{}};
+  for (NodeId id : app_.network().node_ids()) {
+    nodes.as_list().push_back(describe_node(id));
+  }
+  return Value::object({
+      {"components", components},
+      {"connectors", connectors},
+      {"nodes", nodes},
+      {"total_calls", static_cast<std::int64_t>(app_.total_calls())},
+      {"failed_calls", static_cast<std::int64_t>(app_.failed_calls())},
+  });
+}
+
+Value SystemView::channel_report() {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t held = 0;
+  for (ComponentId id : app_.component_ids()) {
+    for (runtime::Channel* chan : app_.channels_to(id)) {
+      sent += chan->sent();
+      delivered += chan->delivered();
+      dropped += chan->dropped();
+      duplicated += chan->duplicated();
+      in_flight += chan->in_flight();
+      held += chan->held_count();
+    }
+  }
+  return Value::object({
+      {"sent", static_cast<std::int64_t>(sent)},
+      {"delivered", static_cast<std::int64_t>(delivered)},
+      {"dropped", static_cast<std::int64_t>(dropped)},
+      {"duplicated", static_cast<std::int64_t>(duplicated)},
+      {"in_flight", static_cast<std::int64_t>(in_flight)},
+      {"held", static_cast<std::int64_t>(held)},
+  });
+}
+
+NodeId SystemView::busiest_node() {
+  NodeId best = NodeId::invalid();
+  std::int64_t worst_backlog = -1;
+  const util::SimTime now = app_.loop().now();
+  for (NodeId id : app_.network().node_ids()) {
+    const std::int64_t backlog = app_.network().node(id).backlog(now);
+    if (backlog > worst_backlog) {
+      worst_backlog = backlog;
+      best = id;
+    }
+  }
+  return best;
+}
+
+NodeId SystemView::calmest_node() {
+  NodeId best = NodeId::invalid();
+  std::int64_t least = std::numeric_limits<std::int64_t>::max();
+  const util::SimTime now = app_.loop().now();
+  for (NodeId id : app_.network().node_ids()) {
+    const std::int64_t backlog = app_.network().node(id).backlog(now);
+    if (backlog < least) {
+      least = backlog;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace aars::meta

@@ -1,0 +1,42 @@
+// Introspection: the observation half of RAML.
+//
+// "Dynamic adaptability may be reached using introspection (observing
+// behavior) and intercession (changing behavior) at run-time" (§3).
+// SystemView renders the running application — components, connectors,
+// bindings, placement, channel integrity counters, node load — as Value
+// trees that rules and operators can inspect without touching the runtime's
+// internals.
+#pragma once
+
+#include "runtime/application.h"
+#include "util/value.h"
+
+namespace aars::meta {
+
+class SystemView {
+ public:
+  explicit SystemView(runtime::Application& app);
+
+  /// Reflective description of one component (type, lifecycle, operations,
+  /// placement, counters).
+  util::Value describe_component(util::ComponentId id);
+  /// One connector: spec, providers, interceptors, relay count.
+  util::Value describe_connector(util::ConnectorId id);
+  /// One node: capacity, utilisation, backlog.
+  util::Value describe_node(util::NodeId id);
+  /// The whole configuration (the architecture as currently running).
+  util::Value describe_system();
+
+  /// Channel integrity summary (sent/delivered/dropped/duplicated).
+  util::Value channel_report();
+
+  /// Hottest node by backlog at the current instant.
+  util::NodeId busiest_node();
+  /// Least-loaded node by backlog.
+  util::NodeId calmest_node();
+
+ private:
+  runtime::Application& app_;
+};
+
+}  // namespace aars::meta

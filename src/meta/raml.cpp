@@ -1,0 +1,91 @@
+#include "meta/raml.h"
+
+namespace aars::meta {
+
+using util::Duration;
+using util::SimTime;
+
+Raml::Raml(runtime::Application& app, reconfig::ReconfigurationEngine& engine,
+           Duration period)
+    : app_(app),
+      engine_(engine),
+      period_(period),
+      view_(app),
+      rule_engine_(app.loop()) {
+  util::require(period > 0, "period must be positive");
+}
+
+void Raml::add_sensor(const std::string& name,
+                      std::function<double()> sensor) {
+  util::require(static_cast<bool>(sensor), "sensor required");
+  sensors_.emplace_back(name, std::move(sensor));
+}
+
+void Raml::watch(std::shared_ptr<qos::QosMonitor> monitor) {
+  util::require(monitor != nullptr, "monitor required");
+  monitors_.push_back(std::move(monitor));
+}
+
+void Raml::add_policy(Policy policy) {
+  util::require(static_cast<bool>(policy.condition), "condition required");
+  util::require(static_cast<bool>(policy.action), "action required");
+  policies_.push_back(std::move(policy));
+}
+
+void Raml::tick() {
+  ++ticks_;
+  // Monitor: sample every sensor.
+  MetricSample sample;
+  sample.at = app_.loop().now();
+  for (const auto& [name, sensor] : sensors_) {
+    sample.values[name] = sensor();
+  }
+  // Compliancy checking of watched contracts.
+  for (const auto& monitor : monitors_) {
+    const qos::Compliance compliance = monitor->evaluate();
+    sample.values["qos." + monitor->contract().name + ".compliant"] =
+        compliance.compliant ? 1.0 : 0.0;
+    if (!compliance.compliant) {
+      rule_engine_.emit("qos_violation", compliance.describe());
+    }
+  }
+  last_sample_ = sample;
+  // Analyze + plan + execute.
+  for (const Policy& policy : policies_) {
+    if (policy.cooldown > 0) {
+      auto it = last_fired_.find(policy.name);
+      if (it != last_fired_.end() &&
+          sample.at - it->second < policy.cooldown) {
+        continue;
+      }
+    }
+    if (policy.condition(sample)) {
+      last_fired_[policy.name] = sample.at;
+      ++actions_taken_;
+      rule_engine_.emit("policy_fired",
+                        util::Value::object({{"policy", policy.name}}));
+      policy.action(*this);
+    }
+  }
+  // Parked waitUntil events get a periodic chance to proceed.
+  rule_engine_.poll_waiting();
+}
+
+void Raml::tick_and_next() {
+  if (!running_) return;
+  tick();
+  pending_ = app_.loop().schedule_after(period_, [this] { tick_and_next(); });
+}
+
+void Raml::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = app_.loop().schedule_after(period_, [this] { tick_and_next(); });
+}
+
+void Raml::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+}  // namespace aars::meta

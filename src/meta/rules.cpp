@@ -1,0 +1,161 @@
+#include "meta/rules.h"
+
+#include <set>
+
+namespace aars::meta {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+RuleEngine::RuleEngine(sim::EventLoop& loop) : loop_(loop) {}
+
+bool RuleEngine::would_create_cycle(const Rule& candidate) const {
+  if (candidate.action_event.empty()) return false;
+  // Build trigger -> action edges including the candidate, then DFS from
+  // the candidate's action looking for a path back to its trigger.
+  std::map<std::string, std::set<std::string>> edges;
+  for (const Stored& stored : rules_) {
+    if (!stored.rule.action_event.empty()) {
+      edges[stored.rule.trigger_event].insert(stored.rule.action_event);
+    }
+  }
+  edges[candidate.trigger_event].insert(candidate.action_event);
+
+  // A cycle exists iff candidate.trigger_event is reachable from
+  // candidate.action_event (or the rule is directly self-triggering).
+  std::set<std::string> seen;
+  std::vector<std::string> stack{candidate.action_event};
+  while (!stack.empty()) {
+    const std::string current = stack.back();
+    stack.pop_back();
+    if (current == candidate.trigger_event) return true;
+    if (!seen.insert(current).second) continue;
+    auto it = edges.find(current);
+    if (it == edges.end()) continue;
+    for (const std::string& next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+Result<RuleId> RuleEngine::add_rule(Rule rule) {
+  if (rule.trigger_event.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "rule needs a trigger event"};
+  }
+  if (!rule.action && rule.op != RuleOperator::kPermittedIf &&
+      rule.op != RuleOperator::kWaitUntil) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "rule '" + rule.name + "' needs an action"};
+  }
+  if ((rule.op == RuleOperator::kPermittedIf ||
+       rule.op == RuleOperator::kWaitUntil) &&
+      !rule.guard) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "rule '" + rule.name + "' needs a guard"};
+  }
+  if (rule.op == RuleOperator::kImpliesLater && rule.delay <= 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "impliesLater rule '" + rule.name + "' needs a delay"};
+  }
+  if (would_create_cycle(rule)) {
+    return Error{ErrorCode::kCycleDetected,
+                 "rule '" + rule.name + "' creates a cycle in the calling "
+                 "tree (" + rule.trigger_event + " -> " + rule.action_event +
+                 ")"};
+  }
+  const RuleId id = ids_.next();
+  rules_.push_back(Stored{id, std::move(rule)});
+  return id;
+}
+
+Status RuleEngine::remove_rule(RuleId id) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->id == id) {
+      rules_.erase(it);
+      return Status::success();
+    }
+  }
+  return Error{ErrorCode::kNotFound, "no such rule"};
+}
+
+void RuleEngine::subscribe(const std::string& event_name,
+                           std::function<void(const Event&)> handler) {
+  util::require(static_cast<bool>(handler), "handler required");
+  subscribers_[event_name].push_back(std::move(handler));
+}
+
+void RuleEngine::run_action(const Stored& stored, const Event& event) {
+  ++fired_;
+  if (stored.rule.action) stored.rule.action(event);
+  if (!stored.rule.action_event.empty()) {
+    emit(stored.rule.action_event, event.data);
+  }
+}
+
+void RuleEngine::dispatch(const Event& event) {
+  auto it = subscribers_.find(event.name);
+  if (it == subscribers_.end()) return;
+  for (const auto& handler : it->second) handler(event);
+}
+
+void RuleEngine::emit(const std::string& name, Value data) {
+  util::require(depth_ < 64, "rule emission depth exceeded");
+  ++depth_;
+  Event event{name, std::move(data), loop_.now()};
+
+  // Gate: permittedIf — all matching guards must allow the event.
+  for (const Stored& stored : rules_) {
+    if (stored.rule.op != RuleOperator::kPermittedIf) continue;
+    if (stored.rule.trigger_event != name) continue;
+    if (!stored.rule.guard(event)) {
+      ++rejected_;
+      --depth_;
+      return;
+    }
+  }
+  // Gate: waitUntil — a failing guard parks the event.
+  for (const Stored& stored : rules_) {
+    if (stored.rule.op != RuleOperator::kWaitUntil) continue;
+    if (stored.rule.trigger_event != name) continue;
+    if (!stored.rule.guard(event)) {
+      waiting_.push_back(event);
+      --depth_;
+      return;
+    }
+  }
+  // impliesBefore actions precede delivery.
+  for (const Stored& stored : rules_) {
+    if (stored.rule.op != RuleOperator::kImpliesBefore) continue;
+    if (stored.rule.trigger_event != name) continue;
+    if (stored.rule.guard && !stored.rule.guard(event)) continue;
+    run_action(stored, event);
+  }
+  dispatch(event);
+  // implies / impliesLater actions follow delivery.
+  for (const Stored& stored : rules_) {
+    if (stored.rule.trigger_event != name) continue;
+    if (stored.rule.guard && !stored.rule.guard(event)) continue;
+    if (stored.rule.op == RuleOperator::kImplies) {
+      run_action(stored, event);
+    } else if (stored.rule.op == RuleOperator::kImpliesLater) {
+      const Stored stored_copy = stored;
+      loop_.schedule_after(stored.rule.delay, [this, stored_copy, event] {
+        run_action(stored_copy, event);
+      });
+    }
+  }
+  --depth_;
+}
+
+void RuleEngine::poll_waiting() {
+  std::vector<Event> parked = std::move(waiting_);
+  waiting_.clear();
+  for (Event& event : parked) {
+    // Re-run the full emission pipeline; still-failing guards re-park.
+    emit(event.name, std::move(event.data));
+  }
+}
+
+}  // namespace aars::meta

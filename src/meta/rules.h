@@ -1,0 +1,121 @@
+// FLO/C-style rule engine.
+//
+// "FLO/C allows the operator to specify rules that should govern the
+// interaction between components or activities, and preserve the integrity
+// of the system ... The grammar of FLO/C contains preconditions, which may
+// trigger some function according to the used operator.  The system
+// provides the following operators: impliesLater, implies, impliesBefore,
+// permittedIf, and waitUntil.  To guarantee that there is no occurrence of
+// a cycle in the calling tree, rules are parsed and semantically checked"
+// (§1, [Gunt98]).
+//
+// Events carry a name and a Value payload.  Each rule binds a trigger event
+// to an action through one of the five operators.  Actions themselves emit
+// an event named after the rule's `action_event`, so rule chains are
+// expressible — and the add_rule() semantic check rejects rule sets whose
+// trigger→action graph contains a cycle (kCycleDetected), mirroring FLO/C.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/value.h"
+
+namespace aars::meta {
+
+using util::RuleId;
+
+enum class RuleOperator {
+  kImplies,        // trigger & guard  -> run action now
+  kImpliesLater,   // trigger & guard  -> run action after `delay`
+  kImpliesBefore,  // action runs before the event reaches subscribers
+  kPermittedIf,    // event is delivered only when guard holds
+  kWaitUntil,      // event is parked until guard holds, then delivered
+};
+
+constexpr const char* to_string(RuleOperator op) {
+  switch (op) {
+    case RuleOperator::kImplies: return "implies";
+    case RuleOperator::kImpliesLater: return "impliesLater";
+    case RuleOperator::kImpliesBefore: return "impliesBefore";
+    case RuleOperator::kPermittedIf: return "permittedIf";
+    case RuleOperator::kWaitUntil: return "waitUntil";
+  }
+  return "?";
+}
+
+struct Event {
+  std::string name;
+  util::Value data;
+  util::SimTime at = 0;
+};
+
+struct Rule {
+  std::string name;
+  std::string trigger_event;
+  /// Precondition; empty guard means "always".
+  std::function<bool(const Event&)> guard;
+  RuleOperator op = RuleOperator::kImplies;
+  /// The action body.
+  std::function<void(const Event&)> action;
+  /// Event emitted when the action runs (names the action in the calling
+  /// graph; may be empty for leaf actions).
+  std::string action_event;
+  /// Delay for kImpliesLater.
+  util::Duration delay = 0;
+};
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(sim::EventLoop& loop);
+
+  /// Adds a rule after semantically checking that the rule graph —
+  /// edges trigger_event -> action_event over all rules — stays acyclic.
+  util::Result<RuleId> add_rule(Rule rule);
+  util::Status remove_rule(RuleId id);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Registers an event consumer (the base-level observer).
+  void subscribe(const std::string& event_name,
+                 std::function<void(const Event&)> handler);
+
+  /// Emits an event: applies permittedIf/waitUntil gates, runs
+  /// impliesBefore actions, delivers to subscribers, then runs implies /
+  /// impliesLater actions.
+  void emit(const std::string& name, util::Value data);
+
+  /// Re-checks parked waitUntil events (also re-checked on every emit).
+  void poll_waiting();
+
+  std::uint64_t fired() const { return fired_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::size_t waiting() const { return waiting_.size(); }
+
+ private:
+  struct Stored {
+    RuleId id;
+    Rule rule;
+  };
+
+  bool would_create_cycle(const Rule& candidate) const;
+  void dispatch(const Event& event);
+  void run_action(const Stored& stored, const Event& event);
+
+  sim::EventLoop& loop_;
+  util::IdGenerator<RuleId> ids_;
+  std::vector<Stored> rules_;
+  std::map<std::string, std::vector<std::function<void(const Event&)>>>
+      subscribers_;
+  std::vector<Event> waiting_;
+  std::uint64_t fired_ = 0;
+  std::uint64_t rejected_ = 0;
+  /// Emission depth guard against runaway recursive chains.
+  int depth_ = 0;
+};
+
+}  // namespace aars::meta

@@ -1,0 +1,38 @@
+#include "qos/contract.h"
+
+namespace aars::qos {
+
+using util::Value;
+
+Value QosContract::describe() const {
+  return Value::object({
+      {"name", name},
+      {"max_mean_latency_us", max_mean_latency},
+      {"max_peak_latency_us", max_peak_latency},
+      {"min_throughput", min_throughput},
+      {"max_failure_rate", max_failure_rate},
+      {"min_quality_level", static_cast<std::int64_t>(min_quality_level)},
+  });
+}
+
+const Finding* Compliance::find(const std::string& dimension) const {
+  for (const Finding& f : findings) {
+    if (f.dimension == dimension) return &f;
+  }
+  return nullptr;
+}
+
+Value Compliance::describe() const {
+  Value list{util::ValueList{}};
+  for (const Finding& f : findings) {
+    list.as_list().push_back(Value::object({{"dimension", f.dimension},
+                                            {"observed", f.observed},
+                                            {"bound", f.bound},
+                                            {"violated", f.violated}}));
+  }
+  return Value::object({{"compliant", compliant},
+                        {"evaluated_at", evaluated_at},
+                        {"findings", list}});
+}
+
+}  // namespace aars::qos

@@ -1,0 +1,59 @@
+// Quality-of-service contracts.
+//
+// "Systems should also keep compliant with the contracted quality of
+// service" (Abstract).  A QosContract declares the bounds a service must
+// honour; monitors evaluate observed behaviour against it and RAML rules
+// react to violations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+#include "util/value.h"
+
+namespace aars::qos {
+
+using util::ContractId;
+using util::Duration;
+
+/// Declarative service-quality bounds. A zero/negative bound means
+/// "unconstrained" for that dimension.
+struct QosContract {
+  ContractId id;
+  std::string name;
+  /// Mean latency bound over the evaluation window.
+  Duration max_mean_latency = 0;
+  /// Worst observed latency bound over the window.
+  Duration max_peak_latency = 0;
+  /// Minimum completed calls per second.
+  double min_throughput = 0.0;
+  /// Maximum fraction of failed calls, in [0,1].
+  double max_failure_rate = 1.0;
+  /// Minimum media quality level (telecom services).
+  int min_quality_level = 0;
+
+  /// Renders the contract for introspection.
+  util::Value describe() const;
+};
+
+/// One dimension's verdict.
+struct Finding {
+  std::string dimension;  // "mean_latency", "throughput", ...
+  double observed = 0.0;
+  double bound = 0.0;
+  bool violated = false;
+};
+
+/// A full compliance evaluation.
+struct Compliance {
+  bool compliant = true;
+  util::SimTime evaluated_at = 0;
+  std::vector<Finding> findings;
+
+  const Finding* find(const std::string& dimension) const;
+  util::Value describe() const;
+};
+
+}  // namespace aars::qos

@@ -1,0 +1,111 @@
+#include "qos/monitor.h"
+
+namespace aars::qos {
+
+using util::Duration;
+using util::SimTime;
+
+QosMonitor::QosMonitor(sim::EventLoop& loop, QosContract contract,
+                       Duration window)
+    : loop_(loop),
+      contract_(std::move(contract)),
+      latencies_(window),
+      failures_(window),
+      qualities_(window) {
+  util::require(window > 0, "window must be positive");
+}
+
+void QosMonitor::record_call(Duration latency, bool ok) {
+  const SimTime now = loop_.now();
+  if (ok) {
+    latencies_.add(now, static_cast<double>(latency));
+  }
+  failures_.add(now, ok ? 0.0 : 1.0);
+}
+
+void QosMonitor::record_quality(int level) {
+  qualities_.add(loop_.now(), static_cast<double>(level));
+}
+
+double QosMonitor::throughput() const {
+  return failures_.rate(loop_.now());
+}
+
+double QosMonitor::failure_rate() const { return failures_.mean(); }
+
+Compliance QosMonitor::evaluate() {
+  const SimTime now = loop_.now();
+  latencies_.advance(now);
+  failures_.advance(now);
+  qualities_.advance(now);
+
+  Compliance compliance;
+  compliance.evaluated_at = now;
+  ++evaluations_;
+
+  const auto add = [&compliance](const std::string& dim, double observed,
+                                 double bound, bool violated) {
+    compliance.findings.push_back(Finding{dim, observed, bound, violated});
+    if (violated) compliance.compliant = false;
+  };
+
+  if (contract_.max_mean_latency > 0 && latencies_.count() > 0) {
+    const double observed = latencies_.mean();
+    add("mean_latency", observed,
+        static_cast<double>(contract_.max_mean_latency),
+        observed > static_cast<double>(contract_.max_mean_latency));
+  }
+  if (contract_.max_peak_latency > 0 && latencies_.count() > 0) {
+    const double observed = latencies_.max();
+    add("peak_latency", observed,
+        static_cast<double>(contract_.max_peak_latency),
+        observed > static_cast<double>(contract_.max_peak_latency));
+  }
+  if (contract_.min_throughput > 0.0) {
+    const double observed = throughput();
+    add("throughput", observed, contract_.min_throughput,
+        observed < contract_.min_throughput);
+  }
+  if (contract_.max_failure_rate < 1.0 && failures_.count() > 0) {
+    const double observed = failure_rate();
+    add("failure_rate", observed, contract_.max_failure_rate,
+        observed > contract_.max_failure_rate);
+  }
+  if (contract_.min_quality_level > 0 && qualities_.count() > 0) {
+    const double observed = qualities_.mean();
+    add("quality", observed,
+        static_cast<double>(contract_.min_quality_level),
+        observed < static_cast<double>(contract_.min_quality_level));
+  }
+
+  if (!compliance.compliant) {
+    ++violations_;
+    for (const ViolationHook& hook : hooks_) hook(compliance);
+  }
+  return compliance;
+}
+
+void QosMonitor::tick(Duration period) {
+  if (!periodic_running_) return;
+  (void)evaluate();
+  periodic_ = loop_.schedule_after(period, [this, period] { tick(period); });
+}
+
+void QosMonitor::start_periodic(Duration period) {
+  util::require(period > 0, "period must be positive");
+  if (periodic_running_) return;
+  periodic_running_ = true;
+  periodic_ = loop_.schedule_after(period, [this, period] { tick(period); });
+}
+
+void QosMonitor::stop_periodic() {
+  periodic_running_ = false;
+  periodic_.cancel();
+}
+
+void QosMonitor::on_violation(ViolationHook hook) {
+  util::require(static_cast<bool>(hook), "hook required");
+  hooks_.push_back(std::move(hook));
+}
+
+}  // namespace aars::qos

@@ -1,0 +1,36 @@
+#include "reconfig/adapter.h"
+
+namespace aars::reconfig {
+
+using util::Value;
+
+InterfaceAdapter::InterfaceAdapter(AdapterSpec spec) : spec_(std::move(spec)) {}
+
+connector::Interceptor::Verdict InterfaceAdapter::before(
+    component::Message& request, util::Result<Value>* /*reply_out*/) {
+  bool touched = false;
+  auto rename = spec_.renames.find(request.operation);
+  if (rename != spec_.renames.end()) {
+    request.operation = rename->second;
+    touched = true;
+  }
+  auto defaults = spec_.defaults.find(request.operation);
+  if (defaults != spec_.defaults.end() && defaults->second.is_map()) {
+    if (request.payload.is_null()) request.payload = Value{util::ValueMap{}};
+    if (request.payload.is_map()) {
+      for (const auto& [key, value] : defaults->second.as_map()) {
+        if (!request.payload.contains(key)) {
+          request.payload[key] = value;
+          touched = true;
+        }
+      }
+    }
+  }
+  if (touched) ++translated_;
+  return Verdict::kPass;
+}
+
+void InterfaceAdapter::after(const component::Message& /*request*/,
+                             util::Result<Value>& /*reply*/) {}
+
+}  // namespace aars::reconfig

@@ -1,0 +1,46 @@
+// Interface-modification adapters.
+//
+// The paper's "interface modification" change class: "the signatures of the
+// provided services are modified and extended while keeping the compliancy
+// with previous versions" (§1).  When a provider is upgraded to a newer
+// interface, an InterfaceAdapter attached to the connector translates
+// old-style calls: renamed operations are mapped and newly added optional
+// parameters receive defaults, so existing callers keep working unchanged.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "connector/connector.h"
+#include "util/value.h"
+
+namespace aars::reconfig {
+
+/// Declarative description of an interface translation.
+struct AdapterSpec {
+  std::string name = "interface_adapter";
+  /// old operation name -> new operation name
+  std::map<std::string, std::string> renames;
+  /// per (new) operation: defaults injected for missing parameters
+  std::map<std::string, util::Value> defaults;
+};
+
+/// Connector interceptor applying an AdapterSpec on the request path.
+class InterfaceAdapter final : public connector::Interceptor {
+ public:
+  explicit InterfaceAdapter(AdapterSpec spec);
+
+  Verdict before(component::Message& request,
+                 util::Result<util::Value>* reply_out) override;
+  void after(const component::Message& request,
+             util::Result<util::Value>& reply) override;
+  std::string name() const override { return spec_.name; }
+
+  std::uint64_t translated() const { return translated_; }
+
+ private:
+  AdapterSpec spec_;
+  std::uint64_t translated_ = 0;
+};
+
+}  // namespace aars::reconfig

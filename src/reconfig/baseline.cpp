@@ -1,0 +1,60 @@
+#include "reconfig/baseline.h"
+
+namespace aars::reconfig {
+
+StopRestartReconfigurator::StopRestartReconfigurator(Application& app,
+                                                     Options options)
+    : app_(app), options_(options) {}
+
+void StopRestartReconfigurator::replace_component(ComponentId old_component,
+                                                  const std::string& new_type,
+                                                  const std::string& new_name,
+                                                  Done done) {
+  ReconfigReport report;
+  report.started_at = app_.loop().now();
+  component::Component* old_comp = app_.find_component(old_component);
+  if (old_comp == nullptr) {
+    report.error = "no such component";
+    report.finished_at = app_.loop().now();
+    if (done) done(report);
+    return;
+  }
+  const Value attributes = old_comp->attributes();
+  const NodeId node = app_.placement(old_component);
+
+  // Teardown: the component stops serving instantly. No channel blocking,
+  // no draining — requests racing the restart fail.
+  (void)old_comp->passivate();
+
+  app_.loop().schedule_after(options_.restart_delay, [this, old_component,
+                                                      new_type, new_name,
+                                                      attributes, node, report,
+                                                      done]() mutable {
+    Result<ComponentId> created =
+        app_.instantiate(new_type, new_name, node, attributes);
+    if (!created.ok()) {
+      report.error = created.error().message();
+      report.finished_at = app_.loop().now();
+      if (done) done(report);
+      return;
+    }
+    const ComponentId new_component = created.value();
+    if (Status s = app_.redirect(old_component, new_component); !s.ok()) {
+      report.error = s.error().message();
+      report.finished_at = app_.loop().now();
+      if (done) done(report);
+      return;
+    }
+    // Retire the old instance once stragglers addressed to it finish
+    // failing; this does not delay the report.
+    app_.when_drained(old_component, [this, old_component] {
+      (void)app_.destroy(old_component);
+    });
+    report.new_component = new_component;
+    report.success = true;
+    report.finished_at = app_.loop().now();
+    if (done) done(report);
+  });
+}
+
+}  // namespace aars::reconfig

@@ -1,0 +1,42 @@
+// Stop-and-restart baseline.
+//
+// "Traditionally, reconfiguration takes place during maintenance or when a
+// new version of the system is installed" (§1).  This baseline models that
+// practice: the old component is torn down immediately — in-flight and
+// newly arriving messages are lost — and the replacement starts from a
+// clean state after a fixed restart outage.  Experiment E2 compares it
+// against the quiescence-based engine.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "reconfig/engine.h"
+#include "runtime/application.h"
+
+namespace aars::reconfig {
+
+class StopRestartReconfigurator {
+ public:
+  struct Options {
+    /// Service outage between teardown and the new instance going live.
+    Duration restart_delay = util::milliseconds(50);
+  };
+
+  StopRestartReconfigurator(Application& app, Options options);
+  explicit StopRestartReconfigurator(Application& app)
+      : StopRestartReconfigurator(app, Options{}) {}
+
+  /// Replaces `old_component` with a fresh instance of `new_type`.
+  /// Messages arriving during the outage are dropped and counted in the
+  /// report's held_messages field (they are casualties, not survivors).
+  void replace_component(ComponentId old_component,
+                         const std::string& new_type,
+                         const std::string& new_name, Done done);
+
+ private:
+  Application& app_;
+  Options options_;
+};
+
+}  // namespace aars::reconfig

@@ -1,0 +1,263 @@
+#include "reconfig/engine.h"
+
+#include "util/logging.h"
+
+namespace aars::reconfig {
+
+using component::Snapshot;
+using util::Error;
+using util::ErrorCode;
+
+ReconfigurationEngine::ReconfigurationEngine(Application& app)
+    : ReconfigurationEngine(app, Options{}) {}
+
+ReconfigurationEngine::ReconfigurationEngine(Application& app, Options options)
+    : app_(app), options_(options) {}
+
+Result<ComponentId> ReconfigurationEngine::add_component(
+    const std::string& type, const std::string& name, NodeId node,
+    const Value& attributes) {
+  return app_.instantiate(type, name, node, attributes);
+}
+
+Status ReconfigurationEngine::rebind(ComponentId caller,
+                                     const std::string& port,
+                                     ConnectorId new_connector) {
+  // bind() validates interface compatibility against the new connector's
+  // providers before overwriting the existing binding.
+  return app_.bind(caller, port, new_connector);
+}
+
+void ReconfigurationEngine::wait_quiescent(ComponentId component,
+                                           SimTime deadline,
+                                           std::function<void(bool)> next) {
+  const component::Component* comp = app_.find_component(component);
+  if (comp == nullptr) {
+    next(false);
+    return;
+  }
+  if (comp->quiescent()) {
+    next(true);
+    return;
+  }
+  if (app_.loop().now() >= deadline) {
+    next(false);
+    return;
+  }
+  app_.loop().schedule_after(options_.quiescence_poll,
+                             [this, component, deadline, next] {
+                               wait_quiescent(component, deadline, next);
+                             });
+}
+
+void ReconfigurationEngine::finish(ReconfigReport report, const Done& done) {
+  report.finished_at = app_.loop().now();
+  if (report.success) ++succeeded_;
+  if (done) done(report);
+}
+
+void ReconfigurationEngine::remove_component(ComponentId component,
+                                             Done done) {
+  ++started_;
+  ReconfigReport report;
+  report.started_at = app_.loop().now();
+  if (app_.find_component(component) == nullptr) {
+    report.error = "no such component";
+    finish(std::move(report), done);
+    return;
+  }
+  app_.block_channels_to(component);
+  app_.when_drained(component, [this, component, report, done]() mutable {
+    const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
+    wait_quiescent(component, deadline, [this, component, report,
+                                         done](bool quiescent) mutable {
+      if (!quiescent) {
+        app_.unblock_channels_to(component);
+        app_.replay_held(component);
+        report.error = "component did not reach a reconfiguration point";
+        finish(std::move(report), done);
+        return;
+      }
+      // Held messages towards a removed component are rejected explicitly.
+      for (runtime::Channel* chan : app_.channels_to(component)) {
+        while (auto held = chan->take_held()) {
+          chan->record_drop();
+          ++report.held_messages;
+        }
+      }
+      if (Status s = app_.destroy(component); !s.ok()) {
+        report.error = s.error().message();
+        finish(std::move(report), done);
+        return;
+      }
+      report.success = true;
+      finish(std::move(report), done);
+    });
+  });
+}
+
+void ReconfigurationEngine::replace_component(ComponentId old_component,
+                                              const std::string& new_type,
+                                              const std::string& new_name,
+                                              Done done) {
+  ++started_;
+  ReconfigReport report;
+  report.started_at = app_.loop().now();
+  component::Component* old_comp = app_.find_component(old_component);
+  if (old_comp == nullptr) {
+    report.error = "no such component";
+    finish(std::move(report), done);
+    return;
+  }
+
+  // Step 1: block channels — new traffic is held, in-transit continues.
+  app_.block_channels_to(old_component);
+
+  // Step 2: drain in-transit messages.
+  app_.when_drained(old_component, [this, old_component, new_type, new_name,
+                                    report, done]() mutable {
+    const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
+    // Step 3: wait for the reconfiguration point.
+    wait_quiescent(old_component, deadline, [this, old_component, new_type,
+                                             new_name, report,
+                                             done](bool quiescent) mutable {
+      auto rollback = [this, old_component, &report, &done]() {
+        app_.unblock_channels_to(old_component);
+        app_.replay_held(old_component);
+        finish(std::move(report), done);
+      };
+      if (!quiescent) {
+        report.error = "component did not reach a reconfiguration point";
+        rollback();
+        return;
+      }
+      component::Component* old_comp = app_.find_component(old_component);
+      if (Status s = old_comp->passivate(); !s.ok()) {
+        report.error = s.error().message();
+        rollback();
+        return;
+      }
+      // Step 4: encode the module context.
+      const Snapshot snapshot = old_comp->snapshot();
+      // Step 5: create the new module on the same node.
+      Result<ComponentId> created =
+          app_.instantiate(new_type, new_name, app_.placement(old_component),
+                           snapshot.attributes);
+      if (!created.ok()) {
+        report.error = created.error().message();
+        (void)app_.activate_component(old_component);
+        rollback();
+        return;
+      }
+      const ComponentId new_component = created.value();
+      // Step 6: strong state transfer.
+      if (Status s = app_.restore_component(new_component, snapshot);
+          !s.ok()) {
+        report.error = s.error().message();
+        (void)app_.destroy(new_component);
+        (void)app_.activate_component(old_component);
+        rollback();
+        return;
+      }
+      report.held_messages = app_.held_to(old_component);
+      // Step 7: redirect bindings and channels (sequence state carries).
+      if (Status s = app_.redirect(old_component, new_component); !s.ok()) {
+        report.error = s.error().message();
+        (void)app_.destroy(new_component);
+        (void)app_.activate_component(old_component);
+        rollback();
+        return;
+      }
+      // Step 8: reopen and replay held traffic.
+      app_.unblock_channels_to(new_component);
+      report.replayed_messages = app_.replay_held(new_component);
+      // Step 9: retire the old module.
+      if (Status s = app_.destroy(old_component); !s.ok()) {
+        AARS_WARN << "replace: old component not removed: "
+                  << s.error().message();
+      }
+      report.new_component = new_component;
+      report.success = true;
+      finish(std::move(report), done);
+    });
+  });
+}
+
+void ReconfigurationEngine::migrate_component(ComponentId component,
+                                              NodeId destination, Done done) {
+  ++started_;
+  ReconfigReport report;
+  report.started_at = app_.loop().now();
+  component::Component* comp = app_.find_component(component);
+  if (comp == nullptr) {
+    report.error = "no such component";
+    finish(std::move(report), done);
+    return;
+  }
+  const NodeId source = app_.placement(component);
+  if (source == destination) {
+    report.success = true;
+    finish(std::move(report), done);
+    return;
+  }
+
+  app_.block_channels_to(component);
+  app_.when_drained(component, [this, component, source, destination, report,
+                                done]() mutable {
+    const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
+    wait_quiescent(component, deadline, [this, component, source, destination,
+                                         report, done](bool quiescent) mutable {
+      if (!quiescent) {
+        app_.unblock_channels_to(component);
+        app_.replay_held(component);
+        report.error = "component did not reach a reconfiguration point";
+        finish(std::move(report), done);
+        return;
+      }
+      component::Component* comp = app_.find_component(component);
+      if (Status s = comp->passivate(); !s.ok()) {
+        app_.unblock_channels_to(component);
+        app_.replay_held(component);
+        report.error = s.error().message();
+        finish(std::move(report), done);
+        return;
+      }
+      // Charge the state transfer to the network.
+      const Snapshot snapshot = comp->snapshot();
+      const std::size_t bytes = 256 + snapshot.state.byte_size() +
+                                snapshot.attributes.byte_size();
+      if (app_.network().route(source, destination).empty()) {
+        // Unreachable destination: abort, reactivate in place.
+        (void)app_.activate_component(component);
+        app_.unblock_channels_to(component);
+        app_.replay_held(component);
+        report.error = "destination unreachable";
+        finish(std::move(report), done);
+        return;
+      }
+      sim::TransferOutcome transfer =
+          app_.network().transfer(source, destination, bytes, app_.rng());
+      if (!transfer.delivered) {
+        // Reliable state transfer: a lost transfer is retransmitted, which
+        // shows up as extra delay rather than failure.
+        transfer.delay *= 2;
+      }
+      report.held_messages = app_.held_to(component);
+      app_.loop().schedule_after(
+          transfer.delay, [this, component, destination, report,
+                           done]() mutable {
+            if (Status s = app_.migrate(component, destination); !s.ok()) {
+              report.error = s.error().message();
+            } else {
+              (void)app_.activate_component(component);
+              app_.unblock_channels_to(component);
+              report.replayed_messages = app_.replay_held(component);
+              report.success = true;
+            }
+            finish(std::move(report), done);
+          });
+    });
+  });
+}
+
+}  // namespace aars::reconfig

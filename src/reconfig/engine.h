@@ -1,0 +1,107 @@
+// Dynamic reconfiguration engine.
+//
+// Implements the paper's reconfiguration sequence (§1, after Polylith):
+// "waiting to reach a reconfiguration point; and blocking communication
+// channels (to manage the messages in transit) while the module context is
+// encoded and a new module is created", with strong state transfer
+// ("initializing new components with adequate internal state variables,
+// contexts, program counters") and the four change classes:
+//
+//   * structural   — add_component / remove_component / rebind
+//   * geographical — migrate_component (load balancing, §1)
+//   * interface    — install_interface_adapter (see adapter.h)
+//   * implementation — replace_component / update_implementation
+//
+// Every multi-step change runs as an asynchronous protocol on the event
+// loop and reports a ReconfigReport; failures roll the application back to
+// the previous configuration (global-consistency requirement, §1).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "runtime/application.h"
+#include "util/errors.h"
+#include "util/time.h"
+
+namespace aars::reconfig {
+
+using runtime::Application;
+using util::ComponentId;
+using util::ConnectorId;
+using util::Duration;
+using util::NodeId;
+using util::Result;
+using util::SimTime;
+using util::Status;
+using util::Value;
+
+/// Outcome of one reconfiguration protocol run.
+struct ReconfigReport {
+  bool success = false;
+  std::string error;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  /// Wall time of the whole protocol (quiesce + swap + replay).
+  Duration duration() const { return finished_at - started_at; }
+  /// Messages held while channels were blocked, then replayed.
+  std::size_t held_messages = 0;
+  std::size_t replayed_messages = 0;
+  /// New component (for replace/update flows).
+  ComponentId new_component;
+};
+
+using Done = std::function<void(const ReconfigReport&)>;
+
+class ReconfigurationEngine {
+ public:
+  struct Options {
+    /// Poll period while waiting for quiescence.
+    Duration quiescence_poll = util::microseconds(100);
+    /// Give up waiting for quiescence after this long.
+    Duration quiescence_timeout = util::seconds(10);
+  };
+
+  explicit ReconfigurationEngine(Application& app);
+  ReconfigurationEngine(Application& app, Options options);
+
+  // --- structural changes -----------------------------------------------------
+  /// Adds and activates a component (thin wrapper kept for symmetry).
+  Result<ComponentId> add_component(const std::string& type,
+                                    const std::string& name, NodeId node,
+                                    const Value& attributes);
+  /// Quiesces, drains and removes a component. Asynchronous.
+  void remove_component(ComponentId component, Done done);
+  /// Atomically re-points a caller port to another connector.
+  Status rebind(ComponentId caller, const std::string& port,
+                ConnectorId new_connector);
+
+  // --- implementation changes ----------------------------------------------------
+  /// Strong replacement: block -> drain -> passivate -> snapshot -> create
+  /// new -> restore -> redirect -> unblock -> replay -> remove old.
+  void replace_component(ComponentId old_component,
+                         const std::string& new_type,
+                         const std::string& new_name, Done done);
+
+  // --- geographical changes ----------------------------------------------------
+  /// Moves a component to `destination`; the state transfer is charged to
+  /// the network (snapshot bytes over the route's links).
+  void migrate_component(ComponentId component, NodeId destination, Done done);
+
+  /// Number of protocol runs started / completed successfully.
+  std::uint64_t started() const { return started_; }
+  std::uint64_t succeeded() const { return succeeded_; }
+
+ private:
+  /// Polls until `component` is quiescent, then calls `next(ok)`.
+  void wait_quiescent(ComponentId component, SimTime deadline,
+                      std::function<void(bool)> next);
+  void finish(ReconfigReport report, const Done& done);
+
+  Application& app_;
+  Options options_;
+  std::uint64_t started_ = 0;
+  std::uint64_t succeeded_ = 0;
+};
+
+}  // namespace aars::reconfig

@@ -1,0 +1,823 @@
+#include "runtime/application.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace aars::runtime {
+
+using component::InterfaceDescription;
+using component::MessageKind;
+using connector::DeliveryMode;
+using connector::Interceptor;
+using connector::RoutingPolicy;
+using util::Duration;
+using util::Error;
+using util::ErrorCode;
+using util::SimTime;
+
+Application::Application(sim::EventLoop& loop, sim::Network& network,
+                         component::ComponentRegistry& registry,
+                         Config config)
+    : loop_(loop),
+      network_(network),
+      registry_(registry),
+      config_(config),
+      rng_(config.seed) {}
+
+// --- construction -------------------------------------------------------------
+
+Result<ComponentId> Application::instantiate(const std::string& type,
+                                             const std::string& instance_name,
+                                             NodeId node,
+                                             const Value& attributes) {
+  if (components_by_name_.count(instance_name)) {
+    return Error{ErrorCode::kAlreadyExists,
+                 "instance '" + instance_name + "' already exists"};
+  }
+  Result<std::unique_ptr<Component>> created =
+      registry_.create(type, instance_name);
+  if (!created.ok()) return created.error();
+  std::unique_ptr<Component> instance = std::move(created).value();
+  const ComponentId id = component_ids_.next();
+  instance->set_id(id);
+  if (Status s = instance->initialize(attributes); !s.ok()) return s.error();
+  if (Status s = instance->activate(); !s.ok()) return s.error();
+  instance->set_sender(make_sender(id));
+  placement_[id] = node;
+  components_by_name_[instance_name] = id;
+  components_.emplace(id, std::move(instance));
+  return id;
+}
+
+Status Application::destroy(ComponentId id) {
+  auto it = components_.find(id);
+  if (it == components_.end()) {
+    return Error{ErrorCode::kNotFound, "no such component"};
+  }
+  if (in_flight_to(id) > 0 || held_to(id) > 0) {
+    return Error{ErrorCode::kNotQuiescent,
+                 it->second->instance_name() +
+                     ": messages in flight or held; drain first"};
+  }
+  // Detach from all connectors.
+  for (auto& [cid, conn] : connectors_) {
+    if (conn->has_provider(id)) {
+      (void)conn->remove_provider(id);
+    }
+  }
+  // Remove channels feeding it.
+  for (auto chan_it = channels_.begin(); chan_it != channels_.end();) {
+    if (chan_it->first.second == id) {
+      chan_it = channels_.erase(chan_it);
+    } else {
+      ++chan_it;
+    }
+  }
+  // Remove bindings from it.
+  for (auto bind_it = bindings_.begin(); bind_it != bindings_.end();) {
+    if (bind_it->first.caller == id) {
+      bind_it = bindings_.erase(bind_it);
+    } else {
+      ++bind_it;
+    }
+  }
+  (void)it->second->remove();
+  components_by_name_.erase(it->second->instance_name());
+  placement_.erase(id);
+  components_.erase(it);
+  return Status::success();
+}
+
+Result<ConnectorId> Application::create_connector(
+    ConnectorSpec spec, const std::vector<std::string>& aspects) {
+  if (connectors_by_name_.count(spec.name)) {
+    return Error{ErrorCode::kAlreadyExists,
+                 "connector '" + spec.name + "' already exists"};
+  }
+  Result<std::unique_ptr<Connector>> created =
+      factory_.create(std::move(spec), aspects);
+  if (!created.ok()) return created.error();
+  std::unique_ptr<Connector> conn = std::move(created).value();
+  const ConnectorId id = conn->id();
+  connectors_by_name_[conn->name()] = id;
+  connectors_.emplace(id, std::move(conn));
+  return id;
+}
+
+Status Application::remove_connector(ConnectorId id) {
+  auto it = connectors_.find(id);
+  if (it == connectors_.end()) {
+    return Error{ErrorCode::kNotFound, "no such connector"};
+  }
+  for (const auto& [key, chan] : channels_) {
+    if (key.first == id && (chan->in_flight() > 0 || chan->held_count() > 0)) {
+      return Error{ErrorCode::kNotQuiescent,
+                   it->second->name() + ": channel traffic pending"};
+    }
+  }
+  for (auto chan_it = channels_.begin(); chan_it != channels_.end();) {
+    if (chan_it->first.first == id) {
+      chan_it = channels_.erase(chan_it);
+    } else {
+      ++chan_it;
+    }
+  }
+  for (auto bind_it = bindings_.begin(); bind_it != bindings_.end();) {
+    if (bind_it->second == id) {
+      bind_it = bindings_.erase(bind_it);
+    } else {
+      ++bind_it;
+    }
+  }
+  connectors_by_name_.erase(it->second->name());
+  connectors_.erase(it);
+  return Status::success();
+}
+
+Status Application::add_provider(ConnectorId connector, ComponentId provider) {
+  Connector* conn = find_connector(connector);
+  if (conn == nullptr) return Error{ErrorCode::kNotFound, "no such connector"};
+  Component* comp = find_component(provider);
+  if (comp == nullptr) return Error{ErrorCode::kNotFound, "no such component"};
+  // Check against required interfaces of already-bound callers.
+  for (const auto& [key, bound_conn] : bindings_) {
+    if (bound_conn != connector) continue;
+    const Component* caller = find_component(key.caller);
+    if (caller == nullptr) continue;
+    for (const component::RequiredPort& port : caller->required()) {
+      if (port.name != key.port) continue;
+      if (Status s = comp->provided().satisfies(port.interface); !s.ok()) {
+        return Error{ErrorCode::kIncompatible,
+                     conn->name() + ": provider " + comp->instance_name() +
+                         " incompatible with bound port " + key.port + ": " +
+                         s.error().message()};
+      }
+    }
+  }
+  return conn->add_provider(provider);
+}
+
+Status Application::remove_provider(ConnectorId connector,
+                                    ComponentId provider) {
+  Connector* conn = find_connector(connector);
+  if (conn == nullptr) return Error{ErrorCode::kNotFound, "no such connector"};
+  return conn->remove_provider(provider);
+}
+
+Status Application::bind(ComponentId caller, const std::string& port,
+                         ConnectorId connector) {
+  Component* comp = find_component(caller);
+  if (comp == nullptr) return Error{ErrorCode::kNotFound, "no such component"};
+  Connector* conn = find_connector(connector);
+  if (conn == nullptr) return Error{ErrorCode::kNotFound, "no such connector"};
+  const component::RequiredPort* declared = nullptr;
+  for (const component::RequiredPort& p : comp->required()) {
+    if (p.name == port) {
+      declared = &p;
+      break;
+    }
+  }
+  if (declared == nullptr) {
+    return Error{ErrorCode::kNotFound,
+                 comp->instance_name() + " has no required port '" + port +
+                     "'"};
+  }
+  for (ComponentId provider : conn->providers()) {
+    const Component* prov = find_component(provider);
+    if (prov == nullptr) continue;
+    if (Status s = prov->provided().satisfies(declared->interface); !s.ok()) {
+      return Error{ErrorCode::kIncompatible,
+                   "binding " + comp->instance_name() + "." + port + ": " +
+                       s.error().message()};
+    }
+  }
+  bindings_[BindingKey{caller, port}] = connector;
+  return Status::success();
+}
+
+Status Application::unbind(ComponentId caller, const std::string& port) {
+  auto it = bindings_.find(BindingKey{caller, port});
+  if (it == bindings_.end()) {
+    return Error{ErrorCode::kNotFound, "port not bound"};
+  }
+  bindings_.erase(it);
+  return Status::success();
+}
+
+// --- lookup -------------------------------------------------------------------
+
+Component* Application::find_component(ComponentId id) {
+  auto it = components_.find(id);
+  return it == components_.end() ? nullptr : it->second.get();
+}
+
+const Component* Application::find_component(ComponentId id) const {
+  auto it = components_.find(id);
+  return it == components_.end() ? nullptr : it->second.get();
+}
+
+ComponentId Application::component_id(const std::string& name) const {
+  auto it = components_by_name_.find(name);
+  return it == components_by_name_.end() ? ComponentId::invalid() : it->second;
+}
+
+Connector* Application::find_connector(ConnectorId id) {
+  auto it = connectors_.find(id);
+  return it == connectors_.end() ? nullptr : it->second.get();
+}
+
+ConnectorId Application::connector_id(const std::string& name) const {
+  auto it = connectors_by_name_.find(name);
+  return it == connectors_by_name_.end() ? ConnectorId::invalid()
+                                         : it->second;
+}
+
+NodeId Application::placement(ComponentId id) const {
+  auto it = placement_.find(id);
+  return it == placement_.end() ? NodeId::invalid() : it->second;
+}
+
+std::vector<ComponentId> Application::component_ids() const {
+  std::vector<ComponentId> out;
+  out.reserve(components_.size());
+  for (const auto& [id, comp] : components_) out.push_back(id);
+  return out;
+}
+
+std::vector<ConnectorId> Application::connector_ids() const {
+  std::vector<ConnectorId> out;
+  out.reserve(connectors_.size());
+  for (const auto& [id, conn] : connectors_) out.push_back(id);
+  return out;
+}
+
+ConnectorId Application::binding(ComponentId caller,
+                                 const std::string& port) const {
+  auto it = bindings_.find(BindingKey{caller, port});
+  return it == bindings_.end() ? ConnectorId::invalid() : it->second;
+}
+
+std::vector<Channel*> Application::channels_to(ComponentId provider) {
+  std::vector<Channel*> out;
+  for (auto& [key, chan] : channels_) {
+    if (key.second == provider) out.push_back(chan.get());
+  }
+  return out;
+}
+
+Channel& Application::channel(ConnectorId connector, ComponentId provider) {
+  const auto key = std::make_pair(connector, provider);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    auto chan = std::make_unique<Channel>(channel_ids_.next(), connector,
+                                          provider, config_.audit_channels);
+    it = channels_.emplace(key, std::move(chan)).first;
+  }
+  return *it->second;
+}
+
+// --- invocation ----------------------------------------------------------------
+
+double Application::interceptor_work(const Connector& conn) const {
+  return config_.interceptor_work *
+         static_cast<double>(conn.interceptor_count());
+}
+
+connector::LoadProbe Application::load_probe() {
+  return [this](ComponentId provider) -> std::int64_t {
+    const NodeId node = placement(provider);
+    if (!node.valid()) return std::numeric_limits<std::int64_t>::max();
+    return network_.node(node).backlog(loop_.now());
+  };
+}
+
+void Application::finish_call(Connector& conn, const Message& message,
+                              Result<Value> result, NodeId /*origin*/,
+                              const ResponseCallback& callback,
+                              SimTime departed) {
+  const Duration latency = loop_.now() - departed;
+  ++total_calls_;
+  if (!result.ok()) ++failed_calls_;
+  CallRecord record{conn.id(),     message.target, message.operation,
+                    latency,       result.ok(),    loop_.now()};
+  for (const CallListener& listener : listeners_) listener(record);
+  if (callback) callback(std::move(result), latency);
+}
+
+void Application::invoke_async(ConnectorId connector,
+                               const std::string& operation,
+                               const Value& args, NodeId origin,
+                               ResponseCallback callback,
+                               const Value& headers) {
+  Connector* conn = find_connector(connector);
+  util::require(conn != nullptr, "invoke_async: unknown connector");
+  Message message;
+  message.id = message_ids_.next();
+  message.kind = MessageKind::kRequest;
+  message.operation = operation;
+  message.payload = args;
+  message.headers = headers;
+  message.sent_at = loop_.now();
+  relay_event_driven(*conn, std::move(message), origin, std::move(callback));
+}
+
+Status Application::send_event(ConnectorId connector,
+                               const std::string& operation, const Value& args,
+                               NodeId origin, const Value& headers) {
+  Connector* conn = find_connector(connector);
+  if (conn == nullptr) return Error{ErrorCode::kNotFound, "no such connector"};
+  Message message;
+  message.id = message_ids_.next();
+  message.kind = MessageKind::kEvent;
+  message.operation = operation;
+  message.payload = args;
+  message.headers = headers;
+  message.sent_at = loop_.now();
+  relay_event_driven(*conn, std::move(message), origin, nullptr);
+  return Status::success();
+}
+
+void Application::relay_event_driven(Connector& conn, Message message,
+                                     NodeId origin,
+                                     ResponseCallback callback) {
+  conn.count_relay();
+  Result<Value> intercepted = Value{};
+  const Interceptor::Verdict verdict = conn.run_before(message, &intercepted);
+  if (verdict != Interceptor::Verdict::kPass) {
+    Result<Value> outcome =
+        (verdict == Interceptor::Verdict::kBlock && intercepted.ok())
+            ? Result<Value>(Error{ErrorCode::kRejected,
+                                  conn.name() + ": blocked by interceptor"})
+            : std::move(intercepted);
+    const SimTime departed = loop_.now();
+    loop_.schedule_after(0, [this, &conn, message, outcome, origin, callback,
+                             departed]() mutable {
+      conn.run_after(message, outcome);
+      finish_call(conn, message, std::move(outcome), origin, callback,
+                  departed);
+    });
+    return;
+  }
+
+  // Routing. Interceptors (injectors) may force a target via the
+  // "__route_to" header, bypassing the connector's policy.
+  std::vector<ComponentId> targets;
+  if (message.headers.contains("__route_to")) {
+    const ComponentId forced{static_cast<std::uint64_t>(
+        message.headers.at("__route_to").as_int())};
+    if (find_component(forced) == nullptr) {
+      const SimTime departed = loop_.now();
+      finish_call(conn, message,
+                  Error{ErrorCode::kNotFound, "injected route target missing"},
+                  origin, callback, departed);
+      return;
+    }
+    targets.push_back(forced);
+  } else if (conn.routing() == RoutingPolicy::kBroadcast) {
+    if (message.kind == MessageKind::kRequest) {
+      const SimTime departed = loop_.now();
+      finish_call(conn, message,
+                  Error{ErrorCode::kInvalidArgument,
+                        conn.name() + ": cannot request over broadcast"},
+                  origin, callback, departed);
+      return;
+    }
+    targets = conn.broadcast_targets();
+    if (targets.empty()) return;
+  } else {
+    Result<ComponentId> target = conn.select_target(message, load_probe());
+    if (!target.ok()) {
+      const SimTime departed = loop_.now();
+      finish_call(conn, message, target.error(), origin, callback, departed);
+      return;
+    }
+    targets.push_back(target.value());
+  }
+
+  const SimTime departed = loop_.now();
+  for (ComponentId target : targets) {
+    Message copy = message;
+    if (targets.size() > 1) copy.id = message_ids_.next();
+    copy.target = target;
+    Channel& chan = channel(conn.id(), target);
+    copy.sequence = chan.next_sequence();
+    if (chan.blocked()) {
+      if (chan.held_count() >= conn.spec().queue_capacity) {
+        chan.record_drop();
+        if (callback) {
+          finish_call(conn, copy,
+                      Error{ErrorCode::kResourceExhausted,
+                            conn.name() + ": held queue full"},
+                      origin, callback, departed);
+        }
+        continue;
+      }
+      Connector* conn_ptr = &conn;
+      Channel* chan_ptr = &chan;
+      chan.hold(HeldMessage{
+          copy, [this, conn_ptr, chan_ptr, origin, callback,
+                 departed](Message replayed) {
+            deliver(*conn_ptr, *chan_ptr, std::move(replayed), origin,
+                    callback, departed);
+          }});
+      continue;
+    }
+    deliver(conn, chan, copy, origin, callback, departed);
+  }
+}
+
+void Application::deliver(Connector& conn, Channel& chan, Message message,
+                          NodeId origin, ResponseCallback callback,
+                          SimTime departed) {
+  chan.on_depart();
+  const ComponentId target = message.target;
+  const NodeId target_node = placement(target);
+  if (!target_node.valid()) {
+    chan.record_drop();
+    chan.on_arrive();
+    finish_call(conn, message,
+                Error{ErrorCode::kUnavailable, "provider has no placement"},
+                origin, callback, departed);
+    return;
+  }
+  const sim::TransferOutcome transfer =
+      network_.transfer(origin, target_node, message.byte_size(), rng_);
+  if (!transfer.delivered) {
+    chan.record_drop();
+    chan.on_arrive();
+    if (callback) {
+      finish_call(conn, message,
+                  Error{ErrorCode::kTimeout, "network loss"}, origin,
+                  callback, departed);
+    }
+    return;
+  }
+  Connector* conn_ptr = &conn;
+  Channel* chan_ptr = &chan;
+  loop_.schedule_after(transfer.delay, [this, conn_ptr, chan_ptr, message,
+                                        origin, callback, departed]() mutable {
+    Component* provider = find_component(message.target);
+    if (provider == nullptr) {
+      chan_ptr->record_drop();
+      chan_ptr->on_arrive();
+      if (callback) {
+        finish_call(*conn_ptr, message,
+                    Error{ErrorCode::kUnavailable, "provider removed"},
+                    origin, callback, departed);
+      }
+      return;
+    }
+    // FIFO processing on the serving node: interception glue + operation,
+    // optionally scaled by the "__work_scale" header (quality-dependent
+    // work).
+    const NodeId node_id = placement(message.target);
+    sim::Node& node = network_.node(node_id);
+    double scale = 1.0;
+    if (message.headers.contains("__work_scale")) {
+      scale = message.headers.at("__work_scale").as_double();
+    }
+    const double work = interceptor_work(*conn_ptr) +
+                        provider->work_cost(message.operation) * scale;
+    const SimTime completion = node.execute(loop_.now(), work);
+    loop_.schedule_at(completion, [this, conn_ptr, chan_ptr, message, origin,
+                                   callback, departed, node_id]() mutable {
+      Component* provider = find_component(message.target);
+      // Handle before acknowledging arrival: drain waiters (the
+      // quiescence protocol) must only fire once the message's effect has
+      // been applied.
+      Result<Value> result =
+          provider == nullptr
+              ? Result<Value>(
+                    Error{ErrorCode::kUnavailable, "provider removed"})
+              : provider->handle(message);
+      chan_ptr->record_delivery(message.sequence);
+      chan_ptr->record_delay(loop_.now() - message.sent_at);
+      chan_ptr->on_arrive();
+      if (message.kind != MessageKind::kRequest) {
+        finish_call(*conn_ptr, message, std::move(result), origin, nullptr,
+                    departed);
+        return;
+      }
+      // Response trip back to the origin.
+      const Message response = component::make_response(message, Value{});
+      const sim::TransferOutcome back = network_.transfer(
+          node_id, origin, response.byte_size(), rng_);
+      const Duration back_delay = back.delivered ? back.delay : 0;
+      loop_.schedule_after(back_delay, [this, conn_ptr, message, origin,
+                                        callback, departed,
+                                        result = std::move(result)]() mutable {
+        conn_ptr->run_after(message, result);
+        finish_call(*conn_ptr, message, std::move(result), origin, callback,
+                    departed);
+      });
+    });
+  });
+}
+
+Application::CallOutcome Application::invoke_sync(ConnectorId connector,
+                                                  const std::string& operation,
+                                                  const Value& args,
+                                                  NodeId origin) {
+  Connector* conn = find_connector(connector);
+  if (conn == nullptr) {
+    return CallOutcome{Error{ErrorCode::kNotFound, "no such connector"}, 0};
+  }
+  conn->count_relay();
+  Message message;
+  message.id = message_ids_.next();
+  message.kind = MessageKind::kRequest;
+  message.operation = operation;
+  message.payload = args;
+  message.sent_at = loop_.now();
+
+  Result<Value> intercepted = Value{};
+  const Interceptor::Verdict verdict = conn->run_before(message, &intercepted);
+  if (verdict != Interceptor::Verdict::kPass) {
+    Result<Value> outcome =
+        (verdict == Interceptor::Verdict::kBlock && intercepted.ok())
+            ? Result<Value>(Error{ErrorCode::kRejected,
+                                  conn->name() + ": blocked by interceptor"})
+            : std::move(intercepted);
+    conn->run_after(message, outcome);
+    finish_call(*conn, message, outcome, origin, nullptr, loop_.now());
+    return CallOutcome{std::move(outcome), 0};
+  }
+
+  if (message.headers.contains("__route_to")) {
+    message.target = ComponentId{static_cast<std::uint64_t>(
+        message.headers.at("__route_to").as_int())};
+    if (find_component(message.target) == nullptr) {
+      Result<Value> outcome{
+          Error{ErrorCode::kNotFound, "injected route target missing"}};
+      finish_call(*conn, message, outcome, origin, nullptr, loop_.now());
+      return CallOutcome{std::move(outcome), 0};
+    }
+  } else {
+    Result<ComponentId> target = conn->select_target(message, load_probe());
+    if (!target.ok()) {
+      finish_call(*conn, message, target.error(), origin, nullptr,
+                  loop_.now());
+      return CallOutcome{target.error(), 0};
+    }
+    message.target = target.value();
+  }
+  Channel& chan = channel(conn->id(), message.target);
+  message.sequence = chan.next_sequence();
+  if (chan.blocked()) {
+    chan.record_drop();
+    Result<Value> outcome{Error{ErrorCode::kUnavailable,
+                                conn->name() + ": channel blocked"}};
+    finish_call(*conn, message, outcome, origin, nullptr, loop_.now());
+    return CallOutcome{std::move(outcome), 0};
+  }
+  Component* provider = find_component(message.target);
+  if (provider == nullptr) {
+    chan.record_drop();
+    return CallOutcome{Error{ErrorCode::kUnavailable, "provider removed"}, 0};
+  }
+
+  const NodeId target_node = placement(message.target);
+  Duration latency = 0;
+  const sim::TransferOutcome out_trip =
+      network_.transfer(origin, target_node, message.byte_size(), rng_);
+  if (!out_trip.delivered) {
+    chan.record_drop();
+    Result<Value> outcome{Error{ErrorCode::kTimeout, "network loss"}};
+    finish_call(*conn, message, outcome, origin, nullptr, loop_.now());
+    return CallOutcome{std::move(outcome), 0};
+  }
+  latency += out_trip.delay;
+  sim::Node& node = network_.node(target_node);
+  double scale = 1.0;
+  if (message.headers.contains("__work_scale")) {
+    scale = message.headers.at("__work_scale").as_double();
+  }
+  const double work = interceptor_work(*conn) +
+                      provider->work_cost(message.operation) * scale;
+  const SimTime completion = node.execute(loop_.now() + out_trip.delay, work);
+  latency = completion - loop_.now();
+  chan.record_delivery(message.sequence);
+  chan.record_delay(latency);
+
+  Result<Value> result = provider->handle(message);
+  const Message response = component::make_response(message, Value{});
+  const sim::TransferOutcome back_trip =
+      network_.transfer(target_node, origin, response.byte_size(), rng_);
+  if (back_trip.delivered) latency += back_trip.delay;
+  conn->run_after(message, result);
+
+  ++total_calls_;
+  if (!result.ok()) ++failed_calls_;
+  CallRecord record{conn->id(), message.target, message.operation,
+                    latency,    result.ok(),    loop_.now()};
+  for (const CallListener& listener : listeners_) listener(record);
+  return CallOutcome{std::move(result), latency};
+}
+
+Application::CallOutcome Application::invoke_component(
+    ComponentId target, const std::string& operation, const Value& args,
+    NodeId origin) {
+  Component* provider = find_component(target);
+  if (provider == nullptr) {
+    return CallOutcome{Error{ErrorCode::kNotFound, "no such component"}, 0};
+  }
+  Message message;
+  message.id = message_ids_.next();
+  message.kind = MessageKind::kRequest;
+  message.operation = operation;
+  message.payload = args;
+  message.target = target;
+  message.sent_at = loop_.now();
+
+  const NodeId target_node = placement(target);
+  Duration latency = 0;
+  if (target_node.valid()) {
+    const sim::TransferOutcome out_trip =
+        network_.transfer(origin, target_node, message.byte_size(), rng_);
+    if (!out_trip.delivered) {
+      return CallOutcome{Error{ErrorCode::kTimeout, "network loss"}, 0};
+    }
+    sim::Node& node = network_.node(target_node);
+    const SimTime completion =
+        node.execute(loop_.now() + out_trip.delay,
+                     provider->work_cost(operation));
+    latency = completion - loop_.now();
+    const sim::TransferOutcome back_trip =
+        network_.transfer(target_node, origin, 64, rng_);
+    if (back_trip.delivered) latency += back_trip.delay;
+  }
+  Result<Value> result = provider->handle(message);
+  ++total_calls_;
+  if (!result.ok()) ++failed_calls_;
+  return CallOutcome{std::move(result), latency};
+}
+
+component::Component::Sender Application::make_sender(ComponentId caller) {
+  return [this, caller](const std::string& port, const std::string& operation,
+                        const Value& args) -> Result<Value> {
+    const ConnectorId conn_id = binding(caller, port);
+    if (!conn_id.valid()) {
+      return Error{ErrorCode::kUnavailable, "port '" + port + "' not bound"};
+    }
+    const NodeId origin = placement(caller);
+    CallOutcome outcome = invoke_sync(conn_id, operation, args, origin);
+    return std::move(outcome.result);
+  };
+}
+
+// --- management ------------------------------------------------------------------
+
+Status Application::passivate_component(ComponentId id) {
+  Component* comp = find_component(id);
+  if (comp == nullptr) return Error{ErrorCode::kNotFound, "no such component"};
+  return comp->passivate();
+}
+
+Status Application::activate_component(ComponentId id) {
+  Component* comp = find_component(id);
+  if (comp == nullptr) return Error{ErrorCode::kNotFound, "no such component"};
+  return comp->activate();
+}
+
+Status Application::block_channels_to(ComponentId id) {
+  for (Channel* chan : channels_to(id)) chan->block();
+  return Status::success();
+}
+
+Status Application::unblock_channels_to(ComponentId id) {
+  for (Channel* chan : channels_to(id)) chan->unblock();
+  return Status::success();
+}
+
+std::size_t Application::in_flight_to(ComponentId id) const {
+  std::size_t total = 0;
+  for (const auto& [key, chan] : channels_) {
+    if (key.second == id) total += chan->in_flight();
+  }
+  return total;
+}
+
+std::size_t Application::held_to(ComponentId id) const {
+  std::size_t total = 0;
+  for (const auto& [key, chan] : channels_) {
+    if (key.second == id) total += chan->held_count();
+  }
+  return total;
+}
+
+void Application::when_drained(ComponentId id,
+                               std::function<void()> callback) {
+  std::vector<Channel*> chans = channels_to(id);
+  if (chans.empty()) {
+    callback();
+    return;
+  }
+  // Wait for every channel; the last one fires the callback.
+  auto remaining = std::make_shared<std::size_t>(chans.size());
+  auto shared_cb = std::make_shared<std::function<void()>>(std::move(callback));
+  for (Channel* chan : chans) {
+    chan->notify_drained([remaining, shared_cb]() {
+      if (--*remaining == 0) (*shared_cb)();
+    });
+  }
+}
+
+std::size_t Application::replay_held(ComponentId id) {
+  std::size_t replayed = 0;
+  for (Channel* chan : channels_to(id)) {
+    while (auto held = chan->take_held()) {
+      held->resume(std::move(held->message));
+      ++replayed;
+    }
+  }
+  return replayed;
+}
+
+Status Application::redirect(ComponentId from, ComponentId to) {
+  Component* target = find_component(to);
+  if (target == nullptr) {
+    return Error{ErrorCode::kNotFound, "redirect target missing"};
+  }
+  // Serving side: swap provider registration in every connector.
+  for (auto& [cid, conn] : connectors_) {
+    if (conn->has_provider(from)) {
+      if (Status s = conn->remove_provider(from); !s.ok()) return s;
+      if (Status s = conn->add_provider(to); !s.ok()) return s;
+    }
+  }
+  // Re-key channels so sequence/audit state carries over.
+  std::vector<std::pair<ConnectorId, ComponentId>> to_move;
+  for (const auto& [key, chan] : channels_) {
+    if (key.second == from) to_move.push_back(key);
+  }
+  for (const auto& key : to_move) {
+    auto node = channels_.extract(key);
+    node.mapped()->set_provider(to);
+    node.mapped()->retarget_held(to);
+    node.key() = std::make_pair(key.first, to);
+    util::require(channels_.count(node.key()) == 0,
+                  "redirect: channel to new provider already exists");
+    channels_.insert(std::move(node));
+  }
+  // Caller side: move outgoing bindings of `from` to `to`.
+  std::vector<std::pair<BindingKey, ConnectorId>> moved_bindings;
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    if (it->first.caller == from) {
+      moved_bindings.emplace_back(BindingKey{to, it->first.port}, it->second);
+      it = bindings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [key, conn] : moved_bindings) bindings_[key] = conn;
+  return Status::success();
+}
+
+Status Application::migrate(ComponentId id, NodeId destination) {
+  if (find_component(id) == nullptr) {
+    return Error{ErrorCode::kNotFound, "no such component"};
+  }
+  // Destination must exist (throws InvariantViolation when bogus).
+  network_.node(destination);
+  placement_[id] = destination;
+  return Status::success();
+}
+
+Result<Snapshot> Application::snapshot_component(ComponentId id) const {
+  const Component* comp = find_component(id);
+  if (comp == nullptr) return Error{ErrorCode::kNotFound, "no such component"};
+  if (!comp->quiescent()) {
+    return Error{ErrorCode::kNotQuiescent,
+                 comp->instance_name() + ": snapshot while active"};
+  }
+  return comp->snapshot();
+}
+
+Status Application::restore_component(ComponentId id,
+                                      const Snapshot& snapshot) {
+  Component* comp = find_component(id);
+  if (comp == nullptr) return Error{ErrorCode::kNotFound, "no such component"};
+  return comp->restore(snapshot);
+}
+
+// --- metrics ------------------------------------------------------------------
+
+void Application::add_call_listener(CallListener listener) {
+  util::require(static_cast<bool>(listener), "listener required");
+  listeners_.push_back(std::move(listener));
+}
+
+std::uint64_t Application::messages_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, chan] : channels_) total += chan->dropped();
+  return total;
+}
+
+std::uint64_t Application::messages_duplicated() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, chan] : channels_) total += chan->duplicated();
+  return total;
+}
+
+}  // namespace aars::runtime

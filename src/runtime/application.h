@@ -1,0 +1,222 @@
+// The application runtime: components + connectors + channels on a
+// simulated topology, driven by one event loop.
+//
+// Two invocation paths exist:
+//   * invoke_async()/send_event() — fully event-driven: network delay, FIFO
+//     queueing on the serving node and the response trip are simulated as
+//     events.  Blocked channels hold messages and replay them on unblock,
+//     which is what makes strong dynamic reconfiguration (§1) observable.
+//   * Component::call() (nested synchronous calls) — resolved immediately
+//     within the current event; network/processing costs are charged to the
+//     simulated clock accounting but the call returns in-line.
+//
+// The management section (passivate/block/drain/swap/migrate/...) provides
+// the intercession primitives the reconfiguration engine and RAML build on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "component/component.h"
+#include "component/registry.h"
+#include "connector/connector.h"
+#include "connector/factory.h"
+#include "runtime/channel.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "util/errors.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace aars::runtime {
+
+using component::Component;
+using component::Message;
+using component::Snapshot;
+using connector::Connector;
+using connector::ConnectorSpec;
+using util::ComponentId;
+using util::ConnectorId;
+using util::NodeId;
+using util::Result;
+using util::Status;
+using util::Value;
+
+/// Completion record for one finished call, fed to listeners (QoS monitors,
+/// benchmarks, RAML sensors).
+struct CallRecord {
+  ConnectorId connector;
+  ComponentId provider;
+  std::string operation;
+  util::Duration latency = 0;
+  bool ok = true;
+  util::SimTime completed_at = 0;
+};
+
+class Application {
+ public:
+  struct Config {
+    std::uint64_t seed = 42;
+    /// Channels keep a seen-set to detect duplicates (costs memory).
+    bool audit_channels = true;
+    /// Extra per-interceptor CPU work charged on the serving node, in work
+    /// units (models the glue cost of layered interception).
+    double interceptor_work = 0.01;
+  };
+
+  using ResponseCallback =
+      std::function<void(Result<Value>, util::Duration latency)>;
+  using CallListener = std::function<void(const CallRecord&)>;
+
+  Application(sim::EventLoop& loop, sim::Network& network,
+              component::ComponentRegistry& registry, Config config);
+  Application(sim::EventLoop& loop, sim::Network& network,
+              component::ComponentRegistry& registry)
+      : Application(loop, network, registry, Config{}) {}
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& network() { return network_; }
+  component::ComponentRegistry& registry() { return registry_; }
+  connector::ConnectorFactory& connector_factory() { return factory_; }
+  util::Rng& rng() { return rng_; }
+
+  // --- construction ------------------------------------------------------------
+  Result<ComponentId> instantiate(const std::string& type,
+                                  const std::string& instance_name,
+                                  NodeId node, const Value& attributes);
+  Status destroy(ComponentId component);
+  Result<ConnectorId> create_connector(
+      ConnectorSpec spec, const std::vector<std::string>& aspects = {});
+  Status remove_connector(ConnectorId connector);
+  /// Attaches a serving component; checks its provided interface against
+  /// the required interfaces of ports already bound to the connector.
+  Status add_provider(ConnectorId connector, ComponentId provider);
+  Status remove_provider(ConnectorId connector, ComponentId provider);
+  /// Binds a required port of `caller` to a connector; checks interface
+  /// compatibility against every attached provider.
+  Status bind(ComponentId caller, const std::string& port,
+              ConnectorId connector);
+  Status unbind(ComponentId caller, const std::string& port);
+
+  // --- lookup & introspection -----------------------------------------------
+  Component* find_component(ComponentId id);
+  const Component* find_component(ComponentId id) const;
+  ComponentId component_id(const std::string& instance_name) const;
+  Connector* find_connector(ConnectorId id);
+  ConnectorId connector_id(const std::string& name) const;
+  NodeId placement(ComponentId component) const;
+  std::vector<ComponentId> component_ids() const;
+  std::vector<ConnectorId> connector_ids() const;
+  /// The connector a caller port is bound to (invalid id when unbound).
+  ConnectorId binding(ComponentId caller, const std::string& port) const;
+  /// All channels feeding `provider`.
+  std::vector<Channel*> channels_to(ComponentId provider);
+  /// Lazily creates the channel (connector -> provider).
+  Channel& channel(ConnectorId connector, ComponentId provider);
+
+  // --- invocation ----------------------------------------------------------------
+  /// External request entering through `connector` from `origin`; fully
+  /// event-driven. The callback fires when the response returns to origin.
+  /// `headers` seeds the message metadata (e.g. "__work_scale" multiplies
+  /// the provider's operation cost — used for quality-dependent work).
+  void invoke_async(ConnectorId connector, const std::string& operation,
+                    const Value& args, NodeId origin,
+                    ResponseCallback callback, const Value& headers = {});
+  /// One-way event from an external origin through `connector`.
+  Status send_event(ConnectorId connector, const std::string& operation,
+                    const Value& args, NodeId origin,
+                    const Value& headers = {});
+  /// Immediate call used for nested component-to-component invocations and
+  /// micro-benchmarks; returns in-line with cost accounting.
+  struct CallOutcome {
+    Result<Value> result;
+    util::Duration latency = 0;
+  };
+  CallOutcome invoke_sync(ConnectorId connector, const std::string& operation,
+                          const Value& args, NodeId origin);
+  /// Direct component invocation bypassing connectors (test/administration
+  /// entry point); still charges network and node costs.
+  CallOutcome invoke_component(ComponentId target,
+                               const std::string& operation,
+                               const Value& args, NodeId origin);
+
+  // --- management (intercession primitives) -------------------------------------
+  Status passivate_component(ComponentId component);
+  Status activate_component(ComponentId component);
+  Status block_channels_to(ComponentId component);
+  Status unblock_channels_to(ComponentId component);
+  std::size_t in_flight_to(ComponentId component) const;
+  std::size_t held_to(ComponentId component) const;
+  /// Fires `callback` once no message is in flight towards `component`
+  /// (held messages do not count: they are parked, not in transit).
+  void when_drained(ComponentId component, std::function<void()> callback);
+  /// Replays messages held on channels to `component` (after unblock).
+  std::size_t replay_held(ComponentId component);
+  /// Re-targets every channel and connector from `from` to `to` and moves
+  /// port bindings; the integrity accounting carries over.
+  Status redirect(ComponentId from, ComponentId to);
+  Status migrate(ComponentId component, NodeId destination);
+  Result<Snapshot> snapshot_component(ComponentId component) const;
+  Status restore_component(ComponentId component, const Snapshot& snapshot);
+
+  // --- metrics -------------------------------------------------------------------
+  void add_call_listener(CallListener listener);
+  std::uint64_t total_calls() const { return total_calls_; }
+  std::uint64_t failed_calls() const { return failed_calls_; }
+  /// Aggregated over all channels.
+  std::uint64_t messages_dropped() const;
+  std::uint64_t messages_duplicated() const;
+
+ private:
+  struct BindingKey {
+    ComponentId caller;
+    std::string port;
+    bool operator<(const BindingKey& other) const {
+      if (caller != other.caller) return caller < other.caller;
+      return port < other.port;
+    }
+  };
+
+  /// Shared relay used by invoke_async/send_event: applies interceptors,
+  /// routing, channel state and schedules delivery events. When `callback`
+  /// is empty the message is one-way.
+  void relay_event_driven(Connector& conn, Message message, NodeId origin,
+                          ResponseCallback callback);
+  void deliver(Connector& conn, Channel& chan, Message message, NodeId origin,
+               ResponseCallback callback, util::SimTime departed);
+  Result<Value> handle_at_provider(Connector& conn, Component& provider,
+                                   Message& message);
+  void finish_call(Connector& conn, const Message& message,
+                   Result<Value> result, NodeId origin,
+                   const ResponseCallback& callback, util::SimTime departed);
+  connector::LoadProbe load_probe();
+  component::Component::Sender make_sender(ComponentId caller);
+  double interceptor_work(const Connector& conn) const;
+
+  sim::EventLoop& loop_;
+  sim::Network& network_;
+  component::ComponentRegistry& registry_;
+  Config config_;
+  util::Rng rng_;
+  connector::ConnectorFactory factory_;
+
+  util::IdGenerator<ComponentId> component_ids_;
+  util::IdGenerator<ChannelId> channel_ids_;
+  std::map<ComponentId, std::unique_ptr<Component>> components_;
+  std::map<std::string, ComponentId> components_by_name_;
+  std::map<ComponentId, NodeId> placement_;
+  std::map<ConnectorId, std::unique_ptr<Connector>> connectors_;
+  std::map<std::string, ConnectorId> connectors_by_name_;
+  std::map<BindingKey, ConnectorId> bindings_;
+  std::map<std::pair<ConnectorId, ComponentId>, std::unique_ptr<Channel>>
+      channels_;
+  std::vector<CallListener> listeners_;
+  std::uint64_t total_calls_ = 0;
+  std::uint64_t failed_calls_ = 0;
+  util::IdGenerator<util::MessageId> message_ids_;
+};
+
+}  // namespace aars::runtime

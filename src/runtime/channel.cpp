@@ -1,0 +1,57 @@
+#include "runtime/channel.h"
+
+namespace aars::runtime {
+
+Channel::Channel(ChannelId id, ConnectorId connector, ComponentId provider,
+                 bool audit)
+    : id_(id), connector_(connector), provider_(provider), audit_(audit) {}
+
+void Channel::record_delivery(std::uint64_t sequence) {
+  if (audit_) {
+    if (!seen_.insert(sequence).second) {
+      ++duplicated_;
+      return;
+    }
+  }
+  ++delivered_;
+}
+
+std::uint64_t Channel::missing() const {
+  const std::uint64_t accounted =
+      delivered_ + dropped_ + duplicated_ + in_flight_ + held_.size();
+  return sent() > accounted ? sent() - accounted : 0;
+}
+
+void Channel::retarget_held(ComponentId provider) {
+  for (HeldMessage& held : held_) held.message.target = provider;
+}
+
+std::optional<HeldMessage> Channel::take_held() {
+  if (held_.empty()) return std::nullopt;
+  HeldMessage front = std::move(held_.front());
+  held_.pop_front();
+  return front;
+}
+
+void Channel::on_arrive() {
+  util::require(in_flight_ > 0, "channel in-flight underflow");
+  --in_flight_;
+  if (in_flight_ == 0) {
+    while (!drain_waiters_.empty()) {
+      auto waiter = std::move(drain_waiters_.front());
+      drain_waiters_.pop_front();
+      waiter();
+    }
+  }
+}
+
+void Channel::notify_drained(std::function<void()> callback) {
+  util::require(static_cast<bool>(callback), "drain callback required");
+  if (in_flight_ == 0) {
+    callback();
+  } else {
+    drain_waiters_.push_back(std::move(callback));
+  }
+}
+
+}  // namespace aars::runtime

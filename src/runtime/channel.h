@@ -1,0 +1,102 @@
+// Communication channels with integrity accounting.
+//
+// The paper requires "preserving communication channels by avoiding message
+// loss, duplication or excessive delays" (§1) during reconfiguration.  A
+// Channel carries the traffic from one connector to one serving component;
+// it assigns per-channel sequence numbers, audits deliveries for gaps and
+// duplicates, counts in-flight messages, and supports the block/hold/replay
+// cycle the quiescence protocol needs.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+
+#include "component/message.h"
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace aars::runtime {
+
+using component::Message;
+using util::ChannelId;
+using util::ComponentId;
+using util::ConnectorId;
+using util::Duration;
+using util::SimTime;
+
+/// A held message plus the completion hook of its originating call. The
+/// resume hook receives the (possibly re-targeted) message so replays after
+/// a provider swap reach the replacement.
+struct HeldMessage {
+  Message message;
+  std::function<void(Message)> resume;  // re-runs the delivery pipeline
+};
+
+class Channel {
+ public:
+  Channel(ChannelId id, ConnectorId connector, ComponentId provider,
+          bool audit);
+
+  ChannelId id() const { return id_; }
+  ConnectorId connector() const { return connector_; }
+  ComponentId provider() const { return provider_; }
+  /// Re-targets the channel after a provider swap; sequence numbering and
+  /// audit state carry over so integrity accounting spans the swap.
+  void set_provider(ComponentId provider) { provider_ = provider; }
+
+  // --- sequencing & integrity ----------------------------------------------
+  std::uint64_t next_sequence() { return next_seq_++; }
+  /// Records a delivery. With auditing on, flags duplicates.
+  void record_delivery(std::uint64_t sequence);
+  void record_drop(std::uint64_t count = 1) { dropped_ += count; }
+  std::uint64_t sent() const { return next_seq_ - 1; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  /// Messages sent but neither delivered nor dropped nor held.
+  std::uint64_t missing() const;
+
+  // --- blocking (quiescence protocol) ----------------------------------------
+  void block() { blocked_ = true; }
+  void unblock() { blocked_ = false; }
+  bool blocked() const { return blocked_; }
+  void hold(HeldMessage held) { held_.push_back(std::move(held)); }
+  std::size_t held_count() const { return held_.size(); }
+  /// Removes and returns the oldest held message.
+  std::optional<HeldMessage> take_held();
+  /// Re-addresses every held message (provider swap during quiescence).
+  void retarget_held(ComponentId provider);
+
+  // --- in-flight accounting ---------------------------------------------------
+  void on_depart() { ++in_flight_; }
+  void on_arrive();
+  std::size_t in_flight() const { return in_flight_; }
+  /// Registers a callback fired when in_flight reaches zero (or immediately
+  /// when already drained).
+  void notify_drained(std::function<void()> callback);
+
+  // --- delay accounting --------------------------------------------------------
+  void record_delay(Duration d) { max_delay_ = std::max(max_delay_, d); }
+  Duration max_delay() const { return max_delay_; }
+
+ private:
+  ChannelId id_;
+  ConnectorId connector_;
+  ComponentId provider_;
+  bool audit_;
+  bool blocked_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::size_t in_flight_ = 0;
+  Duration max_delay_ = 0;
+  std::deque<HeldMessage> held_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::function<void()>> drain_waiters_;
+};
+
+}  // namespace aars::runtime

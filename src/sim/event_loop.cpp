@@ -1,0 +1,62 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace aars::sim {
+
+EventHandle EventLoop::schedule_at(SimTime at, Callback fn) {
+  util::require(static_cast<bool>(fn), "scheduled callback must be callable");
+  util::require(at >= now_, "cannot schedule an event in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle{std::move(cancelled), cancelled_in_queue_};
+}
+
+EventHandle EventLoop::schedule_after(Duration delay, Callback fn) {
+  util::require(delay >= 0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::pop_and_run() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (*entry.cancelled) {
+      --*cancelled_in_queue_;
+      continue;
+    }
+    now_ = entry.at;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run(std::size_t limit) {
+  std::size_t ran = 0;
+  while (ran < limit && pop_and_run()) ++ran;
+  return ran;
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  util::require(deadline >= now_, "deadline is in the past");
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled entries at the head.
+    const Entry& head = queue_.top();
+    if (*head.cancelled) {
+      queue_.pop();
+      --*cancelled_in_queue_;
+      continue;
+    }
+    if (head.at > deadline) break;
+    if (pop_and_run()) ++ran;
+  }
+  now_ = deadline;
+  return ran;
+}
+
+bool EventLoop::step() { return pop_and_run(); }
+
+}  // namespace aars::sim

@@ -1,0 +1,97 @@
+// Deterministic discrete-event loop.
+//
+// The whole runtime is driven by one of these: message deliveries, component
+// execution, RAML measurement ticks and reconfiguration steps are all events
+// on the same clock, which makes every experiment reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/time.h"
+
+namespace aars::sim {
+
+using util::Duration;
+using util::SimTime;
+
+/// Cancellation token for a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool active() const { return state_ && !*state_; }
+  void cancel() {
+    if (state_ && !*state_) {
+      *state_ = true;
+      if (cancel_count_) ++*cancel_count_;
+    }
+  }
+
+ private:
+  friend class EventLoop;
+  EventHandle(std::shared_ptr<bool> state,
+              std::shared_ptr<std::size_t> cancel_count)
+      : state_(std::move(state)), cancel_count_(std::move(cancel_count)) {}
+  std::shared_ptr<bool> state_;  // true == cancelled
+  std::shared_ptr<std::size_t> cancel_count_;
+};
+
+/// Priority queue of timed callbacks. Events at the same instant run in
+/// schedule order (FIFO), which keeps the simulation deterministic.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now). Returns a handle that
+  /// can cancel the event before it fires.
+  EventHandle schedule_at(SimTime at, Callback fn);
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventHandle schedule_after(Duration delay, Callback fn);
+
+  /// Runs events until the queue empties or `limit` events ran.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = kNoLimit);
+  /// Runs events with timestamp <= deadline; leaves now() == deadline.
+  std::size_t run_until(SimTime deadline);
+  /// Runs events for the next `span` of simulated time.
+  std::size_t run_for(Duration span) { return run_until(now_ + span); }
+  /// Executes the single next event, if any. Returns false when idle.
+  bool step();
+
+  bool empty() const { return pending() == 0; }
+  std::size_t pending() const { return queue_.size() - *cancelled_in_queue_; }
+  std::size_t executed() const { return executed_; }
+
+  static constexpr std::size_t kNoLimit = ~std::size_t{0};
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::shared_ptr<std::size_t> cancelled_in_queue_ =
+      std::make_shared<std::size_t>(0);
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace aars::sim

@@ -1,0 +1,130 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace aars::sim {
+
+Node& Network::add_node(const std::string& name, double capacity) {
+  util::require(by_name_.find(name) == by_name_.end(),
+                "duplicate node name");
+  const NodeId id = ids_.next();
+  auto node = std::make_unique<Node>(id, name, capacity);
+  Node& ref = *node;
+  nodes_.emplace(id, std::move(node));
+  by_name_.emplace(name, id);
+  return ref;
+}
+
+Node& Network::node(NodeId id) {
+  auto it = nodes_.find(id);
+  util::require(it != nodes_.end(), "unknown node id");
+  return *it->second;
+}
+
+const Node& Network::node(NodeId id) const {
+  auto it = nodes_.find(id);
+  util::require(it != nodes_.end(), "unknown node id");
+  return *it->second;
+}
+
+Node* Network::find_node(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &node(it->second);
+}
+
+NodeId Network::node_id(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? NodeId::invalid() : it->second;
+}
+
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  return out;
+}
+
+void Network::add_link(NodeId from, NodeId to, LinkSpec spec) {
+  util::require(nodes_.count(from) > 0 && nodes_.count(to) > 0,
+                "link endpoints must exist");
+  util::require(from != to, "self links are not allowed");
+  util::require(spec.bandwidth_bytes_per_sec > 0.0,
+                "bandwidth must be positive");
+  links_[{from, to}] = spec;
+}
+
+void Network::add_duplex_link(NodeId a, NodeId b, LinkSpec spec) {
+  add_link(a, b, spec);
+  add_link(b, a, spec);
+}
+
+bool Network::has_link(NodeId from, NodeId to) const {
+  return links_.count({from, to}) > 0;
+}
+
+LinkSpec* Network::find_link(NodeId from, NodeId to) {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> Network::route(NodeId from, NodeId to) const {
+  if (from == to) return {from};
+  // BFS over the directed link graph.
+  std::map<NodeId, NodeId> parent;
+  std::deque<NodeId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop_front();
+    for (const auto& [key, spec] : links_) {
+      if (key.first != current) continue;
+      const NodeId next = key.second;
+      if (parent.count(next)) continue;
+      parent[next] = current;
+      if (next == to) {
+        std::vector<NodeId> path{to};
+        for (NodeId at = to; at != from;) {
+          at = parent[at];
+          path.push_back(at);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+TransferOutcome Network::transfer(NodeId from, NodeId to, std::size_t bytes,
+                                  util::Rng& rng) const {
+  TransferOutcome out;
+  if (from == to) return out;  // co-located, free
+  const std::vector<NodeId> path = route(from, to);
+  if (path.empty()) {
+    out.delivered = false;
+    return out;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = links_.find({path[i], path[i + 1]});
+    util::require(it != links_.end(), "route produced a missing link");
+    const LinkSpec& link = it->second;
+    if (link.loss_probability > 0.0 && rng.chance(link.loss_probability)) {
+      out.delivered = false;
+      return out;
+    }
+    Duration hop = link.latency;
+    hop += static_cast<Duration>(static_cast<double>(bytes) /
+                                 link.bandwidth_bytes_per_sec *
+                                 util::kSecond);
+    if (link.jitter > 0) {
+      hop += rng.uniform_int(-link.jitter, link.jitter);
+    }
+    out.delay += std::max<Duration>(hop, 0);
+    ++out.hops;
+  }
+  return out;
+}
+
+}  // namespace aars::sim

@@ -1,0 +1,73 @@
+// Simulated network: nodes joined by links with latency, bandwidth, jitter
+// and loss.  Message transfer delay between components on different nodes is
+// computed here; co-located components communicate at zero network cost.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/node.h"
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace aars::sim {
+
+/// Directed link properties.
+struct LinkSpec {
+  Duration latency = util::milliseconds(1);
+  double bandwidth_bytes_per_sec = 12.5e6;  // 100 Mbit/s
+  Duration jitter = 0;                      // uniform +/- jitter
+  double loss_probability = 0.0;
+};
+
+/// Result of routing a payload across the network.
+struct TransferOutcome {
+  bool delivered = true;
+  Duration delay = 0;
+  int hops = 0;
+};
+
+/// Topology of Nodes and directed links. Owns the nodes.
+class Network {
+ public:
+  /// Creates a node; name must be unique.
+  Node& add_node(const std::string& name, double capacity);
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  Node* find_node(const std::string& name);
+  NodeId node_id(const std::string& name) const;
+  std::vector<NodeId> node_ids() const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Adds a directed link; use twice for a duplex connection.
+  void add_link(NodeId from, NodeId to, LinkSpec spec);
+  /// Convenience: adds both directions with the same spec.
+  void add_duplex_link(NodeId a, NodeId b, LinkSpec spec);
+  bool has_link(NodeId from, NodeId to) const;
+  /// Mutable access for dynamic degradation scenarios.
+  LinkSpec* find_link(NodeId from, NodeId to);
+
+  /// Computes delivery of `bytes` from `from` to `to`. Same node => free.
+  /// Routes over the fewest-hop path; each hop adds latency + serialisation
+  /// delay + jitter and applies the link's loss probability.
+  TransferOutcome transfer(NodeId from, NodeId to, std::size_t bytes,
+                           util::Rng& rng) const;
+
+  /// Fewest-hop path (inclusive of endpoints); empty when unreachable.
+  std::vector<NodeId> route(NodeId from, NodeId to) const;
+
+ private:
+  util::IdGenerator<NodeId> ids_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
+};
+
+}  // namespace aars::sim

@@ -1,0 +1,53 @@
+#include "sim/node.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace aars::sim {
+
+Node::Node(NodeId id, std::string name, double capacity)
+    : id_(id), name_(std::move(name)), capacity_(capacity) {
+  util::require(capacity > 0.0, "node capacity must be positive");
+}
+
+void Node::set_capacity(double capacity) {
+  util::require(capacity > 0.0, "node capacity must be positive");
+  capacity_ = capacity;
+}
+
+SimTime Node::execute(SimTime now, double work) {
+  util::require(work >= 0.0, "work must be non-negative");
+  const auto service =
+      static_cast<Duration>(work / capacity_ * util::kSecond);
+  const SimTime start = std::max(now, busy_until_);
+  busy_until_ = start + std::max<Duration>(service, 0);
+  busy_time_ += busy_until_ - start;
+  total_work_ += work;
+  ++jobs_;
+  return busy_until_;
+}
+
+Duration Node::backlog(SimTime now) const {
+  return std::max<Duration>(busy_until_ - now, 0);
+}
+
+double Node::utilization(SimTime now) const {
+  const Duration span = now - accounting_start_;
+  if (span <= 0) return 0.0;
+  // Count only busy time that has already elapsed.
+  const Duration elapsed_busy =
+      busy_time_ - std::max<Duration>(busy_until_ - now, 0);
+  return std::clamp(static_cast<double>(elapsed_busy) /
+                        static_cast<double>(span),
+                    0.0, 1.0);
+}
+
+void Node::reset_accounting(SimTime now) {
+  accounting_start_ = now;
+  busy_time_ = std::max<Duration>(busy_until_ - now, 0);
+  total_work_ = 0.0;
+  jobs_ = 0;
+}
+
+}  // namespace aars::sim

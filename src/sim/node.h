@@ -1,0 +1,63 @@
+// Simulated execution hosts.
+//
+// A Node models one machine: a single FIFO processor with a fixed capacity
+// in abstract "work units" per second.  Components placed on the node charge
+// work units for every message they handle; the node serialises execution,
+// which is what produces queueing delay under load — the raw material of the
+// load-balancing and adaptation experiments (E5, E6, E10).
+#pragma once
+
+#include <string>
+
+#include "util/ids.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace aars::sim {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+/// One simulated machine.
+class Node {
+ public:
+  /// `capacity` is in work-units per second (> 0).
+  Node(NodeId id, std::string name, double capacity);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+  /// Changes capacity (models resource fluctuation, e.g. CPU throttling or
+  /// co-located load). Affects only work admitted after the change.
+  void set_capacity(double capacity);
+
+  /// Admits `work` units at time `now`; returns the completion time under
+  /// FIFO scheduling (>= now + work/capacity).
+  SimTime execute(SimTime now, double work);
+
+  /// Time at which the processor drains all admitted work.
+  SimTime busy_until() const { return busy_until_; }
+  /// Backlog (queueing delay a new arrival would see) at `now`.
+  Duration backlog(SimTime now) const;
+  /// Fraction of time busy since the node was created or reset, in [0,1].
+  double utilization(SimTime now) const;
+  /// Work units admitted so far.
+  double total_work() const { return total_work_; }
+  /// Number of execute() calls.
+  std::size_t jobs() const { return jobs_; }
+
+  void reset_accounting(SimTime now);
+
+ private:
+  NodeId id_;
+  std::string name_;
+  double capacity_;
+  SimTime busy_until_ = 0;
+  SimTime accounting_start_ = 0;
+  Duration busy_time_ = 0;
+  double total_work_ = 0.0;
+  std::size_t jobs_ = 0;
+};
+
+}  // namespace aars::sim

@@ -1,0 +1,161 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace aars::sim {
+
+ConstantRate::ConstantRate(double events_per_second)
+    : rate_(events_per_second) {
+  util::require(rate_ > 0.0, "rate must be positive");
+}
+
+Duration ConstantRate::next_gap(SimTime, util::Rng&) {
+  return std::max<Duration>(
+      static_cast<Duration>(util::kSecond / rate_), 1);
+}
+
+PoissonArrivals::PoissonArrivals(double events_per_second)
+    : rate_(events_per_second) {
+  util::require(rate_ > 0.0, "rate must be positive");
+}
+
+Duration PoissonArrivals::next_gap(SimTime, util::Rng& rng) {
+  return rng.poisson_gap(rate_);
+}
+
+BurstyArrivals::BurstyArrivals(double burst_rate, Duration mean_burst,
+                               Duration mean_idle)
+    : burst_rate_(burst_rate), mean_burst_(mean_burst), mean_idle_(mean_idle) {
+  util::require(burst_rate > 0.0, "burst rate must be positive");
+  util::require(mean_burst > 0 && mean_idle > 0,
+                "burst/idle durations must be positive");
+}
+
+Duration BurstyArrivals::next_gap(SimTime now, util::Rng& rng) {
+  Duration gap = 0;
+  SimTime cursor = now;
+  while (true) {
+    if (cursor >= phase_end_) {
+      // Flip phase; draw the next phase duration.
+      in_burst_ = !in_burst_;
+      const Duration mean = in_burst_ ? mean_burst_ : mean_idle_;
+      phase_end_ = cursor + std::max<Duration>(
+          static_cast<Duration>(rng.exponential(
+              static_cast<double>(mean))), 1);
+    }
+    if (in_burst_) {
+      const Duration candidate = rng.poisson_gap(burst_rate_);
+      if (cursor + candidate <= phase_end_) {
+        return gap + candidate;
+      }
+      // Arrival falls past the burst: consume the rest of the burst.
+      gap += phase_end_ - cursor;
+      cursor = phase_end_;
+    } else {
+      gap += phase_end_ - cursor;
+      cursor = phase_end_;
+    }
+  }
+}
+
+double BurstyArrivals::rate_at(SimTime now) const {
+  return (in_burst_ && now < phase_end_) ? burst_rate_ : 0.0;
+}
+
+TraceArrivals::TraceArrivals(std::vector<Point> profile)
+    : profile_(std::move(profile)) {
+  util::require(profile_.size() >= 2, "trace needs at least two points");
+  for (std::size_t i = 1; i < profile_.size(); ++i) {
+    util::require(profile_[i].at > profile_[i - 1].at,
+                  "trace breakpoints must be increasing");
+  }
+  for (const Point& p : profile_) {
+    util::require(p.rate >= 0.0, "trace rates must be non-negative");
+  }
+  period_ = profile_.back().at;
+}
+
+double TraceArrivals::rate_at(SimTime now) const {
+  const SimTime t = now % period_;
+  for (std::size_t i = 1; i < profile_.size(); ++i) {
+    if (t <= profile_[i].at) {
+      const Point& a = profile_[i - 1];
+      const Point& b = profile_[i];
+      const double f = static_cast<double>(t - a.at) /
+                       static_cast<double>(b.at - a.at);
+      return a.rate + f * (b.rate - a.rate);
+    }
+  }
+  return profile_.back().rate;
+}
+
+Duration TraceArrivals::next_gap(SimTime now, util::Rng& rng) {
+  // Thinning: sample at the max rate, accept with p = rate(t)/max_rate.
+  double max_rate = 0.0;
+  for (const Point& p : profile_) max_rate = std::max(max_rate, p.rate);
+  util::require(max_rate > 0.0, "trace must have a positive peak rate");
+  SimTime cursor = now;
+  while (true) {
+    const Duration gap = rng.poisson_gap(max_rate);
+    cursor += gap;
+    if (rng.chance(rate_at(cursor) / max_rate)) {
+      return cursor - now;
+    }
+  }
+}
+
+TraceArrivals rush_hour_trace(double base_rate, double peak_rate,
+                              Duration period) {
+  util::require(peak_rate >= base_rate, "peak must be >= base rate");
+  const auto frac = [&](double f) {
+    return static_cast<SimTime>(static_cast<double>(period) * f);
+  };
+  return TraceArrivals({{0, base_rate},
+                        {frac(0.25), base_rate * 1.2},
+                        {frac(0.40), peak_rate},
+                        {frac(0.55), base_rate * 1.5},
+                        {frac(0.80), peak_rate * 0.8},
+                        {period, base_rate}});
+}
+
+WorkloadDriver::WorkloadDriver(EventLoop& loop,
+                               std::unique_ptr<ArrivalProcess> process,
+                               util::Rng rng)
+    : loop_(loop), process_(std::move(process)), rng_(rng) {
+  util::require(process_ != nullptr, "arrival process required");
+}
+
+void WorkloadDriver::start(SimTime end, Arrival on_arrival) {
+  util::require(static_cast<bool>(on_arrival), "arrival callback required");
+  util::require(!running_, "driver already running");
+  end_ = end;
+  on_arrival_ = std::move(on_arrival);
+  running_ = true;
+  schedule_next();
+}
+
+void WorkloadDriver::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void WorkloadDriver::schedule_next() {
+  if (!running_) return;
+  const Duration gap = process_->next_gap(loop_.now(), rng_);
+  const SimTime at = loop_.now() + gap;
+  if (at > end_) {
+    running_ = false;
+    return;
+  }
+  pending_ = loop_.schedule_at(at, [this] {
+    if (!running_) return;
+    ++generated_;
+    on_arrival_(loop_.now());
+    schedule_next();
+  });
+}
+
+}  // namespace aars::sim

@@ -1,0 +1,117 @@
+// Workload generators.
+//
+// Arrival processes produce inter-arrival gaps; the WorkloadDriver turns an
+// arrival process into scheduled events on an EventLoop.  The rush-hour
+// trace reproduces the paper's motivating scenario: users connecting to
+// wireless multimedia services "during rush hours" (§2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace aars::sim {
+
+/// Produces the gap to the next arrival, given the current time.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual Duration next_gap(SimTime now, util::Rng& rng) = 0;
+  /// Instantaneous nominal rate (events/sec) at `now`, for reporting.
+  virtual double rate_at(SimTime now) const = 0;
+};
+
+/// Deterministic fixed-rate arrivals.
+class ConstantRate final : public ArrivalProcess {
+ public:
+  explicit ConstantRate(double events_per_second);
+  Duration next_gap(SimTime now, util::Rng& rng) override;
+  double rate_at(SimTime) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Memoryless arrivals at a fixed mean rate.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double events_per_second);
+  Duration next_gap(SimTime now, util::Rng& rng) override;
+  double rate_at(SimTime) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Markov-modulated on/off bursts: Poisson at `burst_rate` during bursts,
+/// silent otherwise. Mean burst/idle durations are exponential.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double burst_rate, Duration mean_burst, Duration mean_idle);
+  Duration next_gap(SimTime now, util::Rng& rng) override;
+  double rate_at(SimTime now) const override;
+
+ private:
+  double burst_rate_;
+  Duration mean_burst_;
+  Duration mean_idle_;
+  SimTime phase_end_ = 0;
+  bool in_burst_ = false;
+};
+
+/// Piecewise-linear rate profile: Poisson arrivals whose rate follows
+/// (time, rate) breakpoints, linearly interpolated. The profile repeats
+/// after the last breakpoint.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  struct Point {
+    SimTime at;
+    double rate;
+  };
+  explicit TraceArrivals(std::vector<Point> profile);
+  Duration next_gap(SimTime now, util::Rng& rng) override;
+  double rate_at(SimTime now) const override;
+
+ private:
+  std::vector<Point> profile_;
+  SimTime period_;
+};
+
+/// Builds the canonical "rush hour" profile: base load, a climb to
+/// `peak_rate` around 2/5 of the period, a second smaller peak near 4/5,
+/// back to base. Models the diurnal double-peak of telecom traffic.
+TraceArrivals rush_hour_trace(double base_rate, double peak_rate,
+                              Duration period);
+
+/// Schedules one callback per arrival on an event loop until `end`.
+class WorkloadDriver {
+ public:
+  using Arrival = std::function<void(SimTime)>;
+
+  WorkloadDriver(EventLoop& loop, std::unique_ptr<ArrivalProcess> process,
+                 util::Rng rng);
+
+  /// Starts generating arrivals in (now, end]; each fires `on_arrival`.
+  void start(SimTime end, Arrival on_arrival);
+  void stop();
+  std::size_t generated() const { return generated_; }
+  const ArrivalProcess& process() const { return *process_; }
+
+ private:
+  void schedule_next();
+
+  EventLoop& loop_;
+  std::unique_ptr<ArrivalProcess> process_;
+  util::Rng rng_;
+  Arrival on_arrival_;
+  SimTime end_ = 0;
+  bool running_ = false;
+  std::size_t generated_ = 0;
+  EventHandle pending_;
+};
+
+}  // namespace aars::sim

@@ -1,0 +1,58 @@
+#include "telecom/admission.h"
+
+namespace aars::telecom {
+
+namespace {
+/// Work/second a new session at `quality` would add.
+double session_demand(const SessionManager& sessions, int quality) {
+  return sessions.fps() * QualityLadder::at(quality).work_units;
+}
+}  // namespace
+
+AdmissionDecision ArbitraryDropPolicy::admit(
+    SessionManager& sessions, double capacity_work_per_second,
+    const AdmissionRequest& request) {
+  AdmissionDecision decision;
+  const double projected = sessions.offered_work_per_second() +
+                           session_demand(sessions, request.desired_quality);
+  if (projected <= capacity_work_per_second) {
+    decision.admitted = true;
+    decision.quality = QualityLadder::clamp(request.desired_quality);
+  }
+  // Else: the call is dropped outright — no renegotiation, no degradation.
+  return decision;
+}
+
+AdmissionDecision AdaptiveLadderPolicy::admit(
+    SessionManager& sessions, double capacity_work_per_second,
+    const AdmissionRequest& request) {
+  AdmissionDecision decision;
+  // Walk the ladder from the desired level downwards for the new call.
+  for (int level = QualityLadder::clamp(request.desired_quality);
+       level >= QualityLadder::kMin; --level) {
+    const double projected = sessions.offered_work_per_second() +
+                             session_demand(sessions, level);
+    if (projected <= capacity_work_per_second) {
+      decision.admitted = true;
+      decision.quality = level;
+      return decision;
+    }
+  }
+  // Degrade existing sessions level by level to make room.
+  int global = sessions.global_quality();
+  while (global > QualityLadder::kMin) {
+    --global;
+    sessions.set_global_quality(global);
+    decision.degraded_existing = true;
+    const double projected = sessions.offered_work_per_second() +
+                             session_demand(sessions, global);
+    if (projected <= capacity_work_per_second) {
+      decision.admitted = true;
+      decision.quality = global;
+      return decision;
+    }
+  }
+  return decision;  // even audio-only does not fit: reject
+}
+
+}  // namespace aars::telecom

@@ -1,0 +1,60 @@
+// Call admission policies.
+//
+// The baseline the paper criticises — "dropping calls [or] rejecting
+// packets arbitrarily with no care about the rendering" (§2) — versus the
+// adaptive alternative that degrades quality along the ladder to admit
+// more users.  Both policies see the same demand and the same capacity;
+// E10 compares dropped calls and delivered utility.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "telecom/session.h"
+
+namespace aars::telecom {
+
+struct AdmissionRequest {
+  int desired_quality = QualityLadder::kMax;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  int quality = QualityLadder::kMin;  // granted quality when admitted
+  /// True when admission required degrading existing sessions.
+  bool degraded_existing = false;
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  /// Decides on a new call given the manager's current demand and the
+  /// server budget (work units/second the service may consume).
+  virtual AdmissionDecision admit(SessionManager& sessions,
+                                  double capacity_work_per_second,
+                                  const AdmissionRequest& request) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Arbitrary-drop baseline: every call demands its full desired quality;
+/// when the remaining headroom cannot fit it, the call is dropped.
+class ArbitraryDropPolicy final : public AdmissionPolicy {
+ public:
+  AdmissionDecision admit(SessionManager& sessions,
+                          double capacity_work_per_second,
+                          const AdmissionRequest& request) override;
+  std::string name() const override { return "arbitrary_drop"; }
+};
+
+/// Adaptive ladder policy: first tries the desired quality, then walks the
+/// ladder down; if even the lowest level does not fit, it degrades the
+/// global quality of existing sessions to make room before rejecting.
+class AdaptiveLadderPolicy final : public AdmissionPolicy {
+ public:
+  AdmissionDecision admit(SessionManager& sessions,
+                          double capacity_work_per_second,
+                          const AdmissionRequest& request) override;
+  std::string name() const override { return "adaptive_ladder"; }
+};
+
+}  // namespace aars::telecom

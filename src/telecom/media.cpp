@@ -1,0 +1,159 @@
+#include "telecom/media.h"
+
+#include "telecom/quality.h"
+
+namespace aars::telecom {
+
+using component::InterfaceDescription;
+using component::ParamSpec;
+using component::ServiceSignature;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+using util::ValueType;
+
+InterfaceDescription media_stage_interface() {
+  InterfaceDescription desc("MediaStage", 1);
+  desc.add_service(ServiceSignature{
+      "process", {ParamSpec{"data", ValueType::kNull, false}},
+      ValueType::kMap});
+  return desc;
+}
+
+InterfaceDescription media_service_interface() {
+  InterfaceDescription desc("MediaService", 1);
+  desc.add_service(ServiceSignature{
+      "frame",
+      {ParamSpec{"session", ValueType::kInt, false},
+       ParamSpec{"quality", ValueType::kInt, true}},
+      ValueType::kMap});
+  return desc;
+}
+
+// --- FrameExtractor ---------------------------------------------------------
+
+FrameExtractor::FrameExtractor(const std::string& instance_name)
+    : Component("FrameExtractor", instance_name) {
+  set_provided(media_stage_interface());
+  register_operation("process", 0.3, [](const Value& args) -> Result<Value> {
+    return Value::object({{"data", args.at("data")},
+                          {"stage", "extracted"}});
+  });
+}
+
+// --- VideoEncoder -----------------------------------------------------------
+
+VideoEncoder::VideoEncoder(const std::string& instance_name)
+    : Component("VideoEncoder", instance_name) {
+  set_provided(media_stage_interface());
+  register_operation("process", 2.0, [this](const Value& args)
+                                         -> Result<Value> {
+    ++frames_encoded_;
+    return Value::object({{"data", args.at("data")},
+                          {"stage", "encoded"},
+                          {"codec", codec_},
+                          {"frames", frames_encoded_}});
+  });
+}
+
+Status VideoEncoder::on_initialize(const Value& attributes) {
+  const Value codec = attributes.at("codec");
+  if (codec.is_string()) {
+    codec_ = codec.as_string();
+    if (codec_ != "fast" && codec_ != "quality") {
+      return Error{ErrorCode::kInvalidArgument,
+                   instance_name() + ": unknown codec '" + codec_ + "'"};
+    }
+    // The "quality" codec doubles the per-frame work.
+    const double cost = codec_ == "quality" ? 4.0 : 2.0;
+    (void)replace_operation("process", operation_handler("process"), cost);
+  }
+  return Status::success();
+}
+
+void VideoEncoder::save_state(Value& state) const {
+  state["codec"] = codec_;
+  state["frames_encoded"] = frames_encoded_;
+}
+
+Status VideoEncoder::load_state(const Value& state) {
+  if (state.contains("codec")) codec_ = state.at("codec").as_string();
+  if (state.contains("frames_encoded")) {
+    frames_encoded_ = state.at("frames_encoded").as_int();
+  }
+  return Status::success();
+}
+
+// --- Transmitter ------------------------------------------------------------
+
+Transmitter::Transmitter(const std::string& instance_name)
+    : Component("Transmitter", instance_name) {
+  set_provided(media_stage_interface());
+  register_operation("process", 0.5, [this](const Value& args)
+                                         -> Result<Value> {
+    bytes_sent_ += static_cast<std::int64_t>(args.at("data").byte_size());
+    return Value::object({{"data", args.at("data")},
+                          {"stage", "transmitted"},
+                          {"bytes_total", bytes_sent_}});
+  });
+}
+
+void Transmitter::save_state(Value& state) const {
+  state["bytes_sent"] = bytes_sent_;
+}
+
+Status Transmitter::load_state(const Value& state) {
+  if (state.contains("bytes_sent")) {
+    bytes_sent_ = state.at("bytes_sent").as_int();
+  }
+  return Status::success();
+}
+
+// --- MediaServer ------------------------------------------------------------
+
+MediaServer::MediaServer(const std::string& instance_name)
+    : Component("MediaServer", instance_name) {
+  set_provided(media_service_interface());
+  register_operation("frame", 1.0, [this](const Value& args)
+                                       -> Result<Value> {
+    ++frames_served_;
+    const std::string key = std::to_string(args.at("session").as_int());
+    Value& count = per_session_[key];
+    count = Value{count.is_int() ? count.as_int() + 1 : 1};
+    const int quality = args.contains("quality")
+                            ? static_cast<int>(args.at("quality").as_int())
+                            : 2;
+    const QualityLevel& q = QualityLadder::at(quality);
+    set_resume_point("after_frame");
+    return Value::object({{"session", args.at("session")},
+                          {"quality", static_cast<std::int64_t>(q.level)},
+                          {"bytes", static_cast<std::int64_t>(q.frame_bytes)},
+                          {"frame_no", count}});
+  });
+}
+
+void MediaServer::save_state(Value& state) const {
+  state["frames_served"] = frames_served_;
+  state["per_session"] = Value{per_session_};
+}
+
+Status MediaServer::load_state(const Value& state) {
+  if (state.contains("frames_served")) {
+    frames_served_ = state.at("frames_served").as_int();
+  }
+  if (state.at("per_session").is_map()) {
+    per_session_ = state.at("per_session").as_map();
+  }
+  return Status::success();
+}
+
+void register_media_components(component::ComponentRegistry& registry) {
+  registry.register_class<FrameExtractor>("FrameExtractor");
+  registry.register_class<VideoEncoder>("VideoEncoder");
+  registry.register_class<Transmitter>("Transmitter");
+  registry.register_class<MediaServer>("MediaServer");
+}
+
+}  // namespace aars::telecom

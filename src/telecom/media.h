@@ -1,0 +1,77 @@
+// Multimedia service components.
+//
+// The video pipeline the paper's composition-path example names —
+// "extraction, coding and transferring infrastructure for video service"
+// (§2) — plus the MediaServer used by the session/rush-hour experiments.
+// All components register with a ComponentRegistry under their type names
+// so they are deployable from the ADL.
+#pragma once
+
+#include "component/component.h"
+#include "component/registry.h"
+
+namespace aars::telecom {
+
+/// The shared pipeline-stage interface: MediaStage v1 { process(data) }.
+component::InterfaceDescription media_stage_interface();
+/// The media service interface: MediaService v1 { frame(session, quality) }.
+component::InterfaceDescription media_service_interface();
+
+/// Stage 1: extracts raw frames from a source (cheap).
+class FrameExtractor final : public component::Component {
+ public:
+  explicit FrameExtractor(const std::string& instance_name);
+};
+
+/// Stage 2: encodes frames. Attribute "codec" selects the algorithm and
+/// its cost ("fast" vs "quality" — interchangeable implementations).
+class VideoEncoder final : public component::Component {
+ public:
+  explicit VideoEncoder(const std::string& instance_name);
+
+ protected:
+  util::Status on_initialize(const util::Value& attributes) override;
+  void save_state(util::Value& state) const override;
+  util::Status load_state(const util::Value& state) override;
+
+ private:
+  std::string codec_ = "fast";
+  std::int64_t frames_encoded_ = 0;
+};
+
+/// Stage 3: transfers encoded frames.
+class Transmitter final : public component::Component {
+ public:
+  explicit Transmitter(const std::string& instance_name);
+
+ private:
+  std::int64_t bytes_sent_ = 0;
+
+ protected:
+  void save_state(util::Value& state) const override;
+  util::Status load_state(const util::Value& state) override;
+};
+
+/// The stateful media server: serves "frame" requests whose work scales
+/// with the session's quality level (via the "__work_scale" header).  Keeps
+/// a per-session frame counter so strong reconfiguration is observable.
+class MediaServer final : public component::Component {
+ public:
+  explicit MediaServer(const std::string& instance_name);
+
+  std::int64_t frames_served() const { return frames_served_; }
+
+ protected:
+  void save_state(util::Value& state) const override;
+  util::Status load_state(const util::Value& state) override;
+
+ private:
+  std::int64_t frames_served_ = 0;
+  util::ValueMap per_session_;  // session id (as string) -> frame count
+};
+
+/// Registers all telecom component types ("FrameExtractor", "VideoEncoder",
+/// "Transmitter", "MediaServer") in a registry.
+void register_media_components(component::ComponentRegistry& registry);
+
+}  // namespace aars::telecom

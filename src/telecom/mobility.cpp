@@ -1,0 +1,68 @@
+#include "telecom/mobility.h"
+
+#include "util/errors.h"
+
+namespace aars::telecom {
+
+MobilityModel::MobilityModel(sim::EventLoop& loop, std::vector<NodeId> cells,
+                             Duration mean_dwell, std::uint64_t seed)
+    : loop_(loop),
+      cells_(std::move(cells)),
+      mean_dwell_(mean_dwell),
+      rng_(seed) {
+  util::require(cells_.size() >= 2, "mobility needs at least two cells");
+  util::require(mean_dwell_ > 0, "dwell time must be positive");
+}
+
+MobilityModel::UserId MobilityModel::add_user() {
+  const UserId id = next_user_++;
+  const auto cell_index = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(cells_.size()) - 1));
+  users_[id] = cells_[cell_index];
+  if (running_) schedule_move(id);
+  return id;
+}
+
+NodeId MobilityModel::cell_of(UserId user) const {
+  auto it = users_.find(user);
+  util::require(it != users_.end(), "unknown user");
+  return it->second;
+}
+
+void MobilityModel::on_handover(HandoverHook hook) {
+  util::require(static_cast<bool>(hook), "hook required");
+  hooks_.push_back(std::move(hook));
+}
+
+void MobilityModel::start(SimTime end) {
+  util::require(!running_, "mobility already running");
+  running_ = true;
+  end_ = end;
+  for (const auto& [user, cell] : users_) schedule_move(user);
+}
+
+void MobilityModel::schedule_move(UserId user) {
+  const auto dwell = static_cast<Duration>(
+      rng_.exponential(static_cast<double>(mean_dwell_)));
+  const SimTime at = loop_.now() + std::max<Duration>(dwell, 1);
+  if (at > end_) return;
+  loop_.schedule_at(at, [this, user] {
+    if (!running_) return;
+    auto it = users_.find(user);
+    if (it == users_.end()) return;
+    const NodeId from = it->second;
+    // Move to a different uniformly chosen cell.
+    NodeId to = from;
+    while (to == from && cells_.size() > 1) {
+      const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(cells_.size()) - 1));
+      to = cells_[idx];
+    }
+    it->second = to;
+    ++handovers_;
+    for (const HandoverHook& hook : hooks_) hook(user, from, to);
+    schedule_move(user);
+  });
+}
+
+}  // namespace aars::telecom

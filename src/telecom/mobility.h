@@ -1,0 +1,60 @@
+// User mobility.
+//
+// Services should "be reconfigured automatically according to user's
+// mobility, preferences, profiles and equipments" (Introduction).  The
+// MobilityModel moves users between cells (edge nodes) at exponential dwell
+// times; handover hooks let the application re-home sessions (rebind to a
+// closer server or migrate components towards the demand, §1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace aars::telecom {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+class MobilityModel {
+ public:
+  using UserId = std::size_t;
+  using HandoverHook =
+      std::function<void(UserId user, NodeId from, NodeId to)>;
+
+  MobilityModel(sim::EventLoop& loop, std::vector<NodeId> cells,
+                Duration mean_dwell, std::uint64_t seed);
+
+  /// Adds a user in a uniformly chosen cell.
+  UserId add_user();
+  NodeId cell_of(UserId user) const;
+  std::size_t user_count() const { return users_.size(); }
+
+  /// Starts generating movements until `end`.
+  void start(SimTime end);
+  void stop() { running_ = false; }
+
+  void on_handover(HandoverHook hook);
+  std::uint64_t handovers() const { return handovers_; }
+
+ private:
+  void schedule_move(UserId user);
+
+  sim::EventLoop& loop_;
+  std::vector<NodeId> cells_;
+  Duration mean_dwell_;
+  util::Rng rng_;
+  std::map<UserId, NodeId> users_;
+  std::vector<HandoverHook> hooks_;
+  bool running_ = false;
+  SimTime end_ = 0;
+  std::uint64_t handovers_ = 0;
+  UserId next_user_ = 0;
+};
+
+}  // namespace aars::telecom

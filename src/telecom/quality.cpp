@@ -1,0 +1,26 @@
+#include "telecom/quality.h"
+
+#include <algorithm>
+
+namespace aars::telecom {
+
+const std::vector<QualityLevel>& QualityLadder::standard() {
+  static const std::vector<QualityLevel> kLadder{
+      {0, "audio-only", 0.2, 2 * 1024, 0.25},
+      {1, "thumbnail", 0.5, 8 * 1024, 0.45},
+      {2, "sd", 1.0, 24 * 1024, 0.65},
+      {3, "hq", 2.0, 64 * 1024, 0.85},
+      {4, "hd", 4.0, 160 * 1024, 1.0},
+  };
+  return kLadder;
+}
+
+int QualityLadder::clamp(int level) {
+  return std::clamp(level, kMin, kMax);
+}
+
+const QualityLevel& QualityLadder::at(int level) {
+  return standard()[static_cast<std::size_t>(clamp(level))];
+}
+
+}  // namespace aars::telecom

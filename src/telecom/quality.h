@@ -1,0 +1,34 @@
+// Media quality ladder.
+//
+// The adaptation currency of the paper's motivating scenario: instead of
+// "dropping calls [or] rejecting packets arbitrarily with no care about the
+// rendering" (§2), sessions move up and down a ladder of quality levels,
+// trading CPU work and frame bytes against perceived utility.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aars::telecom {
+
+struct QualityLevel {
+  int level = 0;           // 0 = lowest
+  const char* label = "";  // e.g. "audio-only"
+  double work_units = 0;   // per-frame server work multiplier
+  std::size_t frame_bytes = 0;
+  double utility = 0;      // perceived value in [0,1]
+};
+
+class QualityLadder {
+ public:
+  static constexpr int kMin = 0;
+  static constexpr int kMax = 4;
+
+  /// The standard 5-level ladder (audio-only .. HD).
+  static const std::vector<QualityLevel>& standard();
+  /// Level accessor with clamping to [kMin, kMax].
+  static const QualityLevel& at(int level);
+  static int clamp(int level);
+};
+
+}  // namespace aars::telecom

@@ -1,0 +1,125 @@
+#include "telecom/session.h"
+
+namespace aars::telecom {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+SessionManager::SessionManager(runtime::Application& app, Options options)
+    : app_(app), options_(options) {
+  util::require(options_.service.valid(), "service connector required");
+  util::require(options_.fps > 0.0, "fps must be positive");
+}
+
+SessionId SessionManager::start_session(int quality, NodeId origin,
+                                        SimTime until) {
+  const SessionId id = ids_.next();
+  Session session;
+  session.id = id;
+  session.origin = origin;
+  session.quality = QualityLadder::clamp(std::min(quality, global_quality_));
+  session.until = until;
+  session.streaming = true;
+  sessions_.emplace(id, session);
+  schedule_next_frame(id);
+  return id;
+}
+
+Status SessionManager::end_session(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Error{ErrorCode::kNotFound, "no such session"};
+  }
+  sessions_.erase(it);
+  return Status::success();
+}
+
+bool SessionManager::active(SessionId id) const {
+  return sessions_.count(id) > 0;
+}
+
+Status SessionManager::set_quality(SessionId id, int level) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Error{ErrorCode::kNotFound, "no such session"};
+  }
+  it->second.quality = QualityLadder::clamp(level);
+  return Status::success();
+}
+
+Result<int> SessionManager::quality(SessionId id) const {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Error{ErrorCode::kNotFound, "no such session"};
+  }
+  return it->second.quality;
+}
+
+void SessionManager::set_global_quality(int level) {
+  global_quality_ = QualityLadder::clamp(level);
+  for (auto& [id, session] : sessions_) {
+    session.quality = std::min(session.quality, global_quality_);
+    // Sessions degraded below the new ceiling may also recover up to it.
+    session.quality = global_quality_;
+  }
+}
+
+double SessionManager::offered_work_per_second() const {
+  double total = 0.0;
+  for (const auto& [id, session] : sessions_) {
+    total += options_.fps * QualityLadder::at(session.quality).work_units;
+  }
+  return total;
+}
+
+void SessionManager::on_frame(FrameListener listener) {
+  util::require(static_cast<bool>(listener), "listener required");
+  listeners_.push_back(std::move(listener));
+}
+
+void SessionManager::schedule_next_frame(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  const auto gap =
+      static_cast<Duration>(util::kSecond / options_.fps);
+  const SimTime at = app_.loop().now() + std::max<Duration>(gap, 1);
+  if (at > it->second.until) {
+    sessions_.erase(it);
+    return;
+  }
+  app_.loop().schedule_at(at, [this, id] { fire_frame(id); });
+}
+
+void SessionManager::fire_frame(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  const Session& session = it->second;
+  ++frames_attempted_;
+  const int quality = session.quality;
+  const QualityLevel& q = QualityLadder::at(quality);
+  const Value args = Value::object(
+      {{"session", static_cast<std::int64_t>(id.raw())},
+       {"quality", static_cast<std::int64_t>(quality)}});
+  const Value headers = Value::object({{"__work_scale", q.work_units}});
+  app_.invoke_async(
+      options_.service, "frame", args, session.origin,
+      [this, id, quality](Result<Value> result, Duration latency) {
+        const bool ok = result.ok();
+        if (ok) {
+          ++frames_ok_;
+          delivered_utility_ += QualityLadder::at(quality).utility;
+        } else {
+          ++frames_failed_;
+        }
+        for (const FrameListener& listener : listeners_) {
+          listener(id, latency, ok, quality);
+        }
+      },
+      headers);
+  schedule_next_frame(id);
+}
+
+}  // namespace aars::telecom

@@ -1,0 +1,86 @@
+// Media sessions.
+//
+// A session models one connected user: a stream of frame requests at a
+// fixed rate towards a MediaService connector.  The session's quality level
+// is the adaptation actuator — controllers (E6) and admission policies
+// (E10) turn it up and down while QoS monitors watch latency and failures.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "runtime/application.h"
+#include "telecom/quality.h"
+
+namespace aars::telecom {
+
+using util::Duration;
+using util::NodeId;
+using util::SessionId;
+using util::SimTime;
+
+class SessionManager {
+ public:
+  struct Options {
+    util::ConnectorId service;  // connector to the MediaService
+    double fps = 10.0;          // frame requests per second per session
+  };
+
+  SessionManager(runtime::Application& app, Options options);
+
+  /// Starts a session streaming until `until` (absolute sim time).
+  SessionId start_session(int quality, NodeId origin, SimTime until);
+  util::Status end_session(SessionId session);
+  bool active(SessionId session) const;
+  std::size_t active_count() const { return sessions_.size(); }
+
+  /// Per-session quality actuation.
+  util::Status set_quality(SessionId session, int level);
+  util::Result<int> quality(SessionId session) const;
+  /// Global quality actuation (the controller's knob): clamps every
+  /// session (and the default for new ones) to `level`.
+  void set_global_quality(int level);
+  int global_quality() const { return global_quality_; }
+
+  /// Aggregate demand in work units per second at current qualities.
+  double offered_work_per_second() const;
+  /// Frame rate shared by all sessions.
+  double fps() const { return options_.fps; }
+
+  // --- statistics -----------------------------------------------------------
+  std::uint64_t frames_attempted() const { return frames_attempted_; }
+  std::uint64_t frames_ok() const { return frames_ok_; }
+  std::uint64_t frames_failed() const { return frames_failed_; }
+  /// Sum of utility over delivered frames (the "care about rendering"
+  /// metric).
+  double delivered_utility() const { return delivered_utility_; }
+
+  using FrameListener =
+      std::function<void(SessionId, Duration latency, bool ok, int quality)>;
+  void on_frame(FrameListener listener);
+
+ private:
+  struct Session {
+    SessionId id;
+    NodeId origin;
+    int quality;
+    SimTime until;
+    bool streaming = false;
+  };
+
+  void schedule_next_frame(SessionId id);
+  void fire_frame(SessionId id);
+
+  runtime::Application& app_;
+  Options options_;
+  util::IdGenerator<SessionId> ids_;
+  std::map<SessionId, Session> sessions_;
+  int global_quality_ = QualityLadder::kMax;
+  std::uint64_t frames_attempted_ = 0;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t frames_failed_ = 0;
+  double delivered_utility_ = 0.0;
+  std::vector<FrameListener> listeners_;
+};
+
+}  // namespace aars::telecom

@@ -1,0 +1,79 @@
+// Strongly typed identifiers used across the runtime.
+//
+// Every entity in the system (component instance, connector, node, channel,
+// message, ...) carries a distinct id type so that ids cannot be mixed up at
+// compile time.  Ids are cheap value types: a 64-bit integer wrapped in a
+// tag-discriminated template.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace aars::util {
+
+/// Strongly typed 64-bit identifier. `Tag` only discriminates the type.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t raw) : raw_(raw) {}
+
+  /// The reserved "no entity" value.
+  static constexpr Id invalid() { return Id{0}; }
+
+  constexpr bool valid() const { return raw_ != 0; }
+  constexpr std::uint64_t raw() const { return raw_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.raw_ < b.raw_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << '#' << id.raw_;
+  }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+/// Monotonic generator for a given id type. Not thread-safe by design: the
+/// runtime is a deterministic discrete-event system driven by one thread.
+template <typename IdType>
+class IdGenerator {
+ public:
+  IdType next() { return IdType{++last_}; }
+  void reset(std::uint64_t to = 0) { last_ = to; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+struct ComponentTag {};
+struct ConnectorTag {};
+struct NodeTag {};
+struct ChannelTag {};
+struct MessageTag {};
+struct RuleTag {};
+struct ContractTag {};
+struct SessionTag {};
+
+using ComponentId = Id<ComponentTag>;
+using ConnectorId = Id<ConnectorTag>;
+using NodeId = Id<NodeTag>;
+using ChannelId = Id<ChannelTag>;
+using MessageId = Id<MessageTag>;
+using RuleId = Id<RuleTag>;
+using ContractId = Id<ContractTag>;
+using SessionId = Id<SessionTag>;
+
+}  // namespace aars::util
+
+namespace std {
+template <typename Tag>
+struct hash<aars::util::Id<Tag>> {
+  size_t operator()(aars::util::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.raw());
+  }
+};
+}  // namespace std

@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace aars::util {
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+    };
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  sink_(level, message);
+}
+
+}  // namespace aars::util

@@ -1,0 +1,77 @@
+// Minimal leveled logger.
+//
+// The runtime logs sparingly; tests and benches run with the logger muted by
+// default.  A sink can be swapped in to capture events for assertions.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace aars::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+constexpr const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+/// Process-wide logger configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace aars::util
+
+#define AARS_LOG(level)                                        \
+  if (!::aars::util::Logger::instance().enabled(level)) {      \
+  } else                                                       \
+    ::aars::util::detail::LogLine(level)
+
+#define AARS_DEBUG AARS_LOG(::aars::util::LogLevel::kDebug)
+#define AARS_INFO AARS_LOG(::aars::util::LogLevel::kInfo)
+#define AARS_WARN AARS_LOG(::aars::util::LogLevel::kWarn)
+#define AARS_ERROR AARS_LOG(::aars::util::LogLevel::kError)

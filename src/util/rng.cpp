@@ -1,0 +1,62 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace aars::util {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  require(mean > 0.0, "exponential mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::pareto(double shape, double scale) {
+  require(shape > 0.0 && scale > 0.0, "pareto parameters must be positive");
+  const double u = 1.0 - uniform();
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  require(total > 0.0, "weighted_index requires a positive weight");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= std::max(weights[i], 0.0);
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Duration Rng::poisson_gap(double events_per_second) {
+  require(events_per_second > 0.0, "poisson rate must be positive");
+  const double gap_seconds = exponential(1.0 / events_per_second);
+  const auto micros = static_cast<Duration>(gap_seconds * kSecond);
+  return std::max<Duration>(micros, 1);
+}
+
+}  // namespace aars::util

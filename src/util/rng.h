@@ -1,0 +1,47 @@
+// Deterministic random numbers for workload generation.
+//
+// A thin facade over std::mt19937_64 with the distributions experiments
+// need.  Every experiment seeds its own Rng so runs are reproducible and
+// independent of each other.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/time.h"
+
+namespace aars::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard exponential with given mean (> 0).
+  double exponential(double mean);
+  /// Gaussian.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Pareto-distributed heavy tail with shape alpha (>1) and scale xm (>0).
+  double pareto(double shape, double scale);
+  /// Picks an index weighted by `weights` (non-negative, not all zero).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Inter-arrival gap of a Poisson process with given rate (events/sec),
+  /// rounded to >= 1 microsecond.
+  Duration poisson_gap(double events_per_second);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aars::util

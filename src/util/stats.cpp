@@ -1,0 +1,102 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aars::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank definition: the smallest value with at least q*n samples
+  // at or below it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(index, sorted_.size() - 1)];
+}
+
+void SlidingWindow::add(SimTime now, double x) {
+  samples_.emplace_back(now, x);
+  advance(now);
+}
+
+void SlidingWindow::advance(SimTime now) {
+  const SimTime horizon = now - window_;
+  while (!samples_.empty() && samples_.front().first < horizon) {
+    samples_.pop_front();
+  }
+}
+
+double SlidingWindow::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [t, x] : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SlidingWindow::min() const {
+  if (samples_.empty()) return 0.0;
+  double m = samples_.front().second;
+  for (const auto& [t, x] : samples_) m = std::min(m, x);
+  return m;
+}
+
+double SlidingWindow::max() const {
+  if (samples_.empty()) return 0.0;
+  double m = samples_.front().second;
+  for (const auto& [t, x] : samples_) m = std::max(m, x);
+  return m;
+}
+
+double SlidingWindow::rate(SimTime now) const {
+  if (samples_.empty()) return 0.0;
+  const SimTime span = std::max<SimTime>(now - samples_.front().first, 1);
+  return static_cast<double>(samples_.size()) /
+         (static_cast<double>(span) / static_cast<double>(kSecond));
+}
+
+void Ewma::add(double x) {
+  if (!seeded_) {
+    value_ = x;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+}  // namespace aars::util

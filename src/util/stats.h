@@ -1,0 +1,93 @@
+// Online statistics used by QoS monitors and benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/time.h"
+
+namespace aars::util {
+
+/// Welford running mean/variance plus min/max. O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; supports exact percentiles. Use for bounded-size
+/// experiment outputs (latency distributions), not for unbounded streams.
+class Histogram {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Exact percentile by nearest-rank, q in [0,1]. Returns 0 when empty.
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
+  double max() const { return percentile(1.0); }
+  void reset() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // cache invalidated lazily
+};
+
+/// Time-windowed statistics: samples older than `window` (relative to the
+/// latest observation) are evicted. Used by QoS monitors on the sim clock.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(Duration window) : window_(window) {}
+
+  void add(SimTime now, double x);
+  /// Drops samples older than now - window.
+  void advance(SimTime now);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Samples per simulated second over the window span.
+  double rate(SimTime now) const;
+  Duration window() const { return window_; }
+
+ private:
+  Duration window_;
+  std::deque<std::pair<SimTime, double>> samples_;
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  void add(double x);
+  double value() const { return value_; }
+  bool empty() const { return !seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace aars::util

@@ -1,0 +1,36 @@
+// Simulated-time types.
+//
+// All experiment logic runs on a deterministic discrete-event clock.  Time
+// is an integral count of microseconds since simulation start, which keeps
+// arithmetic exact and event ordering reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace aars::util {
+
+/// A point in simulated time, in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * 1000;
+
+constexpr Duration microseconds(std::int64_t n) { return n; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a duration to fractional seconds (for reporting only).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration to fractional milliseconds (for reporting only).
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace aars::util

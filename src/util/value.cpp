@@ -1,0 +1,185 @@
+#include "util/value.h"
+
+#include <sstream>
+
+namespace aars::util {
+
+Value Value::object(std::initializer_list<std::pair<std::string, Value>> kv) {
+  ValueMap m;
+  for (const auto& [k, v] : kv) m.emplace(k, v);
+  return Value{std::move(m)};
+}
+
+Value Value::list(std::initializer_list<Value> items) {
+  return Value{ValueList(items)};
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0: return ValueType::kNull;
+    case 1: return ValueType::kBool;
+    case 2: return ValueType::kInt;
+    case 3: return ValueType::kDouble;
+    case 4: return ValueType::kString;
+    case 5: return ValueType::kList;
+    case 6: return ValueType::kMap;
+  }
+  return ValueType::kNull;
+}
+
+namespace {
+[[noreturn]] void type_error(ValueType want, ValueType got) {
+  throw InvariantViolation(std::string("Value type mismatch: wanted ") +
+                           to_string(want) + ", got " + to_string(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) type_error(ValueType::kBool, type());
+  return std::get<bool>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  if (!is_int()) type_error(ValueType::kInt, type());
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  if (!is_double()) type_error(ValueType::kDouble, type());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) type_error(ValueType::kString, type());
+  return std::get<std::string>(data_);
+}
+
+const ValueList& Value::as_list() const {
+  if (!is_list()) type_error(ValueType::kList, type());
+  return std::get<ValueList>(data_);
+}
+
+ValueList& Value::as_list() {
+  if (!is_list()) type_error(ValueType::kList, type());
+  return std::get<ValueList>(data_);
+}
+
+const ValueMap& Value::as_map() const {
+  if (!is_map()) type_error(ValueType::kMap, type());
+  return std::get<ValueMap>(data_);
+}
+
+ValueMap& Value::as_map() {
+  if (!is_map()) type_error(ValueType::kMap, type());
+  return std::get<ValueMap>(data_);
+}
+
+const Value& null_value() {
+  static const Value kNull{};
+  return kNull;
+}
+
+const Value& Value::at(std::string_view key) const {
+  if (!is_map()) return null_value();
+  const auto& m = std::get<ValueMap>(data_);
+  auto it = m.find(std::string(key));
+  return it == m.end() ? null_value() : it->second;
+}
+
+Value Value::get_or(std::string_view key, Value fallback) const {
+  const Value& v = at(key);
+  return v.is_null() ? std::move(fallback) : v;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = ValueMap{};
+  if (!is_map()) type_error(ValueType::kMap, type());
+  return std::get<ValueMap>(data_)[key];
+}
+
+bool Value::contains(std::string_view key) const {
+  if (!is_map()) return false;
+  return std::get<ValueMap>(data_).count(std::string(key)) > 0;
+}
+
+const Value& Value::item(std::size_t index) const {
+  const auto& l = as_list();
+  require(index < l.size(), "Value::item index out of range");
+  return l[index];
+}
+
+std::size_t Value::size() const {
+  if (is_list()) return std::get<ValueList>(data_).size();
+  if (is_map()) return std::get<ValueMap>(data_).size();
+  if (is_string()) return std::get<std::string>(data_).size();
+  return 0;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  return a.data_ == b.data_;
+}
+
+namespace {
+void render(const Value& v, std::ostringstream& os) {
+  switch (v.type()) {
+    case ValueType::kNull: os << "null"; break;
+    case ValueType::kBool: os << (v.as_bool() ? "true" : "false"); break;
+    case ValueType::kInt: os << v.as_int(); break;
+    case ValueType::kDouble: os << v.as_double(); break;
+    case ValueType::kString: os << '"' << v.as_string() << '"'; break;
+    case ValueType::kList: {
+      os << '[';
+      bool first = true;
+      for (const auto& item : v.as_list()) {
+        if (!first) os << ',';
+        first = false;
+        render(item, os);
+      }
+      os << ']';
+      break;
+    }
+    case ValueType::kMap: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, item] : v.as_map()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << k << "\":";
+        render(item, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+}  // namespace
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  render(*this, os);
+  return os.str();
+}
+
+std::size_t Value::byte_size() const {
+  switch (type()) {
+    case ValueType::kNull: return 1;
+    case ValueType::kBool: return 1;
+    case ValueType::kInt: return 8;
+    case ValueType::kDouble: return 8;
+    case ValueType::kString: return 8 + as_string().size();
+    case ValueType::kList: {
+      std::size_t total = 8;
+      for (const auto& v : as_list()) total += v.byte_size();
+      return total;
+    }
+    case ValueType::kMap: {
+      std::size_t total = 8;
+      for (const auto& [k, v] : as_map()) total += k.size() + v.byte_size();
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace aars::util

@@ -1,0 +1,115 @@
+// Dynamically typed value tree.
+//
+// `Value` is the lingua franca of the runtime: message payloads, component
+// attributes, state snapshots and ADL literals are all Value trees.  It is a
+// JSON-like sum type with value semantics.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace aars::util {
+
+class Value;
+
+using ValueList = std::vector<Value>;
+using ValueMap = std::map<std::string, Value>;
+
+/// Discriminator for the runtime type of a Value.
+enum class ValueType { kNull, kBool, kInt, kDouble, kString, kList, kMap };
+
+constexpr const char* to_string(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+    case ValueType::kList: return "list";
+    case ValueType::kMap: return "map";
+  }
+  return "unknown";
+}
+
+/// JSON-like variant with value semantics. Numeric access is checked: asking
+/// for the wrong type throws InvariantViolation (it indicates a runtime bug
+/// or an unvalidated configuration reaching execution).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(std::nullptr_t) : data_(std::monostate{}) {}     // NOLINT implicit
+  Value(bool b) : data_(b) {}                            // NOLINT implicit
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}  // NOLINT implicit
+  Value(std::int64_t i) : data_(i) {}                    // NOLINT implicit
+  Value(double d) : data_(d) {}                          // NOLINT implicit
+  Value(const char* s) : data_(std::string(s)) {}        // NOLINT implicit
+  Value(std::string s) : data_(std::move(s)) {}          // NOLINT implicit
+  Value(ValueList l) : data_(std::move(l)) {}            // NOLINT implicit
+  Value(ValueMap m) : data_(std::move(m)) {}             // NOLINT implicit
+
+  /// Builds a map value from key/value pairs.
+  static Value object(std::initializer_list<std::pair<std::string, Value>> kv);
+  /// Builds a list value.
+  static Value list(std::initializer_list<Value> items);
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_list() const { return type() == ValueType::kList; }
+  bool is_map() const { return type() == ValueType::kMap; }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Numeric coercion: int promotes to double.
+  double as_double() const;
+  const std::string& as_string() const;
+  const ValueList& as_list() const;
+  ValueList& as_list();
+  const ValueMap& as_map() const;
+  ValueMap& as_map();
+
+  /// Map field access; returns null Value when absent or not a map.
+  const Value& at(std::string_view key) const;
+  /// Map field access with default.
+  Value get_or(std::string_view key, Value fallback) const;
+  /// Mutable map access; converts a null value into an empty map.
+  Value& operator[](const std::string& key);
+  bool contains(std::string_view key) const;
+
+  /// List element access; precondition: is_list() && index < size().
+  const Value& item(std::size_t index) const;
+  std::size_t size() const;
+
+  /// Deep structural equality.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Compact JSON-ish rendering (for logs, tests and golden output).
+  std::string to_string() const;
+
+  /// Approximate heap footprint in bytes; used by the simulator to charge
+  /// bandwidth for message payloads.
+  std::size_t byte_size() const;
+
+ private:
+  using Storage = std::variant<std::monostate, bool, std::int64_t, double,
+                               std::string, ValueList, ValueMap>;
+  Storage data_;
+};
+
+/// The canonical null value (used for absent map fields).
+const Value& null_value();
+
+}  // namespace aars::util

@@ -1,0 +1,170 @@
+#include "adapt/adaptive_interface.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::adapt {
+namespace {
+
+using aars::testing::CounterServer;
+using aars::testing::EchoServer;
+using component::Message;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+Message request(const std::string& op, Value payload = {}) {
+  Message m;
+  m.operation = op;
+  m.payload = std::move(payload);
+  return m;
+}
+
+class MetaComponentTest : public ::testing::Test {
+ protected:
+  MetaComponentTest() {
+    EXPECT_TRUE(server_.initialize(Value::object({{"cfg", 1}})).ok());
+    EXPECT_TRUE(server_.activate().ok());
+  }
+  EchoServer server_{"base"};
+};
+
+TEST_F(MetaComponentTest, DescribeExposesReflectiveView) {
+  MetaComponent meta(server_);
+  const Value desc = meta.describe();
+  EXPECT_EQ(desc.at("type").as_string(), "EchoServer");
+  EXPECT_EQ(desc.at("instance").as_string(), "base");
+  EXPECT_EQ(desc.at("lifecycle").as_string(), "active");
+  EXPECT_EQ(desc.at("provided").as_string(), "Echo");
+  EXPECT_EQ(desc.at("operations").size(), 2u);
+  EXPECT_EQ(desc.at("attributes").at("cfg").as_int(), 1);
+  EXPECT_TRUE(desc.at("quiescent").as_bool());
+}
+
+TEST_F(MetaComponentTest, ObservationCountsExecutions) {
+  MetaComponent meta(server_);
+  (void)server_.handle(request("ping"));
+  (void)server_.handle(request("ping"));
+  EXPECT_EQ(meta.observed(), 2u);
+}
+
+TEST_F(MetaComponentTest, TraceHookSeesOperationAndOutcome) {
+  MetaComponent meta(server_);
+  std::vector<std::pair<std::string, bool>> trace;
+  meta.trace([&](const std::string& op, bool ok) {
+    trace.emplace_back(op, ok);
+  });
+  (void)server_.handle(request("ping"));
+  (void)server_.handle(request("missing_op"));
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], (std::pair<std::string, bool>{"ping", true}));
+  EXPECT_FALSE(trace[1].second);
+}
+
+TEST_F(MetaComponentTest, RefinementWrapsBaseExecution) {
+  MetaComponent meta(server_);
+  ASSERT_TRUE(meta.refine_operation(
+                      "echo",
+                      [](const Value& args,
+                         const component::Component::OperationHandler& base)
+                          -> Result<Value> {
+                        Result<Value> inner = base(args);
+                        if (!inner.ok()) return inner;
+                        return Value{"<<" + inner.value().as_string() + ">>"};
+                      },
+                      1.5)
+                  .ok());
+  const Result<Value> r =
+      server_.handle(request("echo", Value::object({{"text", "hi"}})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().as_string(), "<<hi>>");
+  EXPECT_EQ(meta.refinement_depth("echo"), 1u);
+}
+
+TEST_F(MetaComponentTest, RefinementsStack) {
+  MetaComponent meta(server_);
+  const auto wrap = [](const std::string& mark) {
+    return [mark](const Value& args,
+                  const component::Component::OperationHandler& base)
+               -> Result<Value> {
+      Result<Value> inner = base(args);
+      return Value{mark + inner.value().as_string()};
+    };
+  };
+  ASSERT_TRUE(meta.refine_operation("echo", wrap("a"), 1.0).ok());
+  ASSERT_TRUE(meta.refine_operation("echo", wrap("b"), 1.0).ok());
+  const Result<Value> r =
+      server_.handle(request("echo", Value::object({{"text", "x"}})));
+  EXPECT_EQ(r.value().as_string(), "bax");
+  EXPECT_EQ(meta.refinement_depth("echo"), 2u);
+}
+
+TEST_F(MetaComponentTest, UndoRestoresPreviousBehaviour) {
+  MetaComponent meta(server_);
+  ASSERT_TRUE(meta.refine_operation(
+                      "echo",
+                      [](const Value&,
+                         const component::Component::OperationHandler&)
+                          -> Result<Value> {
+                        return Value{"hijacked"};
+                      },
+                      1.0)
+                  .ok());
+  ASSERT_TRUE(meta.undo_refinement("echo").ok());
+  const Result<Value> r =
+      server_.handle(request("echo", Value::object({{"text", "orig"}})));
+  EXPECT_EQ(r.value().as_string(), "orig");
+  EXPECT_EQ(meta.refinement_depth("echo"), 0u);
+  EXPECT_EQ(meta.undo_refinement("echo").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MetaComponentTest, UndoRestoresWorkCost) {
+  MetaComponent meta(server_);
+  const double original_cost = server_.work_cost("echo");
+  ASSERT_TRUE(meta.refine_operation(
+                      "echo",
+                      [](const Value& args,
+                         const component::Component::OperationHandler& base) {
+                        return base(args);
+                      },
+                      99.0)
+                  .ok());
+  EXPECT_DOUBLE_EQ(server_.work_cost("echo"), 99.0);
+  ASSERT_TRUE(meta.undo_refinement("echo").ok());
+  EXPECT_DOUBLE_EQ(server_.work_cost("echo"), original_cost);
+}
+
+TEST_F(MetaComponentTest, RefiningUnknownOperationFails) {
+  MetaComponent meta(server_);
+  EXPECT_EQ(meta.refine_operation(
+                    "ghost",
+                    [](const Value&,
+                       const component::Component::OperationHandler&)
+                        -> Result<Value> { return Value{}; },
+                    1.0)
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(MetaComponentTest, RefinementCanShortCircuitBase) {
+  // Intercession that never calls proceed: the base handler is skipped.
+  CounterServer counter("c");
+  ASSERT_TRUE(counter.initialize(Value{}).ok());
+  ASSERT_TRUE(counter.activate().ok());
+  MetaComponent meta(counter);
+  ASSERT_TRUE(meta.refine_operation(
+                      "add",
+                      [](const Value&,
+                         const component::Component::OperationHandler&)
+                          -> Result<Value> {
+                        return Value{std::int64_t{-1}};
+                      },
+                      0.1)
+                  .ok());
+  (void)counter.handle(request("add", Value::object({{"amount", 5}})));
+  EXPECT_EQ(counter.total(), 0);  // base never executed
+}
+
+}  // namespace
+}  // namespace aars::adapt

@@ -1,0 +1,163 @@
+#include "adapt/aspects.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::adapt {
+namespace {
+
+using aars::testing::AppFixture;
+using component::Message;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+Message msg(const std::string& op) {
+  Message m;
+  m.operation = op;
+  m.payload = Value::object({});
+  return m;
+}
+
+TEST(PointcutTest, OperationMatch) {
+  const Pointcut p = Pointcut::operation("frame");
+  EXPECT_TRUE(p.matches(msg("frame")));
+  EXPECT_FALSE(p.matches(msg("other")));
+}
+
+TEST(PointcutTest, PrefixMatch) {
+  const Pointcut p = Pointcut::operation_prefix("get_");
+  EXPECT_TRUE(p.matches(msg("get_user")));
+  EXPECT_FALSE(p.matches(msg("put_user")));
+}
+
+TEST(PointcutTest, HeaderMatch) {
+  const Pointcut p = Pointcut::header("auth");
+  Message with = msg("x");
+  with.headers["auth"] = "token";
+  EXPECT_TRUE(p.matches(with));
+  EXPECT_FALSE(p.matches(msg("x")));
+}
+
+TEST(PointcutTest, Conjunction) {
+  const Pointcut p = Pointcut::operation("a") && Pointcut::header("h");
+  Message both = msg("a");
+  both.headers["h"] = 1;
+  EXPECT_TRUE(p.matches(both));
+  EXPECT_FALSE(p.matches(msg("a")));
+}
+
+TEST(AspectInterceptorTest, BeforeAdviceMutatesRequest) {
+  Aspect aspect{"stamp", Pointcut::any(),
+                Advice{[](Message& m) { m.headers["stamped"] = true; },
+                       nullptr, nullptr}};
+  AspectInterceptor interceptor(std::move(aspect));
+  Message m = msg("x");
+  Result<Value> reply = Value{};
+  EXPECT_EQ(interceptor.before(m, &reply),
+            connector::Interceptor::Verdict::kPass);
+  EXPECT_TRUE(m.headers.at("stamped").as_bool());
+  EXPECT_EQ(interceptor.matched(), 1u);
+}
+
+TEST(AspectInterceptorTest, AroundAdviceShortCircuits) {
+  Aspect aspect{"cache", Pointcut::operation("cached_op"),
+                Advice{nullptr, nullptr,
+                       [](Message&) -> std::optional<Result<Value>> {
+                         return Result<Value>(Value{"from_cache"});
+                       }}};
+  AspectInterceptor interceptor(std::move(aspect));
+  Message m = msg("cached_op");
+  Result<Value> reply = Value{};
+  EXPECT_EQ(interceptor.before(m, &reply),
+            connector::Interceptor::Verdict::kHandled);
+  EXPECT_EQ(reply.value().as_string(), "from_cache");
+}
+
+TEST(AspectInterceptorTest, AroundMayDecline) {
+  Aspect aspect{"maybe", Pointcut::any(),
+                Advice{nullptr, nullptr,
+                       [](Message&) -> std::optional<Result<Value>> {
+                         return std::nullopt;
+                       }}};
+  AspectInterceptor interceptor(std::move(aspect));
+  Message m = msg("x");
+  Result<Value> reply = Value{};
+  EXPECT_EQ(interceptor.before(m, &reply),
+            connector::Interceptor::Verdict::kPass);
+}
+
+TEST(AspectInterceptorTest, AfterAdviceSeesReply) {
+  int observed = 0;
+  Aspect aspect{"watch", Pointcut::any(),
+                Advice{nullptr,
+                       [&observed](const Message&, Result<Value>& reply) {
+                         ++observed;
+                         if (reply.ok()) reply.value()["post"] = true;
+                       },
+                       nullptr}};
+  AspectInterceptor interceptor(std::move(aspect));
+  Message m = msg("x");
+  Result<Value> reply = Value::object({});
+  interceptor.after(m, reply);
+  EXPECT_EQ(observed, 1);
+  EXPECT_TRUE(reply.value().at("post").as_bool());
+}
+
+TEST(AspectInterceptorTest, NonMatchingMessagesUntouched) {
+  Aspect aspect{"narrow", Pointcut::operation("only_this"),
+                Advice{[](Message& m) { m.headers["hit"] = true; }, nullptr,
+                       nullptr}};
+  AspectInterceptor interceptor(std::move(aspect));
+  Message m = msg("something_else");
+  Result<Value> reply = Value{};
+  (void)interceptor.before(m, &reply);
+  EXPECT_FALSE(m.headers.contains("hit"));
+  EXPECT_EQ(interceptor.matched(), 0u);
+}
+
+class WeaverTest : public AppFixture {};
+
+TEST_F(WeaverTest, WeaveAndUnweaveAtRuntime) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  AspectWeaver weaver(app_);
+  int before_count = 0;
+  Aspect aspect{"count", Pointcut::any(),
+                Advice{[&](Message&) { ++before_count; }, nullptr, nullptr}};
+  ASSERT_TRUE(weaver.weave(conn, aspect).ok());
+  EXPECT_EQ(weaver.woven(conn), (std::vector<std::string>{"count"}));
+
+  (void)app_.invoke_sync(conn, "ping", Value{}, node_b_);
+  EXPECT_EQ(before_count, 1);
+
+  ASSERT_TRUE(weaver.unweave(conn, "count").ok());
+  (void)app_.invoke_sync(conn, "ping", Value{}, node_b_);
+  EXPECT_EQ(before_count, 1);  // no longer woven
+  EXPECT_TRUE(weaver.woven(conn).empty());
+}
+
+TEST_F(WeaverTest, WeaveEverywhereIsCrosscutting) {
+  const auto conn_a = direct_to("EchoServer", "a", node_a_);
+  const auto conn_b = direct_to("EchoServer", "b", node_b_);
+  AspectWeaver weaver(app_);
+  int hits = 0;
+  Aspect aspect{"global", Pointcut::any(),
+                Advice{[&](Message&) { ++hits; }, nullptr, nullptr}};
+  ASSERT_TRUE(weaver.weave_everywhere(aspect).ok());
+  (void)app_.invoke_sync(conn_a, "ping", Value{}, node_c_);
+  (void)app_.invoke_sync(conn_b, "ping", Value{}, node_c_);
+  EXPECT_EQ(hits, 2);
+}
+
+TEST_F(WeaverTest, UnknownConnectorFails) {
+  AspectWeaver weaver(app_);
+  Aspect aspect{"x", Pointcut::any(), Advice{}};
+  EXPECT_EQ(weaver.weave(util::ConnectorId{999}, aspect).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(weaver.unweave(util::ConnectorId{999}, "x").code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace aars::adapt

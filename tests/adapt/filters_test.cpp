@@ -1,0 +1,219 @@
+#include "adapt/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::adapt {
+namespace {
+
+using aars::testing::AppFixture;
+using component::Message;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+Message msg(const std::string& op, Value payload = {}) {
+  Message m;
+  m.operation = op;
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(FilterChainTest, AttachDetachAndOrder) {
+  FilterChain chain("fc");
+  ASSERT_TRUE(chain.attach(std::make_shared<LoggingFilter>("a")).ok());
+  ASSERT_TRUE(chain.attach(std::make_shared<LoggingFilter>("b")).ok());
+  ASSERT_TRUE(
+      chain.attach(std::make_shared<LoggingFilter>("front"), 0).ok());
+  EXPECT_EQ(chain.filter_names(),
+            (std::vector<std::string>{"front", "a", "b"}));
+  EXPECT_TRUE(chain.detach("a").ok());
+  EXPECT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.detach("a").code(), ErrorCode::kNotFound);
+}
+
+TEST(FilterChainTest, DuplicateNameRejected) {
+  FilterChain chain("fc");
+  ASSERT_TRUE(chain.attach(std::make_shared<LoggingFilter>("x")).ok());
+  EXPECT_EQ(chain.attach(std::make_shared<LoggingFilter>("x")).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(FilterChainTest, PassThroughWhenEmpty) {
+  FilterChain chain("fc");
+  Message m = msg("op");
+  Result<Value> reply = Value{};
+  EXPECT_EQ(chain.before(m, &reply),
+            connector::Interceptor::Verdict::kPass);
+}
+
+TEST(LoggingFilterTest, CapturesEntries) {
+  auto logger = std::make_shared<LoggingFilter>();
+  Message m = msg("frame");
+  m.sequence = 9;
+  Result<Value> reply = Value{};
+  (void)logger->on_request(m, &reply);
+  ASSERT_EQ(logger->entries().size(), 1u);
+  EXPECT_NE(logger->entries()[0].find("frame"), std::string::npos);
+  EXPECT_NE(logger->entries()[0].find("seq=9"), std::string::npos);
+  logger->clear();
+  EXPECT_TRUE(logger->entries().empty());
+}
+
+TEST(TransformFilterTest, MutatesPayload) {
+  TransformFilter filter("double", [](Value& payload) {
+    payload["x"] = payload.at("x").as_int() * 2;
+  });
+  Message m = msg("op", Value::object({{"x", 21}}));
+  Result<Value> reply = Value{};
+  EXPECT_EQ(filter.on_request(m, &reply), Filter::Outcome::kPass);
+  EXPECT_EQ(m.payload.at("x").as_int(), 42);
+}
+
+TEST(GuardFilterTest, BlocksFailingMessages) {
+  GuardFilter guard("positive", [](const Message& m) {
+    return m.payload.at("x").as_int() > 0;
+  });
+  Message good = msg("op", Value::object({{"x", 1}}));
+  Message bad = msg("op", Value::object({{"x", -1}}));
+  Result<Value> reply = Value{};
+  EXPECT_EQ(guard.on_request(good, &reply), Filter::Outcome::kPass);
+  EXPECT_EQ(guard.on_request(bad, &reply), Filter::Outcome::kBlock);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code(), ErrorCode::kRejected);
+  EXPECT_EQ(guard.blocked(), 1u);
+}
+
+TEST(SelectiveFilterTest, AppliesOnlyToChosenOperations) {
+  auto inner = std::make_shared<TransformFilter>("mark", [](Value& p) {
+    p["marked"] = true;
+  });
+  SelectiveFilter selective({"frame", "encode"}, inner);
+  Message hit = msg("frame", Value::object({}));
+  Message miss = msg("other", Value::object({}));
+  EXPECT_TRUE(selective.matches(hit));
+  EXPECT_FALSE(selective.matches(miss));
+}
+
+TEST(SelectiveFilterTest, ChainSkipsNonMatching) {
+  FilterChain chain("fc");
+  auto inner = std::make_shared<TransformFilter>("mark", [](Value& p) {
+    p["marked"] = true;
+  });
+  ASSERT_TRUE(
+      chain.attach(std::make_shared<SelectiveFilter>(
+                       std::vector<std::string>{"frame"}, inner))
+          .ok());
+  Message hit = msg("frame", Value::object({}));
+  Message miss = msg("other", Value::object({}));
+  Result<Value> reply = Value{};
+  (void)chain.before(hit, &reply);
+  (void)chain.before(miss, &reply);
+  EXPECT_TRUE(hit.payload.contains("marked"));
+  EXPECT_FALSE(miss.payload.contains("marked"));
+}
+
+TEST(RateLimitFilterTest, ThrottlesAboveRate) {
+  util::SimTime now = 0;
+  RateLimitFilter limiter("rl", 10.0, 2.0, [&now] { return now; });
+  Message m = msg("op");
+  Result<Value> reply = Value{};
+  // Burst of 2 allowed, third throttled.
+  EXPECT_EQ(limiter.on_request(m, &reply), Filter::Outcome::kPass);
+  EXPECT_EQ(limiter.on_request(m, &reply), Filter::Outcome::kPass);
+  EXPECT_EQ(limiter.on_request(m, &reply), Filter::Outcome::kBlock);
+  EXPECT_EQ(limiter.throttled(), 1u);
+  EXPECT_EQ(reply.error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(RateLimitFilterTest, TokensRefillOverTime) {
+  util::SimTime now = 0;
+  RateLimitFilter limiter("rl", 10.0, 1.0, [&now] { return now; });
+  Message m = msg("op");
+  Result<Value> reply = Value{};
+  EXPECT_EQ(limiter.on_request(m, &reply), Filter::Outcome::kPass);
+  EXPECT_EQ(limiter.on_request(m, &reply), Filter::Outcome::kBlock);
+  now += util::milliseconds(100);  // 1 token refilled at 10/s
+  EXPECT_EQ(limiter.on_request(m, &reply), Filter::Outcome::kPass);
+}
+
+TEST(SequencingFilterTest, CountsReorderings) {
+  SequencingFilter filter;
+  Result<Value> reply = Value{};
+  Message a = msg("op");
+  a.sequence = 1;
+  Message b = msg("op");
+  b.sequence = 3;
+  Message c = msg("op");
+  c.sequence = 2;  // reordered
+  (void)filter.on_request(a, &reply);
+  (void)filter.on_request(b, &reply);
+  (void)filter.on_request(c, &reply);
+  EXPECT_EQ(filter.reordered(), 1u);
+}
+
+TEST(TagFilterTest, StampsHeaderAndScrubsReply) {
+  TagFilter tag("tag", "trace_id", Value{"abc"});
+  Message m = msg("op");
+  Result<Value> reply = Value::object({{"trace_id", "abc"}, {"data", 1}});
+  (void)tag.on_request(m, nullptr);
+  EXPECT_EQ(m.headers.at("trace_id").as_string(), "abc");
+  tag.on_reply(m, reply);
+  EXPECT_FALSE(reply.value().contains("trace_id"));
+  EXPECT_TRUE(reply.value().contains("data"));
+  EXPECT_EQ(tag.tagged(), 1u);
+}
+
+class FilterRuntimeTest : public AppFixture {};
+
+TEST_F(FilterRuntimeTest, DynamicAttachAndDetachWhileServing) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  auto chain = std::make_shared<FilterChain>("filters");
+  ASSERT_TRUE(
+      app_.find_connector(conn)->attach_interceptor(chain).ok());
+
+  // Without the guard: call succeeds.
+  auto ok = app_.invoke_sync(conn, "echo",
+                             Value::object({{"text", "hi"}}), node_b_);
+  EXPECT_TRUE(ok.result.ok());
+
+  // Attach a guard at run time: calls now rejected.
+  ASSERT_TRUE(chain->attach(std::make_shared<GuardFilter>(
+                                "deny", [](const Message&) { return false; }))
+                  .ok());
+  auto blocked = app_.invoke_sync(conn, "echo",
+                                  Value::object({{"text", "hi"}}), node_b_);
+  EXPECT_FALSE(blocked.result.ok());
+
+  // Detach: service restored without restart.
+  ASSERT_TRUE(chain->detach("deny").ok());
+  auto restored = app_.invoke_sync(conn, "echo",
+                                   Value::object({{"text", "hi"}}), node_b_);
+  EXPECT_TRUE(restored.result.ok());
+}
+
+TEST_F(FilterRuntimeTest, RespondFilterShortCircuitsProvider) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  class CacheFilter final : public Filter {
+   public:
+    std::string name() const override { return "cache"; }
+    Outcome on_request(Message&, Result<Value>* reply) override {
+      if (reply != nullptr) *reply = Result<Value>(Value{"cached"});
+      return Outcome::kRespond;
+    }
+  };
+  auto chain = std::make_shared<FilterChain>("filters");
+  ASSERT_TRUE(chain->attach(std::make_shared<CacheFilter>()).ok());
+  ASSERT_TRUE(app_.find_connector(conn)->attach_interceptor(chain).ok());
+  auto outcome = app_.invoke_sync(conn, "echo",
+                                  Value::object({{"text", "x"}}), node_b_);
+  ASSERT_TRUE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.value().as_string(), "cached");
+  // The provider never saw the message.
+  EXPECT_EQ(app_.find_component(app_.component_id("e1"))->handled_count(),
+            0u);
+}
+
+}  // namespace
+}  // namespace aars::adapt

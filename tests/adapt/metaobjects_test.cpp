@@ -1,0 +1,268 @@
+#include "adapt/metaobjects.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::adapt {
+namespace {
+
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+Message msg(const std::string& op) {
+  Message m;
+  m.operation = op;
+  m.payload = Value::object({});
+  return m;
+}
+
+std::shared_ptr<MetaObject> tracer(const std::string& name, int priority,
+                                   std::vector<std::string>& log,
+                                   WrapperKind kind = WrapperKind::kMandatory) {
+  return std::make_shared<LambdaMetaObject>(
+      name, kind, priority,
+      [name, &log](Message& m, const MetaObject::Next& next) {
+        log.push_back(name);
+        return next(m);
+      });
+}
+
+MetaObjectChain::Terminal terminal(std::vector<std::string>& log) {
+  return [&log](Message&) -> Result<Value> {
+    log.push_back("terminal");
+    return Value{"done"};
+  };
+}
+
+TEST(MetaObjectChainTest, OrdersByPriorityThenDeclaration) {
+  std::vector<std::string> log;
+  auto chain = MetaObjectChain::compose(
+      {tracer("b", 5, log), tracer("a", 1, log), tracer("c", 5, log)}, {},
+      terminal(log));
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value().order(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  Message m = msg("x");
+  auto result = chain.value().invoke(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "c", "terminal"}));
+}
+
+TEST(MetaObjectChainTest, ExplicitConstraintsOverridePriority) {
+  std::vector<std::string> log;
+  auto chain = MetaObjectChain::compose(
+      {tracer("a", 1, log), tracer("b", 2, log)},
+      {{"b", "a"}},  // b must run before a despite priorities
+      terminal(log));
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value().order(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(MetaObjectChainTest, ContradictoryConstraintsAreCycle) {
+  std::vector<std::string> log;
+  auto chain = MetaObjectChain::compose(
+      {tracer("a", 1, log), tracer("b", 2, log)}, {{"a", "b"}, {"b", "a"}},
+      terminal(log));
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code(), ErrorCode::kCycleDetected);
+}
+
+TEST(MetaObjectChainTest, ConstraintOnUnknownObjectRejected) {
+  std::vector<std::string> log;
+  auto chain = MetaObjectChain::compose({tracer("a", 1, log)},
+                                        {{"a", "ghost"}}, terminal(log));
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(MetaObjectChainTest, DuplicateNamesRejected) {
+  std::vector<std::string> log;
+  auto chain = MetaObjectChain::compose(
+      {tracer("x", 1, log), tracer("x", 2, log)}, {}, terminal(log));
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(MetaObjectChainTest, ExclusiveGroupConflictRejected) {
+  std::vector<std::string> log;
+  auto a = tracer("auth1", 1, log, WrapperKind::kExclusive);
+  auto b = tracer("auth2", 2, log, WrapperKind::kExclusive);
+  a->set_group("auth");
+  b->set_group("auth");
+  auto chain = MetaObjectChain::compose({a, b}, {}, terminal(log));
+  ASSERT_FALSE(chain.ok());
+  EXPECT_EQ(chain.error().code(), ErrorCode::kIncompatible);
+}
+
+TEST(MetaObjectChainTest, ExclusivesInDifferentGroupsCoexist) {
+  std::vector<std::string> log;
+  auto a = tracer("auth", 1, log, WrapperKind::kExclusive);
+  auto b = tracer("crypt", 2, log, WrapperKind::kExclusive);
+  a->set_group("auth");
+  b->set_group("crypto");
+  EXPECT_TRUE(MetaObjectChain::compose({a, b}, {}, terminal(log)).ok());
+}
+
+TEST(MetaObjectChainTest, ConditionalWrapperSkippedWhenInapplicable) {
+  std::vector<std::string> log;
+  class OnlyFrames final : public MetaObject {
+   public:
+    OnlyFrames(std::vector<std::string>& log)
+        : MetaObject("frames_only", WrapperKind::kConditional, 0),
+          log_(log) {}
+    bool applies(const Message& m) const override {
+      return m.operation == "frame";
+    }
+    Result<Value> invoke(Message& m, const Next& next) override {
+      log_.push_back("frames_only");
+      return next(m);
+    }
+
+   private:
+    std::vector<std::string>& log_;
+  };
+  auto chain = MetaObjectChain::compose(
+      {std::make_shared<OnlyFrames>(log), tracer("always", 1, log)}, {},
+      terminal(log));
+  ASSERT_TRUE(chain.ok());
+  Message frame = msg("frame");
+  Message other = msg("other");
+  (void)chain.value().invoke(frame);
+  (void)chain.value().invoke(other);
+  EXPECT_EQ(log, (std::vector<std::string>{"frames_only", "always",
+                                           "terminal", "always",
+                                           "terminal"}));
+}
+
+TEST(MetaObjectChainTest, ModificatoryWrapperRewritesMessage) {
+  std::vector<std::string> log;
+  auto rewriter = std::make_shared<LambdaMetaObject>(
+      "rewrite", WrapperKind::kModificatory, 0,
+      [](Message& m, const MetaObject::Next& next) {
+        m.payload["rewritten"] = true;
+        return next(m);
+      });
+  bool saw_rewrite = false;
+  auto chain = MetaObjectChain::compose(
+      {rewriter}, {}, [&](Message& m) -> Result<Value> {
+        saw_rewrite = m.payload.contains("rewritten");
+        return Value{};
+      });
+  ASSERT_TRUE(chain.ok());
+  Message m = msg("x");
+  (void)chain.value().invoke(m);
+  EXPECT_TRUE(saw_rewrite);
+}
+
+TEST(MetaObjectChainTest, WrapperMayAnswerDirectly) {
+  std::vector<std::string> log;
+  auto gate = std::make_shared<LambdaMetaObject>(
+      "gate", WrapperKind::kMandatory, 0,
+      [](Message&, const MetaObject::Next&) -> Result<Value> {
+        return util::Error{ErrorCode::kRejected, "denied"};
+      });
+  auto chain =
+      MetaObjectChain::compose({gate, tracer("never", 1, log)}, {},
+                               terminal(log));
+  ASSERT_TRUE(chain.ok());
+  Message m = msg("x");
+  auto result = chain.value().invoke(m);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(log.empty());  // neither "never" nor terminal ran
+}
+
+TEST(ChainControllerTest, SequenceRunsAllSteps) {
+  std::vector<int> log;
+  auto step = [&log](int id) {
+    return ChainController::Step([&log, id](Message&) -> Result<Value> {
+      log.push_back(id);
+      return Value{id};
+    });
+  };
+  auto seq = ChainController::sequence({step(1), step(2), step(3)});
+  Message m = msg("x");
+  auto result = seq(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().as_int(), 3);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ChainControllerTest, SequenceStopsOnError) {
+  std::vector<int> log;
+  auto seq = ChainController::sequence(
+      {[&](Message&) -> Result<Value> {
+         log.push_back(1);
+         return util::Error{ErrorCode::kInternal, "boom"};
+       },
+       [&](Message&) -> Result<Value> {
+         log.push_back(2);
+         return Value{};
+       }});
+  Message m = msg("x");
+  EXPECT_FALSE(seq(m).ok());
+  EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(ChainControllerTest, BranchSelectsByPredicate) {
+  auto branch = ChainController::branch(
+      [](const Message& m) { return m.operation == "a"; },
+      [](Message&) -> Result<Value> { return Value{"true"}; },
+      [](Message&) -> Result<Value> { return Value{"false"}; });
+  Message a = msg("a");
+  Message b = msg("b");
+  EXPECT_EQ(branch(a).value().as_string(), "true");
+  EXPECT_EQ(branch(b).value().as_string(), "false");
+}
+
+TEST(ChainControllerTest, RetryUntilSuccess) {
+  int attempts = 0;
+  auto flaky = [&attempts](Message&) -> Result<Value> {
+    if (++attempts < 3) return util::Error{ErrorCode::kTimeout, "flaky"};
+    return Value{"ok"};
+  };
+  auto with_retry = ChainController::retry(flaky, 5);
+  Message m = msg("x");
+  auto result = with_retry(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(ChainControllerTest, RetryExhaustionReturnsLastError) {
+  auto always_fail = [](Message&) -> Result<Value> {
+    return util::Error{ErrorCode::kTimeout, "always"};
+  };
+  auto with_retry = ChainController::retry(always_fail, 3);
+  Message m = msg("x");
+  EXPECT_FALSE(with_retry(m).ok());
+}
+
+TEST(ChainControllerTest, LiftComposesMetaObjects) {
+  std::vector<std::string> log;
+  auto obj = tracer("lifted", 0, log);
+  auto step = ChainController::lift(obj, [&](Message&) -> Result<Value> {
+    log.push_back("inner");
+    return Value{};
+  });
+  Message m = msg("x");
+  (void)step(m);
+  EXPECT_EQ(log, (std::vector<std::string>{"lifted", "inner"}));
+}
+
+TEST(ChainControllerTest, ArbitraryOrderComposition) {
+  // Blay02's point: control structures free composition from chain order —
+  // run "late" before "early" inside a branch, twice.
+  std::vector<std::string> log;
+  auto early = tracer("early", 0, log);
+  auto late = tracer("late", 10, log);
+  auto noop = ChainController::Step(
+      [](Message&) -> Result<Value> { return Value{}; });
+  auto program = ChainController::sequence(
+      {ChainController::lift(late, noop), ChainController::lift(early, noop),
+       ChainController::lift(late, noop)});
+  Message m = msg("x");
+  (void)program(m);
+  EXPECT_EQ(log, (std::vector<std::string>{"late", "early", "late"}));
+}
+
+}  // namespace
+}  // namespace aars::adapt

@@ -1,0 +1,168 @@
+#include "adapt/middleware.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::adapt {
+namespace {
+
+using aars::testing::AppFixture;
+using component::Message;
+using util::Result;
+using util::Value;
+
+class MiddlewareTest : public AppFixture {
+ protected:
+  util::ConnectorId make_service() {
+    return direct_to("EchoServer", "svc", node_a_);
+  }
+};
+
+TEST_F(MiddlewareTest, DefaultStackIsEmpty) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  EXPECT_TRUE(mw.stack().empty());
+  EXPECT_EQ(mw.adaptations(), 0u);
+}
+
+TEST_F(MiddlewareTest, LowBandwidthEnablesCompression) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  ExecutionContext ctx;
+  ctx.bandwidth_fraction = 0.2;
+  EXPECT_EQ(mw.adapt(ctx), 1u);
+  EXPECT_EQ(mw.stack(), (std::vector<std::string>{"compression"}));
+}
+
+TEST_F(MiddlewareTest, SaturatedCpuSuppressesCompression) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  ExecutionContext ctx;
+  ctx.bandwidth_fraction = 0.2;
+  ctx.cpu_load = 0.95;  // no headroom to compress
+  EXPECT_EQ(mw.adapt(ctx), 0u);
+  EXPECT_TRUE(mw.stack().empty());
+}
+
+TEST_F(MiddlewareTest, InsecureLinkEnablesEncryption) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  ExecutionContext ctx;
+  ctx.secure_link = false;
+  EXPECT_EQ(mw.adapt(ctx), 1u);
+  EXPECT_EQ(mw.stack(), (std::vector<std::string>{"encryption"}));
+}
+
+TEST_F(MiddlewareTest, LossyNetworkEnablesChecksums) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  ExecutionContext ctx;
+  ctx.loss_rate = 0.05;
+  EXPECT_EQ(mw.adapt(ctx), 1u);
+  EXPECT_EQ(mw.stack(), (std::vector<std::string>{"checksum"}));
+}
+
+TEST_F(MiddlewareTest, RecoveryRemovesServices) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  ExecutionContext degraded;
+  degraded.bandwidth_fraction = 0.1;
+  degraded.secure_link = false;
+  degraded.loss_rate = 0.1;
+  EXPECT_EQ(mw.adapt(degraded), 3u);
+  EXPECT_EQ(mw.stack().size(), 3u);
+  ExecutionContext healthy;  // defaults: everything fine
+  EXPECT_EQ(mw.adapt(healthy), 3u);
+  EXPECT_TRUE(mw.stack().empty());
+  EXPECT_EQ(mw.adaptations(), 2u);
+}
+
+TEST_F(MiddlewareTest, IdempotentWhenContextUnchanged) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  ExecutionContext ctx;
+  ctx.loss_rate = 0.05;
+  EXPECT_EQ(mw.adapt(ctx), 1u);
+  EXPECT_EQ(mw.adapt(ctx), 0u);  // nothing to change
+}
+
+TEST_F(MiddlewareTest, ReflectionReadsPlatformState) {
+  const auto conn = make_service();
+  // Degrade the link into node_a.
+  sim::LinkSpec* link = network_.find_link(node_b_, node_a_);
+  ASSERT_NE(link, nullptr);
+  link->loss_probability = 0.2;
+  link->bandwidth_bytes_per_sec = 12.5e6 * 0.3;
+  AdaptiveMiddleware mw(app_, conn);
+  const ExecutionContext ctx = mw.reflect_context();
+  EXPECT_NEAR(ctx.loss_rate, 0.2, 1e-9);
+  EXPECT_LT(ctx.bandwidth_fraction, 0.5);
+  // adapt_to_platform reacts to the reflected context.
+  EXPECT_GE(mw.adapt_to_platform(), 2u);
+}
+
+TEST_F(MiddlewareTest, ServicesStillServeTraffic) {
+  const auto conn = make_service();
+  AdaptiveMiddleware mw(app_, conn);
+  ExecutionContext ctx;
+  ctx.bandwidth_fraction = 0.1;
+  ctx.secure_link = false;
+  ctx.loss_rate = 0.1;
+  (void)mw.adapt(ctx);
+  auto outcome = app_.invoke_sync(conn, "echo",
+                                  Value::object({{"text", "x"}}), node_b_);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.error().message();
+  EXPECT_EQ(outcome.result.value().as_string(), "x");
+}
+
+TEST(CompressionServiceTest, MarksMessages) {
+  CompressionService service(0.5);
+  Message m;
+  m.payload = Value::object({{"data", std::string(100, 'x')}});
+  Result<Value> reply = Value{};
+  (void)service.before(m, &reply);
+  EXPECT_TRUE(m.headers.at("__compressed").as_bool());
+  EXPECT_GT(m.headers.at("__wire_bytes").as_int(), 0);
+  EXPECT_EQ(service.applied(), 1u);
+  // Second pass is a no-op.
+  (void)service.before(m, &reply);
+  EXPECT_EQ(service.applied(), 1u);
+}
+
+TEST(CompressionServiceTest, ValidatesRatio) {
+  EXPECT_THROW(CompressionService(0.0), util::InvariantViolation);
+  EXPECT_THROW(CompressionService(1.5), util::InvariantViolation);
+}
+
+TEST(ChecksumServiceTest, DetectsTampering) {
+  ChecksumService service;
+  Message m;
+  m.payload = Value::object({{"data", "original"}});
+  Result<Value> reply = Value{"ok"};
+  (void)service.before(m, &reply);
+  // Unmodified: verification succeeds.
+  service.after(m, reply);
+  EXPECT_TRUE(reply.ok());
+  EXPECT_EQ(service.verified(), 1u);
+  // Tamper with the payload after checksumming.
+  m.payload["data"] = "tampered";
+  Result<Value> reply2 = Value{"ok"};
+  service.after(m, reply2);
+  EXPECT_FALSE(reply2.ok());
+}
+
+TEST(TracingServiceTest, RecordsOperations) {
+  TracingService service;
+  Message a;
+  a.operation = "one";
+  Message b;
+  b.operation = "two";
+  Result<Value> reply = Value{};
+  (void)service.before(a, &reply);
+  (void)service.before(b, &reply);
+  EXPECT_EQ(service.trace(), (std::vector<std::string>{"one", "two"}));
+}
+
+}  // namespace
+}  // namespace aars::adapt

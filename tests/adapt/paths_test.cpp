@@ -1,0 +1,156 @@
+#include "adapt/paths.h"
+
+#include <gtest/gtest.h>
+
+#include "telecom/media.h"
+#include "testing/test_components.h"
+
+namespace aars::adapt {
+namespace {
+
+using aars::testing::AppFixture;
+using util::ErrorCode;
+using util::Value;
+
+class PathsTest : public AppFixture {
+ protected:
+  PathsTest() {
+    telecom::register_media_components(registry_);
+  }
+
+  /// Builds a connector to a fresh pipeline-stage instance.
+  util::ConnectorId stage(const std::string& type, const std::string& name,
+                          util::NodeId node) {
+    return direct_to(type, name, node);
+  }
+};
+
+TEST_F(PathsTest, StageStructureFrozenAfterFreeze) {
+  CompositionPath path(app_, "video");
+  ASSERT_TRUE(path.add_stage("extract").ok());
+  ASSERT_TRUE(path.add_stage("encode").ok());
+  path.freeze();
+  const auto status = path.add_stage("transfer");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(path.stages(), (std::vector<std::string>{"extract", "encode"}));
+}
+
+TEST_F(PathsTest, DuplicateStageRejected) {
+  CompositionPath path(app_, "p");
+  ASSERT_TRUE(path.add_stage("s").ok());
+  EXPECT_EQ(path.add_stage("s").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(PathsTest, AlternativeSelection) {
+  CompositionPath path(app_, "p");
+  ASSERT_TRUE(path.add_stage("encode").ok());
+  const auto fast = stage("VideoEncoder", "fast_enc", node_a_);
+  const auto hq = stage("VideoEncoder", "hq_enc", node_a_);
+  ASSERT_TRUE(path.add_alternative("encode", "fast",
+                                   {fast, "process"}).ok());
+  ASSERT_TRUE(path.add_alternative("encode", "hq", {hq, "process"}).ok());
+  // First alternative auto-selected.
+  EXPECT_EQ(path.selected("encode").value(), "fast");
+  ASSERT_TRUE(path.select("encode", "hq").ok());
+  EXPECT_EQ(path.selected("encode").value(), "hq");
+  EXPECT_EQ(path.select("encode", "ghost").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(path.select("ghost", "fast").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PathsTest, AlternativesMayBeAddedAfterFreeze) {
+  // Only the stage list is frozen — service selection stays dynamic.
+  CompositionPath path(app_, "p");
+  ASSERT_TRUE(path.add_stage("encode").ok());
+  path.freeze();
+  const auto enc = stage("VideoEncoder", "enc", node_a_);
+  EXPECT_TRUE(path.add_alternative("encode", "default",
+                                   {enc, "process"}).ok());
+}
+
+TEST_F(PathsTest, ExecuteChainsStages) {
+  CompositionPath path(app_, "video");
+  ASSERT_TRUE(path.add_stage("extract").ok());
+  ASSERT_TRUE(path.add_stage("encode").ok());
+  ASSERT_TRUE(path.add_stage("transfer").ok());
+  ASSERT_TRUE(path.add_alternative(
+                      "extract", "default",
+                      {stage("FrameExtractor", "ex", node_a_), "process"})
+                  .ok());
+  ASSERT_TRUE(path.add_alternative(
+                      "encode", "default",
+                      {stage("VideoEncoder", "enc", node_a_), "process"})
+                  .ok());
+  ASSERT_TRUE(path.add_alternative(
+                      "transfer", "default",
+                      {stage("Transmitter", "tx", node_b_), "process"})
+                  .ok());
+  path.freeze();
+
+  auto result = path.execute(Value{"frame-0"}, node_c_);
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  EXPECT_EQ(result.value().at("stage").as_string(), "transmitted");
+  EXPECT_EQ(path.executions(), 1u);
+}
+
+TEST_F(PathsTest, ExecuteFailsOnUnselectedStage) {
+  CompositionPath path(app_, "p");
+  ASSERT_TRUE(path.add_stage("encode").ok());
+  auto result = path.execute(Value{1}, node_a_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(PathsTest, EmptyPathCannotExecute) {
+  CompositionPath path(app_, "p");
+  EXPECT_FALSE(path.execute(Value{1}, node_a_).ok());
+}
+
+TEST_F(PathsTest, StageFailurePropagatesWithContext) {
+  CompositionPath path(app_, "p");
+  ASSERT_TRUE(path.add_stage("encode").ok());
+  // Point the stage at a connector whose provider was passivated.
+  const auto enc = stage("VideoEncoder", "enc", node_a_);
+  ASSERT_TRUE(app_.passivate_component(app_.component_id("enc")).ok());
+  ASSERT_TRUE(path.add_alternative("encode", "default",
+                                   {enc, "process"}).ok());
+  auto result = path.execute(Value{1}, node_a_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("encode"), std::string::npos);
+}
+
+TEST_F(PathsTest, SwitchingAlternativeChangesBehaviour) {
+  CompositionPath path(app_, "p");
+  ASSERT_TRUE(path.add_stage("encode").ok());
+  // Two encoders with different codecs.
+  auto fast_id = app_.instantiate("VideoEncoder", "fast", node_a_,
+                                  Value::object({{"codec", "fast"}}));
+  auto hq_id = app_.instantiate("VideoEncoder", "hq", node_a_,
+                                Value::object({{"codec", "quality"}}));
+  ASSERT_TRUE(fast_id.ok());
+  ASSERT_TRUE(hq_id.ok());
+  connector::ConnectorSpec fast_spec;
+  fast_spec.name = "to_fast";
+  auto fast_conn = app_.create_connector(fast_spec);
+  ASSERT_TRUE(app_.add_provider(fast_conn.value(), fast_id.value()).ok());
+  connector::ConnectorSpec hq_spec;
+  hq_spec.name = "to_hq";
+  auto hq_conn = app_.create_connector(hq_spec);
+  ASSERT_TRUE(app_.add_provider(hq_conn.value(), hq_id.value()).ok());
+
+  ASSERT_TRUE(path.add_alternative("encode", "fast",
+                                   {fast_conn.value(), "process"}).ok());
+  ASSERT_TRUE(path.add_alternative("encode", "hq",
+                                   {hq_conn.value(), "process"}).ok());
+
+  auto r1 = path.execute(Value{"f"}, node_b_);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().at("codec").as_string(), "fast");
+  ASSERT_TRUE(path.select("encode", "hq").ok());
+  auto r2 = path.execute(Value{"f"}, node_b_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().at("codec").as_string(), "quality");
+}
+
+}  // namespace
+}  // namespace aars::adapt

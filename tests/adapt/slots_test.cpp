@@ -1,0 +1,126 @@
+#include "adapt/slots.h"
+
+#include <gtest/gtest.h>
+
+#include "adapt/filters.h"
+#include "testing/test_components.h"
+
+namespace aars::adapt {
+namespace {
+
+using aars::testing::AppFixture;
+using aars::testing::echo_interface;
+using util::ErrorCode;
+using util::Value;
+
+class SlotsTest : public AppFixture {
+ protected:
+  SlotsTest() : framework_(app_) {}
+  CompositionFramework framework_;
+};
+
+TEST_F(SlotsTest, AddSlotCreatesConnector) {
+  ASSERT_TRUE(framework_.add_slot("echo", echo_interface()).ok());
+  EXPECT_TRUE(framework_.slot_connector("echo").valid());
+  EXPECT_EQ(framework_.slots(), (std::vector<std::string>{"echo"}));
+  EXPECT_FALSE(framework_.plugged("echo").valid());
+}
+
+TEST_F(SlotsTest, DuplicateSlotRejected) {
+  ASSERT_TRUE(framework_.add_slot("echo", echo_interface()).ok());
+  EXPECT_EQ(framework_.add_slot("echo", echo_interface()).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(SlotsTest, PlugCompliantComponentServes) {
+  ASSERT_TRUE(framework_.add_slot("echo", echo_interface()).ok());
+  auto server = app_.instantiate("EchoServer", "e1", node_a_, Value{});
+  ASSERT_TRUE(framework_.plug("echo", server.value()).ok());
+  EXPECT_EQ(framework_.plugged("echo"), server.value());
+  auto outcome = app_.invoke_sync(framework_.slot_connector("echo"), "ping",
+                                  Value{}, node_b_);
+  EXPECT_TRUE(outcome.result.ok());
+}
+
+TEST_F(SlotsTest, PlugNonCompliantComponentRejected) {
+  // The slot family is Echo; a counter does not fit the card shape.
+  ASSERT_TRUE(framework_.add_slot("echo", echo_interface()).ok());
+  auto counter = app_.instantiate("CounterServer", "c1", node_a_, Value{});
+  const auto status = framework_.plug("echo", counter.value());
+  EXPECT_EQ(status.code(), ErrorCode::kIncompatible);
+  EXPECT_FALSE(framework_.plugged("echo").valid());
+}
+
+TEST_F(SlotsTest, InterchangeSwapsOccupant) {
+  ASSERT_TRUE(framework_.add_slot("echo", echo_interface()).ok());
+  auto first = app_.instantiate("EchoServer", "e1", node_a_, Value{});
+  auto second = app_.instantiate("EchoServer", "e2", node_b_, Value{});
+  ASSERT_TRUE(framework_.plug("echo", first.value()).ok());
+  ASSERT_TRUE(framework_.plug("echo", second.value()).ok());
+  EXPECT_EQ(framework_.plugged("echo"), second.value());
+  connector::Connector* conn =
+      app_.find_connector(framework_.slot_connector("echo"));
+  EXPECT_EQ(conn->providers(),
+            (std::vector<util::ComponentId>{second.value()}));
+}
+
+TEST_F(SlotsTest, UnplugEmptiesSlot) {
+  ASSERT_TRUE(framework_.add_slot("echo", echo_interface()).ok());
+  auto server = app_.instantiate("EchoServer", "e1", node_a_, Value{});
+  ASSERT_TRUE(framework_.plug("echo", server.value()).ok());
+  ASSERT_TRUE(framework_.unplug("echo").ok());
+  EXPECT_FALSE(framework_.plugged("echo").valid());
+  // Calls now fail until something is re-plugged.
+  auto outcome = app_.invoke_sync(framework_.slot_connector("echo"), "ping",
+                                  Value{}, node_b_);
+  EXPECT_FALSE(outcome.result.ok());
+  EXPECT_EQ(framework_.unplug("echo").code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(SlotsTest, PlugUnknownSlotOrComponentFails) {
+  EXPECT_EQ(framework_.plug("ghost", util::ComponentId{1}).code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(framework_.add_slot("echo", echo_interface()).ok());
+  EXPECT_EQ(framework_.plug("echo", util::ComponentId{999}).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(SlotsTest, AspectSlotPlugsInterceptors) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  ASSERT_TRUE(framework_.add_aspect_slot("guard", conn).ok());
+  EXPECT_EQ(framework_.aspect_slots(), (std::vector<std::string>{"guard"}));
+
+  auto deny = std::make_shared<GuardFilter>(
+      "deny", [](const component::Message&) { return false; });
+  auto chain = std::make_shared<FilterChain>("guard_chain");
+  ASSERT_TRUE(chain->attach(deny).ok());
+  ASSERT_TRUE(framework_.plug_aspect("guard", chain).ok());
+  EXPECT_FALSE(app_.invoke_sync(conn, "ping", Value{}, node_b_).result.ok());
+
+  // Interchange the aspect: a pass-through chain restores service.
+  auto pass = std::make_shared<FilterChain>("pass_chain");
+  ASSERT_TRUE(framework_.plug_aspect("guard", pass).ok());
+  EXPECT_TRUE(app_.invoke_sync(conn, "ping", Value{}, node_b_).result.ok());
+}
+
+TEST_F(SlotsTest, UnplugAspectRestoresService) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  ASSERT_TRUE(framework_.add_aspect_slot("guard", conn).ok());
+  auto deny = std::make_shared<GuardFilter>(
+      "deny", [](const component::Message&) { return false; });
+  auto chain = std::make_shared<FilterChain>("guard_chain");
+  ASSERT_TRUE(chain->attach(deny).ok());
+  ASSERT_TRUE(framework_.plug_aspect("guard", chain).ok());
+  ASSERT_TRUE(framework_.unplug_aspect("guard").ok());
+  EXPECT_TRUE(app_.invoke_sync(conn, "ping", Value{}, node_b_).result.ok());
+  EXPECT_EQ(framework_.unplug_aspect("guard").code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST_F(SlotsTest, AspectSlotOnUnknownConnectorRejected) {
+  EXPECT_EQ(framework_.add_aspect_slot("x", util::ConnectorId{999}).code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace aars::adapt

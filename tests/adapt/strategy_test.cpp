@@ -1,0 +1,105 @@
+#include "adapt/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::adapt {
+namespace {
+
+using util::ErrorCode;
+
+TEST(StrategyTest, FirstRegistrationBecomesActive) {
+  StrategyRegistry<int(int)> reg;
+  ASSERT_TRUE(reg.register_strategy("double", [](int x) { return 2 * x; })
+                  .ok());
+  ASSERT_TRUE(reg.register_strategy("square", [](int x) { return x * x; })
+                  .ok());
+  EXPECT_EQ(reg.active(), "double");
+  EXPECT_EQ(reg.invoke(5), 10);
+}
+
+TEST(StrategyTest, SelectSwitchesAlgorithm) {
+  StrategyRegistry<int(int)> reg;
+  (void)reg.register_strategy("double", [](int x) { return 2 * x; });
+  (void)reg.register_strategy("square", [](int x) { return x * x; });
+  ASSERT_TRUE(reg.select("square").ok());
+  EXPECT_EQ(reg.invoke(5), 25);
+  EXPECT_EQ(reg.switches(), 1u);
+}
+
+TEST(StrategyTest, SelectUnknownFails) {
+  StrategyRegistry<int(int)> reg;
+  (void)reg.register_strategy("a", [](int x) { return x; });
+  EXPECT_EQ(reg.select("ghost").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(reg.active(), "a");
+}
+
+TEST(StrategyTest, DuplicateRegistrationFails) {
+  StrategyRegistry<int(int)> reg;
+  (void)reg.register_strategy("a", [](int x) { return x; });
+  EXPECT_EQ(reg.register_strategy("a", [](int x) { return -x; }).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(StrategyTest, ReselectingActiveIsNotASwitch) {
+  StrategyRegistry<int()> reg;
+  (void)reg.register_strategy("only", [] { return 1; });
+  ASSERT_TRUE(reg.select("only").ok());
+  EXPECT_EQ(reg.switches(), 0u);
+}
+
+TEST(StrategyTest, SwitchHooksObserveTransition) {
+  StrategyRegistry<int()> reg;
+  (void)reg.register_strategy("a", [] { return 1; });
+  (void)reg.register_strategy("b", [] { return 2; });
+  std::string from;
+  std::string to;
+  reg.on_switch([&](const std::string& f, const std::string& t) {
+    from = f;
+    to = t;
+  });
+  (void)reg.select("b");
+  EXPECT_EQ(from, "a");
+  EXPECT_EQ(to, "b");
+}
+
+TEST(StrategyTest, NamesEnumeratesAll) {
+  StrategyRegistry<void()> reg;
+  (void)reg.register_strategy("x", [] {});
+  (void)reg.register_strategy("y", [] {});
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(StrategyTest, InvokeWithoutStrategiesThrows) {
+  StrategyRegistry<void()> reg;
+  EXPECT_THROW(reg.invoke(), util::InvariantViolation);
+}
+
+TEST(StrategyTest, MultiArgumentStrategies) {
+  StrategyRegistry<double(double, double)> reg;
+  (void)reg.register_strategy("add", [](double a, double b) { return a + b; });
+  (void)reg.register_strategy("mul", [](double a, double b) { return a * b; });
+  EXPECT_DOUBLE_EQ(reg.invoke(3, 4), 7.0);
+  (void)reg.select("mul");
+  EXPECT_DOUBLE_EQ(reg.invoke(3, 4), 12.0);
+}
+
+TEST(StrategyTest, IntrospectionDrivenSwitching) {
+  // The paper's usage: introspection captures a state change and sets up
+  // the adaptation. Model: a load sensor selects the algorithm.
+  StrategyRegistry<int(int)> reg;
+  (void)reg.register_strategy("accurate", [](int x) { return x * x; });
+  (void)reg.register_strategy("cheap", [](int x) { return x; });
+  double load = 0.2;
+  const auto adapt = [&] {
+    (void)reg.select(load > 0.8 ? "cheap" : "accurate");
+  };
+  adapt();
+  EXPECT_EQ(reg.active(), "accurate");
+  load = 0.95;
+  adapt();
+  EXPECT_EQ(reg.active(), "cheap");
+}
+
+}  // namespace
+}  // namespace aars::adapt

@@ -1,0 +1,109 @@
+#include "adl/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::adl {
+namespace {
+
+using util::ErrorCode;
+
+std::vector<Token> lex(std::string_view src) {
+  auto result = tokenize(src);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message());
+  return result.ok() ? result.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  const auto tokens = lex("component Camera provides Video");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "component");
+  EXPECT_EQ(tokens[1].text, "Camera");
+  EXPECT_EQ(tokens[3].text, "Video");
+}
+
+TEST(LexerTest, DottedIdentifiers) {
+  const auto tokens = lex("cam.out");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "cam.out");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  const auto tokens = lex("42 3.25 -7");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.25);
+  EXPECT_EQ(tokens[2].int_value, -7);
+}
+
+TEST(LexerTest, DurationUnitsNormaliseToMicroseconds) {
+  const auto tokens = lex("5ms 2s 100us");
+  EXPECT_EQ(tokens[0].int_value, 5000);
+  EXPECT_EQ(tokens[1].int_value, 2000000);
+  EXPECT_EQ(tokens[2].int_value, 100);
+}
+
+TEST(LexerTest, BandwidthUnitsNormaliseToBytesPerSecond) {
+  const auto tokens = lex("100mbps 8bps 1gbps");
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 100e6 / 8.0);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 1.0);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1e9 / 8.0);
+}
+
+TEST(LexerTest, UnknownUnitIsParseError) {
+  auto result = tokenize("5lightyears");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kParseError);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  const auto tokens = lex("\"hello world\" \"a\\\"b\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, ArrowsAndPunctuation) {
+  const auto tokens = lex("a -> b <-> { } ( ) [ ] : ; , =");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDuplexArrow);
+  int punct = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kPunct) ++punct;
+  }
+  EXPECT_EQ(punct, 10);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const auto tokens = lex("a // this is a comment\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  const auto tokens = lex("a\nb\n  c");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[2].loc.line, 3);
+  EXPECT_EQ(tokens[2].loc.column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsLine) {
+  auto result = tokenize("ok\n  @");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aars::adl

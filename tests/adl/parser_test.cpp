@@ -1,0 +1,202 @@
+#include "adl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::adl {
+namespace {
+
+using util::ErrorCode;
+
+Configuration parse_ok(std::string_view src) {
+  auto result = parse(src);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message());
+  return result.ok() ? std::move(result).value() : Configuration{};
+}
+
+TEST(ParserTest, EmptySourceIsEmptyConfig) {
+  const Configuration config = parse_ok("");
+  EXPECT_TRUE(config.interfaces.empty());
+  EXPECT_TRUE(config.instances.empty());
+}
+
+TEST(ParserTest, InterfaceWithServices) {
+  const Configuration config = parse_ok(R"(
+    interface Storage version 2 {
+      service put(key: string, value: string) -> bool;
+      service get(key: string) -> string;
+      service flush();
+    }
+  )");
+  ASSERT_EQ(config.interfaces.size(), 1u);
+  const AstInterface& iface = config.interfaces[0];
+  EXPECT_EQ(iface.name, "Storage");
+  EXPECT_EQ(iface.version, 2);
+  ASSERT_EQ(iface.services.size(), 3u);
+  EXPECT_EQ(iface.services[0].name, "put");
+  EXPECT_EQ(iface.services[0].params.size(), 2u);
+  EXPECT_EQ(iface.services[0].result_type, "bool");
+  EXPECT_EQ(iface.services[2].result_type, "any");  // default
+}
+
+TEST(ParserTest, OptionalParameters) {
+  const Configuration config = parse_ok(R"(
+    interface I { service f(optional x: int) -> int; }
+  )");
+  EXPECT_TRUE(config.interfaces[0].services[0].params[0].optional);
+}
+
+TEST(ParserTest, ComponentWithRequiresAndAttributes) {
+  const Configuration config = parse_ok(R"(
+    interface Video { service frame() -> map; }
+    interface Clock { service now() -> int; }
+    component Camera provides Video {
+      requires clock: Clock;
+      attribute fps: int = 30;
+      attribute label: string = "cam";
+      attribute scale: double = 1.5;
+      attribute on: bool = true;
+    }
+  )");
+  ASSERT_EQ(config.components.size(), 1u);
+  const AstComponent& comp = config.components[0];
+  EXPECT_EQ(comp.provides, "Video");
+  ASSERT_EQ(comp.requires_.size(), 1u);
+  EXPECT_EQ(comp.requires_[0].port, "clock");
+  ASSERT_EQ(comp.attributes.size(), 4u);
+  EXPECT_EQ(comp.attributes[0].default_value.as_int(), 30);
+  EXPECT_EQ(comp.attributes[1].default_value.as_string(), "cam");
+  EXPECT_DOUBLE_EQ(comp.attributes[2].default_value.as_double(), 1.5);
+  EXPECT_TRUE(comp.attributes[3].default_value.as_bool());
+}
+
+TEST(ParserTest, BareComponentDeclaration) {
+  const Configuration config = parse_ok("component Simple;");
+  ASSERT_EQ(config.components.size(), 1u);
+  EXPECT_TRUE(config.components[0].provides.empty());
+}
+
+TEST(ParserTest, NodesAndLinks) {
+  const Configuration config = parse_ok(R"(
+    node edge { capacity 2000; }
+    node core { capacity 8000; }
+    link edge -> core { latency 5ms; bandwidth 100mbps; }
+    link edge <-> core { latency 1ms; jitter 100us; loss 0.01; }
+  )");
+  ASSERT_EQ(config.nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.nodes[0].capacity, 2000.0);
+  ASSERT_EQ(config.links.size(), 2u);
+  EXPECT_FALSE(config.links[0].duplex);
+  EXPECT_EQ(config.links[0].latency_us, 5000);
+  EXPECT_DOUBLE_EQ(config.links[0].bandwidth_bytes_per_sec, 100e6 / 8.0);
+  EXPECT_TRUE(config.links[1].duplex);
+  EXPECT_EQ(config.links[1].jitter_us, 100);
+  EXPECT_DOUBLE_EQ(config.links[1].loss, 0.01);
+}
+
+TEST(ParserTest, InstancesWithOverrides) {
+  const Configuration config = parse_ok(R"(
+    component Camera;
+    node n { capacity 100; }
+    instance cam: Camera on n { fps = 25; }
+    instance cam2: Camera on n;
+  )");
+  ASSERT_EQ(config.instances.size(), 2u);
+  EXPECT_EQ(config.instances[0].name, "cam");
+  EXPECT_EQ(config.instances[0].type, "Camera");
+  EXPECT_EQ(config.instances[0].node, "n");
+  ASSERT_EQ(config.instances[0].attribute_overrides.size(), 1u);
+  EXPECT_EQ(config.instances[0].attribute_overrides[0].second.as_int(), 25);
+  EXPECT_TRUE(config.instances[1].attribute_overrides.empty());
+}
+
+TEST(ParserTest, ConnectorDeclaration) {
+  const Configuration config = parse_ok(R"(
+    connector c1 {
+      routing round_robin;
+      delivery queued;
+      capacity 64;
+      aspects [logging, metrics];
+    }
+  )");
+  ASSERT_EQ(config.connectors.size(), 1u);
+  const AstConnector& conn = config.connectors[0];
+  EXPECT_EQ(conn.routing, "round_robin");
+  EXPECT_EQ(conn.delivery, "queued");
+  EXPECT_EQ(conn.capacity, 64);
+  EXPECT_EQ(conn.aspects, (std::vector<std::string>{"logging", "metrics"}));
+}
+
+TEST(ParserTest, Bindings) {
+  const Configuration config = parse_ok(R"(
+    bind cam.clock -> clk via c1;
+    bind cam.out -> s1, s2 via lb;
+    bind a.p -> b;
+  )");
+  ASSERT_EQ(config.bindings.size(), 3u);
+  EXPECT_EQ(config.bindings[0].from_instance, "cam");
+  EXPECT_EQ(config.bindings[0].from_port, "clock");
+  EXPECT_EQ(config.bindings[0].via_connector, "c1");
+  EXPECT_EQ(config.bindings[1].to_instances.size(), 2u);
+  EXPECT_TRUE(config.bindings[2].via_connector.empty());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto result = parse("interface I {\n  bogus x;\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kParseError);
+  EXPECT_NE(result.error().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, UnknownDeclarationFails) {
+  EXPECT_FALSE(parse("widget W {}").ok());
+}
+
+TEST(ParserTest, BindingSourceMustBeDotted) {
+  EXPECT_FALSE(parse("bind cam -> x;").ok());
+}
+
+TEST(ParserTest, MissingSemicolonFails) {
+  EXPECT_FALSE(parse("node n { capacity 5 }").ok());
+}
+
+TEST(ParserTest, NegativeCapacityFails) {
+  EXPECT_FALSE(parse("node n { capacity -5; }").ok());
+}
+
+TEST(ParserTest, LossOutOfRangeFails) {
+  EXPECT_FALSE(
+      parse("node a { capacity 1; } node b { capacity 1; }"
+            "link a -> b { loss 1.5; }")
+          .ok());
+}
+
+TEST(ParserTest, FullRealisticConfiguration) {
+  const Configuration config = parse_ok(R"(
+    // The quickstart topology.
+    interface Echo {
+      service echo(text: string) -> string;
+      service ping() -> int;
+    }
+    component EchoServer provides Echo {
+      attribute greeting: string = "hi";
+    }
+    component Client {
+      requires out: Echo;
+    }
+    node edge { capacity 2000; }
+    node core { capacity 10000; }
+    link edge <-> core { latency 2ms; bandwidth 1gbps; }
+    instance server: EchoServer on core;
+    instance client: Client on edge;
+    connector main { routing direct; delivery sync; }
+    bind client.out -> server via main;
+  )");
+  EXPECT_EQ(config.interfaces.size(), 1u);
+  EXPECT_EQ(config.components.size(), 2u);
+  EXPECT_EQ(config.nodes.size(), 2u);
+  EXPECT_EQ(config.instances.size(), 2u);
+  EXPECT_EQ(config.bindings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aars::adl

@@ -1,0 +1,214 @@
+#include "adl/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "adl/parser.h"
+
+namespace aars::adl {
+namespace {
+
+using util::ErrorCode;
+
+util::Result<CompiledConfiguration> compile(std::string_view src) {
+  auto parsed = parse(src);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().message());
+  if (!parsed.ok()) return parsed.error();
+  return validate(std::move(parsed).value());
+}
+
+constexpr const char* kBase = R"(
+  interface Echo {
+    service echo(text: string) -> string;
+  }
+  component EchoServer provides Echo;
+  component Client { requires out: Echo; }
+  node n1 { capacity 1000; }
+  node n2 { capacity 1000; }
+  link n1 <-> n2 { latency 1ms; }
+  instance server: EchoServer on n1;
+  instance client: Client on n2;
+  connector c { routing direct; delivery sync; }
+  bind client.out -> server via c;
+)";
+
+TEST(ValidatorTest, ValidConfigurationCompiles) {
+  auto compiled = compile(kBase);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().message();
+  EXPECT_EQ(compiled.value().interfaces.count("Echo"), 1u);
+  EXPECT_EQ(compiled.value().instance_index.size(), 2u);
+  EXPECT_EQ(compiled.value().connector_index.size(), 1u);
+}
+
+TEST(ValidatorTest, InterfacesBecomeDescriptions) {
+  auto compiled = compile(kBase);
+  ASSERT_TRUE(compiled.ok());
+  const auto& echo = compiled.value().interfaces.at("Echo");
+  EXPECT_EQ(echo.version(), 1);
+  ASSERT_NE(echo.find("echo"), nullptr);
+  EXPECT_EQ(echo.find("echo")->params[0].type, util::ValueType::kString);
+}
+
+TEST(ValidatorTest, DuplicateInterfaceRejected) {
+  auto compiled = compile("interface A {} interface A {}");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.error().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(ValidatorTest, UnknownProvidedInterfaceRejected) {
+  auto compiled = compile("component C provides Ghost;");
+  ASSERT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, UnknownRequiredInterfaceRejected) {
+  auto compiled = compile("component C { requires p: Ghost; }");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, UnknownAttributeTypeRejected) {
+  auto compiled = compile("component C { attribute a: widget; }");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, DefaultValueTypeMismatchRejected) {
+  auto compiled = compile("component C { attribute a: int = \"oops\"; }");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, DoubleAttributeAcceptsIntLiteral) {
+  auto compiled = compile("component C { attribute a: double = 3; }");
+  EXPECT_TRUE(compiled.ok());
+}
+
+TEST(ValidatorTest, LinkToUnknownNodeRejected) {
+  auto compiled =
+      compile("node a { capacity 1; } link a -> ghost { latency 1ms; }");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, InstanceOfUnknownTypeRejected) {
+  auto compiled =
+      compile("node n { capacity 1; } instance x: Ghost on n;");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, InstanceOnUnknownNodeRejected) {
+  auto compiled = compile("component C; instance x: C on ghost;");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, OverrideOfUnknownAttributeRejected) {
+  auto compiled = compile(
+      "component C; node n { capacity 1; } instance x: C on n { a = 1; }");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, OverrideTypeMismatchRejected) {
+  auto compiled = compile(
+      "component C { attribute a: int = 1; } node n { capacity 1; }"
+      "instance x: C on n { a = \"s\"; }");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, UnknownRoutingRejected) {
+  auto compiled = compile("connector c { routing magic; }");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, BindingFromUnknownInstanceRejected) {
+  auto compiled = compile("bind ghost.p -> also_ghost;");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, BindingUnknownPortRejected) {
+  auto compiled = compile(R"(
+    interface I { service f(); }
+    component A provides I;
+    component B { requires p: I; }
+    node n { capacity 1; }
+    instance a: A on n;
+    instance b: B on n;
+    bind b.ghost -> a;
+  )");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, BindingToNonProviderRejected) {
+  auto compiled = compile(R"(
+    interface I { service f(); }
+    component A { requires p: I; }
+    node n { capacity 1; }
+    instance a: A on n;
+    instance b: A on n;
+    bind a.p -> b;
+  )");
+  ASSERT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, IncompatibleInterfaceBindingRejected) {
+  auto compiled = compile(R"(
+    interface I { service f(); }
+    interface J { service g(); }
+    component A provides J;
+    component B { requires p: I; }
+    node n { capacity 1; }
+    instance a: A on n;
+    instance b: B on n;
+    bind b.p -> a;
+  )");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.error().message().find("interface mismatch"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, MultiProviderNeedsExplicitConnector) {
+  auto compiled = compile(R"(
+    interface I { service f(); }
+    component A provides I;
+    component B { requires p: I; }
+    node n { capacity 1; }
+    instance a1: A on n;
+    instance a2: A on n;
+    instance b: B on n;
+    bind b.p -> a1, a2;
+  )");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, MultiProviderOnDirectConnectorRejected) {
+  auto compiled = compile(R"(
+    interface I { service f(); }
+    component A provides I;
+    component B { requires p: I; }
+    node n { capacity 1; }
+    instance a1: A on n;
+    instance a2: A on n;
+    instance b: B on n;
+    connector c { routing direct; }
+    bind b.p -> a1, a2 via c;
+  )");
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidatorTest, MultiProviderOnRoundRobinAccepted) {
+  auto compiled = compile(R"(
+    interface I { service f(); }
+    component A provides I;
+    component B { requires p: I; }
+    node n { capacity 1; }
+    instance a1: A on n;
+    instance a2: A on n;
+    instance b: B on n;
+    connector c { routing round_robin; }
+    bind b.p -> a1, a2 via c;
+  )");
+  EXPECT_TRUE(compiled.ok()) << compiled.error().message();
+}
+
+TEST(ValidatorTest, ValueTypeNames) {
+  EXPECT_EQ(value_type_from_name("int").value(), util::ValueType::kInt);
+  EXPECT_EQ(value_type_from_name("any").value(), util::ValueType::kNull);
+  EXPECT_FALSE(value_type_from_name("junk").ok());
+}
+
+}  // namespace
+}  // namespace aars::adl

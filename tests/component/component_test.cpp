@@ -1,0 +1,231 @@
+#include "component/component.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::component {
+namespace {
+
+using aars::testing::CounterServer;
+using aars::testing::EchoServer;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+using util::Value;
+
+Message request(const std::string& op, Value payload) {
+  Message m;
+  m.id = util::MessageId{1};
+  m.operation = op;
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(ComponentTest, LifecycleHappyPath) {
+  EchoServer comp("e1");
+  EXPECT_EQ(comp.lifecycle(), LifecycleState::kCreated);
+  EXPECT_TRUE(comp.initialize(Value{}).ok());
+  EXPECT_EQ(comp.lifecycle(), LifecycleState::kInitialized);
+  EXPECT_TRUE(comp.activate().ok());
+  EXPECT_EQ(comp.lifecycle(), LifecycleState::kActive);
+  EXPECT_TRUE(comp.passivate().ok());
+  EXPECT_EQ(comp.lifecycle(), LifecycleState::kPassivated);
+  EXPECT_TRUE(comp.activate().ok());
+  EXPECT_TRUE(comp.passivate().ok());
+  EXPECT_TRUE(comp.remove().ok());
+  EXPECT_EQ(comp.lifecycle(), LifecycleState::kRemoved);
+}
+
+TEST(ComponentTest, InvalidLifecycleTransitionsRejected) {
+  EchoServer comp("e1");
+  EXPECT_FALSE(comp.activate().ok());      // created -> active: must init
+  EXPECT_FALSE(comp.passivate().ok());     // created -> passivated
+  EXPECT_TRUE(comp.initialize(Value{}).ok());
+  EXPECT_FALSE(comp.initialize(Value{}).ok());  // double init
+  EXPECT_TRUE(comp.activate().ok());
+  EXPECT_TRUE(comp.remove().ok());
+  EXPECT_FALSE(comp.remove().ok());        // double remove
+  EXPECT_FALSE(comp.activate().ok());      // removed is terminal
+}
+
+TEST(ComponentTest, HandleRequiresActive) {
+  EchoServer comp("e1");
+  const Result<Value> r =
+      comp.handle(request("echo", Value::object({{"text", "hi"}})));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(ComponentTest, HandleDispatchesToOperation) {
+  EchoServer comp("e1");
+  ASSERT_TRUE(comp.initialize(Value{}).ok());
+  ASSERT_TRUE(comp.activate().ok());
+  const Result<Value> r =
+      comp.handle(request("echo", Value::object({{"text", "hi"}})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().as_string(), "hi");
+  EXPECT_EQ(comp.handled_count(), 1u);
+}
+
+TEST(ComponentTest, UnknownOperationIsNotFound) {
+  EchoServer comp("e1");
+  ASSERT_TRUE(comp.initialize(Value{}).ok());
+  ASSERT_TRUE(comp.activate().ok());
+  const Result<Value> r = comp.handle(request("nope", Value{}));
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(ComponentTest, ArgumentsValidatedAgainstInterface) {
+  EchoServer comp("e1");
+  ASSERT_TRUE(comp.initialize(Value{}).ok());
+  ASSERT_TRUE(comp.activate().ok());
+  // "echo" requires text: string.
+  const Result<Value> r = comp.handle(request("echo", Value::object({})));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ComponentTest, AttributesStoredOnInitialize) {
+  EchoServer comp("e1");
+  ASSERT_TRUE(comp.initialize(Value::object({{"k", 5}})).ok());
+  EXPECT_EQ(comp.attributes().at("k").as_int(), 5);
+}
+
+TEST(ComponentTest, OperationsIntrospection) {
+  EchoServer comp("e1");
+  const auto ops = comp.operations();
+  EXPECT_EQ(ops.size(), 2u);
+  EXPECT_GT(comp.work_cost("echo"), 0.0);
+  EXPECT_DOUBLE_EQ(comp.work_cost("missing"), 0.0);
+}
+
+TEST(ComponentTest, QuiescentBetweenMessages) {
+  EchoServer comp("e1");
+  ASSERT_TRUE(comp.initialize(Value{}).ok());
+  ASSERT_TRUE(comp.activate().ok());
+  EXPECT_TRUE(comp.quiescent());
+  (void)comp.handle(request("ping", Value{}));
+  EXPECT_TRUE(comp.quiescent());
+}
+
+TEST(ComponentTest, SnapshotCapturesStateAndResumePoint) {
+  CounterServer comp("c1");
+  ASSERT_TRUE(comp.initialize(Value::object({{"mode", "x"}})).ok());
+  ASSERT_TRUE(comp.activate().ok());
+  (void)comp.handle(request("add", Value::object({{"amount", 7}})));
+  (void)comp.handle(request("add", Value::object({{"amount", 5}})));
+  const Snapshot snap = comp.snapshot();
+  EXPECT_EQ(snap.type_name, "CounterServer");
+  EXPECT_EQ(snap.state.at("total").as_int(), 12);
+  EXPECT_EQ(snap.resume_point, "after_add");
+  EXPECT_EQ(snap.handled, 2u);
+  EXPECT_EQ(snap.attributes.at("mode").as_string(), "x");
+}
+
+TEST(ComponentTest, RestoreAppliesSnapshot) {
+  CounterServer original("c1");
+  ASSERT_TRUE(original.initialize(Value{}).ok());
+  ASSERT_TRUE(original.activate().ok());
+  (void)original.handle(request("add", Value::object({{"amount", 42}})));
+  const Snapshot snap = original.snapshot();
+
+  CounterServer replacement("c2");
+  ASSERT_TRUE(replacement.initialize(Value{}).ok());
+  ASSERT_TRUE(replacement.activate().ok());
+  ASSERT_TRUE(replacement.restore(snap).ok());
+  EXPECT_EQ(replacement.total(), 42);
+  EXPECT_EQ(replacement.handled_count(), 1u);
+  const Result<Value> r =
+      replacement.handle(request("total", Value{}));
+  EXPECT_EQ(r.value().as_int(), 42);
+}
+
+TEST(ComponentTest, ReplaceOperationChangesBehaviour) {
+  EchoServer comp("e1");
+  ASSERT_TRUE(comp.initialize(Value{}).ok());
+  ASSERT_TRUE(comp.activate().ok());
+  ASSERT_TRUE(comp.replace_operation(
+                      "echo",
+                      [](const Value&) -> Result<Value> {
+                        return Value{"replaced"};
+                      },
+                      2.0)
+                  .ok());
+  const Result<Value> r =
+      comp.handle(request("echo", Value::object({{"text", "x"}})));
+  EXPECT_EQ(r.value().as_string(), "replaced");
+  EXPECT_DOUBLE_EQ(comp.work_cost("echo"), 2.0);
+}
+
+TEST(ComponentTest, ReplaceUnknownOperationFails) {
+  EchoServer comp("e1");
+  EXPECT_EQ(comp.replace_operation(
+                    "ghost", [](const Value&) -> Result<Value> {
+                      return Value{};
+                    },
+                    1.0)
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ComponentTest, OperationHandlerGetterReturnsCallable) {
+  EchoServer comp("e1");
+  auto handler = comp.operation_handler("echo");
+  ASSERT_TRUE(static_cast<bool>(handler));
+  const Result<Value> r = handler(Value::object({{"text", "direct"}}));
+  EXPECT_EQ(r.value().as_string(), "direct");
+  EXPECT_FALSE(static_cast<bool>(comp.operation_handler("ghost")));
+}
+
+TEST(ComponentTest, ObserversSeeEveryHandledMessage) {
+  EchoServer comp("e1");
+  ASSERT_TRUE(comp.initialize(Value{}).ok());
+  ASSERT_TRUE(comp.activate().ok());
+  int observed = 0;
+  bool last_ok = false;
+  comp.observe([&](const Message&, const Result<Value>& result) {
+    ++observed;
+    last_ok = result.ok();
+  });
+  (void)comp.handle(request("ping", Value{}));
+  (void)comp.handle(request("nope", Value{}));
+  EXPECT_EQ(observed, 2);
+  EXPECT_FALSE(last_ok);
+}
+
+TEST(ComponentTest, CallWithoutBindingFails) {
+  aars::testing::EchoClient client("cl");
+  ASSERT_TRUE(client.initialize(Value{}).ok());
+  ASSERT_TRUE(client.activate().ok());
+  const Result<Value> r =
+      client.handle(request("go", Value::object({{"text", "hi"}})));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(ComponentTest, SenderInstallationEnablesCalls) {
+  aars::testing::EchoClient client("cl");
+  ASSERT_TRUE(client.initialize(Value{}).ok());
+  ASSERT_TRUE(client.activate().ok());
+  client.set_sender([](const std::string& port, const std::string& op,
+                       const Value& args) -> Result<Value> {
+    EXPECT_EQ(port, "out");
+    EXPECT_EQ(op, "echo");
+    return Value{args.at("text").as_string() + "!"};
+  });
+  EXPECT_TRUE(client.bound());
+  const Result<Value> r =
+      client.handle(request("go", Value::object({{"text", "hi"}})));
+  EXPECT_EQ(r.value().as_string(), "hi!");
+}
+
+TEST(ComponentTest, RequiredPortsIntrospectable) {
+  aars::testing::EchoClient client("cl");
+  ASSERT_EQ(client.required().size(), 1u);
+  EXPECT_EQ(client.required()[0].name, "out");
+  EXPECT_EQ(client.required()[0].interface.name(), "Echo");
+}
+
+}  // namespace
+}  // namespace aars::component

@@ -1,0 +1,178 @@
+#include "component/interface.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::component {
+namespace {
+
+using util::ErrorCode;
+using util::Status;
+using util::Value;
+using util::ValueType;
+
+InterfaceDescription storage_v1() {
+  InterfaceDescription desc("Storage", 1);
+  desc.add_service(ServiceSignature{
+      "put",
+      {ParamSpec{"key", ValueType::kString, false},
+       ParamSpec{"value", ValueType::kString, false}},
+      ValueType::kBool});
+  desc.add_service(ServiceSignature{
+      "get", {ParamSpec{"key", ValueType::kString, false}},
+      ValueType::kString});
+  return desc;
+}
+
+TEST(ServiceSignatureTest, ValidatesRequiredParams) {
+  const InterfaceDescription desc = storage_v1();
+  const ServiceSignature* put = desc.find("put");
+  ASSERT_NE(put, nullptr);
+  EXPECT_TRUE(put->validate_args(
+      Value::object({{"key", "k"}, {"value", "v"}})).ok());
+  const Status missing = put->validate_args(Value::object({{"key", "k"}}));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ServiceSignatureTest, ValidatesParamTypes) {
+  const InterfaceDescription desc = storage_v1();
+  const Status wrong = desc.find("get")->validate_args(
+      Value::object({{"key", 42}}));
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(ServiceSignatureTest, OptionalParamsMayBeAbsent) {
+  ServiceSignature sig{"op",
+                       {ParamSpec{"opt", ValueType::kInt, true}},
+                       ValueType::kNull};
+  EXPECT_TRUE(sig.validate_args(Value::object({})).ok());
+  EXPECT_TRUE(sig.validate_args(Value{}).ok());
+  EXPECT_TRUE(sig.validate_args(Value::object({{"opt", 1}})).ok());
+  EXPECT_FALSE(sig.validate_args(Value::object({{"opt", "s"}})).ok());
+}
+
+TEST(ServiceSignatureTest, IntWidensToDouble) {
+  ServiceSignature sig{"op",
+                       {ParamSpec{"x", ValueType::kDouble, false}},
+                       ValueType::kNull};
+  EXPECT_TRUE(sig.validate_args(Value::object({{"x", 3}})).ok());
+}
+
+TEST(ServiceSignatureTest, AnyTypeAcceptsEverything) {
+  ServiceSignature sig{"op",
+                       {ParamSpec{"x", ValueType::kNull, false}},
+                       ValueType::kNull};
+  EXPECT_TRUE(sig.validate_args(Value::object({{"x", "s"}})).ok());
+  EXPECT_TRUE(sig.validate_args(Value::object({{"x", 5}})).ok());
+}
+
+TEST(ServiceSignatureTest, NonMapArgsRejected) {
+  ServiceSignature sig{"op", {}, ValueType::kNull};
+  EXPECT_FALSE(sig.validate_args(Value{5}).ok());
+  EXPECT_TRUE(sig.validate_args(Value{}).ok());
+}
+
+TEST(InterfaceComplianceTest, ExtensionIsCompliant) {
+  const InterfaceDescription v1 = storage_v1();
+  InterfaceDescription next("Storage", 2);
+  ServiceSignature put = *v1.find("put");
+  put.params.push_back(ParamSpec{"ttl", ValueType::kInt, true});
+  next.add_service(put);
+  next.add_service(*v1.find("get"));
+  next.add_service(ServiceSignature{
+      "del", {ParamSpec{"key", ValueType::kString, false}},
+      ValueType::kBool});
+  EXPECT_TRUE(InterfaceDescription::check_compliance(v1, next).ok());
+}
+
+TEST(InterfaceComplianceTest, RemovedServiceBreaksCompliance) {
+  const InterfaceDescription v1 = storage_v1();
+  InterfaceDescription next("Storage", 2);
+  next.add_service(*v1.find("put"));  // "get" removed
+  const Status s = InterfaceDescription::check_compliance(v1, next);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kIncompatible);
+}
+
+TEST(InterfaceComplianceTest, NewMandatoryParamBreaksCompliance) {
+  const InterfaceDescription v1 = storage_v1();
+  InterfaceDescription next("Storage", 2);
+  next.add_service(*v1.find("get"));
+  ServiceSignature put = *v1.find("put");
+  put.params.push_back(ParamSpec{"must", ValueType::kInt, false});
+  next.add_service(put);
+  EXPECT_FALSE(InterfaceDescription::check_compliance(v1, next).ok());
+}
+
+TEST(InterfaceComplianceTest, ChangedResultTypeBreaksCompliance) {
+  const InterfaceDescription v1 = storage_v1();
+  InterfaceDescription next("Storage", 2);
+  next.add_service(*v1.find("put"));
+  ServiceSignature get = *v1.find("get");
+  get.result = ValueType::kMap;
+  next.add_service(get);
+  EXPECT_FALSE(InterfaceDescription::check_compliance(v1, next).ok());
+}
+
+TEST(InterfaceComplianceTest, RemovedParamBreaksCompliance) {
+  const InterfaceDescription v1 = storage_v1();
+  InterfaceDescription next("Storage", 2);
+  next.add_service(*v1.find("get"));
+  ServiceSignature put = *v1.find("put");
+  put.params.pop_back();  // drop "value"
+  next.add_service(put);
+  EXPECT_FALSE(InterfaceDescription::check_compliance(v1, next).ok());
+}
+
+TEST(InterfaceComplianceTest, VersionMustIncrease) {
+  const InterfaceDescription v1 = storage_v1();
+  EXPECT_FALSE(InterfaceDescription::check_compliance(v1, storage_v1()).ok());
+}
+
+TEST(InterfaceComplianceTest, RenamedInterfaceRejected) {
+  const InterfaceDescription v1 = storage_v1();
+  InterfaceDescription other("Blob", 2);
+  EXPECT_FALSE(InterfaceDescription::check_compliance(v1, other).ok());
+}
+
+TEST(InterfaceSatisfiesTest, IdenticalSatisfies) {
+  EXPECT_TRUE(storage_v1().satisfies(storage_v1()).ok());
+}
+
+TEST(InterfaceSatisfiesTest, SupersetSatisfies) {
+  InterfaceDescription provider("Storage", 2);
+  const InterfaceDescription v1 = storage_v1();
+  for (const auto& [name, sig] : v1.services()) {
+    provider.add_service(sig);
+  }
+  provider.add_service(ServiceSignature{"extra", {}, ValueType::kNull});
+  EXPECT_TRUE(provider.satisfies(storage_v1()).ok());
+}
+
+TEST(InterfaceSatisfiesTest, LowerVersionDoesNotSatisfy) {
+  InterfaceDescription required("Storage", 2);
+  EXPECT_FALSE(storage_v1().satisfies(required).ok());
+}
+
+TEST(InterfaceSatisfiesTest, MissingServiceDoesNotSatisfy) {
+  InterfaceDescription provider("Storage", 1);
+  provider.add_service(*storage_v1().find("put"));
+  EXPECT_FALSE(provider.satisfies(storage_v1()).ok());
+}
+
+TEST(InterfaceSatisfiesTest, NameMismatchDoesNotSatisfy) {
+  InterfaceDescription provider("Other", 1);
+  EXPECT_FALSE(provider.satisfies(storage_v1()).ok());
+}
+
+TEST(InterfaceDescriptionTest, FindAndSize) {
+  const InterfaceDescription desc = storage_v1();
+  EXPECT_EQ(desc.size(), 2u);
+  EXPECT_NE(desc.find("put"), nullptr);
+  EXPECT_EQ(desc.find("nope"), nullptr);
+  EXPECT_EQ(desc.name(), "Storage");
+  EXPECT_EQ(desc.version(), 1);
+}
+
+}  // namespace
+}  // namespace aars::component

@@ -1,0 +1,75 @@
+#include "component/message.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::component {
+namespace {
+
+using util::ComponentId;
+using util::MessageId;
+using util::Value;
+
+Message sample_request() {
+  Message m;
+  m.id = MessageId{42};
+  m.kind = MessageKind::kRequest;
+  m.operation = "compute";
+  m.payload = Value::object({{"x", 1}});
+  m.sender = ComponentId{1};
+  m.target = ComponentId{2};
+  m.sequence = 7;
+  return m;
+}
+
+TEST(MessageTest, KindNames) {
+  EXPECT_STREQ(to_string(MessageKind::kRequest), "request");
+  EXPECT_STREQ(to_string(MessageKind::kResponse), "response");
+  EXPECT_STREQ(to_string(MessageKind::kEvent), "event");
+  EXPECT_STREQ(to_string(MessageKind::kControl), "control");
+}
+
+TEST(MessageTest, ResponseSwapsEndpointsAndCorrelates) {
+  const Message request = sample_request();
+  const Message response = make_response(request, Value{99});
+  EXPECT_EQ(response.kind, MessageKind::kResponse);
+  EXPECT_EQ(response.sender, request.target);
+  EXPECT_EQ(response.target, request.sender);
+  EXPECT_EQ(response.correlation, request.id);
+  EXPECT_EQ(response.operation, request.operation);
+  EXPECT_EQ(response.payload.as_int(), 99);
+}
+
+TEST(MessageTest, ErrorResponseIsRecognisable) {
+  const Message request = sample_request();
+  const Message err = make_error_response(request, "timeout", "too slow");
+  EXPECT_TRUE(is_error_response(err));
+  EXPECT_EQ(err.payload.at("error").as_string(), "timeout");
+  EXPECT_EQ(err.payload.at("message").as_string(), "too slow");
+}
+
+TEST(MessageTest, PlainResponseIsNotError) {
+  const Message request = sample_request();
+  const Message ok = make_response(request, Value::object({{"result", 1}}));
+  EXPECT_FALSE(is_error_response(ok));
+  EXPECT_FALSE(is_error_response(sample_request()));
+}
+
+TEST(MessageTest, ByteSizeIncludesPayloadAndHeaders) {
+  Message m = sample_request();
+  const std::size_t base = m.byte_size();
+  m.payload = Value::object({{"blob", std::string(5000, 'x')}});
+  EXPECT_GT(m.byte_size(), base + 4000);
+  m.headers["meta"] = std::string(1000, 'y');
+  EXPECT_GT(m.byte_size(), base + 5000);
+}
+
+TEST(MessageTest, CopyIsIndependent) {
+  Message a = sample_request();
+  Message b = a;
+  b.payload["x"] = 2;
+  EXPECT_EQ(a.payload.at("x").as_int(), 1);
+  EXPECT_EQ(b.payload.at("x").as_int(), 2);
+}
+
+}  // namespace
+}  // namespace aars::component

@@ -1,0 +1,77 @@
+#include "component/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::component {
+namespace {
+
+using aars::testing::CounterServer;
+using aars::testing::EchoServer;
+using util::ErrorCode;
+
+TEST(RegistryTest, CreateFromRegisteredFactory) {
+  ComponentRegistry registry;
+  registry.register_type("Echo", [](const std::string& name) {
+    return std::make_unique<EchoServer>(name);
+  });
+  auto created = registry.create("Echo", "e1");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->instance_name(), "e1");
+  EXPECT_EQ(created.value()->type_name(), "EchoServer");
+}
+
+TEST(RegistryTest, UnknownTypeIsNotFound) {
+  ComponentRegistry registry;
+  auto created = registry.create("Ghost", "g1");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(RegistryTest, HasTypeAndNames) {
+  ComponentRegistry registry;
+  EXPECT_FALSE(registry.has_type("A"));
+  registry.register_type("A", [](const std::string& name) {
+    return std::make_unique<EchoServer>(name);
+  });
+  registry.register_type("B", [](const std::string& name) {
+    return std::make_unique<CounterServer>(name);
+  });
+  EXPECT_TRUE(registry.has_type("A"));
+  EXPECT_EQ(registry.type_names().size(), 2u);
+}
+
+TEST(RegistryTest, ReRegistrationReplacesFactory) {
+  // Hot deployment: re-registering a type name swaps the implementation
+  // used for future instantiations.
+  ComponentRegistry registry;
+  registry.register_type("Svc", [](const std::string& name) {
+    return std::make_unique<EchoServer>(name, "EchoV1");
+  });
+  registry.register_type("Svc", [](const std::string& name) {
+    return std::make_unique<EchoServer>(name, "EchoV2");
+  });
+  auto created = registry.create("Svc", "s");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->type_name(), "EchoV2");
+}
+
+TEST(RegistryTest, RegisterClassHelper) {
+  ComponentRegistry registry;
+  registry.register_class<CounterServer>("Counter");
+  auto created = registry.create("Counter", "c1");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->provided().name(), "Counter");
+}
+
+TEST(RegistryTest, EmptyTypeNameRejected) {
+  ComponentRegistry registry;
+  EXPECT_THROW(registry.register_type("", [](const std::string& name) {
+    return std::make_unique<EchoServer>(name);
+  }),
+               util::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace aars::component

@@ -1,0 +1,217 @@
+#include "connector/connector.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::connector {
+namespace {
+
+using component::Message;
+using util::ComponentId;
+using util::ConnectorId;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+Connector make(RoutingPolicy routing = RoutingPolicy::kDirect) {
+  ConnectorSpec spec;
+  spec.name = "c";
+  spec.routing = routing;
+  return Connector(ConnectorId{1}, std::move(spec));
+}
+
+/// Interceptor recording its traversal order.
+class Probe final : public Interceptor {
+ public:
+  Probe(std::string name, std::vector<std::string>& log)
+      : name_(std::move(name)), log_(log) {}
+  Verdict before(Message&, Result<Value>*) override {
+    log_.push_back(name_ + ":before");
+    return Verdict::kPass;
+  }
+  void after(const Message&, Result<Value>&) override {
+    log_.push_back(name_ + ":after");
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string>& log_;
+};
+
+class Blocker final : public Interceptor {
+ public:
+  Verdict before(Message&, Result<Value>* reply) override {
+    if (reply != nullptr) {
+      *reply = Result<Value>(
+          util::Error{ErrorCode::kRejected, "blocked"});
+    }
+    return Verdict::kBlock;
+  }
+  void after(const Message&, Result<Value>&) override {}
+  std::string name() const override { return "blocker"; }
+};
+
+class Responder final : public Interceptor {
+ public:
+  Verdict before(Message&, Result<Value>* reply) override {
+    if (reply != nullptr) *reply = Result<Value>(Value{"cached"});
+    return Verdict::kHandled;
+  }
+  void after(const Message&, Result<Value>&) override {}
+  std::string name() const override { return "responder"; }
+};
+
+TEST(ConnectorTest, NameRequired) {
+  EXPECT_THROW(Connector(ConnectorId{1}, ConnectorSpec{}),
+               util::InvariantViolation);
+}
+
+TEST(ConnectorTest, DirectAllowsSingleProvider) {
+  Connector conn = make();
+  EXPECT_TRUE(conn.add_provider(ComponentId{1}).ok());
+  const auto second = conn.add_provider(ComponentId{2});
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ConnectorTest, DuplicateProviderRejected) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  EXPECT_TRUE(conn.add_provider(ComponentId{1}).ok());
+  EXPECT_EQ(conn.add_provider(ComponentId{1}).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(ConnectorTest, RemoveProvider) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  EXPECT_TRUE(conn.remove_provider(ComponentId{1}).ok());
+  EXPECT_FALSE(conn.has_provider(ComponentId{1}));
+  EXPECT_EQ(conn.remove_provider(ComponentId{1}).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ConnectorTest, SelectWithNoProviderFails) {
+  Connector conn = make();
+  Message m;
+  const auto target = conn.select_target(m, nullptr);
+  EXPECT_FALSE(target.ok());
+  EXPECT_EQ(target.code(), ErrorCode::kUnavailable);
+}
+
+TEST(ConnectorTest, RoundRobinRotates) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  (void)conn.add_provider(ComponentId{3});
+  Message m;
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 6; ++i) {
+    order.push_back(conn.select_target(m, nullptr).value().raw());
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(ConnectorTest, RoundRobinSurvivesRemoval) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  Message m;
+  (void)conn.select_target(m, nullptr);  // 1
+  (void)conn.remove_provider(ComponentId{1});
+  const auto target = conn.select_target(m, nullptr);
+  EXPECT_EQ(target.value(), ComponentId{2});
+}
+
+TEST(ConnectorTest, LeastBacklogPicksCalmest) {
+  Connector conn = make(RoutingPolicy::kLeastBacklog);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  Message m;
+  const LoadProbe probe = [](ComponentId id) -> std::int64_t {
+    return id == ComponentId{2} ? 10 : 100;
+  };
+  EXPECT_EQ(conn.select_target(m, probe).value(), ComponentId{2});
+}
+
+TEST(ConnectorTest, BroadcastCannotSelectSingleTarget) {
+  Connector conn = make(RoutingPolicy::kBroadcast);
+  (void)conn.add_provider(ComponentId{1});
+  Message m;
+  EXPECT_FALSE(conn.select_target(m, nullptr).ok());
+  EXPECT_EQ(conn.broadcast_targets().size(), 1u);
+}
+
+TEST(ConnectorTest, InterceptorOrderByPriorityThenAttach) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(std::make_shared<Probe>("late", log), 10);
+  (void)conn.attach_interceptor(std::make_shared<Probe>("early", log), 0);
+  (void)conn.attach_interceptor(std::make_shared<Probe>("mid", log), 5);
+  Message m;
+  Result<Value> reply = Value{};
+  EXPECT_EQ(conn.run_before(m, &reply), Interceptor::Verdict::kPass);
+  conn.run_after(m, reply);
+  EXPECT_EQ(log, (std::vector<std::string>{"early:before", "mid:before",
+                                           "late:before", "late:after",
+                                           "mid:after", "early:after"}));
+}
+
+TEST(ConnectorTest, DuplicateInterceptorNameRejected) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(std::make_shared<Probe>("p", log));
+  EXPECT_EQ(conn.attach_interceptor(std::make_shared<Probe>("p", log)).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(ConnectorTest, DetachInterceptor) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(std::make_shared<Probe>("p", log));
+  EXPECT_EQ(conn.interceptor_count(), 1u);
+  EXPECT_TRUE(conn.detach_interceptor("p").ok());
+  EXPECT_EQ(conn.interceptor_count(), 0u);
+  EXPECT_EQ(conn.detach_interceptor("p").code(), ErrorCode::kNotFound);
+}
+
+TEST(ConnectorTest, BlockingInterceptorShortCircuits) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(std::make_shared<Blocker>(), 0);
+  (void)conn.attach_interceptor(std::make_shared<Probe>("after", log), 1);
+  Message m;
+  Result<Value> reply = Value{};
+  EXPECT_EQ(conn.run_before(m, &reply), Interceptor::Verdict::kBlock);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(log.empty());  // downstream interceptor never ran
+}
+
+TEST(ConnectorTest, HandlingInterceptorProducesReply) {
+  Connector conn = make();
+  (void)conn.attach_interceptor(std::make_shared<Responder>());
+  Message m;
+  Result<Value> reply = Value{};
+  EXPECT_EQ(conn.run_before(m, &reply), Interceptor::Verdict::kHandled);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().as_string(), "cached");
+}
+
+TEST(ConnectorTest, InterceptorNamesListed) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(std::make_shared<Probe>("a", log), 1);
+  (void)conn.attach_interceptor(std::make_shared<Probe>("b", log), 0);
+  EXPECT_EQ(conn.interceptor_names(),
+            (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(ConnectorTest, RelayCounter) {
+  Connector conn = make();
+  conn.count_relay();
+  conn.count_relay();
+  EXPECT_EQ(conn.relayed(), 2u);
+}
+
+}  // namespace
+}  // namespace aars::connector

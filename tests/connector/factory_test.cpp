@@ -1,0 +1,128 @@
+#include "connector/factory.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::connector {
+namespace {
+
+using component::Message;
+using util::ErrorCode;
+using util::Result;
+using util::Value;
+
+class NamedInterceptor final : public Interceptor {
+ public:
+  explicit NamedInterceptor(std::string name) : name_(std::move(name)) {}
+  Verdict before(Message&, Result<Value>*) override { return Verdict::kPass; }
+  void after(const Message&, Result<Value>&) override {}
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+ConnectorSpec spec(const std::string& name) {
+  ConnectorSpec s;
+  s.name = name;
+  return s;
+}
+
+TEST(ConnectorFactoryTest, CreatesConnectorsWithFreshIds) {
+  ConnectorFactory factory;
+  auto a = factory.create(spec("a"));
+  auto b = factory.create(spec("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value()->id(), b.value()->id());
+  EXPECT_EQ(factory.created(), 2u);
+}
+
+TEST(ConnectorFactoryTest, RejectsUnnamedSpec) {
+  ConnectorFactory factory;
+  EXPECT_FALSE(factory.create(ConnectorSpec{}).ok());
+}
+
+TEST(ConnectorFactoryTest, RejectsZeroCapacityQueued) {
+  ConnectorFactory factory;
+  ConnectorSpec s = spec("q");
+  s.delivery = DeliveryMode::kQueued;
+  s.queue_capacity = 0;
+  EXPECT_FALSE(factory.create(std::move(s)).ok());
+}
+
+TEST(ConnectorFactoryTest, ResolvesAspectsFromProvider) {
+  ConnectorFactory factory;
+  factory.add_aspect_provider(
+      [](const std::string& aspect) -> std::shared_ptr<Interceptor> {
+        if (aspect == "known") {
+          return std::make_shared<NamedInterceptor>("known");
+        }
+        return nullptr;
+      });
+  auto created = factory.create(spec("c"), {"known"});
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->interceptor_names(),
+            (std::vector<std::string>{"known"}));
+}
+
+TEST(ConnectorFactoryTest, UnknownAspectFails) {
+  ConnectorFactory factory;
+  auto created = factory.create(spec("c"), {"ghost"});
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(ConnectorFactoryTest, LaterProvidersWin) {
+  ConnectorFactory factory;
+  factory.add_aspect_provider(
+      [](const std::string&) -> std::shared_ptr<Interceptor> {
+        return std::make_shared<NamedInterceptor>("first");
+      });
+  factory.add_aspect_provider(
+      [](const std::string& aspect) -> std::shared_ptr<Interceptor> {
+        if (aspect == "x") return std::make_shared<NamedInterceptor>("second");
+        return nullptr;
+      });
+  auto created = factory.create(spec("c"), {"x"});
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->interceptor_names().front(), "second");
+}
+
+TEST(ConnectorFactoryTest, AspectOrderFollowsList) {
+  ConnectorFactory factory;
+  factory.add_aspect_provider(
+      [](const std::string& aspect) -> std::shared_ptr<Interceptor> {
+        return std::make_shared<NamedInterceptor>(aspect);
+      });
+  auto created = factory.create(spec("c"), {"b", "a", "c"});
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->interceptor_names(),
+            (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(ConnectorFactoryTest, ValidatesCompatibleProtocolRoles) {
+  ConnectorFactory factory;
+  ConnectorSpec s = spec("rr");
+  s.caller_role = lts::request_reply_client();
+  s.provider_role = lts::request_reply_server();
+  EXPECT_TRUE(factory.validate_spec(s).ok());
+  EXPECT_TRUE(factory.create(std::move(s)).ok());
+}
+
+TEST(ConnectorFactoryTest, RejectsIncompatibleProtocolRoles) {
+  ConnectorFactory factory;
+  ConnectorSpec s = spec("bad");
+  // Client expecting the reverse order deadlocks against the server role.
+  lts::Lts swapped("swapped-client");
+  const lts::StateId s1 = swapped.add_state();
+  swapped.add_transition(0, lts::in("reply"), s1);
+  swapped.add_transition(s1, lts::out("request"), 0);
+  s.caller_role = std::move(swapped);
+  s.provider_role = lts::request_reply_server();
+  const auto created = factory.create(std::move(s));
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.error().code(), ErrorCode::kIncompatible);
+}
+
+}  // namespace
+}  // namespace aars::connector

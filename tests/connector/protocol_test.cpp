@@ -1,0 +1,115 @@
+#include "connector/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::connector {
+namespace {
+
+using util::ErrorCode;
+
+TEST(ProtocolMonitorTest, FollowsValidSequence) {
+  ProtocolMonitor monitor(lts::request_reply_server());
+  EXPECT_TRUE(monitor.observe("request", lts::Direction::kInput).ok());
+  EXPECT_TRUE(monitor.observe("reply", lts::Direction::kOutput).ok());
+  EXPECT_TRUE(monitor.observe("request", lts::Direction::kInput).ok());
+  EXPECT_EQ(monitor.observed(), 3u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(ProtocolMonitorTest, FlagsInvalidAction) {
+  ProtocolMonitor monitor(lts::request_reply_server());
+  const util::Status s = monitor.observe("reply", lts::Direction::kOutput);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kIncompatible);
+  EXPECT_EQ(monitor.violations(), 1u);
+}
+
+TEST(ProtocolMonitorTest, FlagsWrongDirection) {
+  ProtocolMonitor monitor(lts::request_reply_server());
+  EXPECT_FALSE(monitor.observe("request", lts::Direction::kOutput).ok());
+}
+
+TEST(ProtocolMonitorTest, MayStopTracksFinalStates) {
+  ProtocolMonitor monitor(lts::request_reply_server());
+  EXPECT_TRUE(monitor.may_stop());  // idle state is final
+  (void)monitor.observe("request", lts::Direction::kInput);
+  EXPECT_FALSE(monitor.may_stop());  // mid-collaboration
+  (void)monitor.observe("reply", lts::Direction::kOutput);
+  EXPECT_TRUE(monitor.may_stop());
+}
+
+TEST(ProtocolMonitorTest, KeepsRunningAfterViolation) {
+  ProtocolMonitor monitor(lts::request_reply_server());
+  (void)monitor.observe("bogus", lts::Direction::kInput);
+  EXPECT_TRUE(monitor.observe("request", lts::Direction::kInput).ok());
+  EXPECT_EQ(monitor.violations(), 1u);
+}
+
+TEST(ProtocolMonitorTest, ResetReturnsToInitial) {
+  ProtocolMonitor monitor(lts::request_reply_server());
+  (void)monitor.observe("request", lts::Direction::kInput);
+  monitor.reset();
+  EXPECT_EQ(monitor.state(), 0u);
+  EXPECT_EQ(monitor.observed(), 0u);
+  EXPECT_TRUE(monitor.observe("request", lts::Direction::kInput).ok());
+}
+
+TEST(ProtocolConformanceInterceptorTest, EnforcesProtocolOnTraffic) {
+  // Protocol: alternate "open?" then "close?".
+  lts::Lts protocol("open-close");
+  protocol.set_final(0, true);
+  const lts::StateId opened = protocol.add_state();
+  protocol.add_transition(0, lts::in("open"), opened);
+  protocol.add_transition(opened, lts::in("close"), 0);
+
+  ProtocolConformanceInterceptor interceptor("conformance",
+                                             std::move(protocol),
+                                             /*enforce=*/true);
+  component::Message open_msg;
+  open_msg.operation = "open";
+  component::Message close_msg;
+  close_msg.operation = "close";
+  util::Result<util::Value> reply = util::Value{};
+
+  EXPECT_EQ(interceptor.before(open_msg, &reply),
+            Interceptor::Verdict::kPass);
+  // A second "open" violates the protocol and is rejected outright.
+  EXPECT_EQ(interceptor.before(open_msg, &reply),
+            Interceptor::Verdict::kBlock);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(interceptor.monitor().violations(), 1u);
+  // The protocol state did not advance: "close" is still legal.
+  EXPECT_EQ(interceptor.before(close_msg, &reply),
+            Interceptor::Verdict::kPass);
+}
+
+TEST(ProtocolConformanceInterceptorTest, MonitorOnlyModeCountsButPasses) {
+  lts::Lts protocol("strict");
+  protocol.set_final(0, true);
+  const lts::StateId s1 = protocol.add_state();
+  protocol.add_transition(0, lts::in("a"), s1);
+  protocol.add_transition(s1, lts::in("b"), 0);
+
+  ProtocolConformanceInterceptor interceptor("monitoring",
+                                             std::move(protocol),
+                                             /*enforce=*/false);
+  component::Message bogus;
+  bogus.operation = "zzz";
+  util::Result<util::Value> reply = util::Value{};
+  EXPECT_EQ(interceptor.before(bogus, &reply),
+            Interceptor::Verdict::kPass);  // observed, not blocked
+  EXPECT_EQ(interceptor.monitor().violations(), 1u);
+}
+
+TEST(ProtocolMonitorTest, FollowsTauPrefix) {
+  // Protocol: initial --tau--> s1 --a?--> s1.
+  lts::Lts protocol("taus");
+  const lts::StateId s1 = protocol.add_state(true);
+  protocol.add_transition(0, lts::tau(), s1);
+  protocol.add_transition(s1, lts::in("a"), s1);
+  ProtocolMonitor monitor(std::move(protocol));
+  EXPECT_TRUE(monitor.observe("a", lts::Direction::kInput).ok());
+}
+
+}  // namespace
+}  // namespace aars::connector

@@ -1,0 +1,136 @@
+#include "control/fuzzy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aars::control {
+namespace {
+
+TEST(TriangularSetTest, PeakAndEdges) {
+  TriangularSet set{"m", -1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(set.membership(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.membership(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(set.membership(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(set.membership(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(set.membership(-0.5), 0.5);
+  EXPECT_DOUBLE_EQ(set.membership(5.0), 0.0);
+}
+
+TEST(TriangularSetTest, ShouldersSaturate) {
+  TriangularSet left{"NB", -1.0, -1.0, 0.0};
+  EXPECT_DOUBLE_EQ(left.membership(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(left.membership(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(left.membership(-0.5), 0.5);
+  TriangularSet right{"PB", 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(right.membership(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(right.membership(0.5), 0.5);
+}
+
+TEST(FuzzyVariableTest, Standard5Partition) {
+  const FuzzyVariable var = FuzzyVariable::standard5("e", 10.0);
+  EXPECT_EQ(var.sets().size(), 5u);
+  // At zero, ZE is fully active and the extremes are inactive.
+  EXPECT_DOUBLE_EQ(var.membership("ZE", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(var.membership("NB", 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(var.membership("PB", 10.0), 1.0);
+  // Unknown label is 0.
+  EXPECT_DOUBLE_EQ(var.membership("??", 0.0), 0.0);
+}
+
+TEST(FuzzyVariableTest, PartitionSumsToOne) {
+  // The standard triangular partition covers the range: memberships sum to
+  // 1 everywhere inside it.
+  const FuzzyVariable var = FuzzyVariable::standard5("e", 4.0);
+  for (double x = -4.0; x <= 4.0; x += 0.25) {
+    double sum = 0.0;
+    for (const TriangularSet& s : var.sets()) sum += s.membership(x);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "at x=" << x;
+  }
+}
+
+TEST(FuzzyControllerTest, RejectsUnknownRuleLabels) {
+  EXPECT_THROW(
+      FuzzyController(FuzzyVariable::standard5("e", 1),
+                      FuzzyVariable::standard5("de", 1),
+                      FuzzyVariable::standard5("u", 1),
+                      {FuzzyRule{"XX", "", "ZE"}}),
+      util::InvariantViolation);
+  EXPECT_THROW(
+      FuzzyController(FuzzyVariable::standard5("e", 1),
+                      FuzzyVariable::standard5("de", 1),
+                      FuzzyVariable::standard5("u", 1),
+                      {FuzzyRule{"ZE", "", "XX"}}),
+      util::InvariantViolation);
+}
+
+TEST(FuzzyControllerTest, ZeroErrorYieldsZeroOutput) {
+  FuzzyController fuzzy = FuzzyController::make_standard(10, 10, 5);
+  const double out = fuzzy.update(0.0, 1.0);
+  EXPECT_NEAR(out, 0.0, 1e-9);
+}
+
+TEST(FuzzyControllerTest, OutputOpposesNothingButTracksError) {
+  FuzzyController fuzzy = FuzzyController::make_standard(10, 10, 5);
+  // Large positive error -> strong positive correction.
+  const double strong = fuzzy.update(10.0, 1.0);
+  EXPECT_GT(strong, 3.0);
+  fuzzy.reset();
+  const double negative = fuzzy.update(-10.0, 1.0);
+  EXPECT_LT(negative, -3.0);
+}
+
+TEST(FuzzyControllerTest, OutputIsMonotoneInError) {
+  FuzzyController fuzzy = FuzzyController::make_standard(10, 10, 5);
+  double previous = -1e9;
+  for (double e = -10.0; e <= 10.0; e += 1.0) {
+    fuzzy.reset();
+    const double out = fuzzy.update(e, 1.0);
+    EXPECT_GE(out, previous - 1e-9) << "at e=" << e;
+    previous = out;
+  }
+}
+
+TEST(FuzzyControllerTest, OutputBounded) {
+  FuzzyController fuzzy = FuzzyController::make_standard(10, 10, 5);
+  for (double e : {-100.0, -10.0, 0.0, 10.0, 100.0}) {
+    fuzzy.reset();
+    const double out = fuzzy.update(e, 1.0);
+    EXPECT_LE(std::abs(out), 5.0 + 1e-9);
+  }
+}
+
+TEST(FuzzyControllerTest, DerivativeDamps) {
+  FuzzyController fuzzy = FuzzyController::make_standard(10, 10, 5);
+  // Prime with a big error, then a falling error: the negative derivative
+  // damps the output versus a static error of the same size.
+  (void)fuzzy.update(10.0, 1.0);
+  const double damped = fuzzy.update(4.0, 1.0);  // derror = -6
+  fuzzy.reset();
+  (void)fuzzy.update(4.0, 1.0);
+  const double steady = fuzzy.update(4.0, 1.0);  // derror = 0
+  EXPECT_LT(damped, steady);
+}
+
+TEST(FuzzyControllerTest, ConvergesOnFirstOrderPlant) {
+  // Incremental (velocity) form: the fuzzy output adjusts the actuation,
+  // so zero error holds the plant at the setpoint.
+  FuzzyController fuzzy = FuzzyController::make_standard(10.0, 40.0, 4.0);
+  double y = 0.0;
+  double u = 0.0;
+  const double setpoint = 5.0;
+  const double dt = 0.05;
+  for (int i = 0; i < 600; ++i) {
+    u += fuzzy.update(setpoint - y, dt);
+    y += (u - y) * dt / 0.5;
+  }
+  EXPECT_NEAR(y, setpoint, 1.0);
+}
+
+TEST(FuzzyControllerTest, RuleCount) {
+  FuzzyController fuzzy = FuzzyController::make_standard(1, 1, 1);
+  EXPECT_EQ(fuzzy.rule_count(), 25u);
+}
+
+}  // namespace
+}  // namespace aars::control

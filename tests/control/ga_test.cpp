@@ -1,0 +1,116 @@
+#include "control/ga.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/pid.h"
+#include "util/errors.h"
+
+namespace aars::control {
+namespace {
+
+TEST(GaTunerTest, MinimisesSphereFunction) {
+  GaTuner::Options options;
+  options.generations = 40;
+  options.population = 30;
+  GaTuner tuner(options);
+  const auto outcome = tuner.tune(
+      {-10, -10, -10}, {10, 10, 10}, [](const std::vector<double>& g) {
+        double sum = 0.0;
+        for (double x : g) sum += x * x;
+        return sum;
+      });
+  EXPECT_LT(outcome.best_fitness, 0.5);
+  for (double x : outcome.best_genome) EXPECT_LT(std::abs(x), 1.0);
+}
+
+TEST(GaTunerTest, FindsShiftedOptimum) {
+  GaTuner tuner;
+  const auto outcome = tuner.tune(
+      {0.0}, {10.0}, [](const std::vector<double>& g) {
+        return std::abs(g[0] - 7.25);
+      });
+  EXPECT_NEAR(outcome.best_genome[0], 7.25, 0.3);
+}
+
+TEST(GaTunerTest, HistoryIsMonotoneNonIncreasing) {
+  GaTuner tuner;
+  const auto outcome = tuner.tune(
+      {-5, -5}, {5, 5}, [](const std::vector<double>& g) {
+        return g[0] * g[0] + g[1] * g[1];
+      });
+  for (std::size_t i = 1; i < outcome.history.size(); ++i) {
+    EXPECT_LE(outcome.history[i], outcome.history[i - 1] + 1e-12);
+  }
+}
+
+TEST(GaTunerTest, RespectsBounds) {
+  GaTuner tuner;
+  const auto outcome = tuner.tune(
+      {2.0}, {3.0}, [](const std::vector<double>& g) {
+        return -g[0];  // pushes towards the upper bound
+      });
+  EXPECT_GE(outcome.best_genome[0], 2.0);
+  EXPECT_LE(outcome.best_genome[0], 3.0);
+  EXPECT_NEAR(outcome.best_genome[0], 3.0, 0.05);
+}
+
+TEST(GaTunerTest, DeterministicForFixedSeed) {
+  GaTuner::Options options;
+  options.seed = 99;
+  const auto fitness = [](const std::vector<double>& g) {
+    return std::abs(g[0] - 1.0);
+  };
+  const auto a = GaTuner(options).tune({-5}, {5}, fitness);
+  const auto b = GaTuner(options).tune({-5}, {5}, fitness);
+  EXPECT_EQ(a.best_genome, b.best_genome);
+  EXPECT_DOUBLE_EQ(a.best_fitness, b.best_fitness);
+}
+
+TEST(GaTunerTest, ValidatesInputs) {
+  GaTuner tuner;
+  const auto fitness = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_THROW(tuner.tune({}, {}, fitness), util::InvariantViolation);
+  EXPECT_THROW(tuner.tune({1.0}, {0.0}, fitness), util::InvariantViolation);
+  EXPECT_THROW(tuner.tune({0.0}, {1.0, 2.0}, fitness),
+               util::InvariantViolation);
+}
+
+TEST(GaTunerTest, CountsEvaluations) {
+  GaTuner::Options options;
+  options.population = 10;
+  options.generations = 5;
+  GaTuner tuner(options);
+  const auto outcome = tuner.tune(
+      {0.0}, {1.0}, [](const std::vector<double>& g) { return g[0]; });
+  // Initial population + (pop - elites) per generation.
+  EXPECT_EQ(outcome.evaluations, 10u + 5u * (10u - 2u));
+}
+
+TEST(GaTunerTest, TunesPidGainsOnPlant) {
+  // The paper's soft-computing pitch: tune controller gains without a
+  // mathematical model, judged purely by simulated tracking error (ITAE).
+  const auto itae = [](const std::vector<double>& gains) {
+    PidController pid({gains[0], gains[1], gains[2]}, -50, 50);
+    double y = 0.0;
+    double cost = 0.0;
+    const double dt = 0.05;
+    for (int i = 0; i < 200; ++i) {
+      const double error = 10.0 - y;
+      cost += std::abs(error) * (i * dt);
+      const double u = pid.update(error, dt);
+      y += (u - y) * dt / 0.5;
+    }
+    return cost;
+  };
+  GaTuner::Options options;
+  options.generations = 25;
+  GaTuner tuner(options);
+  const auto outcome = tuner.tune({0.0, 0.0, 0.0}, {10.0, 5.0, 1.0}, itae);
+  // The tuned controller must clearly beat a weak hand-picked baseline.
+  EXPECT_LT(outcome.best_fitness, itae({0.2, 0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace aars::control

@@ -1,0 +1,91 @@
+#include "control/pid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace aars::control {
+namespace {
+
+TEST(PidTest, ProportionalOnly) {
+  PidController pid({2.0, 0.0, 0.0}, -100, 100);
+  EXPECT_DOUBLE_EQ(pid.update(5.0, 0.1), 10.0);
+  EXPECT_DOUBLE_EQ(pid.update(-3.0, 0.1), -6.0);
+}
+
+TEST(PidTest, OutputClamped) {
+  PidController pid({100.0, 0.0, 0.0}, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(5.0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(-5.0, 0.1), -1.0);
+}
+
+TEST(PidTest, IntegralAccumulates) {
+  PidController pid({0.0, 1.0, 0.0}, -100, 100);
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 1.0), 3.0);
+}
+
+TEST(PidTest, AntiWindupBoundsIntegral) {
+  PidController pid({0.0, 1.0, 0.0}, -10, 10);
+  for (int i = 0; i < 1000; ++i) (void)pid.update(100.0, 1.0);
+  // Integral clamped so output recovers quickly once error flips.
+  EXPECT_LE(std::abs(pid.integral()), 10.0 + 1e-9);
+  double out = 0.0;
+  for (int i = 0; i < 25; ++i) out = pid.update(-100.0, 1.0);
+  EXPECT_LT(out, 0.0);
+}
+
+TEST(PidTest, DerivativeRespondsToChange) {
+  PidController pid({0.0, 0.0, 1.0}, -100, 100);
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 1.0), 0.0);  // not primed yet
+  EXPECT_DOUBLE_EQ(pid.update(3.0, 1.0), 2.0);  // de/dt = 2
+  EXPECT_DOUBLE_EQ(pid.update(3.0, 1.0), 0.0);  // steady
+}
+
+TEST(PidTest, ResetClearsState) {
+  PidController pid({1.0, 1.0, 1.0}, -100, 100);
+  (void)pid.update(10.0, 1.0);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+  // After reset, derivative term is unprimed again.
+  EXPECT_DOUBLE_EQ(pid.update(5.0, 1.0), 5.0 + 5.0);  // P + I only
+}
+
+TEST(PidTest, InvalidConstructionThrows) {
+  EXPECT_THROW((PidController({1, 0, 0}, 5.0, 5.0)),
+               util::InvariantViolation);
+  PidController pid({1, 0, 0}, -1, 1);
+  EXPECT_THROW(pid.update(1.0, 0.0), util::InvariantViolation);
+}
+
+TEST(PidTest, GainsAdjustable) {
+  PidController pid({1.0, 0.0, 0.0}, -100, 100);
+  pid.set_gains({5.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(pid.update(2.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(pid.gains().kp, 5.0);
+}
+
+TEST(PidTest, ConvergesOnFirstOrderPlant) {
+  // Plant: y' = (u - y) / tau. Controller holds y at the setpoint.
+  PidController pid({4.0, 2.0, 0.0}, -50, 50);
+  double y = 0.0;
+  const double setpoint = 10.0;
+  const double dt = 0.05;
+  for (int i = 0; i < 400; ++i) {
+    const double u = pid.update(setpoint - y, dt);
+    y += (u - y) * dt / 0.5;
+  }
+  EXPECT_NEAR(y, setpoint, 0.5);
+}
+
+TEST(NullControllerTest, AlwaysZero) {
+  NullController null;
+  EXPECT_DOUBLE_EQ(null.update(100.0, 1.0), 0.0);
+  EXPECT_EQ(null.name(), "none");
+}
+
+}  // namespace
+}  // namespace aars::control

@@ -1,0 +1,162 @@
+// Cross-mechanism adaptation scenarios: the paper's central comparative
+// claims exercised end-to-end.
+#include <gtest/gtest.h>
+
+#include "adapt/filters.h"
+#include "adapt/middleware.h"
+#include "adapt/strategy.h"
+#include "control/fuzzy.h"
+#include "control/pid.h"
+#include "qos/monitor.h"
+#include "reconfig/engine.h"
+#include "telecom/media.h"
+#include "telecom/session.h"
+#include "testing/test_components.h"
+
+namespace aars {
+namespace {
+
+using testing::AppFixture;
+using util::Value;
+
+class AdaptationScenarioTest : public AppFixture {
+ protected:
+  AdaptationScenarioTest() { telecom::register_media_components(registry_); }
+};
+
+TEST_F(AdaptationScenarioTest, AdaptationIsFasterThanReconfiguration) {
+  // §2: "in case light-weight highly reactive solutions are required,
+  // dynamic adaptability should be preferred to dynamic reconfiguration".
+  // Both mechanisms react to the same condition; compare wall-clock (sim)
+  // time to effect.
+  const auto conn = direct_to("CounterServer", "svc", node_a_);
+  const auto svc = app_.component_id("svc");
+  reconfig::ReconfigurationEngine engine(app_);
+
+  // Background load so reconfiguration actually has to drain something.
+  std::function<void()> pump = [&] {
+    if (loop_.now() > util::seconds(1)) return;
+    (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}),
+                          node_b_);
+    loop_.schedule_after(util::milliseconds(1), pump);
+  };
+  loop_.schedule_after(0, pump);
+  loop_.run_until(util::milliseconds(100));
+
+  // Adaptation: attach a filter (sim-instant, no protocol).
+  const util::SimTime adapt_start = loop_.now();
+  auto chain = std::make_shared<adapt::FilterChain>("filters");
+  ASSERT_TRUE(app_.find_connector(conn)->attach_interceptor(chain).ok());
+  const util::Duration adapt_latency = loop_.now() - adapt_start;
+
+  // Reconfiguration of the same service.
+  reconfig::ReconfigReport report;
+  engine.replace_component(svc, "CounterServer", "svc2",
+                           [&](const reconfig::ReconfigReport& r) {
+                             report = r;
+                           });
+  loop_.run();
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_LT(adapt_latency, report.duration());
+}
+
+TEST_F(AdaptationScenarioTest, StrategySwitchingTracksLoad) {
+  // Strategy pattern + introspection: under load, switch the algorithm.
+  adapt::StrategyRegistry<int(int)> strategies;
+  (void)strategies.register_strategy("precise", [](int x) { return x * x; });
+  (void)strategies.register_strategy("cheap", [](int x) { return x; });
+  const auto conn = direct_to("EchoServer", "svc", node_c_);
+  // Saturate the node, then let introspection pick the strategy.
+  for (int i = 0; i < 100; ++i) {
+    (void)app_.invoke_sync(conn, "echo", Value::object({{"text", "x"}}),
+                           node_b_);
+  }
+  const auto backlog = network_.node(node_c_).backlog(loop_.now());
+  (void)strategies.select(backlog > util::milliseconds(10) ? "cheap"
+                                                           : "precise");
+  EXPECT_EQ(strategies.active(), "cheap");
+}
+
+TEST_F(AdaptationScenarioTest, MiddlewareAdaptsToDegradedLink) {
+  const auto conn = direct_to("EchoServer", "svc", node_a_);
+  adapt::AdaptiveMiddleware middleware(app_, conn);
+  EXPECT_TRUE(middleware.stack().empty());
+  // Degrade the access link; reflection picks it up on the next adapt.
+  sim::LinkSpec* link = network_.find_link(node_b_, node_a_);
+  ASSERT_NE(link, nullptr);
+  link->loss_probability = 0.05;
+  link->bandwidth_bytes_per_sec *= 0.2;
+  EXPECT_GE(middleware.adapt_to_platform(), 2u);
+  // Service continues through the new stack.
+  auto outcome = app_.invoke_sync(conn, "echo",
+                                  Value::object({{"text", "x"}}), node_c_);
+  EXPECT_TRUE(outcome.result.ok());
+}
+
+TEST_F(AdaptationScenarioTest, FeedbackControlHoldsQualityUnderLoadSwings) {
+  // A media service with a PID controller on session quality: under a load
+  // swing the controller pushes quality down, then recovers.
+  const auto conn = direct_to("MediaServer", "media", node_c_);
+  telecom::SessionManager::Options options;
+  options.service = conn;
+  options.fps = 20.0;
+  telecom::SessionManager sessions(app_, options);
+
+  qos::QosContract contract;
+  contract.name = "media";
+  contract.max_mean_latency = util::milliseconds(30);
+  qos::QosMonitor monitor(loop_, contract, util::milliseconds(200));
+  sessions.on_frame([&](util::SessionId, util::Duration latency, bool ok,
+                        int) { monitor.record_call(latency, ok); });
+
+  control::PidController pid({0.8, 0.4, 0.0}, -4, 4);
+  // Control loop: error = (bound - observed)/bound; actuate quality.
+  double quality = 4.0;
+  int min_quality_seen = 4;
+  auto control_tick = std::make_shared<std::function<void()>>();
+  *control_tick = [&, control_tick] {
+    if (loop_.now() > util::seconds(5)) return;
+    const double bound = static_cast<double>(contract.max_mean_latency);
+    const double observed = monitor.mean_latency();
+    const double error = (bound - observed) / bound;
+    quality = std::clamp(quality + pid.update(error, 0.1), 0.0, 4.0);
+    sessions.set_global_quality(static_cast<int>(quality));
+    min_quality_seen = std::min(min_quality_seen, sessions.global_quality());
+    loop_.schedule_after(util::milliseconds(100), *control_tick);
+  };
+  loop_.schedule_after(util::milliseconds(100), *control_tick);
+
+  // Load swing: 2 sessions -> 32 sessions -> back.
+  for (int i = 0; i < 2; ++i) {
+    (void)sessions.start_session(4, node_b_, util::seconds(5));
+  }
+  loop_.schedule_after(util::seconds(1), [&] {
+    for (int i = 0; i < 30; ++i) {
+      (void)sessions.start_session(4, node_b_, util::seconds(3));
+    }
+  });
+  loop_.run();
+
+  // The controller must have degraded quality during the surge.
+  EXPECT_LT(min_quality_seen, 4);
+  // And frames kept flowing.
+  EXPECT_GT(sessions.frames_ok(), 100u);
+}
+
+TEST_F(AdaptationScenarioTest, FuzzyControllerAlsoStabilises) {
+  control::FuzzyController fuzzy =
+      control::FuzzyController::make_standard(1.0, 2.0, 1.0);
+  // Plant: latency grows with quality; target latency 1.0 (normalised).
+  double quality = 4.0;
+  double latency = 2.0;
+  for (int i = 0; i < 100; ++i) {
+    const double error = 1.0 - latency;
+    quality = std::clamp(quality + fuzzy.update(error, 1.0), 0.0, 4.0);
+    latency = 0.4 * quality + 0.4;  // steady-state plant response
+  }
+  // Settles near the quality whose latency hits the target (1.5).
+  EXPECT_NEAR(latency, 1.0, 0.3);
+}
+
+}  // namespace
+}  // namespace aars

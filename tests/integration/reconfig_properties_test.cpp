@@ -1,0 +1,169 @@
+// Property-style sweeps over the reconfiguration engine: under randomised
+// load and repeated reconfigurations, the channel-preservation guarantees
+// (§1: no loss, no duplication, bounded delay) must hold.
+#include <gtest/gtest.h>
+
+#include "reconfig/engine.h"
+#include "testing/test_components.h"
+
+namespace aars {
+namespace {
+
+using testing::AppFixture;
+using testing::CounterServer;
+using util::Value;
+
+struct PropertyCase {
+  std::uint64_t seed;
+  double events_per_second;
+  int swaps;
+};
+
+class ReconfigPropertyTest
+    : public AppFixture,
+      public ::testing::WithParamInterface<PropertyCase> {};
+
+TEST_P(ReconfigPropertyTest, NoLossNoDuplicationUnderRandomLoad) {
+  const PropertyCase param = GetParam();
+  const auto conn = direct_to("CounterServer", "gen0", node_a_);
+  reconfig::ReconfigurationEngine engine(app_);
+  util::Rng rng(param.seed);
+
+  // Poisson event stream for 2 simulated seconds.
+  int sent = 0;
+  std::function<void()> pump = [&] {
+    if (loop_.now() > util::seconds(2)) return;
+    ++sent;
+    (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}),
+                          node_b_);
+    loop_.schedule_after(rng.poisson_gap(param.events_per_second), pump);
+  };
+  loop_.schedule_after(0, pump);
+
+  // Random replacement schedule.
+  util::ComponentId current = app_.component_id("gen0");
+  int completed_swaps = 0;
+  std::function<void(int)> swap = [&](int generation) {
+    if (generation > param.swaps) return;
+    loop_.schedule_after(
+        rng.uniform_int(util::milliseconds(50), util::milliseconds(400)),
+        [&, generation] {
+          engine.replace_component(
+              current, "CounterServer", "gen" + std::to_string(generation),
+              [&, generation](const reconfig::ReconfigReport& report) {
+                ASSERT_TRUE(report.success) << report.error;
+                current = report.new_component;
+                ++completed_swaps;
+                swap(generation + 1);
+              });
+        });
+  };
+  swap(1);
+  loop_.run();
+
+  EXPECT_EQ(completed_swaps, param.swaps);
+  EXPECT_EQ(app_.messages_dropped(), 0u) << "seed " << param.seed;
+  EXPECT_EQ(app_.messages_duplicated(), 0u) << "seed " << param.seed;
+  auto* counter =
+      dynamic_cast<CounterServer*>(app_.find_component(current));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->total(), sent) << "seed " << param.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReconfigPropertyTest,
+    ::testing::Values(PropertyCase{1, 200, 2}, PropertyCase{2, 500, 3},
+                      PropertyCase{3, 1000, 4}, PropertyCase{4, 2000, 3},
+                      PropertyCase{5, 100, 5}, PropertyCase{6, 1500, 2},
+                      PropertyCase{7, 800, 4}, PropertyCase{8, 300, 3}));
+
+class MigrationPropertyTest
+    : public AppFixture,
+      public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(MigrationPropertyTest, RepeatedMigrationKeepsServiceConsistent) {
+  const auto conn = direct_to("CounterServer", "mover", node_a_);
+  const auto id = app_.component_id("mover");
+  reconfig::ReconfigurationEngine engine(app_);
+  util::Rng rng(GetParam());
+  const std::vector<util::NodeId> nodes{node_a_, node_b_, node_c_};
+
+  int sent = 0;
+  std::function<void()> pump = [&] {
+    if (loop_.now() > util::seconds(1)) return;
+    ++sent;
+    (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}),
+                          node_b_);
+    loop_.schedule_after(rng.poisson_gap(500), pump);
+  };
+  loop_.schedule_after(0, pump);
+
+  int migrations = 0;
+  std::function<void()> roam = [&] {
+    if (loop_.now() > util::seconds(1)) return;
+    const auto dest = nodes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+    engine.migrate_component(id, dest,
+                             [&](const reconfig::ReconfigReport& report) {
+                               ASSERT_TRUE(report.success) << report.error;
+                               ++migrations;
+                               loop_.schedule_after(util::milliseconds(100),
+                                                    roam);
+                             });
+  };
+  loop_.schedule_after(util::milliseconds(50), roam);
+  loop_.run();
+
+  EXPECT_GT(migrations, 0);
+  EXPECT_EQ(app_.messages_dropped(), 0u);
+  EXPECT_EQ(app_.messages_duplicated(), 0u);
+  auto* counter = dynamic_cast<CounterServer*>(app_.find_component(id));
+  EXPECT_EQ(counter->total(), sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+class DelayBoundTest : public AppFixture,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(DelayBoundTest, HeldMessageDelayIsBoundedByProtocolDuration) {
+  // "avoiding ... excessive delays": a held message's extra delay must not
+  // exceed the reconfiguration protocol duration plus normal delivery.
+  const auto conn = direct_to("CounterServer", "old", node_a_);
+  const auto old_id = app_.component_id("old");
+  reconfig::ReconfigurationEngine engine(app_);
+
+  const int rate = GetParam();
+  std::function<void()> pump = [&] {
+    if (loop_.now() > util::seconds(1)) return;
+    (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}),
+                          node_b_);
+    loop_.schedule_after(util::kSecond / rate, pump);
+  };
+  loop_.schedule_after(0, pump);
+
+  reconfig::ReconfigReport report;
+  loop_.schedule_after(util::milliseconds(100), [&] {
+    engine.replace_component(
+        old_id, "CounterServer", "new",
+        [&](const reconfig::ReconfigReport& r) { report = r; });
+  });
+  loop_.run();
+  ASSERT_TRUE(report.success);
+
+  // Max observed delay across channels <= protocol duration + 50ms slack.
+  util::Duration max_delay = 0;
+  for (util::ComponentId id : app_.component_ids()) {
+    for (runtime::Channel* chan : app_.channels_to(id)) {
+      max_delay = std::max(max_delay, chan->max_delay());
+    }
+  }
+  EXPECT_LE(max_delay, report.duration() + util::milliseconds(50));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DelayBoundTest,
+                         ::testing::Values(100, 500, 2000));
+
+}  // namespace
+}  // namespace aars

@@ -1,0 +1,97 @@
+#include "meta/introspection.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::meta {
+namespace {
+
+using aars::testing::AppFixture;
+using util::Value;
+
+class IntrospectionTest : public AppFixture {};
+
+TEST_F(IntrospectionTest, DescribeComponent) {
+  const auto conn = direct_to("CounterServer", "c1", node_a_);
+  (void)app_.invoke_sync(conn, "add", Value::object({{"amount", 1}}),
+                         node_b_);
+  SystemView view(app_);
+  const Value desc = view.describe_component(app_.component_id("c1"));
+  EXPECT_EQ(desc.at("instance").as_string(), "c1");
+  EXPECT_EQ(desc.at("type").as_string(), "CounterServer");
+  EXPECT_EQ(desc.at("lifecycle").as_string(), "active");
+  EXPECT_EQ(desc.at("provided").as_string(), "Counter");
+  EXPECT_EQ(desc.at("node").as_int(),
+            static_cast<std::int64_t>(node_a_.raw()));
+  EXPECT_EQ(desc.at("handled").as_int(), 1);
+}
+
+TEST_F(IntrospectionTest, DescribeUnknownComponentIsNull) {
+  SystemView view(app_);
+  EXPECT_TRUE(view.describe_component(util::ComponentId{404}).is_null());
+}
+
+TEST_F(IntrospectionTest, DescribeConnector) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  (void)app_.invoke_sync(conn, "ping", Value{}, node_b_);
+  SystemView view(app_);
+  const Value desc = view.describe_connector(conn);
+  EXPECT_EQ(desc.at("name").as_string(), "to_e1");
+  EXPECT_EQ(desc.at("routing").as_string(), "direct");
+  EXPECT_EQ(desc.at("providers").size(), 1u);
+  EXPECT_EQ(desc.at("relayed").as_int(), 1);
+}
+
+TEST_F(IntrospectionTest, DescribeNodeReportsLoad) {
+  const auto conn = direct_to("EchoServer", "e1", node_c_);
+  for (int i = 0; i < 20; ++i) {
+    (void)app_.invoke_sync(conn, "echo", Value::object({{"text", "x"}}),
+                           node_b_);
+  }
+  SystemView view(app_);
+  const Value desc = view.describe_node(node_c_);
+  EXPECT_EQ(desc.at("name").as_string(), "node_c");
+  EXPECT_GT(desc.at("backlog_us").as_int(), 0);
+  EXPECT_EQ(desc.at("jobs").as_int(), 20);
+}
+
+TEST_F(IntrospectionTest, DescribeSystemAggregates) {
+  (void)direct_to("EchoServer", "e1", node_a_);
+  (void)direct_to("CounterServer", "c1", node_b_);
+  SystemView view(app_);
+  const Value desc = view.describe_system();
+  EXPECT_EQ(desc.at("components").size(), 2u);
+  EXPECT_EQ(desc.at("connectors").size(), 2u);
+  EXPECT_EQ(desc.at("nodes").size(), 3u);
+}
+
+TEST_F(IntrospectionTest, ChannelReportTracksIntegrity) {
+  const auto conn = direct_to("CounterServer", "c1", node_a_);
+  for (int i = 0; i < 5; ++i) {
+    (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}),
+                          node_b_);
+  }
+  loop_.run();
+  SystemView view(app_);
+  const Value report = view.channel_report();
+  EXPECT_EQ(report.at("sent").as_int(), 5);
+  EXPECT_EQ(report.at("delivered").as_int(), 5);
+  EXPECT_EQ(report.at("dropped").as_int(), 0);
+  EXPECT_EQ(report.at("duplicated").as_int(), 0);
+  EXPECT_EQ(report.at("in_flight").as_int(), 0);
+}
+
+TEST_F(IntrospectionTest, BusiestAndCalmestNodes) {
+  const auto conn = direct_to("EchoServer", "busy", node_c_);
+  for (int i = 0; i < 50; ++i) {
+    (void)app_.invoke_sync(conn, "echo", Value::object({{"text", "x"}}),
+                           node_b_);
+  }
+  SystemView view(app_);
+  EXPECT_EQ(view.busiest_node(), node_c_);
+  EXPECT_NE(view.calmest_node(), node_c_);
+}
+
+}  // namespace
+}  // namespace aars::meta

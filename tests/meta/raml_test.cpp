@@ -1,0 +1,154 @@
+#include "meta/raml.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::meta {
+namespace {
+
+using aars::testing::AppFixture;
+using aars::testing::CounterServer;
+using util::Value;
+
+class RamlTest : public AppFixture {
+ protected:
+  RamlTest() : engine_(app_), raml_(app_, engine_, util::milliseconds(10)) {}
+  reconfig::ReconfigurationEngine engine_;
+  Raml raml_;
+};
+
+TEST_F(RamlTest, PeriodicTicksSampleSensors) {
+  double load = 0.3;
+  raml_.add_sensor("load", [&load] { return load; });
+  raml_.start();
+  loop_.run_until(util::milliseconds(35));
+  EXPECT_EQ(raml_.ticks(), 3u);
+  EXPECT_DOUBLE_EQ(raml_.last_sample().get("load"), 0.3);
+  raml_.stop();
+  loop_.run_until(util::milliseconds(100));
+  EXPECT_EQ(raml_.ticks(), 3u);
+}
+
+TEST_F(RamlTest, PolicyFiresWhenConditionHolds) {
+  double load = 0.2;
+  raml_.add_sensor("load", [&load] { return load; });
+  int actions = 0;
+  raml_.add_policy(Policy{
+      "shed_load",
+      [](const MetricSample& s) { return s.get("load") > 0.8; },
+      [&actions](Raml&) { ++actions; },
+      0});
+  raml_.start();
+  loop_.run_until(util::milliseconds(25));
+  EXPECT_EQ(actions, 0);
+  load = 0.95;
+  loop_.run_until(util::milliseconds(55));
+  EXPECT_EQ(actions, 3);  // fires every tick while the condition holds
+  EXPECT_EQ(raml_.actions_taken(), 3u);
+}
+
+TEST_F(RamlTest, CooldownSpacesActions) {
+  double load = 1.0;
+  raml_.add_sensor("load", [&load] { return load; });
+  int actions = 0;
+  raml_.add_policy(Policy{
+      "expensive",
+      [](const MetricSample& s) { return s.get("load") > 0.8; },
+      [&actions](Raml&) { ++actions; },
+      util::milliseconds(30)});
+  raml_.start();
+  loop_.run_until(util::milliseconds(65));  // ticks at 10..60
+  EXPECT_EQ(actions, 2);  // fired at 10ms and 40ms
+}
+
+TEST_F(RamlTest, PolicyCanDriveReconfiguration) {
+  const auto conn = direct_to("CounterServer", "old", node_a_);
+  const auto old_id = app_.component_id("old");
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 9}}),
+                        node_b_);
+  loop_.run();
+
+  bool replaced = false;
+  raml_.add_sensor("trigger", [] { return 1.0; });
+  raml_.add_policy(Policy{
+      "upgrade",
+      [](const MetricSample& s) { return s.get("trigger") > 0.5; },
+      [&](Raml& raml) {
+        raml.engine().replace_component(
+            old_id, "CounterServer", "new",
+            [&replaced](const reconfig::ReconfigReport& r) {
+              replaced = r.success;
+            });
+      },
+      util::seconds(10)});  // fire once
+  raml_.start();
+  loop_.run_until(util::milliseconds(100));
+  ASSERT_TRUE(replaced);
+  // State survived the policy-driven swap.
+  auto outcome = app_.invoke_sync(conn, "total", Value{}, node_b_);
+  ASSERT_TRUE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.value().as_int(), 9);
+}
+
+TEST_F(RamlTest, QosViolationEmitsRuleEvent) {
+  auto monitor = std::make_shared<qos::QosMonitor>(
+      loop_,
+      [] {
+        qos::QosContract contract;
+        contract.name = "svc";
+        contract.max_mean_latency = util::milliseconds(1);
+        return contract;
+      }(),
+      util::seconds(1));
+  raml_.watch(monitor);
+  int violations_seen = 0;
+  raml_.rules().subscribe("qos_violation",
+                          [&](const Event&) { ++violations_seen; });
+  monitor->record_call(util::milliseconds(100), true);  // way over bound
+  raml_.start();
+  loop_.run_until(util::milliseconds(25));
+  EXPECT_GE(violations_seen, 1);
+  EXPECT_LT(raml_.last_sample().get("qos.svc.compliant", -1.0), 0.5);
+}
+
+TEST_F(RamlTest, SensorsFeedPolicyViaIntrospection) {
+  // Sensor reads node backlog through the SystemView; the policy migrates
+  // the hot component — a full observe->decide->act loop.
+  const auto conn = direct_to("EchoServer", "hot", node_c_);
+  const auto hot_id = app_.component_id("hot");
+  raml_.add_sensor("backlog_c", [this] {
+    return static_cast<double>(network_.node(node_c_).backlog(loop_.now()));
+  });
+  bool migrated = false;
+  raml_.add_policy(Policy{
+      "rebalance",
+      [](const MetricSample& s) { return s.get("backlog_c") > 1000.0; },
+      [&](Raml& raml) {
+        raml.engine().migrate_component(
+            hot_id, node_a_,
+            [&migrated](const reconfig::ReconfigReport& r) {
+              migrated = r.success;
+            });
+      },
+      util::seconds(10)});
+  raml_.start();
+  // Saturate node_c.
+  for (int i = 0; i < 200; ++i) {
+    (void)app_.invoke_sync(conn, "echo", Value::object({{"text", "x"}}),
+                           node_b_);
+  }
+  loop_.run_until(util::seconds(1));
+  EXPECT_TRUE(migrated);
+  EXPECT_EQ(app_.placement(hot_id), node_a_);
+}
+
+TEST_F(RamlTest, ManualTickWorksWithoutStart) {
+  raml_.add_sensor("x", [] { return 42.0; });
+  raml_.tick();
+  EXPECT_EQ(raml_.ticks(), 1u);
+  EXPECT_DOUBLE_EQ(raml_.last_sample().get("x"), 42.0);
+}
+
+}  // namespace
+}  // namespace aars::meta

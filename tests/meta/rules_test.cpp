@@ -1,0 +1,229 @@
+#include "meta/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::meta {
+namespace {
+
+using util::ErrorCode;
+using util::Value;
+
+class RuleEngineTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop_;
+  RuleEngine engine_{loop_};
+};
+
+Rule simple_rule(const std::string& name, const std::string& trigger,
+                 std::function<void(const Event&)> action,
+                 RuleOperator op = RuleOperator::kImplies) {
+  Rule rule;
+  rule.name = name;
+  rule.trigger_event = trigger;
+  rule.op = op;
+  rule.action = std::move(action);
+  return rule;
+}
+
+TEST_F(RuleEngineTest, ImpliesRunsActionImmediately) {
+  int fired = 0;
+  ASSERT_TRUE(engine_.add_rule(
+                  simple_rule("r", "overload", [&](const Event&) { ++fired; }))
+                  .ok());
+  engine_.emit("overload", Value{});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine_.fired(), 1u);
+}
+
+TEST_F(RuleEngineTest, GuardFiltersEvents) {
+  int fired = 0;
+  Rule rule = simple_rule("r", "load", [&](const Event&) { ++fired; });
+  rule.guard = [](const Event& e) { return e.data.at("value").as_double() > 0.8; };
+  ASSERT_TRUE(engine_.add_rule(std::move(rule)).ok());
+  engine_.emit("load", Value::object({{"value", 0.5}}));
+  EXPECT_EQ(fired, 0);
+  engine_.emit("load", Value::object({{"value", 0.9}}));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(RuleEngineTest, ImpliesLaterDefersAction) {
+  int fired = 0;
+  Rule rule = simple_rule("r", "warning", [&](const Event&) { ++fired; },
+                          RuleOperator::kImpliesLater);
+  rule.delay = util::milliseconds(10);
+  ASSERT_TRUE(engine_.add_rule(std::move(rule)).ok());
+  engine_.emit("warning", Value{});
+  EXPECT_EQ(fired, 0);
+  loop_.run_until(util::milliseconds(5));
+  EXPECT_EQ(fired, 0);
+  loop_.run_until(util::milliseconds(15));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(RuleEngineTest, ImpliesLaterRequiresDelay) {
+  Rule rule = simple_rule("r", "e", [](const Event&) {},
+                          RuleOperator::kImpliesLater);
+  EXPECT_EQ(engine_.add_rule(std::move(rule)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RuleEngineTest, ImpliesBeforeRunsBeforeDelivery) {
+  std::vector<std::string> order;
+  Rule rule = simple_rule("r", "evt",
+                          [&](const Event&) { order.push_back("action"); },
+                          RuleOperator::kImpliesBefore);
+  ASSERT_TRUE(engine_.add_rule(std::move(rule)).ok());
+  engine_.subscribe("evt",
+                    [&](const Event&) { order.push_back("subscriber"); });
+  engine_.emit("evt", Value{});
+  EXPECT_EQ(order, (std::vector<std::string>{"action", "subscriber"}));
+}
+
+TEST_F(RuleEngineTest, ImpliesRunsAfterDelivery) {
+  std::vector<std::string> order;
+  ASSERT_TRUE(engine_.add_rule(
+                  simple_rule("r", "evt",
+                              [&](const Event&) { order.push_back("action"); }))
+                  .ok());
+  engine_.subscribe("evt",
+                    [&](const Event&) { order.push_back("subscriber"); });
+  engine_.emit("evt", Value{});
+  EXPECT_EQ(order, (std::vector<std::string>{"subscriber", "action"}));
+}
+
+TEST_F(RuleEngineTest, PermittedIfRejectsEvents) {
+  Rule gate;
+  gate.name = "gate";
+  gate.trigger_event = "reconfigure";
+  gate.op = RuleOperator::kPermittedIf;
+  gate.guard = [](const Event& e) { return e.data.at("safe").as_bool(); };
+  ASSERT_TRUE(engine_.add_rule(std::move(gate)).ok());
+  int delivered = 0;
+  engine_.subscribe("reconfigure", [&](const Event&) { ++delivered; });
+  engine_.emit("reconfigure", Value::object({{"safe", false}}));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(engine_.rejected(), 1u);
+  engine_.emit("reconfigure", Value::object({{"safe", true}}));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(RuleEngineTest, PermittedIfNeedsGuard) {
+  Rule gate;
+  gate.name = "gate";
+  gate.trigger_event = "x";
+  gate.op = RuleOperator::kPermittedIf;
+  EXPECT_EQ(engine_.add_rule(std::move(gate)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RuleEngineTest, WaitUntilParksAndReleases) {
+  bool ready = false;
+  Rule wait;
+  wait.name = "wait";
+  wait.trigger_event = "deploy";
+  wait.op = RuleOperator::kWaitUntil;
+  wait.guard = [&ready](const Event&) { return ready; };
+  ASSERT_TRUE(engine_.add_rule(std::move(wait)).ok());
+  int delivered = 0;
+  engine_.subscribe("deploy", [&](const Event&) { ++delivered; });
+  engine_.emit("deploy", Value{});
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(engine_.waiting(), 1u);
+  engine_.poll_waiting();  // guard still false: stays parked
+  EXPECT_EQ(engine_.waiting(), 1u);
+  ready = true;
+  engine_.poll_waiting();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(engine_.waiting(), 0u);
+}
+
+TEST_F(RuleEngineTest, ActionEventChainsRules) {
+  std::vector<std::string> order;
+  Rule first = simple_rule("first", "alarm",
+                           [&](const Event&) { order.push_back("first"); });
+  first.action_event = "mitigation";
+  ASSERT_TRUE(engine_.add_rule(std::move(first)).ok());
+  ASSERT_TRUE(engine_.add_rule(
+                  simple_rule("second", "mitigation",
+                              [&](const Event&) { order.push_back("second"); }))
+                  .ok());
+  engine_.emit("alarm", Value{});
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST_F(RuleEngineTest, DirectCycleRejected) {
+  Rule loop_rule = simple_rule("selfloop", "x", [](const Event&) {});
+  loop_rule.action_event = "x";
+  const auto added = engine_.add_rule(std::move(loop_rule));
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code(), ErrorCode::kCycleDetected);
+}
+
+TEST_F(RuleEngineTest, TransitiveCycleRejected) {
+  Rule a = simple_rule("a", "x", [](const Event&) {});
+  a.action_event = "y";
+  Rule b = simple_rule("b", "y", [](const Event&) {});
+  b.action_event = "z";
+  Rule c = simple_rule("c", "z", [](const Event&) {});
+  c.action_event = "x";  // closes the loop x->y->z->x
+  ASSERT_TRUE(engine_.add_rule(std::move(a)).ok());
+  ASSERT_TRUE(engine_.add_rule(std::move(b)).ok());
+  const auto added = engine_.add_rule(std::move(c));
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code(), ErrorCode::kCycleDetected);
+  EXPECT_EQ(engine_.rule_count(), 2u);
+}
+
+TEST_F(RuleEngineTest, DagOfRulesAccepted) {
+  Rule a = simple_rule("a", "x", [](const Event&) {});
+  a.action_event = "y";
+  Rule b = simple_rule("b", "x", [](const Event&) {});
+  b.action_event = "z";
+  Rule c = simple_rule("c", "y", [](const Event&) {});
+  c.action_event = "z";  // diamond, no cycle
+  EXPECT_TRUE(engine_.add_rule(std::move(a)).ok());
+  EXPECT_TRUE(engine_.add_rule(std::move(b)).ok());
+  EXPECT_TRUE(engine_.add_rule(std::move(c)).ok());
+}
+
+TEST_F(RuleEngineTest, RemoveRule) {
+  auto id = engine_.add_rule(simple_rule("r", "e", [](const Event&) {}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(engine_.remove_rule(id.value()).ok());
+  EXPECT_EQ(engine_.rule_count(), 0u);
+  EXPECT_EQ(engine_.remove_rule(id.value()).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RuleEngineTest, RemovingRuleAllowsPreviouslyCyclicAddition) {
+  Rule a = simple_rule("a", "x", [](const Event&) {});
+  a.action_event = "y";
+  auto id = engine_.add_rule(std::move(a));
+  ASSERT_TRUE(id.ok());
+  Rule b = simple_rule("b", "y", [](const Event&) {});
+  b.action_event = "x";
+  EXPECT_FALSE(engine_.add_rule(b).ok());
+  ASSERT_TRUE(engine_.remove_rule(id.value()).ok());
+  EXPECT_TRUE(engine_.add_rule(b).ok());
+}
+
+TEST_F(RuleEngineTest, MultipleSubscribersAllReceive) {
+  int a = 0;
+  int b = 0;
+  engine_.subscribe("e", [&](const Event&) { ++a; });
+  engine_.subscribe("e", [&](const Event&) { ++b; });
+  engine_.emit("e", Value{});
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST_F(RuleEngineTest, EventCarriesTimeAndData) {
+  loop_.run_until(12345);
+  Event seen;
+  engine_.subscribe("e", [&](const Event& e) { seen = e; });
+  engine_.emit("e", Value::object({{"k", 7}}));
+  EXPECT_EQ(seen.at, 12345);
+  EXPECT_EQ(seen.data.at("k").as_int(), 7);
+}
+
+}  // namespace
+}  // namespace aars::meta

@@ -1,0 +1,44 @@
+#include "qos/contract.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::qos {
+namespace {
+
+TEST(QosContractTest, DescribeRendersAllBounds) {
+  QosContract contract;
+  contract.name = "video";
+  contract.max_mean_latency = util::milliseconds(50);
+  contract.min_throughput = 100.0;
+  contract.max_failure_rate = 0.01;
+  contract.min_quality_level = 2;
+  const util::Value desc = contract.describe();
+  EXPECT_EQ(desc.at("name").as_string(), "video");
+  EXPECT_EQ(desc.at("max_mean_latency_us").as_int(), 50000);
+  EXPECT_DOUBLE_EQ(desc.at("min_throughput").as_double(), 100.0);
+  EXPECT_EQ(desc.at("min_quality_level").as_int(), 2);
+}
+
+TEST(ComplianceTest, FindLocatesDimension) {
+  Compliance c;
+  c.findings.push_back(Finding{"mean_latency", 100.0, 50.0, true});
+  c.findings.push_back(Finding{"throughput", 10.0, 5.0, false});
+  ASSERT_NE(c.find("throughput"), nullptr);
+  EXPECT_DOUBLE_EQ(c.find("throughput")->observed, 10.0);
+  EXPECT_EQ(c.find("ghost"), nullptr);
+}
+
+TEST(ComplianceTest, DescribeCarriesViolations) {
+  Compliance c;
+  c.compliant = false;
+  c.evaluated_at = 123;
+  c.findings.push_back(Finding{"mean_latency", 100.0, 50.0, true});
+  const util::Value desc = c.describe();
+  EXPECT_FALSE(desc.at("compliant").as_bool());
+  EXPECT_EQ(desc.at("evaluated_at").as_int(), 123);
+  EXPECT_EQ(desc.at("findings").size(), 1u);
+  EXPECT_TRUE(desc.at("findings").item(0).at("violated").as_bool());
+}
+
+}  // namespace
+}  // namespace aars::qos

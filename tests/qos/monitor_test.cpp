@@ -1,0 +1,156 @@
+#include "qos/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::qos {
+namespace {
+
+using util::Duration;
+using util::milliseconds;
+using util::seconds;
+
+QosContract latency_contract(Duration max_mean) {
+  QosContract contract;
+  contract.name = "svc";
+  contract.max_mean_latency = max_mean;
+  return contract;
+}
+
+TEST(QosMonitorTest, CompliantWhenWithinBounds) {
+  sim::EventLoop loop;
+  QosMonitor monitor(loop, latency_contract(milliseconds(10)), seconds(1));
+  monitor.record_call(milliseconds(5), true);
+  monitor.record_call(milliseconds(7), true);
+  const Compliance c = monitor.evaluate();
+  EXPECT_TRUE(c.compliant);
+  EXPECT_EQ(monitor.evaluations(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(QosMonitorTest, ViolatesOnHighMeanLatency) {
+  sim::EventLoop loop;
+  QosMonitor monitor(loop, latency_contract(milliseconds(10)), seconds(1));
+  monitor.record_call(milliseconds(50), true);
+  const Compliance c = monitor.evaluate();
+  EXPECT_FALSE(c.compliant);
+  ASSERT_NE(c.find("mean_latency"), nullptr);
+  EXPECT_TRUE(c.find("mean_latency")->violated);
+  EXPECT_EQ(monitor.violations(), 1u);
+}
+
+TEST(QosMonitorTest, PeakLatencyBound) {
+  sim::EventLoop loop;
+  QosContract contract;
+  contract.name = "svc";
+  contract.max_peak_latency = milliseconds(20);
+  QosMonitor monitor(loop, contract, seconds(1));
+  monitor.record_call(milliseconds(5), true);
+  monitor.record_call(milliseconds(25), true);  // peak violation
+  const Compliance c = monitor.evaluate();
+  EXPECT_FALSE(c.compliant);
+  EXPECT_NE(c.find("peak_latency"), nullptr);
+}
+
+TEST(QosMonitorTest, FailureRateBound) {
+  sim::EventLoop loop;
+  QosContract contract;
+  contract.name = "svc";
+  contract.max_failure_rate = 0.2;
+  QosMonitor monitor(loop, contract, seconds(1));
+  for (int i = 0; i < 8; ++i) monitor.record_call(milliseconds(1), true);
+  monitor.record_call(milliseconds(1), false);
+  monitor.record_call(milliseconds(1), false);
+  EXPECT_NEAR(monitor.failure_rate(), 0.2, 1e-9);
+  const Compliance c = monitor.evaluate();
+  EXPECT_TRUE(c.compliant);  // exactly at the bound
+  monitor.record_call(milliseconds(1), false);
+  EXPECT_FALSE(monitor.evaluate().compliant);
+}
+
+TEST(QosMonitorTest, ThroughputBound) {
+  sim::EventLoop loop;
+  QosContract contract;
+  contract.name = "svc";
+  contract.min_throughput = 100.0;
+  QosMonitor monitor(loop, contract, seconds(1));
+  // 50 calls over one second: below the 100/s floor.
+  for (int i = 0; i < 50; ++i) {
+    loop.run_until(loop.now() + util::kSecond / 50);
+    monitor.record_call(milliseconds(1), true);
+  }
+  const Compliance c = monitor.evaluate();
+  EXPECT_FALSE(c.compliant);
+  EXPECT_NE(c.find("throughput"), nullptr);
+}
+
+TEST(QosMonitorTest, QualityBound) {
+  sim::EventLoop loop;
+  QosContract contract;
+  contract.name = "svc";
+  contract.min_quality_level = 3;
+  QosMonitor monitor(loop, contract, seconds(1));
+  monitor.record_quality(2);
+  monitor.record_quality(2);
+  EXPECT_FALSE(monitor.evaluate().compliant);
+  monitor.record_quality(4);
+  monitor.record_quality(4);
+  monitor.record_quality(4);
+  monitor.record_quality(4);
+  EXPECT_TRUE(monitor.evaluate().compliant);
+}
+
+TEST(QosMonitorTest, OldSamplesAgeOut) {
+  sim::EventLoop loop;
+  QosMonitor monitor(loop, latency_contract(milliseconds(10)), seconds(1));
+  monitor.record_call(milliseconds(100), true);  // violation now
+  EXPECT_FALSE(monitor.evaluate().compliant);
+  loop.run_until(seconds(5));
+  // The bad sample is out of the window; nothing to violate.
+  EXPECT_TRUE(monitor.evaluate().compliant);
+}
+
+TEST(QosMonitorTest, ViolationHooksFire) {
+  sim::EventLoop loop;
+  QosMonitor monitor(loop, latency_contract(milliseconds(10)), seconds(1));
+  int hooks = 0;
+  monitor.on_violation([&](const Compliance&) { ++hooks; });
+  monitor.record_call(milliseconds(100), true);
+  (void)monitor.evaluate();
+  (void)monitor.evaluate();
+  EXPECT_EQ(hooks, 2);
+}
+
+TEST(QosMonitorTest, PeriodicEvaluationRuns) {
+  sim::EventLoop loop;
+  QosMonitor monitor(loop, latency_contract(milliseconds(10)),
+                     milliseconds(500));
+  monitor.record_call(milliseconds(100), true);
+  monitor.start_periodic(milliseconds(100));
+  EXPECT_TRUE(monitor.periodic_running());
+  loop.run_until(milliseconds(450));
+  EXPECT_EQ(monitor.evaluations(), 4u);
+  monitor.stop_periodic();
+  loop.run_until(seconds(2));
+  EXPECT_EQ(monitor.evaluations(), 4u);
+}
+
+TEST(QosMonitorTest, FailedCallsDoNotPolluteLatency) {
+  sim::EventLoop loop;
+  QosMonitor monitor(loop, latency_contract(milliseconds(10)), seconds(1));
+  monitor.record_call(milliseconds(5), true);
+  monitor.record_call(milliseconds(500), false);  // failure, not latency
+  EXPECT_DOUBLE_EQ(monitor.mean_latency(),
+                   static_cast<double>(milliseconds(5)));
+}
+
+TEST(QosMonitorTest, UnconstrainedContractAlwaysCompliant) {
+  sim::EventLoop loop;
+  QosContract contract;
+  contract.name = "free";
+  QosMonitor monitor(loop, contract, seconds(1));
+  monitor.record_call(seconds(10), false);
+  EXPECT_TRUE(monitor.evaluate().compliant);
+}
+
+}  // namespace
+}  // namespace aars::qos

@@ -1,0 +1,122 @@
+#include "reconfig/adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::reconfig {
+namespace {
+
+using aars::testing::AppFixture;
+using component::Message;
+using util::Result;
+using util::Value;
+
+TEST(InterfaceAdapterTest, RenamesOperations) {
+  AdapterSpec spec;
+  spec.renames["old_op"] = "new_op";
+  InterfaceAdapter adapter(spec);
+  Message m;
+  m.operation = "old_op";
+  Result<Value> reply = Value{};
+  EXPECT_EQ(adapter.before(m, &reply),
+            connector::Interceptor::Verdict::kPass);
+  EXPECT_EQ(m.operation, "new_op");
+  EXPECT_EQ(adapter.translated(), 1u);
+}
+
+TEST(InterfaceAdapterTest, LeavesUnknownOperationsAlone) {
+  AdapterSpec spec;
+  spec.renames["old_op"] = "new_op";
+  InterfaceAdapter adapter(spec);
+  Message m;
+  m.operation = "other";
+  Result<Value> reply = Value{};
+  (void)adapter.before(m, &reply);
+  EXPECT_EQ(m.operation, "other");
+  EXPECT_EQ(adapter.translated(), 0u);
+}
+
+TEST(InterfaceAdapterTest, InjectsDefaultsForMissingParams) {
+  AdapterSpec spec;
+  spec.defaults["op"] = Value::object({{"mode", "legacy"}, {"level", 3}});
+  InterfaceAdapter adapter(spec);
+  Message m;
+  m.operation = "op";
+  m.payload = Value::object({{"level", 7}});
+  Result<Value> reply = Value{};
+  (void)adapter.before(m, &reply);
+  EXPECT_EQ(m.payload.at("mode").as_string(), "legacy");
+  EXPECT_EQ(m.payload.at("level").as_int(), 7);  // caller value kept
+}
+
+TEST(InterfaceAdapterTest, DefaultsApplyAfterRename) {
+  AdapterSpec spec;
+  spec.renames["v1_call"] = "v2_call";
+  spec.defaults["v2_call"] = Value::object({{"added", true}});
+  InterfaceAdapter adapter(spec);
+  Message m;
+  m.operation = "v1_call";
+  Result<Value> reply = Value{};
+  (void)adapter.before(m, &reply);
+  EXPECT_EQ(m.operation, "v2_call");
+  EXPECT_TRUE(m.payload.at("added").as_bool());
+}
+
+TEST(InterfaceAdapterTest, NullPayloadBecomesMapWhenDefaultsApply) {
+  AdapterSpec spec;
+  spec.defaults["op"] = Value::object({{"x", 1}});
+  InterfaceAdapter adapter(spec);
+  Message m;
+  m.operation = "op";
+  Result<Value> reply = Value{};
+  (void)adapter.before(m, &reply);
+  EXPECT_TRUE(m.payload.is_map());
+  EXPECT_EQ(m.payload.at("x").as_int(), 1);
+}
+
+class AdapterIntegrationTest : public AppFixture {};
+
+TEST_F(AdapterIntegrationTest, OldCallersSurviveProviderUpgrade) {
+  // A v2 server renamed "echo" to "render"; the adapter keeps v1 callers
+  // working against it.
+  class EchoV2 : public component::Component {
+   public:
+    explicit EchoV2(const std::string& name) : Component("EchoV2", name) {
+      component::InterfaceDescription desc("Echo", 2);
+      desc.add_service(component::ServiceSignature{
+          "render",
+          {component::ParamSpec{"text", util::ValueType::kString, false}},
+          util::ValueType::kString});
+      set_provided(desc);
+      register_operation("render",
+                         1.0, [](const Value& args) -> Result<Value> {
+                           return Value{"v2:" + args.at("text").as_string()};
+                         });
+    }
+  };
+  registry_.register_type("EchoV2", [](const std::string& name) {
+    return std::make_unique<EchoV2>(name);
+  });
+  auto server = app_.instantiate("EchoV2", "server", node_a_, Value{});
+  connector::ConnectorSpec spec;
+  spec.name = "legacy";
+  auto conn = app_.create_connector(spec);
+  ASSERT_TRUE(app_.add_provider(conn.value(), server.value()).ok());
+
+  AdapterSpec adapter_spec;
+  adapter_spec.name = "echo_v1_to_v2";
+  adapter_spec.renames["echo"] = "render";
+  ASSERT_TRUE(app_.find_connector(conn.value())
+                  ->attach_interceptor(
+                      std::make_shared<InterfaceAdapter>(adapter_spec))
+                  .ok());
+
+  auto outcome = app_.invoke_sync(
+      conn.value(), "echo", Value::object({{"text", "legacy"}}), node_b_);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.error().message();
+  EXPECT_EQ(outcome.result.value().as_string(), "v2:legacy");
+}
+
+}  // namespace
+}  // namespace aars::reconfig

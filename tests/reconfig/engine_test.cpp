@@ -1,0 +1,219 @@
+#include "reconfig/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::reconfig {
+namespace {
+
+using aars::testing::AppFixture;
+using aars::testing::CounterServer;
+using util::ErrorCode;
+using util::Value;
+
+class EngineTest : public AppFixture {
+ protected:
+  EngineTest() : engine_(app_) {}
+  ReconfigurationEngine engine_;
+};
+
+TEST_F(EngineTest, AddComponentWrapper) {
+  auto id = engine_.add_component("EchoServer", "e1", node_a_, Value{});
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(app_.find_component(id.value()), nullptr);
+}
+
+TEST_F(EngineTest, StrongReplacePreservesStateAndBindings) {
+  const auto conn = direct_to("CounterServer", "old", node_a_);
+  const auto old_id = app_.component_id("old");
+  // Build some state.
+  for (int i = 0; i < 5; ++i) {
+    (void)app_.send_event(conn, "add", Value::object({{"amount", 10}}),
+                          node_b_);
+  }
+  loop_.run();
+
+  bool done = false;
+  ReconfigReport report;
+  engine_.replace_component(old_id, "CounterServer", "new",
+                            [&](const ReconfigReport& r) {
+                              done = true;
+                              report = r;
+                            });
+  loop_.run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_TRUE(report.new_component.valid());
+  // Old gone, new carries the state.
+  EXPECT_EQ(app_.find_component(old_id), nullptr);
+  auto* replacement = dynamic_cast<CounterServer*>(
+      app_.find_component(report.new_component));
+  ASSERT_NE(replacement, nullptr);
+  EXPECT_EQ(replacement->total(), 50);
+  // The connector serves through the replacement.
+  auto outcome = app_.invoke_sync(conn, "total", Value{}, node_b_);
+  ASSERT_TRUE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.value().as_int(), 50);
+}
+
+TEST_F(EngineTest, ReplaceUnderLoadLosesNothing) {
+  const auto conn = direct_to("CounterServer", "old", node_a_);
+  const auto old_id = app_.component_id("old");
+
+  // Open-loop event stream during the swap.
+  int sent = 0;
+  std::function<void()> pump = [&] {
+    if (sent >= 200) return;
+    ++sent;
+    (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}),
+                          node_b_);
+    loop_.schedule_after(util::microseconds(200), pump);
+  };
+  loop_.schedule_after(0, pump);
+
+  ReconfigReport report;
+  bool done = false;
+  loop_.schedule_after(util::milliseconds(10), [&] {
+    engine_.replace_component(old_id, "CounterServer", "new",
+                              [&](const ReconfigReport& r) {
+                                report = r;
+                                done = true;
+                              });
+  });
+  loop_.run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.success) << report.error;
+  // Every event must be accounted: none lost, none duplicated.
+  EXPECT_EQ(app_.messages_dropped(), 0u);
+  EXPECT_EQ(app_.messages_duplicated(), 0u);
+  auto* replacement = dynamic_cast<CounterServer*>(
+      app_.find_component(report.new_component));
+  ASSERT_NE(replacement, nullptr);
+  EXPECT_EQ(replacement->total(), sent);
+}
+
+TEST_F(EngineTest, ReplaceUnknownComponentFails) {
+  ReconfigReport report;
+  engine_.replace_component(util::ComponentId{999}, "CounterServer", "new",
+                            [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.error.empty());
+}
+
+TEST_F(EngineTest, ReplaceWithUnknownTypeRollsBack) {
+  const auto conn = direct_to("CounterServer", "old", node_a_);
+  const auto old_id = app_.component_id("old");
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 3}}), node_b_);
+  loop_.run();
+
+  ReconfigReport report;
+  engine_.replace_component(old_id, "GhostType", "new",
+                            [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  EXPECT_FALSE(report.success);
+  // The old component is live again and serving.
+  auto outcome = app_.invoke_sync(conn, "total", Value{}, node_b_);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.error().message();
+  EXPECT_EQ(outcome.result.value().as_int(), 3);
+}
+
+TEST_F(EngineTest, RemoveComponentDrainsFirst) {
+  const auto conn = direct_to("CounterServer", "victim", node_a_);
+  const auto id = app_.component_id("victim");
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}), node_b_);
+  bool done = false;
+  ReconfigReport report;
+  engine_.remove_component(id, [&](const ReconfigReport& r) {
+    done = true;
+    report = r;
+  });
+  loop_.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.success) << report.error;
+  EXPECT_EQ(app_.find_component(id), nullptr);
+  // The in-flight message was delivered before removal, not dropped.
+  EXPECT_EQ(app_.messages_dropped(), 0u);
+}
+
+TEST_F(EngineTest, RebindPointsPortAtNewConnector) {
+  const auto conn_a = direct_to("EchoServer", "a", node_a_);
+  const auto conn_b = direct_to("EchoServer", "b", node_b_);
+  auto client = app_.instantiate("EchoClient", "client", node_c_, Value{});
+  ASSERT_TRUE(app_.bind(client.value(), "out", conn_a).ok());
+  ASSERT_TRUE(engine_.rebind(client.value(), "out", conn_b).ok());
+  EXPECT_EQ(app_.binding(client.value(), "out"), conn_b);
+}
+
+TEST_F(EngineTest, RebindValidatesCompatibility) {
+  const auto counter_conn = direct_to("CounterServer", "c", node_a_);
+  const auto echo_conn = direct_to("EchoServer", "e", node_a_);
+  auto client = app_.instantiate("EchoClient", "client", node_c_, Value{});
+  ASSERT_TRUE(app_.bind(client.value(), "out", echo_conn).ok());
+  EXPECT_EQ(engine_.rebind(client.value(), "out", counter_conn).code(),
+            ErrorCode::kIncompatible);
+  EXPECT_EQ(app_.binding(client.value(), "out"), echo_conn);
+}
+
+TEST_F(EngineTest, MigrationMovesComponentAndReplaysTraffic) {
+  const auto conn = direct_to("CounterServer", "mover", node_a_);
+  const auto id = app_.component_id("mover");
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}), node_b_);
+  loop_.run();
+
+  ReconfigReport report;
+  bool done = false;
+  engine_.migrate_component(id, node_b_, [&](const ReconfigReport& r) {
+    report = r;
+    done = true;
+  });
+  // Traffic arriving during migration is held and replayed.
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 5}}), node_b_);
+  loop_.run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_EQ(app_.placement(id), node_b_);
+  auto* counter = dynamic_cast<CounterServer*>(app_.find_component(id));
+  EXPECT_EQ(counter->total(), 6);
+  EXPECT_GT(report.duration(), 0);
+}
+
+TEST_F(EngineTest, MigrationToUnreachableNodeAborts) {
+  // node_d is isolated (no links).
+  const auto node_d = network_.add_node("island", 1000).id();
+  const auto conn = direct_to("CounterServer", "mover", node_a_);
+  const auto id = app_.component_id("mover");
+  ReconfigReport report;
+  engine_.migrate_component(id, node_d,
+                            [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(app_.placement(id), node_a_);
+  // Still serving in place.
+  EXPECT_TRUE(app_.invoke_sync(conn, "total", Value{}, node_b_).result.ok());
+}
+
+TEST_F(EngineTest, MigrationToSameNodeIsNoop) {
+  const auto id =
+      app_.instantiate("EchoServer", "e", node_a_, Value{}).value();
+  ReconfigReport report;
+  engine_.migrate_component(id, node_a_,
+                            [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.duration(), 0);
+}
+
+TEST_F(EngineTest, CountersTrackRuns) {
+  const auto id =
+      app_.instantiate("CounterServer", "c", node_a_, Value{}).value();
+  engine_.replace_component(id, "CounterServer", "c2",
+                            [](const ReconfigReport&) {});
+  loop_.run();
+  EXPECT_EQ(engine_.started(), 1u);
+  EXPECT_EQ(engine_.succeeded(), 1u);
+}
+
+}  // namespace
+}  // namespace aars::reconfig

@@ -1,0 +1,315 @@
+#include "runtime/application.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::runtime {
+namespace {
+
+using aars::testing::AppFixture;
+using util::ErrorCode;
+using util::Value;
+
+class ApplicationTest : public AppFixture {};
+
+TEST_F(ApplicationTest, InstantiateActivatesAndPlaces) {
+  auto id = app_.instantiate("EchoServer", "e1", node_a_, Value{});
+  ASSERT_TRUE(id.ok());
+  component::Component* comp = app_.find_component(id.value());
+  ASSERT_NE(comp, nullptr);
+  EXPECT_EQ(comp->lifecycle(), component::LifecycleState::kActive);
+  EXPECT_EQ(app_.placement(id.value()), node_a_);
+  EXPECT_EQ(app_.component_id("e1"), id.value());
+}
+
+TEST_F(ApplicationTest, DuplicateInstanceNameRejected) {
+  ASSERT_TRUE(app_.instantiate("EchoServer", "e1", node_a_, Value{}).ok());
+  EXPECT_EQ(app_.instantiate("EchoServer", "e1", node_a_, Value{}).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(ApplicationTest, UnknownTypeRejected) {
+  EXPECT_EQ(app_.instantiate("Ghost", "g", node_a_, Value{}).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ApplicationTest, SyncInvokeRoundTrip) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  auto outcome = app_.invoke_sync(
+      conn, "echo", Value::object({{"text", "hello"}}), node_b_);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.error().message();
+  EXPECT_EQ(outcome.result.value().as_string(), "hello");
+  // 1 ms each way plus processing on a 10000-unit node.
+  EXPECT_GE(outcome.latency, 2000);
+  EXPECT_EQ(app_.total_calls(), 1u);
+}
+
+TEST_F(ApplicationTest, AsyncInvokeDeliversViaEvents) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  bool done = false;
+  app_.invoke_async(conn, "echo", Value::object({{"text", "x"}}), node_b_,
+                    [&](util::Result<Value> result, util::Duration latency) {
+                      done = true;
+                      ASSERT_TRUE(result.ok());
+                      EXPECT_EQ(result.value().as_string(), "x");
+                      EXPECT_GT(latency, 0);
+                    });
+  EXPECT_FALSE(done);  // nothing happens until the loop runs
+  loop_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(ApplicationTest, AsyncLatencyIncludesQueueing) {
+  // Saturate the slow node and observe growing latencies.
+  const auto conn = direct_to("EchoServer", "slow", node_c_);
+  std::vector<util::Duration> latencies;
+  for (int i = 0; i < 10; ++i) {
+    app_.invoke_async(conn, "echo", Value::object({{"text", "x"}}), node_b_,
+                      [&](util::Result<Value> result, util::Duration l) {
+                        ASSERT_TRUE(result.ok());
+                        latencies.push_back(l);
+                      });
+  }
+  loop_.run();
+  ASSERT_EQ(latencies.size(), 10u);
+  EXPECT_GT(latencies.back(), latencies.front());
+}
+
+TEST_F(ApplicationTest, EventsAreOneWay) {
+  const auto conn = direct_to("CounterServer", "c1", node_a_);
+  EXPECT_TRUE(app_.send_event(conn, "add", Value::object({{"amount", 5}}),
+                              node_b_)
+                  .ok());
+  loop_.run();
+  auto* counter = dynamic_cast<aars::testing::CounterServer*>(
+      app_.find_component(app_.component_id("c1")));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->total(), 5);
+}
+
+TEST_F(ApplicationTest, NestedCallThroughBoundPort) {
+  const auto conn = direct_to("EchoServer", "server", node_a_);
+  auto client_id = app_.instantiate("EchoClient", "client", node_b_, Value{});
+  ASSERT_TRUE(client_id.ok());
+  ASSERT_TRUE(app_.bind(client_id.value(), "out", conn).ok());
+  EXPECT_EQ(app_.binding(client_id.value(), "out"), conn);
+  auto outcome =
+      app_.invoke_component(client_id.value(), "go",
+                            Value::object({{"text", "nested"}}), node_b_);
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.error().message();
+  EXPECT_EQ(outcome.result.value().as_string(), "nested");
+}
+
+TEST_F(ApplicationTest, BindToUnknownPortRejected) {
+  const auto conn = direct_to("EchoServer", "server", node_a_);
+  auto client = app_.instantiate("EchoClient", "client", node_b_, Value{});
+  EXPECT_EQ(app_.bind(client.value(), "ghost", conn).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ApplicationTest, BindInterfaceMismatchRejected) {
+  const auto conn = direct_to("CounterServer", "counter", node_a_);
+  auto client = app_.instantiate("EchoClient", "client", node_b_, Value{});
+  const auto status = app_.bind(client.value(), "out", conn);
+  EXPECT_EQ(status.code(), ErrorCode::kIncompatible);
+}
+
+TEST_F(ApplicationTest, AddProviderChecksBoundPorts) {
+  connector::ConnectorSpec spec;
+  spec.name = "rr";
+  spec.routing = connector::RoutingPolicy::kRoundRobin;
+  auto conn = app_.create_connector(spec);
+  ASSERT_TRUE(conn.ok());
+  auto echo = app_.instantiate("EchoServer", "e", node_a_, Value{});
+  ASSERT_TRUE(app_.add_provider(conn.value(), echo.value()).ok());
+  auto client = app_.instantiate("EchoClient", "client", node_b_, Value{});
+  ASSERT_TRUE(app_.bind(client.value(), "out", conn.value()).ok());
+  // A counter does not satisfy the bound Echo port.
+  auto counter = app_.instantiate("CounterServer", "c", node_a_, Value{});
+  EXPECT_EQ(app_.add_provider(conn.value(), counter.value()).code(),
+            ErrorCode::kIncompatible);
+}
+
+TEST_F(ApplicationTest, RoundRobinSpreadsLoad) {
+  connector::ConnectorSpec spec;
+  spec.name = "rr";
+  spec.routing = connector::RoutingPolicy::kRoundRobin;
+  auto conn = app_.create_connector(spec);
+  auto e1 = app_.instantiate("CounterServer", "c1", node_a_, Value{});
+  auto e2 = app_.instantiate("CounterServer", "c2", node_b_, Value{});
+  ASSERT_TRUE(app_.add_provider(conn.value(), e1.value()).ok());
+  ASSERT_TRUE(app_.add_provider(conn.value(), e2.value()).ok());
+  for (int i = 0; i < 10; ++i) {
+    (void)app_.send_event(conn.value(), "add",
+                          Value::object({{"amount", 1}}), node_c_);
+  }
+  loop_.run();
+  auto total = [&](const std::string& name) {
+    return dynamic_cast<aars::testing::CounterServer*>(
+               app_.find_component(app_.component_id(name)))
+        ->total();
+  };
+  EXPECT_EQ(total("c1"), 5);
+  EXPECT_EQ(total("c2"), 5);
+}
+
+TEST_F(ApplicationTest, BroadcastReachesAllProviders) {
+  connector::ConnectorSpec spec;
+  spec.name = "bc";
+  spec.routing = connector::RoutingPolicy::kBroadcast;
+  auto conn = app_.create_connector(spec);
+  auto e1 = app_.instantiate("CounterServer", "c1", node_a_, Value{});
+  auto e2 = app_.instantiate("CounterServer", "c2", node_b_, Value{});
+  ASSERT_TRUE(app_.add_provider(conn.value(), e1.value()).ok());
+  ASSERT_TRUE(app_.add_provider(conn.value(), e2.value()).ok());
+  (void)app_.send_event(conn.value(), "add", Value::object({{"amount", 3}}),
+                        node_c_);
+  loop_.run();
+  auto total = [&](const std::string& name) {
+    return dynamic_cast<aars::testing::CounterServer*>(
+               app_.find_component(app_.component_id(name)))
+        ->total();
+  };
+  EXPECT_EQ(total("c1"), 3);
+  EXPECT_EQ(total("c2"), 3);
+}
+
+TEST_F(ApplicationTest, BlockedChannelHoldsAndReplays) {
+  const auto conn = direct_to("CounterServer", "c1", node_a_);
+  const auto target = app_.component_id("c1");
+  // Prime the channel so block_channels_to sees it.
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 1}}), node_b_);
+  loop_.run();
+  ASSERT_TRUE(app_.block_channels_to(target).ok());
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 10}}),
+                        node_b_);
+  loop_.run();
+  EXPECT_EQ(app_.held_to(target), 1u);
+  auto* counter = dynamic_cast<aars::testing::CounterServer*>(
+      app_.find_component(target));
+  EXPECT_EQ(counter->total(), 1);  // held message not yet delivered
+  ASSERT_TRUE(app_.unblock_channels_to(target).ok());
+  EXPECT_EQ(app_.replay_held(target), 1u);
+  loop_.run();
+  EXPECT_EQ(counter->total(), 11);
+  EXPECT_EQ(app_.messages_dropped(), 0u);
+  EXPECT_EQ(app_.messages_duplicated(), 0u);
+}
+
+TEST_F(ApplicationTest, WhenDrainedFiresAfterInFlight) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  const auto target = app_.component_id("e1");
+  app_.invoke_async(conn, "ping", Value{}, node_b_,
+                    [](util::Result<Value>, util::Duration) {});
+  EXPECT_EQ(app_.in_flight_to(target), 1u);
+  bool drained = false;
+  app_.when_drained(target, [&] { drained = true; });
+  EXPECT_FALSE(drained);
+  loop_.run();
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(app_.in_flight_to(target), 0u);
+}
+
+TEST_F(ApplicationTest, RedirectMovesProvidersChannelsAndBindings) {
+  const auto conn = direct_to("CounterServer", "old", node_a_);
+  const auto old_id = app_.component_id("old");
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 2}}), node_b_);
+  loop_.run();
+  auto new_id = app_.instantiate("CounterServer", "new", node_a_, Value{});
+  ASSERT_TRUE(new_id.ok());
+  ASSERT_TRUE(app_.redirect(old_id, new_id.value()).ok());
+  // Connector now routes to the replacement.
+  (void)app_.send_event(conn, "add", Value::object({{"amount", 5}}), node_b_);
+  loop_.run();
+  auto* replacement = dynamic_cast<aars::testing::CounterServer*>(
+      app_.find_component(new_id.value()));
+  EXPECT_EQ(replacement->total(), 5);
+  // Channel sequence numbering carried over (no restart at 1).
+  Channel& chan = app_.channel(conn, new_id.value());
+  EXPECT_EQ(chan.sent(), 2u);
+}
+
+TEST_F(ApplicationTest, DestroyRequiresDrainedChannels) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  const auto id = app_.component_id("e1");
+  app_.invoke_async(conn, "ping", Value{}, node_b_,
+                    [](util::Result<Value>, util::Duration) {});
+  EXPECT_EQ(app_.destroy(id).code(), ErrorCode::kNotQuiescent);
+  loop_.run();
+  EXPECT_TRUE(app_.destroy(id).ok());
+  EXPECT_EQ(app_.find_component(id), nullptr);
+}
+
+TEST_F(ApplicationTest, MigrateChangesPlacement) {
+  auto id = app_.instantiate("EchoServer", "e1", node_a_, Value{});
+  ASSERT_TRUE(app_.migrate(id.value(), node_b_).ok());
+  EXPECT_EQ(app_.placement(id.value()), node_b_);
+}
+
+TEST_F(ApplicationTest, SnapshotRequiresQuiescence) {
+  auto id = app_.instantiate("CounterServer", "c1", node_a_, Value{});
+  auto snap = app_.snapshot_component(id.value());
+  EXPECT_TRUE(snap.ok());
+}
+
+TEST_F(ApplicationTest, CallListenersObserveEveryCall) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  std::vector<CallRecord> records;
+  app_.add_call_listener([&](const CallRecord& r) { records.push_back(r); });
+  (void)app_.invoke_sync(conn, "ping", Value{}, node_b_);
+  (void)app_.invoke_sync(conn, "nonexistent", Value{}, node_b_);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_FALSE(records[1].ok);
+  EXPECT_EQ(records[0].operation, "ping");
+  EXPECT_EQ(app_.failed_calls(), 1u);
+}
+
+TEST_F(ApplicationTest, RemoveConnectorCleansBindings) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  auto client = app_.instantiate("EchoClient", "client", node_b_, Value{});
+  ASSERT_TRUE(app_.bind(client.value(), "out", conn).ok());
+  ASSERT_TRUE(app_.remove_connector(conn).ok());
+  EXPECT_EQ(app_.find_connector(conn), nullptr);
+  EXPECT_FALSE(app_.binding(client.value(), "out").valid());
+}
+
+TEST_F(ApplicationTest, PassivatedProviderFailsCalls) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  ASSERT_TRUE(app_.passivate_component(app_.component_id("e1")).ok());
+  auto outcome = app_.invoke_sync(conn, "ping", Value{}, node_b_);
+  EXPECT_FALSE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.error().code(), ErrorCode::kUnavailable);
+  ASSERT_TRUE(app_.activate_component(app_.component_id("e1")).ok());
+  EXPECT_TRUE(app_.invoke_sync(conn, "ping", Value{}, node_b_).result.ok());
+}
+
+TEST_F(ApplicationTest, WorkScaleHeaderMultipliesCost) {
+  const auto conn = direct_to("EchoServer", "e1", node_c_);  // slow node
+  bool first_done = false;
+  util::Duration slow_latency = 0;
+  util::Duration fast_latency = 0;
+  app_.invoke_async(
+      conn, "echo", Value::object({{"text", "x"}}), node_b_,
+      [&](util::Result<Value> r, util::Duration l) {
+        ASSERT_TRUE(r.ok());
+        fast_latency = l;
+        first_done = true;
+      },
+      Value::object({{"__work_scale", 1.0}}));
+  loop_.run();
+  ASSERT_TRUE(first_done);
+  app_.invoke_async(
+      conn, "echo", Value::object({{"text", "x"}}), node_b_,
+      [&](util::Result<Value> r, util::Duration l) {
+        ASSERT_TRUE(r.ok());
+        slow_latency = l;
+      },
+      Value::object({{"__work_scale", 50.0}}));
+  loop_.run();
+  EXPECT_GT(slow_latency, fast_latency);
+}
+
+}  // namespace
+}  // namespace aars::runtime

@@ -1,0 +1,139 @@
+#include "runtime/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::runtime {
+namespace {
+
+using util::ChannelId;
+using util::ComponentId;
+using util::ConnectorId;
+
+Channel make(bool audit = true) {
+  return Channel(ChannelId{1}, ConnectorId{1}, ComponentId{1}, audit);
+}
+
+TEST(ChannelTest, SequencesAreMonotonic) {
+  Channel chan = make();
+  EXPECT_EQ(chan.next_sequence(), 1u);
+  EXPECT_EQ(chan.next_sequence(), 2u);
+  EXPECT_EQ(chan.sent(), 2u);
+}
+
+TEST(ChannelTest, DeliveryAccounting) {
+  Channel chan = make();
+  const auto s1 = chan.next_sequence();
+  const auto s2 = chan.next_sequence();
+  chan.record_delivery(s1);
+  chan.record_delivery(s2);
+  EXPECT_EQ(chan.delivered(), 2u);
+  EXPECT_EQ(chan.missing(), 0u);
+}
+
+TEST(ChannelTest, DuplicateDetectionWithAudit) {
+  Channel chan = make(true);
+  const auto s1 = chan.next_sequence();
+  chan.record_delivery(s1);
+  chan.record_delivery(s1);
+  EXPECT_EQ(chan.delivered(), 1u);
+  EXPECT_EQ(chan.duplicated(), 1u);
+}
+
+TEST(ChannelTest, NoDuplicateDetectionWithoutAudit) {
+  Channel chan = make(false);
+  const auto s1 = chan.next_sequence();
+  chan.record_delivery(s1);
+  chan.record_delivery(s1);
+  EXPECT_EQ(chan.delivered(), 2u);
+  EXPECT_EQ(chan.duplicated(), 0u);
+}
+
+TEST(ChannelTest, MissingCountsUnaccountedMessages) {
+  Channel chan = make();
+  (void)chan.next_sequence();
+  (void)chan.next_sequence();
+  (void)chan.next_sequence();
+  chan.record_delivery(1);
+  chan.record_drop();
+  EXPECT_EQ(chan.missing(), 1u);
+}
+
+TEST(ChannelTest, BlockAndHold) {
+  Channel chan = make();
+  EXPECT_FALSE(chan.blocked());
+  chan.block();
+  EXPECT_TRUE(chan.blocked());
+  int resumed = 0;
+  chan.hold(
+      HeldMessage{component::Message{}, [&](component::Message) { ++resumed; }});
+  chan.hold(
+      HeldMessage{component::Message{}, [&](component::Message) { ++resumed; }});
+  EXPECT_EQ(chan.held_count(), 2u);
+  chan.unblock();
+  auto first = chan.take_held();
+  ASSERT_TRUE(first.has_value());
+  first->resume(first->message);
+  EXPECT_EQ(resumed, 1);
+  EXPECT_EQ(chan.held_count(), 1u);
+  (void)chan.take_held();
+  EXPECT_FALSE(chan.take_held().has_value());
+}
+
+TEST(ChannelTest, InFlightAccounting) {
+  Channel chan = make();
+  chan.on_depart();
+  chan.on_depart();
+  EXPECT_EQ(chan.in_flight(), 2u);
+  chan.on_arrive();
+  EXPECT_EQ(chan.in_flight(), 1u);
+  chan.on_arrive();
+  EXPECT_EQ(chan.in_flight(), 0u);
+  EXPECT_THROW(chan.on_arrive(), util::InvariantViolation);
+}
+
+TEST(ChannelTest, DrainNotificationFiresAtZero) {
+  Channel chan = make();
+  chan.on_depart();
+  int notified = 0;
+  chan.notify_drained([&] { ++notified; });
+  EXPECT_EQ(notified, 0);
+  chan.on_arrive();
+  EXPECT_EQ(notified, 1);
+}
+
+TEST(ChannelTest, DrainNotificationImmediateWhenIdle) {
+  Channel chan = make();
+  int notified = 0;
+  chan.notify_drained([&] { ++notified; });
+  EXPECT_EQ(notified, 1);
+}
+
+TEST(ChannelTest, MultipleDrainWaiters) {
+  Channel chan = make();
+  chan.on_depart();
+  int notified = 0;
+  chan.notify_drained([&] { ++notified; });
+  chan.notify_drained([&] { ++notified; });
+  chan.on_arrive();
+  EXPECT_EQ(notified, 2);
+}
+
+TEST(ChannelTest, ProviderRetargetKeepsCounters) {
+  Channel chan = make();
+  (void)chan.next_sequence();
+  chan.record_delivery(1);
+  chan.set_provider(ComponentId{9});
+  EXPECT_EQ(chan.provider(), ComponentId{9});
+  EXPECT_EQ(chan.delivered(), 1u);
+  EXPECT_EQ(chan.sent(), 1u);
+}
+
+TEST(ChannelTest, DelayTracking) {
+  Channel chan = make();
+  chan.record_delay(100);
+  chan.record_delay(50);
+  EXPECT_EQ(chan.max_delay(), 100);
+}
+
+}  // namespace
+}  // namespace aars::runtime

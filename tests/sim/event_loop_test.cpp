@@ -1,0 +1,165 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aars::sim {
+namespace {
+
+TEST(EventLoopTest, StartsAtTimeZeroEmpty) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoopTest, SameTimeIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesRelativeDelay) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventLoopTest, PastSchedulingThrows) {
+  EventLoop loop;
+  loop.schedule_at(10, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(5, [] {}), util::InvariantViolation);
+  EXPECT_THROW(loop.schedule_after(-1, [] {}), util::InvariantViolation);
+}
+
+TEST(EventLoopTest, NullCallbackThrows) {
+  EventLoop loop;
+  EXPECT_THROW(loop.schedule_at(1, EventLoop::Callback{}),
+               util::InvariantViolation);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(10, [&] { ++fired; });
+  loop.schedule_at(20, [&] { ++fired; });
+  loop.schedule_at(30, [&] { ++fired; });
+  const std::size_t ran = loop.run_until(20);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTimeEvenWhenIdle) {
+  EventLoop loop;
+  loop.run_until(500);
+  EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(EventLoopTest, RunForIsRelative) {
+  EventLoop loop;
+  loop.run_until(100);
+  int fired = 0;
+  loop.schedule_after(10, [&] { ++fired; });
+  loop.run_for(50);
+  EXPECT_EQ(loop.now(), 150);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  EventHandle handle = loop.schedule_at(10, [&] { ++fired; });
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  loop.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, CancelUpdatesPendingCount) {
+  EventLoop loop;
+  EventHandle a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  a.cancel();
+  EXPECT_EQ(loop.pending(), 1u);
+  a.cancel();  // double-cancel is a no-op
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, StepExecutesSingleEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1, [&] { ++fired; });
+  loop.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, RunWithLimit) {
+  EventLoop loop;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) loop.schedule_at(i + 1, [&] { ++fired; });
+  EXPECT_EQ(loop.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(10, recurse);
+  };
+  loop.schedule_at(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), 40);
+}
+
+TEST(EventLoopTest, ExecutedCounterCounts) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_at(i, [] {});
+  loop.run();
+  EXPECT_EQ(loop.executed(), 7u);
+}
+
+TEST(EventLoopTest, CancelledHandleAtHeadSkippedByRunUntil) {
+  EventLoop loop;
+  int fired = 0;
+  EventHandle a = loop.schedule_at(10, [&] { ++fired; });
+  loop.schedule_at(20, [&] { ++fired; });
+  a.cancel();
+  loop.run_until(30);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace aars::sim

@@ -1,0 +1,159 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : rng_(42) {}
+  Network net_;
+  util::Rng rng_;
+};
+
+TEST_F(NetworkTest, AddAndFindNodes) {
+  Node& a = net_.add_node("a", 1000);
+  EXPECT_EQ(a.name(), "a");
+  EXPECT_TRUE(a.id().valid());
+  EXPECT_EQ(net_.node_count(), 1u);
+  EXPECT_EQ(net_.find_node("a"), &a);
+  EXPECT_EQ(net_.find_node("zz"), nullptr);
+  EXPECT_EQ(net_.node_id("a"), a.id());
+  EXPECT_FALSE(net_.node_id("zz").valid());
+}
+
+TEST_F(NetworkTest, DuplicateNodeNameThrows) {
+  net_.add_node("a", 1000);
+  EXPECT_THROW(net_.add_node("a", 2000), util::InvariantViolation);
+}
+
+TEST_F(NetworkTest, LinksRequireExistingDistinctNodes) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  EXPECT_THROW(net_.add_link(a, a, LinkSpec{}), util::InvariantViolation);
+  EXPECT_THROW(net_.add_link(a, util::NodeId{99}, LinkSpec{}),
+               util::InvariantViolation);
+  net_.add_link(a, b, LinkSpec{});
+  EXPECT_TRUE(net_.has_link(a, b));
+  EXPECT_FALSE(net_.has_link(b, a));  // directed
+}
+
+TEST_F(NetworkTest, DuplexLinkAddsBothDirections) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  net_.add_duplex_link(a, b, LinkSpec{});
+  EXPECT_TRUE(net_.has_link(a, b));
+  EXPECT_TRUE(net_.has_link(b, a));
+}
+
+TEST_F(NetworkTest, SameNodeTransferIsFree) {
+  const auto a = net_.add_node("a", 1000).id();
+  const TransferOutcome out = net_.transfer(a, a, 1 << 20, rng_);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.delay, 0);
+  EXPECT_EQ(out.hops, 0);
+}
+
+TEST_F(NetworkTest, UnreachableIsNotDelivered) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  const TransferOutcome out = net_.transfer(a, b, 100, rng_);
+  EXPECT_FALSE(out.delivered);
+}
+
+TEST_F(NetworkTest, DelayIncludesLatencyAndSerialisation) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  LinkSpec spec;
+  spec.latency = util::milliseconds(5);
+  spec.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s
+  net_.add_link(a, b, spec);
+  // 100000 bytes at 1 MB/s = 0.1 s = 100000 us; + 5000 us latency.
+  const TransferOutcome out = net_.transfer(a, b, 100000, rng_);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.delay, 105000);
+  EXPECT_EQ(out.hops, 1);
+}
+
+TEST_F(NetworkTest, MultiHopRouting) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  const auto c = net_.add_node("c", 1000).id();
+  LinkSpec spec;
+  spec.latency = util::milliseconds(1);
+  net_.add_link(a, b, spec);
+  net_.add_link(b, c, spec);
+  const auto route = net_.route(a, c);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route.front(), a);
+  EXPECT_EQ(route.back(), c);
+  const TransferOutcome out = net_.transfer(a, c, 0, rng_);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.hops, 2);
+  EXPECT_GE(out.delay, 2000);
+}
+
+TEST_F(NetworkTest, RoutePrefersFewestHops) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  const auto c = net_.add_node("c", 1000).id();
+  LinkSpec spec;
+  net_.add_link(a, b, spec);
+  net_.add_link(b, c, spec);
+  net_.add_link(a, c, spec);  // direct shortcut
+  EXPECT_EQ(net_.route(a, c).size(), 2u);
+}
+
+TEST_F(NetworkTest, LossyLinkDropsEventually) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  LinkSpec spec;
+  spec.loss_probability = 0.5;
+  net_.add_link(a, b, spec);
+  int dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!net_.transfer(a, b, 10, rng_).delivered) ++dropped;
+  }
+  EXPECT_GT(dropped, 50);
+  EXPECT_LT(dropped, 150);
+}
+
+TEST_F(NetworkTest, JitterVariesDelay) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  LinkSpec spec;
+  spec.latency = util::milliseconds(10);
+  spec.jitter = util::milliseconds(2);
+  net_.add_link(a, b, spec);
+  bool varied = false;
+  const auto base = net_.transfer(a, b, 0, rng_).delay;
+  for (int i = 0; i < 50; ++i) {
+    if (net_.transfer(a, b, 0, rng_).delay != base) {
+      varied = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST_F(NetworkTest, FindLinkAllowsDynamicDegradation) {
+  const auto a = net_.add_node("a", 1000).id();
+  const auto b = net_.add_node("b", 1000).id();
+  net_.add_link(a, b, LinkSpec{});
+  LinkSpec* link = net_.find_link(a, b);
+  ASSERT_NE(link, nullptr);
+  link->loss_probability = 1.0;
+  EXPECT_FALSE(net_.transfer(a, b, 10, rng_).delivered);
+  EXPECT_EQ(net_.find_link(b, a), nullptr);
+}
+
+TEST_F(NetworkTest, NodeIdsEnumeratesAll) {
+  net_.add_node("a", 1);
+  net_.add_node("b", 1);
+  net_.add_node("c", 1);
+  EXPECT_EQ(net_.node_ids().size(), 3u);
+}
+
+}  // namespace
+}  // namespace aars::sim

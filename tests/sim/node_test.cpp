@@ -1,0 +1,93 @@
+#include "sim/node.h"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.h"
+
+namespace aars::sim {
+namespace {
+
+using util::NodeId;
+
+TEST(NodeTest, ConstructionValidatesCapacity) {
+  EXPECT_THROW(Node(NodeId{1}, "bad", 0.0), util::InvariantViolation);
+  EXPECT_THROW(Node(NodeId{1}, "bad", -5.0), util::InvariantViolation);
+}
+
+TEST(NodeTest, ServiceTimeMatchesCapacity) {
+  Node node(NodeId{1}, "n", 1000.0);  // 1000 units/sec
+  const SimTime done = node.execute(0, 500.0);
+  // 500 units at 1000/s = 0.5 s = 500000 us.
+  EXPECT_EQ(done, 500000);
+}
+
+TEST(NodeTest, FifoQueueingAccumulates) {
+  Node node(NodeId{1}, "n", 1000.0);
+  const SimTime first = node.execute(0, 100.0);   // done at 100000
+  const SimTime second = node.execute(0, 100.0);  // queued behind first
+  EXPECT_EQ(first, 100000);
+  EXPECT_EQ(second, 200000);
+  EXPECT_EQ(node.backlog(0), 200000);
+}
+
+TEST(NodeTest, IdleGapResetsBacklog) {
+  Node node(NodeId{1}, "n", 1000.0);
+  node.execute(0, 100.0);  // busy until 100000
+  const SimTime done = node.execute(500000, 100.0);
+  EXPECT_EQ(done, 600000);
+  EXPECT_EQ(node.backlog(500000), 100000);
+}
+
+TEST(NodeTest, ZeroWorkIsFree) {
+  Node node(NodeId{1}, "n", 1000.0);
+  EXPECT_EQ(node.execute(42, 0.0), 42);
+}
+
+TEST(NodeTest, NegativeWorkThrows) {
+  Node node(NodeId{1}, "n", 1000.0);
+  EXPECT_THROW(node.execute(0, -1.0), util::InvariantViolation);
+}
+
+TEST(NodeTest, CapacityChangeAffectsNewWork) {
+  Node node(NodeId{1}, "n", 1000.0);
+  node.set_capacity(2000.0);
+  EXPECT_EQ(node.execute(0, 100.0), 50000);
+  EXPECT_THROW(node.set_capacity(0.0), util::InvariantViolation);
+}
+
+TEST(NodeTest, UtilizationFullWhenSaturated) {
+  Node node(NodeId{1}, "n", 1000.0);
+  node.execute(0, 1000.0);  // busy until 1 s
+  EXPECT_NEAR(node.utilization(500000), 1.0, 1e-9);
+}
+
+TEST(NodeTest, UtilizationHalfWhenHalfBusy) {
+  Node node(NodeId{1}, "n", 1000.0);
+  node.execute(0, 500.0);  // busy for 0.5 s
+  EXPECT_NEAR(node.utilization(1000000), 0.5, 1e-9);
+}
+
+TEST(NodeTest, UtilizationZeroBeforeAnyWork) {
+  Node node(NodeId{1}, "n", 1000.0);
+  EXPECT_DOUBLE_EQ(node.utilization(1000), 0.0);
+}
+
+TEST(NodeTest, AccountingReset) {
+  Node node(NodeId{1}, "n", 1000.0);
+  node.execute(0, 500.0);
+  node.reset_accounting(1000000);
+  EXPECT_DOUBLE_EQ(node.total_work(), 0.0);
+  EXPECT_EQ(node.jobs(), 0u);
+  EXPECT_NEAR(node.utilization(2000000), 0.0, 1e-9);
+}
+
+TEST(NodeTest, JobAndWorkCounters) {
+  Node node(NodeId{1}, "n", 1000.0);
+  node.execute(0, 10.0);
+  node.execute(0, 20.0);
+  EXPECT_EQ(node.jobs(), 2u);
+  EXPECT_DOUBLE_EQ(node.total_work(), 30.0);
+}
+
+}  // namespace
+}  // namespace aars::sim

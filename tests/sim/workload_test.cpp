@@ -1,0 +1,150 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::sim {
+namespace {
+
+TEST(ConstantRateTest, FixedGap) {
+  ConstantRate process(100.0);  // 100/s -> 10ms gaps
+  util::Rng rng(1);
+  EXPECT_EQ(process.next_gap(0, rng), 10000);
+  EXPECT_EQ(process.next_gap(12345, rng), 10000);
+  EXPECT_DOUBLE_EQ(process.rate_at(0), 100.0);
+}
+
+TEST(ConstantRateTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(ConstantRate(0.0), util::InvariantViolation);
+}
+
+TEST(PoissonArrivalsTest, MeanGapMatchesRate) {
+  PoissonArrivals process(1000.0);
+  util::Rng rng(7);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(process.next_gap(0, rng));
+  }
+  EXPECT_NEAR(total / n, 1000.0, 50.0);
+}
+
+TEST(BurstyArrivalsTest, ProducesGapsAndSilences) {
+  BurstyArrivals process(1000.0, util::milliseconds(10),
+                         util::milliseconds(100));
+  util::Rng rng(3);
+  // Collect gaps; the off periods should produce some gaps far larger than
+  // the in-burst mean of 1ms.
+  int large_gaps = 0;
+  SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto gap = process.next_gap(t, rng);
+    EXPECT_GT(gap, 0);
+    if (gap > util::milliseconds(20)) ++large_gaps;
+    t += gap;
+  }
+  EXPECT_GT(large_gaps, 0);
+}
+
+TEST(TraceArrivalsTest, RateInterpolatesLinearly) {
+  TraceArrivals trace({{0, 0.0}, {1000, 100.0}, {2000, 0.0}});
+  EXPECT_DOUBLE_EQ(trace.rate_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(500), 50.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1000), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1500), 50.0);
+}
+
+TEST(TraceArrivalsTest, ProfileRepeats) {
+  TraceArrivals trace({{0, 10.0}, {1000, 20.0}});
+  EXPECT_DOUBLE_EQ(trace.rate_at(500), trace.rate_at(1500));
+}
+
+TEST(TraceArrivalsTest, ValidatesBreakpoints) {
+  EXPECT_THROW(TraceArrivals({{0, 1.0}}), util::InvariantViolation);
+  EXPECT_THROW(TraceArrivals({{0, 1.0}, {0, 2.0}}), util::InvariantViolation);
+  EXPECT_THROW(TraceArrivals({{0, -1.0}, {10, 2.0}}),
+               util::InvariantViolation);
+}
+
+TEST(TraceArrivalsTest, ThinningRespectsRateShape) {
+  // Rate 0 in first half, high in second half: arrivals should cluster in
+  // the second half of each period.
+  TraceArrivals trace(
+      {{0, 0.01}, {499999, 0.01}, {500000, 2000.0}, {1000000, 2000.0}});
+  util::Rng rng(11);
+  int in_low = 0;
+  int in_high = 0;
+  SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += trace.next_gap(t, rng);
+    const SimTime phase = t % 1000000;
+    if (phase < 500000) {
+      ++in_low;
+    } else {
+      ++in_high;
+    }
+  }
+  EXPECT_GT(in_high, in_low * 10);
+}
+
+TEST(RushHourTraceTest, PeaksAboveBase) {
+  TraceArrivals trace = rush_hour_trace(10.0, 100.0, util::seconds(3600));
+  double max_rate = 0.0;
+  for (SimTime t = 0; t < util::seconds(3600); t += util::seconds(60)) {
+    max_rate = std::max(max_rate, trace.rate_at(t));
+  }
+  EXPECT_NEAR(max_rate, 100.0, 5.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(0), 10.0);
+}
+
+TEST(RushHourTraceTest, RejectsPeakBelowBase) {
+  EXPECT_THROW(rush_hour_trace(100.0, 10.0, util::seconds(10)),
+               util::InvariantViolation);
+}
+
+TEST(WorkloadDriverTest, GeneratesUntilEnd) {
+  sim::EventLoop loop;
+  util::Rng rng(5);
+  WorkloadDriver driver(loop, std::make_unique<ConstantRate>(100.0), rng);
+  int arrivals = 0;
+  driver.start(util::seconds(1), [&](SimTime) { ++arrivals; });
+  loop.run();
+  EXPECT_EQ(arrivals, 100);
+  EXPECT_EQ(driver.generated(), 100u);
+}
+
+TEST(WorkloadDriverTest, StopHaltsGeneration) {
+  sim::EventLoop loop;
+  util::Rng rng(5);
+  WorkloadDriver driver(loop, std::make_unique<ConstantRate>(100.0), rng);
+  int arrivals = 0;
+  driver.start(util::seconds(10), [&](SimTime) {
+    if (++arrivals == 5) driver.stop();
+  });
+  loop.run();
+  EXPECT_EQ(arrivals, 5);
+}
+
+TEST(WorkloadDriverTest, ArrivalTimesAreMonotone) {
+  sim::EventLoop loop;
+  util::Rng rng(5);
+  WorkloadDriver driver(loop, std::make_unique<PoissonArrivals>(500.0), rng);
+  SimTime last = -1;
+  driver.start(util::seconds(1), [&](SimTime at) {
+    EXPECT_GT(at, last);
+    last = at;
+  });
+  loop.run();
+  EXPECT_GT(driver.generated(), 100u);
+}
+
+TEST(WorkloadDriverTest, DoubleStartThrows) {
+  sim::EventLoop loop;
+  util::Rng rng(5);
+  WorkloadDriver driver(loop, std::make_unique<ConstantRate>(10.0), rng);
+  driver.start(util::seconds(1), [](SimTime) {});
+  EXPECT_THROW(driver.start(util::seconds(1), [](SimTime) {}),
+               util::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace aars::sim

@@ -1,0 +1,115 @@
+#include "telecom/media.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_components.h"
+
+namespace aars::telecom {
+namespace {
+
+using aars::testing::AppFixture;
+using util::Value;
+
+class MediaTest : public AppFixture {
+ protected:
+  MediaTest() { register_media_components(registry_); }
+};
+
+TEST_F(MediaTest, RegistryKnowsAllTypes) {
+  for (const char* type :
+       {"FrameExtractor", "VideoEncoder", "Transmitter", "MediaServer"}) {
+    EXPECT_TRUE(registry_.has_type(type)) << type;
+  }
+}
+
+TEST_F(MediaTest, PipelineStagesProcessInOrder) {
+  const auto ex = direct_to("FrameExtractor", "ex", node_a_);
+  const auto enc = direct_to("VideoEncoder", "enc", node_a_);
+  const auto tx = direct_to("Transmitter", "tx", node_b_);
+
+  auto r1 = app_.invoke_sync(ex, "process",
+                             Value::object({{"data", "raw"}}), node_c_);
+  ASSERT_TRUE(r1.result.ok()) << r1.result.error().message();
+  EXPECT_EQ(r1.result.value().at("stage").as_string(), "extracted");
+
+  auto r2 = app_.invoke_sync(
+      enc, "process", Value::object({{"data", r1.result.value()}}), node_c_);
+  ASSERT_TRUE(r2.result.ok());
+  EXPECT_EQ(r2.result.value().at("stage").as_string(), "encoded");
+  EXPECT_EQ(r2.result.value().at("codec").as_string(), "fast");
+
+  auto r3 = app_.invoke_sync(
+      tx, "process", Value::object({{"data", r2.result.value()}}), node_c_);
+  ASSERT_TRUE(r3.result.ok());
+  EXPECT_EQ(r3.result.value().at("stage").as_string(), "transmitted");
+}
+
+TEST_F(MediaTest, EncoderCodecAttributeChangesCost) {
+  auto fast = app_.instantiate("VideoEncoder", "fast", node_a_,
+                               Value::object({{"codec", "fast"}}));
+  auto quality = app_.instantiate("VideoEncoder", "hq", node_a_,
+                                  Value::object({{"codec", "quality"}}));
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(quality.ok());
+  const auto* f = app_.find_component(fast.value());
+  const auto* q = app_.find_component(quality.value());
+  EXPECT_LT(f->work_cost("process"), q->work_cost("process"));
+}
+
+TEST_F(MediaTest, EncoderRejectsUnknownCodec) {
+  auto bad = app_.instantiate("VideoEncoder", "bad", node_a_,
+                              Value::object({{"codec", "divx"}}));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(MediaTest, MediaServerServesFramesAndCounts) {
+  const auto conn = direct_to("MediaServer", "srv", node_a_);
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = app_.invoke_sync(
+        conn, "frame",
+        Value::object({{"session", 7}, {"quality", 3}}), node_b_);
+    ASSERT_TRUE(outcome.result.ok()) << outcome.result.error().message();
+    EXPECT_EQ(outcome.result.value().at("quality").as_int(), 3);
+    EXPECT_EQ(outcome.result.value().at("frame_no").as_int(), i + 1);
+  }
+  auto* server = dynamic_cast<MediaServer*>(
+      app_.find_component(app_.component_id("srv")));
+  EXPECT_EQ(server->frames_served(), 3);
+}
+
+TEST_F(MediaTest, MediaServerStateSurvivesSnapshotRestore) {
+  const auto conn = direct_to("MediaServer", "srv", node_a_);
+  (void)app_.invoke_sync(conn, "frame", Value::object({{"session", 1}}),
+                         node_b_);
+  (void)app_.invoke_sync(conn, "frame", Value::object({{"session", 1}}),
+                         node_b_);
+  const auto id = app_.component_id("srv");
+  auto snap = app_.snapshot_component(id);
+  ASSERT_TRUE(snap.ok());
+
+  auto clone = app_.instantiate("MediaServer", "clone", node_b_, Value{});
+  ASSERT_TRUE(clone.ok());
+  ASSERT_TRUE(app_.restore_component(clone.value(), snap.value()).ok());
+  auto* restored =
+      dynamic_cast<MediaServer*>(app_.find_component(clone.value()));
+  EXPECT_EQ(restored->frames_served(), 2);
+  // The per-session counter continues where the original left off.
+  connector::ConnectorSpec spec;
+  spec.name = "to_clone";
+  auto conn2 = app_.create_connector(spec);
+  ASSERT_TRUE(app_.add_provider(conn2.value(), clone.value()).ok());
+  auto outcome = app_.invoke_sync(conn2.value(), "frame",
+                                  Value::object({{"session", 1}}), node_b_);
+  EXPECT_EQ(outcome.result.value().at("frame_no").as_int(), 3);
+}
+
+TEST_F(MediaTest, InterfacesSatisfyDeclaredShapes) {
+  FrameExtractor extractor("x");
+  EXPECT_TRUE(
+      extractor.provided().satisfies(media_stage_interface()).ok());
+  MediaServer server("s");
+  EXPECT_TRUE(server.provided().satisfies(media_service_interface()).ok());
+}
+
+}  // namespace
+}  // namespace aars::telecom

@@ -1,0 +1,96 @@
+#include "telecom/mobility.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::telecom {
+namespace {
+
+class MobilityTest : public ::testing::Test {
+ protected:
+  MobilityTest()
+      : cells_{NodeId{1}, NodeId{2}, NodeId{3}},
+        model_(loop_, cells_, util::seconds(1), 42) {}
+
+  sim::EventLoop loop_;
+  std::vector<NodeId> cells_;
+  MobilityModel model_;
+};
+
+TEST_F(MobilityTest, RequiresTwoCells) {
+  sim::EventLoop loop;
+  EXPECT_THROW(MobilityModel(loop, {NodeId{1}}, util::seconds(1), 1),
+               util::InvariantViolation);
+}
+
+TEST_F(MobilityTest, UsersStartInSomeCell) {
+  const auto u = model_.add_user();
+  const NodeId cell = model_.cell_of(u);
+  EXPECT_NE(std::find(cells_.begin(), cells_.end(), cell), cells_.end());
+  EXPECT_EQ(model_.user_count(), 1u);
+}
+
+TEST_F(MobilityTest, UnknownUserThrows) {
+  EXPECT_THROW(model_.cell_of(99), util::InvariantViolation);
+}
+
+TEST_F(MobilityTest, UsersMoveOverTime) {
+  for (int i = 0; i < 10; ++i) model_.add_user();
+  model_.start(util::seconds(30));
+  loop_.run();
+  EXPECT_GT(model_.handovers(), 10u);
+}
+
+TEST_F(MobilityTest, HandoversChangeCell) {
+  const auto u = model_.add_user();
+  std::vector<std::pair<NodeId, NodeId>> moves;
+  model_.on_handover([&](MobilityModel::UserId user, NodeId from, NodeId to) {
+    EXPECT_EQ(user, u);
+    EXPECT_NE(from, to);
+    moves.emplace_back(from, to);
+  });
+  model_.start(util::seconds(20));
+  loop_.run();
+  ASSERT_FALSE(moves.empty());
+  // Each hook's destination matches the model's state transitions.
+  EXPECT_EQ(model_.cell_of(u), moves.back().second);
+}
+
+TEST_F(MobilityTest, StopFreezesMovement) {
+  model_.add_user();
+  model_.start(util::seconds(100));
+  loop_.run_until(util::seconds(5));
+  const auto count = model_.handovers();
+  model_.stop();
+  loop_.run();
+  EXPECT_EQ(model_.handovers(), count);
+}
+
+TEST_F(MobilityTest, UsersAddedAfterStartAlsoMove) {
+  model_.add_user();
+  model_.start(util::seconds(20));
+  const auto late = model_.add_user();
+  std::size_t late_moves = 0;
+  model_.on_handover([&](MobilityModel::UserId user, NodeId, NodeId) {
+    if (user == late) ++late_moves;
+  });
+  loop_.run();
+  EXPECT_GT(late_moves, 0u);
+}
+
+TEST_F(MobilityTest, DeterministicForSeed) {
+  sim::EventLoop loop_a;
+  sim::EventLoop loop_b;
+  MobilityModel a(loop_a, cells_, util::seconds(1), 7);
+  MobilityModel b(loop_b, cells_, util::seconds(1), 7);
+  const auto ua = a.add_user();
+  const auto ub = b.add_user();
+  a.start(util::seconds(10));
+  b.start(util::seconds(10));
+  loop_a.run();
+  loop_b.run();
+  EXPECT_EQ(a.handovers(), b.handovers());
+  EXPECT_EQ(a.cell_of(ua), b.cell_of(ub));
+}
+
+}  // namespace
+}  // namespace aars::telecom

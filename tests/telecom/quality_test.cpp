@@ -1,0 +1,45 @@
+#include "telecom/quality.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::telecom {
+namespace {
+
+TEST(QualityLadderTest, FiveLevels) {
+  EXPECT_EQ(QualityLadder::standard().size(), 5u);
+  EXPECT_EQ(QualityLadder::kMin, 0);
+  EXPECT_EQ(QualityLadder::kMax, 4);
+}
+
+TEST(QualityLadderTest, LevelsAreOrderedByEverything) {
+  const auto& ladder = QualityLadder::standard();
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].work_units, ladder[i - 1].work_units);
+    EXPECT_GT(ladder[i].frame_bytes, ladder[i - 1].frame_bytes);
+    EXPECT_GT(ladder[i].utility, ladder[i - 1].utility);
+    EXPECT_EQ(ladder[i].level, static_cast<int>(i));
+  }
+}
+
+TEST(QualityLadderTest, ClampBounds) {
+  EXPECT_EQ(QualityLadder::clamp(-5), 0);
+  EXPECT_EQ(QualityLadder::clamp(99), 4);
+  EXPECT_EQ(QualityLadder::clamp(2), 2);
+}
+
+TEST(QualityLadderTest, AtClampsToo) {
+  EXPECT_EQ(QualityLadder::at(-1).level, 0);
+  EXPECT_EQ(QualityLadder::at(100).level, 4);
+  EXPECT_EQ(QualityLadder::at(3).label, std::string("hq"));
+}
+
+TEST(QualityLadderTest, UtilityIsNormalised) {
+  for (const QualityLevel& q : QualityLadder::standard()) {
+    EXPECT_GT(q.utility, 0.0);
+    EXPECT_LE(q.utility, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(QualityLadder::at(4).utility, 1.0);
+}
+
+}  // namespace
+}  // namespace aars::telecom

@@ -1,0 +1,131 @@
+#include "telecom/session.h"
+
+#include <gtest/gtest.h>
+
+#include "telecom/media.h"
+#include "testing/test_components.h"
+
+namespace aars::telecom {
+namespace {
+
+using aars::testing::AppFixture;
+using util::Value;
+
+class SessionTest : public AppFixture {
+ protected:
+  SessionTest() {
+    register_media_components(registry_);
+    service_ = direct_to("MediaServer", "srv", node_a_);
+    SessionManager::Options options;
+    options.service = service_;
+    options.fps = 10.0;
+    sessions_ = std::make_unique<SessionManager>(app_, options);
+  }
+
+  util::ConnectorId service_;
+  std::unique_ptr<SessionManager> sessions_;
+};
+
+TEST_F(SessionTest, SessionStreamsFramesUntilEnd) {
+  const auto id =
+      sessions_->start_session(3, node_b_, util::seconds(1));
+  EXPECT_TRUE(sessions_->active(id));
+  loop_.run();
+  // 10 fps for 1 second.
+  EXPECT_EQ(sessions_->frames_attempted(), 10u);
+  EXPECT_EQ(sessions_->frames_ok(), 10u);
+  EXPECT_EQ(sessions_->frames_failed(), 0u);
+  EXPECT_FALSE(sessions_->active(id));  // expired
+}
+
+TEST_F(SessionTest, EndSessionStopsStreaming) {
+  const auto id =
+      sessions_->start_session(3, node_b_, util::seconds(10));
+  loop_.run_until(util::milliseconds(250));
+  ASSERT_TRUE(sessions_->end_session(id).ok());
+  const auto frames = sessions_->frames_attempted();
+  loop_.run_until(util::seconds(1));
+  EXPECT_EQ(sessions_->frames_attempted(), frames);
+  EXPECT_FALSE(sessions_->end_session(id).ok());
+}
+
+TEST_F(SessionTest, QualityCapsAtGlobalCeiling) {
+  sessions_->set_global_quality(2);
+  const auto id =
+      sessions_->start_session(4, node_b_, util::seconds(1));
+  EXPECT_EQ(sessions_->quality(id).value(), 2);
+}
+
+TEST_F(SessionTest, SetQualityPerSession) {
+  const auto id =
+      sessions_->start_session(4, node_b_, util::seconds(1));
+  ASSERT_TRUE(sessions_->set_quality(id, 1).ok());
+  EXPECT_EQ(sessions_->quality(id).value(), 1);
+  EXPECT_FALSE(sessions_->set_quality(util::SessionId{999}, 1).ok());
+}
+
+TEST_F(SessionTest, GlobalQualityAppliesToRunningSessions) {
+  const auto a = sessions_->start_session(4, node_b_, util::seconds(1));
+  const auto b = sessions_->start_session(4, node_b_, util::seconds(1));
+  sessions_->set_global_quality(1);
+  EXPECT_EQ(sessions_->quality(a).value(), 1);
+  EXPECT_EQ(sessions_->quality(b).value(), 1);
+  EXPECT_EQ(sessions_->global_quality(), 1);
+}
+
+TEST_F(SessionTest, OfferedWorkScalesWithQualityAndSessions) {
+  (void)sessions_->start_session(4, node_b_, util::seconds(1));
+  const double one_hd = sessions_->offered_work_per_second();
+  EXPECT_NEAR(one_hd, 10.0 * QualityLadder::at(4).work_units, 1e-9);
+  (void)sessions_->start_session(4, node_b_, util::seconds(1));
+  EXPECT_NEAR(sessions_->offered_work_per_second(), 2 * one_hd, 1e-9);
+  sessions_->set_global_quality(0);
+  EXPECT_LT(sessions_->offered_work_per_second(), one_hd);
+}
+
+TEST_F(SessionTest, UtilityAccruesPerDeliveredFrame) {
+  (void)sessions_->start_session(4, node_b_, util::seconds(1));
+  loop_.run();
+  EXPECT_NEAR(sessions_->delivered_utility(),
+              10.0 * QualityLadder::at(4).utility, 1e-9);
+}
+
+TEST_F(SessionTest, FrameListenersObserveLatencyAndQuality) {
+  std::vector<int> qualities;
+  std::vector<util::Duration> latencies;
+  sessions_->on_frame([&](util::SessionId, util::Duration latency, bool ok,
+                          int quality) {
+    EXPECT_TRUE(ok);
+    qualities.push_back(quality);
+    latencies.push_back(latency);
+  });
+  (void)sessions_->start_session(2, node_b_, util::milliseconds(500));
+  loop_.run();
+  ASSERT_FALSE(qualities.empty());
+  EXPECT_EQ(qualities.front(), 2);
+  EXPECT_GT(latencies.front(), 0);
+}
+
+TEST_F(SessionTest, FailedFramesCounted) {
+  // Passivate the server: all frames fail.
+  ASSERT_TRUE(app_.passivate_component(app_.component_id("srv")).ok());
+  (void)sessions_->start_session(2, node_b_, util::milliseconds(500));
+  loop_.run();
+  EXPECT_EQ(sessions_->frames_ok(), 0u);
+  EXPECT_GT(sessions_->frames_failed(), 0u);
+}
+
+TEST_F(SessionTest, HigherQualityCostsMoreServerTime) {
+  sessions_->set_global_quality(0);
+  (void)sessions_->start_session(0, node_b_, loop_.now() + util::seconds(1));
+  loop_.run();
+  const double low_work = network_.node(node_a_).total_work();
+  sessions_->set_global_quality(4);
+  (void)sessions_->start_session(4, node_b_, loop_.now() + util::seconds(1));
+  loop_.run();
+  const double high_work = network_.node(node_a_).total_work() - low_work;
+  EXPECT_GT(high_work, low_work * 2);
+}
+
+}  // namespace
+}  // namespace aars::telecom

@@ -1,0 +1,86 @@
+#include "util/errors.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::util {
+namespace {
+
+TEST(ErrorTest, CarriesCodeAndMessage) {
+  Error e{ErrorCode::kNotFound, "missing thing"};
+  EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(e.message(), "missing thing");
+  EXPECT_EQ(e.to_string(), "not_found: missing thing");
+}
+
+TEST(ErrorCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(to_string(ErrorCode::kCycleDetected), "cycle_detected");
+  EXPECT_STREQ(to_string(ErrorCode::kNotQuiescent), "not_quiescent");
+  EXPECT_STREQ(to_string(ErrorCode::kParseError), "parse_error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r{Error{ErrorCode::kTimeout, "too slow"}};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+}
+
+TEST(ResultTest, InlineErrorConstruction) {
+  Result<int> r{ErrorCode::kInvalidArgument, "bad"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message(), "bad");
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> ok{7};
+  Result<int> bad{Error{ErrorCode::kInternal, "x"}};
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r{std::string("payload")};
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, CarriesError) {
+  Status s{ErrorCode::kRejected, "nope"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kRejected);
+  EXPECT_EQ(s.to_string(), "rejected: nope");
+}
+
+TEST(RequireTest, ThrowsOnViolation) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "broken"), InvariantViolation);
+}
+
+TEST(RequireTest, MessageIncludesContext) {
+  try {
+    require(false, "specific context");
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("specific context"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace aars::util

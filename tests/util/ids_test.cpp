@@ -1,0 +1,58 @@
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace aars::util {
+namespace {
+
+TEST(IdTest, DefaultIsInvalid) {
+  ComponentId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, ComponentId::invalid());
+}
+
+TEST(IdTest, EqualityAndOrdering) {
+  ComponentId a{1};
+  ComponentId b{2};
+  ComponentId a2{1};
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(IdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ComponentId, ConnectorId>);
+  static_assert(!std::is_same_v<NodeId, ChannelId>);
+  SUCCEED();
+}
+
+TEST(IdGeneratorTest, MonotonicAndUnique) {
+  IdGenerator<ComponentId> gen;
+  std::unordered_set<ComponentId> seen;
+  ComponentId prev = ComponentId::invalid();
+  for (int i = 0; i < 1000; ++i) {
+    const ComponentId id = gen.next();
+    EXPECT_TRUE(id.valid());
+    EXPECT_LT(prev, id);
+    EXPECT_TRUE(seen.insert(id).second);
+    prev = id;
+  }
+}
+
+TEST(IdGeneratorTest, NeverProducesInvalid) {
+  IdGenerator<NodeId> gen;
+  EXPECT_NE(gen.next(), NodeId::invalid());
+}
+
+TEST(IdTest, HashWorksInUnorderedContainers) {
+  std::unordered_set<MessageId> set;
+  set.insert(MessageId{5});
+  set.insert(MessageId{5});
+  set.insert(MessageId{6});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aars::util

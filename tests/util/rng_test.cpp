@@ -1,0 +1,123 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.h"
+
+namespace aars::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(5.0, 10.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 10.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.uniform_int(1, 3);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 1);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), InvariantViolation);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ParetoIsHeavyTailedAboveScale) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.0), 1.0);
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights{0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedIndexRejectsAllZero) {
+  Rng rng(1);
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), InvariantViolation);
+}
+
+TEST(RngTest, PoissonGapMeanMatchesRate) {
+  Rng rng(17);
+  const double rate = 1000.0;  // events/sec -> mean gap 1000 us
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(rng.poisson_gap(rate));
+  }
+  EXPECT_NEAR(total / n, 1000.0, 50.0);
+}
+
+TEST(RngTest, PoissonGapIsAtLeastOneMicrosecond) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.poisson_gap(1e9), 1);
+  }
+}
+
+}  // namespace
+}  // namespace aars::util

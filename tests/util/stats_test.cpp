@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aars::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats s;
+  for (double x : {4.0, 2.0, 6.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(RunningStatsTest, VarianceMatchesTextbook) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileCacheInvalidatesOnAdd) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(SlidingWindowTest, EvictsOldSamples) {
+  SlidingWindow w(1000);
+  w.add(0, 1.0);
+  w.add(500, 2.0);
+  EXPECT_EQ(w.count(), 2u);
+  w.add(1400, 3.0);  // horizon moves to 400: evicts the t=0 sample
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.5);
+}
+
+TEST(SlidingWindowTest, AdvanceWithoutAdd) {
+  SlidingWindow w(100);
+  w.add(0, 1.0);
+  w.advance(1000);
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(SlidingWindowTest, MinMax) {
+  SlidingWindow w(1000000);
+  w.add(1, 5.0);
+  w.add(2, -1.0);
+  w.add(3, 3.0);
+  EXPECT_DOUBLE_EQ(w.min(), -1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+}
+
+TEST(SlidingWindowTest, RateIsSamplesPerSecond) {
+  SlidingWindow w(kSecond);
+  for (int i = 0; i < 100; ++i) {
+    w.add(i * (kSecond / 100), 1.0);
+  }
+  // 100 samples over ~1 second.
+  EXPECT_NEAR(w.rate(kSecond), 100.0, 5.0);
+}
+
+TEST(EwmaTest, SeedsWithFirstSample) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  EXPECT_FALSE(e.empty());
+}
+
+TEST(EwmaTest, ConvergesTowardsNewLevel) {
+  Ewma e(0.5);
+  e.add(0.0);
+  for (int i = 0; i < 20; ++i) e.add(100.0);
+  EXPECT_NEAR(e.value(), 100.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace aars::util

@@ -1,0 +1,60 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::util {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc"));
+  EXPECT_TRUE(is_identifier("_x9"));
+  EXPECT_TRUE(is_identifier("camera.out"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("9abc"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(StringsTest, FormatProducesPrintfOutput) {
+  EXPECT_EQ(format("x=%d y=%s", 5, "z"), "x=5 y=z");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace aars::util

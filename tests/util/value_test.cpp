@@ -1,0 +1,112 @@
+#include "util/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::util {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, ScalarConstruction) {
+  EXPECT_TRUE(Value{true}.is_bool());
+  EXPECT_TRUE(Value{42}.is_int());
+  EXPECT_TRUE(Value{3.5}.is_double());
+  EXPECT_TRUE(Value{"hi"}.is_string());
+  EXPECT_EQ(Value{42}.as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value{3.5}.as_double(), 3.5);
+  EXPECT_EQ(Value{"hi"}.as_string(), "hi");
+  EXPECT_TRUE(Value{true}.as_bool());
+}
+
+TEST(ValueTest, IntPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(Value{7}.as_double(), 7.0);
+}
+
+TEST(ValueTest, WrongTypeAccessThrows) {
+  EXPECT_THROW(Value{42}.as_string(), InvariantViolation);
+  EXPECT_THROW(Value{"x"}.as_int(), InvariantViolation);
+  EXPECT_THROW(Value{1.5}.as_int(), InvariantViolation);
+  EXPECT_THROW(Value{}.as_bool(), InvariantViolation);
+}
+
+TEST(ValueTest, ObjectBuilderAndAccess) {
+  Value v = Value::object({{"a", 1}, {"b", "two"}});
+  EXPECT_TRUE(v.is_map());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").as_string(), "two");
+  EXPECT_TRUE(v.at("missing").is_null());
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+}
+
+TEST(ValueTest, GetOrReturnsFallback) {
+  Value v = Value::object({{"a", 1}});
+  EXPECT_EQ(v.get_or("a", Value{9}).as_int(), 1);
+  EXPECT_EQ(v.get_or("b", Value{9}).as_int(), 9);
+}
+
+TEST(ValueTest, IndexingCreatesMapFromNull) {
+  Value v;
+  v["x"] = 5;
+  EXPECT_TRUE(v.is_map());
+  EXPECT_EQ(v.at("x").as_int(), 5);
+}
+
+TEST(ValueTest, ListBuilderAndItem) {
+  Value v = Value::list({1, "two", 3.0});
+  EXPECT_TRUE(v.is_list());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.item(0).as_int(), 1);
+  EXPECT_EQ(v.item(1).as_string(), "two");
+  EXPECT_THROW(v.item(3), InvariantViolation);
+}
+
+TEST(ValueTest, DeepEquality) {
+  Value a = Value::object({{"x", Value::list({1, 2})}, {"y", "s"}});
+  Value b = Value::object({{"x", Value::list({1, 2})}, {"y", "s"}});
+  Value c = Value::object({{"x", Value::list({1, 3})}, {"y", "s"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ValueTest, ToStringRendersJsonLike) {
+  Value v = Value::object({{"n", 1}, {"s", "x"}});
+  EXPECT_EQ(v.to_string(), "{\"n\":1,\"s\":\"x\"}");
+  EXPECT_EQ(Value::list({1, true}).to_string(), "[1,true]");
+  EXPECT_EQ(Value{}.to_string(), "null");
+}
+
+TEST(ValueTest, ByteSizeGrowsWithContent) {
+  const Value small = Value::object({{"a", 1}});
+  const Value big = Value::object({{"a", std::string(1000, 'x')}});
+  EXPECT_GT(big.byte_size(), small.byte_size());
+  EXPECT_GE(big.byte_size(), 1000u);
+}
+
+TEST(ValueTest, NestedMutationThroughIndexing) {
+  Value v;
+  v["outer"] = Value::object({{"inner", 1}});
+  v["outer"]["inner"] = 2;
+  EXPECT_EQ(v.at("outer").at("inner").as_int(), 2);
+}
+
+TEST(ValueTest, SizeOfScalarsIsZero) {
+  EXPECT_EQ(Value{5}.size(), 0u);
+  EXPECT_EQ(Value{}.size(), 0u);
+  EXPECT_EQ(Value{"abc"}.size(), 3u);
+}
+
+TEST(ValueTest, CopyIsDeep) {
+  Value a = Value::object({{"k", Value::list({1})}});
+  Value b = a;
+  b["k"].as_list().push_back(2);
+  EXPECT_EQ(a.at("k").size(), 1u);
+  EXPECT_EQ(b.at("k").size(), 2u);
+}
+
+}  // namespace
+}  // namespace aars::util
