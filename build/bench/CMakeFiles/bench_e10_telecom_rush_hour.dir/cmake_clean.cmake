@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_telecom_rush_hour.dir/e10_telecom_rush_hour.cpp.o"
+  "CMakeFiles/bench_e10_telecom_rush_hour.dir/e10_telecom_rush_hour.cpp.o.d"
+  "bench_e10_telecom_rush_hour"
+  "bench_e10_telecom_rush_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_telecom_rush_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_reconfig.dir/e2_reconfig.cpp.o"
+  "CMakeFiles/bench_e2_reconfig.dir/e2_reconfig.cpp.o.d"
+  "bench_e2_reconfig"
+  "bench_e2_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_adapt_vs_reconfig.dir/e3_adapt_vs_reconfig.cpp.o"
+  "CMakeFiles/bench_e3_adapt_vs_reconfig.dir/e3_adapt_vs_reconfig.cpp.o.d"
+  "bench_e3_adapt_vs_reconfig"
+  "bench_e3_adapt_vs_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_adapt_vs_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_filters.dir/e4_filters.cpp.o"
+  "CMakeFiles/bench_e4_filters.dir/e4_filters.cpp.o.d"
+  "bench_e4_filters"
+  "bench_e4_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_migration.dir/e5_migration.cpp.o"
+  "CMakeFiles/bench_e5_migration.dir/e5_migration.cpp.o.d"
+  "bench_e5_migration"
+  "bench_e5_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_lts_check.dir/e7_lts_check.cpp.o"
+  "CMakeFiles/bench_e7_lts_check.dir/e7_lts_check.cpp.o.d"
+  "bench_e7_lts_check"
+  "bench_e7_lts_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_lts_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_rule_engine.dir/e8_rule_engine.cpp.o"
+  "CMakeFiles/bench_e8_rule_engine.dir/e8_rule_engine.cpp.o.d"
+  "bench_e8_rule_engine"
+  "bench_e8_rule_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_rule_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

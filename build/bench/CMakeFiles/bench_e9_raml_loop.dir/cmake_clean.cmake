@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_raml_loop.dir/e9_raml_loop.cpp.o"
+  "CMakeFiles/bench_e9_raml_loop.dir/e9_raml_loop.cpp.o.d"
+  "bench_e9_raml_loop"
+  "bench_e9_raml_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_raml_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_healing.dir/self_healing.cpp.o"
+  "CMakeFiles/self_healing.dir/self_healing.cpp.o.d"
+  "self_healing"
+  "self_healing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_adaptation.dir/telecom_adaptation.cpp.o"
+  "CMakeFiles/telecom_adaptation.dir/telecom_adaptation.cpp.o.d"
+  "telecom_adaptation"
+  "telecom_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/adaptive_interface.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/adaptive_interface.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/adaptive_interface.cpp.o.d"
+  "/root/repo/src/adapt/aspect_library.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/aspect_library.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/aspect_library.cpp.o.d"
+  "/root/repo/src/adapt/aspects.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/aspects.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/aspects.cpp.o.d"
+  "/root/repo/src/adapt/filters.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/filters.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/filters.cpp.o.d"
+  "/root/repo/src/adapt/injector.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/injector.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/injector.cpp.o.d"
+  "/root/repo/src/adapt/metaobjects.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/metaobjects.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/metaobjects.cpp.o.d"
+  "/root/repo/src/adapt/middleware.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/middleware.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/middleware.cpp.o.d"
+  "/root/repo/src/adapt/paths.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/paths.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/paths.cpp.o.d"
+  "/root/repo/src/adapt/slots.cpp" "src/adapt/CMakeFiles/aars_adapt.dir/slots.cpp.o" "gcc" "src/adapt/CMakeFiles/aars_adapt.dir/slots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/aars_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/connector/CMakeFiles/aars_connector.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/aars_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aars_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/aars_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/aars_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aars_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

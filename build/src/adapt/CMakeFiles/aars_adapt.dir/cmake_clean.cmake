@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_adapt.dir/adaptive_interface.cpp.o"
+  "CMakeFiles/aars_adapt.dir/adaptive_interface.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/aspect_library.cpp.o"
+  "CMakeFiles/aars_adapt.dir/aspect_library.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/aspects.cpp.o"
+  "CMakeFiles/aars_adapt.dir/aspects.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/filters.cpp.o"
+  "CMakeFiles/aars_adapt.dir/filters.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/injector.cpp.o"
+  "CMakeFiles/aars_adapt.dir/injector.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/metaobjects.cpp.o"
+  "CMakeFiles/aars_adapt.dir/metaobjects.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/middleware.cpp.o"
+  "CMakeFiles/aars_adapt.dir/middleware.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/paths.cpp.o"
+  "CMakeFiles/aars_adapt.dir/paths.cpp.o.d"
+  "CMakeFiles/aars_adapt.dir/slots.cpp.o"
+  "CMakeFiles/aars_adapt.dir/slots.cpp.o.d"
+  "libaars_adapt.a"
+  "libaars_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/lexer.cpp" "src/adl/CMakeFiles/aars_adl.dir/lexer.cpp.o" "gcc" "src/adl/CMakeFiles/aars_adl.dir/lexer.cpp.o.d"
+  "/root/repo/src/adl/parser.cpp" "src/adl/CMakeFiles/aars_adl.dir/parser.cpp.o" "gcc" "src/adl/CMakeFiles/aars_adl.dir/parser.cpp.o.d"
+  "/root/repo/src/adl/validator.cpp" "src/adl/CMakeFiles/aars_adl.dir/validator.cpp.o" "gcc" "src/adl/CMakeFiles/aars_adl.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/component/CMakeFiles/aars_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/connector/CMakeFiles/aars_connector.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aars_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/aars_lts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_adl.dir/lexer.cpp.o"
+  "CMakeFiles/aars_adl.dir/lexer.cpp.o.d"
+  "CMakeFiles/aars_adl.dir/parser.cpp.o"
+  "CMakeFiles/aars_adl.dir/parser.cpp.o.d"
+  "CMakeFiles/aars_adl.dir/validator.cpp.o"
+  "CMakeFiles/aars_adl.dir/validator.cpp.o.d"
+  "libaars_adl.a"
+  "libaars_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

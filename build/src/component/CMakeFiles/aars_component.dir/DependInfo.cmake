@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/component/component.cpp" "src/component/CMakeFiles/aars_component.dir/component.cpp.o" "gcc" "src/component/CMakeFiles/aars_component.dir/component.cpp.o.d"
+  "/root/repo/src/component/interface.cpp" "src/component/CMakeFiles/aars_component.dir/interface.cpp.o" "gcc" "src/component/CMakeFiles/aars_component.dir/interface.cpp.o.d"
+  "/root/repo/src/component/message.cpp" "src/component/CMakeFiles/aars_component.dir/message.cpp.o" "gcc" "src/component/CMakeFiles/aars_component.dir/message.cpp.o.d"
+  "/root/repo/src/component/registry.cpp" "src/component/CMakeFiles/aars_component.dir/registry.cpp.o" "gcc" "src/component/CMakeFiles/aars_component.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_component.dir/component.cpp.o"
+  "CMakeFiles/aars_component.dir/component.cpp.o.d"
+  "CMakeFiles/aars_component.dir/interface.cpp.o"
+  "CMakeFiles/aars_component.dir/interface.cpp.o.d"
+  "CMakeFiles/aars_component.dir/message.cpp.o"
+  "CMakeFiles/aars_component.dir/message.cpp.o.d"
+  "CMakeFiles/aars_component.dir/registry.cpp.o"
+  "CMakeFiles/aars_component.dir/registry.cpp.o.d"
+  "libaars_component.a"
+  "libaars_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

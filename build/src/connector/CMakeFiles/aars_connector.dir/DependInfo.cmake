@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/connector/connector.cpp" "src/connector/CMakeFiles/aars_connector.dir/connector.cpp.o" "gcc" "src/connector/CMakeFiles/aars_connector.dir/connector.cpp.o.d"
+  "/root/repo/src/connector/factory.cpp" "src/connector/CMakeFiles/aars_connector.dir/factory.cpp.o" "gcc" "src/connector/CMakeFiles/aars_connector.dir/factory.cpp.o.d"
+  "/root/repo/src/connector/protocol.cpp" "src/connector/CMakeFiles/aars_connector.dir/protocol.cpp.o" "gcc" "src/connector/CMakeFiles/aars_connector.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/component/CMakeFiles/aars_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/aars_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

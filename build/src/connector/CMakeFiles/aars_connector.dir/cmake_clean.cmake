@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_connector.dir/connector.cpp.o"
+  "CMakeFiles/aars_connector.dir/connector.cpp.o.d"
+  "CMakeFiles/aars_connector.dir/factory.cpp.o"
+  "CMakeFiles/aars_connector.dir/factory.cpp.o.d"
+  "CMakeFiles/aars_connector.dir/protocol.cpp.o"
+  "CMakeFiles/aars_connector.dir/protocol.cpp.o.d"
+  "libaars_connector.a"
+  "libaars_connector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_connector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

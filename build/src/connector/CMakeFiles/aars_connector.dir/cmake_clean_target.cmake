@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaars_connector.a"
+)

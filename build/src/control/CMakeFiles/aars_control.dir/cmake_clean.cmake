@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_control.dir/fuzzy.cpp.o"
+  "CMakeFiles/aars_control.dir/fuzzy.cpp.o.d"
+  "CMakeFiles/aars_control.dir/ga.cpp.o"
+  "CMakeFiles/aars_control.dir/ga.cpp.o.d"
+  "CMakeFiles/aars_control.dir/pid.cpp.o"
+  "CMakeFiles/aars_control.dir/pid.cpp.o.d"
+  "libaars_control.a"
+  "libaars_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

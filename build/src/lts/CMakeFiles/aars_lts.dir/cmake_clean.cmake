@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_lts.dir/lts.cpp.o"
+  "CMakeFiles/aars_lts.dir/lts.cpp.o.d"
+  "libaars_lts.a"
+  "libaars_lts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_lts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

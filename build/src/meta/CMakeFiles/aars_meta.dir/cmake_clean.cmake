@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_meta.dir/introspection.cpp.o"
+  "CMakeFiles/aars_meta.dir/introspection.cpp.o.d"
+  "CMakeFiles/aars_meta.dir/raml.cpp.o"
+  "CMakeFiles/aars_meta.dir/raml.cpp.o.d"
+  "CMakeFiles/aars_meta.dir/rules.cpp.o"
+  "CMakeFiles/aars_meta.dir/rules.cpp.o.d"
+  "libaars_meta.a"
+  "libaars_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

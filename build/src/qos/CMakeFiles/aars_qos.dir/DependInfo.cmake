@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/contract.cpp" "src/qos/CMakeFiles/aars_qos.dir/contract.cpp.o" "gcc" "src/qos/CMakeFiles/aars_qos.dir/contract.cpp.o.d"
+  "/root/repo/src/qos/monitor.cpp" "src/qos/CMakeFiles/aars_qos.dir/monitor.cpp.o" "gcc" "src/qos/CMakeFiles/aars_qos.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_qos.dir/contract.cpp.o"
+  "CMakeFiles/aars_qos.dir/contract.cpp.o.d"
+  "CMakeFiles/aars_qos.dir/monitor.cpp.o"
+  "CMakeFiles/aars_qos.dir/monitor.cpp.o.d"
+  "libaars_qos.a"
+  "libaars_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

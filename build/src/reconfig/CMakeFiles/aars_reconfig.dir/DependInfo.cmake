@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconfig/adapter.cpp" "src/reconfig/CMakeFiles/aars_reconfig.dir/adapter.cpp.o" "gcc" "src/reconfig/CMakeFiles/aars_reconfig.dir/adapter.cpp.o.d"
+  "/root/repo/src/reconfig/baseline.cpp" "src/reconfig/CMakeFiles/aars_reconfig.dir/baseline.cpp.o" "gcc" "src/reconfig/CMakeFiles/aars_reconfig.dir/baseline.cpp.o.d"
+  "/root/repo/src/reconfig/engine.cpp" "src/reconfig/CMakeFiles/aars_reconfig.dir/engine.cpp.o" "gcc" "src/reconfig/CMakeFiles/aars_reconfig.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/aars_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/aars_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/connector/CMakeFiles/aars_connector.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/aars_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/aars_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

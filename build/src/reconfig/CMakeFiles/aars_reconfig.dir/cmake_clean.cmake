@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_reconfig.dir/adapter.cpp.o"
+  "CMakeFiles/aars_reconfig.dir/adapter.cpp.o.d"
+  "CMakeFiles/aars_reconfig.dir/baseline.cpp.o"
+  "CMakeFiles/aars_reconfig.dir/baseline.cpp.o.d"
+  "CMakeFiles/aars_reconfig.dir/engine.cpp.o"
+  "CMakeFiles/aars_reconfig.dir/engine.cpp.o.d"
+  "libaars_reconfig.a"
+  "libaars_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_runtime.dir/application.cpp.o"
+  "CMakeFiles/aars_runtime.dir/application.cpp.o.d"
+  "CMakeFiles/aars_runtime.dir/channel.cpp.o"
+  "CMakeFiles/aars_runtime.dir/channel.cpp.o.d"
+  "CMakeFiles/aars_runtime.dir/deployer.cpp.o"
+  "CMakeFiles/aars_runtime.dir/deployer.cpp.o.d"
+  "libaars_runtime.a"
+  "libaars_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

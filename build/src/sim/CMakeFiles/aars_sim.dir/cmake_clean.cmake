@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/aars_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/aars_sim.dir/network.cpp.o"
+  "CMakeFiles/aars_sim.dir/network.cpp.o.d"
+  "CMakeFiles/aars_sim.dir/node.cpp.o"
+  "CMakeFiles/aars_sim.dir/node.cpp.o.d"
+  "CMakeFiles/aars_sim.dir/workload.cpp.o"
+  "CMakeFiles/aars_sim.dir/workload.cpp.o.d"
+  "libaars_sim.a"
+  "libaars_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_telecom.dir/admission.cpp.o"
+  "CMakeFiles/aars_telecom.dir/admission.cpp.o.d"
+  "CMakeFiles/aars_telecom.dir/media.cpp.o"
+  "CMakeFiles/aars_telecom.dir/media.cpp.o.d"
+  "CMakeFiles/aars_telecom.dir/mobility.cpp.o"
+  "CMakeFiles/aars_telecom.dir/mobility.cpp.o.d"
+  "CMakeFiles/aars_telecom.dir/quality.cpp.o"
+  "CMakeFiles/aars_telecom.dir/quality.cpp.o.d"
+  "CMakeFiles/aars_telecom.dir/session.cpp.o"
+  "CMakeFiles/aars_telecom.dir/session.cpp.o.d"
+  "libaars_telecom.a"
+  "libaars_telecom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_telecom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aars_telecom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aars_util.dir/logging.cpp.o"
+  "CMakeFiles/aars_util.dir/logging.cpp.o.d"
+  "CMakeFiles/aars_util.dir/rng.cpp.o"
+  "CMakeFiles/aars_util.dir/rng.cpp.o.d"
+  "CMakeFiles/aars_util.dir/stats.cpp.o"
+  "CMakeFiles/aars_util.dir/stats.cpp.o.d"
+  "CMakeFiles/aars_util.dir/strings.cpp.o"
+  "CMakeFiles/aars_util.dir/strings.cpp.o.d"
+  "CMakeFiles/aars_util.dir/value.cpp.o"
+  "CMakeFiles/aars_util.dir/value.cpp.o.d"
+  "libaars_util.a"
+  "libaars_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aars_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

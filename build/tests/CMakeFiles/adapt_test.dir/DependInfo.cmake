@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adapt/adaptive_interface_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/adaptive_interface_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/adaptive_interface_test.cpp.o.d"
+  "/root/repo/tests/adapt/aspects_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/aspects_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/aspects_test.cpp.o.d"
+  "/root/repo/tests/adapt/filters_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/filters_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/filters_test.cpp.o.d"
+  "/root/repo/tests/adapt/injector_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/injector_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/injector_test.cpp.o.d"
+  "/root/repo/tests/adapt/metaobjects_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/metaobjects_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/metaobjects_test.cpp.o.d"
+  "/root/repo/tests/adapt/middleware_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/middleware_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/middleware_test.cpp.o.d"
+  "/root/repo/tests/adapt/paths_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/paths_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/paths_test.cpp.o.d"
+  "/root/repo/tests/adapt/slots_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/slots_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/slots_test.cpp.o.d"
+  "/root/repo/tests/adapt/strategy_test.cpp" "tests/CMakeFiles/adapt_test.dir/adapt/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt/strategy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adapt/CMakeFiles/aars_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/aars_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/aars_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/aars_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/telecom/CMakeFiles/aars_telecom.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aars_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/aars_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/connector/CMakeFiles/aars_connector.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/aars_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/aars_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/aars_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

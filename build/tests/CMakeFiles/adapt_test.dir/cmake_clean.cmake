@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_test.dir/adapt/adaptive_interface_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/adaptive_interface_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/aspects_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/aspects_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/filters_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/filters_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/injector_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/injector_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/metaobjects_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/metaobjects_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/middleware_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/middleware_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/paths_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/paths_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/slots_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/slots_test.cpp.o.d"
+  "CMakeFiles/adapt_test.dir/adapt/strategy_test.cpp.o"
+  "CMakeFiles/adapt_test.dir/adapt/strategy_test.cpp.o.d"
+  "adapt_test"
+  "adapt_test.pdb"
+  "adapt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

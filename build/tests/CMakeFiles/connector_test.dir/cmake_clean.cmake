@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connector_test.dir/connector/connector_test.cpp.o"
+  "CMakeFiles/connector_test.dir/connector/connector_test.cpp.o.d"
+  "CMakeFiles/connector_test.dir/connector/factory_test.cpp.o"
+  "CMakeFiles/connector_test.dir/connector/factory_test.cpp.o.d"
+  "CMakeFiles/connector_test.dir/connector/protocol_test.cpp.o"
+  "CMakeFiles/connector_test.dir/connector/protocol_test.cpp.o.d"
+  "connector_test"
+  "connector_test.pdb"
+  "connector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

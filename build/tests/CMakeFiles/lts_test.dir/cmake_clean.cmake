@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_test.dir/lts/lts_test.cpp.o"
+  "CMakeFiles/lts_test.dir/lts/lts_test.cpp.o.d"
+  "lts_test"
+  "lts_test.pdb"
+  "lts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

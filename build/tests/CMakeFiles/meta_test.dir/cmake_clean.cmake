@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_test.dir/meta/introspection_test.cpp.o"
+  "CMakeFiles/meta_test.dir/meta/introspection_test.cpp.o.d"
+  "CMakeFiles/meta_test.dir/meta/raml_test.cpp.o"
+  "CMakeFiles/meta_test.dir/meta/raml_test.cpp.o.d"
+  "CMakeFiles/meta_test.dir/meta/rules_test.cpp.o"
+  "CMakeFiles/meta_test.dir/meta/rules_test.cpp.o.d"
+  "meta_test"
+  "meta_test.pdb"
+  "meta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_test.dir/telecom/admission_test.cpp.o"
+  "CMakeFiles/telecom_test.dir/telecom/admission_test.cpp.o.d"
+  "CMakeFiles/telecom_test.dir/telecom/media_test.cpp.o"
+  "CMakeFiles/telecom_test.dir/telecom/media_test.cpp.o.d"
+  "CMakeFiles/telecom_test.dir/telecom/mobility_test.cpp.o"
+  "CMakeFiles/telecom_test.dir/telecom/mobility_test.cpp.o.d"
+  "CMakeFiles/telecom_test.dir/telecom/quality_test.cpp.o"
+  "CMakeFiles/telecom_test.dir/telecom/quality_test.cpp.o.d"
+  "CMakeFiles/telecom_test.dir/telecom/session_test.cpp.o"
+  "CMakeFiles/telecom_test.dir/telecom/session_test.cpp.o.d"
+  "telecom_test"
+  "telecom_test.pdb"
+  "telecom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

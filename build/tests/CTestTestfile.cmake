@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/component_test[1]_include.cmake")
+include("/root/repo/build/tests/lts_test[1]_include.cmake")
+include("/root/repo/build/tests/connector_test[1]_include.cmake")
+include("/root/repo/build/tests/adl_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/reconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/adapt_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_test[1]_include.cmake")
+include("/root/repo/build/tests/control_test[1]_include.cmake")
+include("/root/repo/build/tests/meta_test[1]_include.cmake")
+include("/root/repo/build/tests/telecom_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
