@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "component/registry.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "runtime/application.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -70,6 +72,23 @@ inline std::string fmt_us(util::Duration d) {
 
 inline void banner(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+/// Turns on the process-wide metrics registry so the instrumented hot paths
+/// (event loop, connectors, channels, reconfiguration, RAML, QoS) record
+/// into it. Benches call this from main() before running.
+inline void enable_metrics() { obs::Registry::global().set_enabled(true); }
+
+/// Writes `BENCH_<experiment>.json` — the experiment name plus a "metrics"
+/// section rendering every counter/gauge/histogram and the trace ring (see
+/// EXPERIMENTS.md "Metrics & trace schema"). Call after the benchmarks ran.
+inline void write_metrics_json(const std::string& experiment) {
+  const std::string path = "BENCH_" + experiment + ".json";
+  if (obs::write_json_file(obs::Registry::global(), path, experiment)) {
+    std::printf("\nmetrics: wrote %s\n", path.c_str());
+  } else {
+    std::printf("\nmetrics: FAILED to write %s\n", path.c_str());
+  }
 }
 
 /// A self-contained simulated world for the macro experiments.

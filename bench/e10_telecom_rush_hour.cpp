@@ -108,6 +108,7 @@ int main() {
          "Paper claim (S2): mastering adaptation (quality ladder) beats "
          "dropping calls arbitrarily with no care about the rendering. "
          "Same rush-hour demand, same server budget.");
+  aars::bench::enable_metrics();
 
   Table table({"policy", "peak(calls/s)", "offered", "admitted", "dropped",
                "drop_frac", "mean_quality", "delivered_utility",
@@ -133,5 +134,6 @@ int main() {
       "fewer calls and delivers more total utility; the arbitrary policy "
       "keeps per-call quality at HD but rejects most of the rush-hour "
       "demand.\n");
+  aars::bench::write_metrics_json("e10_telecom_rush_hour");
   return 0;
 }

@@ -112,6 +112,7 @@ int main() {
          "Paper claim (S1): blocking channels + draining + state transfer "
          "preserves every message and the component state; the traditional "
          "restart drops in-flight work and loses state.");
+  aars::bench::enable_metrics();
 
   Table table({"mechanism", "lambda(msg/s)", "protocol(us)", "held",
                "replayed", "lost", "dup", "max_delay(us)", "events_sent",
@@ -133,5 +134,6 @@ int main() {
       "\nExpected shape: dynamic rows show lost=0, dup=0, state_ok=yes at "
       "every rate; stop_restart rows lose the pre-swap state (final < "
       "sent).\n");
+  aars::bench::write_metrics_json("e2_reconfig");
   return 0;
 }

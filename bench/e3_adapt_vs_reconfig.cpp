@@ -93,6 +93,7 @@ int main() {
          "Paper claim (S2): adaptability is the light-weight, highly "
          "reactive option; reconfiguration pays a quiescence protocol. "
          "Reaction latency + failed calls during the change, same load.");
+  aars::bench::enable_metrics();
 
   Table table({"mechanism", "lambda(req/s)", "reaction(us)",
                "failed_during_change"});
@@ -171,5 +172,6 @@ int main() {
       "\nExpected shape: the three adaptation mechanisms react in ~0 "
       "simulated us with no failed calls; strong reconfiguration pays the "
       "quiescence+drain protocol (ms-scale), growing with load.\n");
+  aars::bench::write_metrics_json("e3_adapt_vs_reconfig");
   return 0;
 }

@@ -103,7 +103,9 @@ int main(int argc, char** argv) {
       "removed at run time; selective filters touch only chosen messages. "
       "Expect linear growth in chain length; near-flat cost for selective "
       "misses; cheap attach/detach.");
+  aars::bench::enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  aars::bench::write_metrics_json("e4_filters");
   return 0;
 }

@@ -135,6 +135,7 @@ int main() {
          "Paper claim (S1): migrating components to less loaded hardware "
          "makes them execute faster. 4 services packed on one node, then "
          "spread at t=2s; baseline never migrates.");
+  aars::bench::enable_metrics();
 
   Table table({"policy", "load(req/s/svc)", "before_mean(us)",
                "before_p99(us)", "after_mean(us)", "after_p99(us)",
@@ -153,5 +154,6 @@ int main() {
       "\nExpected shape: identical 'before' columns; after migration the "
       "mean/p99 collapse towards the uncontended service time while the "
       "static policy keeps degrading as backlog accumulates.\n");
+  aars::bench::write_metrics_json("e5_migration");
   return 0;
 }

@@ -144,6 +144,7 @@ int main() {
          "Paper claim (S3): feedback control corrects the system during "
          "operation; fuzzy/GA 'intelligent controllers' handle plants with "
          "no analytic model. Latency bound: 40 ms mean.");
+  aars::bench::enable_metrics();
 
   Table table({"controller", "violation_frac", "mean_latency(ms)",
                "mean_quality", "frames_ok", "frames_failed"});
@@ -192,5 +193,6 @@ int main() {
       "controller cuts violations sharply by degrading quality during the "
       "peak; GA-tuned PID <= hand PID; fuzzy competitive on this nonlinear "
       "plant.\n");
+  aars::bench::write_metrics_json("e6_feedback_control");
   return 0;
 }

@@ -106,7 +106,9 @@ int main(int argc, char** argv) {
       "for interconnection compatibility. Cost scales with the product "
       "automaton; synchronised protocols stay linear, independent ones "
       "blow up quadratically; mismatches are detected.");
+  aars::bench::enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  aars::bench::write_metrics_json("e7_lts_check");
   return 0;
 }

@@ -146,7 +146,9 @@ int main(int argc, char** argv) {
       "are semantically checked so no calling-tree cycle can occur. Expect "
       "near-linear emit cost in matching rules and cycle rejection whose "
       "cost tracks the rule-graph size.");
+  aars::bench::enable_metrics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  aars::bench::write_metrics_json("e8_rule_engine");
   return 0;
 }

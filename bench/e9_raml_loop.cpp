@@ -142,6 +142,7 @@ int main(int argc, char** argv) {
          "Paper claim (S1/S3): periodical measurements + specified criteria "
          "trigger reconfiguration. Detection delay should track ~the "
          "monitoring period; the action cost is the migration protocol.");
+  aars::bench::enable_metrics();
 
   Table table({"period(ms)", "detection_delay(us)", "action(us)",
                "latency_degraded(us)", "latency_recovered(us)"});
@@ -161,5 +162,6 @@ int main(int argc, char** argv) {
       "Introspection micro-costs follow.\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  aars::bench::write_metrics_json("e9_raml_loop");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "component/component.h"
+#include "obs/metrics.h"
 #include "reconfig/engine.h"
 #include "runtime/deployer.h"
 
@@ -69,6 +70,10 @@ constexpr const char* kConfig = R"(
 }  // namespace
 
 int main() {
+  // 0. Turn on the observability registry so the runtime's hot paths
+  //    (event loop, connectors, channels, reconfiguration) record metrics.
+  obs::Registry::global().set_enabled(true);
+
   // 1. Build the world: event loop, network, component registry.
   sim::EventLoop loop;
   sim::Network network;
@@ -123,5 +128,18 @@ int main() {
                               util::Value::object({{"name", "world"}}),
                               edge);
   std::printf("call 2 -> %s\n", loud.result.value().as_string().c_str());
+
+  // 6. What the observability layer saw: the relays and the
+  //    reconfiguration phases landed in the global registry.
+  obs::Registry& reg = obs::Registry::global();
+  std::printf(
+      "metrics: %llu calls relayed, %zu reconfig phase sample(s), "
+      "%zu trace event(s)\n",
+      static_cast<unsigned long long>(
+          reg.counter("connector.relayed", {{"policy", "direct"}}).value()),
+      reg.histogram("reconfig.phase_us",
+                    {{"op", "replace"}, {"phase", "drain"}})
+          .count(),
+      reg.trace_buffer().size());
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "component/component.h"
 #include "meta/rules.h"
+#include "obs/metrics.h"
 #include "reconfig/engine.h"
 #include "util/rng.h"
 
@@ -66,6 +67,8 @@ class FlakyWorker : public component::Component {
 }  // namespace
 
 int main() {
+  obs::Registry::global().set_enabled(true);
+
   sim::EventLoop loop;
   sim::Network network;
   component::ComponentRegistry registry;
@@ -172,5 +175,18 @@ int main() {
       "time(s)\n",
       ok, failed, static_cast<unsigned long long>(rules.fired()),
       static_cast<unsigned long long>(rules.rejected()), generation - 1);
+
+  // Reconfiguration timings as the observability layer captured them, plus
+  // the trace timeline of phases and repairs.
+  obs::Registry& reg = obs::Registry::global();
+  const obs::HistogramMetric& durations =
+      reg.histogram("reconfig.duration_us", {{"op", "replace"}});
+  if (durations.count() > 0) {
+    std::printf("obs: %zu replacement(s), p50 %.0f us, max %.0f us\n",
+                durations.count(), durations.samples().percentile(0.5),
+                durations.samples().max());
+  }
+  std::printf("obs: %llu trace event(s) on the timeline\n",
+              static_cast<unsigned long long>(reg.trace_buffer().recorded()));
   return 0;
 }

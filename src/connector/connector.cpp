@@ -10,6 +10,14 @@ using util::ErrorCode;
 Connector::Connector(ConnectorId id, ConnectorSpec spec)
     : id_(id), spec_(std::move(spec)) {
   util::require(!spec_.name.empty(), "connector name required");
+  obs::Registry& reg = obs::Registry::global();
+  obs_relayed_ = &reg.counter("connector.relayed",
+                              {{"policy", to_string(spec_.routing)}});
+  obs_verdict_pass_ = &reg.counter("connector.verdict", {{"verdict", "pass"}});
+  obs_verdict_block_ =
+      &reg.counter("connector.verdict", {{"verdict", "block"}});
+  obs_verdict_handled_ =
+      &reg.counter("connector.verdict", {{"verdict", "handled"}});
 }
 
 Status Connector::add_provider(ComponentId provider) {
@@ -120,18 +128,31 @@ std::vector<std::string> Connector::interceptor_names() const {
 }
 
 Interceptor::Verdict Connector::run_before(Message& request,
-                                           Result<Value>* reply_out) {
+                                           Result<Value>* reply_out,
+                                           std::size_t* seen_out) {
+  Interceptor::Verdict verdict = Interceptor::Verdict::kPass;
+  std::size_t seen = 0;
   for (const Slot& slot : interceptors_) {
-    const Interceptor::Verdict verdict =
-        slot.interceptor->before(request, reply_out);
-    if (verdict != Interceptor::Verdict::kPass) return verdict;
+    ++seen;
+    verdict = slot.interceptor->before(request, reply_out);
+    if (verdict != Interceptor::Verdict::kPass) break;
   }
-  return Interceptor::Verdict::kPass;
+  if (seen_out != nullptr) *seen_out = seen;
+  switch (verdict) {
+    case Interceptor::Verdict::kPass: obs_verdict_pass_->inc(); break;
+    case Interceptor::Verdict::kBlock: obs_verdict_block_->inc(); break;
+    case Interceptor::Verdict::kHandled: obs_verdict_handled_->inc(); break;
+  }
+  return verdict;
 }
 
-void Connector::run_after(const Message& request, Result<Value>& reply) {
-  for (auto it = interceptors_.rbegin(); it != interceptors_.rend(); ++it) {
-    it->interceptor->after(request, reply);
+void Connector::run_after(const Message& request, Result<Value>& reply,
+                          std::size_t seen) {
+  // Unwind only the prefix that saw the request: when run_before stopped
+  // early (kBlock/kHandled), interceptors past the stopping point never ran
+  // and must not see the reply either.
+  for (std::size_t i = std::min(seen, interceptors_.size()); i-- > 0;) {
+    interceptors_[i].interceptor->after(request, reply);
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include "component/message.h"
 #include "lts/lts.h"
+#include "obs/metrics.h"
 #include "util/errors.h"
 #include "util/ids.h"
 #include "util/value.h"
@@ -126,17 +127,29 @@ class Connector {
   std::vector<std::string> interceptor_names() const;
   std::size_t interceptor_count() const { return interceptors_.size(); }
 
+  /// Passed to run_after when every interceptor of the current chain saw
+  /// the request (the kPass case).
+  static constexpr std::size_t kAllInterceptors = ~std::size_t{0};
+
   /// Runs the request path. Returns kPass/kBlock/kHandled like a single
   /// interceptor; on kBlock/kHandled `reply_out` carries the outcome.
-  Interceptor::Verdict run_before(Message& request,
-                                  Result<Value>* reply_out);
-  /// Runs the reply path in reverse order over the interceptors that saw
-  /// the request.
-  void run_after(const Message& request, Result<Value>& reply);
+  /// When `seen_out` is non-null it receives the number of interceptors
+  /// whose before() ran (including the one that stopped the chain) — pass
+  /// it to run_after so only that prefix unwinds.
+  Interceptor::Verdict run_before(Message& request, Result<Value>* reply_out,
+                                  std::size_t* seen_out = nullptr);
+  /// Runs the reply path in reverse order over the first `seen`
+  /// interceptors — the ones that saw the request. Defaults to the whole
+  /// chain (correct for kPass flows).
+  void run_after(const Message& request, Result<Value>& reply,
+                 std::size_t seen = kAllInterceptors);
 
   // --- statistics ------------------------------------------------------------
   std::uint64_t relayed() const { return relayed_; }
-  void count_relay() { ++relayed_; }
+  void count_relay() {
+    ++relayed_;
+    obs_relayed_->inc();
+  }
 
  private:
   struct Slot {
@@ -152,6 +165,11 @@ class Connector {
   std::size_t round_robin_next_ = 0;
   std::uint64_t attach_counter_ = 0;
   std::uint64_t relayed_ = 0;
+  // Observability mirrors (no-ops while the global registry is disabled).
+  obs::Counter* obs_relayed_;
+  obs::Counter* obs_verdict_pass_;
+  obs::Counter* obs_verdict_block_;
+  obs::Counter* obs_verdict_handled_;
 };
 
 }  // namespace aars::connector

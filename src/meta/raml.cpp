@@ -1,5 +1,7 @@
 #include "meta/raml.h"
 
+#include <chrono>
+
 namespace aars::meta {
 
 using util::Duration;
@@ -13,6 +15,10 @@ Raml::Raml(runtime::Application& app, reconfig::ReconfigurationEngine& engine,
       view_(app),
       rule_engine_(app.loop()) {
   util::require(period > 0, "period must be positive");
+  obs::Registry& reg = obs::Registry::global();
+  obs_ticks_ = &reg.counter("raml.ticks");
+  obs_actions_ = &reg.counter("raml.actions");
+  obs_decision_ns_ = &reg.histogram("raml.decision_latency_ns");
 }
 
 void Raml::add_sensor(const std::string& name,
@@ -34,6 +40,13 @@ void Raml::add_policy(Policy policy) {
 
 void Raml::tick() {
   ++ticks_;
+  obs_ticks_->inc();
+  // Wall-clock cost of one full MAPE iteration (monitor -> analyze ->
+  // plan -> execute): the meta-level's own decision latency, which the
+  // sim clock cannot see because the whole tick runs inside one event.
+  const bool timed = obs::Registry::global().enabled();
+  const auto wall_start = timed ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
   // Monitor: sample every sensor.
   MetricSample sample;
   sample.at = app_.loop().now();
@@ -62,6 +75,9 @@ void Raml::tick() {
     if (policy.condition(sample)) {
       last_fired_[policy.name] = sample.at;
       ++actions_taken_;
+      obs_actions_->inc();
+      obs::Registry::global().trace(sample.at, obs::TraceKind::kDecision,
+                                    policy.name, "policy fired");
       rule_engine_.emit("policy_fired",
                         util::Value::object({{"policy", policy.name}}));
       policy.action(*this);
@@ -69,6 +85,12 @@ void Raml::tick() {
   }
   // Parked waitUntil events get a periodic chance to proceed.
   rule_engine_.poll_waiting();
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - wall_start;
+    obs_decision_ns_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
 }
 
 void Raml::tick_and_next() {

@@ -25,6 +25,7 @@
 
 #include "meta/introspection.h"
 #include "meta/rules.h"
+#include "obs/metrics.h"
 #include "qos/monitor.h"
 #include "reconfig/engine.h"
 #include "runtime/application.h"
@@ -105,6 +106,10 @@ class Raml {
   sim::EventHandle pending_;
   std::uint64_t ticks_ = 0;
   std::uint64_t actions_taken_ = 0;
+  // Observability mirrors (no-ops while the global registry is disabled).
+  obs::Counter* obs_ticks_;
+  obs::Counter* obs_actions_;
+  obs::HistogramMetric* obs_decision_ns_;
 };
 
 }  // namespace aars::meta

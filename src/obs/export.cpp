@@ -1,0 +1,138 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace aars::obs {
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent), ' '); }
+
+/// JSON has no NaN/Inf; clamp to null-adjacent zero rather than emitting an
+/// invalid document.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+void append_labels(std::ostringstream& out, const Labels& labels) {
+  out << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << json_escape(k) << "\": \"" << json_escape(v) << '"';
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Registry& registry, int indent) {
+  const std::string p0 = pad(indent);
+  const std::string p1 = pad(indent + 2);
+  const std::string p2 = pad(indent + 4);
+  std::ostringstream out;
+  out << "{\n";
+
+  out << p1 << "\"counters\": [";
+  bool first = true;
+  for (const auto& [key, counter] : registry.counters()) {
+    out << (first ? "\n" : ",\n") << p2 << "{\"name\": \""
+        << json_escape(key.first) << "\", \"labels\": ";
+    append_labels(out, key.second);
+    out << ", \"value\": " << counter->value() << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + p1) << "],\n";
+
+  out << p1 << "\"gauges\": [";
+  first = true;
+  for (const auto& [key, gauge] : registry.gauges()) {
+    out << (first ? "\n" : ",\n") << p2 << "{\"name\": \""
+        << json_escape(key.first) << "\", \"labels\": ";
+    append_labels(out, key.second);
+    out << ", \"value\": " << num(gauge->value())
+        << ", \"high_water\": " << num(gauge->high_water()) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + p1) << "],\n";
+
+  out << p1 << "\"histograms\": [";
+  first = true;
+  for (const auto& [key, hist] : registry.histograms()) {
+    const util::Histogram& h = hist->samples();
+    out << (first ? "\n" : ",\n") << p2 << "{\"name\": \""
+        << json_escape(key.first) << "\", \"labels\": ";
+    append_labels(out, key.second);
+    out << ", \"count\": " << h.count() << ", \"mean\": " << num(h.mean())
+        << ", \"p50\": " << num(h.p50()) << ", \"p95\": " << num(h.p95())
+        << ", \"p99\": " << num(h.p99()) << ", \"max\": " << num(h.max())
+        << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + p1) << "],\n";
+
+  const TraceBuffer& trace = registry.trace_buffer();
+  out << p1 << "\"trace\": {\n";
+  out << p2 << "\"capacity\": " << trace.capacity() << ",\n";
+  out << p2 << "\"recorded\": " << trace.recorded() << ",\n";
+  out << p2 << "\"dropped\": " << trace.dropped() << ",\n";
+  out << p2 << "\"events\": [";
+  first = true;
+  for (const TraceEvent& event : trace.snapshot()) {
+    out << (first ? "\n" : ",\n") << pad(indent + 6) << "{\"at\": "
+        << event.at << ", \"kind\": \"" << to_string(event.kind)
+        << "\", \"name\": \"" << json_escape(event.name)
+        << "\", \"detail\": \"" << json_escape(event.detail) << "\"}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + p2) << "]\n";
+  out << p1 << "}\n";
+
+  out << p0 << "}";
+  return out.str();
+}
+
+bool write_json_file(const Registry& registry, const std::string& path,
+                     const std::string& experiment) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string body = "{\n  \"experiment\": \"" +
+                           json_escape(experiment) +
+                           "\",\n  \"metrics\": " + to_json(registry, 2) +
+                           "\n}\n";
+  const std::size_t written =
+      std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  return written == body.size();
+}
+
+}  // namespace aars::obs

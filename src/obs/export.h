@@ -1,0 +1,40 @@
+// JSON export for the observability registry.
+//
+// Renders a Registry as a stable, diffable JSON object so benches and
+// experiments can attach a "metrics" section to their reports
+// (BENCH_*.json).  Schema (see EXPERIMENTS.md "Metrics & trace schema"):
+//
+//   {
+//     "counters":   [{"name": ..., "labels": {...}, "value": N}, ...],
+//     "gauges":     [{"name": ..., "labels": {...},
+//                     "value": x, "high_water": y}, ...],
+//     "histograms": [{"name": ..., "labels": {...}, "count": N,
+//                     "mean": x, "p50": x, "p95": x, "p99": x,
+//                     "max": x}, ...],
+//     "trace": {"capacity": N, "recorded": N, "dropped": N,
+//               "events": [{"at": t, "kind": ..., "name": ...,
+//                           "detail": ...}, ...]}
+//   }
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace aars::obs {
+
+/// Escapes a string for inclusion inside a JSON string literal.
+std::string json_escape(const std::string& raw);
+
+/// Renders the registry as the JSON object above. `indent` is the leading
+/// indentation (spaces) applied to every line, so the object can be nested
+/// inside a larger document; the first line carries no indent.
+std::string to_json(const Registry& registry, int indent = 0);
+
+/// Writes `{"experiment": <name>, "metrics": <to_json(registry)>}` to
+/// `path`. Returns false (and leaves no partial file guarantees) when the
+/// file cannot be opened.
+bool write_json_file(const Registry& registry, const std::string& path,
+                     const std::string& experiment);
+
+}  // namespace aars::obs

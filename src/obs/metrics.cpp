@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace aars::obs {
+
+// --- TraceBuffer --------------------------------------------------------------
+
+void TraceBuffer::record(TraceEvent event) {
+  if (capacity_ == 0) {
+    ++recorded_;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::size_t TraceBuffer::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, `head_` is the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Labels Registry::canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               labels.end());
+  return labels;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  const auto key = std::make_pair(name, canonical(labels));
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(key, std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  const auto key = std::make_pair(name, canonical(labels));
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(key, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& Registry::histogram(const std::string& name,
+                                     const Labels& labels) {
+  const auto key = std::make_pair(name, canonical(labels));
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(key, std::unique_ptr<HistogramMetric>(
+                               new HistogramMetric(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::trace(util::SimTime at, TraceKind kind, std::string name,
+                     std::string detail) {
+  if (!enabled_) return;
+  trace_.record(TraceEvent{at, kind, std::move(name), std::move(detail)});
+}
+
+void Registry::reset_values() {
+  for (auto& [key, c] : counters_) c->value_ = 0;
+  for (auto& [key, g] : gauges_) {
+    g->value_ = 0.0;
+    g->high_water_ = 0.0;
+  }
+  for (auto& [key, h] : histograms_) h->samples_.reset();
+  trace_.clear();
+}
+
+}  // namespace aars::obs

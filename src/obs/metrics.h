@@ -1,0 +1,206 @@
+// Observability substrate: metrics registry + structured trace buffer.
+//
+// The paper's RAML vision rests on "monitoring and measuring techniques at
+// the meta-level" — introspection of the running system is the input to
+// every adaptation decision.  This module is the uniform measurement
+// backbone: named counters, gauges and histograms (keyed by name + labels)
+// plus a bounded ring buffer of structured trace events (message relays,
+// reconfiguration phases, RAML decisions, QoS violations).
+//
+// Design constraints:
+//   * Zero overhead when disabled.  The registry starts disabled; every
+//     record operation is a single predictable branch on a cached flag, so
+//     instrumented hot paths (connector relay, event dispatch) cost nothing
+//     measurable until a bench or experiment opts in.
+//   * Stable handles.  Instrumented classes resolve their instruments once
+//     (typically at construction) and keep pointers; instruments are never
+//     deallocated while the registry lives, so recording is lock-free and
+//     allocation-free.
+//   * Mirror, not source of truth.  Subsystems keep their own counters for
+//     control decisions (tests and protocols rely on them regardless of
+//     whether observability is on); the registry mirrors those signals for
+//     export and cross-cutting observation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace aars::obs {
+
+/// Metric labels: sorted key/value pairs. Kept canonical (sorted, unique
+/// keys) by the registry so {a=1,b=2} and {b=2,a=1} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry;
+
+/// Monotonically increasing count (events executed, messages dropped...).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level plus a high-water mark (queue depth, in-flight...).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!*enabled_) return;
+    value_ = v;
+    if (v > high_water_) high_water_ = v;
+  }
+  void add(double delta) { set(value_ + delta); }
+  double value() const { return value_; }
+  double high_water() const { return high_water_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0.0;
+  double high_water_ = 0.0;
+};
+
+/// Sample distribution with exact percentiles (leans on util::Histogram).
+/// Intended for bounded experiment outputs — latencies, phase durations —
+/// not unbounded production streams.
+class HistogramMetric {
+ public:
+  void observe(double v) {
+    if (*enabled_) samples_.add(v);
+  }
+  const util::Histogram& samples() const { return samples_; }
+  std::size_t count() const { return samples_.count(); }
+
+ private:
+  friend class Registry;
+  explicit HistogramMetric(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  util::Histogram samples_;
+};
+
+/// What a trace event describes.
+enum class TraceKind {
+  kRelay,         // a connector relayed (or intercepted) a message
+  kReconfig,      // a reconfiguration protocol phase transition
+  kDecision,      // a RAML policy fired
+  kQosViolation,  // a QoS contract evaluation failed
+  kCustom,        // anything else an experiment wants on the timeline
+};
+
+constexpr const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kRelay: return "relay";
+    case TraceKind::kReconfig: return "reconfig";
+    case TraceKind::kDecision: return "decision";
+    case TraceKind::kQosViolation: return "qos_violation";
+    case TraceKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+/// One entry on the simulation timeline.
+struct TraceEvent {
+  util::SimTime at = 0;
+  TraceKind kind = TraceKind::kCustom;
+  std::string name;    // subject: connector, phase, policy or contract name
+  std::string detail;  // free-form context (kept short; it lands in JSON)
+};
+
+/// Fixed-capacity ring of recent trace events. When full, the oldest entry
+/// is overwritten; `dropped()` counts the overwritten ones so exports can
+/// say "showing the last N of M".
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void record(TraceEvent event);
+  /// Events oldest-first (at most `capacity()` of them).
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const {
+    return recorded_ - static_cast<std::uint64_t>(size());
+  }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot once the ring wrapped
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+/// Owns every instrument and the trace buffer. Instruments are created on
+/// first lookup and live as long as the registry, so callers may cache the
+/// returned references.
+class Registry {
+ public:
+  static constexpr std::size_t kDefaultTraceCapacity = 4096;
+
+  explicit Registry(std::size_t trace_capacity = kDefaultTraceCapacity)
+      : trace_(trace_capacity) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry the built-in instrumentation records into.
+  static Registry& global();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // --- instruments ----------------------------------------------------------
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric& histogram(const std::string& name,
+                             const Labels& labels = {});
+
+  // --- tracing --------------------------------------------------------------
+  /// Records a trace event (no-op while disabled).
+  void trace(util::SimTime at, TraceKind kind, std::string name,
+             std::string detail = {});
+  const TraceBuffer& trace_buffer() const { return trace_; }
+
+  // --- export / inspection --------------------------------------------------
+  struct Series {
+    std::string name;
+    Labels labels;
+  };
+  template <typename T>
+  using Family = std::map<std::pair<std::string, Labels>, std::unique_ptr<T>>;
+
+  const Family<Counter>& counters() const { return counters_; }
+  const Family<Gauge>& gauges() const { return gauges_; }
+  const Family<HistogramMetric>& histograms() const { return histograms_; }
+
+  /// Zeroes every counter/gauge/histogram and clears the trace, keeping the
+  /// instruments alive (handles cached by instrumented objects stay valid).
+  /// Benches use this to scope the exported metrics to the measured run.
+  void reset_values();
+
+ private:
+  static Labels canonical(Labels labels);
+
+  bool enabled_ = false;
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<HistogramMetric> histograms_;
+  TraceBuffer trace_;
+};
+
+}  // namespace aars::obs

@@ -13,6 +13,11 @@ QosMonitor::QosMonitor(sim::EventLoop& loop, QosContract contract,
       failures_(window),
       qualities_(window) {
   util::require(window > 0, "window must be positive");
+  obs::Registry& reg = obs::Registry::global();
+  obs_evaluations_ =
+      &reg.counter("qos.evaluations", {{"contract", contract_.name}});
+  obs_violations_ =
+      &reg.counter("qos.violations", {{"contract", contract_.name}});
 }
 
 void QosMonitor::record_call(Duration latency, bool ok) {
@@ -42,6 +47,7 @@ Compliance QosMonitor::evaluate() {
   Compliance compliance;
   compliance.evaluated_at = now;
   ++evaluations_;
+  obs_evaluations_->inc();
 
   const auto add = [&compliance](const std::string& dim, double observed,
                                  double bound, bool violated) {
@@ -80,6 +86,15 @@ Compliance QosMonitor::evaluate() {
 
   if (!compliance.compliant) {
     ++violations_;
+    obs_violations_->inc();
+    std::string dims;
+    for (const Finding& f : compliance.findings) {
+      if (!f.violated) continue;
+      if (!dims.empty()) dims += ",";
+      dims += f.dimension;
+    }
+    obs::Registry::global().trace(now, obs::TraceKind::kQosViolation,
+                                  contract_.name, dims);
     for (const ViolationHook& hook : hooks_) hook(compliance);
   }
   return compliance;

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "qos/contract.h"
 #include "sim/event_loop.h"
 #include "util/stats.h"
@@ -61,8 +62,13 @@ class QosMonitor {
   bool periodic_running_ = false;
   sim::EventHandle periodic_;
   std::vector<ViolationHook> hooks_;
+  // Monitors keep authoritative counts locally (the registry can be
+  // disabled, and series are shared across monitors with the same contract
+  // name) and mirror them into obs under "qos.*"{contract=...}.
   std::uint64_t evaluations_ = 0;
   std::uint64_t violations_ = 0;
+  obs::Counter* obs_evaluations_;
+  obs::Counter* obs_violations_;
 };
 
 }  // namespace aars::qos

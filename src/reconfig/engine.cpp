@@ -50,9 +50,23 @@ void ReconfigurationEngine::wait_quiescent(ComponentId component,
                              });
 }
 
+void ReconfigurationEngine::record_phase(const std::string& op,
+                                         const char* phase, SimTime since) {
+  obs::Registry& reg = obs::Registry::global();
+  const SimTime now = app_.loop().now();
+  reg.histogram("reconfig.phase_us", {{"op", op}, {"phase", phase}})
+      .observe(static_cast<double>(now - since));
+  reg.trace(now, obs::TraceKind::kReconfig, op, phase);
+}
+
 void ReconfigurationEngine::finish(ReconfigReport report, const Done& done) {
   report.finished_at = app_.loop().now();
   if (report.success) ++succeeded_;
+  obs::Registry& reg = obs::Registry::global();
+  reg.histogram("reconfig.duration_us", {{"op", report.op}})
+      .observe(static_cast<double>(report.duration()));
+  reg.trace(report.finished_at, obs::TraceKind::kReconfig, report.op,
+            report.success ? "done" : "failed: " + report.error);
   if (done) done(report);
 }
 
@@ -60,17 +74,23 @@ void ReconfigurationEngine::remove_component(ComponentId component,
                                              Done done) {
   ++started_;
   ReconfigReport report;
+  report.op = "remove";
   report.started_at = app_.loop().now();
   if (app_.find_component(component) == nullptr) {
     report.error = "no such component";
     finish(std::move(report), done);
     return;
   }
+  obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
+                                report.op, "start");
   app_.block_channels_to(component);
   app_.when_drained(component, [this, component, report, done]() mutable {
+    record_phase(report.op, "drain", report.started_at);
+    const SimTime drained_at = app_.loop().now();
     const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
-    wait_quiescent(component, deadline, [this, component, report,
+    wait_quiescent(component, deadline, [this, component, report, drained_at,
                                          done](bool quiescent) mutable {
+      record_phase(report.op, "quiesce", drained_at);
       if (!quiescent) {
         app_.unblock_channels_to(component);
         app_.replay_held(component);
@@ -102,6 +122,7 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
                                               Done done) {
   ++started_;
   ReconfigReport report;
+  report.op = "replace";
   report.started_at = app_.loop().now();
   component::Component* old_comp = app_.find_component(old_component);
   if (old_comp == nullptr) {
@@ -109,6 +130,8 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
     finish(std::move(report), done);
     return;
   }
+  obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
+                                report.op, "start");
 
   // Step 1: block channels — new traffic is held, in-transit continues.
   app_.block_channels_to(old_component);
@@ -116,11 +139,15 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
   // Step 2: drain in-transit messages.
   app_.when_drained(old_component, [this, old_component, new_type, new_name,
                                     report, done]() mutable {
+    record_phase(report.op, "drain", report.started_at);
+    const SimTime drained_at = app_.loop().now();
     const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
     // Step 3: wait for the reconfiguration point.
     wait_quiescent(old_component, deadline, [this, old_component, new_type,
-                                             new_name, report,
+                                             new_name, report, drained_at,
                                              done](bool quiescent) mutable {
+      record_phase(report.op, "quiesce", drained_at);
+      const SimTime quiescent_at = app_.loop().now();
       auto rollback = [this, old_component, &report, &done]() {
         app_.unblock_channels_to(old_component);
         app_.replay_held(old_component);
@@ -171,6 +198,7 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
       // Step 8: reopen and replay held traffic.
       app_.unblock_channels_to(new_component);
       report.replayed_messages = app_.replay_held(new_component);
+      record_phase(report.op, "swap_replay", quiescent_at);
       // Step 9: retire the old module.
       if (Status s = app_.destroy(old_component); !s.ok()) {
         AARS_WARN << "replace: old component not removed: "
@@ -187,6 +215,7 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
                                               NodeId destination, Done done) {
   ++started_;
   ReconfigReport report;
+  report.op = "migrate";
   report.started_at = app_.loop().now();
   component::Component* comp = app_.find_component(component);
   if (comp == nullptr) {
@@ -200,13 +229,19 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
     finish(std::move(report), done);
     return;
   }
+  obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
+                                report.op, "start");
 
   app_.block_channels_to(component);
   app_.when_drained(component, [this, component, source, destination, report,
                                 done]() mutable {
+    record_phase(report.op, "drain", report.started_at);
+    const SimTime drained_at = app_.loop().now();
     const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
     wait_quiescent(component, deadline, [this, component, source, destination,
-                                         report, done](bool quiescent) mutable {
+                                         report, drained_at,
+                                         done](bool quiescent) mutable {
+      record_phase(report.op, "quiesce", drained_at);
       if (!quiescent) {
         app_.unblock_channels_to(component);
         app_.replay_held(component);

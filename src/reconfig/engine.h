@@ -20,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "runtime/application.h"
 #include "util/errors.h"
 #include "util/time.h"
@@ -40,6 +41,8 @@ using util::Value;
 struct ReconfigReport {
   bool success = false;
   std::string error;
+  /// Which change class ran: "remove", "replace" or "migrate".
+  std::string op;
   SimTime started_at = 0;
   SimTime finished_at = 0;
   /// Wall time of the whole protocol (quiesce + swap + replay).
@@ -97,6 +100,9 @@ class ReconfigurationEngine {
   void wait_quiescent(ComponentId component, SimTime deadline,
                       std::function<void(bool)> next);
   void finish(ReconfigReport report, const Done& done);
+  /// Records the end of a protocol phase that started at `since`: a trace
+  /// event plus a "reconfig.phase_us"{op,phase} duration sample.
+  void record_phase(const std::string& op, const char* phase, SimTime since);
 
   Application& app_;
   Options options_;

@@ -23,7 +23,12 @@ Application::Application(sim::EventLoop& loop, sim::Network& network,
       network_(network),
       registry_(registry),
       config_(config),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  obs::Registry& reg = obs::Registry::global();
+  obs_calls_ = &reg.counter("runtime.calls");
+  obs_failed_calls_ = &reg.counter("runtime.failed_calls");
+  obs_call_latency_ = &reg.histogram("runtime.call_latency_us");
+}
 
 // --- construction -------------------------------------------------------------
 
@@ -299,6 +304,9 @@ void Application::finish_call(Connector& conn, const Message& message,
   const Duration latency = loop_.now() - departed;
   ++total_calls_;
   if (!result.ok()) ++failed_calls_;
+  obs_calls_->inc();
+  if (!result.ok()) obs_failed_calls_->inc();
+  obs_call_latency_->observe(static_cast<double>(latency));
   CallRecord record{conn.id(),     message.target, message.operation,
                     latency,       result.ok(),    loop_.now()};
   for (const CallListener& listener : listeners_) listener(record);
@@ -343,7 +351,9 @@ void Application::relay_event_driven(Connector& conn, Message message,
                                      ResponseCallback callback) {
   conn.count_relay();
   Result<Value> intercepted = Value{};
-  const Interceptor::Verdict verdict = conn.run_before(message, &intercepted);
+  std::size_t icpt_seen = 0;
+  const Interceptor::Verdict verdict =
+      conn.run_before(message, &intercepted, &icpt_seen);
   if (verdict != Interceptor::Verdict::kPass) {
     Result<Value> outcome =
         (verdict == Interceptor::Verdict::kBlock && intercepted.ok())
@@ -352,8 +362,8 @@ void Application::relay_event_driven(Connector& conn, Message message,
             : std::move(intercepted);
     const SimTime departed = loop_.now();
     loop_.schedule_after(0, [this, &conn, message, outcome, origin, callback,
-                             departed]() mutable {
-      conn.run_after(message, outcome);
+                             departed, icpt_seen]() mutable {
+      conn.run_after(message, outcome, icpt_seen);
       finish_call(conn, message, std::move(outcome), origin, callback,
                   departed);
     });
@@ -532,14 +542,16 @@ Application::CallOutcome Application::invoke_sync(ConnectorId connector,
   message.sent_at = loop_.now();
 
   Result<Value> intercepted = Value{};
-  const Interceptor::Verdict verdict = conn->run_before(message, &intercepted);
+  std::size_t icpt_seen = 0;
+  const Interceptor::Verdict verdict =
+      conn->run_before(message, &intercepted, &icpt_seen);
   if (verdict != Interceptor::Verdict::kPass) {
     Result<Value> outcome =
         (verdict == Interceptor::Verdict::kBlock && intercepted.ok())
             ? Result<Value>(Error{ErrorCode::kRejected,
                                   conn->name() + ": blocked by interceptor"})
             : std::move(intercepted);
-    conn->run_after(message, outcome);
+    conn->run_after(message, outcome, icpt_seen);
     finish_call(*conn, message, outcome, origin, nullptr, loop_.now());
     return CallOutcome{std::move(outcome), 0};
   }
@@ -609,6 +621,9 @@ Application::CallOutcome Application::invoke_sync(ConnectorId connector,
 
   ++total_calls_;
   if (!result.ok()) ++failed_calls_;
+  obs_calls_->inc();
+  if (!result.ok()) obs_failed_calls_->inc();
+  obs_call_latency_->observe(static_cast<double>(latency));
   CallRecord record{conn->id(), message.target, message.operation,
                     latency,    result.ok(),    loop_.now()};
   for (const CallListener& listener : listeners_) listener(record);

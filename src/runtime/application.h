@@ -24,6 +24,7 @@
 #include "component/registry.h"
 #include "connector/connector.h"
 #include "connector/factory.h"
+#include "obs/metrics.h"
 #include "runtime/channel.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -217,6 +218,10 @@ class Application {
   std::uint64_t total_calls_ = 0;
   std::uint64_t failed_calls_ = 0;
   util::IdGenerator<util::MessageId> message_ids_;
+  // Observability mirrors (no-ops while the global registry is disabled).
+  obs::Counter* obs_calls_;
+  obs::Counter* obs_failed_calls_;
+  obs::HistogramMetric* obs_call_latency_;
 };
 
 }  // namespace aars::runtime

@@ -4,16 +4,49 @@ namespace aars::runtime {
 
 Channel::Channel(ChannelId id, ConnectorId connector, ComponentId provider,
                  bool audit)
-    : id_(id), connector_(connector), provider_(provider), audit_(audit) {}
+    : id_(id), connector_(connector), provider_(provider), audit_(audit) {
+  obs::Registry& reg = obs::Registry::global();
+  obs_delivered_ = &reg.counter("channel.delivered");
+  obs_dropped_ = &reg.counter("channel.dropped");
+  obs_duplicated_ = &reg.counter("channel.duplicated");
+  obs_in_flight_ = &reg.gauge("channel.in_flight");
+  obs_max_delay_ = &reg.gauge("channel.max_delay_us");
+}
+
+bool Channel::audit_seen(std::uint64_t sequence) {
+  if (sequence <= watermark_) return true;
+  if (!recent_.insert(sequence).second) return true;
+  max_seen_ = std::max(max_seen_, sequence);
+  // Advance the contiguous delivered watermark, shedding entries as the
+  // frontier closes up — in-order traffic keeps recent_ at one entry.
+  while (recent_.erase(watermark_ + 1) != 0) ++watermark_;
+  if (recent_.size() > kAuditWindow) {
+    // A permanent gap (dropped message) is pinning the watermark. Force it
+    // forward so the tracked span stays bounded; sequences at or below the
+    // new watermark now count as seen.
+    const std::uint64_t floor =
+        std::max(watermark_, max_seen_ - kAuditWindow);
+    for (auto it = recent_.begin(); it != recent_.end();) {
+      if (*it <= floor) {
+        it = recent_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    watermark_ = floor;
+    while (recent_.erase(watermark_ + 1) != 0) ++watermark_;
+  }
+  return false;
+}
 
 void Channel::record_delivery(std::uint64_t sequence) {
-  if (audit_) {
-    if (!seen_.insert(sequence).second) {
-      ++duplicated_;
-      return;
-    }
+  if (audit_ && audit_seen(sequence)) {
+    ++duplicated_;
+    obs_duplicated_->inc();
+    return;
   }
   ++delivered_;
+  obs_delivered_->inc();
 }
 
 std::uint64_t Channel::missing() const {
@@ -36,6 +69,7 @@ std::optional<HeldMessage> Channel::take_held() {
 void Channel::on_arrive() {
   util::require(in_flight_ > 0, "channel in-flight underflow");
   --in_flight_;
+  obs_in_flight_->set(static_cast<double>(in_flight_));
   if (in_flight_ == 0) {
     while (!drain_waiters_.empty()) {
       auto waiter = std::move(drain_waiters_.front());

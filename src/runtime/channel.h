@@ -8,12 +8,14 @@
 // cycle the quiescence protocol needs.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_set>
 
 #include "component/message.h"
+#include "obs/metrics.h"
 #include "util/errors.h"
 #include "util/ids.h"
 #include "util/time.h"
@@ -48,10 +50,18 @@ class Channel {
   void set_provider(ComponentId provider) { provider_ = provider; }
 
   // --- sequencing & integrity ----------------------------------------------
+  /// Out-of-order span the duplicate audit tracks exactly. Deliveries more
+  /// than this many sequence numbers behind the forced watermark are
+  /// classified duplicates (the memory-bound trade-off; see seen below).
+  static constexpr std::size_t kAuditWindow = 1024;
+
   std::uint64_t next_sequence() { return next_seq_++; }
   /// Records a delivery. With auditing on, flags duplicates.
   void record_delivery(std::uint64_t sequence);
-  void record_drop(std::uint64_t count = 1) { dropped_ += count; }
+  void record_drop(std::uint64_t count = 1) {
+    dropped_ += count;
+    obs_dropped_->inc(count);
+  }
   std::uint64_t sent() const { return next_seq_ - 1; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
@@ -70,8 +80,18 @@ class Channel {
   /// Re-addresses every held message (provider swap during quiescence).
   void retarget_held(ComponentId provider);
 
+  /// Sequences the audit currently tracks individually (above the
+  /// delivered watermark). Bounded by kAuditWindow — exposed so tests can
+  /// assert the audit memory stays bounded.
+  std::size_t audit_entries() const { return recent_.size(); }
+  /// Every sequence <= watermark counts as already delivered.
+  std::uint64_t delivered_watermark() const { return watermark_; }
+
   // --- in-flight accounting ---------------------------------------------------
-  void on_depart() { ++in_flight_; }
+  void on_depart() {
+    ++in_flight_;
+    obs_in_flight_->set(static_cast<double>(in_flight_));
+  }
   void on_arrive();
   std::size_t in_flight() const { return in_flight_; }
   /// Registers a callback fired when in_flight reaches zero (or immediately
@@ -79,10 +99,16 @@ class Channel {
   void notify_drained(std::function<void()> callback);
 
   // --- delay accounting --------------------------------------------------------
-  void record_delay(Duration d) { max_delay_ = std::max(max_delay_, d); }
+  void record_delay(Duration d) {
+    max_delay_ = std::max(max_delay_, d);
+    obs_max_delay_->set(static_cast<double>(max_delay_));
+  }
   Duration max_delay() const { return max_delay_; }
 
  private:
+  /// Marks `sequence` as seen; returns true when it was seen before.
+  bool audit_seen(std::uint64_t sequence);
+
   ChannelId id_;
   ConnectorId connector_;
   ComponentId provider_;
@@ -95,8 +121,23 @@ class Channel {
   std::size_t in_flight_ = 0;
   Duration max_delay_ = 0;
   std::deque<HeldMessage> held_;
-  std::unordered_set<std::uint64_t> seen_;
+  // Duplicate audit in bounded memory: every sequence <= watermark_ counts
+  // as delivered; recent_ holds only the delivered sequences above it
+  // (out-of-order frontier). When a permanent gap (a dropped message)
+  // would let recent_ outgrow kAuditWindow, the watermark is forced
+  // forward — the one approximation, which classifies a delivery arriving
+  // more than kAuditWindow sequences late as a duplicate. The old design
+  // (one hash-set entry per message, forever) sank long-running workloads.
+  std::uint64_t watermark_ = 0;
+  std::uint64_t max_seen_ = 0;
+  std::unordered_set<std::uint64_t> recent_;
   std::deque<std::function<void()>> drain_waiters_;
+  // Observability mirrors (no-ops while the global registry is disabled).
+  obs::Counter* obs_delivered_;
+  obs::Counter* obs_dropped_;
+  obs::Counter* obs_duplicated_;
+  obs::Gauge* obs_in_flight_;
+  obs::Gauge* obs_max_delay_;
 };
 
 }  // namespace aars::runtime

@@ -4,11 +4,17 @@
 
 namespace aars::sim {
 
+EventLoop::EventLoop()
+    : obs_executed_(&obs::Registry::global().counter("sim.events_executed")),
+      obs_cancelled_(&obs::Registry::global().counter("sim.events_cancelled")),
+      obs_queue_depth_(&obs::Registry::global().gauge("sim.queue_depth")) {}
+
 EventHandle EventLoop::schedule_at(SimTime at, Callback fn) {
   util::require(static_cast<bool>(fn), "scheduled callback must be callable");
   util::require(at >= now_, "cannot schedule an event in the past");
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+  obs_queue_depth_->set(static_cast<double>(queue_.size()));
   return EventHandle{std::move(cancelled), cancelled_in_queue_};
 }
 
@@ -21,12 +27,21 @@ bool EventLoop::pop_and_run() {
   while (!queue_.empty()) {
     Entry entry = queue_.top();
     queue_.pop();
+    obs_queue_depth_->set(static_cast<double>(queue_.size()));
     if (*entry.cancelled) {
       --*cancelled_in_queue_;
+      obs_cancelled_->inc();
       continue;
     }
     now_ = entry.at;
     ++executed_;
+    // Mark the shared state *before* running the callback: the handle now
+    // reads inactive ("no longer scheduled"), and a cancel() issued from
+    // inside the callback or any time after the event fired is a no-op
+    // rather than incrementing the cancelled-in-queue count for an entry
+    // that already left the queue (which underflowed pending()).
+    *entry.cancelled = true;
+    obs_executed_->inc();
     entry.fn();
     return true;
   }
@@ -48,6 +63,8 @@ std::size_t EventLoop::run_until(SimTime deadline) {
     if (*head.cancelled) {
       queue_.pop();
       --*cancelled_in_queue_;
+      obs_cancelled_->inc();
+      obs_queue_depth_->set(static_cast<double>(queue_.size()));
       continue;
     }
     if (head.at > deadline) break;

@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/errors.h"
 #include "util/time.h"
 
@@ -20,6 +21,12 @@ using util::Duration;
 using util::SimTime;
 
 /// Cancellation token for a scheduled event.
+///
+/// The loop marks the shared state when the event fires, so `active()` is
+/// precisely "still scheduled": it turns false after execution as well as
+/// after cancellation, and a `cancel()` on an already-fired handle is a
+/// no-op (it must not touch the queue's cancelled-entry accounting — the
+/// entry is no longer in the queue).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -45,6 +52,8 @@ class EventHandle {
 class EventLoop {
  public:
   using Callback = std::function<void()>;
+
+  EventLoop();
 
   SimTime now() const { return now_; }
 
@@ -92,6 +101,10 @@ class EventLoop {
   std::shared_ptr<std::size_t> cancelled_in_queue_ =
       std::make_shared<std::size_t>(0);
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Observability mirrors (no-ops while the global registry is disabled).
+  obs::Counter* obs_executed_;
+  obs::Counter* obs_cancelled_;
+  obs::Gauge* obs_queue_depth_;
 };
 
 }  // namespace aars::sim

@@ -46,7 +46,13 @@ class Histogram {
   double p95() const { return percentile(0.95); }
   double p99() const { return percentile(0.99); }
   double max() const { return percentile(1.0); }
-  void reset() { samples_.clear(); }
+  // Clears the sorted cache too: the rebuild check compares sizes, and a
+  // reset followed by the same number of adds would otherwise serve stale
+  // percentiles.
+  void reset() {
+    samples_.clear();
+    sorted_.clear();
+  }
 
  private:
   std::vector<double> samples_;

@@ -206,6 +206,90 @@ TEST(ConnectorTest, InterceptorNamesListed) {
             (std::vector<std::string>{"b", "a"}));
 }
 
+/// Probe variant that short-circuits with a configurable verdict.
+class VetoProbe final : public Interceptor {
+ public:
+  VetoProbe(std::string name, Verdict verdict, std::vector<std::string>& log)
+      : name_(std::move(name)), verdict_(verdict), log_(log) {}
+  Verdict before(Message&, Result<Value>* reply) override {
+    log_.push_back(name_ + ":before");
+    if (verdict_ != Verdict::kPass && reply != nullptr) {
+      *reply = verdict_ == Verdict::kHandled
+                   ? Result<Value>(Value{"cached"})
+                   : Result<Value>(
+                         util::Error{ErrorCode::kRejected, "blocked"});
+    }
+    return verdict_;
+  }
+  void after(const Message&, Result<Value>&) override {
+    log_.push_back(name_ + ":after");
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Verdict verdict_;
+  std::vector<std::string>& log_;
+};
+
+// Regression: when run_before stopped early (kBlock), run_after used to
+// unwind the WHOLE chain — interceptors downstream of the blocker saw a
+// reply for a request their before() never observed. Only the prefix that
+// ran (including the blocker) may unwind, in reverse order.
+TEST(ConnectorTest, BlockedRequestUnwindsOnlySeenPrefix) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(std::make_shared<Probe>("outer", log), 0);
+  (void)conn.attach_interceptor(
+      std::make_shared<VetoProbe>("veto", Interceptor::Verdict::kBlock, log),
+      1);
+  (void)conn.attach_interceptor(std::make_shared<Probe>("inner", log), 2);
+  Message m;
+  Result<Value> reply = Value{};
+  std::size_t seen = 0;
+  EXPECT_EQ(conn.run_before(m, &reply, &seen), Interceptor::Verdict::kBlock);
+  EXPECT_EQ(seen, 2u);  // outer + veto ran; inner never saw the request
+  conn.run_after(m, reply, seen);
+  EXPECT_EQ(log, (std::vector<std::string>{"outer:before", "veto:before",
+                                           "veto:after", "outer:after"}));
+}
+
+// Same contract for kHandled: the responder and everything before it
+// unwind; interceptors it short-circuited past do not.
+TEST(ConnectorTest, HandledRequestUnwindsOnlySeenPrefix) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(
+      std::make_shared<VetoProbe>("cache", Interceptor::Verdict::kHandled,
+                                  log),
+      0);
+  (void)conn.attach_interceptor(std::make_shared<Probe>("inner", log), 1);
+  Message m;
+  Result<Value> reply = Value{};
+  std::size_t seen = 0;
+  EXPECT_EQ(conn.run_before(m, &reply, &seen),
+            Interceptor::Verdict::kHandled);
+  EXPECT_EQ(seen, 1u);
+  ASSERT_TRUE(reply.ok());
+  conn.run_after(m, reply, seen);
+  EXPECT_EQ(log, (std::vector<std::string>{"cache:before", "cache:after"}));
+}
+
+// The default (no explicit seen count) still unwinds the full chain for
+// requests that passed every interceptor.
+TEST(ConnectorTest, FullChainUnwindsByDefault) {
+  Connector conn = make();
+  std::vector<std::string> log;
+  (void)conn.attach_interceptor(std::make_shared<Probe>("a", log), 0);
+  (void)conn.attach_interceptor(std::make_shared<Probe>("b", log), 1);
+  Message m;
+  Result<Value> reply = Value{};
+  EXPECT_EQ(conn.run_before(m, &reply), Interceptor::Verdict::kPass);
+  conn.run_after(m, reply);  // seen defaults to the whole chain
+  EXPECT_EQ(log, (std::vector<std::string>{"a:before", "b:before", "b:after",
+                                           "a:after"}));
+}
+
 TEST(ConnectorTest, RelayCounter) {
   Connector conn = make();
   conn.count_relay();

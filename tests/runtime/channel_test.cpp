@@ -135,5 +135,69 @@ TEST(ChannelTest, DelayTracking) {
   EXPECT_EQ(chan.max_delay(), 100);
 }
 
+// Regression: the audit kept one hash-set entry per delivered sequence
+// forever, so long-running channels grew without bound. In-order traffic
+// must collapse into the delivered watermark and track nothing.
+TEST(ChannelTest, AuditMemoryCollapsesForInOrderTraffic) {
+  Channel chan = make(true);
+  for (int i = 0; i < 10000; ++i) {
+    chan.record_delivery(chan.next_sequence());
+  }
+  EXPECT_EQ(chan.delivered(), 10000u);
+  EXPECT_EQ(chan.duplicated(), 0u);
+  EXPECT_EQ(chan.delivered_watermark(), 10000u);
+  EXPECT_EQ(chan.audit_entries(), 0u);
+}
+
+// Permanent gaps (dropped messages) must not pin the watermark forever:
+// the tracked set stays bounded by kAuditWindow.
+TEST(ChannelTest, AuditMemoryBoundedDespiteDrops) {
+  Channel chan = make(true);
+  for (int i = 0; i < 50000; ++i) {
+    const auto seq = chan.next_sequence();
+    if (seq % 100 == 1) {
+      chan.record_drop();  // every 100th message lost -> permanent gap
+    } else {
+      chan.record_delivery(seq);
+    }
+  }
+  EXPECT_LE(chan.audit_entries(), Channel::kAuditWindow);
+  EXPECT_EQ(chan.duplicated(), 0u);
+  EXPECT_GT(chan.delivered_watermark(), 0u);
+}
+
+// Duplicate detection still works across the watermark: both a recently
+// re-delivered sequence and one far below the watermark are flagged.
+TEST(ChannelTest, DuplicatesDetectedAboveAndBelowWatermark) {
+  Channel chan = make(true);
+  for (int i = 0; i < 2000; ++i) {
+    chan.record_delivery(chan.next_sequence());
+  }
+  chan.record_delivery(2000);  // just delivered (== watermark)
+  chan.record_delivery(1);     // ancient, far below the watermark
+  EXPECT_EQ(chan.duplicated(), 2u);
+  EXPECT_EQ(chan.delivered(), 2000u);
+}
+
+// Out-of-order but gap-free delivery: the watermark catches up once the
+// missing sequence arrives, and nothing is misclassified.
+TEST(ChannelTest, OutOfOrderDeliveryAdvancesWatermarkOnGapFill) {
+  Channel chan = make(true);
+  for (int i = 0; i < 5; ++i) (void)chan.next_sequence();  // seq 1..5
+  chan.record_delivery(2);
+  chan.record_delivery(3);
+  EXPECT_EQ(chan.delivered_watermark(), 0u);  // 1 still missing
+  EXPECT_EQ(chan.audit_entries(), 2u);
+  chan.record_delivery(1);
+  EXPECT_EQ(chan.delivered_watermark(), 3u);  // collapsed 1..3
+  EXPECT_EQ(chan.audit_entries(), 0u);
+  chan.record_delivery(5);
+  chan.record_delivery(4);
+  EXPECT_EQ(chan.delivered_watermark(), 5u);
+  EXPECT_EQ(chan.audit_entries(), 0u);
+  EXPECT_EQ(chan.duplicated(), 0u);
+  EXPECT_EQ(chan.delivered(), 5u);
+}
+
 }  // namespace
 }  // namespace aars::runtime

@@ -161,5 +161,67 @@ TEST(EventLoopTest, CancelledHandleAtHeadSkippedByRunUntil) {
   EXPECT_EQ(fired, 1);
 }
 
+// Regression: pop_and_run left the shared cancel flag untouched, so a
+// handle stayed active() forever after its event ran.
+TEST(EventLoopTest, HandleInactiveAfterExecution) {
+  EventLoop loop;
+  EventHandle handle = loop.schedule_at(10, [] {});
+  EXPECT_TRUE(handle.active());
+  loop.run();
+  EXPECT_FALSE(handle.active());
+}
+
+// Regression: cancelling after the event fired decremented the
+// cancelled-in-queue count for an entry no longer in the queue, which made
+// pending() underflow (wrap to a huge value).
+TEST(EventLoopTest, CancelAfterExecutionIsNoOp) {
+  EventLoop loop;
+  EventHandle handle = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  loop.run(1);  // runs only the first event
+  EXPECT_EQ(loop.pending(), 1u);
+  handle.cancel();  // fired already -> must not touch accounting
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.empty());
+  loop.run();
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_TRUE(loop.empty());
+}
+
+// Regression companion: cancel from inside the callback itself (the handle
+// refers to the very event that is executing).
+TEST(EventLoopTest, SelfCancelInsideCallbackIsNoOp) {
+  EventLoop loop;
+  EventHandle handle;
+  int fired = 0;
+  handle = loop.schedule_at(10, [&] {
+    ++fired;
+    handle.cancel();
+  });
+  loop.schedule_at(20, [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_TRUE(loop.empty());
+}
+
+// pending()/empty() stay consistent across a mix of executed, cancelled and
+// post-fire-cancelled events.
+TEST(EventLoopTest, PendingNeverUnderflowsUnderMixedCancellation) {
+  EventLoop loop;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(loop.schedule_at(i + 1, [] {}));
+  }
+  handles[2].cancel();
+  handles[5].cancel();
+  loop.run(4);  // executes events 1,2,4,5 (3 and 6 were cancelled)
+  for (EventHandle& h : handles) h.cancel();  // mostly post-fire no-ops
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run();
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace aars::sim

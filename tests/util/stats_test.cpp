@@ -62,6 +62,48 @@ TEST(HistogramTest, PercentileCacheInvalidatesOnAdd) {
   EXPECT_DOUBLE_EQ(h.max(), 10.0);
 }
 
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(HistogramTest, OutOfRangeQuantilesClamp) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), 1.0);   // clamps to q=0
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 10.0);   // clamps to q=1
+}
+
+TEST(HistogramTest, NearestRankOnEvenCount) {
+  Histogram h;
+  for (int i = 1; i <= 4; ++i) h.add(i);
+  // Nearest rank: ceil(0.5 * 4) = 2nd smallest, no interpolation.
+  EXPECT_DOUBLE_EQ(h.p50(), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 3.0);
+}
+
+TEST(HistogramTest, UnsortedInsertionOrderIrrelevant) {
+  Histogram h;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(HistogramTest, ResetEmptiesAndCacheFollows) {
+  Histogram h;
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);  // populates the sorted cache
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 7.0);  // cache rebuilt after reset+add
+}
+
 TEST(SlidingWindowTest, EvictsOldSamples) {
   SlidingWindow w(1000);
   w.add(0, 1.0);
@@ -96,6 +138,25 @@ TEST(SlidingWindowTest, RateIsSamplesPerSecond) {
   }
   // 100 samples over ~1 second.
   EXPECT_NEAR(w.rate(kSecond), 100.0, 5.0);
+}
+
+TEST(SlidingWindowTest, EmptyStatsAreZero) {
+  SlidingWindow w(1000);
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max(), 0.0);
+  EXPECT_DOUBLE_EQ(w.rate(1000), 0.0);
+}
+
+TEST(SlidingWindowTest, SampleExactlyAtHorizonIsKept) {
+  SlidingWindow w(1000);
+  w.add(0, 1.0);
+  w.add(1000, 2.0);  // horizon is exactly 0: the t=0 sample survives
+  EXPECT_EQ(w.count(), 2u);
+  w.add(1001, 3.0);  // horizon 1: now it goes
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
 }
 
 TEST(EwmaTest, SeedsWithFirstSample) {
