@@ -1,4 +1,9 @@
 // Shared helpers for the experiment binaries.
+//
+// World construction lives in aars::Runtime (api/runtime.h) — benches
+// declare their topology through Runtime::builder() instead of wiring an
+// Application by hand.  What remains here is reporting: tables, banners and
+// the BENCH_*.json metrics dump.
 #pragma once
 
 #include <cstdio>
@@ -6,12 +11,9 @@
 #include <string>
 #include <vector>
 
-#include "component/registry.h"
+#include "api/runtime.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
-#include "runtime/application.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
 
 namespace aars::bench {
 
@@ -79,31 +81,33 @@ inline void banner(const char* experiment, const char* claim) {
 /// into it. Benches call this from main() before running.
 inline void enable_metrics() { obs::Registry::global().set_enabled(true); }
 
+/// Reduces an experiment name to filesystem-safe characters so fault
+/// scenario names like `storm "a"/b` can never produce an invalid or
+/// path-traversing BENCH_*.json filename.  (The JSON *content* is escaped
+/// separately by obs::json_escape on every name/label/detail string.)
+inline std::string sanitize_filename(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out.push_back(safe ? c : '_');
+  }
+  if (out.empty()) out = "experiment";
+  return out;
+}
+
 /// Writes `BENCH_<experiment>.json` — the experiment name plus a "metrics"
 /// section rendering every counter/gauge/histogram and the trace ring (see
 /// EXPERIMENTS.md "Metrics & trace schema"). Call after the benchmarks ran.
 inline void write_metrics_json(const std::string& experiment) {
-  const std::string path = "BENCH_" + experiment + ".json";
+  const std::string path = "BENCH_" + sanitize_filename(experiment) + ".json";
   if (obs::write_json_file(obs::Registry::global(), path, experiment)) {
     std::printf("\nmetrics: wrote %s\n", path.c_str());
   } else {
     std::printf("\nmetrics: FAILED to write %s\n", path.c_str());
   }
 }
-
-/// A self-contained simulated world for the macro experiments.
-struct World {
-  sim::EventLoop loop;
-  sim::Network network;
-  component::ComponentRegistry registry;
-  std::unique_ptr<runtime::Application> app;
-
-  explicit World(std::uint64_t seed = 42) {
-    runtime::Application::Config config;
-    config.seed = seed;
-    app = std::make_unique<runtime::Application>(loop, network, registry,
-                                                 config);
-  }
-};
 
 }  // namespace aars::bench

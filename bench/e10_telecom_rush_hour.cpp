@@ -37,20 +37,24 @@ constexpr util::Duration kRun = util::seconds(120);
 
 Outcome run(telecom::AdmissionPolicy& policy, double peak_calls_per_s,
             std::uint64_t seed) {
-  World world(seed);
-  const auto server_node = world.network.add_node("server", 500).id();
-  const auto access = world.network.add_node("access", 100000).id();
   sim::LinkSpec link;
   link.latency = util::milliseconds(2);
-  world.network.add_duplex_link(server_node, access, link);
-  telecom::register_media_components(world.registry);
-  auto& app = *world.app;
-  const auto media =
-      app.instantiate("MediaServer", "media", server_node, Value{}).value();
   connector::ConnectorSpec spec;
   spec.name = "media";
-  const auto conn = app.create_connector(spec).value();
-  (void)app.add_provider(conn, media);
+  auto rt = Runtime::builder()
+                .seed(seed)
+                .host("server", 500)
+                .host("access", 100000)
+                .link("server", "access", link)
+                .install_types(telecom::register_media_components)
+                .deploy("MediaServer", "media", "server")
+                .connect(spec, {"media"})
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  const auto access = rt->host("access");
+  const auto conn = rt->connector("media");
 
   telecom::SessionManager::Options options;
   options.service = conn;
@@ -66,8 +70,8 @@ Outcome run(telecom::AdmissionPolicy& policy, double peak_calls_per_s,
   sim::TraceArrivals trace = sim::rush_hour_trace(0.3, peak_calls_per_s,
                                                   kRun);
   auto arrivals = std::make_shared<std::function<void()>>();
-  *arrivals = [&, arrivals] {
-    if (world.loop.now() > kRun) return;
+  *arrivals = [&] {
+    if (loop.now() > kRun) return;
     ++outcome.offered;
     const telecom::AdmissionDecision decision = policy.admit(
         sessions, budget,
@@ -78,18 +82,17 @@ Outcome run(telecom::AdmissionPolicy& policy, double peak_calls_per_s,
           rng.exponential(static_cast<double>(util::seconds(20))));
       const auto id = sessions.start_session(
           decision.quality, access,
-          world.loop.now() + std::max<util::Duration>(length, 500000));
+          loop.now() + std::max<util::Duration>(length, 500000));
       // Record the quality the session actually starts at (the global
       // ceiling may sit below the admission grant).
       granted.add(sessions.quality(id).value_or(decision.quality));
     } else {
       ++outcome.dropped;
     }
-    world.loop.schedule_after(trace.next_gap(world.loop.now(), rng),
-                              *arrivals);
+    loop.schedule_after(trace.next_gap(loop.now(), rng), *arrivals);
   };
-  world.loop.schedule_after(0, *arrivals);
-  world.loop.run();
+  loop.schedule_after(0, *arrivals);
+  rt->run();
 
   outcome.mean_granted_quality = granted.mean();
   outcome.delivered_utility = sessions.delivered_utility();

@@ -20,23 +20,25 @@ using aars::bench_testing::EchoServer;
 using util::Value;
 
 struct Setup {
-  World world;
+  std::unique_ptr<Runtime> rt;
   util::ComponentId server;
   util::ConnectorId connector;
   util::NodeId node;
 
   explicit Setup(std::size_t interceptors) {
-    node = world.network.add_node("n", 1e9).id();
-    world.registry.register_type("EchoServer", [](const std::string& name) {
-      return std::make_unique<EchoServer>(name);
-    });
-    server =
-        world.app->instantiate("EchoServer", "e", node, Value{}).value();
     connector::ConnectorSpec spec;
     spec.name = "c";
-    connector = world.app->create_connector(spec).value();
-    (void)world.app->add_provider(connector, server);
-    connector::Connector* conn = world.app->find_connector(connector);
+    rt = Runtime::builder()
+             .host("n", 1e9)
+             .component_class<EchoServer>("EchoServer")
+             .deploy("EchoServer", "e", "n")
+             .connect(spec, {"e"})
+             .build()
+             .value();
+    node = rt->host("n");
+    server = rt->component("e");
+    connector = rt->connector("c");
+    connector::Connector* conn = rt->app().find_connector(connector);
     for (std::size_t i = 0; i < interceptors; ++i) {
       auto chain = std::make_shared<adapt::FilterChain>(
           "chain" + std::to_string(i));
@@ -49,7 +51,7 @@ struct Setup {
 
 void BM_DirectHandlerCall(benchmark::State& state) {
   Setup setup(0);
-  component::Component* comp = setup.world.app->find_component(setup.server);
+  component::Component* comp = setup.rt->app().find_component(setup.server);
   component::Message message;
   message.operation = "echo";
   message.payload = Value::object({{"text", "x"}});
@@ -64,7 +66,7 @@ void BM_ConnectorCall(benchmark::State& state) {
   const Value args = Value::object({{"text", "x"}});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        setup.world.app->invoke_sync(setup.connector, "echo", args,
+        setup.rt->app().invoke_sync(setup.connector, "echo", args,
                                      setup.node));
   }
   state.SetLabel(std::to_string(state.range(0)) + " interceptors");
@@ -84,7 +86,7 @@ void BM_ConnectorCallObsDisabled(benchmark::State& state) {
   const Value args = Value::object({{"text", "x"}});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        setup.world.app->invoke_sync(setup.connector, "echo", args,
+        setup.rt->app().invoke_sync(setup.connector, "echo", args,
                                      setup.node));
   }
   reg.set_enabled(was_enabled);
@@ -99,7 +101,7 @@ void BM_ConnectorCallObsEnabled(benchmark::State& state) {
   const Value args = Value::object({{"text", "x"}});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        setup.world.app->invoke_sync(setup.connector, "echo", args,
+        setup.rt->app().invoke_sync(setup.connector, "echo", args,
                                      setup.node));
   }
   reg.set_enabled(was_enabled);
@@ -110,9 +112,9 @@ void BM_ConnectorEventSend(benchmark::State& state) {
   Setup setup(0);
   const Value args = Value::object({{"text", "x"}});
   for (auto _ : state) {
-    (void)setup.world.app->send_event(setup.connector, "echo", args,
+    (void)setup.rt->app().send_event(setup.connector, "echo", args,
                                       setup.node);
-    setup.world.loop.run();
+    setup.rt->run();
   }
 }
 BENCHMARK(BM_ConnectorEventSend);

@@ -37,41 +37,44 @@ struct Outcome {
 };
 
 Outcome run(double lambda, bool dynamic, std::uint64_t seed) {
-  World world(seed);
-  const auto node = world.network.add_node("server", 20000).id();
-  const auto client = world.network.add_node("client", 20000).id();
   sim::LinkSpec link;
   link.latency = util::milliseconds(1);
-  world.network.add_duplex_link(node, client, link);
-  world.registry.register_type("CounterServer", [](const std::string& name) {
-    return std::make_unique<CounterServer>(name);
-  });
-  auto& app = *world.app;
-  const auto server = app.instantiate("CounterServer", "v1", node, Value{})
-                          .value();
   connector::ConnectorSpec spec;
   spec.name = "svc";
-  const auto conn = app.create_connector(spec).value();
-  (void)app.add_provider(conn, server);
+  auto rt = Runtime::builder()
+                .seed(seed)
+                .host("server", 20000)
+                .host("client", 20000)
+                .link("server", "client", link)
+                .component_class<CounterServer>("CounterServer")
+                .deploy("CounterServer", "v1", "server")
+                .connect(spec, {"v1"})
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  const auto client = rt->host("client");
+  const auto server = rt->component("v1");
+  const auto conn = rt->connector("svc");
 
   Outcome outcome;
   util::Rng rng(seed);
   std::function<void()> pump = [&] {
-    if (world.loop.now() > util::seconds(3)) return;
+    if (loop.now() > util::seconds(3)) return;
     ++outcome.sent;
     (void)app.send_event(conn, "add", Value::object({{"amount", 1}}),
                          client);
-    world.loop.schedule_after(rng.poisson_gap(lambda), pump);
+    loop.schedule_after(rng.poisson_gap(lambda), pump);
   };
-  world.loop.schedule_after(0, pump);
+  loop.schedule_after(0, pump);
 
   util::ComponentId final_component = server;
-  reconfig::ReconfigurationEngine engine(app);
+  reconfig::ReconfigurationEngine& engine = rt->engine();
   reconfig::StopRestartReconfigurator::Options baseline_options;
   baseline_options.restart_delay = util::milliseconds(50);
   reconfig::StopRestartReconfigurator baseline(app, baseline_options);
 
-  world.loop.schedule_at(util::seconds(1), [&] {
+  loop.schedule_at(util::seconds(1), [&] {
     const auto done = [&](const reconfig::ReconfigReport& report) {
       outcome.protocol_us = report.duration();
       outcome.held = report.held_messages;
@@ -84,7 +87,7 @@ Outcome run(double lambda, bool dynamic, std::uint64_t seed) {
       baseline.replace_component(server, "CounterServer", "v2", done);
     }
   });
-  world.loop.run();
+  rt->run();
 
   outcome.dropped = app.messages_dropped();
   outcome.duplicated = app.messages_duplicated();

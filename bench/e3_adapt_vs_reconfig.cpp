@@ -36,48 +36,51 @@ struct Outcome {
 /// Runs one scenario: Poisson request load; at t=1s apply `action`, which
 /// must eventually call `done(reaction_us)`.
 Outcome run(double lambda,
-            const std::function<void(World&, util::ComponentId,
+            const std::function<void(Runtime&, util::ComponentId,
                                      util::ConnectorId,
                                      std::function<void(util::Duration)>)>&
                 action,
             std::uint64_t seed = 7) {
-  World world(seed);
-  const auto node = world.network.add_node("server", 20000).id();
-  const auto client = world.network.add_node("client", 20000).id();
   sim::LinkSpec link;
   link.latency = util::milliseconds(1);
-  world.network.add_duplex_link(node, client, link);
-  world.registry.register_type("CounterServer", [](const std::string& name) {
-    return std::make_unique<CounterServer>(name);
-  });
-  auto& app = *world.app;
-  const auto server =
-      app.instantiate("CounterServer", "svc", node, Value{}).value();
   connector::ConnectorSpec spec;
   spec.name = "svc";
-  const auto conn = app.create_connector(spec).value();
-  (void)app.add_provider(conn, server);
+  auto rt = Runtime::builder()
+                .seed(seed)
+                .host("server", 20000)
+                .host("client", 20000)
+                .link("server", "client", link)
+                .component_class<CounterServer>("CounterServer")
+                .deploy("CounterServer", "svc", "server")
+                .connect(spec, {"svc"})
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  const auto client = rt->host("client");
+  const auto server = rt->component("svc");
+  const auto conn = rt->connector("svc");
 
   Outcome outcome;
   util::Rng rng(seed);
   std::uint64_t failed_before = 0;
   std::function<void()> pump = [&] {
-    if (world.loop.now() > util::seconds(2)) return;
+    if (loop.now() > util::seconds(2)) return;
     app.invoke_async(conn, "add", Value::object({{"amount", 1}}), client,
                      [](util::Result<Value>, util::Duration) {});
-    world.loop.schedule_after(rng.poisson_gap(lambda), pump);
+    loop.schedule_after(rng.poisson_gap(lambda), pump);
   };
-  world.loop.schedule_after(0, pump);
+  loop.schedule_after(0, pump);
 
-  world.loop.schedule_at(util::seconds(1), [&] {
+  loop.schedule_at(util::seconds(1), [&] {
     failed_before = app.failed_calls();
-    const util::SimTime start = world.loop.now();
-    action(world, server, conn, [&, start](util::Duration reaction) {
+    const util::SimTime start = loop.now();
+    action(*rt, server, conn, [&, start](util::Duration reaction) {
       outcome.reaction_us =
-          reaction >= 0 ? reaction : world.loop.now() - start;
+          reaction >= 0 ? reaction : loop.now() - start;
     });
   });
-  world.loop.run();
+  rt->run();
   outcome.failed_during = app.failed_calls() - failed_before;
   return outcome;
 }
@@ -101,10 +104,10 @@ int main() {
   for (double lambda : {200.0, 1000.0}) {
     // (a) strategy swap via the meta-protocol: instantaneous handler swap.
     {
-      const Outcome o = run(lambda, [](World& world, aars::util::ComponentId svc,
+      const Outcome o = run(lambda, [](Runtime& rt, aars::util::ComponentId svc,
                                        aars::util::ConnectorId,
                                        std::function<void(Duration)> done) {
-        auto* comp = world.app->find_component(svc);
+        auto* comp = rt.app().find_component(svc);
         aars::adapt::MetaComponent meta(*comp);
         (void)meta.refine_operation(
             "add",
@@ -120,13 +123,13 @@ int main() {
     }
     // (b) filter attach on the connector.
     {
-      const Outcome o = run(lambda, [](World& world, aars::util::ComponentId,
+      const Outcome o = run(lambda, [](Runtime& rt, aars::util::ComponentId,
                                        aars::util::ConnectorId conn,
                                        std::function<void(Duration)> done) {
         auto chain = std::make_shared<aars::adapt::FilterChain>("tuning");
         (void)chain->attach(std::make_shared<aars::adapt::TagFilter>(
             "tag", "adapted", aars::util::Value{true}));
-        (void)world.app->find_connector(conn)->attach_interceptor(chain);
+        (void)rt.app().find_connector(conn)->attach_interceptor(chain);
         done(-1);
       });
       table.add_row({"filter_attach", fmt(lambda, 0), fmt_us(o.reaction_us),
@@ -134,10 +137,10 @@ int main() {
     }
     // (c) connector interchange to a pre-warmed spare provider.
     {
-      const Outcome o = run(lambda, [](World& world, aars::util::ComponentId svc,
+      const Outcome o = run(lambda, [](Runtime& rt, aars::util::ComponentId svc,
                                        aars::util::ConnectorId conn,
                                        std::function<void(Duration)> done) {
-        auto& app = *world.app;
+        auto& app = rt.app();
         const auto spare =
             app.instantiate("CounterServer", "spare",
                             app.placement(svc), aars::util::Value{})
@@ -151,15 +154,12 @@ int main() {
     }
     // (d) full strong reconfiguration.
     {
-      const Outcome o = run(lambda, [](World& world, aars::util::ComponentId svc,
+      const Outcome o = run(lambda, [](Runtime& rt, aars::util::ComponentId svc,
                                        aars::util::ConnectorId,
                                        std::function<void(Duration)> done) {
-        auto engine =
-            std::make_shared<aars::reconfig::ReconfigurationEngine>(
-                *world.app);
-        engine->replace_component(
+        rt.engine().replace_component(
             svc, "CounterServer", "svc2",
-            [engine, done](const aars::reconfig::ReconfigReport& report) {
+            [done](const aars::reconfig::ReconfigReport& report) {
               done(report.duration());
             });
       });

@@ -17,22 +17,23 @@ using bench_testing::EchoServer;
 using util::Value;
 
 struct Setup {
-  World world;
+  std::unique_ptr<Runtime> rt;
   util::ConnectorId connector;
   util::NodeId node;
   std::shared_ptr<adapt::FilterChain> chain;
 
   Setup(std::size_t filters, bool selective_miss) {
-    node = world.network.add_node("n", 1e9).id();
-    world.registry.register_type("EchoServer", [](const std::string& name) {
-      return std::make_unique<EchoServer>(name);
-    });
-    const auto server =
-        world.app->instantiate("EchoServer", "e", node, Value{}).value();
     connector::ConnectorSpec spec;
     spec.name = "c";
-    connector = world.app->create_connector(spec).value();
-    (void)world.app->add_provider(connector, server);
+    rt = Runtime::builder()
+             .host("n", 1e9)
+             .component_class<EchoServer>("EchoServer")
+             .deploy("EchoServer", "e", "n")
+             .connect(spec, {"e"})
+             .build()
+             .value();
+    node = rt->host("n");
+    connector = rt->connector("c");
     chain = std::make_shared<adapt::FilterChain>("chain");
     for (std::size_t i = 0; i < filters; ++i) {
       auto tag = std::make_shared<adapt::TagFilter>(
@@ -46,7 +47,7 @@ struct Setup {
         (void)chain->attach(std::move(tag));
       }
     }
-    (void)world.app->find_connector(connector)->attach_interceptor(chain);
+    (void)rt->app().find_connector(connector)->attach_interceptor(chain);
   }
 };
 
@@ -55,8 +56,8 @@ void BM_FilterChainAllMessages(benchmark::State& state) {
   const Value args = Value::object({{"text", "x"}});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        setup.world.app->invoke_sync(setup.connector, "echo", args,
-                                     setup.node));
+        setup.rt->app().invoke_sync(setup.connector, "echo", args,
+                                    setup.node));
   }
   state.SetLabel(std::to_string(state.range(0)) + " filters (apply)");
 }
@@ -74,8 +75,8 @@ void BM_FilterChainSelectiveMiss(benchmark::State& state) {
   const Value args = Value::object({{"text", "x"}});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        setup.world.app->invoke_sync(setup.connector, "echo", args,
-                                     setup.node));
+        setup.rt->app().invoke_sync(setup.connector, "echo", args,
+                                    setup.node));
   }
   state.SetLabel(std::to_string(state.range(0)) + " filters (skip)");
 }

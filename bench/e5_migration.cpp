@@ -34,38 +34,35 @@ struct Outcome {
 };
 
 Outcome run(bool migrate, double lambda_per_service, std::uint64_t seed) {
-  World world(seed);
-  std::vector<util::NodeId> nodes;
-  for (int i = 0; i < 4; ++i) {
-    nodes.push_back(
-        world.network.add_node("edge" + std::to_string(i), 4000).id());
-  }
   sim::LinkSpec link;
   link.latency = util::milliseconds(2);
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      world.network.add_duplex_link(nodes[i], nodes[j], link);
-    }
-  }
-  world.registry.register_type("EchoServer", [](const std::string& name) {
-    return std::make_unique<EchoServer>(name, /*work=*/2.0);
-  });
-  auto& app = *world.app;
-
-  // Four services, all initially packed onto edge0 (the hot spot).
   constexpr int kServices = 4;
-  std::vector<util::ConnectorId> connectors;
-  std::vector<util::ComponentId> services;
+  auto builder = Runtime::builder()
+                     .seed(seed)
+                     .link_all(link)
+                     .component_type("EchoServer", [](const std::string& name) {
+                       return std::make_unique<EchoServer>(name, /*work=*/2.0);
+                     });
+  for (int i = 0; i < 4; ++i) builder.host("edge" + std::to_string(i), 4000);
+  // Four services, all initially packed onto edge0 (the hot spot).
   for (int i = 0; i < kServices; ++i) {
-    const auto id = app.instantiate("EchoServer", "svc" + std::to_string(i),
-                                    nodes[0], Value{})
-                        .value();
-    services.push_back(id);
+    builder.deploy("EchoServer", "svc" + std::to_string(i), "edge0");
     connector::ConnectorSpec spec;
     spec.name = "to_svc" + std::to_string(i);
-    const auto conn = app.create_connector(spec).value();
-    (void)app.add_provider(conn, id);
-    connectors.push_back(conn);
+    builder.connect(spec, {"svc" + std::to_string(i)});
+  }
+  auto rt = builder.build().value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  std::vector<util::NodeId> nodes;
+  std::vector<util::ConnectorId> connectors;
+  std::vector<util::ComponentId> services;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(rt->host("edge" + std::to_string(i)));
+  }
+  for (int i = 0; i < kServices; ++i) {
+    services.push_back(rt->component("svc" + std::to_string(i)));
+    connectors.push_back(rt->connector("to_svc" + std::to_string(i)));
   }
 
   util::Histogram before;
@@ -74,34 +71,38 @@ Outcome run(bool migrate, double lambda_per_service, std::uint64_t seed) {
   const util::SimTime end_at = util::seconds(4);
   util::Rng rng(seed);
 
-  // Each service has its own client population on a distinct node.
+  // Each service has its own client population on a distinct node. The
+  // vector owns the self-scheduling closures past loop.run(); capturing the
+  // shared_ptr inside its own function would leak a reference cycle.
+  std::vector<std::shared_ptr<std::function<void()>>> pumps;
   for (int i = 0; i < kServices; ++i) {
     const auto origin = nodes[static_cast<std::size_t>(i)];
     const auto conn = connectors[static_cast<std::size_t>(i)];
     auto pump = std::make_shared<std::function<void()>>();
-    *pump = [&world, &app, &rng, &before, &after, conn, origin,
-             lambda_per_service, change_at, end_at, pump] {
-      if (world.loop.now() > end_at) return;
+    pumps.push_back(pump);
+    *pump = [&loop, &app, &rng, &before, &after, conn, origin,
+             lambda_per_service, change_at, end_at, pump = pump.get()] {
+      if (loop.now() > end_at) return;
       app.invoke_async(
           conn, "echo", Value::object({{"text", "x"}}), origin,
-          [&world, &before, &after, change_at](util::Result<Value> r,
-                                               util::Duration latency) {
+          [&loop, &before, &after, change_at](util::Result<Value> r,
+                                              util::Duration latency) {
             if (!r.ok()) return;
-            if (world.loop.now() < change_at) {
+            if (loop.now() < change_at) {
               before.add(static_cast<double>(latency));
             } else {
               after.add(static_cast<double>(latency));
             }
           });
-      world.loop.schedule_after(rng.poisson_gap(lambda_per_service), *pump);
+      loop.schedule_after(rng.poisson_gap(lambda_per_service), *pump);
     };
-    world.loop.schedule_after(0, *pump);
+    loop.schedule_after(0, *pump);
   }
 
   Outcome outcome;
-  reconfig::ReconfigurationEngine engine(app);
+  reconfig::ReconfigurationEngine& engine = rt->engine();
   if (migrate) {
-    world.loop.schedule_at(change_at, [&] {
+    loop.schedule_at(change_at, [&] {
       // Spread services: svc_i moves to node_i (closer to its demand and
       // off the hot spot).
       for (int i = 1; i < kServices; ++i) {
@@ -109,19 +110,19 @@ Outcome run(bool migrate, double lambda_per_service, std::uint64_t seed) {
             services[static_cast<std::size_t>(i)],
             nodes[static_cast<std::size_t>(i)],
             [&outcome](const reconfig::ReconfigReport& report) {
-              if (report.success) ++outcome.migrations;
+              if (report.ok()) ++outcome.migrations;
             });
       }
     });
   }
-  world.loop.run();
+  rt->run();
 
   outcome.before_mean = before.mean();
   outcome.before_p99 = before.p99();
   outcome.after_mean = after.mean();
   outcome.after_p99 = after.p99();
   outcome.hot_utilization =
-      world.network.node(nodes[0]).utilization(world.loop.now());
+      rt->network().node(nodes[0]).utilization(loop.now());
   return outcome;
 }
 

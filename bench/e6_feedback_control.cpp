@@ -40,20 +40,24 @@ constexpr util::Duration kControlPeriod = util::milliseconds(250);
 constexpr util::Duration kLatencyBound = util::milliseconds(40);
 
 Outcome run(control::Controller& controller, std::uint64_t seed) {
-  World world(seed);
-  const auto server_node = world.network.add_node("server", 200).id();
-  const auto access = world.network.add_node("access", 50000).id();
   sim::LinkSpec link;
   link.latency = util::milliseconds(2);
-  world.network.add_duplex_link(server_node, access, link);
-  telecom::register_media_components(world.registry);
-  auto& app = *world.app;
-  const auto media =
-      app.instantiate("MediaServer", "media", server_node, Value{}).value();
   connector::ConnectorSpec spec;
   spec.name = "media";
-  const auto conn = app.create_connector(spec).value();
-  (void)app.add_provider(conn, media);
+  auto rt = Runtime::builder()
+                .seed(seed)
+                .host("server", 200)
+                .host("access", 50000)
+                .link("server", "access", link)
+                .install_types(telecom::register_media_components)
+                .deploy("MediaServer", "media", "server")
+                .connect(spec, {"media"})
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  const auto access = rt->host("access");
+  const auto conn = rt->connector("media");
 
   telecom::SessionManager::Options options;
   options.service = conn;
@@ -63,7 +67,7 @@ Outcome run(control::Controller& controller, std::uint64_t seed) {
   qos::QosContract contract;
   contract.name = "media";
   contract.max_mean_latency = kLatencyBound;
-  qos::QosMonitor monitor(world.loop, contract, util::milliseconds(500));
+  qos::QosMonitor monitor(loop, contract, util::milliseconds(500));
   util::RunningStats latencies;
   util::RunningStats qualities;
   sessions.on_frame([&](util::SessionId, util::Duration latency, bool ok,
@@ -78,26 +82,25 @@ Outcome run(control::Controller& controller, std::uint64_t seed) {
   sim::TraceArrivals trace =
       sim::rush_hour_trace(0.5, 4.0, kRun);
   auto arrivals = std::make_shared<std::function<void()>>();
-  *arrivals = [&world, &sessions, &rng, &trace, access, arrivals] {
-    if (world.loop.now() > kRun) return;
+  *arrivals = [&loop, &sessions, &rng, &trace, access, &arrivals] {
+    if (loop.now() > kRun) return;
     const auto length = static_cast<util::Duration>(
         rng.exponential(static_cast<double>(util::seconds(8))));
     (void)sessions.start_session(telecom::QualityLadder::kMax, access,
-                                 world.loop.now() + std::max<util::Duration>(
-                                                        length, 100000));
-    world.loop.schedule_after(trace.next_gap(world.loop.now(), rng),
-                              *arrivals);
+                                 loop.now() + std::max<util::Duration>(
+                                                  length, 100000));
+    loop.schedule_after(trace.next_gap(loop.now(), rng), *arrivals);
   };
-  world.loop.schedule_after(0, *arrivals);
+  loop.schedule_after(0, *arrivals);
 
   // The control loop: normalised latency error -> quality delta.
   int violations = 0;
   int evaluations = 0;
   double quality = telecom::QualityLadder::kMax;
   auto control_tick = std::make_shared<std::function<void()>>();
-  *control_tick = [&world, &sessions, &monitor, &controller, &quality,
-                   &violations, &evaluations, control_tick] {
-    if (world.loop.now() > kRun) return;
+  *control_tick = [&loop, &sessions, &monitor, &controller, &quality,
+                   &violations, &evaluations, &control_tick] {
+    if (loop.now() > kRun) return;
     const qos::Compliance compliance = monitor.evaluate();
     ++evaluations;
     if (!compliance.compliant) ++violations;
@@ -109,11 +112,11 @@ Outcome run(control::Controller& controller, std::uint64_t seed) {
     quality = std::clamp(quality + delta, 0.0,
                          static_cast<double>(telecom::QualityLadder::kMax));
     sessions.set_global_quality(static_cast<int>(quality + 0.5));
-    world.loop.schedule_after(kControlPeriod, *control_tick);
+    loop.schedule_after(kControlPeriod, *control_tick);
   };
-  world.loop.schedule_after(kControlPeriod, *control_tick);
+  loop.schedule_after(kControlPeriod, *control_tick);
 
-  world.loop.run();
+  rt->run();
 
   Outcome outcome;
   outcome.violation_fraction =

@@ -33,78 +33,83 @@ struct Outcome {
 };
 
 Outcome run(util::Duration period, std::uint64_t seed) {
-  World world(seed);
-  const auto primary = world.network.add_node("primary", 10000).id();
-  const auto fallback = world.network.add_node("fallback", 10000).id();
-  const auto client = world.network.add_node("client", 50000).id();
   sim::LinkSpec link;
   link.latency = util::milliseconds(1);
-  world.network.add_duplex_link(primary, fallback, link);
-  world.network.add_duplex_link(client, primary, link);
-  world.network.add_duplex_link(client, fallback, link);
-  world.registry.register_type("EchoServer", [](const std::string& name) {
-    return std::make_unique<EchoServer>(name, /*work=*/2.0);
-  });
-  auto& app = *world.app;
-  const auto svc =
-      app.instantiate("EchoServer", "svc", primary, Value{}).value();
   connector::ConnectorSpec spec;
   spec.name = "svc";
-  const auto conn = app.create_connector(spec).value();
-  (void)app.add_provider(conn, svc);
+  auto rt = Runtime::builder()
+                .seed(seed)
+                .host("primary", 10000)
+                .host("fallback", 10000)
+                .host("client", 50000)
+                .link_all(link)
+                .component_type("EchoServer", [](const std::string& name) {
+                  return std::make_unique<EchoServer>(name, /*work=*/2.0);
+                })
+                .deploy("EchoServer", "svc", "primary")
+                .connect(spec, {"svc"})
+                .with_raml(period)
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  auto& network = rt->network();
+  const auto primary = rt->host("primary");
+  const auto fallback = rt->host("fallback");
+  const auto client = rt->host("client");
+  const auto svc = rt->component("svc");
+  const auto conn = rt->connector("svc");
 
-  reconfig::ReconfigurationEngine engine(app);
-  meta::Raml raml(app, engine, period);
+  meta::Raml& raml = rt->raml();
 
   Outcome outcome;
   const util::SimTime fault_at = util::seconds(2);
   util::SimTime detected_at = -1;
 
-  raml.add_sensor("backlog", [&world, primary] {
-    return static_cast<double>(
-        world.network.node(primary).backlog(world.loop.now()));
+  raml.add_sensor("backlog", [&network, &loop, primary] {
+    return static_cast<double>(network.node(primary).backlog(loop.now()));
   });
   raml.add_policy(meta::Policy{
       "failover",
       [](const meta::MetricSample& s) { return s.get("backlog") > 20000; },
       [&](meta::Raml& r) {
-        detected_at = world.loop.now();
+        detected_at = loop.now();
         r.engine().migrate_component(
             svc, fallback, [&](const reconfig::ReconfigReport& report) {
-              if (report.success && outcome.action_us < 0) {
-                outcome.action_us = world.loop.now() - detected_at;
+              if (report.ok() && outcome.action_us < 0) {
+                outcome.action_us = loop.now() - detected_at;
               }
             });
       },
       util::seconds(60)});  // act once
   raml.start();
-  world.loop.schedule_at(util::seconds(6), [&raml] { raml.stop(); });
+  loop.schedule_at(util::seconds(6), [&raml] { raml.stop(); });
 
   util::RunningStats degraded;
   util::RunningStats recovered;
   util::Rng rng(seed);
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&, pump] {
-    if (world.loop.now() > util::seconds(6)) return;
+  *pump = [&] {
+    if (loop.now() > util::seconds(6)) return;
     app.invoke_async(conn, "echo", Value::object({{"text", "x"}}), client,
                      [&](util::Result<Value> r, util::Duration latency) {
                        if (!r.ok()) return;
-                       if (world.loop.now() < fault_at) return;
+                       if (loop.now() < fault_at) return;
                        if (app.placement(svc) == fallback) {
                          recovered.add(static_cast<double>(latency));
                        } else {
                          degraded.add(static_cast<double>(latency));
                        }
                      });
-    world.loop.schedule_after(rng.poisson_gap(800), *pump);
+    loop.schedule_after(rng.poisson_gap(800), *pump);
   };
-  world.loop.schedule_after(0, *pump);
+  loop.schedule_after(0, *pump);
 
   // The fault: primary loses 80% of its capacity.
-  world.loop.schedule_at(fault_at, [&] {
-    world.network.node(primary).set_capacity(400);
+  loop.schedule_at(fault_at, [&] {
+    network.node(primary).set_capacity(400);
   });
-  world.loop.run();
+  rt->run();
 
   outcome.detection_us = detected_at >= 0 ? detected_at - fault_at : -1;
   outcome.degraded_mean_latency = degraded.mean();
@@ -115,16 +120,15 @@ Outcome run(util::Duration period, std::uint64_t seed) {
 // --- micro: introspection overhead ---------------------------------------------
 
 void BM_DescribeSystem(benchmark::State& state) {
-  World world(1);
-  const auto node = world.network.add_node("n", 1e6).id();
-  world.registry.register_type("EchoServer", [](const std::string& name) {
-    return std::make_unique<EchoServer>(name);
-  });
+  auto builder = Runtime::builder()
+                     .seed(1)
+                     .host("n", 1e6)
+                     .component_class<EchoServer>("EchoServer");
   for (int i = 0; i < state.range(0); ++i) {
-    (void)world.app->instantiate("EchoServer", "e" + std::to_string(i),
-                                 node, Value{});
+    builder.deploy("EchoServer", "e" + std::to_string(i), "n");
   }
-  meta::SystemView view(*world.app);
+  auto rt = builder.build().value();
+  meta::SystemView view(rt->app());
   for (auto _ : state) {
     benchmark::DoNotOptimize(view.describe_system());
   }

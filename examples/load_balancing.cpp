@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 
+#include "api/runtime.h"
 #include "component/component.h"
 #include "meta/raml.h"
 #include "reconfig/engine.h"
@@ -38,47 +39,43 @@ class Worker : public component::Component {
 }  // namespace
 
 int main() {
-  sim::EventLoop loop;
-  sim::Network network;
-  component::ComponentRegistry registry;
-  registry.register_class<Worker>("Worker");
-  runtime::Application app(loop, network, registry);
-
-  std::vector<util::NodeId> nodes;
-  for (int i = 0; i < 3; ++i) {
-    nodes.push_back(network.add_node("rack" + std::to_string(i), 6000).id());
-  }
-  const auto clients = network.add_node("clients", 100000).id();
-  sim::LinkSpec link;
-  link.latency = util::milliseconds(1);
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    network.add_duplex_link(clients, nodes[i], link);
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      network.add_duplex_link(nodes[i], nodes[j], link);
-    }
-  }
-
   // Three replicas, one per rack, behind a round-robin connector. Round
   // robin cannot steer around a slow rack — that is RAML's job here: the
   // *geographic* reconfiguration moves the replica instead.
+  sim::LinkSpec link;
+  link.latency = util::milliseconds(1);
   connector::ConnectorSpec spec;
   spec.name = "lb";
   spec.routing = connector::RoutingPolicy::kRoundRobin;
-  const auto lb = app.create_connector(spec).value();
+  auto rt = Runtime::builder()
+                .host("rack0", 6000)
+                .host("rack1", 6000)
+                .host("rack2", 6000)
+                .host("clients", 100000)
+                .link_all(link)
+                .component_class<Worker>("Worker")
+                .deploy("Worker", "w0", "rack0")
+                .deploy("Worker", "w1", "rack1")
+                .deploy("Worker", "w2", "rack2")
+                .connect(spec, {"w0", "w1", "w2"})
+                .with_raml(util::milliseconds(100))
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  auto& network = rt->network();
+  std::vector<util::NodeId> nodes;
   std::vector<util::ComponentId> replicas;
   for (int i = 0; i < 3; ++i) {
-    const auto id = app.instantiate("Worker", "w" + std::to_string(i),
-                                    nodes[static_cast<std::size_t>(i)],
-                                    util::Value{})
-                        .value();
-    replicas.push_back(id);
-    (void)app.add_provider(lb, id);
+    nodes.push_back(rt->host("rack" + std::to_string(i)));
+    replicas.push_back(rt->component("w" + std::to_string(i)));
   }
+  const auto clients = rt->host("clients");
+  const auto lb = rt->connector("lb");
 
   // RAML policy: if a rack's backlog dwarfs the calmest rack, move its
   // replica there.
-  reconfig::ReconfigurationEngine engine(app);
-  meta::Raml raml(app, engine, util::milliseconds(100));
+  meta::Raml& raml = rt->raml();
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     raml.add_sensor("backlog" + std::to_string(i), [&network, &loop,
                                                     node = nodes[i]] {
@@ -145,7 +142,7 @@ int main() {
     network.node(nodes[0]).set_capacity(800);
   });
 
-  loop.run();
+  rt->run();
 
   std::printf("\nserved %zu calls: mean %.0f us, p99 %.0f us\n",
               latencies.count(), latencies.mean(), latencies.p99());

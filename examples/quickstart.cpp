@@ -6,10 +6,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "api/runtime.h"
 #include "component/component.h"
 #include "obs/metrics.h"
 #include "reconfig/engine.h"
-#include "runtime/deployer.h"
 
 using namespace aars;
 
@@ -70,33 +70,31 @@ constexpr const char* kConfig = R"(
 }  // namespace
 
 int main() {
-  // 0. Turn on the observability registry so the runtime's hot paths
-  //    (event loop, connectors, channels, reconfiguration) record metrics.
-  obs::Registry::global().set_enabled(true);
-
-  // 1. Build the world: event loop, network, component registry.
-  sim::EventLoop loop;
-  sim::Network network;
-  component::ComponentRegistry registry;
-  registry.register_type("Greeter", [](const std::string& name) {
-    return std::make_unique<Greeter>(name);
-  });
-  runtime::Application app(loop, network, registry);
-
-  // 2. Deploy the declared architecture.
-  auto deployment = runtime::deploy_source(kConfig, app);
-  if (!deployment.ok()) {
+  // 1. Declare the world through the Runtime builder: metrics on, the
+  //    Greeter implementation registered, the architecture deployed from
+  //    the configuration language. build() validates the whole declaration
+  //    and returns an error instead of half-constructing.
+  auto built = Runtime::builder()
+                   .metrics()
+                   .component_class<Greeter>("Greeter")
+                   .adl(kConfig)
+                   .build();
+  if (!built.ok()) {
     std::fprintf(stderr, "deploy failed: %s\n",
-                 deployment.error().message().c_str());
+                 built.error().message().c_str());
     return 1;
   }
-  const auto front = deployment.value().connectors.at("front");
-  const auto greeter = deployment.value().instances.at("greeter");
+  auto rt = std::move(built).value();
+  auto& app = rt->app();
+
+  // 2. Look up the deployed pieces by their configured names.
+  const auto front = rt->connector("front");
+  const auto greeter = rt->component("greeter");
   (void)app.add_provider(front, greeter);
-  const auto edge = deployment.value().nodes.at("edge");
+  const auto edge = rt->host("edge");
   std::printf("deployed %zu instance(s) on %zu node(s)\n",
-              deployment.value().instances.size(),
-              deployment.value().nodes.size());
+              app.component_ids().size(),
+              rt->network().node_ids().size());
 
   // 3. Serve a call.
   auto hello = app.invoke_sync(front, "greet",
@@ -109,19 +107,18 @@ int main() {
   // 4. Hot-swap the implementation (strong reconfiguration): register a
   //    louder Greeter and replace the running instance. State (the served
   //    counter) transfers; callers never rebind.
-  registry.register_type("Greeter", [](const std::string& name) {
+  rt->types().register_type("Greeter", [](const std::string& name) {
     return std::make_unique<Greeter>(name, "loud");
   });
-  reconfig::ReconfigurationEngine engine(app);
-  engine.replace_component(
+  rt->engine().replace_component(
       greeter, "Greeter", "greeter_v2",
       [&](const reconfig::ReconfigReport& report) {
         std::printf("hot swap %s in %lld us (held %zu, replayed %zu)\n",
-                    report.success ? "succeeded" : "FAILED",
+                    report.ok() ? "succeeded" : "FAILED",
                     static_cast<long long>(report.duration()),
                     report.held_messages, report.replayed_messages);
       });
-  loop.run();
+  rt->run();
 
   // 5. The same connector now serves the new implementation.
   auto loud = app.invoke_sync(front, "greet",

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "api/runtime.h"
 #include "component/component.h"
 #include "meta/rules.h"
 #include "obs/metrics.h"
@@ -67,28 +68,27 @@ class FlakyWorker : public component::Component {
 }  // namespace
 
 int main() {
-  obs::Registry::global().set_enabled(true);
-
-  sim::EventLoop loop;
-  sim::Network network;
-  component::ComponentRegistry registry;
-  registry.register_class<FlakyWorker>("FlakyWorker");
-  runtime::Application app(loop, network, registry);
-
-  const auto node = network.add_node("host", 10000).id();
-  const auto client = network.add_node("client", 10000).id();
   sim::LinkSpec link;
   link.latency = util::milliseconds(1);
-  network.add_duplex_link(node, client, link);
-
-  auto worker =
-      app.instantiate("FlakyWorker", "worker", node, util::Value{}).value();
   connector::ConnectorSpec spec;
   spec.name = "svc";
-  const auto conn = app.create_connector(spec).value();
-  (void)app.add_provider(conn, worker);
+  auto rt = Runtime::builder()
+                .metrics()
+                .host("host", 10000)
+                .host("client", 10000)
+                .link("host", "client", link)
+                .component_class<FlakyWorker>("FlakyWorker")
+                .deploy("FlakyWorker", "worker", "host")
+                .connect(spec, {"worker"})
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  const auto client = rt->host("client");
+  auto worker = rt->component("worker");
+  const auto conn = rt->connector("svc");
 
-  reconfig::ReconfigurationEngine engine(app);
+  reconfig::ReconfigurationEngine& engine = rt->engine();
   meta::RuleEngine rules(loop);
 
   // Gate: reconfiguration is only permitted outside the maintenance freeze
@@ -115,14 +115,15 @@ int main() {
     engine.replace_component(
         worker, "FlakyWorker", next,
         [&](const reconfig::ReconfigReport& report) {
-          if (report.success) {
+          if (report.ok()) {
             worker = report.new_component;
             std::printf("[t=%.2fs] healed in %lld us (state preserved)\n",
                         util::to_seconds(loop.now()),
                         static_cast<long long>(report.duration()));
           } else {
             std::printf("[t=%.2fs] recovery FAILED: %s\n",
-                        util::to_seconds(loop.now()), report.error.c_str());
+                        util::to_seconds(loop.now()),
+                        report.error_message().c_str());
           }
         });
   };

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "adapt/middleware.h"
+#include "api/runtime.h"
 #include "control/fuzzy.h"
 #include "qos/monitor.h"
 #include "sim/workload.h"
@@ -22,24 +23,25 @@
 using namespace aars;
 
 int main() {
-  sim::EventLoop loop;
-  sim::Network network;
-  component::ComponentRegistry registry;
-  telecom::register_media_components(registry);
-  runtime::Application app(loop, network, registry);
-
-  const auto server = network.add_node("media_server", 400).id();
-  const auto access = network.add_node("access", 100000).id();
   sim::LinkSpec link;
   link.latency = util::milliseconds(3);
-  network.add_duplex_link(server, access, link);
-
-  const auto media =
-      app.instantiate("MediaServer", "media", server, util::Value{}).value();
   connector::ConnectorSpec spec;
   spec.name = "media";
-  const auto conn = app.create_connector(spec).value();
-  (void)app.add_provider(conn, media);
+  auto rt = Runtime::builder()
+                .host("media_server", 400)
+                .host("access", 100000)
+                .link("media_server", "access", link)
+                .install_types(telecom::register_media_components)
+                .deploy("MediaServer", "media", "media_server")
+                .connect(spec, {"media"})
+                .build()
+                .value();
+  auto& app = rt->app();
+  auto& loop = rt->loop();
+  auto& network = rt->network();
+  const auto server = rt->host("media_server");
+  const auto access = rt->host("access");
+  const auto conn = rt->connector("media");
 
   telecom::SessionManager::Options options;
   options.service = conn;
@@ -113,7 +115,7 @@ int main() {
   };
   loop.schedule_after(util::seconds(10), report);
 
-  loop.run();
+  rt->run();
 
   std::printf(
       "\nrush hour survived: %llu frames delivered, utility %.1f, "

@@ -1,0 +1,275 @@
+#include "api/runtime.h"
+
+namespace aars {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Runtime::Runtime() = default;
+
+Runtime::Builder Runtime::builder() { return Builder{}; }
+
+meta::Raml& Runtime::raml() {
+  util::require(raml_ != nullptr, "Runtime built without with_raml()");
+  return *raml_;
+}
+
+util::NodeId Runtime::host(const std::string& name) const {
+  return network_.node_id(name);
+}
+
+util::ComponentId Runtime::component(const std::string& instance) const {
+  return app_->component_id(instance);
+}
+
+util::ConnectorId Runtime::connector(const std::string& name) const {
+  return app_->connector_id(name);
+}
+
+// --- Builder -----------------------------------------------------------------
+
+Runtime::Builder& Runtime::Builder::seed(std::uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::config(
+    runtime::Application::Config config) {
+  config_ = config;
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::metrics(bool on) {
+  metrics_ = on;
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::host(const std::string& name,
+                                         double capacity) {
+  hosts_.push_back(HostDecl{name, capacity});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::link(const std::string& a,
+                                         const std::string& b,
+                                         sim::LinkSpec spec) {
+  links_.push_back(LinkDecl{a, b, spec});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::link_all(sim::LinkSpec spec) {
+  mesh_ = spec;
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::component_type(
+    const std::string& name, component::ComponentRegistry::Factory factory) {
+  installers_.push_back(
+      [name, factory = std::move(factory)](
+          component::ComponentRegistry& registry) mutable {
+        registry.register_type(name, std::move(factory));
+      });
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::install_types(
+    std::function<void(component::ComponentRegistry&)> installer) {
+  installers_.push_back(std::move(installer));
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::deploy(const std::string& type,
+                                           const std::string& instance,
+                                           const std::string& host,
+                                           util::Value attributes) {
+  deploys_.push_back(
+      DeployDecl{type, instance, host, std::move(attributes)});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::connect(
+    connector::ConnectorSpec spec, std::vector<std::string> providers,
+    std::vector<std::string> aspects) {
+  connects_.push_back(
+      ConnectDecl{std::move(spec), std::move(providers), std::move(aspects)});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::bind(const std::string& caller_instance,
+                                         const std::string& port,
+                                         const std::string& connector_name) {
+  binds_.push_back(BindDecl{caller_instance, port, connector_name});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_retry(
+    const std::string& connector_name, fault::RetryPolicy policy) {
+  retries_.push_back(RetryDecl{connector_name, policy});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::adl(std::string source) {
+  adl_sources_.push_back(std::move(source));
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_reconfig(
+    reconfig::ReconfigurationEngine::Options options) {
+  engine_options_ = options;
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_raml(util::Duration period) {
+  raml_period_ = period;
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_self_repair() {
+  self_repair_ = true;
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_faults(
+    fault::FaultScenario scenario) {
+  scenarios_.push_back(std::move(scenario));
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_fault_text(
+    std::string scenario_text) {
+  scenario_texts_.push_back(std::move(scenario_text));
+  return *this;
+}
+
+Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
+  if (metrics_) obs::Registry::global().set_enabled(true);
+
+  auto rt = std::unique_ptr<Runtime>(new Runtime());
+  for (auto& installer : installers_) installer(rt->types_);
+
+  for (const HostDecl& decl : hosts_) {
+    if (rt->network_.node_id(decl.name).valid()) {
+      return Error{ErrorCode::kAlreadyExists,
+                   "duplicate host '" + decl.name + "'"};
+    }
+    rt->network_.add_node(decl.name, decl.capacity);
+  }
+  for (const LinkDecl& decl : links_) {
+    const util::NodeId a = rt->network_.node_id(decl.a);
+    const util::NodeId b = rt->network_.node_id(decl.b);
+    if (!a.valid() || !b.valid()) {
+      return Error{ErrorCode::kNotFound, "link references unknown host '" +
+                                             (a.valid() ? decl.b : decl.a) +
+                                             "'"};
+    }
+    rt->network_.add_duplex_link(a, b, decl.spec);
+  }
+  if (mesh_.has_value()) {
+    const std::vector<util::NodeId> nodes = rt->network_.node_ids();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (!rt->network_.has_link(nodes[i], nodes[j])) {
+          rt->network_.add_duplex_link(nodes[i], nodes[j], *mesh_);
+        }
+      }
+    }
+  }
+
+  rt->app_ = std::make_unique<runtime::Application>(rt->loop_, rt->network_,
+                                                    rt->types_, config_);
+  fault::register_fault_aspects(rt->app_->connector_factory());
+
+  for (const std::string& source : adl_sources_) {
+    auto deployment = runtime::deploy_source(source, *rt->app_);
+    if (!deployment.ok()) return deployment.error();
+  }
+
+  for (const DeployDecl& decl : deploys_) {
+    const util::NodeId node = rt->network_.node_id(decl.host);
+    if (!node.valid()) {
+      return Error{ErrorCode::kNotFound, "deploy '" + decl.instance +
+                                             "': unknown host '" + decl.host +
+                                             "'"};
+    }
+    auto created = rt->app_->instantiate(decl.type, decl.instance, node,
+                                         decl.attributes);
+    if (!created.ok()) return created.error();
+  }
+
+  for (const ConnectDecl& decl : connects_) {
+    auto conn = rt->app_->create_connector(decl.spec, decl.aspects);
+    if (!conn.ok()) return conn.error();
+    for (const std::string& provider : decl.providers) {
+      const util::ComponentId id = rt->app_->component_id(provider);
+      if (!id.valid()) {
+        return Error{ErrorCode::kNotFound, "connector '" + decl.spec.name +
+                                               "': unknown provider '" +
+                                               provider + "'"};
+      }
+      if (Status s = rt->app_->add_provider(conn.value(), id); !s.ok()) {
+        return s.error();
+      }
+    }
+  }
+
+  for (const BindDecl& decl : binds_) {
+    const util::ComponentId caller = rt->app_->component_id(decl.caller);
+    const util::ConnectorId conn = rt->app_->connector_id(decl.connector);
+    if (!caller.valid()) {
+      return Error{ErrorCode::kNotFound,
+                   "bind: unknown caller '" + decl.caller + "'"};
+    }
+    if (!conn.valid()) {
+      return Error{ErrorCode::kNotFound,
+                   "bind: unknown connector '" + decl.connector + "'"};
+    }
+    if (Status s = rt->app_->bind(caller, decl.port, conn); !s.ok()) {
+      return s.error();
+    }
+  }
+
+  for (const RetryDecl& decl : retries_) {
+    const util::ConnectorId id = rt->app_->connector_id(decl.connector);
+    connector::Connector* conn =
+        id.valid() ? rt->app_->find_connector(id) : nullptr;
+    if (conn == nullptr) {
+      return Error{ErrorCode::kNotFound,
+                   "with_retry: unknown connector '" + decl.connector + "'"};
+    }
+    if (Status s = conn->attach_interceptor(
+            std::make_shared<fault::RetryInterceptor>(decl.policy));
+        !s.ok()) {
+      return s.error();
+    }
+  }
+
+  rt->engine_ = std::make_unique<reconfig::ReconfigurationEngine>(
+      *rt->app_, engine_options_.value_or(
+                     reconfig::ReconfigurationEngine::Options{}));
+  rt->injector_ = std::make_unique<fault::FaultInjector>(*rt->app_);
+
+  if (raml_period_.has_value()) {
+    rt->raml_ = std::make_unique<meta::Raml>(*rt->app_, *rt->engine_,
+                                             *raml_period_);
+    if (self_repair_) rt->raml_->enable_self_repair(*rt->injector_);
+  } else if (self_repair_) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "with_self_repair() requires with_raml()"};
+  }
+
+  for (const std::string& text : scenario_texts_) {
+    auto scenario = fault::FaultScenario::parse(text);
+    if (!scenario.ok()) return scenario.error();
+    scenarios_.push_back(std::move(scenario).value());
+  }
+  scenario_texts_.clear();
+  for (const fault::FaultScenario& scenario : scenarios_) {
+    if (Status s = rt->injector_->arm(scenario); !s.ok()) return s.error();
+  }
+
+  return rt;
+}
+
+}  // namespace aars

@@ -1,0 +1,197 @@
+// aars::Runtime — the canonical entry point.
+//
+// Every experiment in this repo needs the same cast: an event loop, a
+// simulated network, a component registry, an Application, a
+// reconfiguration engine and (optionally) RAML and a fault injector.
+// Before this facade existed, each bench binary and example wired those by
+// hand.  Runtime owns the whole stack in correct construction order and the
+// fluent Builder declares a world in a few lines:
+//
+//   auto rt = aars::Runtime::builder()
+//                 .metrics()
+//                 .seed(7)
+//                 .host("server", 10000)
+//                 .host("client", 10000)
+//                 .link_all(link)
+//                 .component_class<EchoServer>("EchoServer")
+//                 .deploy("EchoServer", "svc", "server")
+//                 .connect(spec, {"svc"})
+//                 .with_raml(util::milliseconds(100))
+//                 .build()
+//                 .value();
+//
+// build() returns Result<std::unique_ptr<Runtime>> — a misdeclared world
+// (unknown host, duplicate instance, bad ADL) reports an aars::Status-style
+// error instead of half-constructing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "component/registry.h"
+#include "fault/injector.h"
+#include "fault/policies.h"
+#include "fault/scenario.h"
+#include "meta/raml.h"
+#include "reconfig/engine.h"
+#include "runtime/application.h"
+#include "runtime/deployer.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "util/errors.h"
+
+namespace aars {
+
+class Runtime {
+ public:
+  class Builder;
+  /// Starts a fluent world declaration.
+  static Builder builder();
+
+  // --- the owned stack ---------------------------------------------------------
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& network() { return network_; }
+  component::ComponentRegistry& types() { return types_; }
+  runtime::Application& app() { return *app_; }
+  reconfig::ReconfigurationEngine& engine() { return *engine_; }
+  fault::FaultInjector& faults() { return *injector_; }
+  bool has_raml() const { return raml_ != nullptr; }
+  /// Precondition: built with with_raml().
+  meta::Raml& raml();
+
+  // --- name lookups ------------------------------------------------------------
+  util::NodeId host(const std::string& name) const;
+  util::ComponentId component(const std::string& instance) const;
+  util::ConnectorId connector(const std::string& name) const;
+
+  // --- run conveniences --------------------------------------------------------
+  void run() { loop_.run(); }
+  void run_until(util::SimTime t) { loop_.run_until(t); }
+  void run_for(util::Duration d) { loop_.run_for(d); }
+
+ private:
+  friend class Builder;
+  Runtime();
+
+  sim::EventLoop loop_;
+  sim::Network network_;
+  component::ComponentRegistry types_;
+  std::unique_ptr<runtime::Application> app_;
+  std::unique_ptr<reconfig::ReconfigurationEngine> engine_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<meta::Raml> raml_;
+};
+
+class Runtime::Builder {
+ public:
+  // --- world configuration -----------------------------------------------------
+  Builder& seed(std::uint64_t seed);
+  Builder& config(runtime::Application::Config config);
+  /// Enables the global obs registry (metrics + traces).
+  Builder& metrics(bool on = true);
+
+  // --- topology ----------------------------------------------------------------
+  Builder& host(const std::string& name, double capacity);
+  /// Duplex link between two declared hosts.
+  Builder& link(const std::string& a, const std::string& b,
+                sim::LinkSpec spec);
+  /// Full mesh between every declared host (applied at build time).
+  Builder& link_all(sim::LinkSpec spec);
+
+  // --- component types ---------------------------------------------------------
+  Builder& component_type(const std::string& name,
+                          component::ComponentRegistry::Factory factory);
+  template <typename T>
+  Builder& component_class(const std::string& name) {
+    return component_type(name, [](const std::string& instance) {
+      return std::make_unique<T>(instance);
+    });
+  }
+  /// Escape hatch for domain helpers that register whole families
+  /// (e.g. telecom::register_media_components).
+  Builder& install_types(
+      std::function<void(component::ComponentRegistry&)> installer);
+
+  // --- instances, connectors, bindings ------------------------------------------
+  Builder& deploy(const std::string& type, const std::string& instance,
+                  const std::string& host, util::Value attributes = {});
+  Builder& connect(connector::ConnectorSpec spec,
+                   std::vector<std::string> providers,
+                   std::vector<std::string> aspects = {});
+  Builder& bind(const std::string& caller_instance, const std::string& port,
+                const std::string& connector_name);
+  /// Attaches a fault::RetryInterceptor to a declared connector.
+  Builder& with_retry(const std::string& connector_name,
+                      fault::RetryPolicy policy);
+  /// Deploys an ADL source on top of the declared world.
+  Builder& adl(std::string source);
+
+  // --- managers ----------------------------------------------------------------
+  Builder& with_reconfig(reconfig::ReconfigurationEngine::Options options);
+  Builder& with_raml(util::Duration period);
+  /// Requires with_raml(): wires the fault injector into RAML's rule engine
+  /// and enables the built-in host-down repair rule.
+  Builder& with_self_repair();
+  /// Arms a fault scenario on the timeline at build time.
+  Builder& with_faults(fault::FaultScenario scenario);
+  /// Parses and arms the text scenario format.
+  Builder& with_fault_text(std::string scenario_text);
+
+  /// Materialises the declared world.
+  util::Result<std::unique_ptr<Runtime>> build();
+
+ private:
+  struct HostDecl {
+    std::string name;
+    double capacity;
+  };
+  struct LinkDecl {
+    std::string a;
+    std::string b;
+    sim::LinkSpec spec;
+  };
+  struct DeployDecl {
+    std::string type;
+    std::string instance;
+    std::string host;
+    util::Value attributes;
+  };
+  struct ConnectDecl {
+    connector::ConnectorSpec spec;
+    std::vector<std::string> providers;
+    std::vector<std::string> aspects;
+  };
+  struct BindDecl {
+    std::string caller;
+    std::string port;
+    std::string connector;
+  };
+  struct RetryDecl {
+    std::string connector;
+    fault::RetryPolicy policy;
+  };
+
+  runtime::Application::Config config_;
+  bool metrics_ = false;
+  std::vector<HostDecl> hosts_;
+  std::vector<LinkDecl> links_;
+  std::optional<sim::LinkSpec> mesh_;
+  std::vector<std::function<void(component::ComponentRegistry&)>>
+      installers_;
+  std::vector<DeployDecl> deploys_;
+  std::vector<ConnectDecl> connects_;
+  std::vector<BindDecl> binds_;
+  std::vector<RetryDecl> retries_;
+  std::vector<std::string> adl_sources_;
+  std::optional<reconfig::ReconfigurationEngine::Options> engine_options_;
+  std::optional<util::Duration> raml_period_;
+  bool self_repair_ = false;
+  std::vector<fault::FaultScenario> scenarios_;
+  std::vector<std::string> scenario_texts_;
+};
+
+}  // namespace aars

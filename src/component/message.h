@@ -70,4 +70,16 @@ Message make_error_response(const Message& request, const std::string& code,
 /// True when the message is an error response built by make_error_response.
 bool is_error_response(const Message& message);
 
+// Well-known header keys consumed by the runtime's fault-handling machinery.
+// Interceptors (fault::RetryInterceptor and friends) stamp these in before();
+// the Application relay honours them on the event-driven path.
+inline constexpr const char* kHeaderRetryBudget = "__retry_budget";
+inline constexpr const char* kHeaderRetryAttempt = "__retry_attempt";
+inline constexpr const char* kHeaderBackoffBase = "__backoff_base_us";
+inline constexpr const char* kHeaderBackoffCap = "__backoff_cap_us";
+inline constexpr const char* kHeaderTimeout = "__timeout_us";
+inline constexpr const char* kHeaderTimeoutArmed = "__timeout_armed";
+inline constexpr const char* kHeaderFailover = "__failover";
+inline constexpr const char* kHeaderRouteAvoid = "__route_avoid";
+
 }  // namespace aars::component

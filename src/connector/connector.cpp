@@ -52,27 +52,52 @@ bool Connector::has_provider(ComponentId provider) const {
          providers_.end();
 }
 
-Result<ComponentId> Connector::select_target(const Message& /*message*/,
+Result<ComponentId> Connector::select_target(const Message& message,
                                              const LoadProbe& probe) {
   if (providers_.empty()) {
     return Error{ErrorCode::kUnavailable, name() + ": no provider attached"};
   }
+  // Failover support: retried messages carry a "__route_avoid" list of
+  // providers that already failed; prefer any provider not on it.  When the
+  // list covers every provider, fall back to normal selection — avoiding
+  // everything would turn a degraded service into an unavailable one.
+  std::vector<ComponentId> candidates = providers_;
+  if (message.headers.contains(component::kHeaderRouteAvoid)) {
+    const util::Value& avoid =
+        message.headers.at(component::kHeaderRouteAvoid);
+    if (avoid.is_list()) {
+      std::vector<ComponentId> kept;
+      for (ComponentId provider : providers_) {
+        bool avoided = false;
+        for (const util::Value& entry : avoid.as_list()) {
+          if (entry.is_int() &&
+              static_cast<std::uint64_t>(entry.as_int()) == provider.raw()) {
+            avoided = true;
+            break;
+          }
+        }
+        if (!avoided) kept.push_back(provider);
+      }
+      if (!kept.empty()) candidates = std::move(kept);
+    }
+  }
   switch (spec_.routing) {
     case RoutingPolicy::kDirect:
-      return providers_.front();
+      return candidates.front();
     case RoutingPolicy::kRoundRobin: {
-      const ComponentId target = providers_[round_robin_next_];
+      const ComponentId target =
+          candidates[round_robin_next_ % candidates.size()];
       round_robin_next_ = (round_robin_next_ + 1) % providers_.size();
       return target;
     }
     case RoutingPolicy::kLeastBacklog: {
-      if (!probe) return providers_.front();
-      ComponentId best = providers_.front();
+      if (!probe) return candidates.front();
+      ComponentId best = candidates.front();
       std::int64_t best_backlog = probe(best);
-      for (std::size_t i = 1; i < providers_.size(); ++i) {
-        const std::int64_t backlog = probe(providers_[i]);
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const std::int64_t backlog = probe(candidates[i]);
         if (backlog < best_backlog) {
-          best = providers_[i];
+          best = candidates[i];
           best_backlog = backlog;
         }
       }

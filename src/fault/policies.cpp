@@ -1,0 +1,75 @@
+#include "fault/policies.h"
+
+#include <memory>
+
+#include "component/message.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace aars::fault {
+
+using component::Message;
+using connector::Interceptor;
+using util::Result;
+using util::Value;
+
+Interceptor::Verdict RetryInterceptor::before(Message& message,
+                                              Result<Value>* /*reply*/) {
+  if (message.kind != component::MessageKind::kRequest) {
+    return Verdict::kPass;  // one-way events are fire-and-forget
+  }
+  const std::int64_t attempt =
+      message.headers.get_or(component::kHeaderRetryAttempt, 0).as_int();
+  if (attempt > 0) {
+    ++retries_seen_;
+    obs::Registry::global().counter("fault.retries").inc();
+  }
+  if (!message.headers.contains(component::kHeaderRetryBudget)) {
+    message.headers[component::kHeaderRetryBudget] =
+        static_cast<std::int64_t>(policy_.max_retries);
+    message.headers[component::kHeaderBackoffBase] =
+        static_cast<std::int64_t>(policy_.backoff_base);
+    message.headers[component::kHeaderBackoffCap] =
+        static_cast<std::int64_t>(policy_.backoff_cap);
+    if (policy_.failover) {
+      message.headers[component::kHeaderFailover] = true;
+    }
+    if (policy_.timeout > 0) {
+      message.headers[component::kHeaderTimeout] =
+          static_cast<std::int64_t>(policy_.timeout);
+    }
+  }
+  return Verdict::kPass;
+}
+
+void RetryInterceptor::after(const Message& message,
+                             Result<Value>& reply) {
+  if (reply.ok()) return;
+  const std::int64_t budget =
+      message.headers.get_or(component::kHeaderRetryBudget, 0).as_int();
+  const std::int64_t attempt =
+      message.headers.get_or(component::kHeaderRetryAttempt, 0).as_int();
+  if (budget > 0 && attempt >= budget) {
+    ++budget_exhausted_;
+    obs::Registry::global().counter("fault.retry_exhausted").inc();
+  }
+}
+
+void register_fault_aspects(connector::ConnectorFactory& factory,
+                            const RetryPolicy& defaults) {
+  factory.add_aspect_provider(
+      [defaults](const std::string& aspect)
+          -> std::shared_ptr<connector::Interceptor> {
+        if (aspect == "retry") {
+          return std::make_shared<RetryInterceptor>(defaults);
+        }
+        if (aspect == "failover") {
+          RetryPolicy policy = defaults;
+          policy.failover = true;
+          return std::make_shared<RetryInterceptor>(policy);
+        }
+        return nullptr;
+      });
+}
+
+}  // namespace aars::fault

@@ -1,0 +1,271 @@
+#include "fault/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace aars::fault {
+
+using util::Duration;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::SimTime;
+
+std::string FaultSpec::subject() const {
+  if (kind == FaultKind::kHostCrash) return "host " + host;
+  return "link " + link_a + "-" + link_b;
+}
+
+FaultScenario& FaultScenario::crash(const std::string& host, SimTime at,
+                                    Duration down_for) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kHostCrash;
+  spec.at = at;
+  spec.duration = down_for;
+  spec.host = host;
+  faults_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultScenario& FaultScenario::partition(const std::string& a,
+                                        const std::string& b, SimTime at,
+                                        Duration down_for) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkPartition;
+  spec.at = at;
+  spec.duration = down_for;
+  spec.link_a = a;
+  spec.link_b = b;
+  faults_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultScenario& FaultScenario::degrade(const std::string& a,
+                                      const std::string& b, SimTime at,
+                                      Duration window, Duration extra_latency,
+                                      Duration extra_jitter) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkDegrade;
+  spec.at = at;
+  spec.duration = window;
+  spec.link_a = a;
+  spec.link_b = b;
+  spec.extra_latency = extra_latency;
+  spec.extra_jitter = extra_jitter;
+  faults_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultScenario& FaultScenario::loss(const std::string& a, const std::string& b,
+                                   SimTime at, Duration window, double p) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkLoss;
+  spec.at = at;
+  spec.duration = window;
+  spec.link_a = a;
+  spec.link_b = b;
+  spec.loss_probability = p;
+  faults_.push_back(std::move(spec));
+  return *this;
+}
+
+SimTime FaultScenario::horizon() const {
+  SimTime horizon = 0;
+  for (const FaultSpec& f : faults_) horizon = std::max(horizon, f.ends_at());
+  return horizon;
+}
+
+Result<Duration> parse_duration(const std::string& token) {
+  if (token.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "empty duration"};
+  }
+  std::size_t digits = 0;
+  while (digits < token.size() &&
+         (std::isdigit(static_cast<unsigned char>(token[digits])) ||
+          token[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "duration must start with a number: '" + token + "'"};
+  }
+  const double magnitude = std::atof(token.substr(0, digits).c_str());
+  const std::string unit = token.substr(digits);
+  double scale = 0.0;
+  if (unit == "us") {
+    scale = 1.0;
+  } else if (unit == "ms") {
+    scale = 1000.0;
+  } else if (unit == "s") {
+    scale = 1000000.0;
+  } else {
+    return Error{ErrorCode::kInvalidArgument,
+                 "unknown duration unit '" + unit + "' (use us/ms/s)"};
+  }
+  return static_cast<Duration>(magnitude * scale);
+}
+
+namespace {
+
+// Splits "key=value"; returns false when there is no '='.
+bool split_kv(const std::string& token, std::string* key, std::string* value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return !key->empty() && !value->empty();
+}
+
+// Splits "a-b" link endpoints.
+bool split_link(const std::string& value, std::string* a, std::string* b) {
+  const std::size_t dash = value.find('-');
+  if (dash == std::string::npos) return false;
+  *a = value.substr(0, dash);
+  *b = value.substr(dash + 1);
+  return !a->empty() && !b->empty();
+}
+
+Error line_error(std::size_t line_no, const std::string& what) {
+  return Error{ErrorCode::kParseError,
+               "scenario line " + std::to_string(line_no) + ": " + what};
+}
+
+}  // namespace
+
+Result<FaultScenario> FaultScenario::parse(const std::string& text) {
+  FaultScenario scenario;
+  std::size_t line_no = 0;
+  std::istringstream in(text);
+  std::string raw_line;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    std::string line(util::trim(raw_line));
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = std::string(util::trim(line.substr(0, hash)));
+    if (line.empty()) continue;
+
+    std::vector<std::string> tokens;
+    std::istringstream splitter(line);
+    std::string token;
+    while (splitter >> token) tokens.push_back(token);
+
+    if (tokens.size() == 2 && tokens[0] == "scenario") {
+      scenario.set_name(tokens[1]);
+      continue;
+    }
+    if (tokens.size() < 3 || tokens[0] != "at") {
+      return line_error(line_no, "expected 'at <time> <kind> ...'");
+    }
+    auto at = parse_duration(tokens[1]);
+    if (!at.ok()) return line_error(line_no, at.error().message());
+
+    FaultSpec spec;
+    spec.at = at.value();
+    const std::string& kind = tokens[2];
+    if (kind == "crash") {
+      spec.kind = FaultKind::kHostCrash;
+    } else if (kind == "partition") {
+      spec.kind = FaultKind::kLinkPartition;
+    } else if (kind == "degrade") {
+      spec.kind = FaultKind::kLinkDegrade;
+    } else if (kind == "loss") {
+      spec.kind = FaultKind::kLinkLoss;
+    } else {
+      return line_error(line_no, "unknown fault kind '" + kind + "'");
+    }
+
+    bool have_duration = false;
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      if (tokens[i] == "for") {
+        if (i + 1 >= tokens.size()) {
+          return line_error(line_no, "'for' needs a duration");
+        }
+        auto dur = parse_duration(tokens[++i]);
+        if (!dur.ok()) return line_error(line_no, dur.error().message());
+        spec.duration = dur.value();
+        have_duration = true;
+        continue;
+      }
+      std::string key;
+      std::string value;
+      if (!split_kv(tokens[i], &key, &value)) {
+        return line_error(line_no, "expected key=value, got '" + tokens[i] + "'");
+      }
+      if (key == "host") {
+        spec.host = value;
+      } else if (key == "link") {
+        if (!split_link(value, &spec.link_a, &spec.link_b)) {
+          return line_error(line_no, "link wants 'a-b', got '" + value + "'");
+        }
+      } else if (key == "latency") {
+        auto d = parse_duration(value);
+        if (!d.ok()) return line_error(line_no, d.error().message());
+        spec.extra_latency = d.value();
+      } else if (key == "jitter") {
+        auto d = parse_duration(value);
+        if (!d.ok()) return line_error(line_no, d.error().message());
+        spec.extra_jitter = d.value();
+      } else if (key == "p") {
+        spec.loss_probability = std::atof(value.c_str());
+        if (spec.loss_probability < 0.0 || spec.loss_probability > 1.0) {
+          return line_error(line_no, "loss p must be in [0,1]");
+        }
+      } else {
+        return line_error(line_no, "unknown key '" + key + "'");
+      }
+    }
+
+    if (!have_duration) {
+      return line_error(line_no, "missing 'for <duration>'");
+    }
+    if (spec.kind == FaultKind::kHostCrash && spec.host.empty()) {
+      return line_error(line_no, "crash wants host=<name>");
+    }
+    if (spec.kind != FaultKind::kHostCrash && spec.link_a.empty()) {
+      return line_error(line_no, "link fault wants link=a-b");
+    }
+    if (spec.kind == FaultKind::kLinkLoss && spec.loss_probability <= 0.0) {
+      return line_error(line_no, "loss wants p=<probability>");
+    }
+    scenario.faults_.push_back(std::move(spec));
+  }
+  return scenario;
+}
+
+namespace {
+
+std::string render_duration(Duration d) {
+  if (d % 1000000 == 0) return std::to_string(d / 1000000) + "s";
+  if (d % 1000 == 0) return std::to_string(d / 1000) + "ms";
+  return std::to_string(d) + "us";
+}
+
+}  // namespace
+
+std::string FaultScenario::to_text() const {
+  std::ostringstream out;
+  out << "scenario " << name_ << "\n";
+  for (const FaultSpec& f : faults_) {
+    out << "at " << render_duration(f.at) << " " << to_string(f.kind);
+    if (f.kind == FaultKind::kHostCrash) {
+      out << " host=" << f.host;
+    } else {
+      out << " link=" << f.link_a << "-" << f.link_b;
+    }
+    if (f.kind == FaultKind::kLinkDegrade) {
+      out << " latency=" << render_duration(f.extra_latency);
+      if (f.extra_jitter > 0) out << " jitter=" << render_duration(f.extra_jitter);
+    }
+    if (f.kind == FaultKind::kLinkLoss) {
+      out << " p=" << f.loss_probability;
+    }
+    out << " for " << render_duration(f.duration) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aars::fault

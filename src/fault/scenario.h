@@ -1,0 +1,118 @@
+// Fault scenarios: deterministic, seedable failure schedules.
+//
+// The paper's prospective vision calls for systems that "react to changes in
+// their environment" — component failure, degraded links, partitions — not
+// just load.  A FaultScenario is a declarative schedule of such failures on
+// the simulated timeline: built programmatically (fluent builder) or parsed
+// from a small line-oriented text format so benches and tests can version
+// fault storms as data.
+//
+// Scenario text format, one fault per line ('#' starts a comment):
+//
+//   at 500ms crash host=b for 300ms
+//   at 1s    partition link=a-b for 200ms
+//   at 2s    degrade link=a-b latency=5ms jitter=1ms for 1s
+//   at 3s    loss link=a-b p=0.3 for 250ms
+//
+// Times accept `us`, `ms` and `s` suffixes.  Host and link endpoints are
+// node *names*, resolved against the network when the scenario is armed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/time.h"
+
+namespace aars::fault {
+
+/// The kinds of failure the injector can schedule.
+enum class FaultKind {
+  kHostCrash,      // all links touching the host are severed, then restored
+  kLinkPartition,  // a duplex link pair is severed, then healed
+  kLinkDegrade,    // extra latency + jitter on a duplex link for a window
+  kLinkLoss,       // elevated loss probability on a duplex link for a window
+};
+
+constexpr const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kHostCrash: return "crash";
+    case FaultKind::kLinkPartition: return "partition";
+    case FaultKind::kLinkDegrade: return "degrade";
+    case FaultKind::kLinkLoss: return "loss";
+  }
+  return "?";
+}
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kHostCrash;
+  util::SimTime at = 0;        // when the fault begins
+  util::Duration duration = 0; // how long until it is repaired/healed
+
+  std::string host;            // kHostCrash: the crashed node
+  std::string link_a;          // link faults: duplex endpoints
+  std::string link_b;
+
+  util::Duration extra_latency = 0;  // kLinkDegrade
+  util::Duration extra_jitter = 0;   // kLinkDegrade
+  double loss_probability = 0.0;     // kLinkLoss
+
+  /// When the fault ends (heal/restart instant).
+  util::SimTime ends_at() const { return at + duration; }
+  /// Human-readable subject ("host b" / "link a-b") for traces and labels.
+  std::string subject() const;
+};
+
+/// An ordered schedule of faults. The builder methods return *this so storms
+/// compose fluently; `parse` accepts the text format documented above.
+class FaultScenario {
+ public:
+  FaultScenario() = default;
+  explicit FaultScenario(std::string name) : name_(std::move(name)) {}
+
+  /// Sever every link touching `host` at `at`; restore them `down_for`
+  /// later.
+  FaultScenario& crash(const std::string& host, util::SimTime at,
+                       util::Duration down_for);
+  /// Sever the duplex link a<->b at `at`; heal it `down_for` later.
+  FaultScenario& partition(const std::string& a, const std::string& b,
+                           util::SimTime at, util::Duration down_for);
+  /// Add latency/jitter to the duplex link a<->b for `window`.
+  FaultScenario& degrade(const std::string& a, const std::string& b,
+                         util::SimTime at, util::Duration window,
+                         util::Duration extra_latency,
+                         util::Duration extra_jitter = 0);
+  /// Raise loss probability on the duplex link a<->b to `p` for `window`
+  /// (a correlated message-loss burst).
+  FaultScenario& loss(const std::string& a, const std::string& b,
+                      util::SimTime at, util::Duration window, double p);
+
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+  bool empty() const { return faults_.empty(); }
+  std::size_t size() const { return faults_.size(); }
+  const std::string& name() const { return name_; }
+  FaultScenario& set_name(std::string name) {
+    name_ = std::move(name);
+    return *this;
+  }
+
+  /// Instant after which every fault has healed.
+  util::SimTime horizon() const;
+
+  /// Parses the line-oriented scenario format. Returns an error naming the
+  /// offending line on malformed input.
+  static util::Result<FaultScenario> parse(const std::string& text);
+
+  /// Renders the scenario back into the parseable text format.
+  std::string to_text() const;
+
+ private:
+  std::string name_ = "scenario";
+  std::vector<FaultSpec> faults_;
+};
+
+/// Parses "250ms" / "3s" / "1500us" into a Duration. Exposed for tests.
+util::Result<util::Duration> parse_duration(const std::string& token);
+
+}  // namespace aars::fault

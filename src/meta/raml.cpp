@@ -38,6 +38,103 @@ void Raml::add_policy(Policy policy) {
   policies_.push_back(std::move(policy));
 }
 
+namespace {
+
+const char* fault_event_name(const fault::FaultEvent& event) {
+  const bool begin = event.phase == fault::FaultEvent::Phase::kBegin;
+  switch (event.kind) {
+    case fault::FaultKind::kHostCrash:
+      return begin ? "fault.host_down" : "fault.host_up";
+    case fault::FaultKind::kLinkPartition:
+      return begin ? "fault.link_down" : "fault.link_up";
+    case fault::FaultKind::kLinkDegrade:
+      return begin ? "fault.degrade_start" : "fault.degrade_end";
+    case fault::FaultKind::kLinkLoss:
+      return begin ? "fault.loss_start" : "fault.loss_end";
+  }
+  return "fault.unknown";
+}
+
+}  // namespace
+
+void Raml::watch_faults(fault::FaultInjector& injector) {
+  if (injector_ == &injector) return;
+  injector_ = &injector;
+  injector.on_fault([this](const fault::FaultEvent& event) {
+    rule_engine_.emit(
+        fault_event_name(event),
+        util::Value::object(
+            {{"subject", event.subject},
+             {"host", static_cast<std::int64_t>(event.host.raw())},
+             {"began_at", static_cast<std::int64_t>(event.began_at)}}));
+  });
+  add_sensor("fault.active", [&injector] {
+    return static_cast<double>(injector.active_faults());
+  });
+}
+
+void Raml::enable_self_repair(fault::FaultInjector& injector) {
+  watch_faults(injector);
+  Rule repair;
+  repair.name = "self_repair";
+  repair.trigger_event = "fault.host_down";
+  repair.op = RuleOperator::kImplies;
+  repair.action = [this, &injector](const Event& event) {
+    const util::NodeId down{
+        static_cast<std::uint64_t>(event.data.at("host").as_int())};
+    const SimTime began = event.data.at("began_at").as_int();
+    // Strand assessment: every component placed on the dead host.
+    for (util::ComponentId comp : app_.component_ids()) {
+      if (app_.placement(comp) != down) continue;
+      // Pick the least-loaded surviving host as the repair target.
+      util::NodeId best;
+      util::Duration best_backlog = 0;
+      for (util::NodeId candidate : injector.up_hosts()) {
+        if (candidate == down) continue;
+        const util::Duration backlog =
+            app_.network().node(candidate).backlog(app_.loop().now());
+        if (!best.valid() || backlog < best_backlog) {
+          best = candidate;
+          best_backlog = backlog;
+        }
+      }
+      if (!best.valid()) {
+        rule_engine_.emit("repair.failed",
+                          util::Value::object({{"reason", "no host up"}}));
+        continue;
+      }
+      ++repairs_started_;
+      engine_.redeploy_component(
+          comp, best, [this, began](const reconfig::ReconfigReport& report) {
+            if (report.ok()) {
+              ++repairs_succeeded_;
+              const SimTime healthy_at = app_.loop().now();
+              obs::Registry::global()
+                  .histogram("fault.mttr_us")
+                  .observe(static_cast<double>(healthy_at - began));
+              obs::Registry::global().trace(
+                  healthy_at, obs::TraceKind::kFault, report.op,
+                  "repair done");
+              rule_engine_.emit(
+                  "repair.done",
+                  util::Value::object(
+                      {{"component",
+                        static_cast<std::int64_t>(
+                            report.new_component.raw())},
+                       {"mttr_us",
+                        static_cast<std::int64_t>(healthy_at - began)}}));
+            } else {
+              rule_engine_.emit(
+                  "repair.failed",
+                  util::Value::object(
+                      {{"reason", report.error_message()}}));
+            }
+          });
+    }
+  };
+  (void)rule_engine_.add_rule(std::move(repair));
+}
+
 void Raml::tick() {
   ++ticks_;
   obs_ticks_->inc();

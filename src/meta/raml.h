@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.h"
 #include "meta/introspection.h"
 #include "meta/rules.h"
 #include "obs/metrics.h"
@@ -72,6 +73,22 @@ class Raml {
   // --- analysis/planning -----------------------------------------------------
   void add_policy(Policy policy);
 
+  // --- failure awareness ------------------------------------------------------
+  /// Forwards fault injector transitions into the rule engine as events:
+  /// "fault.host_down"/"fault.host_up", "fault.link_down"/"fault.link_up",
+  /// "fault.degrade_start"/"fault.degrade_end", "fault.loss_start"/
+  /// "fault.loss_end"; data carries {subject, host, began_at}.  Also adds a
+  /// "fault.active" sensor.
+  void watch_faults(fault::FaultInjector& injector);
+  /// watch_faults + the built-in repair rule: when a host goes down, every
+  /// component placed on it is redeployed onto the least-loaded up host.
+  /// Each completed repair records the host_down -> healthy interval in the
+  /// "fault.mttr_us" histogram and emits "repair.done" ("repair.failed"
+  /// otherwise).
+  void enable_self_repair(fault::FaultInjector& injector);
+  std::uint64_t repairs_started() const { return repairs_started_; }
+  std::uint64_t repairs_succeeded() const { return repairs_succeeded_; }
+
   // --- execution (intercession surface) -----------------------------------------
   runtime::Application& app() { return app_; }
   reconfig::ReconfigurationEngine& engine() { return engine_; }
@@ -106,6 +123,9 @@ class Raml {
   sim::EventHandle pending_;
   std::uint64_t ticks_ = 0;
   std::uint64_t actions_taken_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
+  std::uint64_t repairs_started_ = 0;
+  std::uint64_t repairs_succeeded_ = 0;
   // Observability mirrors (no-ops while the global registry is disabled).
   obs::Counter* obs_ticks_;
   obs::Counter* obs_actions_;

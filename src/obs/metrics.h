@@ -99,6 +99,7 @@ enum class TraceKind {
   kReconfig,      // a reconfiguration protocol phase transition
   kDecision,      // a RAML policy fired
   kQosViolation,  // a QoS contract evaluation failed
+  kFault,         // an injected fault began or ended, or a repair completed
   kCustom,        // anything else an experiment wants on the timeline
 };
 
@@ -108,6 +109,7 @@ constexpr const char* to_string(TraceKind k) {
     case TraceKind::kReconfig: return "reconfig";
     case TraceKind::kDecision: return "decision";
     case TraceKind::kQosViolation: return "qos_violation";
+    case TraceKind::kFault: return "fault";
     case TraceKind::kCustom: return "custom";
   }
   return "?";

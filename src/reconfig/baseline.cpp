@@ -14,7 +14,7 @@ void StopRestartReconfigurator::replace_component(ComponentId old_component,
   report.started_at = app_.loop().now();
   component::Component* old_comp = app_.find_component(old_component);
   if (old_comp == nullptr) {
-    report.error = "no such component";
+    report.status = util::Error{util::ErrorCode::kNotFound, "no such component"};
     report.finished_at = app_.loop().now();
     if (done) done(report);
     return;
@@ -33,14 +33,14 @@ void StopRestartReconfigurator::replace_component(ComponentId old_component,
     Result<ComponentId> created =
         app_.instantiate(new_type, new_name, node, attributes);
     if (!created.ok()) {
-      report.error = created.error().message();
+      report.status = created.error();
       report.finished_at = app_.loop().now();
       if (done) done(report);
       return;
     }
     const ComponentId new_component = created.value();
     if (Status s = app_.redirect(old_component, new_component); !s.ok()) {
-      report.error = s.error().message();
+      report.status = s;
       report.finished_at = app_.loop().now();
       if (done) done(report);
       return;
@@ -51,7 +51,7 @@ void StopRestartReconfigurator::replace_component(ComponentId old_component,
       (void)app_.destroy(old_component);
     });
     report.new_component = new_component;
-    report.success = true;
+    report.status = util::Status::success();
     report.finished_at = app_.loop().now();
     if (done) done(report);
   });

@@ -61,12 +61,12 @@ void ReconfigurationEngine::record_phase(const std::string& op,
 
 void ReconfigurationEngine::finish(ReconfigReport report, const Done& done) {
   report.finished_at = app_.loop().now();
-  if (report.success) ++succeeded_;
+  if (report.ok()) ++succeeded_;
   obs::Registry& reg = obs::Registry::global();
   reg.histogram("reconfig.duration_us", {{"op", report.op}})
       .observe(static_cast<double>(report.duration()));
   reg.trace(report.finished_at, obs::TraceKind::kReconfig, report.op,
-            report.success ? "done" : "failed: " + report.error);
+            report.ok() ? "done" : "failed: " + report.error_message());
   if (done) done(report);
 }
 
@@ -77,7 +77,7 @@ void ReconfigurationEngine::remove_component(ComponentId component,
   report.op = "remove";
   report.started_at = app_.loop().now();
   if (app_.find_component(component) == nullptr) {
-    report.error = "no such component";
+    report.status = Error{ErrorCode::kNotFound, "no such component"};
     finish(std::move(report), done);
     return;
   }
@@ -94,7 +94,8 @@ void ReconfigurationEngine::remove_component(ComponentId component,
       if (!quiescent) {
         app_.unblock_channels_to(component);
         app_.replay_held(component);
-        report.error = "component did not reach a reconfiguration point";
+        report.status = Error{ErrorCode::kNotQuiescent,
+                            "component did not reach a reconfiguration point"};
         finish(std::move(report), done);
         return;
       }
@@ -106,11 +107,11 @@ void ReconfigurationEngine::remove_component(ComponentId component,
         }
       }
       if (Status s = app_.destroy(component); !s.ok()) {
-        report.error = s.error().message();
+        report.status = s;
         finish(std::move(report), done);
         return;
       }
-      report.success = true;
+      report.status = Status::success();
       finish(std::move(report), done);
     });
   });
@@ -126,7 +127,7 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
   report.started_at = app_.loop().now();
   component::Component* old_comp = app_.find_component(old_component);
   if (old_comp == nullptr) {
-    report.error = "no such component";
+    report.status = Error{ErrorCode::kNotFound, "no such component"};
     finish(std::move(report), done);
     return;
   }
@@ -154,13 +155,14 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
         finish(std::move(report), done);
       };
       if (!quiescent) {
-        report.error = "component did not reach a reconfiguration point";
+        report.status = Error{ErrorCode::kNotQuiescent,
+                            "component did not reach a reconfiguration point"};
         rollback();
         return;
       }
       component::Component* old_comp = app_.find_component(old_component);
       if (Status s = old_comp->passivate(); !s.ok()) {
-        report.error = s.error().message();
+        report.status = s;
         rollback();
         return;
       }
@@ -171,7 +173,7 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
           app_.instantiate(new_type, new_name, app_.placement(old_component),
                            snapshot.attributes);
       if (!created.ok()) {
-        report.error = created.error().message();
+        report.status = created.error();
         (void)app_.activate_component(old_component);
         rollback();
         return;
@@ -180,7 +182,7 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
       // Step 6: strong state transfer.
       if (Status s = app_.restore_component(new_component, snapshot);
           !s.ok()) {
-        report.error = s.error().message();
+        report.status = s;
         (void)app_.destroy(new_component);
         (void)app_.activate_component(old_component);
         rollback();
@@ -189,7 +191,7 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
       report.held_messages = app_.held_to(old_component);
       // Step 7: redirect bindings and channels (sequence state carries).
       if (Status s = app_.redirect(old_component, new_component); !s.ok()) {
-        report.error = s.error().message();
+        report.status = s;
         (void)app_.destroy(new_component);
         (void)app_.activate_component(old_component);
         rollback();
@@ -205,7 +207,7 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
                   << s.error().message();
       }
       report.new_component = new_component;
-      report.success = true;
+      report.status = Status::success();
       finish(std::move(report), done);
     });
   });
@@ -219,13 +221,13 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
   report.started_at = app_.loop().now();
   component::Component* comp = app_.find_component(component);
   if (comp == nullptr) {
-    report.error = "no such component";
+    report.status = Error{ErrorCode::kNotFound, "no such component"};
     finish(std::move(report), done);
     return;
   }
   const NodeId source = app_.placement(component);
   if (source == destination) {
-    report.success = true;
+    report.status = Status::success();
     finish(std::move(report), done);
     return;
   }
@@ -245,7 +247,8 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
       if (!quiescent) {
         app_.unblock_channels_to(component);
         app_.replay_held(component);
-        report.error = "component did not reach a reconfiguration point";
+        report.status = Error{ErrorCode::kNotQuiescent,
+                            "component did not reach a reconfiguration point"};
         finish(std::move(report), done);
         return;
       }
@@ -253,7 +256,7 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
       if (Status s = comp->passivate(); !s.ok()) {
         app_.unblock_channels_to(component);
         app_.replay_held(component);
-        report.error = s.error().message();
+        report.status = s;
         finish(std::move(report), done);
         return;
       }
@@ -266,7 +269,7 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
         (void)app_.activate_component(component);
         app_.unblock_channels_to(component);
         app_.replay_held(component);
-        report.error = "destination unreachable";
+        report.status = Error{ErrorCode::kUnavailable, "destination unreachable"};
         finish(std::move(report), done);
         return;
       }
@@ -282,16 +285,151 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
           transfer.delay, [this, component, destination, report,
                            done]() mutable {
             if (Status s = app_.migrate(component, destination); !s.ok()) {
-              report.error = s.error().message();
+              report.status = s;
             } else {
               (void)app_.activate_component(component);
               app_.unblock_channels_to(component);
               report.replayed_messages = app_.replay_held(component);
-              report.success = true;
+              report.status = Status::success();
             }
             finish(std::move(report), done);
           });
     });
+  });
+}
+
+void ReconfigurationEngine::redeploy_component(ComponentId failed,
+                                               NodeId destination, Done done) {
+  ++started_;
+  ReconfigReport report;
+  report.op = "redeploy";
+  report.started_at = app_.loop().now();
+  component::Component* comp = app_.find_component(failed);
+  if (comp == nullptr) {
+    report.status = Error{ErrorCode::kNotFound, "no such component"};
+    finish(std::move(report), done);
+    return;
+  }
+  if (app_.placement(failed) == destination) {
+    // Nothing to repair: the component already lives on the target host.
+    report.status = Status::success();
+    report.new_component = failed;
+    finish(std::move(report), done);
+    return;
+  }
+  obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
+                                report.op, "start");
+  const std::string new_name =
+      comp->instance_name() + "_r" + std::to_string(++redeploys_);
+  const std::string type = comp->type_name();
+
+  // Block new traffic; in-flight messages towards the dead host fail on
+  // their own (no route), so the drain completes without the host.
+  app_.block_channels_to(failed);
+  app_.when_drained(failed, [this, failed, destination, type, new_name,
+                             report, done]() mutable {
+    record_phase(report.op, "drain", report.started_at);
+    const SimTime drained_at = app_.loop().now();
+    auto rollback = [this, failed, &report, &done]() {
+      app_.unblock_channels_to(failed);
+      app_.replay_held(failed);
+      finish(std::move(report), done);
+    };
+    component::Component* comp = app_.find_component(failed);
+    if (comp == nullptr) {
+      report.status = Error{ErrorCode::kNotFound, "component vanished"};
+      finish(std::move(report), done);
+      return;
+    }
+    // The failed instance is not consulted again: passivate if possible so
+    // the snapshot is clean, but a wedged component cannot veto its own
+    // repair — the host it lived on is gone.
+    (void)comp->passivate();
+    const Snapshot snapshot = comp->snapshot();
+    Result<ComponentId> created =
+        app_.instantiate(type, new_name, destination, snapshot.attributes);
+    if (!created.ok()) {
+      report.status = created.error();
+      (void)app_.activate_component(failed);
+      rollback();
+      return;
+    }
+    const ComponentId replacement = created.value();
+    if (Status s = app_.restore_component(replacement, snapshot); !s.ok()) {
+      report.status = s;
+      (void)app_.destroy(replacement);
+      (void)app_.activate_component(failed);
+      rollback();
+      return;
+    }
+    report.held_messages = app_.held_to(failed);
+    if (Status s = app_.redirect(failed, replacement); !s.ok()) {
+      report.status = s;
+      (void)app_.destroy(replacement);
+      (void)app_.activate_component(failed);
+      rollback();
+      return;
+    }
+    app_.unblock_channels_to(replacement);
+    report.replayed_messages = app_.replay_held(replacement);
+    record_phase(report.op, "redeploy_replay", drained_at);
+    if (Status s = app_.destroy(failed); !s.ok()) {
+      AARS_WARN << "redeploy: failed component not removed: "
+                << s.error().message();
+    }
+    report.new_component = replacement;
+    report.status = Status::success();
+    finish(std::move(report), done);
+  });
+}
+
+void ReconfigurationEngine::reroute_to_replica(ComponentId dead,
+                                               ComponentId replica,
+                                               Done done) {
+  ++started_;
+  ReconfigReport report;
+  report.op = "reroute";
+  report.started_at = app_.loop().now();
+  if (app_.find_component(dead) == nullptr) {
+    report.status = Error{ErrorCode::kNotFound, "no such component"};
+    finish(std::move(report), done);
+    return;
+  }
+  if (app_.find_component(replica) == nullptr) {
+    report.status = Error{ErrorCode::kNotFound, "no such replica"};
+    finish(std::move(report), done);
+    return;
+  }
+  if (dead == replica) {
+    report.status =
+        Error{ErrorCode::kInvalidArgument, "replica is the dead component"};
+    finish(std::move(report), done);
+    return;
+  }
+  obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
+                                report.op, "start");
+  app_.block_channels_to(dead);
+  app_.when_drained(dead, [this, dead, replica, report, done]() mutable {
+    record_phase(report.op, "drain", report.started_at);
+    const SimTime drained_at = app_.loop().now();
+    report.held_messages = app_.held_to(dead);
+    if (Status s = app_.redirect(dead, replica); !s.ok()) {
+      report.status = s;
+      app_.unblock_channels_to(dead);
+      app_.replay_held(dead);
+      finish(std::move(report), done);
+      return;
+    }
+    app_.unblock_channels_to(replica);
+    report.replayed_messages = app_.replay_held(replica);
+    record_phase(report.op, "reroute_replay", drained_at);
+    if (Status s = app_.destroy(dead); !s.ok()) {
+      AARS_WARN << "reroute: dead component not removed: "
+                << s.error().message();
+    }
+    report.new_component = replica;
+    report.status = Status::success();
+    finish(std::move(report), done);
   });
 }
 

@@ -39,9 +39,17 @@ using util::Value;
 
 /// Outcome of one reconfiguration protocol run.
 struct ReconfigReport {
-  bool success = false;
-  std::string error;
-  /// Which change class ran: "remove", "replace" or "migrate".
+  /// Why the protocol failed (code + message); success() when it worked.
+  /// Reports start "unfinished" so a dropped protocol never reads as ok.
+  Status status =
+      util::Error{util::ErrorCode::kInternal, "protocol did not complete"};
+  bool ok() const { return status.ok(); }
+  /// Empty on success, the failure message otherwise.
+  std::string error_message() const {
+    return status.ok() ? std::string{} : status.error().message();
+  }
+  /// Which change class ran: "remove", "replace", "migrate", "redeploy" or
+  /// "reroute".
   std::string op;
   SimTime started_at = 0;
   SimTime finished_at = 0;
@@ -91,6 +99,17 @@ class ReconfigurationEngine {
   /// the network (snapshot bytes over the route's links).
   void migrate_component(ComponentId component, NodeId destination, Done done);
 
+  // --- failure-triggered changes ---------------------------------------------
+  /// Repairs a component stranded on a failed host: block -> drain (in-
+  /// flight messages towards the dead host fail on their own) -> snapshot
+  /// the surviving state -> instantiate the same type on `destination`
+  /// under a generated "<name>_r<n>" instance name -> restore -> redirect
+  /// -> replay.  Used by RAML repair rules reacting to fault signals.
+  void redeploy_component(ComponentId failed, NodeId destination, Done done);
+  /// Instant failover: re-points every channel and binding from `dead` to
+  /// an already-running replica, replays held traffic, retires `dead`.
+  void reroute_to_replica(ComponentId dead, ComponentId replica, Done done);
+
   /// Number of protocol runs started / completed successfully.
   std::uint64_t started() const { return started_; }
   std::uint64_t succeeded() const { return succeeded_; }
@@ -108,6 +127,7 @@ class ReconfigurationEngine {
   Options options_;
   std::uint64_t started_ = 0;
   std::uint64_t succeeded_ = 0;
+  std::uint64_t redeploys_ = 0;  // suffix for generated instance names
 };
 
 }  // namespace aars::reconfig

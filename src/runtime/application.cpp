@@ -297,10 +297,117 @@ connector::LoadProbe Application::load_probe() {
   };
 }
 
+namespace {
+
+// Which failures are worth retrying: transient infrastructure trouble, not
+// admission decisions. kRejected in particular covers interceptor kBlock
+// short-circuits — retrying those would re-ask a question already answered.
+bool retryable(ErrorCode code) {
+  return code == ErrorCode::kTimeout || code == ErrorCode::kUnavailable ||
+         code == ErrorCode::kResourceExhausted || code == ErrorCode::kInternal;
+}
+
+}  // namespace
+
+bool Application::maybe_schedule_retry(Connector& conn, const Message& message,
+                                       const util::Error& error, NodeId origin,
+                                       const ResponseCallback& callback,
+                                       SimTime departed) {
+  if (!message.headers.contains(component::kHeaderRetryBudget)) return false;
+  if (!retryable(error.code())) return false;
+  const std::int64_t budget =
+      message.headers.at(component::kHeaderRetryBudget).as_int();
+  const std::int64_t attempt =
+      message.headers.get_or(component::kHeaderRetryAttempt, 0).as_int();
+  if (attempt >= budget) {
+    ++retries_exhausted_;
+    obs::Registry::global().counter("runtime.retry_exhausted").inc();
+    return false;
+  }
+  // Exponential backoff with a cap: base * 2^attempt, clamped.
+  const std::int64_t base =
+      message.headers.get_or(component::kHeaderBackoffBase, 1000).as_int();
+  const std::int64_t cap =
+      message.headers.get_or(component::kHeaderBackoffCap, 100000).as_int();
+  const int shift = attempt < 30 ? static_cast<int>(attempt) : 30;
+  const Duration backoff = std::min<std::int64_t>(base << shift, cap);
+
+  Message retry = message;
+  retry.headers[component::kHeaderRetryAttempt] = attempt + 1;
+  if (retry.headers.contains(component::kHeaderFailover) &&
+      message.target.valid()) {
+    // Remember the failed provider so select_target can fail over.
+    Value& avoid = retry.headers[component::kHeaderRouteAvoid];
+    if (!avoid.is_list()) avoid = util::ValueList{};
+    avoid.as_list().push_back(
+        Value{static_cast<std::int64_t>(message.target.raw())});
+  }
+  retry.target = ComponentId{};
+  retry.sequence = 0;
+
+  const ConnectorId conn_id = conn.id();
+  ++pending_retries_;
+  ++retries_scheduled_;
+  obs::Registry::global().counter("runtime.retries").inc();
+  loop_.schedule_after(backoff, [this, conn_id, retry, origin, callback,
+                                 departed, error]() mutable {
+    --pending_retries_;
+    Connector* target_conn = find_connector(conn_id);
+    if (target_conn == nullptr) {
+      // The connector was removed while the retry waited out its backoff:
+      // finish the call with the original failure.
+      const Duration latency = loop_.now() - departed;
+      ++total_calls_;
+      ++failed_calls_;
+      obs_calls_->inc();
+      obs_failed_calls_->inc();
+      obs_call_latency_->observe(static_cast<double>(latency));
+      CallRecord record{conn_id,  retry.target, retry.operation,
+                        latency,  false,        loop_.now()};
+      for (const CallListener& listener : listeners_) listener(record);
+      if (callback) callback(error, latency);
+      return;
+    }
+    relay_event_driven(*target_conn, std::move(retry), origin, callback);
+  });
+  return true;
+}
+
+Application::ResponseCallback Application::arm_timeout(
+    Message& message, ResponseCallback callback) {
+  if (!callback || message.kind != MessageKind::kRequest) return callback;
+  if (!message.headers.contains(component::kHeaderTimeout)) return callback;
+  if (message.headers.contains(component::kHeaderTimeoutArmed)) {
+    return callback;  // a retry of a call whose deadline is already running
+  }
+  message.headers[component::kHeaderTimeoutArmed] = true;
+  const Duration deadline =
+      message.headers.at(component::kHeaderTimeout).as_int();
+  auto fired = std::make_shared<bool>(false);
+  auto inner = std::make_shared<ResponseCallback>(std::move(callback));
+  loop_.schedule_after(deadline, [this, fired, inner, deadline] {
+    if (*fired) return;
+    *fired = true;
+    ++calls_timed_out_;
+    obs::Registry::global().counter("runtime.call_timeout").inc();
+    (*inner)(Error{ErrorCode::kTimeout, "deadline exceeded"}, deadline);
+  });
+  return [fired, inner](Result<Value> result, Duration latency) {
+    if (*fired) return;
+    *fired = true;
+    (*inner)(std::move(result), latency);
+  };
+}
+
 void Application::finish_call(Connector& conn, const Message& message,
-                              Result<Value> result, NodeId /*origin*/,
+                              Result<Value> result, NodeId origin,
                               const ResponseCallback& callback,
                               SimTime departed) {
+  if (!result.ok() && callback && message.kind == MessageKind::kRequest &&
+      maybe_schedule_retry(conn, message, result.error(), origin, callback,
+                           departed)) {
+    return;
+  }
   const Duration latency = loop_.now() - departed;
   ++total_calls_;
   if (!result.ok()) ++failed_calls_;
@@ -369,6 +476,10 @@ void Application::relay_event_driven(Connector& conn, Message message,
     });
     return;
   }
+
+  // Deadline: interceptors may have stamped "__timeout_us" above; arm it
+  // once per logical call (retries share the original deadline).
+  callback = arm_timeout(message, std::move(callback));
 
   // Routing. Interceptors (injectors) may force a target via the
   // "__route_to" header, bypassing the connector's policy.

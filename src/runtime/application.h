@@ -167,6 +167,12 @@ class Application {
   void add_call_listener(CallListener listener);
   std::uint64_t total_calls() const { return total_calls_; }
   std::uint64_t failed_calls() const { return failed_calls_; }
+  /// Retries currently waiting out a backoff window.
+  std::size_t pending_retries() const { return pending_retries_; }
+  /// Retried relays + budget exhaustions + deadline expiries so far.
+  std::uint64_t retries_scheduled() const { return retries_scheduled_; }
+  std::uint64_t retries_exhausted() const { return retries_exhausted_; }
+  std::uint64_t calls_timed_out() const { return calls_timed_out_; }
   /// Aggregated over all channels.
   std::uint64_t messages_dropped() const;
   std::uint64_t messages_duplicated() const;
@@ -193,6 +199,17 @@ class Application {
   void finish_call(Connector& conn, const Message& message,
                    Result<Value> result, NodeId origin,
                    const ResponseCallback& callback, util::SimTime departed);
+  /// Retry driver: when a failed request carries retry headers (stamped by
+  /// fault::RetryInterceptor) and budget remains, schedules a re-relay after
+  /// an exponential backoff and returns true (the call is not finished yet).
+  bool maybe_schedule_retry(Connector& conn, const Message& message,
+                            const util::Error& error, NodeId origin,
+                            const ResponseCallback& callback,
+                            util::SimTime departed);
+  /// Wraps `callback` with a deadline when the message carries a
+  /// "__timeout_us" header; the loser of the race (completion vs. deadline)
+  /// is suppressed.
+  ResponseCallback arm_timeout(Message& message, ResponseCallback callback);
   connector::LoadProbe load_probe();
   component::Component::Sender make_sender(ComponentId caller);
   double interceptor_work(const Connector& conn) const;
@@ -217,6 +234,10 @@ class Application {
   std::vector<CallListener> listeners_;
   std::uint64_t total_calls_ = 0;
   std::uint64_t failed_calls_ = 0;
+  std::size_t pending_retries_ = 0;
+  std::uint64_t retries_scheduled_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  std::uint64_t calls_timed_out_ = 0;
   util::IdGenerator<util::MessageId> message_ids_;
   // Observability mirrors (no-ops while the global registry is disabled).
   obs::Counter* obs_calls_;

@@ -70,12 +70,13 @@ void Channel::on_arrive() {
   util::require(in_flight_ > 0, "channel in-flight underflow");
   --in_flight_;
   obs_in_flight_->set(static_cast<double>(in_flight_));
-  if (in_flight_ == 0) {
-    while (!drain_waiters_.empty()) {
-      auto waiter = std::move(drain_waiters_.front());
-      drain_waiters_.pop_front();
-      waiter();
-    }
+  if (in_flight_ == 0 && !drain_waiters_.empty()) {
+    // A waiter may destroy this channel (the reconfiguration engine erases
+    // it when removing the drained component), so detach the list first and
+    // never touch members after invoking.
+    std::deque<std::function<void()>> waiters;
+    waiters.swap(drain_waiters_);
+    for (auto& waiter : waiters) waiter();
   }
 }
 

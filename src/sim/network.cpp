@@ -68,6 +68,23 @@ LinkSpec* Network::find_link(NodeId from, NodeId to) {
   return it == links_.end() ? nullptr : &it->second;
 }
 
+std::optional<LinkSpec> Network::remove_link(NodeId from, NodeId to) {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) return std::nullopt;
+  LinkSpec spec = it->second;
+  links_.erase(it);
+  return spec;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Network::links_of(NodeId node) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const auto& [key, spec] : links_) {
+    (void)spec;
+    if (key.first == node || key.second == node) out.push_back(key);
+  }
+  return out;
+}
+
 std::vector<NodeId> Network::route(NodeId from, NodeId to) const {
   if (from == to) return {from};
   // BFS over the directed link graph.

@@ -53,6 +53,11 @@ class Network {
   bool has_link(NodeId from, NodeId to) const;
   /// Mutable access for dynamic degradation scenarios.
   LinkSpec* find_link(NodeId from, NodeId to);
+  /// Removes a directed link (partition / host-crash scenarios). Returns the
+  /// removed spec so fault injectors can restore it later.
+  std::optional<LinkSpec> remove_link(NodeId from, NodeId to);
+  /// Directed links touching `node` (either endpoint), as (from, to) pairs.
+  std::vector<std::pair<NodeId, NodeId>> links_of(NodeId node) const;
 
   /// Computes delivery of `bytes` from `from` to `to`. Same node => free.
   /// Routes over the fewest-hop path; each hop adds latency + serialisation

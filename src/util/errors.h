@@ -127,6 +127,21 @@ class Status {
   std::optional<Error> error_;
 };
 
+}  // namespace aars::util
+
+namespace aars {
+// Public spellings of the error model: mutation APIs across the repo
+// (reconfig engine, deployer, runtime facade) report `aars::Status` — a
+// code + message pair — instead of bool/sentinel returns.
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+template <typename T>
+using Result = util::Result<T>;
+}  // namespace aars
+
+namespace aars::util {
+
 /// Thrown when an internal invariant of the runtime is broken. Indicates a
 /// bug in the runtime, never a recoverable configuration error.
 class InvariantViolation : public std::logic_error {

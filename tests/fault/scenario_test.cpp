@@ -1,0 +1,123 @@
+#include "fault/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time.h"
+
+namespace aars::fault {
+namespace {
+
+using util::ErrorCode;
+
+TEST(ParseDurationTest, AcceptsSuffixes) {
+  EXPECT_EQ(parse_duration("1500us").value(), 1500);
+  EXPECT_EQ(parse_duration("250ms").value(), util::milliseconds(250));
+  EXPECT_EQ(parse_duration("3s").value(), util::seconds(3));
+  EXPECT_EQ(parse_duration("0ms").value(), 0);
+}
+
+TEST(ParseDurationTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_duration("").ok());
+  EXPECT_FALSE(parse_duration("fast").ok());
+  EXPECT_FALSE(parse_duration("10").ok());
+  EXPECT_FALSE(parse_duration("ms").ok());
+  EXPECT_FALSE(parse_duration("-5ms").ok());
+}
+
+TEST(FaultScenarioTest, BuilderComposesFluently) {
+  FaultScenario storm("storm");
+  storm.crash("b", util::seconds(1), util::milliseconds(500))
+      .partition("a", "b", util::seconds(2), util::milliseconds(200))
+      .degrade("a", "b", util::seconds(3), util::milliseconds(100),
+               util::milliseconds(5), util::milliseconds(1))
+      .loss("a", "b", util::seconds(4), util::milliseconds(250), 0.3);
+  ASSERT_EQ(storm.size(), 4u);
+  EXPECT_EQ(storm.name(), "storm");
+  EXPECT_EQ(storm.faults()[0].kind, FaultKind::kHostCrash);
+  EXPECT_EQ(storm.faults()[0].host, "b");
+  EXPECT_EQ(storm.faults()[0].ends_at(),
+            util::seconds(1) + util::milliseconds(500));
+  EXPECT_EQ(storm.faults()[3].loss_probability, 0.3);
+  // Horizon = latest heal instant.
+  EXPECT_EQ(storm.horizon(), util::seconds(4) + util::milliseconds(250));
+}
+
+TEST(FaultScenarioTest, ParsesTextFormat) {
+  auto parsed = FaultScenario::parse(R"(scenario demo
+# comment lines and blank lines are skipped
+
+at 500ms crash host=b for 300ms
+at 1s    partition link=a-b for 200ms
+at 2s    degrade link=a-b latency=5ms jitter=1ms for 1s
+at 3s    loss link=a-b p=0.25 for 250ms
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  const FaultScenario& s = parsed.value();
+  EXPECT_EQ(s.name(), "demo");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.faults()[0].kind, FaultKind::kHostCrash);
+  EXPECT_EQ(s.faults()[0].at, util::milliseconds(500));
+  EXPECT_EQ(s.faults()[0].duration, util::milliseconds(300));
+  EXPECT_EQ(s.faults()[1].kind, FaultKind::kLinkPartition);
+  EXPECT_EQ(s.faults()[1].link_a, "a");
+  EXPECT_EQ(s.faults()[1].link_b, "b");
+  EXPECT_EQ(s.faults()[2].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(s.faults()[2].extra_latency, util::milliseconds(5));
+  EXPECT_EQ(s.faults()[2].extra_jitter, util::milliseconds(1));
+  EXPECT_EQ(s.faults()[3].kind, FaultKind::kLinkLoss);
+  EXPECT_DOUBLE_EQ(s.faults()[3].loss_probability, 0.25);
+}
+
+TEST(FaultScenarioTest, ParseErrorNamesTheOffendingLine) {
+  auto parsed = FaultScenario::parse("at 1s explode host=b for 1s\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code(), ErrorCode::kParseError);
+  EXPECT_NE(parsed.error().message().find("explode"), std::string::npos);
+}
+
+TEST(FaultScenarioTest, ParseRejectsMalformedClauses) {
+  // Missing `for` duration.
+  EXPECT_FALSE(FaultScenario::parse("at 1s crash host=b\n").ok());
+  // Crash needs host=, not link=.
+  EXPECT_FALSE(FaultScenario::parse("at 1s crash link=a-b for 1s\n").ok());
+  // Loss probability out of [0, 1].
+  EXPECT_FALSE(
+      FaultScenario::parse("at 1s loss link=a-b p=1.5 for 1s\n").ok());
+  // Malformed link endpoint pair.
+  EXPECT_FALSE(
+      FaultScenario::parse("at 1s partition link=ab for 1s\n").ok());
+}
+
+TEST(FaultScenarioTest, ToTextRoundTrips) {
+  FaultScenario storm("roundtrip");
+  storm.crash("b", util::seconds(1), util::milliseconds(500))
+      .degrade("a", "b", util::seconds(2), util::milliseconds(100),
+               util::milliseconds(5), util::milliseconds(1))
+      .loss("a", "b", util::seconds(4), util::milliseconds(250), 0.3);
+  auto reparsed = FaultScenario::parse(storm.to_text());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message();
+  EXPECT_EQ(reparsed.value().name(), storm.name());
+  ASSERT_EQ(reparsed.value().size(), storm.size());
+  for (std::size_t i = 0; i < storm.size(); ++i) {
+    const FaultSpec& a = storm.faults()[i];
+    const FaultSpec& b = reparsed.value().faults()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_EQ(a.host, b.host);
+    EXPECT_EQ(a.link_a, b.link_a);
+    EXPECT_EQ(a.link_b, b.link_b);
+    EXPECT_EQ(a.extra_latency, b.extra_latency);
+    EXPECT_EQ(a.extra_jitter, b.extra_jitter);
+    EXPECT_DOUBLE_EQ(a.loss_probability, b.loss_probability);
+  }
+}
+
+TEST(FaultScenarioTest, EmptyScenarioHasZeroHorizon) {
+  FaultScenario empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.horizon(), 0);
+}
+
+}  // namespace
+}  // namespace aars::fault

@@ -56,7 +56,7 @@ TEST_F(AdaptationScenarioTest, AdaptationIsFasterThanReconfiguration) {
                              report = r;
                            });
   loop_.run();
-  ASSERT_TRUE(report.success) << report.error;
+  ASSERT_TRUE(report.ok()) << report.error_message();
   EXPECT_LT(adapt_latency, report.duration());
 }
 
@@ -114,7 +114,7 @@ TEST_F(AdaptationScenarioTest, FeedbackControlHoldsQualityUnderLoadSwings) {
   double quality = 4.0;
   int min_quality_seen = 4;
   auto control_tick = std::make_shared<std::function<void()>>();
-  *control_tick = [&, control_tick] {
+  *control_tick = [&] {
     if (loop_.now() > util::seconds(5)) return;
     const double bound = static_cast<double>(contract.max_mean_latency);
     const double observed = monitor.mean_latency();

@@ -82,7 +82,7 @@ TEST_F(EndToEndTest, HotSwapUnderDeployedTraffic) {
           engine.replace_component(
               current, "CounterServer", "svc_" + versions[index],
               [&, index](const reconfig::ReconfigReport& report) {
-                ASSERT_TRUE(report.success) << report.error;
+                ASSERT_TRUE(report.ok()) << report.error_message();
                 swap_next(report.new_component, index + 1);
               });
         });
@@ -118,7 +118,7 @@ TEST_F(EndToEndTest, RamlClosesTheLoopOnOverload) {
       [&](meta::Raml& r) {
         r.engine().migrate_component(
             hot, node_a_, [&](const reconfig::ReconfigReport& report) {
-              if (report.success) ++migrations;
+              if (report.ok()) ++migrations;
             });
       },
       util::seconds(10)});

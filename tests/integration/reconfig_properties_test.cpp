@@ -51,7 +51,7 @@ TEST_P(ReconfigPropertyTest, NoLossNoDuplicationUnderRandomLoad) {
           engine.replace_component(
               current, "CounterServer", "gen" + std::to_string(generation),
               [&, generation](const reconfig::ReconfigReport& report) {
-                ASSERT_TRUE(report.success) << report.error;
+                ASSERT_TRUE(report.ok()) << report.error_message();
                 current = report.new_component;
                 ++completed_swaps;
                 swap(generation + 1);
@@ -105,7 +105,7 @@ TEST_P(MigrationPropertyTest, RepeatedMigrationKeepsServiceConsistent) {
         rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
     engine.migrate_component(id, dest,
                              [&](const reconfig::ReconfigReport& report) {
-                               ASSERT_TRUE(report.success) << report.error;
+                               ASSERT_TRUE(report.ok()) << report.error_message();
                                ++migrations;
                                loop_.schedule_after(util::milliseconds(100),
                                                     roam);
@@ -150,7 +150,7 @@ TEST_P(DelayBoundTest, HeldMessageDelayIsBoundedByProtocolDuration) {
         [&](const reconfig::ReconfigReport& r) { report = r; });
   });
   loop_.run();
-  ASSERT_TRUE(report.success);
+  ASSERT_TRUE(report.ok());
 
   // Max observed delay across channels <= protocol duration + 50ms slack.
   util::Duration max_delay = 0;

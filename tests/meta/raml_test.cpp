@@ -78,7 +78,7 @@ TEST_F(RamlTest, PolicyCanDriveReconfiguration) {
         raml.engine().replace_component(
             old_id, "CounterServer", "new",
             [&replaced](const reconfig::ReconfigReport& r) {
-              replaced = r.success;
+              replaced = r.ok();
             });
       },
       util::seconds(10)});  // fire once
@@ -128,7 +128,7 @@ TEST_F(RamlTest, SensorsFeedPolicyViaIntrospection) {
         raml.engine().migrate_component(
             hot_id, node_a_,
             [&migrated](const reconfig::ReconfigReport& r) {
-              migrated = r.success;
+              migrated = r.ok();
             });
       },
       util::seconds(10)});

@@ -178,5 +178,28 @@ TEST(ExportTest, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(ExportTest, JsonEscapeHandlesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("col\tsep\rend"), "col\\tsep\\rend");
+  // Other control characters become \u00XX escapes.
+  EXPECT_EQ(json_escape(std::string("bell\x07")), "bell\\u0007");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(ExportTest, MetricNamesAndLabelsAreEscapedInJson) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("weird\"name", {{"label\\key", "value\nnewline"}}).inc();
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+  EXPECT_NE(json.find("label\\\\key"), std::string::npos);
+  EXPECT_NE(json.find("value\\nnewline"), std::string::npos);
+  // No raw control characters leak into the document.
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+}
+
 }  // namespace
 }  // namespace aars::obs

@@ -29,7 +29,7 @@ TEST_F(BaselineTest, ReplacesAfterOutage) {
                              });
   loop_.run();
   ASSERT_TRUE(done);
-  ASSERT_TRUE(report.success) << report.error;
+  ASSERT_TRUE(report.ok()) << report.error_message();
   EXPECT_GE(report.duration(), util::milliseconds(20));
   // New instance starts from clean state (no transfer).
   auto* replacement = dynamic_cast<CounterServer*>(
@@ -49,7 +49,7 @@ TEST_F(BaselineTest, StateIsLost) {
   baseline.replace_component(old_id, "CounterServer", "new",
                              [&](const ReconfigReport& r) { report = r; });
   loop_.run();
-  ASSERT_TRUE(report.success);
+  ASSERT_TRUE(report.ok());
   auto outcome = app_.invoke_sync(conn, "total", Value{}, node_b_);
   ASSERT_TRUE(outcome.result.ok());
   EXPECT_EQ(outcome.result.value().as_int(), 0);  // the 42 is gone
@@ -87,7 +87,7 @@ TEST_F(BaselineTest, UnknownComponentFails) {
   baseline.replace_component(util::ComponentId{12345}, "EchoServer", "x",
                              [&](const ReconfigReport& r) { report = r; });
   loop_.run();
-  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.ok());
 }
 
 }  // namespace

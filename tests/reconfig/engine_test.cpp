@@ -43,7 +43,7 @@ TEST_F(EngineTest, StrongReplacePreservesStateAndBindings) {
                             });
   loop_.run();
   ASSERT_TRUE(done);
-  ASSERT_TRUE(report.success) << report.error;
+  ASSERT_TRUE(report.ok()) << report.error_message();
   EXPECT_TRUE(report.new_component.valid());
   // Old gone, new carries the state.
   EXPECT_EQ(app_.find_component(old_id), nullptr);
@@ -83,7 +83,7 @@ TEST_F(EngineTest, ReplaceUnderLoadLosesNothing) {
   });
   loop_.run();
   ASSERT_TRUE(done);
-  ASSERT_TRUE(report.success) << report.error;
+  ASSERT_TRUE(report.ok()) << report.error_message();
   // Every event must be accounted: none lost, none duplicated.
   EXPECT_EQ(app_.messages_dropped(), 0u);
   EXPECT_EQ(app_.messages_duplicated(), 0u);
@@ -98,8 +98,8 @@ TEST_F(EngineTest, ReplaceUnknownComponentFails) {
   engine_.replace_component(util::ComponentId{999}, "CounterServer", "new",
                             [&](const ReconfigReport& r) { report = r; });
   loop_.run();
-  EXPECT_FALSE(report.success);
-  EXPECT_FALSE(report.error.empty());
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.error_message().empty());
 }
 
 TEST_F(EngineTest, ReplaceWithUnknownTypeRollsBack) {
@@ -112,7 +112,7 @@ TEST_F(EngineTest, ReplaceWithUnknownTypeRollsBack) {
   engine_.replace_component(old_id, "GhostType", "new",
                             [&](const ReconfigReport& r) { report = r; });
   loop_.run();
-  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.ok());
   // The old component is live again and serving.
   auto outcome = app_.invoke_sync(conn, "total", Value{}, node_b_);
   ASSERT_TRUE(outcome.result.ok()) << outcome.result.error().message();
@@ -131,7 +131,7 @@ TEST_F(EngineTest, RemoveComponentDrainsFirst) {
   });
   loop_.run();
   ASSERT_TRUE(done);
-  EXPECT_TRUE(report.success) << report.error;
+  EXPECT_TRUE(report.ok()) << report.error_message();
   EXPECT_EQ(app_.find_component(id), nullptr);
   // The in-flight message was delivered before removal, not dropped.
   EXPECT_EQ(app_.messages_dropped(), 0u);
@@ -172,7 +172,7 @@ TEST_F(EngineTest, MigrationMovesComponentAndReplaysTraffic) {
   (void)app_.send_event(conn, "add", Value::object({{"amount", 5}}), node_b_);
   loop_.run();
   ASSERT_TRUE(done);
-  ASSERT_TRUE(report.success) << report.error;
+  ASSERT_TRUE(report.ok()) << report.error_message();
   EXPECT_EQ(app_.placement(id), node_b_);
   auto* counter = dynamic_cast<CounterServer*>(app_.find_component(id));
   EXPECT_EQ(counter->total(), 6);
@@ -188,7 +188,7 @@ TEST_F(EngineTest, MigrationToUnreachableNodeAborts) {
   engine_.migrate_component(id, node_d,
                             [&](const ReconfigReport& r) { report = r; });
   loop_.run();
-  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.ok());
   EXPECT_EQ(app_.placement(id), node_a_);
   // Still serving in place.
   EXPECT_TRUE(app_.invoke_sync(conn, "total", Value{}, node_b_).result.ok());
@@ -201,7 +201,7 @@ TEST_F(EngineTest, MigrationToSameNodeIsNoop) {
   engine_.migrate_component(id, node_a_,
                             [&](const ReconfigReport& r) { report = r; });
   loop_.run();
-  EXPECT_TRUE(report.success);
+  EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.duration(), 0);
 }
 
@@ -213,6 +213,84 @@ TEST_F(EngineTest, CountersTrackRuns) {
   loop_.run();
   EXPECT_EQ(engine_.started(), 1u);
   EXPECT_EQ(engine_.succeeded(), 1u);
+}
+
+TEST_F(EngineTest, RedeployMovesComponentAndPreservesState) {
+  const auto conn = direct_to("CounterServer", "c", node_a_);
+  const auto id = app_.component_id("c");
+  ASSERT_TRUE(app_
+                  .invoke_sync(conn, "add",
+                               Value::object({{"amount", std::int64_t{5}}}),
+                               node_b_)
+                  .result.ok());
+
+  ReconfigReport report;
+  engine_.redeploy_component(id, node_c_,
+                             [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+
+  ASSERT_TRUE(report.ok()) << report.error_message();
+  EXPECT_NE(report.new_component, id);
+  EXPECT_EQ(app_.placement(report.new_component), node_c_);
+  EXPECT_EQ(app_.find_component(id), nullptr);  // failed instance removed
+  // Same connector now serves the replacement with the transferred state.
+  auto total = app_.invoke_sync(conn, "total", Value{}, node_b_);
+  ASSERT_TRUE(total.result.ok());
+  EXPECT_EQ(total.result.value().as_int(), 5);
+}
+
+TEST_F(EngineTest, RedeployToCurrentHostIsANoop) {
+  const auto id =
+      app_.instantiate("CounterServer", "c", node_a_, Value{}).value();
+  ReconfigReport report;
+  engine_.redeploy_component(id, node_a_,
+                             [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.new_component, id);
+  EXPECT_NE(app_.find_component(id), nullptr);
+}
+
+TEST_F(EngineTest, RedeployUnknownComponentIsNotFound) {
+  ReconfigReport report;
+  engine_.redeploy_component(util::ComponentId{9999}, node_a_,
+                             [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(EngineTest, RerouteToReplicaRedirectsTraffic) {
+  const auto conn = direct_to("EchoServer", "primary", node_a_);
+  const auto dead = app_.component_id("primary");
+  const auto replica =
+      app_.instantiate("EchoServer", "replica", node_b_, Value{}).value();
+
+  ReconfigReport report;
+  engine_.reroute_to_replica(dead, replica,
+                             [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+
+  ASSERT_TRUE(report.ok()) << report.error_message();
+  EXPECT_EQ(report.new_component, replica);
+  EXPECT_EQ(app_.find_component(dead), nullptr);
+  auto out = app_.invoke_sync(conn, "echo",
+                              Value::object({{"text", "via replica"}}),
+                              node_c_);
+  ASSERT_TRUE(out.result.ok());
+  EXPECT_EQ(out.result.value().as_string(), "via replica");
+}
+
+TEST_F(EngineTest, RerouteToSelfIsInvalid) {
+  const auto id =
+      app_.instantiate("EchoServer", "e", node_a_, Value{}).value();
+  ReconfigReport report;
+  engine_.reroute_to_replica(id, id,
+                             [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(app_.find_component(id), nullptr);  // untouched
 }
 
 }  // namespace
