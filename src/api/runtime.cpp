@@ -28,6 +28,18 @@ util::ConnectorId Runtime::connector(const std::string& name) const {
   return app_->connector_id(name);
 }
 
+std::shared_ptr<overload::AdmissionInterceptor> Runtime::admission(
+    const std::string& connector_name) const {
+  auto it = admissions_.find(connector_name);
+  return it == admissions_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<overload::CircuitBreakerInterceptor> Runtime::breaker(
+    const std::string& connector_name) const {
+  auto it = breakers_.find(connector_name);
+  return it == breakers_.end() ? nullptr : it->second;
+}
+
 // --- Builder -----------------------------------------------------------------
 
 Runtime::Builder& Runtime::Builder::seed(std::uint64_t seed) {
@@ -107,6 +119,26 @@ Runtime::Builder& Runtime::Builder::bind(const std::string& caller_instance,
 Runtime::Builder& Runtime::Builder::with_retry(
     const std::string& connector_name, fault::RetryPolicy policy) {
   retries_.push_back(RetryDecl{connector_name, policy});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_admission(
+    const std::string& connector_name, overload::AdmissionPolicy policy) {
+  admissions_.push_back(AdmissionDecl{connector_name, policy});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_breaker(
+    const std::string& connector_name, overload::BreakerPolicy policy) {
+  breakers_.push_back(BreakerDecl{connector_name, policy});
+  return *this;
+}
+
+Runtime::Builder& Runtime::Builder::with_degraded_mode(
+    const std::string& connector_name, overload::OverloadTrigger trigger,
+    overload::DegradedMode mode) {
+  degraded_modes_.push_back(
+      DegradedDecl{connector_name, std::move(trigger), std::move(mode)});
   return *this;
 }
 
@@ -245,6 +277,45 @@ Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
     }
   }
 
+  // Overload protection chain ordering: admission (-20) runs first, the
+  // breaker (-10) second, retry (0, with_retry's default) last — so shed
+  // traffic never pollutes breaker statistics and an open breaker
+  // short-circuits before any retry header is stamped.
+  for (const AdmissionDecl& decl : admissions_) {
+    const util::ConnectorId id = rt->app_->connector_id(decl.connector);
+    connector::Connector* conn =
+        id.valid() ? rt->app_->find_connector(id) : nullptr;
+    if (conn == nullptr) {
+      return Error{ErrorCode::kNotFound, "with_admission: unknown connector '" +
+                                             decl.connector + "'"};
+    }
+    runtime::Application* app = rt->app_.get();
+    sim::EventLoop* loop = &rt->loop_;
+    auto gate = std::make_shared<overload::AdmissionInterceptor>(
+        decl.policy, [loop] { return loop->now(); },
+        [app, id] { return app->queue_depth(id); }, decl.connector);
+    if (Status s = conn->attach_interceptor(gate, -20); !s.ok()) {
+      return s.error();
+    }
+    rt->admissions_[decl.connector] = std::move(gate);
+  }
+  for (const BreakerDecl& decl : breakers_) {
+    const util::ConnectorId id = rt->app_->connector_id(decl.connector);
+    connector::Connector* conn =
+        id.valid() ? rt->app_->find_connector(id) : nullptr;
+    if (conn == nullptr) {
+      return Error{ErrorCode::kNotFound,
+                   "with_breaker: unknown connector '" + decl.connector + "'"};
+    }
+    sim::EventLoop* loop = &rt->loop_;
+    auto breaker = std::make_shared<overload::CircuitBreakerInterceptor>(
+        decl.policy, [loop] { return loop->now(); }, decl.connector);
+    if (Status s = conn->attach_interceptor(breaker, -10); !s.ok()) {
+      return s.error();
+    }
+    rt->breakers_[decl.connector] = std::move(breaker);
+  }
+
   rt->engine_ = std::make_unique<reconfig::ReconfigurationEngine>(
       *rt->app_, engine_options_.value_or(
                      reconfig::ReconfigurationEngine::Options{}));
@@ -257,6 +328,30 @@ Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
   } else if (self_repair_) {
     return Error{ErrorCode::kInvalidArgument,
                  "with_self_repair() requires with_raml()"};
+  }
+
+  for (DegradedDecl& decl : degraded_modes_) {
+    if (rt->raml_ == nullptr) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "with_degraded_mode() requires with_raml()"};
+    }
+    const util::ConnectorId id = rt->app_->connector_id(decl.connector);
+    if (!id.valid()) {
+      return Error{ErrorCode::kNotFound,
+                   "with_degraded_mode: unknown connector '" + decl.connector +
+                       "'"};
+    }
+    if (!decl.trigger.pressure) {
+      runtime::Application* app = rt->app_.get();
+      decl.trigger.pressure = [app, id] {
+        return static_cast<double>(app->queue_depth(id));
+      };
+    }
+    if (decl.mode.admission == nullptr) {
+      auto it = rt->admissions_.find(decl.connector);
+      if (it != rt->admissions_.end()) decl.mode.admission = it->second;
+    }
+    rt->raml_->watch_overload(std::move(decl.trigger), std::move(decl.mode));
   }
 
   for (const std::string& text : scenario_texts_) {

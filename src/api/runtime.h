@@ -26,6 +26,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,6 +38,9 @@
 #include "fault/policies.h"
 #include "fault/scenario.h"
 #include "meta/raml.h"
+#include "overload/admission.h"
+#include "overload/breaker.h"
+#include "overload/degraded.h"
 #include "reconfig/engine.h"
 #include "runtime/application.h"
 #include "runtime/deployer.h"
@@ -68,6 +72,14 @@ class Runtime {
   util::ComponentId component(const std::string& instance) const;
   util::ConnectorId connector(const std::string& name) const;
 
+  // --- overload protection ----------------------------------------------------
+  /// Admission gate attached via with_admission(); null when none.
+  std::shared_ptr<overload::AdmissionInterceptor> admission(
+      const std::string& connector_name) const;
+  /// Circuit breaker attached via with_breaker(); null when none.
+  std::shared_ptr<overload::CircuitBreakerInterceptor> breaker(
+      const std::string& connector_name) const;
+
   // --- run conveniences --------------------------------------------------------
   void run() { loop_.run(); }
   void run_until(util::SimTime t) { loop_.run_until(t); }
@@ -84,6 +96,10 @@ class Runtime {
   std::unique_ptr<reconfig::ReconfigurationEngine> engine_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<meta::Raml> raml_;
+  std::map<std::string, std::shared_ptr<overload::AdmissionInterceptor>>
+      admissions_;
+  std::map<std::string, std::shared_ptr<overload::CircuitBreakerInterceptor>>
+      breakers_;
 };
 
 class Runtime::Builder {
@@ -127,6 +143,22 @@ class Runtime::Builder {
   /// Attaches a fault::RetryInterceptor to a declared connector.
   Builder& with_retry(const std::string& connector_name,
                       fault::RetryPolicy policy);
+  /// Attaches an overload::AdmissionInterceptor at connector ingress
+  /// (earliest in the chain). The queue-depth gate probes the connector's
+  /// own backlog; the token bucket runs on the simulated clock.
+  Builder& with_admission(const std::string& connector_name,
+                          overload::AdmissionPolicy policy);
+  /// Attaches an overload::CircuitBreakerInterceptor between admission and
+  /// retry, so an open breaker short-circuits before any retry attempt.
+  Builder& with_breaker(const std::string& connector_name,
+                        overload::BreakerPolicy policy);
+  /// Requires with_raml(): installs a degraded-mode controller for the
+  /// connector. When `trigger.pressure` is empty it defaults to the
+  /// connector's queue depth; when `mode.admission` is unset it defaults to
+  /// the admission gate declared for the same connector (if any).
+  Builder& with_degraded_mode(const std::string& connector_name,
+                              overload::OverloadTrigger trigger,
+                              overload::DegradedMode mode);
   /// Deploys an ADL source on top of the declared world.
   Builder& adl(std::string source);
 
@@ -174,6 +206,19 @@ class Runtime::Builder {
     std::string connector;
     fault::RetryPolicy policy;
   };
+  struct AdmissionDecl {
+    std::string connector;
+    overload::AdmissionPolicy policy;
+  };
+  struct BreakerDecl {
+    std::string connector;
+    overload::BreakerPolicy policy;
+  };
+  struct DegradedDecl {
+    std::string connector;
+    overload::OverloadTrigger trigger;
+    overload::DegradedMode mode;
+  };
 
   runtime::Application::Config config_;
   bool metrics_ = false;
@@ -186,6 +231,9 @@ class Runtime::Builder {
   std::vector<ConnectDecl> connects_;
   std::vector<BindDecl> binds_;
   std::vector<RetryDecl> retries_;
+  std::vector<AdmissionDecl> admissions_;
+  std::vector<BreakerDecl> breakers_;
+  std::vector<DegradedDecl> degraded_modes_;
   std::vector<std::string> adl_sources_;
   std::optional<reconfig::ReconfigurationEngine::Options> engine_options_;
   std::optional<util::Duration> raml_period_;

@@ -128,9 +128,9 @@ Result<Value> Component::handle(const Message& message) {
       return finish(s.error());
     }
   }
-  ++activity_depth_;
+  begin_activity();
   Result<Value> result = it->second.handler(message.payload);
-  --activity_depth_;
+  end_activity();
   return finish(std::move(result));
 }
 

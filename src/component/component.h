@@ -119,6 +119,14 @@ class Component {
   /// True when the component is between activities: safe to snapshot/swap.
   bool quiescent() const { return activity_depth_ == 0; }
   int activity_depth() const { return activity_depth_; }
+  /// Explicit activity bracket. handle() brackets synchronous dispatch
+  /// automatically; components whose work spans events (async completions,
+  /// background activities) use these to stay non-quiescent across them.
+  void begin_activity() { ++activity_depth_; }
+  void end_activity() {
+    util::require(activity_depth_ > 0, "activity depth underflow");
+    --activity_depth_;
+  }
 
   // --- strong state transfer --------------------------------------------------
   Snapshot snapshot() const;

@@ -20,6 +20,23 @@ Message make_error_response(const Message& request, const std::string& code,
   return response;
 }
 
+Priority message_priority(const Message& message) {
+  if (message.headers.contains(kHeaderPriority)) {
+    std::int64_t raw = message.headers.at(kHeaderPriority).as_int();
+    if (raw < 0) raw = 0;
+    if (raw > static_cast<std::int64_t>(Priority::kControl)) {
+      raw = static_cast<std::int64_t>(Priority::kControl);
+    }
+    return static_cast<Priority>(raw);
+  }
+  if (message.kind == MessageKind::kControl) return Priority::kControl;
+  return Priority::kNormal;
+}
+
+void set_priority(Message& message, Priority priority) {
+  message.headers[kHeaderPriority] = static_cast<std::int64_t>(priority);
+}
+
 bool is_error_response(const Message& message) {
   return message.kind == MessageKind::kResponse &&
          message.payload.contains("error");

@@ -70,9 +70,38 @@ Message make_error_response(const Message& request, const std::string& code,
 /// True when the message is an error response built by make_error_response.
 bool is_error_response(const Message& message);
 
+/// Traffic classes for admission control and load shedding. Under overload
+/// the runtime sheds lower classes first; kControl (reconfiguration and
+/// quiescence traffic) is never shed, so the meta-level can always act.
+enum class Priority {
+  kBestEffort = 0,
+  kNormal = 1,
+  kHigh = 2,
+  kControl = 3,
+};
+
+constexpr const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kBestEffort: return "best_effort";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+    case Priority::kControl: return "control";
+  }
+  return "?";
+}
+
+/// Effective traffic class of a message: the "__priority" header when
+/// stamped (clamped to the enum range), kControl for control-kind messages,
+/// kNormal otherwise.
+Priority message_priority(const Message& message);
+
+/// Stamps the "__priority" header.
+void set_priority(Message& message, Priority priority);
+
 // Well-known header keys consumed by the runtime's fault-handling machinery.
 // Interceptors (fault::RetryInterceptor and friends) stamp these in before();
 // the Application relay honours them on the event-driven path.
+inline constexpr const char* kHeaderPriority = "__priority";
 inline constexpr const char* kHeaderRetryBudget = "__retry_budget";
 inline constexpr const char* kHeaderRetryAttempt = "__retry_attempt";
 inline constexpr const char* kHeaderBackoffBase = "__backoff_base_us";

@@ -135,6 +135,26 @@ void Raml::enable_self_repair(fault::FaultInjector& injector) {
   (void)rule_engine_.add_rule(std::move(repair));
 }
 
+overload::DegradedModeController& Raml::watch_overload(
+    overload::OverloadTrigger trigger, overload::DegradedMode mode) {
+  util::require(static_cast<bool>(trigger.pressure),
+                "overload trigger needs a pressure signal");
+  auto controller = std::make_unique<overload::DegradedModeController>(
+      app_, engine_, std::move(mode), std::move(trigger));
+  overload::DegradedModeController* raw = controller.get();
+  controller->on_transition([this](const char* event, double pressure) {
+    rule_engine_.emit(std::string("overload.") + event,
+                      util::Value::object({{"pressure", pressure}}));
+  });
+  const std::string& name = raw->mode().name;
+  add_sensor("overload." + name + ".pressure",
+             [raw] { return raw->last_pressure(); });
+  add_sensor("overload." + name + ".degraded",
+             [raw] { return raw->degraded() ? 1.0 : 0.0; });
+  overload_controllers_.push_back(std::move(controller));
+  return *raw;
+}
+
 void Raml::tick() {
   ++ticks_;
   obs_ticks_->inc();
@@ -144,6 +164,11 @@ void Raml::tick() {
   const bool timed = obs::Registry::global().enabled();
   const auto wall_start = timed ? std::chrono::steady_clock::now()
                                 : std::chrono::steady_clock::time_point{};
+  // Degraded-mode controllers advance first so the overload sensors below
+  // report this tick's pressure, not last tick's.
+  for (const auto& controller : overload_controllers_) {
+    controller->evaluate(app_.loop().now());
+  }
   // Monitor: sample every sensor.
   MetricSample sample;
   sample.at = app_.loop().now();

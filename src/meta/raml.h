@@ -27,6 +27,7 @@
 #include "meta/introspection.h"
 #include "meta/rules.h"
 #include "obs/metrics.h"
+#include "overload/degraded.h"
 #include "qos/monitor.h"
 #include "reconfig/engine.h"
 #include "runtime/application.h"
@@ -89,6 +90,21 @@ class Raml {
   std::uint64_t repairs_started() const { return repairs_started_; }
   std::uint64_t repairs_succeeded() const { return repairs_succeeded_; }
 
+  // --- overload awareness -----------------------------------------------------
+  /// Installs a degraded-mode controller evaluated every tick: when the
+  /// trigger's pressure signal crosses `enter_above`, the application is
+  /// switched into the declared degraded configuration (component swaps,
+  /// tighter admission, wider contract) and back when pressure falls below
+  /// `exit_below`.  Adds "overload.<mode>.pressure"/".degraded" sensors and
+  /// emits "overload.enter"/"overload.exit" rule-engine events.  Returns
+  /// the controller for direct inspection.
+  overload::DegradedModeController& watch_overload(
+      overload::OverloadTrigger trigger, overload::DegradedMode mode);
+  const std::vector<std::unique_ptr<overload::DegradedModeController>>&
+  overload_controllers() const {
+    return overload_controllers_;
+  }
+
   // --- execution (intercession surface) -----------------------------------------
   runtime::Application& app() { return app_; }
   reconfig::ReconfigurationEngine& engine() { return engine_; }
@@ -126,6 +142,8 @@ class Raml {
   fault::FaultInjector* injector_ = nullptr;
   std::uint64_t repairs_started_ = 0;
   std::uint64_t repairs_succeeded_ = 0;
+  std::vector<std::unique_ptr<overload::DegradedModeController>>
+      overload_controllers_;
   // Observability mirrors (no-ops while the global registry is disabled).
   obs::Counter* obs_ticks_;
   obs::Counter* obs_actions_;

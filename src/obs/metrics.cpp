@@ -1,8 +1,38 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 
 namespace aars::obs {
+
+std::string sanitize_trace_name(std::string name) {
+  // Collapse one or more trailing "_r<digits>" generated-instance suffixes
+  // into a single "_r*" wildcard.
+  std::size_t end = name.size();
+  bool stripped = false;
+  while (true) {
+    // Find a "_r<digits>" run ending at `end`.
+    std::size_t digits = 0;
+    while (digits < end &&
+           std::isdigit(static_cast<unsigned char>(name[end - 1 - digits])) !=
+               0) {
+      ++digits;
+    }
+    if (digits == 0 || end - digits < 2) break;
+    if (name[end - digits - 1] != 'r' || name[end - digits - 2] != '_') break;
+    end -= digits + 2;
+    stripped = true;
+  }
+  if (stripped) {
+    name.erase(end);
+    name += "_r*";
+  }
+  if (name.size() > kMaxTraceNameLength) {
+    name.erase(kMaxTraceNameLength - 3);
+    name += "...";
+  }
+  return name;
+}
 
 // --- TraceBuffer --------------------------------------------------------------
 
@@ -92,7 +122,8 @@ HistogramMetric& Registry::histogram(const std::string& name,
 void Registry::trace(util::SimTime at, TraceKind kind, std::string name,
                      std::string detail) {
   if (!enabled_) return;
-  trace_.record(TraceEvent{at, kind, std::move(name), std::move(detail)});
+  trace_.record(TraceEvent{at, kind, sanitize_trace_name(std::move(name)),
+                           std::move(detail)});
 }
 
 void Registry::reset_values() {

@@ -115,6 +115,15 @@ constexpr const char* to_string(TraceKind k) {
   return "?";
 }
 
+/// Collapses unbounded per-instance suffixes in a trace/metric subject name
+/// so cardinality stays bounded over long runs: any chain of generated
+/// "_r<n>" redeploy suffixes becomes a single "_r*" ("svc_r17" and
+/// "svc_r3_r12" both map to "svc_r*"), and names longer than
+/// kMaxTraceNameLength are truncated with a "…" marker.  Applied by
+/// Registry::trace() to every event name.
+inline constexpr std::size_t kMaxTraceNameLength = 96;
+std::string sanitize_trace_name(std::string name);
+
 /// One entry on the simulation timeline.
 struct TraceEvent {
   util::SimTime at = 0;

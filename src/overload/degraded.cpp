@@ -1,0 +1,137 @@
+#include "overload/degraded.h"
+
+#include <algorithm>
+
+namespace aars::overload {
+
+DegradedModeController::DegradedModeController(
+    runtime::Application& app, reconfig::ReconfigurationEngine& engine,
+    DegradedMode mode, OverloadTrigger trigger)
+    : app_(app),
+      engine_(engine),
+      mode_(std::move(mode)),
+      trigger_(std::move(trigger)) {
+  obs::Registry& reg = obs::Registry::global();
+  const obs::Labels labels{{"mode", mode_.name}};
+  obs_degraded_ = &reg.gauge("overload.degraded", labels);
+  obs_pressure_ = &reg.gauge("overload.pressure", labels);
+  obs_enters_ = &reg.counter("overload.mode_enter", labels);
+  obs_exits_ = &reg.counter("overload.mode_exit", labels);
+}
+
+void DegradedModeController::notify(const char* event, double pressure) {
+  for (const TransitionHook& hook : hooks_) hook(event, pressure);
+}
+
+void DegradedModeController::evaluate(util::SimTime now) {
+  if (!trigger_.pressure) return;
+  last_pressure_ = trigger_.pressure();
+  obs_pressure_->set(last_pressure_);
+  switch (state_) {
+    case State::kNominal:
+      if (last_pressure_ >= trigger_.enter_above &&
+          now - last_transition_ >= trigger_.min_dwell) {
+        enter(now, last_pressure_);
+      }
+      break;
+    case State::kDegraded:
+      if (last_pressure_ <= trigger_.exit_below &&
+          now - last_transition_ >= trigger_.min_dwell) {
+        exit(now, last_pressure_);
+      }
+      break;
+    case State::kEntering:
+    case State::kExiting:
+      break;  // waiting for swap protocols to settle
+  }
+}
+
+void DegradedModeController::enter(util::SimTime now, double pressure) {
+  ++enters_;
+  obs_enters_->inc();
+  obs_degraded_->set(1.0);
+  last_transition_ = now;
+  obs::Registry::global().trace(
+      now, obs::TraceKind::kDecision, "overload." + mode_.name,
+      "enter pressure=" + std::to_string(pressure));
+
+  if (mode_.admission) {
+    saved_rate_scale_ = mode_.admission->rate_scale();
+    mode_.admission->set_rate_scale(mode_.admission_rate_scale);
+  }
+  if (mode_.monitor && mode_.contract_scale > 0.0) {
+    saved_contract_ = mode_.monitor->contract();
+    qos::QosContract widened = saved_contract_;
+    const double s = mode_.contract_scale;
+    widened.max_mean_latency = static_cast<util::Duration>(
+        static_cast<double>(widened.max_mean_latency) * s);
+    widened.max_peak_latency = static_cast<util::Duration>(
+        static_cast<double>(widened.max_peak_latency) * s);
+    widened.min_throughput /= s;
+    widened.max_failure_rate = std::min(1.0, widened.max_failure_rate * s);
+    mode_.monitor->set_contract(widened);
+  }
+
+  state_ = State::kEntering;
+  original_types_.clear();
+  std::size_t launched = 0;
+  for (const DegradedSwap& swap : mode_.swaps) {
+    const util::ComponentId id = app_.component_id(swap.instance);
+    const component::Component* comp = app_.find_component(id);
+    if (comp == nullptr) {
+      ++swap_failures_;
+      continue;
+    }
+    original_types_[swap.instance] = comp->type_name();
+    ++pending_;
+    ++launched;
+    const std::string instance = swap.instance;
+    engine_.replace_component(
+        id, swap.degraded_type, instance + "~deg",
+        [this](const reconfig::ReconfigReport& report) {
+          if (!report.ok()) ++swap_failures_;
+          if (--pending_ == 0) state_ = State::kDegraded;
+        });
+  }
+  if (launched == 0) state_ = State::kDegraded;
+  notify("enter", pressure);
+}
+
+void DegradedModeController::exit(util::SimTime now, double pressure) {
+  ++exits_;
+  obs_exits_->inc();
+  obs_degraded_->set(0.0);
+  last_transition_ = now;
+  obs::Registry::global().trace(
+      now, obs::TraceKind::kDecision, "overload." + mode_.name,
+      "exit pressure=" + std::to_string(pressure));
+
+  if (mode_.admission) mode_.admission->set_rate_scale(saved_rate_scale_);
+  if (mode_.monitor && mode_.contract_scale > 0.0) {
+    mode_.monitor->set_contract(saved_contract_);
+  }
+
+  state_ = State::kExiting;
+  std::size_t launched = 0;
+  for (const DegradedSwap& swap : mode_.swaps) {
+    const auto original = original_types_.find(swap.instance);
+    if (original == original_types_.end()) continue;  // never swapped in
+    const util::ComponentId id = app_.component_id(swap.instance + "~deg");
+    if (app_.find_component(id) == nullptr) {
+      ++swap_failures_;
+      continue;
+    }
+    ++pending_;
+    ++launched;
+    engine_.replace_component(
+        id, original->second, swap.instance,
+        [this](const reconfig::ReconfigReport& report) {
+          if (!report.ok()) ++swap_failures_;
+          if (--pending_ == 0) state_ = State::kNominal;
+        });
+  }
+  if (launched == 0) state_ = State::kNominal;
+  notify("exit", pressure);
+}
+
+}  // namespace aars::overload

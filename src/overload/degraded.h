@@ -1,0 +1,123 @@
+// RAML-driven degraded modes.
+//
+// Shedding and breaking protect the system but serve nobody; the paper's
+// answer to sustained pressure is *adaptation*: "interchanging the
+// components ... of the targeted application" (§3).  A DegradedMode is a
+// declared cheaper configuration — swap named instances for lightweight
+// implementations (via the reconfiguration engine's strong replacement
+// protocol, so state carries over), tighten admission, widen the QoS
+// contract — and DegradedModeController moves the application into it when
+// a pressure signal crosses the enter threshold and back out when pressure
+// subsides, with dwell-time hysteresis so the system does not flap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "overload/admission.h"
+#include "qos/contract.h"
+#include "qos/monitor.h"
+#include "reconfig/engine.h"
+#include "runtime/application.h"
+#include "util/time.h"
+
+namespace aars::overload {
+
+/// One component substitution in a degraded configuration.
+struct DegradedSwap {
+  std::string instance;       // instance to replace while degraded
+  std::string degraded_type;  // cheaper implementation type
+};
+
+/// A declared degraded configuration.
+struct DegradedMode {
+  std::string name = "degraded";
+  std::vector<DegradedSwap> swaps;
+  /// Multiplies the admission rate while degraded (< 1 sheds more).
+  double admission_rate_scale = 1.0;
+  /// Widens the QoS contract while degraded: latency bounds multiply by
+  /// this, throughput floors divide by it (> 1 loosens).
+  double contract_scale = 1.0;
+  /// Admission gate to scale (optional).
+  std::shared_ptr<AdmissionInterceptor> admission;
+  /// Monitor whose contract is widened (optional).
+  std::shared_ptr<qos::QosMonitor> monitor;
+};
+
+/// When to enter/leave the degraded configuration.
+struct OverloadTrigger {
+  /// Pressure signal, e.g. a connector queue depth or shed rate.
+  std::function<double()> pressure;
+  double enter_above = 0.0;
+  double exit_below = 0.0;
+  /// Minimum time in a state before switching again (anti-flap).
+  util::Duration min_dwell = 0;
+};
+
+/// Drives an application between its nominal and degraded configurations.
+/// evaluate() is called periodically (Raml::tick via watch_overload, or
+/// directly from tests/benches).
+class DegradedModeController {
+ public:
+  enum class State { kNominal, kEntering, kDegraded, kExiting };
+
+  using TransitionHook = std::function<void(const char* event, double pressure)>;
+
+  DegradedModeController(runtime::Application& app,
+                         reconfig::ReconfigurationEngine& engine,
+                         DegradedMode mode, OverloadTrigger trigger);
+
+  /// Samples pressure and advances the state machine. Swap protocols run
+  /// asynchronously; the controller stays in kEntering/kExiting until every
+  /// replacement completes.
+  void evaluate(util::SimTime now);
+
+  const DegradedMode& mode() const { return mode_; }
+  State state() const { return state_; }
+  bool degraded() const {
+    return state_ == State::kDegraded || state_ == State::kExiting;
+  }
+  double last_pressure() const { return last_pressure_; }
+  std::uint64_t enters() const { return enters_; }
+  std::uint64_t exits() const { return exits_; }
+  std::uint64_t swap_failures() const { return swap_failures_; }
+  /// Replacement protocols still in flight.
+  std::size_t pending() const { return pending_; }
+
+  /// Fired on "enter" and "exit" (after the transition is initiated).
+  void on_transition(TransitionHook hook) { hooks_.push_back(std::move(hook)); }
+
+ private:
+  void enter(util::SimTime now, double pressure);
+  void exit(util::SimTime now, double pressure);
+  void notify(const char* event, double pressure);
+
+  runtime::Application& app_;
+  reconfig::ReconfigurationEngine& engine_;
+  DegradedMode mode_;
+  OverloadTrigger trigger_;
+  State state_ = State::kNominal;
+  util::SimTime last_transition_ = 0;
+  double last_pressure_ = 0.0;
+  double saved_rate_scale_ = 1.0;
+  qos::QosContract saved_contract_;
+  /// instance -> original type, recorded at enter so exit can swap back.
+  std::map<std::string, std::string> original_types_;
+  std::size_t pending_ = 0;
+  std::uint64_t enters_ = 0;
+  std::uint64_t exits_ = 0;
+  std::uint64_t swap_failures_ = 0;
+  std::vector<TransitionHook> hooks_;
+  // Observability mirrors (no-ops while the global registry is disabled).
+  obs::Gauge* obs_degraded_;
+  obs::Gauge* obs_pressure_;
+  obs::Counter* obs_enters_;
+  obs::Counter* obs_exits_;
+};
+
+}  // namespace aars::overload

@@ -1,5 +1,7 @@
 #include "reconfig/engine.h"
 
+#include <cctype>
+
 #include "util/logging.h"
 
 namespace aars::reconfig {
@@ -7,6 +9,23 @@ namespace aars::reconfig {
 using component::Snapshot;
 using util::Error;
 using util::ErrorCode;
+
+namespace {
+
+/// Strips a previously generated "_r<n>" suffix so repeated repairs of the
+/// same component never compound names ("a_r1_r2_r3"...) — generated names
+/// feed metric labels and trace events, where unbounded suffix chains would
+/// explode cardinality over long chaos runs.
+std::string base_instance_name(const std::string& name) {
+  const auto pos = name.rfind("_r");
+  if (pos == std::string::npos || pos + 2 >= name.size()) return name;
+  for (std::size_t i = pos + 2; i < name.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) return name;
+  }
+  return name.substr(0, pos);
+}
+
+}  // namespace
 
 ReconfigurationEngine::ReconfigurationEngine(Application& app)
     : ReconfigurationEngine(app, Options{}) {}
@@ -133,19 +152,23 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
   }
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");
+  const std::uint64_t overflows_before =
+      app_.hold_overflows_to(old_component);
 
   // Step 1: block channels — new traffic is held, in-transit continues.
   app_.block_channels_to(old_component);
 
   // Step 2: drain in-transit messages.
   app_.when_drained(old_component, [this, old_component, new_type, new_name,
-                                    report, done]() mutable {
+                                    overflows_before, report,
+                                    done]() mutable {
     record_phase(report.op, "drain", report.started_at);
     const SimTime drained_at = app_.loop().now();
     const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
     // Step 3: wait for the reconfiguration point.
     wait_quiescent(old_component, deadline, [this, old_component, new_type,
-                                             new_name, report, drained_at,
+                                             new_name, overflows_before,
+                                             report, drained_at,
                                              done](bool quiescent) mutable {
       record_phase(report.op, "quiesce", drained_at);
       const SimTime quiescent_at = app_.loop().now();
@@ -157,6 +180,14 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
       if (!quiescent) {
         report.status = Error{ErrorCode::kNotQuiescent,
                             "component did not reach a reconfiguration point"};
+        rollback();
+        return;
+      }
+      if (app_.hold_overflows_to(old_component) > overflows_before) {
+        // The hold buffer overflowed while we were quiescing: traffic was
+        // already shed, so abort cleanly rather than stretch the outage.
+        report.status = Error{ErrorCode::kOverloaded,
+                              "hold buffer overflowed during quiescence"};
         rollback();
         return;
       }
@@ -233,15 +264,16 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
   }
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");
+  const std::uint64_t overflows_before = app_.hold_overflows_to(component);
 
   app_.block_channels_to(component);
-  app_.when_drained(component, [this, component, source, destination, report,
-                                done]() mutable {
+  app_.when_drained(component, [this, component, source, destination,
+                                overflows_before, report, done]() mutable {
     record_phase(report.op, "drain", report.started_at);
     const SimTime drained_at = app_.loop().now();
     const SimTime deadline = app_.loop().now() + options_.quiescence_timeout;
     wait_quiescent(component, deadline, [this, component, source, destination,
-                                         report, drained_at,
+                                         overflows_before, report, drained_at,
                                          done](bool quiescent) mutable {
       record_phase(report.op, "quiesce", drained_at);
       if (!quiescent) {
@@ -249,6 +281,14 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
         app_.replay_held(component);
         report.status = Error{ErrorCode::kNotQuiescent,
                             "component did not reach a reconfiguration point"};
+        finish(std::move(report), done);
+        return;
+      }
+      if (app_.hold_overflows_to(component) > overflows_before) {
+        app_.unblock_channels_to(component);
+        app_.replay_held(component);
+        report.status = Error{ErrorCode::kOverloaded,
+                              "hold buffer overflowed during quiescence"};
         finish(std::move(report), done);
         return;
       }
@@ -320,7 +360,8 @@ void ReconfigurationEngine::redeploy_component(ComponentId failed,
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");
   const std::string new_name =
-      comp->instance_name() + "_r" + std::to_string(++redeploys_);
+      base_instance_name(comp->instance_name()) + "_r" +
+      std::to_string(++redeploys_);
   const std::string type = comp->type_name();
 
   // Block new traffic; in-flight messages towards the dead host fail on

@@ -277,6 +277,9 @@ Channel& Application::channel(ConnectorId connector, ComponentId provider) {
   if (it == channels_.end()) {
     auto chan = std::make_unique<Channel>(channel_ids_.next(), connector,
                                           provider, config_.audit_channels);
+    if (const Connector* conn = find_connector(connector)) {
+      chan->set_hold_limit(conn->spec().queue_capacity);
+    }
     it = channels_.emplace(key, std::move(chan)).first;
   }
   return *it->second;
@@ -302,6 +305,8 @@ namespace {
 // Which failures are worth retrying: transient infrastructure trouble, not
 // admission decisions. kRejected in particular covers interceptor kBlock
 // short-circuits — retrying those would re-ask a question already answered.
+// kOverloaded is deliberately absent: it is a backpressure signal, and
+// retrying against it would amplify exactly the load being shed.
 bool retryable(ErrorCode code) {
   return code == ErrorCode::kTimeout || code == ErrorCode::kUnavailable ||
          code == ErrorCode::kResourceExhausted || code == ErrorCode::kInternal;
@@ -524,24 +529,31 @@ void Application::relay_event_driven(Connector& conn, Message message,
     Channel& chan = channel(conn.id(), target);
     copy.sequence = chan.next_sequence();
     if (chan.blocked()) {
-      if (chan.held_count() >= conn.spec().queue_capacity) {
+      Connector* conn_ptr = &conn;
+      Channel* chan_ptr = &chan;
+      HeldMessage held;
+      held.message = copy;
+      held.priority = static_cast<int>(component::message_priority(copy));
+      held.resume = [this, conn_ptr, chan_ptr, origin, callback,
+                     departed](Message replayed) {
+        deliver(*conn_ptr, *chan_ptr, std::move(replayed), origin, callback,
+                departed);
+      };
+      held.reject = [this, conn_ptr, origin, callback,
+                     departed](Message rejected, util::Error error) {
+        finish_call(*conn_ptr, rejected, std::move(error), origin, callback,
+                    departed);
+      };
+      Status parked = chan.hold(std::move(held));
+      if (!parked.ok()) {
         chan.record_drop();
         if (callback) {
           finish_call(conn, copy,
-                      Error{ErrorCode::kResourceExhausted,
-                            conn.name() + ": held queue full"},
+                      Error{parked.error().code(),
+                            conn.name() + ": " + parked.error().message()},
                       origin, callback, departed);
         }
-        continue;
       }
-      Connector* conn_ptr = &conn;
-      Channel* chan_ptr = &chan;
-      chan.hold(HeldMessage{
-          copy, [this, conn_ptr, chan_ptr, origin, callback,
-                 departed](Message replayed) {
-            deliver(*conn_ptr, *chan_ptr, std::move(replayed), origin,
-                    callback, departed);
-          }});
       continue;
     }
     deliver(conn, chan, copy, origin, callback, departed);
@@ -943,6 +955,22 @@ std::uint64_t Application::messages_dropped() const {
 std::uint64_t Application::messages_duplicated() const {
   std::uint64_t total = 0;
   for (const auto& [key, chan] : channels_) total += chan->duplicated();
+  return total;
+}
+
+std::size_t Application::queue_depth(ConnectorId connector) const {
+  std::size_t total = 0;
+  for (const auto& [key, chan] : channels_) {
+    if (key.first == connector) total += chan->in_flight() + chan->held_count();
+  }
+  return total;
+}
+
+std::uint64_t Application::hold_overflows_to(ComponentId component) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, chan] : channels_) {
+    if (key.second == component) total += chan->hold_overflows();
+  }
   return total;
 }
 

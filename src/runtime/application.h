@@ -176,6 +176,11 @@ class Application {
   /// Aggregated over all channels.
   std::uint64_t messages_dropped() const;
   std::uint64_t messages_duplicated() const;
+  /// Messages queued towards `connector`'s providers: in flight + held.
+  /// Admission gates probe this as the backpressure signal.
+  std::size_t queue_depth(ConnectorId connector) const;
+  /// Hold-buffer overflows on channels to `component` (see Channel::hold).
+  std::uint64_t hold_overflows_to(ComponentId component) const;
 
  private:
   struct BindingKey {

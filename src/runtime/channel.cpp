@@ -11,6 +11,40 @@ Channel::Channel(ChannelId id, ConnectorId connector, ComponentId provider,
   obs_duplicated_ = &reg.counter("channel.duplicated");
   obs_in_flight_ = &reg.gauge("channel.in_flight");
   obs_max_delay_ = &reg.gauge("channel.max_delay_us");
+  obs_held_depth_ = &reg.gauge("channel.held_depth");
+}
+
+util::Status Channel::hold(HeldMessage held) {
+  if (held_.size() >= hold_limit_) {
+    ++hold_overflows_;
+    // Evict the youngest strictly-lower-priority entry so that control and
+    // high-priority traffic can always be parked during quiescence.
+    auto victim = held_.end();
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+      if (it->priority < held.priority &&
+          (victim == held_.end() || it->priority <= victim->priority)) {
+        victim = it;
+      }
+    }
+    if (victim == held_.end()) {
+      return util::Error{util::ErrorCode::kOverloaded,
+                         "hold buffer full (limit " +
+                             std::to_string(hold_limit_) + ")"};
+    }
+    HeldMessage shed = std::move(*victim);
+    held_.erase(victim);
+    ++shed_held_;
+    record_drop();
+    if (shed.reject) {
+      shed.reject(std::move(shed.message),
+                  util::Error{util::ErrorCode::kOverloaded,
+                              "held message shed for higher-priority traffic"});
+    }
+  }
+  held_.push_back(std::move(held));
+  held_peak_ = std::max(held_peak_, held_.size());
+  obs_held_depth_->set(static_cast<double>(held_.size()));
+  return util::Status::success();
 }
 
 bool Channel::audit_seen(std::uint64_t sequence) {
@@ -63,6 +97,7 @@ std::optional<HeldMessage> Channel::take_held() {
   if (held_.empty()) return std::nullopt;
   HeldMessage front = std::move(held_.front());
   held_.pop_front();
+  obs_held_depth_->set(static_cast<double>(held_.size()));
   return front;
 }
 

@@ -29,12 +29,15 @@ using util::ConnectorId;
 using util::Duration;
 using util::SimTime;
 
-/// A held message plus the completion hook of its originating call. The
+/// A held message plus the completion hooks of its originating call. The
 /// resume hook receives the (possibly re-targeted) message so replays after
-/// a provider swap reach the replacement.
+/// a provider swap reach the replacement; the reject hook finishes the call
+/// with an error when the hold buffer sheds the message under pressure.
 struct HeldMessage {
   Message message;
+  int priority = static_cast<int>(component::Priority::kNormal);
   std::function<void(Message)> resume;  // re-runs the delivery pipeline
+  std::function<void(Message, util::Error)> reject;  // fails the call
 };
 
 class Channel {
@@ -73,12 +76,26 @@ class Channel {
   void block() { blocked_ = true; }
   void unblock() { blocked_ = false; }
   bool blocked() const { return blocked_; }
-  void hold(HeldMessage held) { held_.push_back(std::move(held)); }
+  /// Buffers a message while the channel is blocked. The buffer is bounded
+  /// (hold_limit): when full, the youngest strictly-lower-priority entry is
+  /// shed (its reject hook fires with kOverloaded) to make room; if no such
+  /// entry exists the incoming message itself is refused with kOverloaded.
+  util::Status hold(HeldMessage held);
   std::size_t held_count() const { return held_.size(); }
   /// Removes and returns the oldest held message.
   std::optional<HeldMessage> take_held();
   /// Re-addresses every held message (provider swap during quiescence).
   void retarget_held(ComponentId provider);
+
+  void set_hold_limit(std::size_t limit) { hold_limit_ = limit; }
+  std::size_t hold_limit() const { return hold_limit_; }
+  /// High-water mark of the hold buffer; never exceeds hold_limit().
+  std::size_t held_peak() const { return held_peak_; }
+  /// Times hold() ran out of room (whether it shed a held entry or refused
+  /// the incoming message).
+  std::uint64_t hold_overflows() const { return hold_overflows_; }
+  /// Held entries evicted to make room for higher-priority messages.
+  std::uint64_t shed_held() const { return shed_held_; }
 
   /// Sequences the audit currently tracks individually (above the
   /// delivered watermark). Bounded by kAuditWindow — exposed so tests can
@@ -121,6 +138,10 @@ class Channel {
   std::size_t in_flight_ = 0;
   Duration max_delay_ = 0;
   std::deque<HeldMessage> held_;
+  std::size_t hold_limit_ = 1024;
+  std::size_t held_peak_ = 0;
+  std::uint64_t hold_overflows_ = 0;
+  std::uint64_t shed_held_ = 0;
   // Duplicate audit in bounded memory: every sequence <= watermark_ counts
   // as delivered; recent_ holds only the delivered sequences above it
   // (out-of-order frontier). When a permanent gap (a dropped message)
@@ -138,6 +159,7 @@ class Channel {
   obs::Counter* obs_duplicated_;
   obs::Gauge* obs_in_flight_;
   obs::Gauge* obs_max_delay_;
+  obs::Gauge* obs_held_depth_;
 };
 
 }  // namespace aars::runtime

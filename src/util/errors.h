@@ -31,6 +31,7 @@ enum class ErrorCode {
   kParseError,         // ADL front-end
   kStateTransfer,      // snapshot/restore failure
   kRejected,           // admission/permission denied
+  kOverloaded,         // load shed: backpressure, breaker open, queue cap
   kInternal,
 };
 
@@ -50,6 +51,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kStateTransfer: return "state_transfer";
     case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "obs/export.h"
 
 namespace aars::obs {
@@ -187,6 +190,47 @@ TEST(ExportTest, JsonEscapeHandlesSpecialCharacters) {
   // Other control characters become \u00XX escapes.
   EXPECT_EQ(json_escape(std::string("bell\x07")), "bell\\u0007");
   EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(TraceNameTest, CollapsesRedeploySuffixes) {
+  EXPECT_EQ(sanitize_trace_name("svc_r17"), "svc_r*");
+  EXPECT_EQ(sanitize_trace_name("svc_r3_r12"), "svc_r*");
+  EXPECT_EQ(sanitize_trace_name("svc_r1_r2_r3_r4"), "svc_r*");
+}
+
+TEST(TraceNameTest, LeavesOrdinaryNamesAlone) {
+  EXPECT_EQ(sanitize_trace_name("svc"), "svc");
+  EXPECT_EQ(sanitize_trace_name("breaker.to_svc"), "breaker.to_svc");
+  EXPECT_EQ(sanitize_trace_name("svc_r"), "svc_r");      // no digits
+  EXPECT_EQ(sanitize_trace_name("svc_rx1"), "svc_rx1");  // not "_r<n>"
+  EXPECT_EQ(sanitize_trace_name("r1"), "r1");            // no "_r" prefix
+  EXPECT_EQ(sanitize_trace_name(""), "");
+}
+
+TEST(TraceNameTest, TruncatesOverlongNames) {
+  const std::string longname(3 * kMaxTraceNameLength, 'x');
+  const std::string out = sanitize_trace_name(longname);
+  EXPECT_EQ(out.size(), kMaxTraceNameLength);
+  EXPECT_EQ(out.substr(out.size() - 3), "...");
+  // Names at the cap pass through untouched.
+  const std::string exact(kMaxTraceNameLength, 'y');
+  EXPECT_EQ(sanitize_trace_name(exact), exact);
+}
+
+TEST(TraceNameTest, RegistryBoundsTraceCardinality) {
+  Registry reg;
+  reg.set_enabled(true);
+  // A long run of redeploys ("svc_r1", "svc_r2", ...) must collapse to one
+  // distinct trace subject, not an unbounded family.
+  for (int i = 1; i <= 200; ++i) {
+    reg.trace(i, TraceKind::kReconfig, "svc_r" + std::to_string(i), "swap");
+  }
+  std::set<std::string> names;
+  for (const TraceEvent& e : reg.trace_buffer().snapshot()) {
+    names.insert(e.name);
+  }
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(*names.begin(), "svc_r*");
 }
 
 TEST(ExportTest, MetricNamesAndLabelsAreEscapedInJson) {

@@ -1,0 +1,226 @@
+#include "overload/degraded.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "meta/raml.h"
+#include "overload/admission.h"
+#include "qos/contract.h"
+#include "qos/monitor.h"
+#include "reconfig/engine.h"
+#include "testing/test_components.h"
+#include "util/time.h"
+
+namespace aars::overload {
+namespace {
+
+using aars::testing::AppFixture;
+using aars::testing::EchoServer;
+using util::SimTime;
+
+/// AppFixture plus a reconfiguration engine, a cheaper Echo implementation
+/// type, and a pressure knob the trigger reads.
+class DegradedTest : public AppFixture {
+ protected:
+  DegradedTest() : engine_(app_) {
+    registry_.register_type("CheapEchoServer", [](const std::string& name) {
+      return std::make_unique<EchoServer>(name, "CheapEchoServer", 0.4);
+    });
+  }
+
+  DegradedModeController make_controller(DegradedMode mode,
+                                         util::Duration min_dwell = 0) {
+    OverloadTrigger trigger;
+    trigger.pressure = [this] { return pressure_; };
+    trigger.enter_above = 10.0;
+    trigger.exit_below = 2.0;
+    trigger.min_dwell = min_dwell;
+    return DegradedModeController(app_, engine_, std::move(mode),
+                                  std::move(trigger));
+  }
+
+  reconfig::ReconfigurationEngine engine_;
+  double pressure_ = 0.0;
+};
+
+TEST_F(DegradedTest, EnterSwapsComponentsAndTightensAdmission) {
+  direct_to("EchoServer", "svc", node_b_);
+
+  auto admission = std::make_shared<AdmissionInterceptor>(
+      AdmissionPolicy{}, [this] { return loop_.now(); });
+  auto monitor = std::make_shared<qos::QosMonitor>(
+      loop_,
+      [] {
+        qos::QosContract c;
+        c.name = "svc";
+        c.max_mean_latency = util::milliseconds(10);
+        c.min_throughput = 100.0;
+        c.max_failure_rate = 0.1;
+        return c;
+      }(),
+      util::milliseconds(100));
+
+  DegradedMode mode;
+  mode.name = "cheap_echo";
+  mode.swaps = {{"svc", "CheapEchoServer"}};
+  mode.admission_rate_scale = 0.5;
+  mode.contract_scale = 2.0;
+  mode.admission = admission;
+  mode.monitor = monitor;
+  DegradedModeController ctl = make_controller(std::move(mode));
+
+  // Calm pressure: nothing happens.
+  ctl.evaluate(loop_.now());
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kNominal);
+
+  // Pressure spike: the controller enters the degraded configuration.
+  // (With no traffic in flight the swap may settle inline.)
+  pressure_ = 20.0;
+  ctl.evaluate(loop_.now());
+  EXPECT_EQ(ctl.enters(), 1u);
+  loop_.run();  // let the replacement protocol finish
+  ASSERT_EQ(ctl.state(), DegradedModeController::State::kDegraded);
+  EXPECT_EQ(ctl.swap_failures(), 0u);
+  EXPECT_EQ(ctl.pending(), 0u);
+
+  // The instance was swapped for the cheap implementation (state protocol
+  // renames it "<instance>~deg" to keep the original name free for exit).
+  const component::Component* swapped =
+      app_.find_component(app_.component_id("svc~deg"));
+  ASSERT_NE(swapped, nullptr);
+  EXPECT_EQ(swapped->type_name(), "CheapEchoServer");
+  EXPECT_EQ(app_.find_component(app_.component_id("svc")), nullptr);
+
+  // Admission tightened, contract widened.
+  EXPECT_DOUBLE_EQ(admission->rate_scale(), 0.5);
+  EXPECT_EQ(monitor->contract().max_mean_latency, util::milliseconds(20));
+  EXPECT_DOUBLE_EQ(monitor->contract().min_throughput, 50.0);
+  EXPECT_DOUBLE_EQ(monitor->contract().max_failure_rate, 0.2);
+
+  // Pressure subsides: the controller restores the nominal configuration.
+  pressure_ = 1.0;
+  ctl.evaluate(loop_.now());
+  EXPECT_EQ(ctl.exits(), 1u);
+  loop_.run();
+  ASSERT_EQ(ctl.state(), DegradedModeController::State::kNominal);
+  EXPECT_EQ(ctl.exits(), 1u);
+
+  const component::Component* restored =
+      app_.find_component(app_.component_id("svc"));
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->type_name(), "EchoServer");
+  EXPECT_DOUBLE_EQ(admission->rate_scale(), 1.0);
+  EXPECT_EQ(monitor->contract().max_mean_latency, util::milliseconds(10));
+  EXPECT_DOUBLE_EQ(monitor->contract().min_throughput, 100.0);
+}
+
+TEST_F(DegradedTest, MinDwellPreventsFlapping) {
+  DegradedMode mode;
+  mode.name = "no_swap";  // no swaps: transitions settle immediately
+  DegradedModeController ctl =
+      make_controller(std::move(mode), util::seconds(1));
+
+  // Pressure is already high, but the dwell clock starts at construction:
+  // no transition until a full second has passed.
+  pressure_ = 20.0;
+  ctl.evaluate(util::milliseconds(10));
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kNominal);
+
+  ctl.evaluate(util::seconds(1));
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kDegraded);
+  EXPECT_EQ(ctl.enters(), 1u);
+
+  // Pressure drops right away: the exit must wait out the dwell too.
+  pressure_ = 0.0;
+  ctl.evaluate(util::seconds(1) + util::milliseconds(10));
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kDegraded);
+
+  ctl.evaluate(util::seconds(2));
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kNominal);
+  EXPECT_EQ(ctl.exits(), 1u);
+}
+
+TEST_F(DegradedTest, TransitionHooksFire) {
+  DegradedMode mode;
+  mode.name = "hooked";
+  DegradedModeController ctl = make_controller(std::move(mode));
+  std::vector<std::string> events;
+  ctl.on_transition([&](const char* event, double pressure) {
+    events.push_back(std::string(event) + "@" +
+                     std::to_string(static_cast<int>(pressure)));
+  });
+
+  pressure_ = 15.0;
+  ctl.evaluate(loop_.now());
+  pressure_ = 1.0;
+  ctl.evaluate(loop_.now());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "enter@15");
+  EXPECT_EQ(events[1], "exit@1");
+}
+
+TEST_F(DegradedTest, RamlWatchOverloadDrivesTheController) {
+  direct_to("EchoServer", "svc", node_b_);
+  meta::Raml raml(app_, engine_, util::milliseconds(10));
+
+  OverloadTrigger trigger;
+  trigger.pressure = [this] { return pressure_; };
+  trigger.enter_above = 10.0;
+  trigger.exit_below = 2.0;
+  DegradedMode mode;
+  mode.name = "raml_mode";
+  mode.swaps = {{"svc", "CheapEchoServer"}};
+
+  std::vector<std::string> events;
+  raml.rules().subscribe("overload.enter", [&](const meta::Event& e) {
+    events.push_back("enter:" + std::to_string(
+                                    static_cast<int>(e.data.at("pressure").as_double())));
+  });
+  raml.rules().subscribe("overload.exit",
+                         [&](const meta::Event&) { events.push_back("exit"); });
+
+  DegradedModeController& ctl =
+      raml.watch_overload(std::move(trigger), std::move(mode));
+  raml.start();
+
+  // A few calm ticks, then a pressure spike the next tick picks up.
+  loop_.run_for(util::milliseconds(25));
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kNominal);
+  pressure_ = 50.0;
+  loop_.run_for(util::milliseconds(25));
+  EXPECT_TRUE(ctl.degraded() ||
+              ctl.state() == DegradedModeController::State::kEntering);
+  loop_.run_for(util::milliseconds(50));
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kDegraded);
+  ASSERT_NE(app_.find_component(app_.component_id("svc~deg")), nullptr);
+
+  // Pressure subsides; the next ticks bring the system back.
+  pressure_ = 0.0;
+  loop_.run_for(util::milliseconds(100));
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kNominal);
+  ASSERT_NE(app_.find_component(app_.component_id("svc")), nullptr);
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "enter:50");
+  EXPECT_EQ(events[1], "exit");
+  raml.stop();
+}
+
+TEST_F(DegradedTest, MissingSwapInstanceCountsAsFailure) {
+  DegradedMode mode;
+  mode.name = "ghost";
+  mode.swaps = {{"nonexistent", "CheapEchoServer"}};
+  DegradedModeController ctl = make_controller(std::move(mode));
+
+  pressure_ = 20.0;
+  ctl.evaluate(loop_.now());
+  loop_.run();
+  EXPECT_EQ(ctl.state(), DegradedModeController::State::kDegraded);
+  EXPECT_EQ(ctl.swap_failures(), 1u);
+}
+
+}  // namespace
+}  // namespace aars::overload

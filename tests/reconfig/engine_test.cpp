@@ -293,5 +293,131 @@ TEST_F(EngineTest, RerouteToSelfIsInvalid) {
   EXPECT_NE(app_.find_component(id), nullptr);  // untouched
 }
 
+TEST_F(EngineTest, QuiescenceTimeoutRollsBackAndReplaysHeld) {
+  ReconfigurationEngine::Options opts;
+  opts.quiescence_poll = util::microseconds(100);
+  opts.quiescence_timeout = util::milliseconds(5);
+  ReconfigurationEngine impatient(app_, opts);
+
+  const auto conn = direct_to("CounterServer", "busy", node_a_);
+  const auto id = app_.component_id("busy");
+  // Prime the channel so the engine has something to block.
+  (void)app_.send_event(conn, "add", Value::object({{"amount", std::int64_t{0}}}),
+                        node_b_);
+  loop_.run();
+  auto* comp = app_.find_component(id);
+  ASSERT_NE(comp, nullptr);
+  comp->begin_activity();  // a call that never finishes: never quiescent
+
+  ReconfigReport report;
+  bool done = false;
+  impatient.replace_component(id, "CounterServer", "new",
+                              [&](const ReconfigReport& r) {
+                                report = r;
+                                done = true;
+                              });
+  // Arrives (~1 ms link latency) while the channel is blocked: held.
+  bool replied = false;
+  util::Result<Value> reply{Value{}};
+  app_.invoke_async(conn, "add", Value::object({{"amount", std::int64_t{2}}}),
+                    node_b_, [&](util::Result<Value> r, util::Duration) {
+                      replied = true;
+                      reply = std::move(r);
+                    });
+  loop_.run();
+
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), ErrorCode::kNotQuiescent);
+  // Rollback unblocked the channels and replayed the held request.
+  ASSERT_TRUE(replied);
+  ASSERT_TRUE(reply.ok()) << reply.error().message();
+  // The original component survived and kept the replayed state.
+  comp->end_activity();
+  auto total = app_.invoke_sync(conn, "total", Value{}, node_b_);
+  ASSERT_TRUE(total.result.ok());
+  EXPECT_EQ(total.result.value().as_int(), 2);
+}
+
+TEST_F(EngineTest, RedeployNamesDoNotCompound) {
+  direct_to("CounterServer", "c", node_a_);
+  const auto id = app_.component_id("c");
+
+  ReconfigReport first;
+  engine_.redeploy_component(id, node_b_,
+                             [&](const ReconfigReport& r) { first = r; });
+  loop_.run();
+  ASSERT_TRUE(first.ok()) << first.error_message();
+  const auto* moved = app_.find_component(first.new_component);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->instance_name(), "c_r1");
+
+  // A second repair strips the previous "_r1" before numbering: the name
+  // stays "c_r2" instead of compounding into "c_r1_r2".
+  ReconfigReport second;
+  engine_.redeploy_component(first.new_component, node_c_,
+                             [&](const ReconfigReport& r) { second = r; });
+  loop_.run();
+  ASSERT_TRUE(second.ok()) << second.error_message();
+  const auto* moved_again = app_.find_component(second.new_component);
+  ASSERT_NE(moved_again, nullptr);
+  EXPECT_EQ(moved_again->instance_name(), "c_r2");
+}
+
+TEST_F(EngineTest, HoldOverflowDuringQuiescenceAbortsTheSwap) {
+  auto comp = app_.instantiate("CounterServer", "tiny", node_a_, Value{});
+  ASSERT_TRUE(comp.ok());
+  connector::ConnectorSpec spec;
+  spec.name = "to_tiny";
+  spec.queue_capacity = 2;  // hold buffer caps at two messages
+  auto conn = app_.create_connector(spec);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(app_.add_provider(conn.value(), comp.value()).ok());
+
+  // Prime the channel so the engine has something to block.
+  (void)app_.send_event(conn.value(), "add",
+                        Value::object({{"amount", std::int64_t{0}}}), node_b_);
+  loop_.run();
+
+  auto* tiny = app_.find_component(comp.value());
+  tiny->begin_activity();  // keep the component busy while traffic piles up
+
+  ReconfigReport report;
+  bool done = false;
+  engine_.replace_component(comp.value(), "CounterServer", "new",
+                            [&](const ReconfigReport& r) {
+                              report = r;
+                              done = true;
+                            });
+  // Five same-priority requests against a two-slot hold buffer: three must
+  // be refused with kOverloaded at the door.
+  int oks = 0;
+  int overloaded = 0;
+  for (int i = 0; i < 5; ++i) {
+    app_.invoke_async(conn.value(), "add",
+                      Value::object({{"amount", std::int64_t{1}}}), node_b_,
+                      [&](util::Result<Value> r, util::Duration) {
+                        if (r.ok()) {
+                          ++oks;
+                        } else {
+                          EXPECT_EQ(r.error().code(), ErrorCode::kOverloaded);
+                          ++overloaded;
+                        }
+                      });
+  }
+  loop_.schedule_after(util::milliseconds(5), [&] { tiny->end_activity(); });
+  loop_.run();
+
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(report.ok());
+  // The engine noticed the overflow and refused to complete a swap that
+  // already shed traffic: abort + rollback instead of pretending the
+  // drained state is complete.
+  EXPECT_EQ(report.status.code(), ErrorCode::kOverloaded);
+  EXPECT_EQ(overloaded, 3);
+  EXPECT_EQ(oks, 2);  // held requests replayed on rollback
+  EXPECT_NE(app_.find_component(comp.value()), nullptr);
+}
+
 }  // namespace
 }  // namespace aars::reconfig

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace aars::runtime {
 namespace {
 
@@ -64,10 +67,12 @@ TEST(ChannelTest, BlockAndHold) {
   chan.block();
   EXPECT_TRUE(chan.blocked());
   int resumed = 0;
-  chan.hold(
-      HeldMessage{component::Message{}, [&](component::Message) { ++resumed; }});
-  chan.hold(
-      HeldMessage{component::Message{}, [&](component::Message) { ++resumed; }});
+  HeldMessage first_held;
+  first_held.resume = [&](component::Message) { ++resumed; };
+  EXPECT_TRUE(chan.hold(std::move(first_held)).ok());
+  HeldMessage second_held;
+  second_held.resume = [&](component::Message) { ++resumed; };
+  EXPECT_TRUE(chan.hold(std::move(second_held)).ok());
   EXPECT_EQ(chan.held_count(), 2u);
   chan.unblock();
   auto first = chan.take_held();
@@ -197,6 +202,87 @@ TEST(ChannelTest, OutOfOrderDeliveryAdvancesWatermarkOnGapFill) {
   EXPECT_EQ(chan.audit_entries(), 0u);
   EXPECT_EQ(chan.duplicated(), 0u);
   EXPECT_EQ(chan.delivered(), 5u);
+}
+
+HeldMessage make_held(component::Priority priority,
+                      std::vector<std::string>* rejections,
+                      const std::string& tag) {
+  HeldMessage held;
+  held.message.operation = tag;
+  held.priority = static_cast<int>(priority);
+  held.reject = [rejections, tag](component::Message, util::Error error) {
+    rejections->push_back(tag + ":" + util::to_string(error.code()));
+  };
+  return held;
+}
+
+// The hold buffer is bounded: once the limit is reached, same-or-higher
+// priority traffic already parked refuses new same-priority messages with
+// kOverloaded, and the peak depth never exceeds the cap.
+TEST(ChannelTest, HoldBufferCapRefusesWithOverloaded) {
+  Channel chan = make();
+  chan.set_hold_limit(2);
+  chan.block();
+  std::vector<std::string> rejections;
+  EXPECT_TRUE(chan.hold(make_held(component::Priority::kNormal, &rejections,
+                                  "a")).ok());
+  EXPECT_TRUE(chan.hold(make_held(component::Priority::kNormal, &rejections,
+                                  "b")).ok());
+  const util::Status third =
+      chan.hold(make_held(component::Priority::kNormal, &rejections, "c"));
+  EXPECT_EQ(third.code(), util::ErrorCode::kOverloaded);
+  EXPECT_EQ(chan.held_count(), 2u);
+  EXPECT_LE(chan.held_peak(), chan.hold_limit());
+  EXPECT_EQ(chan.hold_overflows(), 1u);
+  EXPECT_EQ(chan.shed_held(), 0u);
+  EXPECT_TRUE(rejections.empty());  // refusal is signalled via Status
+}
+
+// Higher-priority arrivals evict the youngest lower-priority held entry:
+// control traffic can always be parked during quiescence.
+TEST(ChannelTest, HoldBufferEvictsLowerPriorityForControl) {
+  Channel chan = make();
+  chan.set_hold_limit(2);
+  chan.block();
+  std::vector<std::string> rejections;
+  ASSERT_TRUE(chan.hold(make_held(component::Priority::kBestEffort,
+                                  &rejections, "old_be")).ok());
+  ASSERT_TRUE(chan.hold(make_held(component::Priority::kBestEffort,
+                                  &rejections, "young_be")).ok());
+  const util::Status control = chan.hold(
+      make_held(component::Priority::kControl, &rejections, "ctrl"));
+  EXPECT_TRUE(control.ok());
+  EXPECT_EQ(chan.held_count(), 2u);
+  EXPECT_EQ(chan.shed_held(), 1u);
+  EXPECT_EQ(chan.hold_overflows(), 1u);
+  ASSERT_EQ(rejections.size(), 1u);
+  EXPECT_EQ(rejections[0], "young_be:overloaded");  // youngest victim
+  EXPECT_EQ(chan.dropped(), 1u);  // the shed message counts as dropped
+  // FIFO order of the survivors: the old best-effort, then control.
+  auto a = chan.take_held();
+  auto b = chan.take_held();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->message.operation, "old_be");
+  EXPECT_EQ(b->message.operation, "ctrl");
+}
+
+// Peak depth tracks the high-water mark and stays within the cap even
+// under sustained overload with mixed priorities.
+TEST(ChannelTest, HoldPeakStaysWithinCapUnderSustainedOverload) {
+  Channel chan = make();
+  chan.set_hold_limit(8);
+  chan.block();
+  std::vector<std::string> rejections;
+  for (int i = 0; i < 100; ++i) {
+    const auto priority = (i % 3 == 0) ? component::Priority::kHigh
+                                       : component::Priority::kBestEffort;
+    (void)chan.hold(make_held(priority, &rejections,
+                              "m" + std::to_string(i)));
+  }
+  EXPECT_LE(chan.held_peak(), 8u);
+  EXPECT_EQ(chan.held_count(), 8u);
+  EXPECT_GT(chan.hold_overflows(), 0u);
+  EXPECT_GT(chan.shed_held(), 0u);
 }
 
 }  // namespace

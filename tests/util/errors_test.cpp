@@ -17,6 +17,13 @@ TEST(ErrorCodeTest, AllCodesHaveNames) {
   EXPECT_STREQ(to_string(ErrorCode::kCycleDetected), "cycle_detected");
   EXPECT_STREQ(to_string(ErrorCode::kNotQuiescent), "not_quiescent");
   EXPECT_STREQ(to_string(ErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(to_string(ErrorCode::kOverloaded), "overloaded");
+}
+
+TEST(ErrorCodeTest, OverloadedRoundTripsThroughError) {
+  Error e{ErrorCode::kOverloaded, "admission: shed (rate)"};
+  EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  EXPECT_EQ(e.to_string(), "overloaded: admission: shed (rate)");
 }
 
 TEST(ResultTest, HoldsValue) {
