@@ -71,11 +71,41 @@ struct AstAttribute {
   SourceLoc loc;
 };
 
+/// One state declaration inside a `protocol { ... }` block. The first
+/// declared state is the protocol's initial state.
+struct AstProtocolState {
+  std::string name;
+  bool final_state = false;
+  SourceLoc loc;
+};
+
+/// One transition inside a `protocol { ... }` block:
+///   from -> to on action?;   (input)
+///   from -> to on action!;   (output)
+///   from -> to on tau;       (internal move)
+struct AstProtocolTransition {
+  std::string from;
+  std::string to;
+  std::string action;    // empty for tau
+  char direction = 't';  // '?' input, '!' output, 't' tau
+  SourceLoc loc;
+};
+
+/// A behavioural protocol (finite LTS) attached to a component type. The
+/// static analyser composes the protocols of bound instances and checks the
+/// n-way composition for deadlock-freedom (Wright-style, §3).
+struct AstProtocol {
+  std::vector<AstProtocolState> states;
+  std::vector<AstProtocolTransition> transitions;
+  SourceLoc loc;
+};
+
 struct AstComponent {
   std::string name;
   std::string provides;  // interface name; may be empty for pure clients
   std::vector<AstRequire> requires_;
   std::vector<AstAttribute> attributes;
+  std::optional<AstProtocol> protocol;
   SourceLoc loc;
 };
 
@@ -109,6 +139,10 @@ struct AstConnector {
   std::string routing = "direct";   // direct|round_robin|broadcast|least_backlog
   std::string delivery = "sync";    // sync|queued
   std::int64_t capacity = 1024;
+  /// Declared round-trip latency budget (QoS contract) in microseconds;
+  /// 0 = unconstrained. The static analyser checks feasibility against the
+  /// topology's path-latency lower bound.
+  std::int64_t budget_us = 0;
   std::vector<std::string> aspects;
   SourceLoc loc;
 };

@@ -177,8 +177,9 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
       tokens.push_back(Token{TokenKind::kDuplexArrow, "<->", 0, 0.0, loc});
       continue;
     }
-    // Single-character punctuation.
-    if (std::string("{}()[]:;,=").find(c) != std::string::npos) {
+    // Single-character punctuation. `?` and `!` are the protocol-transition
+    // direction markers (input/output) used inside `protocol { ... }` blocks.
+    if (std::string("{}()[]:;,=?!").find(c) != std::string::npos) {
       cur.advance();
       tokens.push_back(
           Token{TokenKind::kPunct, std::string(1, c), 0, 0.0, loc});

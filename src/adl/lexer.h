@@ -15,7 +15,7 @@ enum class TokenKind {
   kInteger,     // 42 (after unit normalisation)
   kFloat,       // 3.14
   kString,      // "text"
-  kPunct,       // { } ( ) [ ] : ; , =
+  kPunct,       // { } ( ) [ ] : ; , = ? !
   kArrow,       // ->
   kDuplexArrow, // <->
   kEnd,

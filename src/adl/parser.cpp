@@ -217,13 +217,70 @@ class Parser {
         }
         if (auto s = expect_punct(";"); !s.ok()) return s;
         comp.attributes.push_back(std::move(attr));
+      } else if (check_keyword("protocol")) {
+        if (comp.protocol.has_value()) {
+          return fail("component already declares a protocol");
+        }
+        auto protocol = parse_protocol();
+        if (!protocol.ok()) return protocol.error();
+        comp.protocol = std::move(protocol).value();
       } else {
-        return fail("expected 'requires' or 'attribute'");
+        return fail("expected 'requires', 'attribute' or 'protocol'");
       }
     }
     advance();  // }
     config.components.push_back(std::move(comp));
     return util::Status::success();
+  }
+
+  // protocol { state s [final]; ...  from -> to on action?|action!|tau; ... }
+  Result<AstProtocol> parse_protocol() {
+    AstProtocol protocol;
+    protocol.loc = peek().loc;
+    advance();  // protocol
+    if (auto s = expect_punct("{"); !s.ok()) return s.error();
+    while (!check_punct("}")) {
+      if (match_keyword("state")) {
+        AstProtocolState state;
+        state.loc = peek().loc;
+        auto name = expect_identifier("state name");
+        if (!name.ok()) return name.error();
+        state.name = name.value();
+        if (match_keyword("final")) state.final_state = true;
+        if (auto s = expect_punct(";"); !s.ok()) return s.error();
+        protocol.states.push_back(std::move(state));
+        continue;
+      }
+      AstProtocolTransition transition;
+      transition.loc = peek().loc;
+      auto from = expect_identifier("state name or 'state'");
+      if (!from.ok()) return from.error();
+      transition.from = from.value();
+      if (peek().kind != TokenKind::kArrow) return fail("expected '->'");
+      advance();
+      auto to = expect_identifier("target state");
+      if (!to.ok()) return to.error();
+      transition.to = to.value();
+      if (!match_keyword("on")) return fail("expected 'on <action>'");
+      auto action = expect_identifier("action name");
+      if (!action.ok()) return action.error();
+      if (action.value() == "tau") {
+        transition.direction = 't';
+      } else {
+        transition.action = action.value();
+        if (match_punct("?")) {
+          transition.direction = '?';
+        } else if (match_punct("!")) {
+          transition.direction = '!';
+        } else {
+          return fail("expected '?' or '!' after action name");
+        }
+      }
+      if (auto s = expect_punct(";"); !s.ok()) return s.error();
+      protocol.transitions.push_back(std::move(transition));
+    }
+    advance();  // }
+    return protocol;
   }
 
   // node Name { capacity N; }
@@ -365,6 +422,11 @@ class Parser {
           return fail("expected integer capacity");
         }
         conn.capacity = advance().int_value;
+      } else if (prop.value() == "budget") {
+        if (peek().kind != TokenKind::kInteger) {
+          return fail("expected a duration budget (e.g. 5ms)");
+        }
+        conn.budget_us = advance().int_value;
       } else if (prop.value() == "aspects") {
         if (auto s = expect_punct("["); !s.ok()) return s;
         while (!check_punct("]")) {

@@ -51,6 +51,45 @@ Status check_unique(const std::vector<std::string>& names, const char* kind) {
   return Status::success();
 }
 
+/// Compiles a `protocol { ... }` block into an Lts. The first declared
+/// state is the initial state (Lts state 0).
+util::Result<lts::Lts> compile_protocol(const std::string& component,
+                                        const AstProtocol& protocol) {
+  if (protocol.states.empty()) {
+    return at(protocol.loc,
+              "protocol on " + component + " declares no states");
+  }
+  lts::Lts lts(component);
+  std::map<std::string, lts::StateId> states;
+  for (std::size_t i = 0; i < protocol.states.size(); ++i) {
+    const AstProtocolState& state = protocol.states[i];
+    if (states.count(state.name)) {
+      return at(state.loc, "duplicate protocol state '" + state.name +
+                               "' on " + component);
+    }
+    const lts::StateId id = i == 0 ? lts.initial() : lts.add_state();
+    lts.set_final(id, state.final_state);
+    states.emplace(state.name, id);
+  }
+  for (const AstProtocolTransition& t : protocol.transitions) {
+    auto from = states.find(t.from);
+    if (from == states.end()) {
+      return at(t.loc, "protocol transition from unknown state '" + t.from +
+                           "' on " + component);
+    }
+    auto to = states.find(t.to);
+    if (to == states.end()) {
+      return at(t.loc, "protocol transition to unknown state '" + t.to +
+                           "' on " + component);
+    }
+    lts::Label label = t.direction == '?'   ? lts::in(t.action)
+                       : t.direction == '!' ? lts::out(t.action)
+                                            : lts::tau();
+    lts.add_transition(from->second, std::move(label), to->second);
+  }
+  return lts;
+}
+
 }  // namespace
 
 Result<CompiledConfiguration> validate(Configuration config) {
@@ -125,6 +164,11 @@ Result<CompiledConfiguration> validate(Configuration config) {
         return at(attr.loc, "default for '" + attr.name +
                                 "' does not match declared type " + attr.type);
       }
+    }
+    if (comp.protocol.has_value()) {
+      auto lts = compile_protocol(comp.name, *comp.protocol);
+      if (!lts.ok()) return lts.error();
+      out.protocols.emplace(comp.name, std::move(lts).value());
     }
     components.emplace(comp.name, &comp);
   }
@@ -211,6 +255,9 @@ Result<CompiledConfiguration> validate(Configuration config) {
     }
     if (conn.capacity <= 0) {
       return at(conn.loc, conn.name + ": capacity must be positive");
+    }
+    if (conn.budget_us < 0) {
+      return at(conn.loc, conn.name + ": budget must be >= 0");
     }
     out.connector_index.emplace(conn.name, i);
   }

@@ -12,6 +12,7 @@
 
 #include "adl/ast.h"
 #include "component/interface.h"
+#include "lts/lts.h"
 #include "util/errors.h"
 
 namespace aars::adl {
@@ -24,6 +25,10 @@ struct CompiledConfiguration {
   std::map<std::string, std::size_t> instance_index;
   /// connector name -> index in ast.connectors
   std::map<std::string, std::size_t> connector_index;
+  /// component type name -> compiled behavioural protocol, for components
+  /// that declare a `protocol { ... }` block. Consumed by the static
+  /// analyser (n-way composition deadlock checking).
+  std::map<std::string, lts::Lts> protocols;
 };
 
 /// Maps an ADL type name to a runtime ValueType. kNull encodes "any".

@@ -1,0 +1,213 @@
+#include "analysis/architecture.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "runtime/application.h"
+
+namespace aars::analysis {
+
+ModelInstance* ArchitectureModel::find_instance(const std::string& name) {
+  for (ModelInstance& inst : instances) {
+    if (inst.name == name) return &inst;
+  }
+  return nullptr;
+}
+
+const ModelInstance* ArchitectureModel::find_instance(
+    const std::string& name) const {
+  return const_cast<ArchitectureModel*>(this)->find_instance(name);
+}
+
+ModelConnector* ArchitectureModel::find_connector(const std::string& name) {
+  for (ModelConnector& conn : connectors) {
+    if (conn.name == name) return &conn;
+  }
+  return nullptr;
+}
+
+const ModelConnector* ArchitectureModel::find_connector(
+    const std::string& name) const {
+  return const_cast<ArchitectureModel*>(this)->find_connector(name);
+}
+
+bool ArchitectureModel::has_node(const std::string& name) const {
+  return std::find(nodes.begin(), nodes.end(), name) != nodes.end();
+}
+
+std::optional<std::int64_t> ArchitectureModel::min_latency_us(
+    const std::string& from, const std::string& to) const {
+  if (from == to) return 0;
+  // Dijkstra over the directed link graph by latency.
+  std::map<std::string, std::int64_t> dist;
+  using Entry = std::pair<std::int64_t, std::string>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  dist[from] = 0;
+  heap.push({0, from});
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (node == to) return d;
+    auto it = dist.find(node);
+    if (it != dist.end() && it->second < d) continue;
+    for (const ModelLink& link : links) {
+      if (link.from != node) continue;
+      const std::int64_t next = d + link.latency_us;
+      auto found = dist.find(link.to);
+      if (found == dist.end() || next < found->second) {
+        dist[link.to] = next;
+        heap.push({next, link.to});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+ArchitectureModel model_from(const adl::CompiledConfiguration& config) {
+  ArchitectureModel model;
+  const adl::Configuration& ast = config.ast;
+
+  for (const adl::AstNode& node : ast.nodes) model.nodes.push_back(node.name);
+  for (const adl::AstLink& link : ast.links) {
+    model.links.push_back(ModelLink{link.from, link.to, link.latency_us});
+    if (link.duplex) {
+      model.links.push_back(ModelLink{link.to, link.from, link.latency_us});
+    }
+  }
+
+  std::map<std::string, const adl::AstComponent*> components;
+  for (const adl::AstComponent& comp : ast.components) {
+    components.emplace(comp.name, &comp);
+  }
+  for (const adl::AstInstance& inst : ast.instances) {
+    ModelInstance m;
+    m.name = inst.name;
+    m.type = inst.type;
+    m.node = inst.node;
+    m.line = inst.loc.line;
+    auto comp = components.find(inst.type);
+    if (comp != components.end()) {
+      for (const adl::AstRequire& req : comp->second->requires_) {
+        m.required.push_back(ModelPort{req.port, req.interface});
+      }
+    }
+    model.instances.push_back(std::move(m));
+  }
+
+  for (const adl::AstConnector& conn : ast.connectors) {
+    ModelConnector m;
+    m.name = conn.name;
+    m.sync_delivery = conn.delivery == "sync";
+    m.budget_us = conn.budget_us;
+    m.line = conn.loc.line;
+    model.connectors.push_back(std::move(m));
+  }
+
+  std::uint64_t implicit_counter = 0;
+  for (const adl::AstBinding& bind : ast.bindings) {
+    ModelBinding m;
+    m.caller = bind.from_instance;
+    m.port = bind.from_port;
+    m.providers = bind.to_instances;
+    m.line = bind.loc.line;
+    if (bind.via_connector.empty()) {
+      // Mirror the deployer: an implicit sync direct connector per binding.
+      ModelConnector implicit;
+      implicit.name = "implicit_" + bind.from_instance + "_" +
+                      bind.from_port + "_" + std::to_string(implicit_counter++);
+      implicit.sync_delivery = true;
+      implicit.line = bind.loc.line;
+      m.connector = implicit.name;
+      model.connectors.push_back(std::move(implicit));
+    } else {
+      m.connector = bind.via_connector;
+    }
+    if (ModelConnector* conn = model.find_connector(m.connector)) {
+      for (const std::string& provider : m.providers) {
+        if (std::find(conn->providers.begin(), conn->providers.end(),
+                      provider) == conn->providers.end()) {
+          conn->providers.push_back(provider);
+        }
+      }
+    }
+    model.bindings.push_back(std::move(m));
+  }
+  model.protocols = config.protocols;
+  return model;
+}
+
+ArchitectureModel model_from(runtime::Application& app) {
+  ArchitectureModel model;
+  sim::Network& network = app.network();
+
+  std::map<util::NodeId, std::string> node_names;
+  for (util::NodeId id : network.node_ids()) {
+    const std::string& name = network.node(id).name();
+    node_names.emplace(id, name);
+    model.nodes.push_back(name);
+  }
+  std::set<std::pair<util::NodeId, util::NodeId>> seen_links;
+  for (util::NodeId id : network.node_ids()) {
+    for (const auto& [from, to] : network.links_of(id)) {
+      if (!seen_links.insert({from, to}).second) continue;
+      const sim::LinkSpec* spec = network.find_link(from, to);
+      if (spec == nullptr) continue;
+      model.links.push_back(ModelLink{node_names.at(from), node_names.at(to),
+                                      spec->latency});
+    }
+  }
+
+  std::map<util::ComponentId, std::string> instance_names;
+  for (util::ComponentId id : app.component_ids()) {
+    const component::Component* comp = app.find_component(id);
+    if (comp == nullptr) continue;
+    instance_names.emplace(id, comp->instance_name());
+    ModelInstance m;
+    m.name = comp->instance_name();
+    m.type = comp->type_name();
+    m.node = node_names.count(app.placement(id))
+                 ? node_names.at(app.placement(id))
+                 : std::string{};
+    for (const component::RequiredPort& port : comp->required()) {
+      m.required.push_back(ModelPort{port.name, port.interface.name()});
+    }
+    model.instances.push_back(std::move(m));
+  }
+
+  std::map<util::ConnectorId, std::string> connector_names;
+  for (util::ConnectorId id : app.connector_ids()) {
+    const connector::Connector* conn = app.find_connector(id);
+    if (conn == nullptr) continue;
+    connector_names.emplace(id, conn->name());
+    ModelConnector m;
+    m.name = conn->name();
+    m.sync_delivery =
+        conn->delivery() == connector::DeliveryMode::kSync;
+    for (util::ComponentId provider : conn->providers()) {
+      if (instance_names.count(provider)) {
+        m.providers.push_back(instance_names.at(provider));
+      }
+    }
+    model.connectors.push_back(std::move(m));
+  }
+
+  for (util::ComponentId id : app.component_ids()) {
+    const component::Component* comp = app.find_component(id);
+    if (comp == nullptr) continue;
+    for (const component::RequiredPort& port : comp->required()) {
+      const util::ConnectorId bound = app.binding(id, port.name);
+      if (!bound.valid() || !connector_names.count(bound)) continue;
+      ModelBinding m;
+      m.caller = comp->instance_name();
+      m.port = port.name;
+      m.connector = connector_names.at(bound);
+      m.providers = model.find_connector(m.connector)->providers;
+      model.bindings.push_back(std::move(m));
+    }
+  }
+  return model;
+}
+
+}  // namespace aars::analysis

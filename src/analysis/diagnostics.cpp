@@ -1,0 +1,94 @@
+#include "analysis/diagnostics.h"
+
+#include "obs/export.h"
+#include "util/strings.h"
+
+namespace aars::analysis {
+
+void AnalysisReport::add(Severity severity, std::string code,
+                         std::string subject, std::string message, int line) {
+  diagnostics.push_back(Diagnostic{severity, std::move(code),
+                                   std::move(subject), std::move(message),
+                                   line});
+}
+
+void AnalysisReport::merge(const AnalysisReport& other) {
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+  states_explored += other.states_explored;
+  truncated = truncated || other.truncated;
+}
+
+std::size_t AnalysisReport::errors() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t AnalysisReport::warnings() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+bool AnalysisReport::has(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string AnalysisReport::summary() const {
+  return util::format("%zu error(s), %zu warning(s)", errors(), warnings());
+}
+
+std::string AnalysisReport::first_error() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) {
+      return "[" + d.code + "] " + d.subject + ": " + d.message;
+    }
+  }
+  return {};
+}
+
+std::string render_text(const AnalysisReport& report,
+                        const std::string& file) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += file;
+    if (d.line > 0) out += util::format(":%d", d.line);
+    out += ": ";
+    out += to_string(d.severity);
+    out += ": [" + d.code + "] ";
+    if (!d.subject.empty()) out += d.subject + ": ";
+    out += d.message + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const AnalysisReport& report,
+                        const std::string& file) {
+  std::string out = "{\"file\":\"" + obs::json_escape(file) + "\",";
+  out += util::format("\"errors\":%zu,\"warnings\":%zu,", report.errors(),
+                      report.warnings());
+  out += util::format("\"truncated\":%s,", report.truncated ? "true" : "false");
+  out += "\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) out += ",";
+    out += util::format(
+        "{\"line\":%d,\"severity\":\"%s\",\"code\":\"%s\",\"subject\":\"%s\","
+        "\"message\":\"%s\"}",
+        d.line, to_string(d.severity), obs::json_escape(d.code).c_str(),
+        obs::json_escape(d.subject).c_str(),
+        obs::json_escape(d.message).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace aars::analysis

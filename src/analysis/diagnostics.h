@@ -1,0 +1,76 @@
+// Diagnostics for the static analysis subsystem.
+//
+// Every analysis (whole-architecture verification, reconfiguration-plan
+// verification, fault-scenario lint) reports its findings as a flat list of
+// severity-coded diagnostics with stable machine-readable codes and source
+// line numbers, so the `aars-lint` CLI can render them for humans and CI
+// can diff the `--json` form across runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aars::analysis {
+
+enum class Severity { kInfo, kWarning, kError };
+
+constexpr const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// One finding. `code` is a stable kebab-case identifier (e.g.
+/// "dangling-binding") that tests and CI match on; `subject` names the
+/// construct (instance, connector, binding) the finding is about.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;
+  std::string subject;
+  std::string message;
+  /// Source line in the analysed file; 0 when the model came from a live
+  /// application rather than source text.
+  int line = 0;
+};
+
+/// Outcome of one analysis run.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Joint LTS states explored by composition checks (verification cost).
+  std::size_t states_explored = 0;
+  /// A bounded exploration hit its state cap; behavioural verdicts only
+  /// cover the explored prefix.
+  bool truncated = false;
+
+  void add(Severity severity, std::string code, std::string subject,
+           std::string message, int line = 0);
+  void merge(const AnalysisReport& other);
+
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  /// True when no error-severity diagnostic was reported.
+  bool ok() const { return errors() == 0; }
+  /// True when a diagnostic with the given code was reported.
+  bool has(const std::string& code) const;
+
+  /// "2 error(s), 1 warning(s)" one-liner for logs and Status messages.
+  std::string summary() const;
+  /// First error message (empty when ok()) — used for Status payloads.
+  std::string first_error() const;
+};
+
+/// Renders diagnostics in the human-readable single-line form
+/// "file:line: severity: [code] subject: message".
+std::string render_text(const AnalysisReport& report,
+                        const std::string& file);
+
+/// Renders the report as deterministic JSON (stable key order, no
+/// timestamps) so CI can diff the output across runs.
+std::string render_json(const AnalysisReport& report,
+                        const std::string& file);
+
+}  // namespace aars::analysis

@@ -1,0 +1,200 @@
+#include "analysis/plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace aars::analysis {
+
+namespace {
+
+void step_error(AnalysisReport& report, std::size_t index,
+                const PlanStep& step, const std::string& message) {
+  report.add(Severity::kError, "plan-invalid",
+             util::format("step %zu (%s %s)", index + 1, to_string(step.op),
+                          step.instance.c_str()),
+             message, 0);
+}
+
+/// Ops that quiesce their target before acting.
+bool quiesces_target(PlanOp op) {
+  switch (op) {
+    case PlanOp::kRemove:
+    case PlanOp::kReplace:
+    case PlanOp::kMigrate:
+      return true;
+    // kRedeploy / kReroute act on an already-failed instance — there is
+    // nothing left to quiesce; kAdd / kRebind are atomic.
+    default:
+      return false;
+  }
+}
+
+void erase_instance(ArchitectureModel& model, const std::string& name) {
+  model.instances.erase(
+      std::remove_if(model.instances.begin(), model.instances.end(),
+                     [&](const ModelInstance& i) { return i.name == name; }),
+      model.instances.end());
+  model.bindings.erase(
+      std::remove_if(model.bindings.begin(), model.bindings.end(),
+                     [&](const ModelBinding& b) { return b.caller == name; }),
+      model.bindings.end());
+  for (ModelConnector& conn : model.connectors) {
+    conn.providers.erase(
+        std::remove(conn.providers.begin(), conn.providers.end(), name),
+        conn.providers.end());
+  }
+  for (ModelBinding& bind : model.bindings) {
+    bind.providers.erase(
+        std::remove(bind.providers.begin(), bind.providers.end(), name),
+        bind.providers.end());
+  }
+}
+
+void substitute_provider(ArchitectureModel& model, const std::string& from,
+                         const std::string& to) {
+  const auto swap_in = [&](std::vector<std::string>& providers) {
+    for (std::string& p : providers) {
+      if (p == from) p = to;
+    }
+    // Collapse duplicates the substitution may have produced.
+    std::vector<std::string> unique;
+    for (const std::string& p : providers) {
+      if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+        unique.push_back(p);
+      }
+    }
+    providers = std::move(unique);
+  };
+  for (ModelConnector& conn : model.connectors) swap_in(conn.providers);
+  for (ModelBinding& bind : model.bindings) swap_in(bind.providers);
+}
+
+/// Applies one step whose preconditions already passed.
+void apply_step(ArchitectureModel& model, const PlanStep& step) {
+  switch (step.op) {
+    case PlanOp::kAdd: {
+      ModelInstance inst;
+      inst.name = step.instance;
+      inst.type = step.type;
+      inst.node = step.node;
+      model.instances.push_back(std::move(inst));
+      break;
+    }
+    case PlanOp::kRemove:
+      erase_instance(model, step.instance);
+      break;
+    case PlanOp::kRebind: {
+      const ModelConnector* conn = model.find_connector(step.connector);
+      bool found = false;
+      for (ModelBinding& bind : model.bindings) {
+        if (bind.caller == step.instance && bind.port == step.port) {
+          bind.connector = step.connector;
+          bind.providers = conn->providers;
+          found = true;
+        }
+      }
+      if (!found) {
+        ModelBinding bind;
+        bind.caller = step.instance;
+        bind.port = step.port;
+        bind.connector = step.connector;
+        bind.providers = conn->providers;
+        model.bindings.push_back(std::move(bind));
+      }
+      break;
+    }
+    case PlanOp::kReplace:
+      model.find_instance(step.instance)->type = step.type;
+      break;
+    case PlanOp::kMigrate:
+    case PlanOp::kRedeploy:
+      model.find_instance(step.instance)->node = step.node;
+      break;
+    case PlanOp::kReroute:
+      substitute_provider(model, step.instance, step.replica);
+      erase_instance(model, step.instance);
+      break;
+  }
+}
+
+}  // namespace
+
+PlanReview verify_plan(const ArchitectureModel& current, const Plan& plan,
+                       const VerifierOptions& options) {
+  PlanReview review;
+  review.post_state = current;
+  ArchitectureModel& model = review.post_state;
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const PlanStep& step = plan[i];
+    bool ok = true;
+    const ModelInstance* target = model.find_instance(step.instance);
+
+    if (step.op == PlanOp::kAdd) {
+      if (target != nullptr) {
+        step_error(review.report, i, step,
+                   "instance '" + step.instance + "' already exists");
+        ok = false;
+      }
+      if (!step.node.empty() && !model.has_node(step.node)) {
+        step_error(review.report, i, step,
+                   "destination node '" + step.node + "' does not exist");
+        ok = false;
+      }
+    } else if (target == nullptr) {
+      step_error(review.report, i, step,
+                 "instance '" + step.instance + "' does not exist");
+      ok = false;
+    }
+
+    if (ok && (step.op == PlanOp::kMigrate || step.op == PlanOp::kRedeploy) &&
+        !model.has_node(step.node)) {
+      step_error(review.report, i, step,
+                 "destination node '" + step.node + "' does not exist");
+      ok = false;
+    }
+    if (ok && step.op == PlanOp::kRebind &&
+        model.find_connector(step.connector) == nullptr) {
+      step_error(review.report, i, step,
+                 "connector '" + step.connector + "' does not exist");
+      ok = false;
+    }
+    if (ok && step.op == PlanOp::kReroute) {
+      const ModelInstance* replica = model.find_instance(step.replica);
+      if (replica == nullptr) {
+        step_error(review.report, i, step,
+                   "replica '" + step.replica + "' does not exist");
+        ok = false;
+      } else if (target != nullptr && replica->type != target->type) {
+        step_error(review.report, i, step,
+                   "replica '" + step.replica + "' has type '" +
+                       replica->type + "', expected '" + target->type + "'");
+        ok = false;
+      }
+    }
+
+    if (ok && quiesces_target(step.op)) {
+      const std::vector<std::string> stuck = quiescence_unreachable(model);
+      if (std::find(stuck.begin(), stuck.end(), step.instance) !=
+          stuck.end()) {
+        review.report.add(
+            Severity::kError, "quiescence-unreachable",
+            util::format("step %zu (%s %s)", i + 1, to_string(step.op),
+                         step.instance.c_str()),
+            "target sits on an all-synchronous call cycle; block -> drain "
+            "can never complete, so the protocol would hang until timeout",
+            0);
+        ok = false;
+      }
+    }
+
+    if (ok) apply_step(model, step);
+  }
+
+  review.report.merge(verify_architecture(model, options));
+  return review;
+}
+
+}  // namespace aars::analysis

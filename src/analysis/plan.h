@@ -1,0 +1,76 @@
+// Static verification of reconfiguration plans.
+//
+// Before the engine mutates a running system, the proposed change is
+// expressed as a plan over the architecture model, applied to a *copy* of
+// the current state, and the post-state is run through the whole-
+// architecture verifier.  Ops that quiesce their target additionally prove
+// quiescence is reachable (the target is not trapped in an all-synchronous
+// call cycle).  The engine consults this in warn/enforce mode; RAML repair
+// rules use it to discard candidate repairs that would not verify.
+#pragma once
+
+#include "analysis/architecture.h"
+#include "analysis/verifier.h"
+
+namespace aars::analysis {
+
+/// One architecture mutation, mirroring the engine's change classes.
+enum class PlanOp {
+  kAdd,       // new instance `instance` of `type` on `node`
+  kRemove,    // remove `instance` (quiesce -> drain -> delete)
+  kRebind,    // re-point `instance`.`port` to `connector`
+  kReplace,   // swap `instance` to implementation `type` in place
+  kMigrate,   // move `instance` to `node`
+  kRedeploy,  // re-create failed `instance` on `node`
+  kReroute,   // fail `instance` over to running `replica`
+};
+
+constexpr const char* to_string(PlanOp op) {
+  switch (op) {
+    case PlanOp::kAdd: return "add";
+    case PlanOp::kRemove: return "remove";
+    case PlanOp::kRebind: return "rebind";
+    case PlanOp::kReplace: return "replace";
+    case PlanOp::kMigrate: return "migrate";
+    case PlanOp::kRedeploy: return "redeploy";
+    case PlanOp::kReroute: return "reroute";
+  }
+  return "?";
+}
+
+struct PlanStep {
+  PlanOp op = PlanOp::kAdd;
+  /// The target instance of every op.
+  std::string instance;
+  /// kAdd / kReplace: the (new) component type.
+  std::string type;
+  /// kAdd / kMigrate / kRedeploy: the destination node.
+  std::string node;
+  /// kRebind: the required port being re-pointed.
+  std::string port;
+  /// kRebind: the connector it now goes through.
+  std::string connector;
+  /// kReroute: the already-running replica taking over.
+  std::string replica;
+};
+
+using Plan = std::vector<PlanStep>;
+
+/// Outcome of verifying a plan against a current architecture.
+struct PlanReview {
+  /// Step preconditions + post-state verification findings.
+  AnalysisReport report;
+  /// The model after all applicable steps (even when verification fails,
+  /// for inspection).
+  ArchitectureModel post_state;
+  /// No errors anywhere: the plan may run.
+  bool ok() const { return report.errors() == 0; }
+};
+
+/// Applies `plan` to a copy of `current` step by step, checking each step's
+/// preconditions (targets exist, destinations exist, quiescing targets can
+/// actually quiesce), then verifies the post-state architecture.
+PlanReview verify_plan(const ArchitectureModel& current, const Plan& plan,
+                       const VerifierOptions& options = {});
+
+}  // namespace aars::analysis

@@ -1,0 +1,416 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace aars::analysis {
+
+namespace {
+
+/// caller -> outgoing call edges (one per binding provider).
+struct CallEdge {
+  std::string to;
+  bool sync = true;
+  std::string connector;
+};
+
+using CallGraph = std::map<std::string, std::vector<CallEdge>>;
+
+CallGraph call_graph(const ArchitectureModel& model) {
+  CallGraph graph;
+  for (const ModelInstance& inst : model.instances) graph[inst.name];
+  for (const ModelBinding& bind : model.bindings) {
+    const ModelConnector* conn = model.find_connector(bind.connector);
+    const bool sync = conn == nullptr || conn->sync_delivery;
+    for (const std::string& provider : bind.providers) {
+      graph[bind.caller].push_back(CallEdge{provider, sync, bind.connector});
+    }
+  }
+  return graph;
+}
+
+/// Tarjan SCC over the call graph, optionally restricted to sync edges.
+std::vector<std::vector<std::string>> strongly_connected(
+    const CallGraph& graph, bool sync_only) {
+  struct NodeState {
+    int index = -1;
+    int lowlink = 0;
+    bool on_stack = false;
+  };
+  std::map<std::string, NodeState> state;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> components;
+  int next_index = 0;
+
+  // Iterative Tarjan (explicit frames) to stay safe on deep graphs.
+  struct Frame {
+    std::string node;
+    std::size_t edge = 0;
+  };
+  for (const auto& [root, unused] : graph) {
+    (void)unused;
+    if (state[root].index >= 0) continue;
+    std::vector<Frame> frames{Frame{root}};
+    state[root].index = state[root].lowlink = next_index++;
+    state[root].on_stack = true;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto& edges = graph.at(frame.node);
+      bool descended = false;
+      while (frame.edge < edges.size()) {
+        const CallEdge& edge = edges[frame.edge++];
+        if (sync_only && !edge.sync) continue;
+        if (!graph.count(edge.to)) continue;  // dangling provider
+        NodeState& to = state[edge.to];
+        if (to.index < 0) {
+          to.index = to.lowlink = next_index++;
+          to.on_stack = true;
+          stack.push_back(edge.to);
+          frames.push_back(Frame{edge.to});
+          descended = true;
+          break;
+        }
+        if (to.on_stack) {
+          state[frame.node].lowlink =
+              std::min(state[frame.node].lowlink, to.index);
+        }
+      }
+      if (descended) continue;
+      // Frame exhausted: pop and propagate the lowlink.
+      const std::string node = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        state[frames.back().node].lowlink = std::min(
+            state[frames.back().node].lowlink, state[node].lowlink);
+      }
+      if (state[node].lowlink == state[node].index) {
+        std::vector<std::string> component;
+        while (true) {
+          const std::string member = stack.back();
+          stack.pop_back();
+          state[member].on_stack = false;
+          component.push_back(member);
+          if (member == node) break;
+        }
+        components.push_back(std::move(component));
+      }
+    }
+  }
+  return components;
+}
+
+bool has_self_loop(const CallGraph& graph, const std::string& node,
+                   bool sync_only) {
+  auto it = graph.find(node);
+  if (it == graph.end()) return false;
+  for (const CallEdge& edge : it->second) {
+    if (edge.to == node && (!sync_only || edge.sync)) return true;
+  }
+  return false;
+}
+
+/// Nontrivial SCCs (size > 1 or a self-loop) — the actual call cycles.
+std::vector<std::vector<std::string>> call_cycles(const CallGraph& graph,
+                                                  bool sync_only) {
+  std::vector<std::vector<std::string>> cycles;
+  for (auto& component : strongly_connected(graph, sync_only)) {
+    if (component.size() > 1 ||
+        has_self_loop(graph, component.front(), sync_only)) {
+      std::sort(component.begin(), component.end());
+      cycles.push_back(std::move(component));
+    }
+  }
+  return cycles;
+}
+
+void check_bindings(const ArchitectureModel& model, AnalysisReport& report) {
+  std::set<std::pair<std::string, std::string>> seen_ports;
+  for (const ModelBinding& bind : model.bindings) {
+    const std::string subject = bind.caller + "." + bind.port;
+    if (!seen_ports.insert({bind.caller, bind.port}).second) {
+      report.add(Severity::kError, "duplicate-binding", subject,
+                 "required port is bound more than once", bind.line);
+    }
+    const ModelInstance* caller = model.find_instance(bind.caller);
+    if (caller == nullptr) {
+      report.add(Severity::kError, "dangling-binding", subject,
+                 "binding from unknown instance '" + bind.caller + "'",
+                 bind.line);
+    } else if (!caller->required.empty()) {
+      const bool known = std::any_of(
+          caller->required.begin(), caller->required.end(),
+          [&](const ModelPort& p) { return p.port == bind.port; });
+      if (!known) {
+        report.add(Severity::kError, "unknown-port", subject,
+                   "instance type '" + caller->type + "' declares no port '" +
+                       bind.port + "'",
+                   bind.line);
+      }
+    }
+    if (bind.providers.empty()) {
+      report.add(Severity::kError, "dangling-binding", subject,
+                 "binding has no provider", bind.line);
+    }
+    for (const std::string& provider : bind.providers) {
+      if (model.find_instance(provider) == nullptr) {
+        report.add(Severity::kError, "dangling-binding", subject,
+                   "binding to unknown instance '" + provider + "'",
+                   bind.line);
+      }
+    }
+  }
+  // Unbound required ports: the call through them fails at run time.
+  for (const ModelInstance& inst : model.instances) {
+    for (const ModelPort& port : inst.required) {
+      const bool bound = std::any_of(
+          model.bindings.begin(), model.bindings.end(),
+          [&](const ModelBinding& b) {
+            return b.caller == inst.name && b.port == port.port;
+          });
+      if (!bound) {
+        report.add(Severity::kWarning, "unbound-port",
+                   inst.name + "." + port.port,
+                   "required port is not bound to any provider", inst.line);
+      }
+    }
+  }
+  // Connectors that route traffic for bound callers but have no provider.
+  for (const ModelConnector& conn : model.connectors) {
+    const bool has_caller = std::any_of(
+        model.bindings.begin(), model.bindings.end(),
+        [&](const ModelBinding& b) { return b.connector == conn.name; });
+    if (has_caller && conn.providers.empty()) {
+      report.add(Severity::kError, "dangling-binding", conn.name,
+                 "connector has bound callers but no provider", conn.line);
+    }
+    if (!has_caller && conn.providers.empty()) {
+      report.add(Severity::kWarning, "connector-unused", conn.name,
+                 "connector has no providers and no bound callers",
+                 conn.line);
+    }
+  }
+}
+
+void check_reachability(const ArchitectureModel& model,
+                        AnalysisReport& report) {
+  // Workload entry points: connectors nobody calls into through a binding
+  // are external ingress; instances that call out but are never providers
+  // are workload drivers.
+  std::set<std::string> called_connectors;
+  std::set<std::string> providers;
+  for (const ModelBinding& bind : model.bindings) {
+    called_connectors.insert(bind.connector);
+    providers.insert(bind.providers.begin(), bind.providers.end());
+  }
+
+  std::set<std::string> reachable;
+  std::vector<std::string> frontier;
+  for (const ModelConnector& conn : model.connectors) {
+    if (called_connectors.count(conn.name)) continue;
+    for (const std::string& provider : conn.providers) {
+      if (reachable.insert(provider).second) frontier.push_back(provider);
+    }
+  }
+  for (const ModelBinding& bind : model.bindings) {
+    if (providers.count(bind.caller)) continue;
+    if (reachable.insert(bind.caller).second) frontier.push_back(bind.caller);
+  }
+  const CallGraph graph = call_graph(model);
+  while (!frontier.empty()) {
+    const std::string at = std::move(frontier.back());
+    frontier.pop_back();
+    auto it = graph.find(at);
+    if (it == graph.end()) continue;
+    for (const CallEdge& edge : it->second) {
+      if (reachable.insert(edge.to).second) frontier.push_back(edge.to);
+    }
+  }
+  for (const ModelInstance& inst : model.instances) {
+    if (!reachable.count(inst.name)) {
+      report.add(Severity::kWarning, "unreachable-component", inst.name,
+                 "not reachable from any workload entry point", inst.line);
+    }
+  }
+}
+
+void check_cycles(const ArchitectureModel& model, AnalysisReport& report) {
+  const CallGraph graph = call_graph(model);
+  const auto sync_cycles = call_cycles(graph, /*sync_only=*/true);
+  std::set<std::string> in_sync_cycle;
+  for (const auto& cycle : sync_cycles) {
+    in_sync_cycle.insert(cycle.begin(), cycle.end());
+    report.add(Severity::kError, "sync-call-cycle", util::join(cycle, " -> "),
+               "synchronous call cycle: deadlocks under load and makes "
+               "quiescence unreachable",
+               model.find_instance(cycle.front()) != nullptr
+                   ? model.find_instance(cycle.front())->line
+                   : 0);
+  }
+  for (const auto& cycle : call_cycles(graph, /*sync_only=*/false)) {
+    // Already reported as the harder sync variant?
+    const bool subsumed =
+        std::all_of(cycle.begin(), cycle.end(), [&](const std::string& n) {
+          return in_sync_cycle.count(n) > 0;
+        });
+    if (subsumed) continue;
+    report.add(Severity::kWarning, "connector-cycle",
+               util::join(cycle, " -> "),
+               "call cycle through queued connectors: unbounded feedback "
+               "unless the application breaks it",
+               model.find_instance(cycle.front()) != nullptr
+                   ? model.find_instance(cycle.front())->line
+                   : 0);
+  }
+}
+
+void check_routes(const ArchitectureModel& model, AnalysisReport& report) {
+  for (const ModelBinding& bind : model.bindings) {
+    const ModelInstance* caller = model.find_instance(bind.caller);
+    if (caller == nullptr || !model.has_node(caller->node)) continue;
+    for (const std::string& provider_name : bind.providers) {
+      const ModelInstance* provider = model.find_instance(provider_name);
+      if (provider == nullptr || !model.has_node(provider->node)) continue;
+      if (!model.min_latency_us(caller->node, provider->node).has_value()) {
+        report.add(Severity::kError, "no-route",
+                   bind.caller + "." + bind.port + " -> " + provider_name,
+                   "no route from node '" + caller->node + "' to node '" +
+                       provider->node + "'",
+                   bind.line);
+      }
+    }
+  }
+}
+
+void check_qos(const ArchitectureModel& model, AnalysisReport& report) {
+  for (const ModelBinding& bind : model.bindings) {
+    const ModelConnector* conn = model.find_connector(bind.connector);
+    if (conn == nullptr || conn->budget_us <= 0) continue;
+    const ModelInstance* caller = model.find_instance(bind.caller);
+    if (caller == nullptr) continue;
+    for (const std::string& provider_name : bind.providers) {
+      const ModelInstance* provider = model.find_instance(provider_name);
+      if (provider == nullptr) continue;
+      const auto there = model.min_latency_us(caller->node, provider->node);
+      const auto back = model.min_latency_us(provider->node, caller->node);
+      if (!there.has_value() || !back.has_value()) continue;  // no-route owns it
+      const std::int64_t floor_us = *there + *back;
+      if (floor_us > conn->budget_us) {
+        report.add(
+            Severity::kError, "qos-infeasible",
+            conn->name + ": " + bind.caller + " -> " + provider_name,
+            util::format("declared budget %lldus is below the topology's "
+                         "round-trip latency floor %lldus",
+                         static_cast<long long>(conn->budget_us),
+                         static_cast<long long>(floor_us)),
+            conn->line);
+      }
+    }
+  }
+}
+
+/// Rebuilds `lts` under a new name (Lts names are fixed at construction).
+lts::Lts renamed(const lts::Lts& lts_in, const std::string& name) {
+  lts::Lts out(name);
+  for (lts::StateId s = 1; s < lts_in.state_count(); ++s) out.add_state();
+  for (lts::StateId s = 0; s < lts_in.state_count(); ++s) {
+    out.set_final(s, lts_in.is_final(s));
+  }
+  for (const lts::Transition& t : lts_in.transitions()) {
+    out.add_transition(t.from, t.label, t.to);
+  }
+  return out;
+}
+
+void check_protocols(const ArchitectureModel& model,
+                     const VerifierOptions& options, AnalysisReport& report) {
+  if (model.protocols.empty()) return;
+  // Union-find over instances connected by bindings: each connected group
+  // is one collaboration whose protocols must compose deadlock-free.
+  std::map<std::string, std::string> parent;
+  const std::function<std::string(const std::string&)> find =
+      [&](const std::string& x) -> std::string {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    return it->second = find(it->second);
+  };
+  const auto unite = [&](const std::string& a, const std::string& b) {
+    parent[find(a)] = find(b);
+  };
+  for (const ModelInstance& inst : model.instances) parent[inst.name] = inst.name;
+  for (const ModelBinding& bind : model.bindings) {
+    for (const std::string& provider : bind.providers) {
+      if (model.find_instance(provider) != nullptr &&
+          model.find_instance(bind.caller) != nullptr) {
+        unite(bind.caller, provider);
+      }
+    }
+  }
+  std::map<std::string, std::vector<const ModelInstance*>> groups;
+  for (const ModelInstance& inst : model.instances) {
+    groups[find(inst.name)].push_back(&inst);
+  }
+  for (const auto& [root, members] : groups) {
+    (void)root;
+    std::vector<lts::Lts> roles;
+    std::vector<std::string> role_names;
+    int line = 0;
+    for (const ModelInstance* inst : members) {
+      auto proto = model.protocols.find(inst->type);
+      if (proto == model.protocols.end()) continue;
+      roles.push_back(renamed(proto->second, inst->name));
+      role_names.push_back(inst->name);
+      if (line == 0) line = inst->line;
+    }
+    if (roles.size() < 2) continue;
+    std::vector<const lts::Lts*> parts;
+    parts.reserve(roles.size());
+    for (const lts::Lts& role : roles) parts.push_back(&role);
+    const lts::CompositionReport composed =
+        lts::check_composition(parts, options.max_states);
+    report.states_explored += composed.states_explored;
+    if (!composed.deadlock_free) {
+      std::string trace = util::join(composed.counterexample, ", ");
+      report.add(Severity::kError, "protocol-deadlock",
+                 util::join(role_names, " || "),
+                 composed.diagnosis +
+                     (trace.empty() ? std::string{}
+                                    : " (after: " + trace + ")"),
+                 line);
+    } else if (composed.truncated) {
+      report.truncated = true;
+      report.add(Severity::kWarning, "protocol-truncated",
+                 util::join(role_names, " || "), composed.diagnosis, line);
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisReport verify_architecture(const ArchitectureModel& model,
+                                   const VerifierOptions& options) {
+  AnalysisReport report;
+  check_bindings(model, report);
+  check_reachability(model, report);
+  check_cycles(model, report);
+  check_routes(model, report);
+  check_qos(model, report);
+  if (options.check_protocols) check_protocols(model, options, report);
+  return report;
+}
+
+std::vector<std::string> quiescence_unreachable(
+    const ArchitectureModel& model) {
+  const CallGraph graph = call_graph(model);
+  std::set<std::string> members;
+  for (const auto& cycle : call_cycles(graph, /*sync_only=*/true)) {
+    members.insert(cycle.begin(), cycle.end());
+  }
+  return {members.begin(), members.end()};
+}
+
+}  // namespace aars::analysis

@@ -153,6 +153,13 @@ Runtime::Builder& Runtime::Builder::with_reconfig(
   return *this;
 }
 
+Runtime::Builder& Runtime::Builder::with_verification(
+    analysis::VerifyMode mode, std::size_t max_states) {
+  verify_mode_ = mode;
+  verify_max_states_ = max_states;
+  return *this;
+}
+
 Runtime::Builder& Runtime::Builder::with_raml(util::Duration period) {
   raml_period_ = period;
   return *this;
@@ -316,9 +323,14 @@ Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
     rt->breakers_[decl.connector] = std::move(breaker);
   }
 
+  reconfig::ReconfigurationEngine::Options engine_options =
+      engine_options_.value_or(reconfig::ReconfigurationEngine::Options{});
+  if (verify_mode_.has_value()) {
+    engine_options.verify_mode = *verify_mode_;
+    engine_options.verify_max_states = verify_max_states_;
+  }
   rt->engine_ = std::make_unique<reconfig::ReconfigurationEngine>(
-      *rt->app_, engine_options_.value_or(
-                     reconfig::ReconfigurationEngine::Options{}));
+      *rt->app_, engine_options);
   rt->injector_ = std::make_unique<fault::FaultInjector>(*rt->app_);
 
   if (raml_period_.has_value()) {

@@ -164,6 +164,12 @@ class Runtime::Builder {
 
   // --- managers ----------------------------------------------------------------
   Builder& with_reconfig(reconfig::ReconfigurationEngine::Options options);
+  /// Gates every engine mutation (and RAML self-repair) behind the static
+  /// plan verifier: off (default), warn (log findings, proceed) or enforce
+  /// (reject with kVerificationFailed + "verify.rejected" metric).
+  /// Overrides the verify fields of with_reconfig() options.
+  Builder& with_verification(analysis::VerifyMode mode,
+                             std::size_t max_states = 100000);
   Builder& with_raml(util::Duration period);
   /// Requires with_raml(): wires the fault injector into RAML's rule engine
   /// and enables the built-in host-down repair rule.
@@ -236,6 +242,8 @@ class Runtime::Builder {
   std::vector<DegradedDecl> degraded_modes_;
   std::vector<std::string> adl_sources_;
   std::optional<reconfig::ReconfigurationEngine::Options> engine_options_;
+  std::optional<analysis::VerifyMode> verify_mode_;
+  std::size_t verify_max_states_ = 100000;
   std::optional<util::Duration> raml_period_;
   bool self_repair_ = false;
   std::vector<fault::FaultScenario> scenarios_;

@@ -224,6 +224,119 @@ CompatibilityReport check_compatibility(const Lts& a, const Lts& b) {
   return report;
 }
 
+CompositionReport check_composition(const std::vector<const Lts*>& parts,
+                                    std::size_t max_states) {
+  CompositionReport report;
+  if (parts.empty()) return report;
+  for (const Lts* part : parts) util::require(part != nullptr, "null role");
+
+  // How many roles use each action: shared actions must synchronise,
+  // private ones interleave (mirrors the binary compose() semantics).
+  std::map<std::string, int> roles_using;
+  for (const Lts* part : parts) {
+    for (const std::string& action : part->alphabet()) ++roles_using[action];
+  }
+
+  using Tuple = std::vector<StateId>;
+  std::map<Tuple, std::size_t> index;
+  std::vector<Tuple> states;
+  std::vector<int> parent;
+  std::vector<std::string> via;
+  std::deque<std::size_t> frontier;
+
+  const auto intern = [&](const Tuple& tuple, std::size_t from,
+                          std::string label) -> bool {
+    if (index.count(tuple)) return true;
+    if (states.size() >= max_states) {
+      report.truncated = true;
+      return false;
+    }
+    index.emplace(tuple, states.size());
+    states.push_back(tuple);
+    parent.push_back(states.size() == 1 ? -1 : static_cast<int>(from));
+    via.push_back(std::move(label));
+    frontier.push_back(states.size() - 1);
+    return true;
+  };
+
+  Tuple initial(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) initial[i] = parts[i]->initial();
+  intern(initial, 0, {});
+
+  while (!frontier.empty()) {
+    const std::size_t at = frontier.front();
+    frontier.pop_front();
+    const Tuple tuple = states[at];
+
+    bool any_move = false;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      for (const Transition* t : parts[i]->outgoing(tuple[i])) {
+        const bool shared = t->label.direction != Direction::kInternal &&
+                            roles_using[t->label.action] > 1;
+        if (!shared) {
+          // Interleaved move: internal or private action.
+          any_move = true;
+          Tuple next = tuple;
+          next[i] = t->to;
+          intern(next, at, t->label.to_string());
+          continue;
+        }
+        // Synchronised move, initiated from the output side so each
+        // rendezvous is generated once.
+        if (t->label.direction != Direction::kOutput) continue;
+        for (std::size_t j = 0; j < parts.size(); ++j) {
+          if (j == i) continue;
+          for (const Transition* u : parts[j]->outgoing(tuple[j])) {
+            if (u->label.direction != Direction::kInput ||
+                u->label.action != t->label.action) {
+              continue;
+            }
+            any_move = true;
+            Tuple next = tuple;
+            next[i] = t->to;
+            next[j] = u->to;
+            intern(next, at, t->label.action);
+          }
+        }
+      }
+    }
+    // An input waiting on a partner does not count as progress by itself;
+    // any_move already reflects that (only realised rendezvous count).
+    if (!any_move) {
+      bool all_final = true;
+      std::string stuck;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (!parts[i]->is_final(tuple[i])) {
+          all_final = false;
+          if (!stuck.empty()) stuck += ", ";
+          stuck += parts[i]->name();
+        }
+      }
+      if (!all_final) {
+        report.deadlock_free = false;
+        report.diagnosis =
+            "deadlock: no joint move and non-final role(s): " + stuck;
+        std::vector<std::string> trace;
+        for (std::size_t s = at; parent[s] >= 0;
+             s = static_cast<std::size_t>(parent[s])) {
+          trace.push_back(via[s]);
+        }
+        std::reverse(trace.begin(), trace.end());
+        report.counterexample = std::move(trace);
+        report.states_explored = states.size();
+        return report;
+      }
+    }
+  }
+  report.states_explored = states.size();
+  if (report.truncated) {
+    report.diagnosis = "exploration truncated at " +
+                       std::to_string(max_states) +
+                       " joint states; no deadlock in the explored prefix";
+  }
+  return report;
+}
+
 Lts request_reply_client(std::size_t pipeline_depth) {
   util::require(pipeline_depth >= 1, "pipeline depth must be >= 1");
   Lts lts("rr-client");

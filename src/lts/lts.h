@@ -116,6 +116,30 @@ struct CompatibilityReport {
 /// reachable state either allows progress or is final in both roles).
 CompatibilityReport check_compatibility(const Lts& a, const Lts& b);
 
+/// Result of a bounded n-way composition check.
+struct CompositionReport {
+  /// No reachable joint state (within the bound) deadlocks.
+  bool deadlock_free = true;
+  /// The state bound was hit before full exploration; `deadlock_free` then
+  /// only covers the explored prefix of the product.
+  bool truncated = false;
+  /// Joint states explored (for scaling experiments and lint stats).
+  std::size_t states_explored = 0;
+  /// When a deadlock was found: the labels leading to it.
+  std::vector<std::string> counterexample;
+  /// Human-readable verdict; names the stuck roles on deadlock.
+  std::string diagnosis;
+};
+
+/// N-way CSP-style composition check with bounded state-space exploration.
+/// Actions appearing in more than one alphabet synchronise pairwise (an
+/// output must meet a matching input in another role); actions private to
+/// one role and internal moves interleave.  A reachable joint state with no
+/// move where some role is non-final is a deadlock.  Exploration stops after
+/// `max_states` joint states; the report is then marked truncated.
+CompositionReport check_composition(const std::vector<const Lts*>& parts,
+                                    std::size_t max_states = 100000);
+
 /// Convenience protocol builders used by connectors and tests.
 /// A client that repeatedly emits `request!` then waits for `reply?`.
 Lts request_reply_client(std::size_t pipeline_depth = 1);

@@ -89,8 +89,15 @@ void Raml::enable_self_repair(fault::FaultInjector& injector) {
       // Pick the least-loaded surviving host as the repair target.
       util::NodeId best;
       util::Duration best_backlog = 0;
+      bool any_up = false;
       for (util::NodeId candidate : injector.up_hosts()) {
         if (candidate == down) continue;
+        any_up = true;
+        // Pre-screen against the static plan verifier: a candidate it
+        // rejects would only bounce off the engine in enforce mode (or
+        // ship a known-bad plan in warn mode), so spend the repair on a
+        // destination that actually verifies.
+        if (!engine_.redeploy_would_verify(comp, candidate)) continue;
         const util::Duration backlog =
             app_.network().node(candidate).backlog(app_.loop().now());
         if (!best.valid() || backlog < best_backlog) {
@@ -99,8 +106,11 @@ void Raml::enable_self_repair(fault::FaultInjector& injector) {
         }
       }
       if (!best.valid()) {
-        rule_engine_.emit("repair.failed",
-                          util::Value::object({{"reason", "no host up"}}));
+        rule_engine_.emit(
+            "repair.failed",
+            util::Value::object(
+                {{"reason",
+                  any_up ? "no host passes verification" : "no host up"}}));
         continue;
       }
       ++repairs_started_;

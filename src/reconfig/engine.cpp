@@ -33,15 +33,80 @@ ReconfigurationEngine::ReconfigurationEngine(Application& app)
 ReconfigurationEngine::ReconfigurationEngine(Application& app, Options options)
     : app_(app), options_(options) {}
 
+std::string ReconfigurationEngine::node_name(NodeId node) {
+  for (NodeId id : app_.network().node_ids()) {
+    if (id == node) return app_.network().node(id).name();
+  }
+  return {};
+}
+
+Status ReconfigurationEngine::verify_step(const analysis::PlanStep& step,
+                                          const std::string& op) {
+  if (options_.verify_mode == analysis::VerifyMode::kOff) {
+    return Status::success();
+  }
+  analysis::VerifierOptions vopts;
+  vopts.max_states = options_.verify_max_states;
+  const analysis::ArchitectureModel model = analysis::model_from(app_);
+  const analysis::PlanReview review = analysis::verify_plan(model, {step}, vopts);
+  if (review.ok()) return Status::success();
+  obs::Registry& reg = obs::Registry::global();
+  const std::string verdict = review.report.first_error();
+  if (options_.verify_mode == analysis::VerifyMode::kWarn) {
+    reg.counter("verify.warned", {{"op", op}}).inc();
+    reg.trace(app_.loop().now(), obs::TraceKind::kReconfig, op,
+              "verify-warn: " + verdict);
+    AARS_WARN << "plan verification (" << op << "): " << verdict
+              << " (mode=warn, proceeding)";
+    return Status::success();
+  }
+  ++verify_rejected_;
+  reg.counter("verify.rejected", {{"op", op}}).inc();
+  reg.trace(app_.loop().now(), obs::TraceKind::kReconfig, op,
+            "verify-reject: " + verdict);
+  return Error{ErrorCode::kVerificationFailed,
+               "plan verification failed: " + verdict};
+}
+
+bool ReconfigurationEngine::redeploy_would_verify(ComponentId component,
+                                                  NodeId destination) {
+  if (options_.verify_mode == analysis::VerifyMode::kOff) return true;
+  const component::Component* comp = app_.find_component(component);
+  if (comp == nullptr) return false;
+  analysis::PlanStep step;
+  step.op = analysis::PlanOp::kRedeploy;
+  step.instance = comp->instance_name();
+  step.node = node_name(destination);
+  analysis::VerifierOptions vopts;
+  vopts.max_states = options_.verify_max_states;
+  return analysis::verify_plan(analysis::model_from(app_), {step}, vopts).ok();
+}
+
 Result<ComponentId> ReconfigurationEngine::add_component(
     const std::string& type, const std::string& name, NodeId node,
     const Value& attributes) {
+  analysis::PlanStep step;
+  step.op = analysis::PlanOp::kAdd;
+  step.instance = name;
+  step.type = type;
+  step.node = node_name(node);
+  if (Status s = verify_step(step, "add"); !s.ok()) return s.error();
   return app_.instantiate(type, name, node, attributes);
 }
 
 Status ReconfigurationEngine::rebind(ComponentId caller,
                                      const std::string& port,
                                      ConnectorId new_connector) {
+  const component::Component* comp = app_.find_component(caller);
+  const connector::Connector* conn = app_.find_connector(new_connector);
+  if (comp != nullptr && conn != nullptr) {
+    analysis::PlanStep step;
+    step.op = analysis::PlanOp::kRebind;
+    step.instance = comp->instance_name();
+    step.port = port;
+    step.connector = conn->name();
+    if (Status s = verify_step(step, "rebind"); !s.ok()) return s;
+  }
   // bind() validates interface compatibility against the new connector's
   // providers before overwriting the existing binding.
   return app_.bind(caller, port, new_connector);
@@ -100,6 +165,16 @@ void ReconfigurationEngine::remove_component(ComponentId component,
     finish(std::move(report), done);
     return;
   }
+  {
+    analysis::PlanStep step;
+    step.op = analysis::PlanOp::kRemove;
+    step.instance = app_.find_component(component)->instance_name();
+    if (Status s = verify_step(step, report.op); !s.ok()) {
+      report.status = s;
+      finish(std::move(report), done);
+      return;
+    }
+  }
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");
   app_.block_channels_to(component);
@@ -149,6 +224,17 @@ void ReconfigurationEngine::replace_component(ComponentId old_component,
     report.status = Error{ErrorCode::kNotFound, "no such component"};
     finish(std::move(report), done);
     return;
+  }
+  {
+    analysis::PlanStep step;
+    step.op = analysis::PlanOp::kReplace;
+    step.instance = old_comp->instance_name();
+    step.type = new_type;
+    if (Status s = verify_step(step, report.op); !s.ok()) {
+      report.status = s;
+      finish(std::move(report), done);
+      return;
+    }
   }
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");
@@ -262,6 +348,17 @@ void ReconfigurationEngine::migrate_component(ComponentId component,
     finish(std::move(report), done);
     return;
   }
+  {
+    analysis::PlanStep step;
+    step.op = analysis::PlanOp::kMigrate;
+    step.instance = comp->instance_name();
+    step.node = node_name(destination);
+    if (Status s = verify_step(step, report.op); !s.ok()) {
+      report.status = s;
+      finish(std::move(report), done);
+      return;
+    }
+  }
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");
   const std::uint64_t overflows_before = app_.hold_overflows_to(component);
@@ -357,6 +454,17 @@ void ReconfigurationEngine::redeploy_component(ComponentId failed,
     finish(std::move(report), done);
     return;
   }
+  {
+    analysis::PlanStep step;
+    step.op = analysis::PlanOp::kRedeploy;
+    step.instance = comp->instance_name();
+    step.node = node_name(destination);
+    if (Status s = verify_step(step, report.op); !s.ok()) {
+      report.status = s;
+      finish(std::move(report), done);
+      return;
+    }
+  }
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");
   const std::string new_name =
@@ -446,6 +554,17 @@ void ReconfigurationEngine::reroute_to_replica(ComponentId dead,
         Error{ErrorCode::kInvalidArgument, "replica is the dead component"};
     finish(std::move(report), done);
     return;
+  }
+  {
+    analysis::PlanStep step;
+    step.op = analysis::PlanOp::kReroute;
+    step.instance = app_.find_component(dead)->instance_name();
+    step.replica = app_.find_component(replica)->instance_name();
+    if (Status s = verify_step(step, report.op); !s.ok()) {
+      report.status = s;
+      finish(std::move(report), done);
+      return;
+    }
   }
   obs::Registry::global().trace(report.started_at, obs::TraceKind::kReconfig,
                                 report.op, "start");

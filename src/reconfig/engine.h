@@ -20,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "analysis/plan.h"
 #include "obs/metrics.h"
 #include "runtime/application.h"
 #include "util/errors.h"
@@ -71,6 +72,12 @@ class ReconfigurationEngine {
     Duration quiescence_poll = util::microseconds(100);
     /// Give up waiting for quiescence after this long.
     Duration quiescence_timeout = util::seconds(10);
+    /// Static plan verification before every mutation: off (skip), warn
+    /// (verify, log findings, proceed) or enforce (reject failing plans
+    /// with kVerificationFailed and count them in "verify.rejected").
+    analysis::VerifyMode verify_mode = analysis::VerifyMode::kOff;
+    /// Joint-state bound passed through to protocol composition checks.
+    std::size_t verify_max_states = 100000;
   };
 
   explicit ReconfigurationEngine(Application& app);
@@ -110,11 +117,27 @@ class ReconfigurationEngine {
   /// an already-running replica, replays held traffic, retires `dead`.
   void reroute_to_replica(ComponentId dead, ComponentId replica, Done done);
 
+  /// Dry-run: would a redeploy of `component` to `destination` pass the
+  /// configured plan verifier?  Always true with verification off; never
+  /// counts towards verify.rejected.  RAML repair rules use this to
+  /// pre-screen candidate hosts before committing to one.
+  bool redeploy_would_verify(ComponentId component, NodeId destination);
+
+  const Options& options() const { return options_; }
+
   /// Number of protocol runs started / completed successfully.
   std::uint64_t started() const { return started_; }
   std::uint64_t succeeded() const { return succeeded_; }
+  /// Plans rejected by enforce-mode verification.
+  std::uint64_t verify_rejected() const { return verify_rejected_; }
 
  private:
+  /// Verifies a single-step plan against a snapshot of the live
+  /// architecture, honouring Options::verify_mode.  Success means
+  /// "proceed"; failure carries kVerificationFailed (enforce mode only).
+  Status verify_step(const analysis::PlanStep& step, const std::string& op);
+  /// Node name for plan steps; empty when the id is unknown.
+  std::string node_name(NodeId node);
   /// Polls until `component` is quiescent, then calls `next(ok)`.
   void wait_quiescent(ComponentId component, SimTime deadline,
                       std::function<void(bool)> next);
@@ -127,6 +150,7 @@ class ReconfigurationEngine {
   Options options_;
   std::uint64_t started_ = 0;
   std::uint64_t succeeded_ = 0;
+  std::uint64_t verify_rejected_ = 0;
   std::uint64_t redeploys_ = 0;  // suffix for generated instance names
 };
 

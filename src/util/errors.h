@@ -32,6 +32,7 @@ enum class ErrorCode {
   kStateTransfer,      // snapshot/restore failure
   kRejected,           // admission/permission denied
   kOverloaded,         // load shed: backpressure, breaker open, queue cap
+  kVerificationFailed, // static plan verification rejected the change
   kInternal,
 };
 
@@ -52,6 +53,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kStateTransfer: return "state_transfer";
     case ErrorCode::kRejected: return "rejected";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kVerificationFailed: return "verification_failed";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

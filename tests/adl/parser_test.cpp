@@ -140,6 +140,60 @@ TEST(ParserTest, Bindings) {
   EXPECT_TRUE(config.bindings[2].via_connector.empty());
 }
 
+TEST(ParserTest, ConnectorBudgetProperty) {
+  const Configuration config = parse_ok(R"(
+    connector fast { routing direct; delivery sync; budget 10ms; }
+    connector slow { routing direct; delivery sync; }
+  )");
+  ASSERT_EQ(config.connectors.size(), 2u);
+  EXPECT_EQ(config.connectors[0].budget_us, 10000);
+  EXPECT_EQ(config.connectors[1].budget_us, 0);
+}
+
+TEST(ParserTest, ProtocolBlockWithStatesAndTransitions) {
+  const Configuration config = parse_ok(R"(
+    interface Echo { service echo(text: string) -> string; }
+    component Server provides Echo {
+      protocol {
+        state idle final;
+        state busy;
+        idle -> busy on echo?;
+        busy -> idle on done!;
+        busy -> busy on tau;
+      }
+    }
+  )");
+  ASSERT_EQ(config.components.size(), 1u);
+  ASSERT_TRUE(config.components[0].protocol.has_value());
+  const AstProtocol& protocol = *config.components[0].protocol;
+  ASSERT_EQ(protocol.states.size(), 2u);
+  EXPECT_EQ(protocol.states[0].name, "idle");
+  EXPECT_TRUE(protocol.states[0].final_state);
+  EXPECT_FALSE(protocol.states[1].final_state);
+  ASSERT_EQ(protocol.transitions.size(), 3u);
+  EXPECT_EQ(protocol.transitions[0].action, "echo");
+  EXPECT_EQ(protocol.transitions[0].direction, '?');
+  EXPECT_EQ(protocol.transitions[1].direction, '!');
+  EXPECT_EQ(protocol.transitions[2].direction, 't');
+}
+
+TEST(ParserTest, SecondProtocolBlockRejected) {
+  EXPECT_FALSE(parse(R"(
+    component C {
+      protocol { state s final; }
+      protocol { state t final; }
+    }
+  )")
+                   .ok());
+}
+
+TEST(ParserTest, ProtocolTransitionNeedsDirection) {
+  // `on action` without ? / ! / tau is malformed.
+  auto result = parse(
+      "component C {\n  protocol {\n    state a;\n    a -> a on echo;\n  }\n}");
+  EXPECT_FALSE(result.ok());
+}
+
 TEST(ParserTest, ErrorsCarryLineNumbers) {
   auto result = parse("interface I {\n  bogus x;\n}");
   ASSERT_FALSE(result.ok());

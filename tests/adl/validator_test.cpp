@@ -210,5 +210,112 @@ TEST(ValidatorTest, ValueTypeNames) {
   EXPECT_FALSE(value_type_from_name("junk").ok());
 }
 
+// ---------------------------------------------------------------------------
+// Protocol compilation.
+
+TEST(ValidatorTest, ProtocolCompilesToLts) {
+  auto compiled = compile(R"(
+    interface Echo { service echo(text: string) -> string; }
+    component Server provides Echo {
+      protocol {
+        state idle final;
+        state busy;
+        idle -> busy on echo?;
+        busy -> idle on done!;
+      }
+    }
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.error().message();
+  ASSERT_EQ(compiled.value().protocols.count("Server"), 1u);
+  const lts::Lts& lts = compiled.value().protocols.at("Server");
+  EXPECT_EQ(lts.state_count(), 2u);
+  EXPECT_TRUE(lts.is_final(0));   // first declared state is initial
+  EXPECT_FALSE(lts.is_final(1));
+  EXPECT_EQ(lts.transition_count(), 2u);
+}
+
+TEST(ValidatorTest, EmptyProtocolRejected) {
+  auto compiled = compile("component C {\n  protocol {\n  }\n}");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.error().message().find("declares no states"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, DuplicateProtocolStateRejected) {
+  auto compiled = compile(R"(
+    component C {
+      protocol {
+        state s final;
+        state s;
+      }
+    }
+  )");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.error().message().find("duplicate protocol state"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, TransitionFromUnknownStateRejected) {
+  auto compiled = compile(R"(
+    component C {
+      protocol {
+        state s final;
+        ghost -> s on go?;
+      }
+    }
+  )");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.error().message().find("unknown state"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, ConnectorBudgetIsCompiled) {
+  auto compiled = compile(R"(
+    connector fast { routing direct; delivery sync; budget 5ms; }
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.error().message();
+  const std::size_t index = compiled.value().connector_index.at("fast");
+  EXPECT_EQ(compiled.value().ast.connectors[index].budget_us, 5000);
+}
+
+// ---------------------------------------------------------------------------
+// Error paths must carry source line numbers so lint output is clickable.
+
+TEST(ValidatorTest, DiagnosticsCarryLineNumbers) {
+  struct Case {
+    const char* src;
+    const char* expected_line;
+  };
+  const Case cases[] = {
+      // Instance of unknown type on line 2.
+      {"node n { capacity 1; }\ninstance x: Ghost on n;\n", "line 2"},
+      // Instance on unknown node, line 3.
+      {"interface I { service f(); }\ncomponent A provides I;\n"
+       "instance a: A on nowhere;\n",
+       "line 3"},
+      // Binding from unknown instance, line 1.
+      {"bind ghost.p -> also_ghost;\n", "line 1"},
+      // Duplicate protocol state, line 4.
+      {"component C {\n  protocol {\n    state s final;\n    state s;\n  }\n}",
+       "line 4"},
+      // Transition from unknown state, line 4.
+      {"component C {\n  protocol {\n    state s final;\n"
+       "    ghost -> s on go?;\n  }\n}",
+       "line 4"},
+      // Unknown routing policy, line 2.
+      {"node n { capacity 1; }\nconnector c { routing psychic; }\n",
+       "line 2"},
+  };
+  for (const Case& c : cases) {
+    auto compiled = compile(c.src);
+    ASSERT_FALSE(compiled.ok()) << c.src;
+    EXPECT_NE(compiled.error().message().find(c.expected_line),
+              std::string::npos)
+        << "diagnostic for:\n"
+        << c.src << "\nlost its line number: "
+        << compiled.error().message();
+  }
+}
+
 }  // namespace
 }  // namespace aars::adl

@@ -1,0 +1,125 @@
+// E13 corpus test: the shipped architectures must verify with zero
+// diagnostics (no false positives) and every seeded defect in
+// configs/defects/ must be caught with the expected diagnostic code
+// (>= 95% catch rate is the experiment's bar; we require 100%).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adl/parser.h"
+#include "adl/validator.h"
+#include "analysis/architecture.h"
+#include "analysis/scenario_lint.h"
+#include "analysis/verifier.h"
+
+namespace aars::analysis {
+namespace {
+
+std::string read_file(const std::string& relative) {
+  const std::string path = std::string(AARS_CONFIG_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+ArchitectureModel compile_config(const std::string& relative) {
+  auto parsed = adl::parse(read_file(relative));
+  EXPECT_TRUE(parsed.ok())
+      << relative << ": " << (parsed.ok() ? "" : parsed.error().message());
+  auto compiled = adl::validate(std::move(parsed).value());
+  EXPECT_TRUE(compiled.ok())
+      << relative << ": "
+      << (compiled.ok() ? "" : compiled.error().message());
+  return model_from(compiled.value());
+}
+
+const std::vector<std::string> kCleanConfigs = {
+    "quickstart.adl",   "load_balancing.adl", "self_healing.adl",
+    "telecom.adl",      "three_tier.adl",
+};
+
+/// Seeded defect -> the diagnostic code the verifier must emit for it.
+struct SeededDefect {
+  const char* file;
+  const char* code;
+};
+const std::vector<SeededDefect> kDefects = {
+    {"defects/d01_sync_cycle.adl", "sync-call-cycle"},
+    {"defects/d02_qos_infeasible.adl", "qos-infeasible"},
+    {"defects/d03_no_route.adl", "no-route"},
+    {"defects/d04_protocol_deadlock.adl", "protocol-deadlock"},
+    {"defects/d05_unreachable.adl", "unreachable-component"},
+    {"defects/d06_duplicate_binding.adl", "duplicate-binding"},
+    {"defects/d07_unbound_port.adl", "unbound-port"},
+    {"defects/d08_connector_unused.adl", "connector-unused"},
+    {"defects/d09_queued_feedback_cycle.adl", "connector-cycle"},
+};
+
+TEST(CorpusTest, ShippedConfigsProduceZeroDiagnostics) {
+  for (const std::string& file : kCleanConfigs) {
+    const AnalysisReport report = verify_architecture(compile_config(file));
+    EXPECT_EQ(report.diagnostics.size(), 0u)
+        << file << " is not clean: " << report.summary() << " — "
+        << report.first_error();
+  }
+}
+
+TEST(CorpusTest, ShippedScenarioLintsCleanAgainstItsTopology) {
+  const ArchitectureModel model = compile_config("self_healing.adl");
+  const AnalysisReport report =
+      lint_scenario(read_file("scenarios/storm.fault"), model);
+  EXPECT_EQ(report.diagnostics.size(), 0u) << report.summary();
+}
+
+TEST(CorpusTest, EverySeededArchitectureDefectIsCaught) {
+  std::size_t caught = 0;
+  for (const SeededDefect& defect : kDefects) {
+    const AnalysisReport report =
+        verify_architecture(compile_config(defect.file));
+    const bool hit = report.has(defect.code);
+    EXPECT_TRUE(hit) << defect.file << " did not trigger " << defect.code
+                     << " (got: " << report.summary() << ")";
+    if (hit) ++caught;
+  }
+  // The E13 bar is a >=95% catch rate over the corpus; hold the line at
+  // 100% so regressions surface as individual failures above.
+  EXPECT_EQ(caught, kDefects.size());
+}
+
+TEST(CorpusTest, SeededScenarioDefectIsCaught) {
+  const ArchitectureModel model = compile_config("self_healing.adl");
+  const AnalysisReport report =
+      lint_scenario(read_file("defects/d10_bad_scenario.fault"), model);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("unknown-host"));
+  EXPECT_TRUE(report.has("zero-duration"));
+}
+
+TEST(CorpusTest, DefectDiagnosticsCarrySourceLines) {
+  for (const SeededDefect& defect : kDefects) {
+    const AnalysisReport report =
+        verify_architecture(compile_config(defect.file));
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.code == defect.code) {
+        EXPECT_GT(d.line, 0) << defect.file << ": " << d.code
+                             << " lost its source line";
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, ProtocolBearingConfigsReportVerificationCost) {
+  const AnalysisReport report = verify_architecture(
+      compile_config("three_tier.adl"));
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.states_explored, 0u);
+  EXPECT_FALSE(report.truncated);
+}
+
+}  // namespace
+}  // namespace aars::analysis

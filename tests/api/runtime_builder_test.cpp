@@ -165,5 +165,44 @@ TEST(RuntimeBuilderTest, BindWiresARequiredPortThroughAConnector) {
   EXPECT_EQ(out.result.value().as_string(), "nested");
 }
 
+TEST(RuntimeBuilderTest, WithVerificationGatesTheEngine) {
+  auto rt = Runtime::builder()
+                .host("a", 10000)
+                .host("b", 10000)
+                .link("a", "b", ms_link(1))
+                .component_class<EchoServer>("EchoServer")
+                .component_class<aars::testing::EchoClient>("EchoClient")
+                .deploy("EchoServer", "svc", "a")
+                .deploy("EchoClient", "cli", "b")
+                .connect(named("front"), {"svc"})
+                .bind("cli", "out", "front")
+                .with_verification(analysis::VerifyMode::kEnforce)
+                .build()
+                .value();
+  EXPECT_EQ(rt->engine().options().verify_mode,
+            analysis::VerifyMode::kEnforce);
+
+  // Removing the sole provider behind a live binding fails verification.
+  reconfig::ReconfigReport report;
+  rt->engine().remove_component(
+      rt->component("svc"),
+      [&](const reconfig::ReconfigReport& r) { report = r; });
+  rt->loop().run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), ErrorCode::kVerificationFailed);
+  EXPECT_NE(rt->app().find_component(rt->component("svc")), nullptr);
+}
+
+TEST(RuntimeBuilderTest, VerificationMaxStatesIsForwarded) {
+  auto rt = Runtime::builder()
+                .host("a", 10000)
+                .component_class<EchoServer>("EchoServer")
+                .with_verification(analysis::VerifyMode::kWarn, 512)
+                .build()
+                .value();
+  EXPECT_EQ(rt->engine().options().verify_mode, analysis::VerifyMode::kWarn);
+  EXPECT_EQ(rt->engine().options().verify_max_states, 512u);
+}
+
 }  // namespace
 }  // namespace aars

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Corpus check for aars-lint, run as a ctest and in CI:
+#   1. the shipped architectures and scenarios must lint clean (zero
+#      diagnostics, --strict),
+#   2. every seeded defect in configs/defects/ must be caught,
+#   3. the --json output must be byte-identical to the checked-in golden
+#      file, so the machine-readable format cannot drift silently.
+#
+# usage: check_corpus.sh <aars-lint> <configs-dir> <golden-json>
+set -eu
+
+LINT=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+CONFIGS=$2
+GOLDEN=$(cd "$(dirname "$3")" && pwd)/$(basename "$3")
+
+cd "$CONFIGS"
+OUT="${TMPDIR:-/tmp}/aars_lint_corpus.$$"
+trap 'rm -f "$OUT"' EXIT
+: > "$OUT"
+
+# 1. Clean corpus: exit 0 even under --strict.
+"$LINT" --json --strict \
+  quickstart.adl load_balancing.adl telecom.adl three_tier.adl \
+  self_healing.adl scenarios/storm.fault >> "$OUT" 2>/dev/null || {
+  echo "FAIL: clean corpus produced diagnostics" >&2
+  exit 1
+}
+
+# 2. Seeded defects: every file must be caught under --strict.
+for f in defects/*.adl; do
+  if "$LINT" --json --strict "$f" >> "$OUT" 2>/dev/null; then
+    echo "FAIL: seeded defect not caught: $f" >&2
+    exit 1
+  fi
+done
+if "$LINT" --json --strict self_healing.adl defects/d10_bad_scenario.fault \
+    >> "$OUT" 2>/dev/null; then
+  echo "FAIL: seeded defect not caught: defects/d10_bad_scenario.fault" >&2
+  exit 1
+fi
+
+# 3. Machine-readable output is stable.
+if ! diff -u "$GOLDEN" "$OUT"; then
+  echo "FAIL: --json output drifted from $GOLDEN" >&2
+  echo "(regenerate by re-running this script and copying the diff)" >&2
+  exit 1
+fi
+echo "corpus clean, all seeded defects caught, json output stable"

@@ -195,5 +195,134 @@ TEST_P(ProductScalingTest, ProductStatesScaleWithProtocolSize) {
 INSTANTIATE_TEST_SUITE_P(Sizes, ProductScalingTest,
                          ::testing::Values(2, 8, 32, 128));
 
+// ---------------------------------------------------------------------------
+// N-way bounded composition (check_composition).
+
+Lts handshake_client(const std::string& name) {
+  Lts lts(name);
+  const StateId wait = lts.add_state();
+  lts.set_final(0, true);
+  lts.add_transition(0, out("ping"), wait);
+  lts.add_transition(wait, in("pong"), 0);
+  return lts;
+}
+
+Lts handshake_server(const std::string& name) {
+  Lts lts(name);
+  const StateId busy = lts.add_state();
+  lts.set_final(0, true);
+  lts.add_transition(0, in("ping"), busy);
+  lts.add_transition(busy, out("pong"), 0);
+  return lts;
+}
+
+TEST(CompositionTest, TwoPartyHandshakeIsDeadlockFree) {
+  const Lts client = handshake_client("client");
+  const Lts server = handshake_server("server");
+  const CompositionReport report = check_composition({&client, &server});
+  EXPECT_TRUE(report.deadlock_free) << report.diagnosis;
+  EXPECT_FALSE(report.truncated);
+  EXPECT_GT(report.states_explored, 0u);
+}
+
+TEST(CompositionTest, ThreeTierPipelineIsDeadlockFree) {
+  Lts client("client");
+  {
+    const StateId wait = client.add_state();
+    client.set_final(0, true);
+    client.add_transition(0, out("request"), wait);
+    client.add_transition(wait, in("reply"), 0);
+  }
+  Lts app("app");
+  {
+    const StateId s1 = app.add_state();
+    const StateId s2 = app.add_state();
+    const StateId s3 = app.add_state();
+    app.set_final(0, true);
+    app.add_transition(0, in("request"), s1);
+    app.add_transition(s1, out("query"), s2);
+    app.add_transition(s2, in("answer"), s3);
+    app.add_transition(s3, out("reply"), 0);
+  }
+  Lts db("db");
+  {
+    const StateId busy = db.add_state();
+    db.set_final(0, true);
+    db.add_transition(0, in("query"), busy);
+    db.add_transition(busy, out("answer"), 0);
+  }
+  const CompositionReport report = check_composition({&client, &app, &db});
+  EXPECT_TRUE(report.deadlock_free) << report.diagnosis;
+  EXPECT_GT(report.states_explored, 2u);
+}
+
+TEST(CompositionTest, StuckRoleAfterProgressYieldsCounterexample) {
+  // The client says "a" once and is satisfied; the server insists on
+  // hearing it twice, so after one exchange it is stuck non-final.
+  Lts client("client");
+  client.add_transition(0, out("a"), client.add_state(true));
+  Lts server("server");
+  const StateId once = server.add_state();
+  server.add_transition(0, in("a"), once);
+  server.add_transition(once, in("a"), server.add_state(true));
+
+  const CompositionReport report = check_composition({&client, &server});
+  EXPECT_FALSE(report.deadlock_free);
+  EXPECT_FALSE(report.counterexample.empty());
+  EXPECT_NE(report.diagnosis.find("server"), std::string::npos)
+      << report.diagnosis;
+}
+
+TEST(CompositionTest, DeadlockAtStartHasEmptyTraceButDiagnosis) {
+  // Both sides wait for the other to speak first.
+  Lts a("a");
+  a.add_transition(0, in("x"), a.add_state(true));
+  Lts b("b");
+  b.add_transition(0, in("x"), b.add_state(true));
+  const CompositionReport report = check_composition({&a, &b});
+  EXPECT_FALSE(report.deadlock_free);
+  EXPECT_TRUE(report.counterexample.empty());
+  EXPECT_FALSE(report.diagnosis.empty());
+}
+
+TEST(CompositionTest, PrivateActionsInterleave) {
+  // Disjoint alphabets: each role ticks independently, no deadlock.
+  Lts left("left");
+  left.set_final(0, true);
+  left.add_transition(0, out("tick"), 0);
+  Lts right("right");
+  right.set_final(0, true);
+  right.add_transition(0, out("tock"), 0);
+  const CompositionReport report = check_composition({&left, &right});
+  EXPECT_TRUE(report.deadlock_free) << report.diagnosis;
+}
+
+TEST(CompositionTest, StateBoundTruncatesExploration) {
+  const Lts client = handshake_client("client");
+  const Lts server = handshake_server("server");
+  const CompositionReport report =
+      check_composition({&client, &server}, /*max_states=*/1);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_LE(report.states_explored, 1u);
+  // A truncated run must not claim a deadlock it never saw.
+  EXPECT_TRUE(report.deadlock_free);
+}
+
+TEST(CompositionTest, ManyIndependentRolesStayBounded) {
+  std::vector<Lts> roles;
+  roles.reserve(6);
+  for (int i = 0; i < 6; ++i) {
+    Lts role("r" + std::to_string(i));
+    role.set_final(0, true);
+    role.add_transition(0, out("evt" + std::to_string(i)), 0);
+    roles.push_back(std::move(role));
+  }
+  std::vector<const Lts*> parts;
+  for (const Lts& role : roles) parts.push_back(&role);
+  const CompositionReport report = check_composition(parts, 100);
+  EXPECT_TRUE(report.deadlock_free) << report.diagnosis;
+  EXPECT_FALSE(report.truncated);
+}
+
 }  // namespace
 }  // namespace aars::lts

@@ -1,0 +1,146 @@
+// Verification gating of the reconfiguration engine (satellite of the
+// static-verifier work): in enforce mode a plan that fails verification is
+// rejected with a distinct error code, a `verify.rejected` metric and a
+// trace event; in warn mode it is logged and proceeds; off is the default.
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.h"
+#include "obs/metrics.h"
+#include "reconfig/engine.h"
+#include "testing/test_components.h"
+
+namespace aars::reconfig {
+namespace {
+
+using aars::testing::AppFixture;
+using util::ErrorCode;
+using util::Value;
+
+class VerifyGateTest : public AppFixture {
+ protected:
+  void SetUp() override {
+    obs::Registry::global().set_enabled(true);
+    obs::Registry::global().reset_values();
+  }
+  void TearDown() override { obs::Registry::global().set_enabled(false); }
+
+  ReconfigurationEngine::Options gated(analysis::VerifyMode mode) {
+    ReconfigurationEngine::Options options;
+    options.verify_mode = mode;
+    return options;
+  }
+
+  /// client (node_b) bound to a lone server (node_a); removing the server
+  /// leaves the binding dangling, which verification must flag.
+  util::ComponentId wire_client_server() {
+    const util::ConnectorId conn = direct_to("EchoServer", "server", node_a_);
+    auto client = app_.instantiate("EchoClient", "client", node_b_, Value{});
+    EXPECT_TRUE(client.ok());
+    EXPECT_TRUE(app_.bind(client.value(), "out", conn).ok());
+    return app_.component_id("server");
+  }
+
+  std::uint64_t counter_value(const std::string& name,
+                              const std::string& op) {
+    return obs::Registry::global().counter(name, {{"op", op}}).value();
+  }
+
+  bool trace_contains(const std::string& needle) {
+    for (const obs::TraceEvent& event :
+         obs::Registry::global().trace_buffer().snapshot()) {
+      if (event.detail.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+TEST_F(VerifyGateTest, VerificationIsOffByDefault) {
+  ReconfigurationEngine engine(app_);
+  EXPECT_EQ(engine.options().verify_mode, analysis::VerifyMode::kOff);
+  // Off mode never rejects, even for a plan that would not verify.
+  const util::ComponentId server = wire_client_server();
+  ReconfigReport report;
+  engine.remove_component(server, [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  EXPECT_TRUE(report.ok()) << report.error_message();
+  EXPECT_EQ(engine.verify_rejected(), 0u);
+}
+
+TEST_F(VerifyGateTest, EnforceRejectsRemovingSoleProvider) {
+  ReconfigurationEngine engine(app_, gated(analysis::VerifyMode::kEnforce));
+  const util::ComponentId server = wire_client_server();
+
+  ReconfigReport report;
+  engine.remove_component(server, [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), ErrorCode::kVerificationFailed);
+  // The system was left untouched.
+  EXPECT_NE(app_.find_component(server), nullptr);
+  // Rejection is observable: engine counter, metric and trace event.
+  EXPECT_EQ(engine.verify_rejected(), 1u);
+  EXPECT_EQ(counter_value("verify.rejected", "remove"), 1u);
+  EXPECT_TRUE(trace_contains("verify-reject"));
+}
+
+TEST_F(VerifyGateTest, WarnModeLogsAndProceeds) {
+  ReconfigurationEngine engine(app_, gated(analysis::VerifyMode::kWarn));
+  const util::ComponentId server = wire_client_server();
+
+  ReconfigReport report;
+  engine.remove_component(server, [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+
+  EXPECT_TRUE(report.ok()) << report.error_message();
+  EXPECT_EQ(app_.find_component(server), nullptr);
+  EXPECT_EQ(engine.verify_rejected(), 0u);
+  EXPECT_EQ(counter_value("verify.warned", "remove"), 1u);
+  EXPECT_EQ(counter_value("verify.rejected", "remove"), 0u);
+  EXPECT_TRUE(trace_contains("verify-warn"));
+}
+
+TEST_F(VerifyGateTest, EnforceAllowsPlansThatVerify) {
+  ReconfigurationEngine engine(app_, gated(analysis::VerifyMode::kEnforce));
+  const util::ComponentId server = wire_client_server();
+
+  ReconfigReport report;
+  engine.migrate_component(server, node_b_,
+                           [&](const ReconfigReport& r) { report = r; });
+  loop_.run();
+  EXPECT_TRUE(report.ok()) << report.error_message();
+  EXPECT_EQ(engine.verify_rejected(), 0u);
+}
+
+TEST_F(VerifyGateTest, EnforceRejectsAddOfDuplicateInstanceName) {
+  ReconfigurationEngine engine(app_, gated(analysis::VerifyMode::kEnforce));
+  (void)wire_client_server();
+  auto added = engine.add_component("EchoServer", "server", node_b_, Value{});
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code(), ErrorCode::kVerificationFailed);
+  EXPECT_EQ(counter_value("verify.rejected", "add"), 1u);
+}
+
+TEST_F(VerifyGateTest, RedeployWouldVerifyScreensCandidates) {
+  ReconfigurationEngine engine(app_, gated(analysis::VerifyMode::kEnforce));
+  const util::ComponentId server = wire_client_server();
+  // An island node with no links: redeploying there severs the route from
+  // the bound client.
+  const util::NodeId island = network_.add_node("island", 1000).id();
+
+  EXPECT_TRUE(engine.redeploy_would_verify(server, node_c_));
+  EXPECT_FALSE(engine.redeploy_would_verify(server, island));
+  // Screening is a dry run: nothing was counted as rejected.
+  EXPECT_EQ(engine.verify_rejected(), 0u);
+  EXPECT_EQ(counter_value("verify.rejected", "redeploy"), 0u);
+}
+
+TEST_F(VerifyGateTest, OffModeSkipsScreening) {
+  ReconfigurationEngine engine(app_);
+  const util::ComponentId server = wire_client_server();
+  const util::NodeId island = network_.add_node("island", 1000).id();
+  EXPECT_TRUE(engine.redeploy_would_verify(server, island));
+}
+
+}  // namespace
+}  // namespace aars::reconfig

@@ -1,0 +1,174 @@
+// aars-lint — standalone static checker for ADL architectures and fault
+// scenarios.
+//
+// Usage:
+//   aars-lint [options] file.adl [more.adl ...] [storm.fault ...]
+//
+//   --json           machine-readable output (one JSON array, stable field
+//                    order, no timing) on stdout
+//   --strict         exit nonzero on warnings too
+//   --no-protocols   skip n-way protocol composition (large architectures)
+//   --max-states N   joint-state bound for protocol composition
+//
+// Files ending in .adl are parsed, validated and run through the whole-
+// architecture verifier.  Every other file is treated as a fault-scenario
+// text file; its host and link names are cross-checked against the most
+// recently compiled architecture on the command line (list the .adl before
+// its storms).  Diagnostics carry 1-based line numbers.
+//
+// Exit code: 0 clean, 1 diagnostics found (errors; warnings too under
+// --strict), 2 usage or I/O failure.  Timing goes to stderr so --json
+// output stays byte-stable for CI diffing.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adl/parser.h"
+#include "adl/validator.h"
+#include "analysis/architecture.h"
+#include "analysis/diagnostics.h"
+#include "analysis/scenario_lint.h"
+#include "analysis/verifier.h"
+#include "util/strings.h"
+
+namespace {
+
+using aars::analysis::AnalysisReport;
+using aars::analysis::Severity;
+
+/// Pulls "line N" out of front-end error messages so parse failures keep
+/// clickable locations in lint output.
+int line_from_message(const std::string& message) {
+  const auto pos = message.find("line ");
+  if (pos == std::string::npos) return 0;
+  return std::atoi(message.c_str() + pos + 5);
+}
+
+bool ends_with_adl(const std::string& path) {
+  return aars::util::ends_with(path, ".adl");
+}
+
+AnalysisReport lint_adl_file(
+    const std::string& text,
+    const aars::analysis::VerifierOptions& options,
+    std::optional<aars::analysis::ArchitectureModel>& last_model) {
+  AnalysisReport report;
+  auto parsed = aars::adl::parse(text);
+  if (!parsed.ok()) {
+    report.add(Severity::kError, "parse-error", "",
+               parsed.error().message(),
+               line_from_message(parsed.error().message()));
+    return report;
+  }
+  auto compiled = aars::adl::validate(std::move(parsed).value());
+  if (!compiled.ok()) {
+    report.add(Severity::kError, "validate-error", "",
+               compiled.error().message(),
+               line_from_message(compiled.error().message()));
+    return report;
+  }
+  const aars::analysis::ArchitectureModel model =
+      aars::analysis::model_from(compiled.value());
+  report = aars::analysis::verify_architecture(model, options);
+  last_model = model;
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  aars::analysis::VerifierOptions options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--no-protocols") {
+      options.check_protocols = false;
+    } else if (arg == "--max-states") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aars-lint: --max-states needs a value\n");
+        return 2;
+      }
+      options.max_states = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: aars-lint [--json] [--strict] [--no-protocols] "
+                   "[--max-states N] file.adl [storm.fault ...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "aars-lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "aars-lint: no input files (try --help)\n");
+    return 2;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  std::optional<aars::analysis::ArchitectureModel> last_model;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t states = 0;
+  std::string json_out = "[";
+  bool first_json = true;
+
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "aars-lint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    AnalysisReport report;
+    if (ends_with_adl(path)) {
+      report = lint_adl_file(text, options, last_model);
+    } else if (last_model.has_value()) {
+      report = aars::analysis::lint_scenario(text, *last_model);
+    } else {
+      report = aars::analysis::lint_scenario(text);
+    }
+    errors += report.errors();
+    warnings += report.warnings();
+    states += report.states_explored;
+
+    if (json) {
+      if (!first_json) json_out += ",";
+      first_json = false;
+      json_out += aars::analysis::render_json(report, path);
+    } else {
+      std::fputs(aars::analysis::render_text(report, path).c_str(), stdout);
+    }
+  }
+
+  if (json) {
+    json_out += "]";
+    std::printf("%s\n", json_out.c_str());
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+  std::fprintf(stderr,
+               "aars-lint: %zu file(s), %zu error(s), %zu warning(s), "
+               "%zu joint state(s) explored, %lld us\n",
+               files.size(), errors, warnings, states,
+               static_cast<long long>(elapsed.count()));
+  if (errors > 0) return 1;
+  if (strict && warnings > 0) return 1;
+  return 0;
+}
