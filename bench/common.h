@@ -6,6 +6,9 @@
 // the BENCH_*.json metrics dump.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -76,10 +79,53 @@ inline void banner(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
 }
 
+/// Wall-clock anchor for the perf section of BENCH_*.json. Set when
+/// enable_metrics() runs (every bench calls it from main() before the
+/// measured work), read when write_metrics_json() renders the report.
+inline std::chrono::steady_clock::time_point& perf_clock_start() {
+  static std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
 /// Turns on the process-wide metrics registry so the instrumented hot paths
 /// (event loop, connectors, channels, reconfiguration, RAML, QoS) record
 /// into it. Benches call this from main() before running.
-inline void enable_metrics() { obs::Registry::global().set_enabled(true); }
+inline void enable_metrics() {
+  obs::Registry::global().set_enabled(true);
+  perf_clock_start() = std::chrono::steady_clock::now();
+}
+
+/// Peak resident set size of this process in kilobytes (0 when the probe is
+/// unavailable).
+inline long peak_rss_kb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+/// Renders the cross-experiment perf section: wall-clock duration since
+/// enable_metrics(), simulated events executed (and the events/sec rate
+/// they translate to) and peak RSS.  Every bench gets this in its
+/// BENCH_*.json so the perf trajectory across PRs stays visible.
+inline std::string perf_section_json() {
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    perf_clock_start())
+          .count();
+  const std::uint64_t events =
+      obs::Registry::global().counter("sim.events_executed").value();
+  const double events_per_sec =
+      wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"perf\": {\"wall_seconds\": %.6f, "
+                "\"events_executed\": %llu, \"events_per_sec\": %.1f, "
+                "\"peak_rss_kb\": %ld}",
+                wall_seconds, static_cast<unsigned long long>(events),
+                events_per_sec, peak_rss_kb());
+  return buffer;
+}
 
 /// Reduces an experiment name to filesystem-safe characters so fault
 /// scenario names like `storm "a"/b` can never produce an invalid or
@@ -98,12 +144,18 @@ inline std::string sanitize_filename(const std::string& name) {
   return out;
 }
 
-/// Writes `BENCH_<experiment>.json` — the experiment name plus a "metrics"
-/// section rendering every counter/gauge/histogram and the trace ring (see
-/// EXPERIMENTS.md "Metrics & trace schema"). Call after the benchmarks ran.
-inline void write_metrics_json(const std::string& experiment) {
+/// Writes `BENCH_<experiment>.json` — the experiment name, a "perf" section
+/// (wall-clock, events/sec, peak RSS), any experiment-specific
+/// `extra_members` JSON fragment, and a "metrics" section rendering every
+/// counter/gauge/histogram and the trace ring (see EXPERIMENTS.md "Metrics
+/// & trace schema"). Call after the benchmarks ran.
+inline void write_metrics_json(const std::string& experiment,
+                               const std::string& extra_members = "") {
   const std::string path = "BENCH_" + sanitize_filename(experiment) + ".json";
-  if (obs::write_json_file(obs::Registry::global(), path, experiment)) {
+  std::string members = perf_section_json();
+  if (!extra_members.empty()) members += ", " + extra_members;
+  if (obs::write_json_file(obs::Registry::global(), path, experiment,
+                           members)) {
     std::printf("\nmetrics: wrote %s\n", path.c_str());
   } else {
     std::printf("\nmetrics: FAILED to write %s\n", path.c_str());

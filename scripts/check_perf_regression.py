@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare fresh BENCH_*.json numbers against the committed
+baseline in bench/baselines/e14.json.
+
+Usage:
+    check_perf_regression.py --build-dir build            # gate (CI)
+    check_perf_regression.py --build-dir build --update   # re-baseline
+
+The gate fails (exit 1) when any watched metric drops more than `tolerance`
+(default 20%) below its baseline. Improvements never fail; they print a note
+suggesting a re-baseline so the gate keeps teeth.
+
+Watched metrics and where they come from:
+    e14.sync0_ops_per_sec          BENCH_e14_throughput.json  throughput.sync[0].ops_per_sec
+    e14.queued0_msgs_per_sec       BENCH_e14_throughput.json  throughput.queued[0].msgs_per_sec
+    e14.event_loop_events_per_sec  BENCH_e14_throughput.json  throughput.event_loop.events_per_sec
+    e1.events_per_sec              BENCH_e1_connector_overhead.json  perf.events_per_sec
+
+Re-baselining is deliberate, not automatic: run with --update on an idle
+machine after an intentional perf change, review the diff, and commit the new
+baseline together with the change that moved it (see the _comment block in
+the baseline file).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "bench" / "baselines" / "e14.json"
+
+
+def read_metrics(build_dir: pathlib.Path) -> dict:
+    """Extract the watched metrics from the bench reports in build_dir."""
+    e14 = json.loads((build_dir / "BENCH_e14_throughput.json").read_text())
+    e1 = json.loads((build_dir / "BENCH_e1_connector_overhead.json").read_text())
+
+    def sync_at(n):
+        for row in e14["throughput"]["sync"]:
+            if row["interceptors"] == n:
+                return row
+        raise KeyError(f"no sync row with {n} interceptors")
+
+    def queued_at(n):
+        for row in e14["throughput"]["queued"]:
+            if row["interceptors"] == n:
+                return row
+        raise KeyError(f"no queued row with {n} interceptors")
+
+    return {
+        "e14.sync0_ops_per_sec": sync_at(0)["ops_per_sec"],
+        "e14.queued0_msgs_per_sec": queued_at(0)["msgs_per_sec"],
+        "e14.event_loop_events_per_sec": e14["throughput"]["event_loop"]["events_per_sec"],
+        "e1.events_per_sec": e1["perf"]["events_per_sec"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=pathlib.Path, default=pathlib.Path("build"),
+                        help="directory holding the fresh BENCH_*.json files")
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE,
+                        help="baseline JSON to gate against / rewrite")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the fresh numbers instead of gating")
+    args = parser.parse_args()
+
+    measured = read_metrics(args.build_dir)
+    baseline_doc = json.loads(args.baseline.read_text())
+
+    if args.update:
+        baseline_doc["metrics"] = {k: round(v, 1) for k, v in measured.items()}
+        args.baseline.write_text(json.dumps(baseline_doc, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        for key, value in measured.items():
+            print(f"  {key:32s} {value:>14,.1f}")
+        return 0
+
+    tolerance = float(baseline_doc.get("tolerance", 0.20))
+    failures = []
+    print(f"perf gate (tolerance {tolerance:.0%} below baseline):")
+    for key, base in baseline_doc["metrics"].items():
+        got = measured.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from bench output")
+            continue
+        floor = base * (1.0 - tolerance)
+        ratio = got / base if base else float("inf")
+        status = "ok"
+        if got < floor:
+            status = "FAIL"
+            failures.append(f"{key}: {got:,.0f} < floor {floor:,.0f} "
+                            f"({ratio:.2f}x of baseline {base:,.0f})")
+        elif ratio > 1.0 + tolerance:
+            status = "ok (improved; consider --update)"
+        print(f"  {key:32s} {got:>14,.1f}  baseline {base:>14,.1f}  "
+              f"{ratio:>5.2f}x  {status}")
+
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("\nIf this drop is intentional, re-baseline (see bench/baselines/e14.json).",
+              file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ Pointcut Pointcut::operation(std::string name) {
 
 Pointcut Pointcut::operation_prefix(std::string prefix) {
   return Pointcut{[prefix = std::move(prefix)](const Message& m) {
-    return util::starts_with(m.operation, prefix);
+    return util::starts_with(m.operation.str(), prefix);
   }};
 }
 

@@ -1,5 +1,7 @@
 #include "component/component.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -16,11 +18,14 @@ Component::Component(std::string type_name, std::string instance_name)
 std::vector<std::string> Component::operations() const {
   std::vector<std::string> out;
   out.reserve(operations_.size());
-  for (const auto& [name, entry] : operations_) out.push_back(name);
+  for (const auto& [name, entry] : operations_) out.push_back(name.str());
+  // The table hashes interned pointers, so iteration order depends on
+  // interning history; sort for deterministic introspection output.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-double Component::work_cost(const std::string& operation) const {
+double Component::work_cost(util::Symbol operation) const {
   auto it = operations_.find(operation);
   return it == operations_.end() ? 0.0 : it->second.work_cost;
 }
@@ -78,28 +83,27 @@ Status Component::remove() {
   return Status::success();
 }
 
-void Component::register_operation(const std::string& operation,
-                                   double work_cost,
+void Component::register_operation(util::Symbol operation, double work_cost,
                                    OperationHandler handler) {
   util::require(static_cast<bool>(handler), "operation handler required");
   util::require(work_cost >= 0.0, "work cost must be non-negative");
   operations_[operation] = OperationEntry{std::move(handler), work_cost};
 }
 
-Status Component::replace_operation(const std::string& operation,
+Status Component::replace_operation(util::Symbol operation,
                                     OperationHandler handler,
                                     double work_cost) {
   auto it = operations_.find(operation);
   if (it == operations_.end()) {
     return Error{ErrorCode::kNotFound,
-                 instance_name_ + ": no operation '" + operation + "'"};
+                 instance_name_ + ": no operation '" + operation.str() + "'"};
   }
   it->second = OperationEntry{std::move(handler), work_cost};
   return Status::success();
 }
 
 Component::OperationHandler Component::operation_handler(
-    const std::string& operation) const {
+    util::Symbol operation) const {
   auto it = operations_.find(operation);
   return it == operations_.end() ? OperationHandler{} : it->second.handler;
 }
@@ -121,21 +125,25 @@ Result<Value> Component::handle(const Message& message) {
   if (it == operations_.end()) {
     return finish(Error{ErrorCode::kNotFound,
                         instance_name_ + ": no operation '" +
-                            message.operation + "'"});
+                            message.operation.str() + "'"});
   }
-  if (const ServiceSignature* sig = provided_.find(message.operation)) {
-    if (Status s = sig->validate_args(message.payload); !s.ok()) {
+  OperationEntry& entry = it->second;
+  if (!entry.signature_resolved) {
+    entry.signature = provided_.find(message.operation);
+    entry.signature_resolved = true;
+  }
+  if (entry.signature != nullptr) {
+    if (Status s = entry.signature->validate_args(message.payload); !s.ok()) {
       return finish(s.error());
     }
   }
   begin_activity();
-  Result<Value> result = it->second.handler(message.payload);
+  Result<Value> result = entry.handler(message.payload);
   end_activity();
   return finish(std::move(result));
 }
 
-Result<Value> Component::call(const std::string& port,
-                              const std::string& operation,
+Result<Value> Component::call(const std::string& port, util::Symbol operation,
                               const Value& args) {
   if (!sender_) {
     return Error{ErrorCode::kUnavailable,

@@ -21,12 +21,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "component/interface.h"
 #include "component/message.h"
 #include "util/errors.h"
 #include "util/ids.h"
+#include "util/symbol.h"
 #include "util/value.h"
 
 namespace aars::component {
@@ -78,7 +80,7 @@ class Component {
   /// Outgoing call gate, installed by the runtime when the component is
   /// bound. Arguments: (port, operation, args).
   using Sender = std::function<Result<util::Value>(
-      const std::string&, const std::string&, const util::Value&)>;
+      const std::string&, util::Symbol, const util::Value&)>;
   /// Observation hook for the meta-level: fired around every handled
   /// message (introspection without intercession).
   using Observer = std::function<void(const Message&,
@@ -102,7 +104,7 @@ class Component {
   /// Operation names currently dispatchable (reflects runtime edits).
   std::vector<std::string> operations() const;
   /// Work units charged for one invocation of `operation` (sim cost).
-  double work_cost(const std::string& operation) const;
+  double work_cost(util::Symbol operation) const;
 
   // --- lifecycle ------------------------------------------------------------
   Status initialize(const util::Value& attributes);
@@ -135,11 +137,11 @@ class Component {
   // --- meta-protocol (intercession on the operation table) -------------------
   /// Replaces an operation handler at run-time. The operation must exist in
   /// the provided interface (the interface itself does not change).
-  Status replace_operation(const std::string& operation,
-                           OperationHandler handler, double work_cost);
+  Status replace_operation(util::Symbol operation, OperationHandler handler,
+                           double work_cost);
   /// Returns a copy of the current handler (empty when unknown); used by
   /// the meta-protocol to wrap/refine base-level executions.
-  OperationHandler operation_handler(const std::string& operation) const;
+  OperationHandler operation_handler(util::Symbol operation) const;
   /// Registers an observer fired after every handled message.
   void observe(Observer observer) { observers_.push_back(std::move(observer)); }
   std::size_t observer_count() const { return observers_.size(); }
@@ -153,18 +155,21 @@ class Component {
   /// Declares the provided interface. Call from the constructor.
   void set_provided(InterfaceDescription interface) {
     provided_ = std::move(interface);
+    for (auto& [name, entry] : operations_) {
+      entry.signature = nullptr;
+      entry.signature_resolved = false;
+    }
   }
   /// Declares a required port. Call from the constructor.
   void add_required(RequiredPort port) {
     required_.push_back(std::move(port));
   }
   /// Registers an operation handler with its simulated work cost.
-  void register_operation(const std::string& operation, double work_cost,
+  void register_operation(util::Symbol operation, double work_cost,
                           OperationHandler handler);
 
   /// Makes an outgoing call through a required port.
-  Result<util::Value> call(const std::string& port,
-                           const std::string& operation,
+  Result<util::Value> call(const std::string& port, util::Symbol operation,
                            const util::Value& args);
 
   /// Subclass hooks.
@@ -191,6 +196,12 @@ class Component {
   struct OperationEntry {
     OperationHandler handler;
     double work_cost = 1.0;
+    /// Cached signature lookup (nullptr = operation not in the provided
+    /// interface). Resolved lazily on first dispatch; set_provided()
+    /// invalidates. Map nodes are stable, so the pointer stays valid until
+    /// the interface is replaced wholesale.
+    const ServiceSignature* signature = nullptr;
+    bool signature_resolved = false;
   };
 
   ComponentId id_;
@@ -199,7 +210,11 @@ class Component {
   LifecycleState lifecycle_ = LifecycleState::kCreated;
   InterfaceDescription provided_;
   std::vector<RequiredPort> required_;
-  std::map<std::string, OperationEntry> operations_;
+  /// Keyed by interned name: dispatch is one pointer-hash probe, no string
+  /// comparison.  Iteration order is pointer-dependent, so introspection
+  /// (operations()) sorts before returning.
+  std::unordered_map<util::Symbol, OperationEntry, util::SymbolHash>
+      operations_;
   std::vector<Observer> observers_;
   Sender sender_;
   util::Value attributes_;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "util/ids.h"
+#include "util/symbol.h"
 #include "util/time.h"
 #include "util/value.h"
 
@@ -37,16 +38,20 @@ constexpr const char* to_string(MessageKind kind) {
 }
 
 /// A single message. Value semantics: interceptors copy & transform freely.
+/// Operation and port names are interned (util::Symbol), so copying a
+/// message through an interceptor chain copies two pointers, not strings;
+/// combined with copy-on-write Value payloads a Message copy never touches
+/// the heap.
 struct Message {
   MessageId id;
   MessageKind kind = MessageKind::kRequest;
-  std::string operation;
+  util::Symbol operation;
   Value payload;
   Value headers;  // metadata added by filters/injectors/middleware
 
   ComponentId sender;
   ComponentId target;
-  std::string target_port;  // required-port name on the sender side
+  util::Symbol target_port;  // required-port name on the sender side
 
   std::uint64_t sequence = 0;     // per-channel sequence number
   MessageId correlation;          // for responses: the request id
@@ -61,6 +66,15 @@ struct Message {
 
 /// Builds a response carrying `result` for `request`.
 Message make_response(const Message& request, Value result);
+
+/// Byte footprint of the message make_response(request, result) would
+/// produce, without materialising it — relay paths charge the response trip
+/// before the payload exists. Keep in sync with make_response() and
+/// Message::byte_size() (a response starts with empty headers: 1 byte).
+inline std::size_t response_byte_size(const Message& request,
+                                      const Value& result) {
+  return 64 + request.operation.size() + result.byte_size() + 1;
+}
 
 /// Builds an error response; the payload carries {"error": code_name,
 /// "message": text} so failures can cross component boundaries as data.

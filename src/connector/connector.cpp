@@ -7,6 +7,21 @@ namespace aars::connector {
 using util::Error;
 using util::ErrorCode;
 
+namespace {
+
+/// True when `provider` appears on a "__route_avoid" header list.
+bool route_avoided(const util::Value& avoid, ComponentId provider) {
+  for (const util::Value& entry : avoid.as_list()) {
+    if (entry.is_int() &&
+        static_cast<std::uint64_t>(entry.as_int()) == provider.raw()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 Connector::Connector(ConnectorId id, ConnectorSpec spec)
     : id_(id), spec_(std::move(spec)) {
   util::require(!spec_.name.empty(), "connector name required");
@@ -42,8 +57,12 @@ Status Connector::remove_provider(ComponentId provider) {
   const std::size_t index =
       static_cast<std::size_t>(std::distance(providers_.begin(), it));
   providers_.erase(it);
+  // Keep the cursor on the provider that was due next: removing an entry
+  // before the cursor shifts everything after it down one; removing the due
+  // entry itself (or anything after it) leaves the index of the next
+  // survivor unchanged.  Wrap when the cursor falls off the end.
   if (round_robin_next_ > index) --round_robin_next_;
-  if (!providers_.empty()) round_robin_next_ %= providers_.size();
+  if (round_robin_next_ >= providers_.size()) round_robin_next_ = 0;
   return Status::success();
 }
 
@@ -61,43 +80,63 @@ Result<ComponentId> Connector::select_target(const Message& message,
   // providers that already failed; prefer any provider not on it.  When the
   // list covers every provider, fall back to normal selection — avoiding
   // everything would turn a degraded service into an unavailable one.
-  std::vector<ComponentId> candidates = providers_;
+  // The unfiltered case (virtually every message) selects straight from
+  // providers_ — no candidate vector is materialised on the hot path.
+  const util::Value* avoid = nullptr;
   if (message.headers.contains(component::kHeaderRouteAvoid)) {
-    const util::Value& avoid =
+    const util::Value& header =
         message.headers.at(component::kHeaderRouteAvoid);
-    if (avoid.is_list()) {
-      std::vector<ComponentId> kept;
+    if (header.is_list()) {
+      bool any_allowed = false;
       for (ComponentId provider : providers_) {
-        bool avoided = false;
-        for (const util::Value& entry : avoid.as_list()) {
-          if (entry.is_int() &&
-              static_cast<std::uint64_t>(entry.as_int()) == provider.raw()) {
-            avoided = true;
-            break;
-          }
+        if (!route_avoided(header, provider)) {
+          any_allowed = true;
+          break;
         }
-        if (!avoided) kept.push_back(provider);
       }
-      if (!kept.empty()) candidates = std::move(kept);
+      if (any_allowed) avoid = &header;
     }
   }
+  const auto allowed = [&](ComponentId provider) {
+    return avoid == nullptr || !route_avoided(*avoid, provider);
+  };
   switch (spec_.routing) {
-    case RoutingPolicy::kDirect:
-      return candidates.front();
+    case RoutingPolicy::kDirect: {
+      for (ComponentId provider : providers_) {
+        if (allowed(provider)) return provider;
+      }
+      return providers_.front();
+    }
     case RoutingPolicy::kRoundRobin: {
-      const ComponentId target =
-          candidates[round_robin_next_ % candidates.size()];
-      round_robin_next_ = (round_robin_next_ + 1) % providers_.size();
-      return target;
+      // Scan from the cursor for the next allowed provider, then park the
+      // cursor just past the pick.  Indexing a filtered pool with the
+      // providers_-based cursor (as this used to do) skewed the rotation:
+      // a filtered pick could repeat the same provider on the next
+      // unfiltered call while another provider lost its turn.
+      for (std::size_t step = 0; step < providers_.size(); ++step) {
+        const std::size_t i =
+            (round_robin_next_ + step) % providers_.size();
+        if (allowed(providers_[i])) {
+          round_robin_next_ = (i + 1) % providers_.size();
+          return providers_[i];
+        }
+      }
+      return providers_[round_robin_next_];
     }
     case RoutingPolicy::kLeastBacklog: {
-      if (!probe) return candidates.front();
-      ComponentId best = candidates.front();
-      std::int64_t best_backlog = probe(best);
-      for (std::size_t i = 1; i < candidates.size(); ++i) {
-        const std::int64_t backlog = probe(candidates[i]);
+      ComponentId best;
+      std::int64_t best_backlog = 0;
+      for (ComponentId provider : providers_) {
+        if (!allowed(provider)) continue;
+        if (!best.valid()) {
+          best = provider;
+          if (!probe) return best;
+          best_backlog = probe(best);
+          continue;
+        }
+        const std::int64_t backlog = probe(provider);
         if (backlog < best_backlog) {
-          best = candidates[i];
+          best = provider;
           best_backlog = backlog;
         }
       }
@@ -129,6 +168,7 @@ Status Connector::attach_interceptor(std::shared_ptr<Interceptor> interceptor,
                      }
                      return a.order < b.order;
                    });
+  rebuild_chain();
   return Status::success();
 }
 
@@ -136,11 +176,20 @@ Status Connector::detach_interceptor(const std::string& name_to_remove) {
   for (auto it = interceptors_.begin(); it != interceptors_.end(); ++it) {
     if (it->interceptor->name() == name_to_remove) {
       interceptors_.erase(it);
+      rebuild_chain();
       return Status::success();
     }
   }
   return Error{ErrorCode::kNotFound,
                name() + ": interceptor '" + name_to_remove + "' not attached"};
+}
+
+void Connector::rebuild_chain() {
+  chain_.clear();
+  chain_.reserve(interceptors_.size());
+  for (const Slot& slot : interceptors_) {
+    chain_.push_back(slot.interceptor.get());
+  }
 }
 
 std::vector<std::string> Connector::interceptor_names() const {
@@ -157,9 +206,9 @@ Interceptor::Verdict Connector::run_before(Message& request,
                                            std::size_t* seen_out) {
   Interceptor::Verdict verdict = Interceptor::Verdict::kPass;
   std::size_t seen = 0;
-  for (const Slot& slot : interceptors_) {
+  for (Interceptor* interceptor : chain_) {
     ++seen;
-    verdict = slot.interceptor->before(request, reply_out);
+    verdict = interceptor->before(request, reply_out);
     if (verdict != Interceptor::Verdict::kPass) break;
   }
   if (seen_out != nullptr) *seen_out = seen;
@@ -176,8 +225,8 @@ void Connector::run_after(const Message& request, Result<Value>& reply,
   // Unwind only the prefix that saw the request: when run_before stopped
   // early (kBlock/kHandled), interceptors past the stopping point never ran
   // and must not see the reply either.
-  for (std::size_t i = std::min(seen, interceptors_.size()); i-- > 0;) {
-    interceptors_[i].interceptor->after(request, reply);
+  for (std::size_t i = std::min(seen, chain_.size()); i-- > 0;) {
+    chain_[i]->after(request, reply);
   }
 }
 

@@ -158,10 +158,16 @@ class Connector {
     std::shared_ptr<Interceptor> interceptor;
   };
 
+  /// Refreshes chain_ from interceptors_ (call after any attach/detach).
+  void rebuild_chain();
+
   ConnectorId id_;
   ConnectorSpec spec_;
   std::vector<ComponentId> providers_;
   std::vector<Slot> interceptors_;
+  /// Priority-sorted raw view of interceptors_, rebuilt on attach/detach so
+  /// the per-message request/reply walk touches a flat pointer array.
+  std::vector<Interceptor*> chain_;
   std::size_t round_robin_next_ = 0;
   std::uint64_t attach_counter_ = 0;
   std::uint64_t relayed_ = 0;

@@ -122,13 +122,14 @@ std::string to_json(const Registry& registry, int indent) {
 }
 
 bool write_json_file(const Registry& registry, const std::string& path,
-                     const std::string& experiment) {
+                     const std::string& experiment,
+                     const std::string& extra_members) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  const std::string body = "{\n  \"experiment\": \"" +
-                           json_escape(experiment) +
-                           "\",\n  \"metrics\": " + to_json(registry, 2) +
-                           "\n}\n";
+  std::string body = "{\n  \"experiment\": \"" + json_escape(experiment) +
+                     "\",\n";
+  if (!extra_members.empty()) body += "  " + extra_members + ",\n";
+  body += "  \"metrics\": " + to_json(registry, 2) + "\n}\n";
   const std::size_t written =
       std::fwrite(body.data(), 1, body.size(), file);
   std::fclose(file);

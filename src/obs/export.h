@@ -31,10 +31,14 @@ std::string json_escape(const std::string& raw);
 /// inside a larger document; the first line carries no indent.
 std::string to_json(const Registry& registry, int indent = 0);
 
-/// Writes `{"experiment": <name>, "metrics": <to_json(registry)>}` to
-/// `path`. Returns false (and leaves no partial file guarantees) when the
-/// file cannot be opened.
+/// Writes `{"experiment": <name>, <extra_members,> "metrics":
+/// <to_json(registry)>}` to `path`. `extra_members`, when non-empty, is a
+/// pre-rendered JSON fragment of additional top-level members (no leading
+/// or trailing comma), e.g. `"perf": {...}` — bench/common.h uses it for
+/// the wall-clock/events-per-sec/RSS section. Returns false (and leaves no
+/// partial file guarantees) when the file cannot be opened.
 bool write_json_file(const Registry& registry, const std::string& path,
-                     const std::string& experiment);
+                     const std::string& experiment,
+                     const std::string& extra_members = "");
 
 }  // namespace aars::obs

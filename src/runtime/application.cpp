@@ -27,7 +27,34 @@ Application::Application(sim::EventLoop& loop, sim::Network& network,
   obs::Registry& reg = obs::Registry::global();
   obs_calls_ = &reg.counter("runtime.calls");
   obs_failed_calls_ = &reg.counter("runtime.failed_calls");
+  obs_retries_ = &reg.counter("runtime.retries");
+  obs_retry_exhausted_ = &reg.counter("runtime.retry_exhausted");
+  obs_call_timeout_ = &reg.counter("runtime.call_timeout");
   obs_call_latency_ = &reg.histogram("runtime.call_latency_us");
+  load_probe_ = [this](ComponentId provider) -> std::int64_t {
+    const NodeId node = placement(provider);
+    if (!node.valid()) return std::numeric_limits<std::int64_t>::max();
+    return network_.node(node).backlog(loop_.now());
+  };
+}
+
+Application::RelayContext* Application::acquire_relay_context() {
+  if (relay_free_.empty()) {
+    relay_contexts_.push_back(std::make_unique<RelayContext>());
+    return relay_contexts_.back().get();
+  }
+  RelayContext* context = relay_free_.back();
+  relay_free_.pop_back();
+  return context;
+}
+
+void Application::release_relay_context(RelayContext* context) {
+  // Drop payload/callback references before parking so pooled contexts do
+  // not pin COW value trees or captured state between relays.
+  context->message = Message{};
+  context->callback = nullptr;
+  context->result = Value{};
+  relay_free_.push_back(context);
 }
 
 // --- construction -------------------------------------------------------------
@@ -72,6 +99,7 @@ Status Application::destroy(ComponentId id) {
     }
   }
   // Remove channels feeding it.
+  channel_memo_ = nullptr;
   for (auto chan_it = channels_.begin(); chan_it != channels_.end();) {
     if (chan_it->first.second == id) {
       chan_it = channels_.erase(chan_it);
@@ -121,6 +149,7 @@ Status Application::remove_connector(ConnectorId id) {
                    it->second->name() + ": channel traffic pending"};
     }
   }
+  channel_memo_ = nullptr;
   for (auto chan_it = channels_.begin(); chan_it != channels_.end();) {
     if (chan_it->first.first == id) {
       chan_it = channels_.erase(chan_it);
@@ -273,6 +302,9 @@ std::vector<Channel*> Application::channels_to(ComponentId provider) {
 
 Channel& Application::channel(ConnectorId connector, ComponentId provider) {
   const auto key = std::make_pair(connector, provider);
+  if (channel_memo_ != nullptr && channel_memo_key_ == key) {
+    return *channel_memo_;
+  }
   auto it = channels_.find(key);
   if (it == channels_.end()) {
     auto chan = std::make_unique<Channel>(channel_ids_.next(), connector,
@@ -282,7 +314,9 @@ Channel& Application::channel(ConnectorId connector, ComponentId provider) {
     }
     it = channels_.emplace(key, std::move(chan)).first;
   }
-  return *it->second;
+  channel_memo_key_ = key;
+  channel_memo_ = it->second.get();
+  return *channel_memo_;
 }
 
 // --- invocation ----------------------------------------------------------------
@@ -290,14 +324,6 @@ Channel& Application::channel(ConnectorId connector, ComponentId provider) {
 double Application::interceptor_work(const Connector& conn) const {
   return config_.interceptor_work *
          static_cast<double>(conn.interceptor_count());
-}
-
-connector::LoadProbe Application::load_probe() {
-  return [this](ComponentId provider) -> std::int64_t {
-    const NodeId node = placement(provider);
-    if (!node.valid()) return std::numeric_limits<std::int64_t>::max();
-    return network_.node(node).backlog(loop_.now());
-  };
 }
 
 namespace {
@@ -326,7 +352,7 @@ bool Application::maybe_schedule_retry(Connector& conn, const Message& message,
       message.headers.get_or(component::kHeaderRetryAttempt, 0).as_int();
   if (attempt >= budget) {
     ++retries_exhausted_;
-    obs::Registry::global().counter("runtime.retry_exhausted").inc();
+    obs_retry_exhausted_->inc();
     return false;
   }
   // Exponential backoff with a cap: base * 2^attempt, clamped.
@@ -353,7 +379,7 @@ bool Application::maybe_schedule_retry(Connector& conn, const Message& message,
   const ConnectorId conn_id = conn.id();
   ++pending_retries_;
   ++retries_scheduled_;
-  obs::Registry::global().counter("runtime.retries").inc();
+  obs_retries_->inc();
   loop_.schedule_after(backoff, [this, conn_id, retry, origin, callback,
                                  departed, error]() mutable {
     --pending_retries_;
@@ -394,7 +420,7 @@ Application::ResponseCallback Application::arm_timeout(
     if (*fired) return;
     *fired = true;
     ++calls_timed_out_;
-    obs::Registry::global().counter("runtime.call_timeout").inc();
+    obs_call_timeout_->inc();
     (*inner)(Error{ErrorCode::kTimeout, "deadline exceeded"}, deadline);
   });
   return [fired, inner](Result<Value> result, Duration latency) {
@@ -425,8 +451,7 @@ void Application::finish_call(Connector& conn, const Message& message,
   if (callback) callback(std::move(result), latency);
 }
 
-void Application::invoke_async(ConnectorId connector,
-                               const std::string& operation,
+void Application::invoke_async(ConnectorId connector, util::Symbol operation,
                                const Value& args, NodeId origin,
                                ResponseCallback callback,
                                const Value& headers) {
@@ -442,9 +467,9 @@ void Application::invoke_async(ConnectorId connector,
   relay_event_driven(*conn, std::move(message), origin, std::move(callback));
 }
 
-Status Application::send_event(ConnectorId connector,
-                               const std::string& operation, const Value& args,
-                               NodeId origin, const Value& headers) {
+Status Application::send_event(ConnectorId connector, util::Symbol operation,
+                               const Value& args, NodeId origin,
+                               const Value& headers) {
   Connector* conn = find_connector(connector);
   if (conn == nullptr) return Error{ErrorCode::kNotFound, "no such connector"};
   Message message;
@@ -486,78 +511,85 @@ void Application::relay_event_driven(Connector& conn, Message message,
   // once per logical call (retries share the original deadline).
   callback = arm_timeout(message, std::move(callback));
 
+  const SimTime departed = loop_.now();
   // Routing. Interceptors (injectors) may force a target via the
   // "__route_to" header, bypassing the connector's policy.
-  std::vector<ComponentId> targets;
   if (message.headers.contains("__route_to")) {
     const ComponentId forced{static_cast<std::uint64_t>(
         message.headers.at("__route_to").as_int())};
     if (find_component(forced) == nullptr) {
-      const SimTime departed = loop_.now();
       finish_call(conn, message,
                   Error{ErrorCode::kNotFound, "injected route target missing"},
                   origin, callback, departed);
       return;
     }
-    targets.push_back(forced);
-  } else if (conn.routing() == RoutingPolicy::kBroadcast) {
+    relay_to(conn, std::move(message), forced, origin, std::move(callback),
+             departed);
+    return;
+  }
+  if (conn.routing() == RoutingPolicy::kBroadcast) {
     if (message.kind == MessageKind::kRequest) {
-      const SimTime departed = loop_.now();
       finish_call(conn, message,
                   Error{ErrorCode::kInvalidArgument,
                         conn.name() + ": cannot request over broadcast"},
                   origin, callback, departed);
       return;
     }
-    targets = conn.broadcast_targets();
-    if (targets.empty()) return;
-  } else {
-    Result<ComponentId> target = conn.select_target(message, load_probe());
-    if (!target.ok()) {
-      const SimTime departed = loop_.now();
-      finish_call(conn, message, target.error(), origin, callback, departed);
-      return;
+    // Copy the target list: a hold-overflow reject can re-enter the
+    // connector while this loop runs.
+    const std::vector<ComponentId> targets = conn.broadcast_targets();
+    for (ComponentId target : targets) {
+      Message copy = message;
+      if (targets.size() > 1) copy.id = message_ids_.next();
+      relay_to(conn, std::move(copy), target, origin, callback, departed);
     }
-    targets.push_back(target.value());
+    return;
   }
+  Result<ComponentId> target = conn.select_target(message, load_probe());
+  if (!target.ok()) {
+    finish_call(conn, message, target.error(), origin, callback, departed);
+    return;
+  }
+  relay_to(conn, std::move(message), target.value(), origin,
+           std::move(callback), departed);
+}
 
-  const SimTime departed = loop_.now();
-  for (ComponentId target : targets) {
-    Message copy = message;
-    if (targets.size() > 1) copy.id = message_ids_.next();
-    copy.target = target;
-    Channel& chan = channel(conn.id(), target);
-    copy.sequence = chan.next_sequence();
-    if (chan.blocked()) {
-      Connector* conn_ptr = &conn;
-      Channel* chan_ptr = &chan;
-      HeldMessage held;
-      held.message = copy;
-      held.priority = static_cast<int>(component::message_priority(copy));
-      held.resume = [this, conn_ptr, chan_ptr, origin, callback,
-                     departed](Message replayed) {
-        deliver(*conn_ptr, *chan_ptr, std::move(replayed), origin, callback,
-                departed);
-      };
-      held.reject = [this, conn_ptr, origin, callback,
-                     departed](Message rejected, util::Error error) {
-        finish_call(*conn_ptr, rejected, std::move(error), origin, callback,
-                    departed);
-      };
-      Status parked = chan.hold(std::move(held));
-      if (!parked.ok()) {
-        chan.record_drop();
-        if (callback) {
-          finish_call(conn, copy,
-                      Error{parked.error().code(),
-                            conn.name() + ": " + parked.error().message()},
-                      origin, callback, departed);
-        }
+void Application::relay_to(Connector& conn, Message message, ComponentId target,
+                           NodeId origin, ResponseCallback callback,
+                           SimTime departed) {
+  message.target = target;
+  Channel& chan = channel(conn.id(), target);
+  message.sequence = chan.next_sequence();
+  if (chan.blocked()) {
+    Connector* conn_ptr = &conn;
+    Channel* chan_ptr = &chan;
+    HeldMessage held;
+    held.message = message;
+    held.priority = static_cast<int>(component::message_priority(message));
+    held.resume = [this, conn_ptr, chan_ptr, origin, callback,
+                   departed](Message replayed) {
+      deliver(*conn_ptr, *chan_ptr, std::move(replayed), origin, callback,
+              departed);
+    };
+    held.reject = [this, conn_ptr, origin, callback,
+                   departed](Message rejected, util::Error error) {
+      finish_call(*conn_ptr, rejected, std::move(error), origin, callback,
+                  departed);
+    };
+    Status parked = chan.hold(std::move(held));
+    if (!parked.ok()) {
+      chan.record_drop();
+      if (callback) {
+        finish_call(conn, message,
+                    Error{parked.error().code(),
+                          conn.name() + ": " + parked.error().message()},
+                    origin, callback, departed);
       }
-      continue;
     }
-    deliver(conn, chan, copy, origin, callback, departed);
+    return;
   }
+  deliver(conn, chan, std::move(message), origin, std::move(callback),
+          departed);
 }
 
 void Application::deliver(Connector& conn, Channel& chan, Message message,
@@ -586,70 +618,86 @@ void Application::deliver(Connector& conn, Channel& chan, Message message,
     }
     return;
   }
-  Connector* conn_ptr = &conn;
-  Channel* chan_ptr = &chan;
-  loop_.schedule_after(transfer.delay, [this, conn_ptr, chan_ptr, message,
-                                        origin, callback, departed]() mutable {
-    Component* provider = find_component(message.target);
-    if (provider == nullptr) {
-      chan_ptr->record_drop();
-      chan_ptr->on_arrive();
-      if (callback) {
-        finish_call(*conn_ptr, message,
-                    Error{ErrorCode::kUnavailable, "provider removed"},
-                    origin, callback, departed);
-      }
-      return;
+  // From here the relay rides a pooled context: each hop schedules a
+  // {this, context} closure, small enough to stay inline in the event
+  // loop's slab.
+  RelayContext* context = acquire_relay_context();
+  context->message = std::move(message);
+  context->callback = std::move(callback);
+  context->origin = origin;
+  context->departed = departed;
+  context->conn = &conn;
+  context->chan = &chan;
+  loop_.schedule_after(transfer.delay,
+                       [this, context] { relay_arrive(context); });
+}
+
+void Application::relay_arrive(RelayContext* context) {
+  Component* provider = find_component(context->message.target);
+  if (provider == nullptr) {
+    context->chan->record_drop();
+    context->chan->on_arrive();
+    if (context->callback) {
+      finish_call(*context->conn, context->message,
+                  Error{ErrorCode::kUnavailable, "provider removed"},
+                  context->origin, context->callback, context->departed);
     }
-    // FIFO processing on the serving node: interception glue + operation,
-    // optionally scaled by the "__work_scale" header (quality-dependent
-    // work).
-    const NodeId node_id = placement(message.target);
-    sim::Node& node = network_.node(node_id);
-    double scale = 1.0;
-    if (message.headers.contains("__work_scale")) {
-      scale = message.headers.at("__work_scale").as_double();
-    }
-    const double work = interceptor_work(*conn_ptr) +
-                        provider->work_cost(message.operation) * scale;
-    const SimTime completion = node.execute(loop_.now(), work);
-    loop_.schedule_at(completion, [this, conn_ptr, chan_ptr, message, origin,
-                                   callback, departed, node_id]() mutable {
-      Component* provider = find_component(message.target);
-      // Handle before acknowledging arrival: drain waiters (the
-      // quiescence protocol) must only fire once the message's effect has
-      // been applied.
-      Result<Value> result =
-          provider == nullptr
-              ? Result<Value>(
-                    Error{ErrorCode::kUnavailable, "provider removed"})
-              : provider->handle(message);
-      chan_ptr->record_delivery(message.sequence);
-      chan_ptr->record_delay(loop_.now() - message.sent_at);
-      chan_ptr->on_arrive();
-      if (message.kind != MessageKind::kRequest) {
-        finish_call(*conn_ptr, message, std::move(result), origin, nullptr,
-                    departed);
-        return;
-      }
-      // Response trip back to the origin.
-      const Message response = component::make_response(message, Value{});
-      const sim::TransferOutcome back = network_.transfer(
-          node_id, origin, response.byte_size(), rng_);
-      const Duration back_delay = back.delivered ? back.delay : 0;
-      loop_.schedule_after(back_delay, [this, conn_ptr, message, origin,
-                                        callback, departed,
-                                        result = std::move(result)]() mutable {
-        conn_ptr->run_after(message, result);
-        finish_call(*conn_ptr, message, std::move(result), origin, callback,
-                    departed);
-      });
-    });
-  });
+    release_relay_context(context);
+    return;
+  }
+  // FIFO processing on the serving node: interception glue + operation,
+  // optionally scaled by the "__work_scale" header (quality-dependent
+  // work).
+  const NodeId node_id = placement(context->message.target);
+  sim::Node& node = network_.node(node_id);
+  double scale = 1.0;
+  if (context->message.headers.contains("__work_scale")) {
+    scale = context->message.headers.at("__work_scale").as_double();
+  }
+  const double work = interceptor_work(*context->conn) +
+                      provider->work_cost(context->message.operation) * scale;
+  const SimTime completion = node.execute(loop_.now(), work);
+  context->node_id = node_id;
+  loop_.schedule_at(completion, [this, context] { relay_execute(context); });
+}
+
+void Application::relay_execute(RelayContext* context) {
+  Component* provider = find_component(context->message.target);
+  // Handle before acknowledging arrival: drain waiters (the
+  // quiescence protocol) must only fire once the message's effect has
+  // been applied.
+  Result<Value> result =
+      provider == nullptr
+          ? Result<Value>(Error{ErrorCode::kUnavailable, "provider removed"})
+          : provider->handle(context->message);
+  context->chan->record_delivery(context->message.sequence);
+  context->chan->record_delay(loop_.now() - context->message.sent_at);
+  context->chan->on_arrive();
+  if (context->message.kind != MessageKind::kRequest) {
+    finish_call(*context->conn, context->message, std::move(result),
+                context->origin, nullptr, context->departed);
+    release_relay_context(context);
+    return;
+  }
+  // Response trip back to the origin.
+  const sim::TransferOutcome back = network_.transfer(
+      context->node_id, context->origin,
+      component::response_byte_size(context->message, Value{}), rng_);
+  const Duration back_delay = back.delivered ? back.delay : 0;
+  context->result = std::move(result);
+  loop_.schedule_after(back_delay,
+                       [this, context] { relay_respond(context); });
+}
+
+void Application::relay_respond(RelayContext* context) {
+  context->conn->run_after(context->message, context->result);
+  finish_call(*context->conn, context->message, std::move(context->result),
+              context->origin, context->callback, context->departed);
+  release_relay_context(context);
 }
 
 Application::CallOutcome Application::invoke_sync(ConnectorId connector,
-                                                  const std::string& operation,
+                                                  util::Symbol operation,
                                                   const Value& args,
                                                   NodeId origin) {
   Connector* conn = find_connector(connector);
@@ -736,9 +784,9 @@ Application::CallOutcome Application::invoke_sync(ConnectorId connector,
   chan.record_delay(latency);
 
   Result<Value> result = provider->handle(message);
-  const Message response = component::make_response(message, Value{});
-  const sim::TransferOutcome back_trip =
-      network_.transfer(target_node, origin, response.byte_size(), rng_);
+  const sim::TransferOutcome back_trip = network_.transfer(
+      target_node, origin, component::response_byte_size(message, Value{}),
+      rng_);
   if (back_trip.delivered) latency += back_trip.delay;
   conn->run_after(message, result);
 
@@ -754,7 +802,7 @@ Application::CallOutcome Application::invoke_sync(ConnectorId connector,
 }
 
 Application::CallOutcome Application::invoke_component(
-    ComponentId target, const std::string& operation, const Value& args,
+    ComponentId target, util::Symbol operation, const Value& args,
     NodeId origin) {
   Component* provider = find_component(target);
   if (provider == nullptr) {
@@ -792,7 +840,7 @@ Application::CallOutcome Application::invoke_component(
 }
 
 component::Component::Sender Application::make_sender(ComponentId caller) {
-  return [this, caller](const std::string& port, const std::string& operation,
+  return [this, caller](const std::string& port, util::Symbol operation,
                         const Value& args) -> Result<Value> {
     const ConnectorId conn_id = binding(caller, port);
     if (!conn_id.valid()) {
@@ -885,6 +933,7 @@ Status Application::redirect(ComponentId from, ComponentId to) {
     }
   }
   // Re-key channels so sequence/audit state carries over.
+  channel_memo_ = nullptr;
   std::vector<std::pair<ConnectorId, ComponentId>> to_move;
   for (const auto& [key, chan] : channels_) {
     if (key.second == from) to_move.push_back(key);

@@ -31,6 +31,7 @@
 #include "util/errors.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/symbol.h"
 
 namespace aars::runtime {
 
@@ -51,7 +52,7 @@ using util::Value;
 struct CallRecord {
   ConnectorId connector;
   ComponentId provider;
-  std::string operation;
+  util::Symbol operation;
   util::Duration latency = 0;
   bool ok = true;
   util::SimTime completed_at = 0;
@@ -123,11 +124,11 @@ class Application {
   /// event-driven. The callback fires when the response returns to origin.
   /// `headers` seeds the message metadata (e.g. "__work_scale" multiplies
   /// the provider's operation cost — used for quality-dependent work).
-  void invoke_async(ConnectorId connector, const std::string& operation,
+  void invoke_async(ConnectorId connector, util::Symbol operation,
                     const Value& args, NodeId origin,
                     ResponseCallback callback, const Value& headers = {});
   /// One-way event from an external origin through `connector`.
-  Status send_event(ConnectorId connector, const std::string& operation,
+  Status send_event(ConnectorId connector, util::Symbol operation,
                     const Value& args, NodeId origin,
                     const Value& headers = {});
   /// Immediate call used for nested component-to-component invocations and
@@ -136,12 +137,11 @@ class Application {
     Result<Value> result;
     util::Duration latency = 0;
   };
-  CallOutcome invoke_sync(ConnectorId connector, const std::string& operation,
+  CallOutcome invoke_sync(ConnectorId connector, util::Symbol operation,
                           const Value& args, NodeId origin);
   /// Direct component invocation bypassing connectors (test/administration
   /// entry point); still charges network and node costs.
-  CallOutcome invoke_component(ComponentId target,
-                               const std::string& operation,
+  CallOutcome invoke_component(ComponentId target, util::Symbol operation,
                                const Value& args, NodeId origin);
 
   // --- management (intercession primitives) -------------------------------------
@@ -192,15 +192,40 @@ class Application {
     }
   };
 
+  /// Pooled per-relay state for the event-driven path.  The message,
+  /// callback and bookkeeping ride one recycled context through the hop
+  /// chain (arrive → execute → respond), so each hop's closure captures two
+  /// pointers and stays inline in the event loop's slab — no per-message
+  /// heap traffic in steady state.
+  struct RelayContext {
+    Message message;
+    ResponseCallback callback;
+    NodeId origin;
+    NodeId node_id;
+    util::SimTime departed = 0;
+    Connector* conn = nullptr;
+    Channel* chan = nullptr;
+    Result<Value> result{Value{}};
+  };
+  RelayContext* acquire_relay_context();
+  void release_relay_context(RelayContext* context);
+
   /// Shared relay used by invoke_async/send_event: applies interceptors,
   /// routing, channel state and schedules delivery events. When `callback`
   /// is empty the message is one-way.
   void relay_event_driven(Connector& conn, Message message, NodeId origin,
                           ResponseCallback callback);
+  /// Stamps target/sequence and either parks the message (blocked channel)
+  /// or starts the delivery chain.
+  void relay_to(Connector& conn, Message message, ComponentId target,
+                NodeId origin, ResponseCallback callback,
+                util::SimTime departed);
   void deliver(Connector& conn, Channel& chan, Message message, NodeId origin,
                ResponseCallback callback, util::SimTime departed);
-  Result<Value> handle_at_provider(Connector& conn, Component& provider,
-                                   Message& message);
+  /// Delivery-chain hops (each scheduled as a {this, context} closure).
+  void relay_arrive(RelayContext* context);
+  void relay_execute(RelayContext* context);
+  void relay_respond(RelayContext* context);
   void finish_call(Connector& conn, const Message& message,
                    Result<Value> result, NodeId origin,
                    const ResponseCallback& callback, util::SimTime departed);
@@ -215,7 +240,7 @@ class Application {
   /// "__timeout_us" header; the loser of the race (completion vs. deadline)
   /// is suppressed.
   ResponseCallback arm_timeout(Message& message, ResponseCallback callback);
-  connector::LoadProbe load_probe();
+  const connector::LoadProbe& load_probe() const { return load_probe_; }
   component::Component::Sender make_sender(ComponentId caller);
   double interceptor_work(const Connector& conn) const;
 
@@ -236,6 +261,16 @@ class Application {
   std::map<BindingKey, ConnectorId> bindings_;
   std::map<std::pair<ConnectorId, ComponentId>, std::unique_ptr<Channel>>
       channels_;
+  /// One-entry memo for channel(): steady-state relays hit the same
+  /// (connector, provider) pair repeatedly. Invalidated wherever channels_
+  /// erases or re-keys entries (destroy, remove_connector, redirect).
+  std::pair<ConnectorId, ComponentId> channel_memo_key_;
+  Channel* channel_memo_ = nullptr;
+  /// Relay-context freelist. Contexts are owned by relay_contexts_ (stable
+  /// addresses); relay_free_ holds the recyclable ones.
+  std::vector<std::unique_ptr<RelayContext>> relay_contexts_;
+  std::vector<RelayContext*> relay_free_;
+  connector::LoadProbe load_probe_;
   std::vector<CallListener> listeners_;
   std::uint64_t total_calls_ = 0;
   std::uint64_t failed_calls_ = 0;
@@ -245,8 +280,13 @@ class Application {
   std::uint64_t calls_timed_out_ = 0;
   util::IdGenerator<util::MessageId> message_ids_;
   // Observability mirrors (no-ops while the global registry is disabled).
+  // Pre-resolved at construction so no relay-path code pays a registry
+  // name lookup per message.
   obs::Counter* obs_calls_;
   obs::Counter* obs_failed_calls_;
+  obs::Counter* obs_retries_;
+  obs::Counter* obs_retry_exhausted_;
+  obs::Counter* obs_call_timeout_;
   obs::HistogramMetric* obs_call_latency_;
 };
 

@@ -49,6 +49,15 @@ util::Status Channel::hold(HeldMessage held) {
 
 bool Channel::audit_seen(std::uint64_t sequence) {
   if (sequence <= watermark_) return true;
+  // In-order traffic (the steady state) just bumps the watermark: no
+  // hashtable node churns per message.  Equivalent to the general path,
+  // which would insert `sequence` and immediately erase it while closing
+  // the frontier.
+  if (sequence == watermark_ + 1 && recent_.empty()) {
+    watermark_ = sequence;
+    max_seen_ = std::max(max_seen_, sequence);
+    return false;
+  }
   if (!recent_.insert(sequence).second) return true;
   max_seen_ = std::max(max_seen_, sequence);
   // Advance the contiguous delivered watermark, shedding entries as the

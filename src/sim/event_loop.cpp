@@ -5,17 +5,54 @@
 namespace aars::sim {
 
 EventLoop::EventLoop()
-    : obs_executed_(&obs::Registry::global().counter("sim.events_executed")),
+    : anchor_(std::make_shared<EventLoop*>(this)),
+      obs_executed_(&obs::Registry::global().counter("sim.events_executed")),
       obs_cancelled_(&obs::Registry::global().counter("sim.events_cancelled")),
       obs_queue_depth_(&obs::Registry::global().gauge("sim.queue_depth")) {}
+
+EventLoop::~EventLoop() { *anchor_ = nullptr; }
+
+std::uint32_t EventLoop::acquire_slot(Callback fn) {
+  std::uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.in_use = true;
+  slot.next_free = kNoSlot;
+  return index;
+}
+
+void EventLoop::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;
+  slot.in_use = false;
+  ++slot.generation;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventLoop::cancel_slot(std::uint32_t index, std::uint32_t generation) {
+  if (index >= slots_.size() || !slot_matches(index, generation)) return;
+  // The queue entry stays behind; its (slot, generation) no longer matches,
+  // so the pop loop skips it and decrements this count.
+  release_slot(index);
+  ++cancelled_in_queue_;
+}
 
 EventHandle EventLoop::schedule_at(SimTime at, Callback fn) {
   util::require(static_cast<bool>(fn), "scheduled callback must be callable");
   util::require(at >= now_, "cannot schedule an event in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+  const std::uint32_t index = acquire_slot(std::move(fn));
+  const std::uint32_t generation = slots_[index].generation;
+  queue_.push(Entry{at, next_seq_++, index, generation});
   obs_queue_depth_->set(static_cast<double>(queue_.size()));
-  return EventHandle{std::move(cancelled), cancelled_in_queue_};
+  return EventHandle{anchor_, index, generation};
 }
 
 EventHandle EventLoop::schedule_after(Duration delay, Callback fn) {
@@ -25,24 +62,25 @@ EventHandle EventLoop::schedule_after(Duration delay, Callback fn) {
 
 bool EventLoop::pop_and_run() {
   while (!queue_.empty()) {
-    Entry entry = queue_.top();
+    const Entry entry = queue_.top();
     queue_.pop();
     obs_queue_depth_->set(static_cast<double>(queue_.size()));
-    if (*entry.cancelled) {
-      --*cancelled_in_queue_;
+    if (!slot_matches(entry.slot, entry.generation)) {
+      --cancelled_in_queue_;
       obs_cancelled_->inc();
       continue;
     }
     now_ = entry.at;
     ++executed_;
-    // Mark the shared state *before* running the callback: the handle now
-    // reads inactive ("no longer scheduled"), and a cancel() issued from
-    // inside the callback or any time after the event fired is a no-op
-    // rather than incrementing the cancelled-in-queue count for an entry
-    // that already left the queue (which underflowed pending()).
-    *entry.cancelled = true;
+    // Release the slot *before* running the callback: the handle now reads
+    // inactive ("no longer scheduled"), and a cancel() issued from inside
+    // the callback or any time after the event fired sees a generation
+    // mismatch and is a no-op rather than corrupting the cancelled-entry
+    // accounting for an entry that already left the queue.
+    Callback fn = std::move(slots_[entry.slot].fn);
+    release_slot(entry.slot);
     obs_executed_->inc();
-    entry.fn();
+    fn();
     return true;
   }
   return false;
@@ -60,9 +98,9 @@ std::size_t EventLoop::run_until(SimTime deadline) {
   while (!queue_.empty()) {
     // Skip over cancelled entries at the head.
     const Entry& head = queue_.top();
-    if (*head.cancelled) {
+    if (!slot_matches(head.slot, head.generation)) {
       queue_.pop();
-      --*cancelled_in_queue_;
+      --cancelled_in_queue_;
       obs_cancelled_->inc();
       obs_queue_depth_->set(static_cast<double>(queue_.size()));
       continue;

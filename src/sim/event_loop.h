@@ -3,16 +3,23 @@
 // The whole runtime is driven by one of these: message deliveries, component
 // execution, RAML measurement ticks and reconfiguration steps are all events
 // on the same clock, which makes every experiment reproducible.
+//
+// Storage is a slab: callbacks live in pooled slots recycled through a
+// freelist, queue entries are 24-byte PODs referencing a slot by index, and
+// handles carry (slot, generation) so stale references self-invalidate.  At
+// steady state scheduling an event performs zero heap allocations (the slab
+// and queue reach high-water size and stay there; callbacks up to
+// InlineFunction::kInlineSize bytes of capture are stored inline).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/errors.h"
+#include "util/inline_function.h"
 #include "util/time.h"
 
 namespace aars::sim {
@@ -20,40 +27,44 @@ namespace aars::sim {
 using util::Duration;
 using util::SimTime;
 
+class EventLoop;
+
 /// Cancellation token for a scheduled event.
 ///
-/// The loop marks the shared state when the event fires, so `active()` is
-/// precisely "still scheduled": it turns false after execution as well as
-/// after cancellation, and a `cancel()` on an already-fired handle is a
-/// no-op (it must not touch the queue's cancelled-entry accounting — the
-/// entry is no longer in the queue).
+/// Identifies the event by (slot index, generation): the loop bumps the
+/// slot's generation the moment the event fires or is cancelled, so
+/// `active()` is precisely "still scheduled" and a `cancel()` on an
+/// already-fired handle finds a generation mismatch and is a no-op.  The
+/// handle holds no per-event heap state; it shares the loop's liveness
+/// anchor so a handle that outlives its loop degrades to inert rather than
+/// dangling.
 class EventHandle {
  public:
   EventHandle() = default;
-  bool active() const { return state_ && !*state_; }
-  void cancel() {
-    if (state_ && !*state_) {
-      *state_ = true;
-      if (cancel_count_) ++*cancel_count_;
-    }
-  }
+  bool active() const;
+  void cancel();
 
  private:
   friend class EventLoop;
-  EventHandle(std::shared_ptr<bool> state,
-              std::shared_ptr<std::size_t> cancel_count)
-      : state_(std::move(state)), cancel_count_(std::move(cancel_count)) {}
-  std::shared_ptr<bool> state_;  // true == cancelled
-  std::shared_ptr<std::size_t> cancel_count_;
+  EventHandle(std::shared_ptr<EventLoop*> anchor, std::uint32_t slot,
+              std::uint32_t generation)
+      : anchor_(std::move(anchor)), slot_(slot), generation_(generation) {}
+
+  std::shared_ptr<EventLoop*> anchor_;  // *anchor_ == nullptr after loop death
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// Priority queue of timed callbacks. Events at the same instant run in
 /// schedule order (FIFO), which keeps the simulation deterministic.
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::InlineFunction;
 
   EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
 
   SimTime now() const { return now_; }
 
@@ -74,17 +85,29 @@ class EventLoop {
   bool step();
 
   bool empty() const { return pending() == 0; }
-  std::size_t pending() const { return queue_.size() - *cancelled_in_queue_; }
+  std::size_t pending() const { return queue_.size() - cancelled_in_queue_; }
   std::size_t executed() const { return executed_; }
 
   static constexpr std::size_t kNoLimit = ~std::size_t{0};
 
  private:
+  friend class EventHandle;
+
+  /// Pooled callback storage. `generation` increments every time the slot
+  /// is released (fire or cancel), invalidating outstanding handles and any
+  /// queue entry still referencing the old generation.
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool in_use = false;
+  };
+  /// Queue entries are plain data; the callback stays in the slab.
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -93,18 +116,41 @@ class EventLoop {
     }
   };
 
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  std::uint32_t acquire_slot(Callback fn);
+  /// Frees a slot back to the pool and bumps its generation.
+  void release_slot(std::uint32_t index);
+  bool slot_matches(std::uint32_t index, std::uint32_t generation) const {
+    const Slot& s = slots_[index];
+    return s.in_use && s.generation == generation;
+  }
+  void cancel_slot(std::uint32_t index, std::uint32_t generation);
   bool pop_and_run();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
-  std::shared_ptr<std::size_t> cancelled_in_queue_ =
-      std::make_shared<std::size_t>(0);
+  std::size_t cancelled_in_queue_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::shared_ptr<EventLoop*> anchor_;
   // Observability mirrors (no-ops while the global registry is disabled).
   obs::Counter* obs_executed_;
   obs::Counter* obs_cancelled_;
   obs::Gauge* obs_queue_depth_;
 };
+
+inline bool EventHandle::active() const {
+  return anchor_ && *anchor_ != nullptr &&
+         (*anchor_)->slot_matches(slot_, generation_);
+}
+
+inline void EventHandle::cancel() {
+  if (anchor_ && *anchor_ != nullptr) {
+    (*anchor_)->cancel_slot(slot_, generation_);
+  }
+}
 
 }  // namespace aars::sim

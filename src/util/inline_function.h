@@ -1,0 +1,124 @@
+// Move-only callable with inline storage.
+//
+// `InlineFunction` replaces std::function<void()> on the event hot path.
+// Two properties matter there: captures up to kInlineSize bytes live inside
+// the object (no heap allocation per scheduled event), and the type is
+// move-only, so callbacks can own move-only resources (pooled messages,
+// unique_ptrs) and travel through the scheduler without copies.  Larger
+// callables fall back to a single heap allocation, same as std::function.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aars::util {
+
+class InlineFunction {
+ public:
+  /// Inline capture budget.  Sized so a callback capturing a couple of
+  /// pointers plus a small struct stays allocation-free; sizeof
+  /// (std::function) is 32 on libstdc++, so wrapping one also stays inline.
+  static constexpr std::size_t kInlineSize = 64;
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT implicit
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT implicit
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  void operator()() { vt_->invoke(&buf_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs the callable at dst from src and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineSize &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr VTable vtable{invoke, relocate, destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& slot(void* p) { return *static_cast<F**>(p); }
+    static void invoke(void* p) { (*slot(p))(); }
+    static void relocate(void* dst, void* src) {
+      *static_cast<F**>(dst) = slot(src);
+    }
+    static void destroy(void* p) { delete slot(p); }
+    static constexpr VTable vtable{invoke, relocate, destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(&buf_)) Fn(std::forward<F>(f));
+      vt_ = &InlineOps<Fn>::vtable;
+    } else {
+      *reinterpret_cast<Fn**>(&buf_) = new Fn(std::forward<F>(f));
+      vt_ = &HeapOps<Fn>::vtable;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.vt_ != nullptr) {
+      vt_ = other.vt_;
+      vt_->relocate(&buf_, &other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(&buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace aars::util

@@ -1,0 +1,45 @@
+#include "util/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace aars::util {
+namespace {
+
+/// Append-only intern table.  `storage` owns the strings (deque: growth
+/// never relocates existing entries, so published `const std::string*`
+/// stay valid for the process lifetime); `index` maps contents to the
+/// canonical entry.  Guarded by a mutex so concurrent tooling/tests may
+/// intern safely; lookups of already-interned Symbols never come here.
+struct InternTable {
+  std::mutex mu;
+  std::deque<std::string> storage;
+  std::unordered_map<std::string_view, const std::string*> index;
+};
+
+InternTable& table() {
+  static InternTable* t = new InternTable();  // intentionally leaked
+  return *t;
+}
+
+}  // namespace
+
+const std::string* Symbol::intern(std::string_view s) {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.index.find(s);
+  if (it != t.index.end()) return it->second;
+  t.storage.emplace_back(s);
+  const std::string* entry = &t.storage.back();
+  t.index.emplace(std::string_view(*entry), entry);
+  return entry;
+}
+
+std::size_t Symbol::table_size() {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.storage.size();
+}
+
+}  // namespace aars::util

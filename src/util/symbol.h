@@ -1,0 +1,98 @@
+// Interned strings for hot-path names.
+//
+// Operation names, port names and metric label values recur millions of
+// times per run but come from a tiny universe.  `Symbol` interns the string
+// once in a process-wide table and afterwards is a single pointer: copying
+// is trivial (no allocation), equality is pointer comparison, and the
+// character data lives forever at a stable address.
+//
+// Symbol converts implicitly to and from std::string so existing call sites
+// (`message.operation == "ping"`, `record.operation.size()`) compile
+// unchanged.  Ordering (`operator<`) compares the *string contents*, not
+// the pointers, so any ordered container keyed by Symbol iterates in the
+// same deterministic order as one keyed by std::string — interning must
+// never perturb simulation output.
+//
+// The table is append-only and mutex-guarded; reads of already-interned
+// strings (`str()`) take no lock because entries are immutable once
+// published and deque growth never moves them.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace aars::util {
+
+class Symbol {
+ public:
+  /// The empty symbol ("").
+  Symbol() : str_(empty_string()) {}
+  Symbol(const std::string& s) : str_(intern(s)) {}     // NOLINT implicit
+  Symbol(const char* s) : str_(intern(s)) {}            // NOLINT implicit
+  Symbol(std::string_view s) : str_(intern(s)) {}       // NOLINT implicit
+
+  const std::string& str() const { return *str_; }
+  operator const std::string&() const { return *str_; }  // NOLINT implicit
+  const char* c_str() const { return str_->c_str(); }
+  std::size_t size() const { return str_->size(); }
+  bool empty() const { return str_->empty(); }
+
+  /// Interning guarantees one address per distinct string, so equality is a
+  /// pointer comparison.
+  friend bool operator==(Symbol a, Symbol b) { return a.str_ == b.str_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.str_ != b.str_; }
+  // Mixed comparisons carry exact-match overloads for string, string_view
+  // and char* so neither side needs a user-defined conversion (which would
+  // make `std::string == Symbol` ambiguous against the std::string
+  // comparison operators).
+  friend bool operator==(Symbol a, std::string_view b) { return *a.str_ == b; }
+  friend bool operator==(std::string_view a, Symbol b) { return a == *b.str_; }
+  friend bool operator!=(Symbol a, std::string_view b) { return *a.str_ != b; }
+  friend bool operator!=(std::string_view a, Symbol b) { return a != *b.str_; }
+  friend bool operator==(Symbol a, const std::string& b) { return *a.str_ == b; }
+  friend bool operator==(const std::string& a, Symbol b) { return a == *b.str_; }
+  friend bool operator!=(Symbol a, const std::string& b) { return *a.str_ != b; }
+  friend bool operator!=(const std::string& a, Symbol b) { return a != *b.str_; }
+  friend bool operator==(Symbol a, const char* b) { return *a.str_ == b; }
+  friend bool operator==(const char* a, Symbol b) { return a == *b.str_; }
+  friend bool operator!=(Symbol a, const char* b) { return *a.str_ != b; }
+  friend bool operator!=(const char* a, Symbol b) { return a != *b.str_; }
+  /// Content order (not pointer order) so ordered containers keyed by
+  /// Symbol behave exactly like ones keyed by std::string.
+  friend bool operator<(Symbol a, Symbol b) { return *a.str_ < *b.str_; }
+
+  friend std::string operator+(const std::string& a, Symbol b) {
+    return a + *b.str_;
+  }
+  friend std::string operator+(Symbol a, const std::string& b) {
+    return *a.str_ + b;
+  }
+  friend std::ostream& operator<<(std::ostream& os, Symbol s) {
+    return os << *s.str_;
+  }
+
+  /// Number of distinct strings interned so far (diagnostics/tests).
+  static std::size_t table_size();
+
+ private:
+  static const std::string* intern(std::string_view s);
+  /// Inline so default construction (ubiquitous in Message temporaries)
+  /// costs one guarded load, not a cross-TU call plus the guard.
+  static const std::string* empty_string() {
+    static const std::string* const kEmpty = intern(std::string_view{});
+    return kEmpty;
+  }
+
+  const std::string* str_;
+};
+
+struct SymbolHash {
+  std::size_t operator()(Symbol s) const {
+    return std::hash<const std::string*>{}(&s.str());
+  }
+};
+
+}  // namespace aars::util

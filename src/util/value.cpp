@@ -14,19 +14,6 @@ Value Value::list(std::initializer_list<Value> items) {
   return Value{ValueList(items)};
 }
 
-ValueType Value::type() const {
-  switch (data_.index()) {
-    case 0: return ValueType::kNull;
-    case 1: return ValueType::kBool;
-    case 2: return ValueType::kInt;
-    case 3: return ValueType::kDouble;
-    case 4: return ValueType::kString;
-    case 5: return ValueType::kList;
-    case 6: return ValueType::kMap;
-  }
-  return ValueType::kNull;
-}
-
 namespace {
 [[noreturn]] void type_error(ValueType want, ValueType got) {
   throw InvariantViolation(std::string("Value type mismatch: wanted ") +
@@ -57,22 +44,36 @@ const std::string& Value::as_string() const {
 
 const ValueList& Value::as_list() const {
   if (!is_list()) type_error(ValueType::kList, type());
-  return std::get<ValueList>(data_);
+  return *std::get<ListPtr>(data_);
+}
+
+/// Copy-on-write detach point: clone the node iff another Value still
+/// references it, then hand out a reference into the now-unique copy.
+ValueList& Value::mutable_list() {
+  ListPtr& p = std::get<ListPtr>(data_);
+  if (p.use_count() > 1) p = std::make_shared<ValueList>(*p);
+  return *p;
 }
 
 ValueList& Value::as_list() {
   if (!is_list()) type_error(ValueType::kList, type());
-  return std::get<ValueList>(data_);
+  return mutable_list();
 }
 
 const ValueMap& Value::as_map() const {
   if (!is_map()) type_error(ValueType::kMap, type());
-  return std::get<ValueMap>(data_);
+  return *std::get<MapPtr>(data_);
+}
+
+ValueMap& Value::mutable_map() {
+  MapPtr& p = std::get<MapPtr>(data_);
+  if (p.use_count() > 1) p = std::make_shared<ValueMap>(*p);
+  return *p;
 }
 
 ValueMap& Value::as_map() {
   if (!is_map()) type_error(ValueType::kMap, type());
-  return std::get<ValueMap>(data_);
+  return mutable_map();
 }
 
 const Value& null_value() {
@@ -82,8 +83,8 @@ const Value& null_value() {
 
 const Value& Value::at(std::string_view key) const {
   if (!is_map()) return null_value();
-  const auto& m = std::get<ValueMap>(data_);
-  auto it = m.find(std::string(key));
+  const ValueMap& m = *std::get<MapPtr>(data_);
+  auto it = m.find(key);
   return it == m.end() ? null_value() : it->second;
 }
 
@@ -93,14 +94,15 @@ Value Value::get_or(std::string_view key, Value fallback) const {
 }
 
 Value& Value::operator[](const std::string& key) {
-  if (is_null()) data_ = ValueMap{};
+  if (is_null()) data_ = std::make_shared<ValueMap>();
   if (!is_map()) type_error(ValueType::kMap, type());
-  return std::get<ValueMap>(data_)[key];
+  return mutable_map()[key];
 }
 
 bool Value::contains(std::string_view key) const {
   if (!is_map()) return false;
-  return std::get<ValueMap>(data_).count(std::string(key)) > 0;
+  const ValueMap& m = *std::get<MapPtr>(data_);
+  return m.find(key) != m.end();
 }
 
 const Value& Value::item(std::size_t index) const {
@@ -110,14 +112,41 @@ const Value& Value::item(std::size_t index) const {
 }
 
 std::size_t Value::size() const {
-  if (is_list()) return std::get<ValueList>(data_).size();
-  if (is_map()) return std::get<ValueMap>(data_).size();
+  if (is_list()) return as_list().size();
+  if (is_map()) return std::get<MapPtr>(data_)->size();
   if (is_string()) return std::get<std::string>(data_).size();
   return 0;
 }
 
+bool Value::shares_storage_with(const Value& other) const {
+  if (is_list() && other.is_list()) {
+    return std::get<ListPtr>(data_) == std::get<ListPtr>(other.data_);
+  }
+  if (is_map() && other.is_map()) {
+    return std::get<MapPtr>(data_) == std::get<MapPtr>(other.data_);
+  }
+  return false;
+}
+
 bool operator==(const Value& a, const Value& b) {
-  return a.data_ == b.data_;
+  if (a.data_.index() != b.data_.index()) return false;
+  switch (a.type()) {
+    case ValueType::kNull: return true;
+    case ValueType::kBool: return a.as_bool() == b.as_bool();
+    case ValueType::kInt: return a.as_int() == b.as_int();
+    case ValueType::kDouble: return a.as_double() == b.as_double();
+    case ValueType::kString: return a.as_string() == b.as_string();
+    case ValueType::kList: {
+      // Shared node => structurally equal without walking the tree.
+      if (a.shares_storage_with(b)) return true;
+      return a.as_list() == b.as_list();
+    }
+    case ValueType::kMap: {
+      if (a.shares_storage_with(b)) return true;
+      return a.as_map() == b.as_map();
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -161,7 +190,7 @@ std::string Value::to_string() const {
   return os.str();
 }
 
-std::size_t Value::byte_size() const {
+std::size_t Value::deep_byte_size() const {
   switch (type()) {
     case ValueType::kNull: return 1;
     case ValueType::kBool: return 1;

@@ -3,6 +3,15 @@
 // `Value` is the lingua franca of the runtime: message payloads, component
 // attributes, state snapshots and ADL literals are all Value trees.  It is a
 // JSON-like sum type with value semantics.
+//
+// Containers are copy-on-write: list and map nodes are held through
+// shared_ptr, so copying a Value (and therefore a Message through an
+// interceptor chain) is O(1) refcount traffic regardless of tree size.
+// Mutation detaches: every non-const accessor clones the node first when it
+// is shared (`use_count() > 1`), so writers never disturb readers holding
+// other copies, and a copy that is never written never allocates.  Detach
+// is per-node and shallow — a cloned map's entries still share their own
+// children until those are written in turn.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +30,9 @@ namespace aars::util {
 class Value;
 
 using ValueList = std::vector<Value>;
-using ValueMap = std::map<std::string, Value>;
+/// Transparent comparator: string_view keys probe without materialising a
+/// temporary std::string (header lookups run per relayed message).
+using ValueMap = std::map<std::string, Value, std::less<>>;
 
 /// Discriminator for the runtime type of a Value.
 enum class ValueType { kNull, kBool, kInt, kDouble, kString, kList, kMap };
@@ -52,15 +63,21 @@ class Value {
   Value(double d) : data_(d) {}                          // NOLINT implicit
   Value(const char* s) : data_(std::string(s)) {}        // NOLINT implicit
   Value(std::string s) : data_(std::move(s)) {}          // NOLINT implicit
-  Value(ValueList l) : data_(std::move(l)) {}            // NOLINT implicit
-  Value(ValueMap m) : data_(std::move(m)) {}             // NOLINT implicit
+  Value(ValueList l)                                     // NOLINT implicit
+      : data_(std::make_shared<ValueList>(std::move(l))) {}
+  Value(ValueMap m)                                      // NOLINT implicit
+      : data_(std::make_shared<ValueMap>(std::move(m))) {}
 
   /// Builds a map value from key/value pairs.
   static Value object(std::initializer_list<std::pair<std::string, Value>> kv);
   /// Builds a list value.
   static Value list(std::initializer_list<Value> items);
 
-  ValueType type() const;
+  ValueType type() const {
+    // ValueType enumerators mirror the Storage alternative order; see the
+    // static_asserts below the class.
+    return static_cast<ValueType>(data_.index());
+  }
   bool is_null() const { return type() == ValueType::kNull; }
   bool is_bool() const { return type() == ValueType::kBool; }
   bool is_int() const { return type() == ValueType::kInt; }
@@ -76,21 +93,29 @@ class Value {
   double as_double() const;
   const std::string& as_string() const;
   const ValueList& as_list() const;
+  /// Mutable access detaches (clones the node) when the list is shared.
   ValueList& as_list();
   const ValueMap& as_map() const;
+  /// Mutable access detaches (clones the node) when the map is shared.
   ValueMap& as_map();
 
   /// Map field access; returns null Value when absent or not a map.
   const Value& at(std::string_view key) const;
   /// Map field access with default.
   Value get_or(std::string_view key, Value fallback) const;
-  /// Mutable map access; converts a null value into an empty map.
+  /// Mutable map access; converts a null value into an empty map and
+  /// detaches when the map is shared.
   Value& operator[](const std::string& key);
   bool contains(std::string_view key) const;
 
   /// List element access; precondition: is_list() && index < size().
   const Value& item(std::size_t index) const;
   std::size_t size() const;
+
+  /// True when this value and `other` share the same container node (both
+  /// are lists or maps and no copy-on-write detach has separated them).
+  /// Diagnostic hook for the COW tests; scalars never share.
+  bool shares_storage_with(const Value& other) const;
 
   /// Deep structural equality.
   friend bool operator==(const Value& a, const Value& b);
@@ -100,14 +125,41 @@ class Value {
   std::string to_string() const;
 
   /// Approximate heap footprint in bytes; used by the simulator to charge
-  /// bandwidth for message payloads.
-  std::size_t byte_size() const;
+  /// bandwidth for message payloads. Scalars resolve inline (the common
+  /// case on relay paths); containers recurse out of line.
+  std::size_t byte_size() const {
+    switch (type()) {
+      case ValueType::kNull:
+      case ValueType::kBool: return 1;
+      case ValueType::kInt:
+      case ValueType::kDouble: return 8;
+      default: return deep_byte_size();
+    }
+  }
 
  private:
+  using ListPtr = std::shared_ptr<ValueList>;
+  using MapPtr = std::shared_ptr<ValueMap>;
   using Storage = std::variant<std::monostate, bool, std::int64_t, double,
-                               std::string, ValueList, ValueMap>;
+                               std::string, ListPtr, MapPtr>;
+
+  ValueList& mutable_list();
+  ValueMap& mutable_map();
+  std::size_t deep_byte_size() const;
+
   Storage data_;
 };
+
+// type() casts the variant index directly; keep the enum and the Storage
+// alternatives in lockstep.
+static_assert(static_cast<int>(ValueType::kNull) == 0 &&
+                  static_cast<int>(ValueType::kBool) == 1 &&
+                  static_cast<int>(ValueType::kInt) == 2 &&
+                  static_cast<int>(ValueType::kDouble) == 3 &&
+                  static_cast<int>(ValueType::kString) == 4 &&
+                  static_cast<int>(ValueType::kList) == 5 &&
+                  static_cast<int>(ValueType::kMap) == 6,
+              "ValueType enumerators must mirror Value::Storage order");
 
 /// The canonical null value (used for absent map fields).
 const Value& null_value();

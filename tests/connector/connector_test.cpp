@@ -297,5 +297,102 @@ TEST(ConnectorTest, RelayCounter) {
   EXPECT_EQ(conn.relayed(), 2u);
 }
 
+// Regression: removing a provider *before* the cursor used to leave the
+// cursor pointing one past the intended next pick, so the provider that
+// slid into its place lost a turn.
+TEST(ConnectorTest, RoundRobinCursorSurvivesRemovalBeforeCursor) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  (void)conn.add_provider(ComponentId{3});
+  Message m;
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{1});
+  (void)conn.remove_provider(ComponentId{1});  // cursor was on 2
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{2});
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{3});
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{2});
+}
+
+// Removing the provider the cursor sits on (at the end of the list) must
+// wrap the cursor instead of indexing out of range or skipping the front.
+TEST(ConnectorTest, RoundRobinCursorClampedWhenTailRemoved) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  (void)conn.add_provider(ComponentId{3});
+  Message m;
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{1});
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{2});
+  (void)conn.remove_provider(ComponentId{3});  // cursor pointed at 3
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{1});
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{2});
+}
+
+// Regression: a "__route_avoid" pick used to index the *filtered* candidate
+// list with the providers_-based cursor, so a filtered call could repeat a
+// provider while another lost its turn. The cursor must keep rotating over
+// the full pool, skipping (not re-serving) avoided providers.
+TEST(ConnectorTest, RoundRobinAvoidListKeepsRotationFair) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  (void)conn.add_provider(ComponentId{3});
+  Message avoid2;
+  avoid2.headers[component::kHeaderRouteAvoid] =
+      Value::list({Value{std::int64_t{2}}});
+  Message plain;
+  EXPECT_EQ(conn.select_target(avoid2, nullptr).value(), ComponentId{1});
+  EXPECT_EQ(conn.select_target(avoid2, nullptr).value(), ComponentId{3});
+  EXPECT_EQ(conn.select_target(avoid2, nullptr).value(), ComponentId{1});
+  // An unfiltered call resumes where the rotation actually stands: provider
+  // 2 finally gets its turn, nobody is served twice in a row.
+  EXPECT_EQ(conn.select_target(plain, nullptr).value(), ComponentId{2});
+  EXPECT_EQ(conn.select_target(plain, nullptr).value(), ComponentId{3});
+}
+
+// When every provider is on the avoid list the connector falls back to
+// normal rotation rather than failing the call.
+TEST(ConnectorTest, RoundRobinAvoidAllFallsBackToRotation) {
+  Connector conn = make(RoutingPolicy::kRoundRobin);
+  (void)conn.add_provider(ComponentId{1});
+  (void)conn.add_provider(ComponentId{2});
+  Message m;
+  m.headers[component::kHeaderRouteAvoid] =
+      Value::list({Value{std::int64_t{1}}, Value{std::int64_t{2}}});
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{1});
+  EXPECT_EQ(conn.select_target(m, nullptr).value(), ComponentId{2});
+}
+
+// COW aliasing across interception: a copy taken before run_before shares
+// its payload storage with the live message, and an interceptor mutating
+// the live message must detach rather than disturb the alias.
+TEST(ConnectorTest, InterceptorMutationLeavesAliasedCopyIntact) {
+  class Tagger final : public Interceptor {
+   public:
+    Verdict before(Message& m, Result<Value>*) override {
+      m.headers["tag"] = Value{"seen"};
+      m.payload["hops"] = Value{std::int64_t{1}};
+      return Verdict::kPass;
+    }
+    void after(const Message&, Result<Value>&) override {}
+    std::string name() const override { return "tagger"; }
+  };
+  Connector conn = make();
+  (void)conn.attach_interceptor(std::make_shared<Tagger>(), 0);
+  Message m;
+  m.payload = Value::object({{"k", Value{std::int64_t{7}}}});
+  const Message before_copy = m;  // O(1): shares the payload node
+  EXPECT_TRUE(before_copy.payload.shares_storage_with(m.payload));
+  Result<Value> reply = Value{};
+  EXPECT_EQ(conn.run_before(m, &reply), Interceptor::Verdict::kPass);
+  // The live message changed; the pre-interception alias did not.
+  EXPECT_TRUE(m.headers.contains("tag"));
+  EXPECT_TRUE(m.payload.contains("hops"));
+  EXPECT_FALSE(before_copy.headers.contains("tag"));
+  EXPECT_FALSE(before_copy.payload.contains("hops"));
+  EXPECT_EQ(before_copy.payload.at("k").as_int(), 7);
+  EXPECT_FALSE(before_copy.payload.shares_storage_with(m.payload));
+}
+
 }  // namespace
 }  // namespace aars::connector

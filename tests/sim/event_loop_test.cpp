@@ -205,6 +205,83 @@ TEST(EventLoopTest, SelfCancelInsideCallbackIsNoOp) {
   EXPECT_TRUE(loop.empty());
 }
 
+// The pool recycles a fired event's slot; a stale handle to the previous
+// occupant sees a generation mismatch, so it reads inactive and its
+// cancel() must not touch the slot's new occupant.
+TEST(EventLoopTest, StaleHandleDoesNotCancelSlotReuser) {
+  EventLoop loop;
+  int first = 0;
+  int second = 0;
+  EventHandle stale = loop.schedule_at(1, [&] { ++first; });
+  loop.run();  // fires; the slot returns to the freelist
+  EXPECT_FALSE(stale.active());
+  EventHandle fresh = loop.schedule_at(2, [&] { ++second; });
+  stale.cancel();  // (slot, old generation): must be a no-op
+  EXPECT_TRUE(fresh.active());
+  loop.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+// Cancelling also bumps the generation, so a handle kept across
+// cancel-then-reuse cannot resurrect and cancel the reusing event.
+TEST(EventLoopTest, HandleReuseAfterGenerationBumpViaCancel) {
+  EventLoop loop;
+  int fired = 0;
+  EventHandle stale = loop.schedule_at(5, [&] { ++fired; });
+  stale.cancel();
+  EXPECT_FALSE(stale.active());
+  EventHandle fresh = loop.schedule_at(5, [&] { ++fired; });
+  stale.cancel();  // second stale cancel: still a no-op
+  EXPECT_TRUE(fresh.active());
+  loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// Same-instant FIFO must hold even when the submissions land in recycled
+// slots (freelist order is arbitrary; the queue's sequence number decides).
+TEST(EventLoopTest, SameInstantFifoSurvivesSlotChurn) {
+  EventLoop loop;
+  // Churn: fire and cancel a burst so later schedules reuse mixed slots.
+  std::vector<EventHandle> burst;
+  for (int i = 0; i < 32; ++i) {
+    burst.push_back(loop.schedule_at(1, [] {}));
+  }
+  for (int i = 0; i < 32; i += 2) burst[i].cancel();
+  loop.run();
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    loop.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  std::vector<int> expected(32);
+  for (int i = 0; i < 32; ++i) expected[i] = i;
+  EXPECT_EQ(order, expected);
+}
+
+// Deterministic order under heavy interleaving of schedule/cancel/fire:
+// two identical runs must execute callbacks in the same order.
+TEST(EventLoopTest, ChurnedScheduleIsReproducible) {
+  const auto run_once = [] {
+    EventLoop loop;
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    int id = 0;
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 10; ++i) {
+        const int tag = id++;
+        handles.push_back(loop.schedule_after(
+            1 + (tag % 3), [&order, tag] { order.push_back(tag); }));
+      }
+      handles[handles.size() - 3].cancel();
+      loop.run_for(2);
+    }
+    loop.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
 // pending()/empty() stay consistent across a mix of executed, cancelled and
 // post-fire-cancelled events.
 TEST(EventLoopTest, PendingNeverUnderflowsUnderMixedCancellation) {

@@ -108,5 +108,57 @@ TEST(ValueTest, CopyIsDeep) {
   EXPECT_EQ(b.at("k").size(), 2u);
 }
 
+// --- copy-on-write semantics -----------------------------------------------
+
+TEST(ValueTest, CopySharesStorageUntilWritten) {
+  Value a = Value::object({{"k", Value{std::int64_t{1}}}});
+  Value b = a;
+  EXPECT_TRUE(a.shares_storage_with(b));
+  b["k"] = Value{std::int64_t{2}};  // first write detaches
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(a.at("k").as_int(), 1);
+  EXPECT_EQ(b.at("k").as_int(), 2);
+}
+
+TEST(ValueTest, ConstReadsNeverDetach) {
+  const Value a = Value::list({1, 2, 3});
+  Value b = a;
+  EXPECT_EQ(b.item(1).as_int(), 2);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.to_string(), a.to_string());
+  // Reading through either alias leaves the node shared.
+  EXPECT_TRUE(a.shares_storage_with(b));
+}
+
+TEST(ValueTest, ByteSizeUnchangedByCopyAndDetach) {
+  Value a = Value::object(
+      {{"name", Value{"abc"}}, {"list", Value::list({1, 2})}});
+  const std::size_t original = a.byte_size();
+  Value b = a;
+  EXPECT_EQ(b.byte_size(), original);  // sharing is invisible to accounting
+  b["name"] = Value{"abc"};            // detach without changing content
+  EXPECT_EQ(b.byte_size(), original);
+  EXPECT_EQ(a.byte_size(), original);
+}
+
+TEST(ValueTest, DetachIsShallowPerNode) {
+  Value a = Value::object({{"inner", Value::list({1, 2})}});
+  Value b = a;
+  b["other"] = Value{true};  // detaches the top map only
+  EXPECT_FALSE(a.shares_storage_with(b));
+  // The untouched child list is still shared between the two trees.
+  EXPECT_TRUE(a.at("inner").shares_storage_with(b.at("inner")));
+}
+
+TEST(ValueTest, UniqueOwnerMutatesInPlaceWithoutClone) {
+  Value a = Value::list({1});
+  const Value snapshot = a;      // shared now
+  a.as_list().push_back(2);      // detaches away from snapshot
+  EXPECT_FALSE(a.shares_storage_with(snapshot));
+  EXPECT_EQ(snapshot.size(), 1u);
+  a.as_list().push_back(3);      // sole owner: no further clone needed
+  EXPECT_EQ(a.size(), 3u);
+}
+
 }  // namespace
 }  // namespace aars::util
