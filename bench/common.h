@@ -6,8 +6,6 @@
 // the BENCH_*.json metrics dump.
 #pragma once
 
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -17,6 +15,7 @@
 #include "api/runtime.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "util/rss.h"
 
 namespace aars::bench {
 
@@ -96,13 +95,9 @@ inline void enable_metrics() {
   perf_clock_start() = std::chrono::steady_clock::now();
 }
 
-/// Peak resident set size of this process in kilobytes (0 when the probe is
-/// unavailable).
-inline long peak_rss_kb() {
-  struct rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return usage.ru_maxrss;  // kilobytes on Linux
-}
+/// Peak resident set size in kilobytes (KiB on every platform; see
+/// util/rss.h for the per-OS ru_maxrss unit normalization).
+inline long peak_rss_kb() { return util::peak_rss_kb(); }
 
 /// Renders the cross-experiment perf section: wall-clock duration since
 /// enable_metrics(), simulated events executed (and the events/sec rate

@@ -1,25 +1,27 @@
 #!/usr/bin/env python3
 """Perf-smoke gate: compare fresh BENCH_*.json numbers against the committed
-baseline in bench/baselines/e14.json.
+baselines in bench/baselines/*.json.
 
 Usage:
     check_perf_regression.py --build-dir build            # gate (CI)
     check_perf_regression.py --build-dir build --update   # re-baseline
 
 The gate fails (exit 1) when any watched metric drops more than `tolerance`
-(default 20%) below its baseline. Improvements never fail; they print a note
-suggesting a re-baseline so the gate keeps teeth.
+(default 20%, per-baseline override via the "tolerance" field) below its
+baseline. Improvements never fail; they print a note suggesting a
+re-baseline so the gate keeps teeth.
 
-Watched metrics and where they come from:
-    e14.sync0_ops_per_sec          BENCH_e14_throughput.json  throughput.sync[0].ops_per_sec
-    e14.queued0_msgs_per_sec       BENCH_e14_throughput.json  throughput.queued[0].msgs_per_sec
-    e14.event_loop_events_per_sec  BENCH_e14_throughput.json  throughput.event_loop.events_per_sec
-    e1.events_per_sec              BENCH_e1_connector_overhead.json  perf.events_per_sec
+Baseline format. Every file in bench/baselines/ carries a "metrics" map of
+gated numbers. Metric extraction comes from either:
+  * a "series" map — generic: each key names the BENCH_*.json file and a
+    dotted path into it ("sharded.ladder.0.events_per_sec"; integer
+    segments index into lists), or
+  * the legacy built-in e14/e1 mapping (used when "series" is absent).
 
 Re-baselining is deliberate, not automatic: run with --update on an idle
-machine after an intentional perf change, review the diff, and commit the new
-baseline together with the change that moved it (see the _comment block in
-the baseline file).
+machine after an intentional perf change, review the diff, and commit the
+new baseline together with the change that moved it (see the _comment block
+in each baseline file).
 """
 
 import argparse
@@ -27,58 +29,71 @@ import json
 import pathlib
 import sys
 
-BASELINE = pathlib.Path(__file__).resolve().parent.parent / "bench" / "baselines" / "e14.json"
+BASELINE_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench" / "baselines"
 
 
-def read_metrics(build_dir: pathlib.Path) -> dict:
-    """Extract the watched metrics from the bench reports in build_dir."""
+def dig(doc, dotted_path: str):
+    """Walks a dotted path; integer segments index into lists."""
+    node = doc
+    for segment in dotted_path.split("."):
+        if isinstance(node, list):
+            node = node[int(segment)]
+        else:
+            node = node[segment]
+    return node
+
+
+def read_legacy_e14_metrics(build_dir: pathlib.Path) -> dict:
+    """Built-in extraction for the original e14/e1 baseline format."""
     e14 = json.loads((build_dir / "BENCH_e14_throughput.json").read_text())
     e1 = json.loads((build_dir / "BENCH_e1_connector_overhead.json").read_text())
 
-    def sync_at(n):
-        for row in e14["throughput"]["sync"]:
+    def row_at(rows, n):
+        for row in rows:
             if row["interceptors"] == n:
                 return row
-        raise KeyError(f"no sync row with {n} interceptors")
-
-    def queued_at(n):
-        for row in e14["throughput"]["queued"]:
-            if row["interceptors"] == n:
-                return row
-        raise KeyError(f"no queued row with {n} interceptors")
+        raise KeyError(f"no row with {n} interceptors")
 
     return {
-        "e14.sync0_ops_per_sec": sync_at(0)["ops_per_sec"],
-        "e14.queued0_msgs_per_sec": queued_at(0)["msgs_per_sec"],
+        "e14.sync0_ops_per_sec": row_at(e14["throughput"]["sync"], 0)["ops_per_sec"],
+        "e14.queued0_msgs_per_sec": row_at(e14["throughput"]["queued"], 0)["msgs_per_sec"],
         "e14.event_loop_events_per_sec": e14["throughput"]["event_loop"]["events_per_sec"],
         "e1.events_per_sec": e1["perf"]["events_per_sec"],
     }
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--build-dir", type=pathlib.Path, default=pathlib.Path("build"),
-                        help="directory holding the fresh BENCH_*.json files")
-    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE,
-                        help="baseline JSON to gate against / rewrite")
-    parser.add_argument("--update", action="store_true",
-                        help="rewrite the baseline from the fresh numbers instead of gating")
-    args = parser.parse_args()
+def read_metrics(build_dir: pathlib.Path, baseline_doc: dict) -> dict:
+    """Extracts this baseline's watched metrics from the bench reports."""
+    series = baseline_doc.get("series")
+    if series is None:
+        return read_legacy_e14_metrics(build_dir)
+    measured = {}
+    cache = {}
+    for key, source in series.items():
+        path = build_dir / source["file"]
+        if path not in cache:
+            cache[path] = json.loads(path.read_text())
+        measured[key] = dig(cache[path], source["path"])
+    return measured
 
-    measured = read_metrics(args.build_dir)
-    baseline_doc = json.loads(args.baseline.read_text())
 
-    if args.update:
+def gate_one(baseline_path: pathlib.Path, build_dir: pathlib.Path,
+             update: bool) -> list:
+    """Gates (or rewrites) one baseline file; returns failure strings."""
+    baseline_doc = json.loads(baseline_path.read_text())
+    measured = read_metrics(build_dir, baseline_doc)
+
+    if update:
         baseline_doc["metrics"] = {k: round(v, 1) for k, v in measured.items()}
-        args.baseline.write_text(json.dumps(baseline_doc, indent=2) + "\n")
-        print(f"baseline updated: {args.baseline}")
+        baseline_path.write_text(json.dumps(baseline_doc, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path}")
         for key, value in measured.items():
             print(f"  {key:32s} {value:>14,.1f}")
-        return 0
+        return []
 
     tolerance = float(baseline_doc.get("tolerance", 0.20))
     failures = []
-    print(f"perf gate (tolerance {tolerance:.0%} below baseline):")
+    print(f"{baseline_path.name} (tolerance {tolerance:.0%} below baseline):")
     for key, base in baseline_doc["metrics"].items():
         got = measured.get(key)
         if got is None:
@@ -95,15 +110,38 @@ def main() -> int:
             status = "ok (improved; consider --update)"
         print(f"  {key:32s} {got:>14,.1f}  baseline {base:>14,.1f}  "
               f"{ratio:>5.2f}x  {status}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=pathlib.Path, default=pathlib.Path("build"),
+                        help="directory holding the fresh BENCH_*.json files")
+    parser.add_argument("--baseline", type=pathlib.Path, action="append",
+                        help="baseline JSON to gate against / rewrite "
+                             "(repeatable; default: every bench/baselines/*.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baselines from the fresh numbers instead of gating")
+    args = parser.parse_args()
+
+    baselines = args.baseline or sorted(BASELINE_DIR.glob("*.json"))
+    if not baselines:
+        print(f"no baseline files under {BASELINE_DIR}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for baseline_path in baselines:
+        failures.extend(gate_one(baseline_path, args.build_dir, args.update))
 
     if failures:
         print("\nperf regression detected:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
-        print("\nIf this drop is intentional, re-baseline (see bench/baselines/e14.json).",
+        print("\nIf this drop is intentional, re-baseline (see bench/baselines/).",
               file=sys.stderr)
         return 1
-    print("perf gate passed")
+    if not args.update:
+        print("perf gate passed")
     return 0
 
 

@@ -197,4 +197,24 @@ PlanReview verify_plan(const ArchitectureModel& current, const Plan& plan,
   return review;
 }
 
+CrossShardReview verify_cross_shard_migration(
+    const ArchitectureModel& source_model,
+    const ArchitectureModel& target_model, const std::string& instance,
+    const std::string& type, const std::string& node,
+    const VerifierOptions& options) {
+  CrossShardReview review;
+  PlanStep remove;
+  remove.op = PlanOp::kRemove;
+  remove.instance = instance;
+  review.source = verify_plan(source_model, Plan{remove}, options);
+
+  PlanStep add;
+  add.op = PlanOp::kAdd;
+  add.instance = instance;
+  add.type = type;
+  add.node = node;
+  review.target = verify_plan(target_model, Plan{add}, options);
+  return review;
+}
+
 }  // namespace aars::analysis

@@ -73,4 +73,21 @@ struct PlanReview {
 PlanReview verify_plan(const ArchitectureModel& current, const Plan& plan,
                        const VerifierOptions& options = {});
 
+/// Outcome of screening a cross-shard migration: the instance leaves the
+/// source shard's architecture (kRemove) and appears in the target
+/// shard's (kAdd on `node` as `type`).  Each side's post-state must
+/// verify on its own — the two worlds share nothing but the migrating
+/// instance.
+struct CrossShardReview {
+  PlanReview source;
+  PlanReview target;
+  bool ok() const { return source.ok() && target.ok(); }
+};
+
+CrossShardReview verify_cross_shard_migration(
+    const ArchitectureModel& source_model,
+    const ArchitectureModel& target_model, const std::string& instance,
+    const std::string& type, const std::string& node,
+    const VerifierOptions& options = {});
+
 }  // namespace aars::analysis

@@ -144,6 +144,16 @@ class Connector {
   void run_after(const Message& request, Result<Value>& reply,
                  std::size_t seen = kAllInterceptors);
 
+  // --- shard placement --------------------------------------------------------
+  /// Shard whose runtime stack hosts this connector's providers under
+  /// sharded execution (sim::ShardSet); kUnsharded outside a sharded
+  /// world.  Stamped by the sharded runtime at deploy time and updated at
+  /// a migration barrier — routing layers read it mid-window, so it must
+  /// only change while workers are parked.
+  static constexpr std::size_t kUnsharded = ~std::size_t{0};
+  void set_home_shard(std::size_t shard) { home_shard_ = shard; }
+  std::size_t home_shard() const { return home_shard_; }
+
   // --- statistics ------------------------------------------------------------
   std::uint64_t relayed() const { return relayed_; }
   void count_relay() {
@@ -171,6 +181,7 @@ class Connector {
   std::size_t round_robin_next_ = 0;
   std::uint64_t attach_counter_ = 0;
   std::uint64_t relayed_ = 0;
+  std::size_t home_shard_ = kUnsharded;
   // Observability mirrors (no-ops while the global registry is disabled).
   obs::Counter* obs_relayed_;
   obs::Counter* obs_verdict_pass_;

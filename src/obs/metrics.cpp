@@ -87,6 +87,7 @@ Labels Registry::canonical(Labels labels) {
 
 Counter& Registry::counter(const std::string& name, const Labels& labels) {
   const auto key = std::make_pair(name, canonical(labels));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     it = counters_
@@ -98,6 +99,7 @@ Counter& Registry::counter(const std::string& name, const Labels& labels) {
 
 Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
   const auto key = std::make_pair(name, canonical(labels));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     it = gauges_.emplace(key, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
@@ -109,6 +111,7 @@ Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
 HistogramMetric& Registry::histogram(const std::string& name,
                                      const Labels& labels) {
   const auto key = std::make_pair(name, canonical(labels));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     it = histograms_
@@ -121,16 +124,20 @@ HistogramMetric& Registry::histogram(const std::string& name,
 
 void Registry::trace(util::SimTime at, TraceKind kind, std::string name,
                      std::string detail) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   trace_.record(TraceEvent{at, kind, sanitize_trace_name(std::move(name)),
                            std::move(detail)});
 }
 
 void Registry::reset_values() {
-  for (auto& [key, c] : counters_) c->value_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
   for (auto& [key, g] : gauges_) {
-    g->value_ = 0.0;
-    g->high_water_ = 0.0;
+    g->value_.store(0.0, std::memory_order_relaxed);
+    g->high_water_.store(0.0, std::memory_order_relaxed);
   }
   for (auto& [key, h] : histograms_) h->samples_.reset();
   trace_.clear();

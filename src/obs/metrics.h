@@ -20,11 +20,20 @@
 //     control decisions (tests and protocols rely on them regardless of
 //     whether observability is on); the registry mirrors those signals for
 //     export and cross-cutting observation.
+//   * Contention-safe.  Sharded execution records from several worker
+//     threads into the one global registry: instrument *resolution* is
+//     mutex-guarded (cold, typically at construction), counters and gauges
+//     record with relaxed atomics (no torn counts, no TSan findings, no
+//     cross-instrument ordering promised), and histogram observation takes
+//     a per-instrument mutex.  Reading values/exporting is intended for
+//     quiescent points (between shard windows, after runs).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,55 +50,77 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 class Registry;
 
 /// Monotonically increasing count (events executed, messages dropped...).
+/// Thread-safe: increments are relaxed atomics (exact totals, no ordering).
 class Counter {
  public:
   void inc(std::uint64_t n = 1) {
-    if (*enabled_) value_ += n;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
   }
-  std::uint64_t value() const { return value_; }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   friend class Registry;
-  explicit Counter(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  std::uint64_t value_ = 0;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time level plus a high-water mark (queue depth, in-flight...).
+/// Thread-safe: last-writer-wins level, CAS-maintained high water.  add()
+/// is not atomic read-modify-write across threads — use it only from the
+/// instrument's single writer (every current caller is per-shard state).
 class Gauge {
  public:
   void set(double v) {
-    if (!*enabled_) return;
-    value_ = v;
-    if (v > high_water_) high_water_ = v;
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+    double hw = high_water_.load(std::memory_order_relaxed);
+    while (v > hw && !high_water_.compare_exchange_weak(
+                         hw, v, std::memory_order_relaxed)) {
+    }
   }
-  void add(double delta) { set(value_ + delta); }
-  double value() const { return value_; }
-  double high_water() const { return high_water_; }
+  void add(double delta) {
+    set(value_.load(std::memory_order_relaxed) + delta);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Registry;
-  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  double value_ = 0.0;
-  double high_water_ = 0.0;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> high_water_{0.0};
 };
 
 /// Sample distribution with exact percentiles (leans on util::Histogram).
 /// Intended for bounded experiment outputs — latencies, phase durations —
-/// not unbounded production streams.
+/// not unbounded production streams.  observe() is mutex-guarded (cheap,
+/// uncontended in per-shard use); samples() hands out an unguarded
+/// reference — read it only at quiescent points (no concurrent observers).
 class HistogramMetric {
  public:
   void observe(double v) {
-    if (*enabled_) samples_.add(v);
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.add(v);
   }
   const util::Histogram& samples() const { return samples_; }
-  std::size_t count() const { return samples_.count(); }
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.count();
+  }
 
  private:
   friend class Registry;
-  explicit HistogramMetric(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
+  explicit HistogramMetric(const std::atomic<bool>* enabled)
+      : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  mutable std::mutex mu_;
   util::Histogram samples_;
 };
 
@@ -172,8 +203,13 @@ class Registry {
   /// Process-wide registry the built-in instrumentation records into.
   static Registry& global();
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Flip only at quiescent points (no shard worker mid-window): the flag
+  /// is atomic, but instruments gate on it per record, so toggling mid-run
+  /// splits which records land.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
 
   // --- instruments ----------------------------------------------------------
   Counter& counter(const std::string& name, const Labels& labels = {});
@@ -195,6 +231,8 @@ class Registry {
   template <typename T>
   using Family = std::map<std::pair<std::string, Labels>, std::unique_ptr<T>>;
 
+  /// Export-side views: iterate only at quiescent points (concurrent
+  /// instrument *creation* would rehash/rebalance under the reader).
   const Family<Counter>& counters() const { return counters_; }
   const Family<Gauge>& gauges() const { return gauges_; }
   const Family<HistogramMetric>& histograms() const { return histograms_; }
@@ -207,7 +245,10 @@ class Registry {
  private:
   static Labels canonical(Labels labels);
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  /// Guards instrument creation (the family maps) and the trace ring —
+  /// cold paths; recording into existing instruments never takes it.
+  mutable std::mutex mu_;
   Family<Counter> counters_;
   Family<Gauge> gauges_;
   Family<HistogramMetric> histograms_;

@@ -123,6 +123,16 @@ class ReconfigurationEngine {
   /// pre-screen candidate hosts before committing to one.
   bool redeploy_would_verify(ComponentId component, NodeId destination);
 
+  /// Screens an externally-driven plan step through the configured
+  /// verifier under this engine's policy (off/warn/enforce), against a
+  /// snapshot of the live architecture.  Cross-shard migration
+  /// (reconfig::CrossShardMigrator) runs its protocol outside this engine
+  /// but submits its steps here so one verification policy governs every
+  /// mutation of the shard's world.
+  Status screen_step(const analysis::PlanStep& step, const std::string& op) {
+    return verify_step(step, op);
+  }
+
   const Options& options() const { return options_; }
 
   /// Number of protocol runs started / completed successfully.

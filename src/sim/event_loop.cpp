@@ -4,6 +4,23 @@
 
 namespace aars::sim {
 
+// Generation wraparound.
+//
+// A slot's 32-bit generation increments on every release (fire or cancel).
+// After 2^32 releases of the *same* slot it returns to a previous value, so
+// a handle minted 2^32 reuses ago would spuriously match a live event and
+// cancel a stranger.  Handles therefore also carry the slot's `epoch`,
+// which increments each time the generation wraps: the handle-side match is
+// effectively 64-bit, and 2^64 releases of one slot is out of reach (at
+// 10^9 events/sec on one slot that is ~580 years of wall clock).
+//
+// Queue entries keep only the 32-bit generation (their 24-byte size is a
+// deliberate cache/throughput budget — see the header).  That narrower
+// match is safe under a weaker and structurally guaranteed condition: an
+// entry's slot cannot be released until the entry itself leaves the queue
+// (pop or tombstone-skip), so between an entry being pushed and popped the
+// slot's generation advances at most once — never 2^32 times.
+
 EventLoop::EventLoop()
     : anchor_(std::make_shared<EventLoop*>(this)),
       obs_executed_(&obs::Registry::global().counter("sim.events_executed")),
@@ -32,17 +49,33 @@ void EventLoop::release_slot(std::uint32_t index) {
   Slot& slot = slots_[index];
   slot.fn = nullptr;
   slot.in_use = false;
-  ++slot.generation;
+  if (++slot.generation == 0) ++slot.epoch;
   slot.next_free = free_head_;
   free_head_ = index;
 }
 
-void EventLoop::cancel_slot(std::uint32_t index, std::uint32_t generation) {
-  if (index >= slots_.size() || !slot_matches(index, generation)) return;
+bool EventLoop::cancel_slot(std::uint32_t index, std::uint32_t generation,
+                            std::uint32_t epoch) {
+  if (index >= slots_.size() || !handle_matches(index, generation, epoch)) {
+    return false;
+  }
   // The queue entry stays behind; its (slot, generation) no longer matches,
   // so the pop loop skips it and decrements this count.
   release_slot(index);
   ++cancelled_in_queue_;
+  report_queue_depth();
+  return true;
+}
+
+void EventLoop::debug_add_generation(const EventHandle& handle,
+                                     std::uint32_t delta) {
+  util::require(handle.anchor_ && *handle.anchor_ == this,
+                "handle does not belong to this loop");
+  Slot& slot = slots_[handle.slot_];
+  util::require(!slot.in_use, "slot must be free to fast-forward generations");
+  const std::uint32_t before = slot.generation;
+  slot.generation += delta;
+  if (slot.generation < before) ++slot.epoch;  // 32-bit wrap occurred
 }
 
 EventHandle EventLoop::schedule_at(SimTime at, Callback fn) {
@@ -51,8 +84,8 @@ EventHandle EventLoop::schedule_at(SimTime at, Callback fn) {
   const std::uint32_t index = acquire_slot(std::move(fn));
   const std::uint32_t generation = slots_[index].generation;
   queue_.push(Entry{at, next_seq_++, index, generation});
-  obs_queue_depth_->set(static_cast<double>(queue_.size()));
-  return EventHandle{anchor_, index, generation};
+  report_queue_depth();
+  return EventHandle{anchor_, index, generation, slots_[index].epoch};
 }
 
 EventHandle EventLoop::schedule_after(Duration delay, Callback fn) {
@@ -64,12 +97,16 @@ bool EventLoop::pop_and_run() {
   while (!queue_.empty()) {
     const Entry entry = queue_.top();
     queue_.pop();
-    obs_queue_depth_->set(static_cast<double>(queue_.size()));
     if (!slot_matches(entry.slot, entry.generation)) {
+      // Tombstone of a cancelled event: account for it *before* reporting
+      // the depth (pending() subtracts cancelled_in_queue_ from the queue
+      // size, so the order matters).
       --cancelled_in_queue_;
       obs_cancelled_->inc();
+      report_queue_depth();
       continue;
     }
+    report_queue_depth();
     now_ = entry.at;
     ++executed_;
     // Release the slot *before* running the callback: the handle now reads
@@ -102,7 +139,7 @@ std::size_t EventLoop::run_until(SimTime deadline) {
       queue_.pop();
       --cancelled_in_queue_;
       obs_cancelled_->inc();
-      obs_queue_depth_->set(static_cast<double>(queue_.size()));
+      report_queue_depth();
       continue;
     }
     if (head.at > deadline) break;
@@ -110,6 +147,18 @@ std::size_t EventLoop::run_until(SimTime deadline) {
   }
   now_ = deadline;
   return ran;
+}
+
+SimTime EventLoop::next_event_time(SimTime sentinel) {
+  while (!queue_.empty()) {
+    const Entry& head = queue_.top();
+    if (slot_matches(head.slot, head.generation)) return head.at;
+    queue_.pop();
+    --cancelled_in_queue_;
+    obs_cancelled_->inc();
+    report_queue_depth();
+  }
+  return sentinel;
 }
 
 bool EventLoop::step() { return pop_and_run(); }

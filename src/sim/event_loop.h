@@ -6,15 +6,25 @@
 //
 // Storage is a slab: callbacks live in pooled slots recycled through a
 // freelist, queue entries are 24-byte PODs referencing a slot by index, and
-// handles carry (slot, generation) so stale references self-invalidate.  At
-// steady state scheduling an event performs zero heap allocations (the slab
-// and queue reach high-water size and stay there; callbacks up to
-// InlineFunction::kInlineSize bytes of capture are stored inline).
+// handles carry (slot, generation, epoch) so stale references
+// self-invalidate.  At steady state scheduling an event performs zero heap
+// allocations (the slab and queue reach high-water size and stay there;
+// callbacks up to InlineFunction::kInlineSize bytes of capture are stored
+// inline).
+//
+// Threading: an EventLoop is single-threaded.  Under sharded execution
+// (sim::ShardSet) each loop is owned by one worker thread; the loop can be
+// bound to that thread (`bind_owner_thread`), after which EventHandle
+// operations issued from any *other* thread are rejected (counted, no-op)
+// instead of racing on the slab.  Unbound loops (the default, and the whole
+// single-shard world) behave exactly as before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -31,28 +41,41 @@ class EventLoop;
 
 /// Cancellation token for a scheduled event.
 ///
-/// Identifies the event by (slot index, generation): the loop bumps the
-/// slot's generation the moment the event fires or is cancelled, so
+/// Identifies the event by (slot index, generation, epoch): the loop bumps
+/// the slot's generation the moment the event fires or is cancelled, so
 /// `active()` is precisely "still scheduled" and a `cancel()` on an
 /// already-fired handle finds a generation mismatch and is a no-op.  The
+/// 32-bit generation wraps after 2^32 releases of one slot; the epoch
+/// counts those wraps, widening the handle-side match to an effective
+/// 64-bit identity (see "Generation wraparound" in event_loop.cpp).  The
 /// handle holds no per-event heap state; it shares the loop's liveness
 /// anchor so a handle that outlives its loop degrades to inert rather than
 /// dangling.
 class EventHandle {
  public:
   EventHandle() = default;
+  /// False when fired, cancelled, foreign-thread (see cancel) or loop-dead.
   bool active() const;
-  void cancel();
+  /// Cancels the event if it is still scheduled.  Returns true when this
+  /// call performed the cancellation.  When the loop is bound to another
+  /// shard's thread the request is rejected (false; counted in
+  /// `foreign_cancels_rejected`) instead of racing — route the cancel to
+  /// the owning shard instead.
+  bool cancel();
 
  private:
   friend class EventLoop;
   EventHandle(std::shared_ptr<EventLoop*> anchor, std::uint32_t slot,
-              std::uint32_t generation)
-      : anchor_(std::move(anchor)), slot_(slot), generation_(generation) {}
+              std::uint32_t generation, std::uint32_t epoch)
+      : anchor_(std::move(anchor)),
+        slot_(slot),
+        generation_(generation),
+        epoch_(epoch) {}
 
   std::shared_ptr<EventLoop*> anchor_;  // *anchor_ == nullptr after loop death
   std::uint32_t slot_ = 0;
   std::uint32_t generation_ = 0;
+  std::uint32_t epoch_ = 0;
 };
 
 /// Priority queue of timed callbacks. Events at the same instant run in
@@ -88,6 +111,38 @@ class EventLoop {
   std::size_t pending() const { return queue_.size() - cancelled_in_queue_; }
   std::size_t executed() const { return executed_; }
 
+  /// Timestamp of the earliest live event, or `sentinel` when the queue is
+  /// empty.  Pops cancelled tombstones off the head as a side effect.
+  /// Coordinator-side helper (ShardSet barrier): call only from the owning
+  /// thread or while the owner is parked.
+  SimTime next_event_time(SimTime sentinel);
+
+  // --- shard-ownership ---------------------------------------------------------
+  /// Binds the loop to `owner`: from then on EventHandle::cancel()/active()
+  /// from other threads are rejected rather than racing on the slab.
+  /// ShardSet calls this as each worker adopts its loop; single-threaded
+  /// use never binds and is unaffected.
+  void bind_owner_thread(std::thread::id owner) {
+    owner_.store(owner, std::memory_order_relaxed);
+  }
+  /// True when the calling thread may touch the slab through a handle
+  /// (loop unbound, or bound to this thread).
+  bool owned_by_this_thread() const {
+    const std::thread::id owner = owner_.load(std::memory_order_relaxed);
+    return owner == std::thread::id{} || owner == std::this_thread::get_id();
+  }
+  /// Cross-thread EventHandle operations rejected since construction.
+  std::uint64_t foreign_cancels_rejected() const {
+    return foreign_cancels_rejected_.load(std::memory_order_relaxed);
+  }
+
+  // --- test hooks --------------------------------------------------------------
+  /// Simulates `delta` additional releases of the slot behind `handle`
+  /// (generation bumps, with epoch tracking the 32-bit wrap), so tests can
+  /// exercise generation wraparound without 2^32 real schedule/cancel
+  /// cycles.  Precondition: the slot is currently free.
+  void debug_add_generation(const EventHandle& handle, std::uint32_t delta);
+
   static constexpr std::size_t kNoLimit = ~std::size_t{0};
 
  private:
@@ -95,20 +150,28 @@ class EventLoop {
 
   /// Pooled callback storage. `generation` increments every time the slot
   /// is released (fire or cancel), invalidating outstanding handles and any
-  /// queue entry still referencing the old generation.
+  /// queue entry still referencing the old generation; `epoch` increments
+  /// when the 32-bit generation wraps, so handles (which carry both) keep a
+  /// 64-bit effective identity.
   struct Slot {
     Callback fn;
     std::uint32_t generation = 0;
+    std::uint32_t epoch = 0;
     std::uint32_t next_free = kNoSlot;
     bool in_use = false;
   };
-  /// Queue entries are plain data; the callback stays in the slab.
+  /// Queue entries are plain data; the callback stays in the slab.  Entries
+  /// carry only the 32-bit generation (the 24-byte budget): an entry's
+  /// (slot, generation) is unambiguous as long as the entry leaves the
+  /// queue within 2^32 releases of its slot — see the wraparound note in
+  /// event_loop.cpp.
   struct Entry {
     SimTime at;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t generation;
   };
+  static_assert(sizeof(Entry) == 24, "queue entries must stay 24-byte PODs");
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -119,14 +182,28 @@ class EventLoop {
   static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
 
   std::uint32_t acquire_slot(Callback fn);
-  /// Frees a slot back to the pool and bumps its generation.
+  /// Frees a slot back to the pool and bumps its generation (epoch on wrap).
   void release_slot(std::uint32_t index);
+  /// Queue-entry match: generation only (entries cannot carry the epoch).
   bool slot_matches(std::uint32_t index, std::uint32_t generation) const {
     const Slot& s = slots_[index];
     return s.in_use && s.generation == generation;
   }
-  void cancel_slot(std::uint32_t index, std::uint32_t generation);
+  /// Handle match: generation + epoch (64-bit effective identity).
+  bool handle_matches(std::uint32_t index, std::uint32_t generation,
+                      std::uint32_t epoch) const {
+    const Slot& s = slots_[index];
+    return s.in_use && s.generation == generation && s.epoch == epoch;
+  }
+  bool cancel_slot(std::uint32_t index, std::uint32_t generation,
+                   std::uint32_t epoch);
+  void note_foreign_cancel() {
+    foreign_cancels_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
   bool pop_and_run();
+  void report_queue_depth() {
+    obs_queue_depth_->set(static_cast<double>(pending()));
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -136,6 +213,11 @@ class EventLoop {
   std::uint32_t free_head_ = kNoSlot;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::shared_ptr<EventLoop*> anchor_;
+  /// Owning thread under sharded execution; default-constructed id means
+  /// "unbound" (any thread).  Relaxed atomics: the bind happens before the
+  /// worker runs (ShardSet provides the synchronization).
+  std::atomic<std::thread::id> owner_{};
+  std::atomic<std::uint64_t> foreign_cancels_rejected_{0};
   // Observability mirrors (no-ops while the global registry is disabled).
   obs::Counter* obs_executed_;
   obs::Counter* obs_cancelled_;
@@ -143,14 +225,20 @@ class EventLoop {
 };
 
 inline bool EventHandle::active() const {
-  return anchor_ && *anchor_ != nullptr &&
-         (*anchor_)->slot_matches(slot_, generation_);
+  if (!anchor_ || *anchor_ == nullptr) return false;
+  EventLoop* loop = *anchor_;
+  if (!loop->owned_by_this_thread()) return false;
+  return loop->handle_matches(slot_, generation_, epoch_);
 }
 
-inline void EventHandle::cancel() {
-  if (anchor_ && *anchor_ != nullptr) {
-    (*anchor_)->cancel_slot(slot_, generation_);
+inline bool EventHandle::cancel() {
+  if (!anchor_ || *anchor_ == nullptr) return false;
+  EventLoop* loop = *anchor_;
+  if (!loop->owned_by_this_thread()) {
+    loop->note_foreign_cancel();
+    return false;
   }
+  return loop->cancel_slot(slot_, generation_, epoch_);
 }
 
 }  // namespace aars::sim

@@ -1,0 +1,179 @@
+// Sharded multi-core execution: N event loops, conservative time windows,
+// lock-free cross-shard mailboxes.
+//
+// A ShardSet partitions a simulated world across N worker threads, each
+// owning one EventLoop (and, above this layer, one per-shard runtime
+// stack).  Execution is fork/join in *conservative time windows*:
+//
+//   barrier:  workers parked.  The coordinator drains every mailbox,
+//             runs registered barrier actions (migration state machines,
+//             probes), computes the next window
+//             window_end = min(next event over all shards) + lookahead
+//             and hands each worker its target.
+//   window:   workers run their loops up to window_end in parallel,
+//             posting cross-shard work into mailboxes (never touching
+//             another shard's loop directly).
+//
+// The lookahead is the minimum latency of any cross-shard link: a message
+// sent during a window is delivered no earlier than sender_now + lookahead
+// >= window_end, so nothing a worker does mid-window can schedule into a
+// peer's already-executing past.  post() enforces that bound.
+//
+// Mailboxes are bounded lock-free SPSC rings (sim/spsc.h), one per ordered
+// shard pair — the sending worker is the only producer, the coordinator
+// (at the barrier, workers parked) the only consumer.  When a ring fills
+// mid-window the sender diverts to a sender-local overflow vector instead
+// of spinning (the consumer won't drain until the barrier, so spinning
+// would deadlock the window); the park/unpark handshake makes the overflow
+// safely visible to the coordinator.
+//
+// Determinism: windows derive only from simulated event times, mailboxes
+// drain in fixed order (sender shard 0..N-1, FIFO within a pair, ring
+// before overflow), and drained events receive receiver sequence numbers
+// in that order — so a run is reproducible for a fixed (seed, shard
+// count), independent of thread scheduling.  N=1 bypasses threads,
+// windows and mailboxes entirely and is byte-identical to unsharded
+// execution (the golden determinism digest is the regression test).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/spsc.h"
+#include "util/errors.h"
+#include "util/time.h"
+
+namespace aars::sim {
+
+class ShardSet {
+ public:
+  struct Options {
+    /// Conservative window slack; must be <= every cross-shard link
+    /// latency (the sharded runtime derives it as their minimum).
+    Duration lookahead = util::kMillisecond;
+    /// Per-(sender, receiver) ring capacity; overflow past this spills to
+    /// a sender-local vector, costing nothing but the ring's losslessness.
+    std::size_t mailbox_capacity = 4096;
+  };
+
+  /// A barrier action: runs on the coordinator thread between windows,
+  /// with every worker parked, receiving the barrier's simulated time.
+  /// Returns true to stay registered for the next barrier, false to
+  /// unregister (one-shot actions and finished state machines).
+  using BarrierAction = std::function<bool(SimTime)>;
+
+  /// `loops[i]` is shard i's event loop; borrowed, must outlive the set.
+  /// Worker threads (for N > 1) start parked immediately.
+  ShardSet(std::vector<EventLoop*> loops, Options options);
+  ~ShardSet();
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  std::size_t shard_count() const { return loops_.size(); }
+  EventLoop& loop(std::size_t shard) { return *loops_[shard]; }
+  Duration lookahead() const { return options_.lookahead; }
+  /// The current barrier time (all loops stand at this time between
+  /// windows; 0 before the first run).
+  SimTime now() const { return now_; }
+
+  /// Posts `fn` to run on shard `to` at simulated time `at`.
+  ///   * from == to: schedules directly on the shard's loop (at >= now).
+  ///   * cross-shard: requires at >= sender_now + lookahead (the
+  ///     conservative bound) and enqueues into the (from, to) mailbox; the
+  ///     coordinator schedules it on the receiver at the next barrier.
+  /// Callable from shard `from`'s worker mid-window, or from the
+  /// coordinator thread at a barrier / before running.
+  void post(std::size_t from, std::size_t to, SimTime at,
+            EventLoop::Callback fn);
+
+  /// Registers a barrier action (coordinator thread only).  With N == 1
+  /// there are no barriers; the action runs inline, repeatedly, until it
+  /// returns false.
+  void at_barrier(BarrierAction action);
+
+  /// Runs windows until every shard is idle and every mailbox is empty.
+  /// Returns the number of events executed across all shards.
+  std::size_t run();
+  /// Runs windows until simulated time `deadline`; leaves every shard's
+  /// clock at the deadline.
+  std::size_t run_until(SimTime deadline);
+  std::size_t run_for(Duration span) { return run_until(now_ + span); }
+
+  // --- aggregate statistics ----------------------------------------------------
+  /// Total events executed across all shards.
+  std::size_t executed() const;
+  /// Barrier count so far (0 in single-shard mode).
+  std::uint64_t windows() const { return windows_; }
+  /// Cross-shard events delivered through mailboxes.
+  std::uint64_t cross_shard_delivered() const { return delivered_; }
+  /// Deliveries that had to take the overflow path (ring full).
+  std::uint64_t mailbox_overflows() const { return overflows_; }
+  /// Sum of EventHandle operations rejected for crossing shard threads.
+  std::uint64_t foreign_cancels_rejected() const;
+
+  static constexpr SimTime kIdle = std::numeric_limits<SimTime>::max();
+
+ private:
+  struct CrossShardEvent {
+    SimTime at = 0;
+    EventLoop::Callback fn;
+  };
+  /// One ordered sender->receiver channel: lock-free ring + sender-local
+  /// overflow (overflow is touched by the sender mid-window and by the
+  /// coordinator at barriers; the park handshake orders the two).
+  struct Mailbox {
+    explicit Mailbox(std::size_t capacity) : ring(capacity) {}
+    SpscRing<CrossShardEvent> ring;
+    std::vector<CrossShardEvent> overflow;
+  };
+  /// Park/unpark handshake for one worker.  The coordinator bumps job_id
+  /// (with target set) to launch a window; the worker reports back through
+  /// done_id.  Both transitions happen under the mutex, giving the
+  /// happens-before edges that make loop state and mailbox overflow safe
+  /// to touch from the other side.
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t job_id = 0;
+    std::uint64_t done_id = 0;
+    SimTime target = 0;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void worker_main(std::size_t shard);
+  /// Launches one window to `window_end` on every worker and waits for all
+  /// of them to park again.
+  void run_window(SimTime window_end);
+  /// Coordinator: moves every mailbox's content onto receiver loops in
+  /// deterministic order.  Workers must be parked.
+  void drain_mailboxes();
+  /// Runs due barrier actions; returns true if any remain registered.
+  bool run_barrier_actions();
+  /// Earliest live event over all shards, or kIdle.
+  SimTime next_event_time();
+  /// Sets every idle loop's clock forward to `t` (via run_until).
+  void advance_all(SimTime t);
+  Mailbox& mailbox(std::size_t from, std::size_t to) {
+    return *mailboxes_[from * loops_.size() + to];
+  }
+
+  std::vector<EventLoop*> loops_;
+  Options options_;
+  SimTime now_ = 0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // N*N, [from*N + to]
+  std::vector<std::unique_ptr<Worker>> workers_;     // empty when N == 1
+  std::vector<BarrierAction> barrier_actions_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace aars::sim

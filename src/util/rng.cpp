@@ -55,8 +55,11 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 Duration Rng::poisson_gap(double events_per_second) {
   require(events_per_second > 0.0, "poisson rate must be positive");
   const double gap_seconds = exponential(1.0 / events_per_second);
-  const auto micros = static_cast<Duration>(gap_seconds * kSecond);
-  return std::max<Duration>(micros, 1);
+  const double exact_micros =
+      gap_seconds * static_cast<double>(kSecond) + gap_carry_;
+  const auto micros = static_cast<Duration>(exact_micros);  // floor: >= 0
+  gap_carry_ = exact_micros - static_cast<double>(micros);
+  return micros;
 }
 
 }  // namespace aars::util

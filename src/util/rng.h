@@ -34,14 +34,22 @@ class Rng {
   /// Picks an index weighted by `weights` (non-negative, not all zero).
   std::size_t weighted_index(const std::vector<double>& weights);
 
-  /// Inter-arrival gap of a Poisson process with given rate (events/sec),
-  /// rounded to >= 1 microsecond.
+  /// Inter-arrival gap of a Poisson process with given rate (events/sec).
+  /// Gaps are truncated to whole microseconds, but the fractional remainder
+  /// carries over into the next draw, so the *realized* rate converges on
+  /// the requested one even when the mean gap is near (or below) 1us —
+  /// rounding every gap up to 1us would systematically under-deliver load
+  /// at rates approaching 10^6 events/sec.  A single gap may therefore be
+  /// 0 (two arrivals on the same microsecond tick).
   Duration poisson_gap(double events_per_second);
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  /// Fractional microseconds owed from previous poisson_gap draws, in
+  /// [0, 1).  See poisson_gap.
+  double gap_carry_ = 0.0;
 };
 
 }  // namespace aars::util

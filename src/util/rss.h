@@ -1,0 +1,26 @@
+// Process peak-RSS probe, normalized to kilobytes.
+//
+// getrusage() reports ru_maxrss in *kilobytes* on Linux but in *bytes* on
+// macOS (and in pages/other units on some BSDs) — reporting the raw field
+// cross-platform skews BENCH_*.json memory numbers by 1024x.  This helper
+// owns the normalization so every consumer (bench/common.h, capacity
+// experiments) reports the same unit: KiB.
+#pragma once
+
+#include <sys/resource.h>
+
+namespace aars::util {
+
+/// Peak resident set size of this process in kilobytes (KiB); 0 when the
+/// probe is unavailable.
+inline long peak_rss_kb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // macOS: ru_maxrss is bytes
+#else
+  return usage.ru_maxrss;  // Linux: ru_maxrss is already KiB
+#endif
+}
+
+}  // namespace aars::util

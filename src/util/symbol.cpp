@@ -25,7 +25,10 @@ InternTable& table() {
 
 }  // namespace
 
-const std::string* Symbol::intern(std::string_view s) {
+namespace {
+
+/// Mutex-guarded slow path into the global table.
+const std::string* intern_global(std::string_view s) {
   InternTable& t = table();
   std::lock_guard<std::mutex> lock(t.mu);
   auto it = t.index.find(s);
@@ -33,6 +36,26 @@ const std::string* Symbol::intern(std::string_view s) {
   t.storage.emplace_back(s);
   const std::string* entry = &t.storage.back();
   t.index.emplace(std::string_view(*entry), entry);
+  return entry;
+}
+
+}  // namespace
+
+const std::string* Symbol::intern(std::string_view s) {
+  // Per-thread read cache in front of the global table: repeated interning
+  // of the same names (the common case — operation/port names come from a
+  // tiny universe) resolves without taking the global mutex, which would
+  // otherwise serialize every shard thread on every Symbol construction
+  // from a string.  Keys are views into the canonical interned storage
+  // (immortal, stable addresses), so the cache never dangles.  The cap
+  // bounds pathological workloads that mint unbounded distinct names; a
+  // flush only costs re-priming from the global table.
+  constexpr std::size_t kThreadCacheCap = 1 << 16;
+  thread_local std::unordered_map<std::string_view, const std::string*> cache;
+  if (auto it = cache.find(s); it != cache.end()) return it->second;
+  const std::string* entry = intern_global(s);
+  if (cache.size() >= kThreadCacheCap) cache.clear();
+  cache.emplace(std::string_view(*entry), entry);
   return entry;
 }
 

@@ -15,7 +15,11 @@
 //
 // The table is append-only and mutex-guarded; reads of already-interned
 // strings (`str()`) take no lock because entries are immutable once
-// published and deque growth never moves them.
+// published and deque growth never moves them.  Construction from a string
+// goes through a per-thread cache in front of the global table, so
+// steady-state interning of known names is contention-free even with many
+// shard threads interning concurrently (the global mutex is only taken the
+// first time a thread sees a name).
 #pragma once
 
 #include <cstddef>

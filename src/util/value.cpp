@@ -128,6 +128,16 @@ bool Value::shares_storage_with(const Value& other) const {
   return false;
 }
 
+void Value::deep_detach() {
+  if (is_list()) {
+    // mutable_list() detaches this node when shared; then detach children
+    // unconditionally — a uniquely-held node may still hold shared children.
+    for (Value& v : mutable_list()) v.deep_detach();
+  } else if (is_map()) {
+    for (auto& [k, v] : mutable_map()) v.deep_detach();
+  }
+}
+
 bool operator==(const Value& a, const Value& b) {
   if (a.data_.index() != b.data_.index()) return false;
   switch (a.type()) {

@@ -117,6 +117,15 @@ class Value {
   /// Diagnostic hook for the COW tests; scalars never share.
   bool shares_storage_with(const Value& other) const;
 
+  /// Makes every container node in this tree exclusively owned (clones any
+  /// node another Value still references, recursively).  Required before a
+  /// Value crosses a shard/thread boundary: the copy-on-write detach
+  /// heuristic reads shared_ptr use_count(), which is unreliable as a
+  /// uniqueness test across concurrent threads — a deep-detached tree has
+  /// no node shared with any other Value, so the receiving shard can read
+  /// and mutate it without touching the sender's copies.
+  void deep_detach();
+
   /// Deep structural equality.
   friend bool operator==(const Value& a, const Value& b);
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }

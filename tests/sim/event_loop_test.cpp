@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace aars::sim {
 namespace {
@@ -298,6 +302,86 @@ TEST(EventLoopTest, PendingNeverUnderflowsUnderMixedCancellation) {
   loop.run();
   EXPECT_TRUE(loop.empty());
   EXPECT_EQ(loop.pending(), 0u);
+}
+
+// Regression: the queue-depth gauge used to export the raw queue size,
+// tombstones included — cancelling events made the reported depth *rise*
+// above the live event count. It must mirror pending().
+TEST(EventLoopTest, QueueDepthGaugeExcludesCancelledTombstones) {
+  obs::Registry& registry = obs::Registry::global();
+  obs::Gauge& depth = registry.gauge("sim.queue_depth");
+  registry.set_enabled(true);
+  {
+    EventLoop loop;
+    EventHandle a = loop.schedule_at(10, [] {});
+    loop.schedule_at(20, [] {});
+    loop.schedule_at(30, [] {});
+    EXPECT_EQ(depth.value(), 3.0);
+    a.cancel();  // tombstone stays queued; the gauge must not count it
+    EXPECT_EQ(depth.value(), 2.0);
+    loop.run(1);
+    EXPECT_EQ(depth.value(), 1.0);
+    loop.run();
+    EXPECT_EQ(depth.value(), 0.0);
+  }
+  registry.set_enabled(false);
+}
+
+// Generation wraparound: after 2^32 releases a slot's 32-bit generation
+// returns to an old value; the epoch widens the handle identity so a stale
+// handle from the previous era cannot cancel (or report active for) the
+// event currently occupying the slot.
+TEST(EventLoopTest, StaleHandleInertAcrossGenerationWrap) {
+  EventLoop loop;
+  EventHandle stale = loop.schedule_at(10, [] {});
+  ASSERT_TRUE(stale.cancel());  // frees the slot at generation 1
+  loop.run();                   // flush the tombstone out of the queue
+  // Simulate one full 32-bit cycle of releases: generation wraps back to
+  // the exact value `stale` carries, epoch moves to 1.
+  loop.debug_add_generation(stale, ~std::uint32_t{0});
+  int fired = 0;
+  EventHandle fresh = loop.schedule_at(20, [&] { ++fired; });
+  EXPECT_FALSE(stale.active());   // same slot+generation, older epoch
+  EXPECT_FALSE(stale.cancel());   // must not cancel the new occupant
+  EXPECT_TRUE(fresh.active());
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(fresh.active());
+}
+
+TEST(EventLoopTest, WrappedSlotStaysReusable) {
+  EventLoop loop;
+  EventHandle h = loop.schedule_at(5, [] {});
+  ASSERT_TRUE(h.cancel());
+  loop.run();  // flush the tombstone out of the queue
+  loop.debug_add_generation(h, ~std::uint32_t{0});
+  // Several fresh schedule/cancel cycles in the new epoch behave normally.
+  for (int i = 0; i < 3; ++i) {
+    EventHandle fresh = loop.schedule_at(10 + i, [] {});
+    EXPECT_TRUE(fresh.active());
+    EXPECT_TRUE(fresh.cancel());
+    EXPECT_FALSE(fresh.active());
+  }
+  loop.run();
+  EXPECT_TRUE(loop.empty());
+}
+
+// Thread-ownership guard: once a loop is bound to an owner thread, handle
+// operations from any other thread are rejected and counted, never raced.
+TEST(EventLoopTest, ForeignThreadCancelRejected) {
+  EventLoop loop;
+  int fired = 0;
+  EventHandle handle = loop.schedule_at(10, [&] { ++fired; });
+  loop.bind_owner_thread(std::this_thread::get_id());
+  std::thread foreign([&] {
+    EXPECT_FALSE(handle.active());
+    EXPECT_FALSE(handle.cancel());
+  });
+  foreign.join();
+  EXPECT_EQ(loop.foreign_cancels_rejected(), 1u);
+  EXPECT_TRUE(handle.active());  // owner view is untouched
+  loop.run();
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace

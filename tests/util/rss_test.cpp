@@ -1,0 +1,34 @@
+#include "util/rss.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace aars::util {
+namespace {
+
+// Plausibility guard for the per-OS ru_maxrss normalization: the probe
+// must report KiB everywhere. A bytes-vs-KiB mix-up shifts the number by
+// 1024x, which these bounds catch on any host.
+TEST(RssTest, PeakRssIsPlausibleKilobytes) {
+  const long kb = peak_rss_kb();
+  ASSERT_GT(kb, 0);
+  EXPECT_GT(kb, 1024);               // a gtest process exceeds 1 MiB
+  EXPECT_LT(kb, 1024L * 1024 * 1024);  // ... and stays under 1 TiB
+}
+
+TEST(RssTest, PeakRssIsMonotonicAndTracksAllocation) {
+  const long before = peak_rss_kb();
+  // Touch 64 MiB so the peak provably covers it (in KiB, not bytes).
+  constexpr std::size_t kBytes = 64u * 1024 * 1024;
+  std::vector<unsigned char> block(kBytes);
+  for (std::size_t i = 0; i < kBytes; i += 4096) block[i] = 1;
+  const long after = peak_rss_kb();
+  EXPECT_GE(after, before);  // a peak never decreases
+  EXPECT_GE(after, static_cast<long>(kBytes / 1024 / 2));
+  EXPECT_GT(block[kBytes - 4096], 0);  // keep the buffer alive
+}
+
+}  // namespace
+}  // namespace aars::util

@@ -160,5 +160,36 @@ TEST(ValueTest, UniqueOwnerMutatesInPlaceWithoutClone) {
   EXPECT_EQ(a.size(), 3u);
 }
 
+// deep_detach is the shard-boundary contract: after the call, *no* node of
+// the tree — including nested children the plain COW copy still shares —
+// may be referenced by any other Value.
+TEST(ValueTest, DeepDetachSeparatesEveryNestedNode) {
+  Value a = Value::object(
+      {{"inner", Value::list({1, 2})},
+       {"deep", Value::object({{"leaf", Value::list({"x"})}})}});
+  Value b = a;  // whole tree shared
+  b.deep_detach();
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_FALSE(a.at("inner").shares_storage_with(b.at("inner")));
+  EXPECT_FALSE(a.at("deep").shares_storage_with(b.at("deep")));
+  EXPECT_FALSE(
+      a.at("deep").at("leaf").shares_storage_with(b.at("deep").at("leaf")));
+  EXPECT_EQ(a, b);  // structurally identical, storage fully disjoint
+  // Mutating the detached tree never reaches the original.
+  b["deep"]["leaf"].as_list().push_back("y");
+  EXPECT_EQ(a.at("deep").at("leaf").size(), 1u);
+  EXPECT_EQ(b.at("deep").at("leaf").size(), 2u);
+}
+
+TEST(ValueTest, DeepDetachOnScalarsAndSoleOwnersIsANoOp) {
+  Value scalar{42};
+  scalar.deep_detach();
+  EXPECT_EQ(scalar.as_int(), 42);
+  Value sole = Value::list({1, 2, 3});
+  sole.deep_detach();  // nothing shared: must not disturb contents
+  EXPECT_EQ(sole.size(), 3u);
+  EXPECT_EQ(sole.item(2).as_int(), 3);
+}
+
 }  // namespace
 }  // namespace aars::util
