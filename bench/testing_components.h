@@ -40,6 +40,23 @@ class EchoServer : public Component {
   }
 };
 
+/// Caller with a required Echo port, for worlds wired through `bind`.
+class EchoClient : public Component {
+ public:
+  explicit EchoClient(const std::string& instance_name)
+      : Component("EchoClient", instance_name) {
+    InterfaceDescription provided("Trigger", 1);
+    provided.add_service(ServiceSignature{
+        "go", {ParamSpec{"text", ValueType::kString, false}},
+        ValueType::kString});
+    set_provided(provided);
+    add_required(component::RequiredPort{"out", echo_interface()});
+    register_operation("go", 0.2, [this](const Value& args) -> Result<Value> {
+      return call("out", "echo", Value::object({{"text", args.at("text")}}));
+    });
+  }
+};
+
 inline InterfaceDescription counter_interface() {
   InterfaceDescription desc("Counter", 1);
   desc.add_service(ServiceSignature{

@@ -155,6 +155,126 @@ struct AstBinding {
   SourceLoc loc;
 };
 
+// --- reconfiguration rules -----------------------------------------------------
+//
+// Dynamic reconfiguration is a first-class construct of the language
+// (Minora/Buisson): a rule binds a runtime condition to a block of
+// reconfiguration actions, compiled ahead of time into pre-resolved
+// dispatch tables so firing never parses or hashes a name.
+//
+//   when queue_depth(jobs) > 48 for 2 ticks reconfigure shed_load {
+//     cooldown 2s;
+//     replace worker with CheapWorker;
+//   }
+//   when event fault.host_down reconfigure {
+//     reroute primary to standby;
+//   }
+
+/// Comparison operator in a metric condition.
+enum class AstCompare { kLt, kLe, kGt, kGe, kEq, kNe };
+
+constexpr const char* to_string(AstCompare c) {
+  switch (c) {
+    case AstCompare::kLt: return "<";
+    case AstCompare::kLe: return "<=";
+    case AstCompare::kGt: return ">";
+    case AstCompare::kGe: return ">=";
+    case AstCompare::kEq: return "==";
+    case AstCompare::kNe: return "!=";
+  }
+  return "?";
+}
+
+/// Trigger of a `when ... reconfigure` rule: either a named rule-engine
+/// event or a metric threshold, optionally sustained over several ticks.
+struct AstCondition {
+  bool is_event = false;
+  std::string event;            // is_event
+  std::string metric;           // !is_event: queue_depth|backlog|fault.active
+  std::string metric_subject;   // connector/node argument; may be empty
+  AstCompare compare = AstCompare::kGt;
+  double threshold = 0.0;
+  int sustain_ticks = 1;        // "for N ticks"
+  SourceLoc loc;
+};
+
+/// One reconfiguration action inside a rule block, mirroring the engine's
+/// change classes (add/remove/replace/migrate/rebind/reroute).
+struct AstRuleAction {
+  enum class Kind { kAdd, kRemove, kReplace, kMigrate, kRebind, kReroute };
+  Kind kind = Kind::kRemove;
+  std::string instance;   // target of every action
+  std::string type;       // kAdd / kReplace: component type
+  std::string name;       // kAdd: new instance name; kReplace: optional "as"
+  std::string node;       // kAdd / kMigrate: destination node
+  std::string port;       // kRebind
+  std::string connector;  // kRebind
+  std::string replica;    // kReroute
+  SourceLoc loc;
+};
+
+struct AstRule {
+  std::string name;  // optional; auto-named "rule_<n>" when empty
+  AstCondition condition;
+  std::vector<AstRuleAction> actions;
+  std::int64_t cooldown_us = 0;  // `cooldown 2s;` property
+  SourceLoc loc;
+};
+
+// --- goals & scenarios ---------------------------------------------------------
+//
+//   goal premium {
+//     latency jobs <= 5ms;
+//     replicas Worker >= 2;
+//     place frontend on edge;
+//   }
+//   scenario rush_hour {
+//     description "x1.7 capacity flash crowd";
+//     goal premium;
+//     fault "crash host core at 2s for 1s";
+//   }
+
+struct AstQosBound {
+  std::string connector;
+  bool upper = true;  // <= (upper) vs >= (lower)
+  std::int64_t latency_us = 0;
+  SourceLoc loc;
+};
+
+struct AstReplicaBound {
+  std::string type;
+  AstCompare compare = AstCompare::kGe;
+  int count = 0;
+  SourceLoc loc;
+};
+
+struct AstPlacement {
+  std::string instance;
+  std::string node;
+  SourceLoc loc;
+};
+
+/// Declarative management goal (MORPH-style): QoS bounds, replica counts
+/// and placement constraints the strategy layer must maintain.
+struct AstGoal {
+  std::string name;
+  std::vector<AstQosBound> qos;
+  std::vector<AstReplicaBound> replicas;
+  std::vector<AstPlacement> placements;
+  SourceLoc loc;
+};
+
+/// A named operating scenario: a description, the goals that must hold
+/// during it and optional fault-scenario lines (FaultScenario text format).
+struct AstScenario {
+  std::string name;
+  std::string description;
+  std::vector<std::string> goals;
+  std::vector<std::pair<std::string, SourceLoc>> faults;
+  std::int64_t duration_us = 0;
+  SourceLoc loc;
+};
+
 /// A whole configuration unit.
 struct Configuration {
   std::vector<AstInterface> interfaces;
@@ -164,6 +284,9 @@ struct Configuration {
   std::vector<AstInstance> instances;
   std::vector<AstConnector> connectors;
   std::vector<AstBinding> bindings;
+  std::vector<AstRule> rules;
+  std::vector<AstGoal> goals;
+  std::vector<AstScenario> scenarios;
 };
 
 }  // namespace aars::adl

@@ -1,0 +1,45 @@
+// The unified ADL compiler entrypoint — `adl::compile()`.
+//
+// Pipeline:   source ── lex ──> tokens ── parse ──> AST ── sema ──> typed IR
+//                                                          │
+//                                         emit <───────────┘
+//                                          │
+//             CompilationResult { CompiledConfiguration, RuleProgram,
+//                                 Diagnostics (line + column) }
+//
+// The optional `screen` hook runs after emit on a clean result; the analysis
+// layer uses it to pre-verify rule plan templates and goal feasibility at
+// compile time (see analysis/adl_screen.h) without the adl library acquiring
+// an upward dependency on the analyser.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "adl/ir.h"
+#include "util/errors.h"
+
+namespace aars::adl {
+
+struct CompileOptions {
+  /// Extra compile-time screening installed by higher layers (e.g.
+  /// analysis::make_compile_screen verifies each rule's plan template
+  /// against the declared architecture). Runs only when the front-end
+  /// produced no errors; appends its findings to `result.diagnostics`.
+  using Screen = std::function<void(CompilationResult&)>;
+  Screen screen;
+};
+
+/// Compiles an ADL source text. Never throws and always returns: check
+/// `result.ok()` (equivalently `result.diagnostics.ok()`) before deploying
+/// `result.config` or installing `result.program`.
+CompilationResult compile(std::string_view source,
+                          const CompileOptions& options = {});
+
+/// Reads `path` and compiles its contents; an unreadable file becomes an
+/// "unreadable-file" diagnostic.
+CompilationResult compile_file(const std::string& path,
+                               const CompileOptions& options = {});
+
+}  // namespace aars::adl

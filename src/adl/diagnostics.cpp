@@ -1,0 +1,93 @@
+#include "adl/diagnostics.h"
+
+#include "util/strings.h"
+
+namespace aars::adl {
+
+void Diagnostics::error(SourceLoc loc, std::string code, std::string message,
+                        util::ErrorCode legacy) {
+  Diagnostic d;
+  d.severity = DiagSeverity::kError;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.line = loc.line;
+  d.column = loc.column;
+  d.legacy_code = legacy;
+  items_.push_back(std::move(d));
+  ++error_count_;
+}
+
+void Diagnostics::warning(SourceLoc loc, std::string code,
+                          std::string message) {
+  Diagnostic d;
+  d.severity = DiagSeverity::kWarning;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.line = loc.line;
+  d.column = loc.column;
+  items_.push_back(std::move(d));
+}
+
+void Diagnostics::merge(const Diagnostics& other) {
+  for (const Diagnostic& d : other.items_) {
+    items_.push_back(d);
+    if (d.severity == DiagSeverity::kError) ++error_count_;
+  }
+}
+
+util::Error Diagnostics::to_error() const {
+  for (const Diagnostic& d : items_) {
+    if (d.severity != DiagSeverity::kError) continue;
+    std::string where = util::format("line %d", d.line);
+    if (d.column > 0) where += util::format(" col %d", d.column);
+    return util::Error{d.legacy_code, where + ": " + d.message};
+  }
+  return util::Error{util::ErrorCode::kInternal,
+                     "to_error() on a clean Diagnostics"};
+}
+
+namespace {
+
+/// Extracts (1-based) line `n` of `source`; empty when out of range.
+std::string_view source_line(std::string_view source, int n) {
+  if (n <= 0) return {};
+  std::size_t start = 0;
+  for (int i = 1; i < n; ++i) {
+    const std::size_t nl = source.find('\n', start);
+    if (nl == std::string_view::npos) return {};
+    start = nl + 1;
+  }
+  const std::size_t end = source.find('\n', start);
+  return source.substr(start,
+                       end == std::string_view::npos ? end : end - start);
+}
+
+}  // namespace
+
+std::string Diagnostics::render(std::string_view source) const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    std::string where = util::format("line %d", d.line);
+    if (d.column > 0) where += util::format(" col %d", d.column);
+    out += where + ": " + to_string(d.severity) + ": [" + d.code + "] " +
+           d.message + "\n";
+    if (!source.empty() && d.line > 0) {
+      const std::string_view text = source_line(source, d.line);
+      if (!text.empty()) {
+        out += "  " + std::string(text) + "\n";
+        if (d.column > 0) {
+          out += "  ";
+          // Tabs keep their width so the caret lands under the token.
+          for (int i = 1; i < d.column && i <= static_cast<int>(text.size());
+               ++i) {
+            out += text[i - 1] == '\t' ? '\t' : ' ';
+          }
+          out += "^\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aars::adl

@@ -1,0 +1,73 @@
+// Structured diagnostics for the ADL compiler.
+//
+// Every stage of the pipeline (lexer -> parser -> sema -> emit/screen)
+// reports findings into one Diagnostics list instead of aborting on the
+// first problem.  A Diagnostic carries the source line AND column plus a
+// stable kebab-case code, so `aars-lint` can render clickable locations
+// with a caret snippet and CI can diff the machine-readable form.
+//
+// The legacy `adl::parse()` / `adl::validate()` shims flatten the first
+// error back into a util::Error, preserving the historical ErrorCode each
+// failure class used (kParseError, kAlreadyExists, ...), so callers that
+// match on codes keep working.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adl/ast.h"
+#include "util/errors.h"
+
+namespace aars::adl {
+
+enum class DiagSeverity { kWarning, kError };
+
+constexpr const char* to_string(DiagSeverity s) {
+  return s == DiagSeverity::kError ? "error" : "warning";
+}
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  /// Stable kebab-case identifier, e.g. "unknown-metric".
+  std::string code;
+  std::string message;
+  /// 1-based source location; column 0 means "whole line".
+  int line = 0;
+  int column = 0;
+  /// ErrorCode the legacy entrypoints reported for this failure class.
+  util::ErrorCode legacy_code = util::ErrorCode::kInvalidArgument;
+};
+
+class Diagnostics {
+ public:
+  void error(SourceLoc loc, std::string code, std::string message,
+             util::ErrorCode legacy = util::ErrorCode::kInvalidArgument);
+  void warning(SourceLoc loc, std::string code, std::string message);
+
+  bool ok() const { return error_count_ == 0; }
+  std::size_t errors() const { return error_count_; }
+  std::size_t warnings() const { return items_.size() - error_count_; }
+  bool empty() const { return items_.empty(); }
+  const std::vector<Diagnostic>& items() const { return items_; }
+  void merge(const Diagnostics& other);
+
+  /// First error flattened to the legacy error shape:
+  ///   "line L col C: message".
+  /// Precondition: !ok().
+  util::Error to_error() const;
+
+  /// Human-readable rendering.  When `source` is supplied each diagnostic
+  /// is followed by the offending source line and a caret under the
+  /// reported column:
+  ///   line 4 col 12: error: [unknown-metric] no metric 'flux'
+  ///     when flux(jobs) > 5 reconfigure {
+  ///          ^
+  std::string render(std::string_view source = {}) const;
+
+ private:
+  std::vector<Diagnostic> items_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace aars::adl

@@ -82,7 +82,7 @@ bool apply_unit(const std::string& unit, double& value, bool& is_integer) {
 
 }  // namespace
 
-Result<std::vector<Token>> tokenize(std::string_view source) {
+std::vector<Token> lex(std::string_view source, Diagnostics& diags) {
   std::vector<Token> tokens;
   Cursor cur{source};
 
@@ -119,6 +119,7 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
         if (cur.peek() == '.') has_dot = true;
         digits += cur.advance();
       }
+      const SourceLoc unit_loc = cur.loc();
       std::string unit;
       while (!cur.done() &&
              std::isalpha(static_cast<unsigned char>(cur.peek()))) {
@@ -127,9 +128,10 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
       double value = std::stod(digits);
       bool is_integer = !has_dot;
       if (!apply_unit(unit, value, is_integer)) {
-        return Error{ErrorCode::kParseError,
-                     util::format("line %d: unknown unit '%s'", loc.line,
-                                  unit.c_str())};
+        diags.error(unit_loc, "unknown-unit",
+                    util::format("unknown unit '%s'", unit.c_str()),
+                    ErrorCode::kParseError);
+        continue;
       }
       Token token;
       token.loc = loc;
@@ -156,14 +158,15 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
         text += cur.advance();
       }
       if (cur.done()) {
-        return Error{ErrorCode::kParseError,
-                     util::format("line %d: unterminated string", loc.line)};
+        diags.error(loc, "unterminated-string", "unterminated string",
+                    ErrorCode::kParseError);
+        break;
       }
       cur.advance();  // closing quote
       tokens.push_back(Token{TokenKind::kString, text, 0, 0.0, loc});
       continue;
     }
-    // Arrows.
+    // Arrows (the duplex arrow must win over `<` comparison).
     if (c == '-' && cur.peek(1) == '>') {
       cur.advance();
       cur.advance();
@@ -177,6 +180,22 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
       tokens.push_back(Token{TokenKind::kDuplexArrow, "<->", 0, 0.0, loc});
       continue;
     }
+    // Comparison operators for rule conditions and goal bounds. Two-char
+    // forms first; bare `=`, `?`, `!` stay punctuation (attribute override
+    // and protocol direction markers).
+    if ((c == '<' || c == '>' || c == '=' || c == '!') && cur.peek(1) == '=') {
+      cur.advance();
+      cur.advance();
+      tokens.push_back(
+          Token{TokenKind::kCompare, std::string(1, c) + "=", 0, 0.0, loc});
+      continue;
+    }
+    if (c == '<' || c == '>') {
+      cur.advance();
+      tokens.push_back(
+          Token{TokenKind::kCompare, std::string(1, c), 0, 0.0, loc});
+      continue;
+    }
     // Single-character punctuation. `?` and `!` are the protocol-transition
     // direction markers (input/output) used inside `protocol { ... }` blocks.
     if (std::string("{}()[]:;,=?!").find(c) != std::string::npos) {
@@ -185,11 +204,19 @@ Result<std::vector<Token>> tokenize(std::string_view source) {
           Token{TokenKind::kPunct, std::string(1, c), 0, 0.0, loc});
       continue;
     }
-    return Error{ErrorCode::kParseError,
-                 util::format("line %d col %d: unexpected character '%c'",
-                              loc.line, loc.column, c)};
+    diags.error(loc, "unexpected-character",
+                util::format("unexpected character '%c'", c),
+                ErrorCode::kParseError);
+    cur.advance();
   }
   tokens.push_back(Token{TokenKind::kEnd, "", 0, 0.0, cur.loc()});
+  return tokens;
+}
+
+Result<std::vector<Token>> tokenize(std::string_view source) {
+  Diagnostics diags;
+  std::vector<Token> tokens = lex(source, diags);
+  if (!diags.ok()) return diags.to_error();
   return tokens;
 }
 

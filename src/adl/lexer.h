@@ -1,4 +1,4 @@
-// Tokeniser for the configuration language.
+// Tokeniser for the configuration language — stage 1 of the compiler.
 #pragma once
 
 #include <string>
@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "adl/ast.h"
+#include "adl/diagnostics.h"
 #include "util/errors.h"
 
 namespace aars::adl {
@@ -16,6 +17,7 @@ enum class TokenKind {
   kFloat,       // 3.14
   kString,      // "text"
   kPunct,       // { } ( ) [ ] : ; , = ? !
+  kCompare,     // < <= > >= == !=
   kArrow,       // ->
   kDuplexArrow, // <->
   kEnd,
@@ -23,16 +25,21 @@ enum class TokenKind {
 
 struct Token {
   TokenKind kind = TokenKind::kEnd;
-  std::string text;        // identifier/punct text or string contents
+  std::string text;        // identifier/punct/compare text or string contents
   std::int64_t int_value = 0;
   double float_value = 0.0;
   SourceLoc loc;
 };
 
-/// Tokenises `source`. Units on numbers are normalised:
+/// Tokenises `source`, reporting problems into `diags` (and recovering, so
+/// later stages can surface several errors at once). Units on numbers are
+/// normalised:
 ///   durations -> microseconds: us, ms, s
 ///   rates     -> bytes/second: bps, kbps, mbps, gbps (decimal, bits input)
 /// Comments run from `//` to end of line.
+std::vector<Token> lex(std::string_view source, Diagnostics& diags);
+
+/// Legacy entrypoint: first lex error flattened to a util::Error.
 util::Result<std::vector<Token>> tokenize(std::string_view source);
 
 }  // namespace aars::adl

@@ -12,36 +12,54 @@ using util::Value;
 
 namespace {
 
+AstCompare compare_from(const std::string& text) {
+  if (text == "<") return AstCompare::kLt;
+  if (text == "<=") return AstCompare::kLe;
+  if (text == ">") return AstCompare::kGt;
+  if (text == ">=") return AstCompare::kGe;
+  if (text == "==") return AstCompare::kEq;
+  return AstCompare::kNe;
+}
+
+/// The parser is fail-fast: the first syntax error is recorded (with line
+/// and column) and the declaration loop stops, since recovery after a
+/// structural error mostly produces cascades.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, Diagnostics& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
 
-  Result<Configuration> run() {
+  Configuration run() {
     Configuration config;
-    while (!at_end()) {
+    while (!at_end() && !failed_) {
       const Token& head = peek();
       if (head.kind != TokenKind::kIdentifier) {
-        return fail("expected a declaration keyword");
+        fail("expected a declaration keyword");
+        break;
       }
-      util::Status status = Error{ErrorCode::kInternal, "unset"};
       if (head.text == "interface") {
-        status = parse_interface(config);
+        parse_interface(config);
       } else if (head.text == "component") {
-        status = parse_component(config);
+        parse_component(config);
       } else if (head.text == "node") {
-        status = parse_node(config);
+        parse_node(config);
       } else if (head.text == "link") {
-        status = parse_link(config);
+        parse_link(config);
       } else if (head.text == "instance") {
-        status = parse_instance(config);
+        parse_instance(config);
       } else if (head.text == "connector") {
-        status = parse_connector(config);
+        parse_connector(config);
       } else if (head.text == "bind") {
-        status = parse_binding(config);
+        parse_binding(config);
+      } else if (head.text == "when") {
+        parse_rule(config);
+      } else if (head.text == "goal") {
+        parse_goal(config);
+      } else if (head.text == "scenario") {
+        parse_scenario(config);
       } else {
-        return fail("unknown declaration '" + head.text + "'");
+        fail("unknown declaration '" + head.text + "'");
       }
-      if (!status.ok()) return status.error();
     }
     return config;
   }
@@ -51,7 +69,9 @@ class Parser {
     const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
     return tokens_[i];
   }
-  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  const Token& advance() {
+    return tokens_[std::min(pos_++, tokens_.size() - 1)];
+  }
   bool at_end() const { return peek().kind == TokenKind::kEnd; }
 
   bool check_punct(const char* p) const {
@@ -71,48 +91,97 @@ class Parser {
     return true;
   }
 
-  Error fail(const std::string& what) const {
-    return Error{ErrorCode::kParseError,
-                 util::format("line %d: %s (near '%s')", peek().loc.line,
-                              what.c_str(), peek().text.c_str())};
+  /// Records the error and halts the parse. Returns false so call sites can
+  /// `return fail(...)` from bool helpers.
+  bool fail(const std::string& what, const char* code = nullptr) {
+    if (failed_) return false;
+    failed_ = true;
+    const Token& t = peek();
+    const bool eof = t.kind == TokenKind::kEnd;
+    // An explicit code (e.g. "unterminated-rule") wins even at EOF — tests
+    // and lint match on it; the generic fallback distinguishes plain parse
+    // errors from running off the end of the file.
+    if (code == nullptr) code = eof ? "unexpected-eof" : "parse-error";
+    diags_.error(t.loc, code,
+                 what + " (near '" + (eof ? "end of input" : t.text) + "')",
+                 ErrorCode::kParseError);
+    return false;
   }
 
-  util::Status expect_punct(const char* p) {
-    if (!match_punct(p)) return fail(std::string("expected '") + p + "'");
-    return util::Status::success();
+  bool expect_punct(const char* p) {
+    if (!match_punct(p)) {
+      if (failed_) return false;
+      // A missing token at the end of line N is an error on line N, not
+      // wherever line N+1 happens to start — anchor the diagnostic to the
+      // end of the previous token when the next one sits on a later line
+      // (the multi-line `protocol`/`component` block off-by-one).
+      if (pos_ > 0) {
+        const Token& prev = tokens_[pos_ - 1];
+        const Token& next = peek();
+        const bool eof = next.kind == TokenKind::kEnd;
+        if (eof || next.loc.line > prev.loc.line) {
+          failed_ = true;
+          SourceLoc loc = prev.loc;
+          loc.column += static_cast<int>(
+              prev.text.empty() ? 1 : prev.text.size());
+          diags_.error(loc, eof ? "unexpected-eof" : "parse-error",
+                       std::string("expected '") + p + "' (after '" +
+                           prev.text + "')",
+                       ErrorCode::kParseError);
+          return false;
+        }
+      }
+      return fail(std::string("expected '") + p + "'");
+    }
+    return true;
   }
 
-  Result<std::string> expect_identifier(const char* what) {
+  bool expect_identifier(const char* what, std::string& out) {
     if (peek().kind != TokenKind::kIdentifier) {
       return fail(std::string("expected ") + what);
     }
-    return advance().text;
+    out = advance().text;
+    return true;
   }
 
-  Result<Value> parse_literal() {
+  bool expect_integer(const char* what, std::int64_t& out) {
+    if (peek().kind != TokenKind::kInteger) {
+      return fail(std::string("expected ") + what);
+    }
+    out = advance().int_value;
+    return true;
+  }
+
+  bool parse_literal(Value& out) {
     const Token& t = peek();
     switch (t.kind) {
       case TokenKind::kInteger:
         advance();
-        return Value{t.int_value};
+        out = Value{t.int_value};
+        return true;
       case TokenKind::kFloat:
         advance();
-        return Value{t.float_value};
+        out = Value{t.float_value};
+        return true;
       case TokenKind::kString:
         advance();
-        return Value{t.text};
+        out = Value{t.text};
+        return true;
       case TokenKind::kIdentifier:
         if (t.text == "true") {
           advance();
-          return Value{true};
+          out = Value{true};
+          return true;
         }
         if (t.text == "false") {
           advance();
-          return Value{false};
+          out = Value{false};
+          return true;
         }
         if (t.text == "null") {
           advance();
-          return Value{};
+          out = Value{};
+          return true;
         }
         return fail("expected a literal");
       default:
@@ -121,153 +190,131 @@ class Parser {
   }
 
   // interface Name [version N] { service name(p: type, ...) -> type; ... }
-  util::Status parse_interface(Configuration& config) {
+  void parse_interface(Configuration& config) {
     AstInterface iface;
     iface.loc = peek().loc;
     advance();  // interface
-    auto name = expect_identifier("interface name");
-    if (!name.ok()) return name.error();
-    iface.name = name.value();
+    if (!expect_identifier("interface name", iface.name)) return;
     if (match_keyword("version")) {
-      if (peek().kind != TokenKind::kInteger) return fail("expected version");
+      if (peek().kind != TokenKind::kInteger) {
+        fail("expected version");
+        return;
+      }
       iface.version = static_cast<int>(advance().int_value);
     }
-    if (auto s = expect_punct("{"); !s.ok()) return s;
+    if (!expect_punct("{")) return;
     while (!check_punct("}")) {
-      if (!match_keyword("service")) return fail("expected 'service'");
+      if (!match_keyword("service")) {
+        fail("expected 'service'");
+        return;
+      }
       AstService service;
       service.loc = peek().loc;
-      auto sname = expect_identifier("service name");
-      if (!sname.ok()) return sname.error();
-      service.name = sname.value();
-      if (auto s = expect_punct("("); !s.ok()) return s;
+      if (!expect_identifier("service name", service.name)) return;
+      if (!expect_punct("(")) return;
       while (!check_punct(")")) {
         AstParam param;
         if (match_keyword("optional")) param.optional = true;
-        auto pname = expect_identifier("parameter name");
-        if (!pname.ok()) return pname.error();
-        param.name = pname.value();
-        if (auto s = expect_punct(":"); !s.ok()) return s;
-        auto ptype = expect_identifier("parameter type");
-        if (!ptype.ok()) return ptype.error();
-        param.type = ptype.value();
+        if (!expect_identifier("parameter name", param.name)) return;
+        if (!expect_punct(":")) return;
+        if (!expect_identifier("parameter type", param.type)) return;
         service.params.push_back(std::move(param));
         if (!match_punct(",")) break;
       }
-      if (auto s = expect_punct(")"); !s.ok()) return s;
+      if (!expect_punct(")")) return;
       if (peek().kind == TokenKind::kArrow) {
         advance();
-        auto rtype = expect_identifier("result type");
-        if (!rtype.ok()) return rtype.error();
-        service.result_type = rtype.value();
+        if (!expect_identifier("result type", service.result_type)) return;
       }
-      if (auto s = expect_punct(";"); !s.ok()) return s;
+      if (!expect_punct(";")) return;
       iface.services.push_back(std::move(service));
     }
     advance();  // }
     config.interfaces.push_back(std::move(iface));
-    return util::Status::success();
   }
 
   // component Name [provides Iface] { requires port: Iface; attribute n: t = lit; }
-  util::Status parse_component(Configuration& config) {
+  void parse_component(Configuration& config) {
     AstComponent comp;
     comp.loc = peek().loc;
     advance();  // component
-    auto name = expect_identifier("component name");
-    if (!name.ok()) return name.error();
-    comp.name = name.value();
+    if (!expect_identifier("component name", comp.name)) return;
     if (match_keyword("provides")) {
-      auto iface = expect_identifier("provided interface");
-      if (!iface.ok()) return iface.error();
-      comp.provides = iface.value();
+      if (!expect_identifier("provided interface", comp.provides)) return;
     }
     if (match_punct(";")) {
       config.components.push_back(std::move(comp));
-      return util::Status::success();
+      return;
     }
-    if (auto s = expect_punct("{"); !s.ok()) return s;
+    if (!expect_punct("{")) return;
     while (!check_punct("}")) {
       if (match_keyword("requires")) {
         AstRequire req;
         req.loc = peek().loc;
-        auto port = expect_identifier("port name");
-        if (!port.ok()) return port.error();
-        req.port = port.value();
-        if (auto s = expect_punct(":"); !s.ok()) return s;
-        auto iface = expect_identifier("required interface");
-        if (!iface.ok()) return iface.error();
-        req.interface = iface.value();
-        if (auto s = expect_punct(";"); !s.ok()) return s;
+        if (!expect_identifier("port name", req.port)) return;
+        if (!expect_punct(":")) return;
+        if (!expect_identifier("required interface", req.interface)) return;
+        if (!expect_punct(";")) return;
         comp.requires_.push_back(std::move(req));
       } else if (match_keyword("attribute")) {
         AstAttribute attr;
         attr.loc = peek().loc;
-        auto aname = expect_identifier("attribute name");
-        if (!aname.ok()) return aname.error();
-        attr.name = aname.value();
-        if (auto s = expect_punct(":"); !s.ok()) return s;
-        auto atype = expect_identifier("attribute type");
-        if (!atype.ok()) return atype.error();
-        attr.type = atype.value();
+        if (!expect_identifier("attribute name", attr.name)) return;
+        if (!expect_punct(":")) return;
+        if (!expect_identifier("attribute type", attr.type)) return;
         if (match_punct("=")) {
-          auto lit = parse_literal();
-          if (!lit.ok()) return lit.error();
-          attr.default_value = lit.value();
+          if (!parse_literal(attr.default_value)) return;
         }
-        if (auto s = expect_punct(";"); !s.ok()) return s;
+        if (!expect_punct(";")) return;
         comp.attributes.push_back(std::move(attr));
       } else if (check_keyword("protocol")) {
         if (comp.protocol.has_value()) {
-          return fail("component already declares a protocol");
+          fail("component already declares a protocol");
+          return;
         }
-        auto protocol = parse_protocol();
-        if (!protocol.ok()) return protocol.error();
-        comp.protocol = std::move(protocol).value();
+        AstProtocol protocol;
+        if (!parse_protocol(protocol)) return;
+        comp.protocol = std::move(protocol);
       } else {
-        return fail("expected 'requires', 'attribute' or 'protocol'");
+        fail("expected 'requires', 'attribute' or 'protocol'");
+        return;
       }
     }
     advance();  // }
     config.components.push_back(std::move(comp));
-    return util::Status::success();
   }
 
   // protocol { state s [final]; ...  from -> to on action?|action!|tau; ... }
-  Result<AstProtocol> parse_protocol() {
-    AstProtocol protocol;
+  bool parse_protocol(AstProtocol& protocol) {
     protocol.loc = peek().loc;
     advance();  // protocol
-    if (auto s = expect_punct("{"); !s.ok()) return s.error();
+    if (!expect_punct("{")) return false;
     while (!check_punct("}")) {
+      if (at_end()) return fail("unterminated protocol block");
       if (match_keyword("state")) {
         AstProtocolState state;
         state.loc = peek().loc;
-        auto name = expect_identifier("state name");
-        if (!name.ok()) return name.error();
-        state.name = name.value();
+        if (!expect_identifier("state name", state.name)) return false;
         if (match_keyword("final")) state.final_state = true;
-        if (auto s = expect_punct(";"); !s.ok()) return s.error();
+        if (!expect_punct(";")) return false;
         protocol.states.push_back(std::move(state));
         continue;
       }
       AstProtocolTransition transition;
       transition.loc = peek().loc;
-      auto from = expect_identifier("state name or 'state'");
-      if (!from.ok()) return from.error();
-      transition.from = from.value();
+      if (!expect_identifier("state name or 'state'", transition.from)) {
+        return false;
+      }
       if (peek().kind != TokenKind::kArrow) return fail("expected '->'");
       advance();
-      auto to = expect_identifier("target state");
-      if (!to.ok()) return to.error();
-      transition.to = to.value();
+      if (!expect_identifier("target state", transition.to)) return false;
       if (!match_keyword("on")) return fail("expected 'on <action>'");
-      auto action = expect_identifier("action name");
-      if (!action.ok()) return action.error();
-      if (action.value() == "tau") {
+      std::string action;
+      if (!expect_identifier("action name", action)) return false;
+      if (action == "tau") {
         transition.direction = 't';
       } else {
-        transition.action = action.value();
+        transition.action = std::move(action);
         if (match_punct("?")) {
           transition.direction = '?';
         } else if (match_punct("!")) {
@@ -276,218 +323,467 @@ class Parser {
           return fail("expected '?' or '!' after action name");
         }
       }
-      if (auto s = expect_punct(";"); !s.ok()) return s.error();
+      if (!expect_punct(";")) return false;
       protocol.transitions.push_back(std::move(transition));
     }
     advance();  // }
-    return protocol;
+    return true;
   }
 
   // node Name { capacity N; }
-  util::Status parse_node(Configuration& config) {
+  void parse_node(Configuration& config) {
     AstNode node;
     node.loc = peek().loc;
     advance();  // node
-    auto name = expect_identifier("node name");
-    if (!name.ok()) return name.error();
-    node.name = name.value();
-    if (auto s = expect_punct("{"); !s.ok()) return s;
+    if (!expect_identifier("node name", node.name)) return;
+    if (!expect_punct("{")) return;
     while (!check_punct("}")) {
       if (match_keyword("capacity")) {
         if (peek().kind != TokenKind::kInteger &&
             peek().kind != TokenKind::kFloat) {
-          return fail("expected capacity value");
+          fail("expected capacity value");
+          return;
         }
         node.capacity = advance().float_value;
-        if (node.capacity <= 0) return fail("capacity must be positive");
-        if (auto s = expect_punct(";"); !s.ok()) return s;
+        if (node.capacity <= 0) {
+          fail("capacity must be positive");
+          return;
+        }
+        if (!expect_punct(";")) return;
       } else {
-        return fail("expected 'capacity'");
+        fail("expected 'capacity'");
+        return;
       }
     }
     advance();  // }
     config.nodes.push_back(std::move(node));
-    return util::Status::success();
   }
 
   // link A -> B { latency 5ms; bandwidth 100mbps; jitter 1ms; loss 0.01; }
-  util::Status parse_link(Configuration& config) {
+  void parse_link(Configuration& config) {
     AstLink link;
     link.loc = peek().loc;
     advance();  // link
-    auto from = expect_identifier("link source node");
-    if (!from.ok()) return from.error();
-    link.from = from.value();
+    if (!expect_identifier("link source node", link.from)) return;
     if (peek().kind == TokenKind::kArrow) {
       advance();
     } else if (peek().kind == TokenKind::kDuplexArrow) {
       link.duplex = true;
       advance();
     } else {
-      return fail("expected '->' or '<->'");
+      fail("expected '->' or '<->'");
+      return;
     }
-    auto to = expect_identifier("link target node");
-    if (!to.ok()) return to.error();
-    link.to = to.value();
-    if (auto s = expect_punct("{"); !s.ok()) return s;
+    if (!expect_identifier("link target node", link.to)) return;
+    if (!expect_punct("{")) return;
     while (!check_punct("}")) {
-      auto prop = expect_identifier("link property");
-      if (!prop.ok()) return prop.error();
+      std::string prop;
+      if (!expect_identifier("link property", prop)) return;
       if (peek().kind != TokenKind::kInteger &&
           peek().kind != TokenKind::kFloat) {
-        return fail("expected a numeric value");
+        fail("expected a numeric value");
+        return;
       }
       const Token value = advance();
-      if (prop.value() == "latency") {
+      if (prop == "latency") {
         link.latency_us = value.kind == TokenKind::kInteger
                               ? value.int_value
                               : static_cast<std::int64_t>(value.float_value);
-      } else if (prop.value() == "bandwidth") {
+      } else if (prop == "bandwidth") {
         link.bandwidth_bytes_per_sec = value.float_value;
-      } else if (prop.value() == "jitter") {
+      } else if (prop == "jitter") {
         link.jitter_us = value.kind == TokenKind::kInteger
                              ? value.int_value
                              : static_cast<std::int64_t>(value.float_value);
-      } else if (prop.value() == "loss") {
+      } else if (prop == "loss") {
         link.loss = value.float_value;
         if (link.loss < 0.0 || link.loss > 1.0) {
-          return fail("loss must be in [0,1]");
+          fail("loss must be in [0,1]");
+          return;
         }
       } else {
-        return fail("unknown link property '" + prop.value() + "'");
+        fail("unknown link property '" + prop + "'");
+        return;
       }
-      if (auto s = expect_punct(";"); !s.ok()) return s;
+      if (!expect_punct(";")) return;
     }
     advance();  // }
     config.links.push_back(std::move(link));
-    return util::Status::success();
   }
 
   // instance name: Type on node [{ attr = lit; ... }] ;
-  util::Status parse_instance(Configuration& config) {
+  void parse_instance(Configuration& config) {
     AstInstance inst;
     inst.loc = peek().loc;
     advance();  // instance
-    auto name = expect_identifier("instance name");
-    if (!name.ok()) return name.error();
-    inst.name = name.value();
-    if (auto s = expect_punct(":"); !s.ok()) return s;
-    auto type = expect_identifier("component type");
-    if (!type.ok()) return type.error();
-    inst.type = type.value();
-    if (!match_keyword("on")) return fail("expected 'on <node>'");
-    auto node = expect_identifier("node name");
-    if (!node.ok()) return node.error();
-    inst.node = node.value();
+    if (!expect_identifier("instance name", inst.name)) return;
+    if (!expect_punct(":")) return;
+    if (!expect_identifier("component type", inst.type)) return;
+    if (!match_keyword("on")) {
+      fail("expected 'on <node>'");
+      return;
+    }
+    if (!expect_identifier("node name", inst.node)) return;
     if (match_punct("{")) {
       while (!check_punct("}")) {
-        auto aname = expect_identifier("attribute name");
-        if (!aname.ok()) return aname.error();
-        if (auto s = expect_punct("="); !s.ok()) return s;
-        auto lit = parse_literal();
-        if (!lit.ok()) return lit.error();
-        inst.attribute_overrides.emplace_back(aname.value(), lit.value());
-        if (auto s = expect_punct(";"); !s.ok()) return s;
+        std::string aname;
+        if (!expect_identifier("attribute name", aname)) return;
+        if (!expect_punct("=")) return;
+        Value lit;
+        if (!parse_literal(lit)) return;
+        inst.attribute_overrides.emplace_back(std::move(aname),
+                                              std::move(lit));
+        if (!expect_punct(";")) return;
       }
       advance();  // }
     } else if (!match_punct(";")) {
-      return fail("expected '{' or ';'");
+      fail("expected '{' or ';'");
+      return;
     }
     config.instances.push_back(std::move(inst));
-    return util::Status::success();
   }
 
   // connector name { routing X; delivery Y; capacity N; aspects [a, b]; }
-  util::Status parse_connector(Configuration& config) {
+  void parse_connector(Configuration& config) {
     AstConnector conn;
     conn.loc = peek().loc;
     advance();  // connector
-    auto name = expect_identifier("connector name");
-    if (!name.ok()) return name.error();
-    conn.name = name.value();
-    if (auto s = expect_punct("{"); !s.ok()) return s;
+    if (!expect_identifier("connector name", conn.name)) return;
+    if (!expect_punct("{")) return;
     while (!check_punct("}")) {
-      auto prop = expect_identifier("connector property");
-      if (!prop.ok()) return prop.error();
-      if (prop.value() == "routing") {
-        auto v = expect_identifier("routing policy");
-        if (!v.ok()) return v.error();
-        conn.routing = v.value();
-      } else if (prop.value() == "delivery") {
-        auto v = expect_identifier("delivery mode");
-        if (!v.ok()) return v.error();
-        conn.delivery = v.value();
-      } else if (prop.value() == "capacity") {
+      std::string prop;
+      if (!expect_identifier("connector property", prop)) return;
+      if (prop == "routing") {
+        if (!expect_identifier("routing policy", conn.routing)) return;
+      } else if (prop == "delivery") {
+        if (!expect_identifier("delivery mode", conn.delivery)) return;
+      } else if (prop == "capacity") {
+        if (!expect_integer("integer capacity", conn.capacity)) return;
+      } else if (prop == "budget") {
         if (peek().kind != TokenKind::kInteger) {
-          return fail("expected integer capacity");
-        }
-        conn.capacity = advance().int_value;
-      } else if (prop.value() == "budget") {
-        if (peek().kind != TokenKind::kInteger) {
-          return fail("expected a duration budget (e.g. 5ms)");
+          fail("expected a duration budget (e.g. 5ms)");
+          return;
         }
         conn.budget_us = advance().int_value;
-      } else if (prop.value() == "aspects") {
-        if (auto s = expect_punct("["); !s.ok()) return s;
+      } else if (prop == "aspects") {
+        if (!expect_punct("[")) return;
         while (!check_punct("]")) {
-          auto aspect = expect_identifier("aspect name");
-          if (!aspect.ok()) return aspect.error();
-          conn.aspects.push_back(aspect.value());
+          std::string aspect;
+          if (!expect_identifier("aspect name", aspect)) return;
+          conn.aspects.push_back(std::move(aspect));
           if (!match_punct(",")) break;
         }
-        if (auto s = expect_punct("]"); !s.ok()) return s;
+        if (!expect_punct("]")) return;
       } else {
-        return fail("unknown connector property '" + prop.value() + "'");
+        fail("unknown connector property '" + prop + "'");
+        return;
       }
-      if (auto s = expect_punct(";"); !s.ok()) return s;
+      if (!expect_punct(";")) return;
     }
     advance();  // }
     config.connectors.push_back(std::move(conn));
-    return util::Status::success();
   }
 
   // bind inst.port -> provider[, provider2] [via connector] ;
-  util::Status parse_binding(Configuration& config) {
+  void parse_binding(Configuration& config) {
     AstBinding bind;
     bind.loc = peek().loc;
     advance();  // bind
-    auto source = expect_identifier("binding source (instance.port)");
-    if (!source.ok()) return source.error();
-    const auto parts = util::split(source.value(), '.');
+    std::string source;
+    if (!expect_identifier("binding source (instance.port)", source)) return;
+    const auto parts = util::split(source, '.');
     if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
-      return fail("binding source must be 'instance.port'");
+      fail("binding source must be 'instance.port'");
+      return;
     }
     bind.from_instance = parts[0];
     bind.from_port = parts[1];
-    if (peek().kind != TokenKind::kArrow) return fail("expected '->'");
+    if (peek().kind != TokenKind::kArrow) {
+      fail("expected '->'");
+      return;
+    }
     advance();
     while (true) {
-      auto target = expect_identifier("provider instance");
-      if (!target.ok()) return target.error();
-      bind.to_instances.push_back(target.value());
+      std::string target;
+      if (!expect_identifier("provider instance", target)) return;
+      bind.to_instances.push_back(std::move(target));
       if (!match_punct(",")) break;
     }
     if (match_keyword("via")) {
-      auto conn = expect_identifier("connector name");
-      if (!conn.ok()) return conn.error();
-      bind.via_connector = conn.value();
+      if (!expect_identifier("connector name", bind.via_connector)) return;
     }
-    if (auto s = expect_punct(";"); !s.ok()) return s;
+    if (!expect_punct(";")) return;
     config.bindings.push_back(std::move(bind));
-    return util::Status::success();
+  }
+
+  // --- reconfiguration rules ---------------------------------------------
+
+  // when <condition> [for N ticks] reconfigure [name] { [cooldown D;] action* }
+  void parse_rule(Configuration& config) {
+    AstRule rule;
+    rule.loc = peek().loc;
+    advance();  // when
+    if (!parse_condition(rule.condition)) return;
+    if (match_keyword("for")) {
+      std::int64_t ticks = 0;
+      if (!expect_integer("tick count after 'for'", ticks)) return;
+      if (ticks < 1) {
+        fail("sustain tick count must be >= 1");
+        return;
+      }
+      rule.condition.sustain_ticks = static_cast<int>(ticks);
+      if (!match_keyword("ticks") && !match_keyword("tick")) {
+        fail("expected 'ticks'");
+        return;
+      }
+    }
+    if (!match_keyword("reconfigure")) {
+      fail("expected 'reconfigure'");
+      return;
+    }
+    if (peek().kind == TokenKind::kIdentifier) rule.name = advance().text;
+    if (!expect_punct("{")) return;
+    while (!check_punct("}")) {
+      if (at_end()) {
+        fail("unterminated rule block", "unterminated-rule");
+        return;
+      }
+      if (match_keyword("cooldown")) {
+        if (!expect_integer("duration after 'cooldown'", rule.cooldown_us)) {
+          return;
+        }
+        if (!expect_punct(";")) return;
+        continue;
+      }
+      AstRuleAction action;
+      if (!parse_rule_action(action)) return;
+      rule.actions.push_back(std::move(action));
+    }
+    advance();  // }
+    if (rule.actions.empty()) {
+      fail("rule block declares no actions");
+      return;
+    }
+    config.rules.push_back(std::move(rule));
+  }
+
+  // event <name>  |  metric[(subject)] CMP number
+  bool parse_condition(AstCondition& cond) {
+    cond.loc = peek().loc;
+    if (match_keyword("event")) {
+      cond.is_event = true;
+      return expect_identifier("event name", cond.event);
+    }
+    if (!expect_identifier("metric name", cond.metric)) return false;
+    if (match_punct("(")) {
+      if (!expect_identifier("metric argument", cond.metric_subject)) {
+        return false;
+      }
+      if (!expect_punct(")")) return false;
+    }
+    if (peek().kind != TokenKind::kCompare) {
+      return fail("expected a comparison operator (<, <=, >, >=, ==, !=)");
+    }
+    cond.compare = compare_from(advance().text);
+    const Token& t = peek();
+    if (t.kind == TokenKind::kInteger) {
+      cond.threshold = static_cast<double>(advance().int_value);
+    } else if (t.kind == TokenKind::kFloat) {
+      cond.threshold = advance().float_value;
+    } else {
+      return fail("expected a numeric threshold");
+    }
+    return true;
+  }
+
+  //   add name: Type on node;
+  //   remove inst;
+  //   replace inst with Type [as name];
+  //   migrate inst to node;
+  //   rebind inst.port -> connector;
+  //   reroute inst to replica;
+  bool parse_rule_action(AstRuleAction& action) {
+    action.loc = peek().loc;
+    if (match_keyword("add")) {
+      action.kind = AstRuleAction::Kind::kAdd;
+      if (!expect_identifier("new instance name", action.name)) return false;
+      if (!expect_punct(":")) return false;
+      if (!expect_identifier("component type", action.type)) return false;
+      if (!match_keyword("on")) return fail("expected 'on <node>'");
+      if (!expect_identifier("node name", action.node)) return false;
+    } else if (match_keyword("remove")) {
+      action.kind = AstRuleAction::Kind::kRemove;
+      if (!expect_identifier("instance name", action.instance)) return false;
+    } else if (match_keyword("replace")) {
+      action.kind = AstRuleAction::Kind::kReplace;
+      if (!expect_identifier("instance name", action.instance)) return false;
+      if (!match_keyword("with")) return fail("expected 'with <Type>'");
+      if (!expect_identifier("component type", action.type)) return false;
+      if (match_keyword("as")) {
+        if (!expect_identifier("new instance name", action.name)) return false;
+      }
+    } else if (match_keyword("migrate")) {
+      action.kind = AstRuleAction::Kind::kMigrate;
+      if (!expect_identifier("instance name", action.instance)) return false;
+      if (!match_keyword("to")) return fail("expected 'to <node>'");
+      if (!expect_identifier("node name", action.node)) return false;
+    } else if (match_keyword("rebind")) {
+      action.kind = AstRuleAction::Kind::kRebind;
+      std::string source;
+      if (!expect_identifier("rebind source (instance.port)", source)) {
+        return false;
+      }
+      const auto parts = util::split(source, '.');
+      if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+        return fail("rebind source must be 'instance.port'");
+      }
+      action.instance = parts[0];
+      action.port = parts[1];
+      if (peek().kind != TokenKind::kArrow) return fail("expected '->'");
+      advance();
+      if (!expect_identifier("connector name", action.connector)) return false;
+    } else if (match_keyword("reroute")) {
+      action.kind = AstRuleAction::Kind::kReroute;
+      if (!expect_identifier("instance name", action.instance)) return false;
+      if (!match_keyword("to")) return fail("expected 'to <replica>'");
+      if (!expect_identifier("replica instance", action.replica)) return false;
+    } else {
+      return fail(
+          "expected a reconfiguration action "
+          "(add/remove/replace/migrate/rebind/reroute) or 'cooldown'");
+    }
+    return expect_punct(";");
+  }
+
+  // --- goals & scenarios --------------------------------------------------
+
+  // goal name { latency conn <= 5ms; replicas Type >= 2; place inst on node; }
+  void parse_goal(Configuration& config) {
+    AstGoal goal;
+    goal.loc = peek().loc;
+    advance();  // goal
+    if (!expect_identifier("goal name", goal.name)) return;
+    if (!expect_punct("{")) return;
+    while (!check_punct("}")) {
+      if (at_end()) {
+        fail("unterminated goal block", "unterminated-goal");
+        return;
+      }
+      if (match_keyword("latency")) {
+        AstQosBound bound;
+        bound.loc = peek().loc;
+        if (!expect_identifier("connector name", bound.connector)) return;
+        if (peek().kind != TokenKind::kCompare ||
+            (peek().text != "<=" && peek().text != ">=")) {
+          fail("expected '<=' or '>=' latency bound");
+          return;
+        }
+        bound.upper = advance().text == "<=";
+        if (!expect_integer("duration bound (e.g. 5ms)", bound.latency_us)) {
+          return;
+        }
+        if (!expect_punct(";")) return;
+        goal.qos.push_back(std::move(bound));
+      } else if (match_keyword("replicas")) {
+        AstReplicaBound bound;
+        bound.loc = peek().loc;
+        if (!expect_identifier("component type", bound.type)) return;
+        if (peek().kind != TokenKind::kCompare) {
+          fail("expected a comparison operator");
+          return;
+        }
+        bound.compare = compare_from(advance().text);
+        std::int64_t count = 0;
+        if (!expect_integer("replica count", count)) return;
+        bound.count = static_cast<int>(count);
+        if (!expect_punct(";")) return;
+        goal.replicas.push_back(std::move(bound));
+      } else if (match_keyword("place")) {
+        AstPlacement placement;
+        placement.loc = peek().loc;
+        if (!expect_identifier("instance name", placement.instance)) return;
+        if (!match_keyword("on")) {
+          fail("expected 'on <node>'");
+          return;
+        }
+        if (!expect_identifier("node name", placement.node)) return;
+        if (!expect_punct(";")) return;
+        goal.placements.push_back(std::move(placement));
+      } else {
+        fail("expected 'latency', 'replicas' or 'place'");
+        return;
+      }
+    }
+    advance();  // }
+    config.goals.push_back(std::move(goal));
+  }
+
+  // scenario name { description "..."; goal g; fault "..."; duration D; }
+  void parse_scenario(Configuration& config) {
+    AstScenario scenario;
+    scenario.loc = peek().loc;
+    advance();  // scenario
+    if (!expect_identifier("scenario name", scenario.name)) return;
+    if (!expect_punct("{")) return;
+    while (!check_punct("}")) {
+      if (at_end()) {
+        fail("unterminated scenario block", "unterminated-scenario");
+        return;
+      }
+      if (match_keyword("description")) {
+        if (peek().kind != TokenKind::kString) {
+          fail("expected a string description");
+          return;
+        }
+        scenario.description = advance().text;
+        if (!expect_punct(";")) return;
+      } else if (match_keyword("goal")) {
+        std::string goal;
+        if (!expect_identifier("goal name", goal)) return;
+        scenario.goals.push_back(std::move(goal));
+        if (!expect_punct(";")) return;
+      } else if (match_keyword("fault")) {
+        const SourceLoc loc = peek().loc;
+        if (peek().kind != TokenKind::kString) {
+          fail("expected a quoted fault line");
+          return;
+        }
+        scenario.faults.emplace_back(advance().text, loc);
+        if (!expect_punct(";")) return;
+      } else if (match_keyword("duration")) {
+        if (!expect_integer("duration (e.g. 10s)", scenario.duration_us)) {
+          return;
+        }
+        if (!expect_punct(";")) return;
+      } else {
+        fail("expected 'description', 'goal', 'fault' or 'duration'");
+        return;
+      }
+    }
+    advance();  // }
+    config.scenarios.push_back(std::move(scenario));
   }
 
   std::vector<Token> tokens_;
+  Diagnostics& diags_;
   std::size_t pos_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace
 
-Result<Configuration> parse(std::string_view source) {
-  Result<std::vector<Token>> tokens = tokenize(source);
-  if (!tokens.ok()) return tokens.error();
-  Parser parser(std::move(tokens).value());
+Configuration parse_ast(std::string_view source, Diagnostics& diags) {
+  std::vector<Token> tokens = lex(source, diags);
+  if (!diags.ok()) return {};
+  Parser parser(std::move(tokens), diags);
   return parser.run();
+}
+
+Result<Configuration> parse(std::string_view source) {
+  Diagnostics diags;
+  Configuration config = parse_ast(source, diags);
+  if (!diags.ok()) return diags.to_error();
+  return config;
 }
 
 }  // namespace aars::adl

@@ -1,15 +1,22 @@
-// Recursive-descent parser for the configuration language.
+// Recursive-descent parser for the configuration language — stage 2 of the
+// compiler. Produces the AST; name resolution and typing happen in sema.
 #pragma once
 
 #include <string_view>
 
 #include "adl/ast.h"
+#include "adl/diagnostics.h"
 #include "util/errors.h"
 
 namespace aars::adl {
 
-/// Parses a complete configuration unit. On failure the error message
-/// carries the line number of the offending token.
+/// Parses a complete configuration unit, reporting problems (with line and
+/// column) into `diags`. Returns the partial AST built so far; callers must
+/// check `diags.ok()` before using it.
+Configuration parse_ast(std::string_view source, Diagnostics& diags);
+
+/// Legacy entrypoint (deprecated, prefer adl::compile): first diagnostic
+/// flattened to a util::Error whose message carries "line N".
 util::Result<Configuration> parse(std::string_view source);
 
 }  // namespace aars::adl

@@ -1,328 +1,13 @@
 #include "adl/validator.h"
 
-#include <set>
-
-#include "util/strings.h"
+#include "adl/sema.h"
 
 namespace aars::adl {
 
-using component::InterfaceDescription;
-using component::ParamSpec;
-using component::ServiceSignature;
-using util::Error;
-using util::ErrorCode;
-using util::Result;
-using util::Status;
-using util::Value;
-using util::ValueType;
-
-Result<ValueType> value_type_from_name(const std::string& name) {
-  if (name == "int") return ValueType::kInt;
-  if (name == "double") return ValueType::kDouble;
-  if (name == "string") return ValueType::kString;
-  if (name == "bool") return ValueType::kBool;
-  if (name == "list") return ValueType::kList;
-  if (name == "map") return ValueType::kMap;
-  if (name == "any" || name == "null") return ValueType::kNull;
-  return Error{ErrorCode::kInvalidArgument, "unknown type '" + name + "'"};
-}
-
-namespace {
-
-Error at(const SourceLoc& loc, const std::string& what) {
-  return Error{ErrorCode::kInvalidArgument,
-               util::format("line %d: %s", loc.line, what.c_str())};
-}
-
-bool literal_matches(ValueType declared, const Value& v) {
-  if (declared == ValueType::kNull || v.is_null()) return true;
-  if (declared == ValueType::kDouble && v.is_int()) return true;
-  return v.type() == declared;
-}
-
-Status check_unique(const std::vector<std::string>& names, const char* kind) {
-  std::set<std::string> seen;
-  for (const std::string& n : names) {
-    if (!seen.insert(n).second) {
-      return Error{ErrorCode::kAlreadyExists,
-                   util::format("duplicate %s '%s'", kind, n.c_str())};
-    }
-  }
-  return Status::success();
-}
-
-/// Compiles a `protocol { ... }` block into an Lts. The first declared
-/// state is the initial state (Lts state 0).
-util::Result<lts::Lts> compile_protocol(const std::string& component,
-                                        const AstProtocol& protocol) {
-  if (protocol.states.empty()) {
-    return at(protocol.loc,
-              "protocol on " + component + " declares no states");
-  }
-  lts::Lts lts(component);
-  std::map<std::string, lts::StateId> states;
-  for (std::size_t i = 0; i < protocol.states.size(); ++i) {
-    const AstProtocolState& state = protocol.states[i];
-    if (states.count(state.name)) {
-      return at(state.loc, "duplicate protocol state '" + state.name +
-                               "' on " + component);
-    }
-    const lts::StateId id = i == 0 ? lts.initial() : lts.add_state();
-    lts.set_final(id, state.final_state);
-    states.emplace(state.name, id);
-  }
-  for (const AstProtocolTransition& t : protocol.transitions) {
-    auto from = states.find(t.from);
-    if (from == states.end()) {
-      return at(t.loc, "protocol transition from unknown state '" + t.from +
-                           "' on " + component);
-    }
-    auto to = states.find(t.to);
-    if (to == states.end()) {
-      return at(t.loc, "protocol transition to unknown state '" + t.to +
-                           "' on " + component);
-    }
-    lts::Label label = t.direction == '?'   ? lts::in(t.action)
-                       : t.direction == '!' ? lts::out(t.action)
-                                            : lts::tau();
-    lts.add_transition(from->second, std::move(label), to->second);
-  }
-  return lts;
-}
-
-}  // namespace
-
-Result<CompiledConfiguration> validate(Configuration config) {
-  CompiledConfiguration out;
-
-  // --- interfaces -----------------------------------------------------------
-  {
-    std::vector<std::string> names;
-    for (const AstInterface& i : config.interfaces) names.push_back(i.name);
-    if (Status s = check_unique(names, "interface"); !s.ok()) return s.error();
-  }
-  for (const AstInterface& iface : config.interfaces) {
-    InterfaceDescription desc(iface.name, iface.version);
-    std::set<std::string> service_names;
-    for (const AstService& svc : iface.services) {
-      if (!service_names.insert(svc.name).second) {
-        return at(svc.loc, "duplicate service '" + svc.name + "' in " +
-                               iface.name);
-      }
-      ServiceSignature sig;
-      sig.name = svc.name;
-      auto result_type = value_type_from_name(svc.result_type);
-      if (!result_type.ok()) return at(svc.loc, result_type.error().message());
-      sig.result = result_type.value();
-      std::set<std::string> param_names;
-      for (const AstParam& p : svc.params) {
-        if (!param_names.insert(p.name).second) {
-          return at(svc.loc,
-                    "duplicate parameter '" + p.name + "' in " + svc.name);
-        }
-        auto ptype = value_type_from_name(p.type);
-        if (!ptype.ok()) return at(svc.loc, ptype.error().message());
-        sig.params.push_back(ParamSpec{p.name, ptype.value(), p.optional});
-      }
-      desc.add_service(std::move(sig));
-    }
-    out.interfaces.emplace(iface.name, std::move(desc));
-  }
-
-  // --- components -----------------------------------------------------------
-  {
-    std::vector<std::string> names;
-    for (const AstComponent& c : config.components) names.push_back(c.name);
-    if (Status s = check_unique(names, "component"); !s.ok()) return s.error();
-  }
-  std::map<std::string, const AstComponent*> components;
-  for (const AstComponent& comp : config.components) {
-    if (!comp.provides.empty() && !out.interfaces.count(comp.provides)) {
-      return at(comp.loc, comp.name + " provides unknown interface '" +
-                              comp.provides + "'");
-    }
-    std::set<std::string> port_names;
-    for (const AstRequire& req : comp.requires_) {
-      if (!port_names.insert(req.port).second) {
-        return at(req.loc, "duplicate port '" + req.port + "' on " + comp.name);
-      }
-      if (!out.interfaces.count(req.interface)) {
-        return at(req.loc, comp.name + "." + req.port +
-                               " requires unknown interface '" +
-                               req.interface + "'");
-      }
-    }
-    std::set<std::string> attr_names;
-    for (const AstAttribute& attr : comp.attributes) {
-      if (!attr_names.insert(attr.name).second) {
-        return at(attr.loc,
-                  "duplicate attribute '" + attr.name + "' on " + comp.name);
-      }
-      auto atype = value_type_from_name(attr.type);
-      if (!atype.ok()) return at(attr.loc, atype.error().message());
-      if (!literal_matches(atype.value(), attr.default_value)) {
-        return at(attr.loc, "default for '" + attr.name +
-                                "' does not match declared type " + attr.type);
-      }
-    }
-    if (comp.protocol.has_value()) {
-      auto lts = compile_protocol(comp.name, *comp.protocol);
-      if (!lts.ok()) return lts.error();
-      out.protocols.emplace(comp.name, std::move(lts).value());
-    }
-    components.emplace(comp.name, &comp);
-  }
-
-  // --- nodes & links -----------------------------------------------------------
-  {
-    std::vector<std::string> names;
-    for (const AstNode& n : config.nodes) names.push_back(n.name);
-    if (Status s = check_unique(names, "node"); !s.ok()) return s.error();
-  }
-  std::set<std::string> node_names;
-  for (const AstNode& n : config.nodes) node_names.insert(n.name);
-  for (const AstLink& link : config.links) {
-    if (!node_names.count(link.from)) {
-      return at(link.loc, "link references unknown node '" + link.from + "'");
-    }
-    if (!node_names.count(link.to)) {
-      return at(link.loc, "link references unknown node '" + link.to + "'");
-    }
-    if (link.from == link.to) return at(link.loc, "self links are not allowed");
-    if (link.bandwidth_bytes_per_sec <= 0) {
-      return at(link.loc, "bandwidth must be positive");
-    }
-    if (link.latency_us < 0) return at(link.loc, "latency must be >= 0");
-  }
-
-  // --- instances -----------------------------------------------------------
-  {
-    std::vector<std::string> names;
-    for (const AstInstance& i : config.instances) names.push_back(i.name);
-    if (Status s = check_unique(names, "instance"); !s.ok()) return s.error();
-  }
-  for (std::size_t i = 0; i < config.instances.size(); ++i) {
-    const AstInstance& inst = config.instances[i];
-    auto comp_it = components.find(inst.type);
-    if (comp_it == components.end()) {
-      return at(inst.loc,
-                inst.name + ": unknown component type '" + inst.type + "'");
-    }
-    if (!node_names.count(inst.node)) {
-      return at(inst.loc, inst.name + ": unknown node '" + inst.node + "'");
-    }
-    const AstComponent& type = *comp_it->second;
-    for (const auto& [attr_name, literal] : inst.attribute_overrides) {
-      const AstAttribute* declared = nullptr;
-      for (const AstAttribute& a : type.attributes) {
-        if (a.name == attr_name) {
-          declared = &a;
-          break;
-        }
-      }
-      if (declared == nullptr) {
-        return at(inst.loc, inst.name + ": component " + inst.type +
-                                " has no attribute '" + attr_name + "'");
-      }
-      auto atype = value_type_from_name(declared->type);
-      if (atype.ok() && !literal_matches(atype.value(), literal)) {
-        return at(inst.loc, inst.name + ": value for '" + attr_name +
-                                "' does not match declared type " +
-                                declared->type);
-      }
-    }
-    out.instance_index.emplace(inst.name, i);
-  }
-
-  // --- connectors -----------------------------------------------------------
-  {
-    std::vector<std::string> names;
-    for (const AstConnector& c : config.connectors) names.push_back(c.name);
-    if (Status s = check_unique(names, "connector"); !s.ok()) return s.error();
-  }
-  static const std::set<std::string> kRoutings{"direct", "round_robin",
-                                               "broadcast", "least_backlog"};
-  static const std::set<std::string> kDeliveries{"sync", "queued"};
-  for (std::size_t i = 0; i < config.connectors.size(); ++i) {
-    const AstConnector& conn = config.connectors[i];
-    if (!kRoutings.count(conn.routing)) {
-      return at(conn.loc,
-                conn.name + ": unknown routing '" + conn.routing + "'");
-    }
-    if (!kDeliveries.count(conn.delivery)) {
-      return at(conn.loc,
-                conn.name + ": unknown delivery '" + conn.delivery + "'");
-    }
-    if (conn.capacity <= 0) {
-      return at(conn.loc, conn.name + ": capacity must be positive");
-    }
-    if (conn.budget_us < 0) {
-      return at(conn.loc, conn.name + ": budget must be >= 0");
-    }
-    out.connector_index.emplace(conn.name, i);
-  }
-
-  // --- bindings -----------------------------------------------------------
-  for (const AstBinding& bind : config.bindings) {
-    auto from_it = out.instance_index.find(bind.from_instance);
-    if (from_it == out.instance_index.end()) {
-      return at(bind.loc, "binding from unknown instance '" +
-                              bind.from_instance + "'");
-    }
-    const AstInstance& from_inst = config.instances[from_it->second];
-    const AstComponent& from_type = *components.at(from_inst.type);
-    const AstRequire* port = nullptr;
-    for (const AstRequire& req : from_type.requires_) {
-      if (req.port == bind.from_port) {
-        port = &req;
-        break;
-      }
-    }
-    if (port == nullptr) {
-      return at(bind.loc, from_inst.type + " has no required port '" +
-                              bind.from_port + "'");
-    }
-    const InterfaceDescription& required = out.interfaces.at(port->interface);
-    for (const std::string& provider_name : bind.to_instances) {
-      auto to_it = out.instance_index.find(provider_name);
-      if (to_it == out.instance_index.end()) {
-        return at(bind.loc,
-                  "binding to unknown instance '" + provider_name + "'");
-      }
-      const AstInstance& to_inst = config.instances[to_it->second];
-      const AstComponent& to_type = *components.at(to_inst.type);
-      if (to_type.provides.empty()) {
-        return at(bind.loc, provider_name + " (type " + to_type.name +
-                                ") provides no interface");
-      }
-      const InterfaceDescription& provided =
-          out.interfaces.at(to_type.provides);
-      if (Status s = provided.satisfies(required); !s.ok()) {
-        return at(bind.loc, "binding " + bind.from_instance + "." +
-                                bind.from_port + " -> " + provider_name +
-                                ": " + s.error().message());
-      }
-    }
-    if (!bind.via_connector.empty() &&
-        !out.connector_index.count(bind.via_connector)) {
-      return at(bind.loc,
-                "binding via unknown connector '" + bind.via_connector + "'");
-    }
-    if (bind.to_instances.size() > 1) {
-      if (bind.via_connector.empty()) {
-        return at(bind.loc,
-                  "multi-provider binding requires an explicit connector");
-      }
-      const AstConnector& conn =
-          config.connectors[out.connector_index.at(bind.via_connector)];
-      if (conn.routing == "direct") {
-        return at(bind.loc,
-                  "direct connector cannot serve multiple providers");
-      }
-    }
-  }
-
-  out.ast = std::move(config);
+util::Result<CompiledConfiguration> validate(Configuration config) {
+  Diagnostics diags;
+  CompiledConfiguration out = analyze(std::move(config), diags);
+  if (!diags.ok()) return diags.to_error();
   return out;
 }
 

@@ -1,40 +1,25 @@
-// Semantic validation of parsed configurations.
+// DEPRECATED shim — prefer `adl::compile()` (compiler.h).
 //
-// ADLs "create, validate and update architectures" (§1); this pass performs
-// the validation step: name resolution, attribute type checking, and —
-// following Wright — binding compatibility at the interface level.  The
-// output is a CompiledConfiguration the deployer consumes.
+// The PR-4 era entrypoint pair (`parse()` + `validate()`) survives as a thin
+// wrapper over the multi-stage compiler so existing callers keep their
+// util::Result flow and legacy ErrorCodes. New code should call
+// `adl::compile()` and consume the structured diagnostics instead.
 #pragma once
 
-#include <map>
 #include <string>
-#include <vector>
 
-#include "adl/ast.h"
-#include "component/interface.h"
-#include "lts/lts.h"
+#include "adl/ir.h"
 #include "util/errors.h"
 
 namespace aars::adl {
 
-/// Validation result: the AST plus resolved interface descriptions.
-struct CompiledConfiguration {
-  Configuration ast;
-  std::map<std::string, component::InterfaceDescription> interfaces;
-  /// instance name -> index in ast.instances
-  std::map<std::string, std::size_t> instance_index;
-  /// connector name -> index in ast.connectors
-  std::map<std::string, std::size_t> connector_index;
-  /// component type name -> compiled behavioural protocol, for components
-  /// that declare a `protocol { ... }` block. Consumed by the static
-  /// analyser (n-way composition deadlock checking).
-  std::map<std::string, lts::Lts> protocols;
-};
-
 /// Maps an ADL type name to a runtime ValueType. kNull encodes "any".
+/// (Re-exported from sema for legacy includes.)
 util::Result<util::ValueType> value_type_from_name(const std::string& name);
 
-/// Validates the configuration. All diagnostics carry source line numbers.
+/// Validates the configuration: first diagnostic flattened to a util::Error
+/// carrying "line N" (and now "col C") in its message.
+/// Deprecated: use adl::compile() for multi-error structured diagnostics.
 util::Result<CompiledConfiguration> validate(Configuration config);
 
 }  // namespace aars::adl

@@ -6,10 +6,11 @@
 namespace aars::analysis {
 
 void AnalysisReport::add(Severity severity, std::string code,
-                         std::string subject, std::string message, int line) {
+                         std::string subject, std::string message, int line,
+                         int column) {
   diagnostics.push_back(Diagnostic{severity, std::move(code),
                                    std::move(subject), std::move(message),
-                                   line});
+                                   line, column});
 }
 
 void AnalysisReport::merge(const AnalysisReport& other) {
@@ -61,6 +62,7 @@ std::string render_text(const AnalysisReport& report,
   for (const Diagnostic& d : report.diagnostics) {
     out += file;
     if (d.line > 0) out += util::format(":%d", d.line);
+    if (d.line > 0 && d.column > 0) out += util::format(":%d", d.column);
     out += ": ";
     out += to_string(d.severity);
     out += ": [" + d.code + "] ";
@@ -80,10 +82,14 @@ std::string render_json(const AnalysisReport& report,
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
     const Diagnostic& d = report.diagnostics[i];
     if (i > 0) out += ",";
+    // "column" is emitted only when known, so reports from analyses that
+    // predate column tracking serialise exactly as before.
+    out += util::format("{\"line\":%d,", d.line);
+    if (d.column > 0) out += util::format("\"column\":%d,", d.column);
     out += util::format(
-        "{\"line\":%d,\"severity\":\"%s\",\"code\":\"%s\",\"subject\":\"%s\","
+        "\"severity\":\"%s\",\"code\":\"%s\",\"subject\":\"%s\","
         "\"message\":\"%s\"}",
-        d.line, to_string(d.severity), obs::json_escape(d.code).c_str(),
+        to_string(d.severity), obs::json_escape(d.code).c_str(),
         obs::json_escape(d.subject).c_str(),
         obs::json_escape(d.message).c_str());
   }

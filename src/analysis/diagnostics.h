@@ -35,6 +35,9 @@ struct Diagnostic {
   /// Source line in the analysed file; 0 when the model came from a live
   /// application rather than source text.
   int line = 0;
+  /// Source column (1-based); 0 when unknown. Only the ADL front-end
+  /// supplies columns — structural checks locate whole constructs.
+  int column = 0;
 };
 
 /// Outcome of one analysis run.
@@ -47,7 +50,7 @@ struct AnalysisReport {
   bool truncated = false;
 
   void add(Severity severity, std::string code, std::string subject,
-           std::string message, int line = 0);
+           std::string message, int line = 0, int column = 0);
   void merge(const AnalysisReport& other);
 
   std::size_t errors() const;
@@ -64,7 +67,8 @@ struct AnalysisReport {
 };
 
 /// Renders diagnostics in the human-readable single-line form
-/// "file:line: severity: [code] subject: message".
+/// "file:line: severity: [code] subject: message" (":line:col:" when the
+/// diagnostic carries a column).
 std::string render_text(const AnalysisReport& report,
                         const std::string& file);
 

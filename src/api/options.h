@@ -1,0 +1,102 @@
+// Builder verbs shared by every runtime flavour.
+//
+// aars::Runtime::Builder and aars::ShardedRuntime::Builder used to
+// re-declare the same configuration verbs (seed, metrics, ADL sources,
+// engine options, verification, RAML period) with separate member fields
+// that drifted independently.  The shared state now lives in one
+// RuntimeOptions struct and the verbs in one CRTP mixin, so both builders
+// expose an identical surface and a new verb is added exactly once.
+//
+//   class Runtime::Builder : public api::OptionsBuilder<Builder> { ... };
+//
+// Topology verbs (host/link/deploy/connect/bind) stay on the concrete
+// builders — their signatures genuinely differ (sharded hosts carry a shard
+// index; sharded links must not span shards).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reconfig/engine.h"
+#include "runtime/application.h"
+#include "util/time.h"
+
+namespace aars::api {
+
+/// Declarative state common to Runtime and ShardedRuntime builders.
+struct RuntimeOptions {
+  runtime::Application::Config config;
+  bool metrics = false;
+  /// Inline ADL sources, compiled and deployed at build() in order.
+  std::vector<std::string> adl_sources;
+  /// ADL files, compiled and deployed at build() after the inline sources.
+  std::vector<std::string> adl_files;
+  std::optional<reconfig::ReconfigurationEngine::Options> engine_options;
+  std::optional<analysis::VerifyMode> verify_mode;
+  std::size_t verify_max_states = 100000;
+  std::optional<util::Duration> raml_period;
+};
+
+/// CRTP mixin providing the shared fluent verbs.  `Derived` is the concrete
+/// builder; every verb returns `Derived&` so chains stay fluent across the
+/// mixin boundary.
+template <typename Derived>
+class OptionsBuilder {
+ public:
+  Derived& seed(std::uint64_t seed) {
+    options_.config.seed = seed;
+    return self();
+  }
+  Derived& config(runtime::Application::Config config) {
+    options_.config = std::move(config);
+    return self();
+  }
+  /// Enables the global obs registry (metrics + traces).
+  Derived& metrics(bool on = true) {
+    options_.metrics = on;
+    return self();
+  }
+  /// Compiles and deploys an ADL source on top of the declared world.
+  /// `when … reconfigure` rules are installed into RAML (created with a
+  /// default period when with_raml() was not called).
+  Derived& adl(std::string source) {
+    options_.adl_sources.push_back(std::move(source));
+    return self();
+  }
+  /// Like adl(), reading the source from `path` at build() time.
+  Derived& with_adl(std::string path) {
+    options_.adl_files.push_back(std::move(path));
+    return self();
+  }
+  Derived& with_reconfig(reconfig::ReconfigurationEngine::Options options) {
+    options_.engine_options = options;
+    return self();
+  }
+  /// Gates every engine mutation (and RAML self-repair) behind the static
+  /// plan verifier: off (default), warn (log findings, proceed) or enforce
+  /// (reject with kVerificationFailed + "verify.rejected" metric).
+  /// Overrides the verify fields of with_reconfig() options.
+  Derived& with_verification(analysis::VerifyMode mode,
+                             std::size_t max_states = 100000) {
+    options_.verify_mode = mode;
+    options_.verify_max_states = max_states;
+    return self();
+  }
+  Derived& with_raml(util::Duration period) {
+    options_.raml_period = period;
+    return self();
+  }
+
+  const RuntimeOptions& options() const { return options_; }
+
+ protected:
+  RuntimeOptions options_;
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+}  // namespace aars::api

@@ -1,5 +1,9 @@
 #include "api/runtime.h"
 
+#include "analysis/adl_screen.h"
+#include "reconfig/rules.h"
+#include "runtime/deployer.h"
+
 namespace aars {
 
 using util::Error;
@@ -41,22 +45,6 @@ std::shared_ptr<overload::CircuitBreakerInterceptor> Runtime::breaker(
 }
 
 // --- Builder -----------------------------------------------------------------
-
-Runtime::Builder& Runtime::Builder::seed(std::uint64_t seed) {
-  config_.seed = seed;
-  return *this;
-}
-
-Runtime::Builder& Runtime::Builder::config(
-    runtime::Application::Config config) {
-  config_ = config;
-  return *this;
-}
-
-Runtime::Builder& Runtime::Builder::metrics(bool on) {
-  metrics_ = on;
-  return *this;
-}
 
 Runtime::Builder& Runtime::Builder::host(const std::string& name,
                                          double capacity) {
@@ -142,29 +130,6 @@ Runtime::Builder& Runtime::Builder::with_degraded_mode(
   return *this;
 }
 
-Runtime::Builder& Runtime::Builder::adl(std::string source) {
-  adl_sources_.push_back(std::move(source));
-  return *this;
-}
-
-Runtime::Builder& Runtime::Builder::with_reconfig(
-    reconfig::ReconfigurationEngine::Options options) {
-  engine_options_ = options;
-  return *this;
-}
-
-Runtime::Builder& Runtime::Builder::with_verification(
-    analysis::VerifyMode mode, std::size_t max_states) {
-  verify_mode_ = mode;
-  verify_max_states_ = max_states;
-  return *this;
-}
-
-Runtime::Builder& Runtime::Builder::with_raml(util::Duration period) {
-  raml_period_ = period;
-  return *this;
-}
-
 Runtime::Builder& Runtime::Builder::with_self_repair() {
   self_repair_ = true;
   return *this;
@@ -183,7 +148,7 @@ Runtime::Builder& Runtime::Builder::with_fault_text(
 }
 
 Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
-  if (metrics_) obs::Registry::global().set_enabled(true);
+  if (options_.metrics) obs::Registry::global().set_enabled(true);
 
   auto rt = std::unique_ptr<Runtime>(new Runtime());
   for (auto& installer : installers_) installer(rt->types_);
@@ -217,12 +182,40 @@ Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
   }
 
   rt->app_ = std::make_unique<runtime::Application>(rt->loop_, rt->network_,
-                                                    rt->types_, config_);
+                                                    rt->types_, options_.config);
   fault::register_fault_aspects(rt->app_->connector_factory());
 
-  for (const std::string& source : adl_sources_) {
-    auto deployment = runtime::deploy_source(source, *rt->app_);
+  // ADL sources run the full five-stage compiler (parse -> sema -> emit ->
+  // analysis screen), so an unverifiable rule or infeasible goal fails the
+  // build here, not mid-simulation.  Rule programs from every source merge
+  // into one set, installed into RAML after the world is complete.
+  analysis::VerifierOptions screen_options;
+  screen_options.max_states = options_.verify_max_states;
+  adl::RuleProgram rule_program;
+  auto take_program = [&rule_program](adl::CompilationResult& result) {
+    std::move(result.program.rules.begin(), result.program.rules.end(),
+              std::back_inserter(rule_program.rules));
+    std::move(result.program.goals.begin(), result.program.goals.end(),
+              std::back_inserter(rule_program.goals));
+    std::move(result.program.scenarios.begin(),
+              result.program.scenarios.end(),
+              std::back_inserter(rule_program.scenarios));
+  };
+  for (const std::string& source : options_.adl_sources) {
+    adl::CompilationResult result =
+        analysis::compile_adl(source, screen_options);
+    if (!result.ok()) return result.diagnostics.to_error();
+    auto deployment = runtime::deploy(result.config, *rt->app_);
     if (!deployment.ok()) return deployment.error();
+    take_program(result);
+  }
+  for (const std::string& path : options_.adl_files) {
+    adl::CompilationResult result =
+        analysis::compile_adl_file(path, screen_options);
+    if (!result.ok()) return result.diagnostics.to_error();
+    auto deployment = runtime::deploy(result.config, *rt->app_);
+    if (!deployment.ok()) return deployment.error();
+    take_program(result);
   }
 
   for (const DeployDecl& decl : deploys_) {
@@ -324,18 +317,25 @@ Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
   }
 
   reconfig::ReconfigurationEngine::Options engine_options =
-      engine_options_.value_or(reconfig::ReconfigurationEngine::Options{});
-  if (verify_mode_.has_value()) {
-    engine_options.verify_mode = *verify_mode_;
-    engine_options.verify_max_states = verify_max_states_;
+      options_.engine_options.value_or(
+          reconfig::ReconfigurationEngine::Options{});
+  if (options_.verify_mode.has_value()) {
+    engine_options.verify_mode = *options_.verify_mode;
+    engine_options.verify_max_states = options_.verify_max_states;
   }
   rt->engine_ = std::make_unique<reconfig::ReconfigurationEngine>(
       *rt->app_, engine_options);
   rt->injector_ = std::make_unique<fault::FaultInjector>(*rt->app_);
 
-  if (raml_period_.has_value()) {
-    rt->raml_ = std::make_unique<meta::Raml>(*rt->app_, *rt->engine_,
-                                             *raml_period_);
+  // ADL-declared rules need the MAPE clock to poll their conditions; an ADL
+  // world that declares rules gets RAML even without an explicit
+  // with_raml() (default period: 10ms).
+  const bool needs_raml =
+      options_.raml_period.has_value() || !rule_program.rules.empty();
+  if (needs_raml) {
+    rt->raml_ = std::make_unique<meta::Raml>(
+        *rt->app_, *rt->engine_,
+        options_.raml_period.value_or(util::milliseconds(10)));
     if (self_repair_) rt->raml_->enable_self_repair(*rt->injector_);
   } else if (self_repair_) {
     return Error{ErrorCode::kInvalidArgument,
@@ -364,6 +364,17 @@ Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
       if (it != rt->admissions_.end()) decl.mode.admission = it->second;
     }
     rt->raml_->watch_overload(std::move(decl.trigger), std::move(decl.mode));
+  }
+
+  if (!rule_program.rules.empty()) {
+    // Bind after the whole world exists so rules may target builder-declared
+    // instances too.  watch_faults so "fault.*" triggers and the
+    // fault.active metric reach the rules.
+    rt->raml_->watch_faults(*rt->injector_);
+    auto rules = reconfig::RuleSet::install(rule_program, *rt->app_,
+                                            *rt->engine_, rt->injector_.get());
+    if (!rules.ok()) return rules.error();
+    rt->raml_->install_rule_set(std::move(rules).value());
   }
 
   for (const std::string& text : scenario_texts_) {

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/options.h"
 #include "component/registry.h"
 #include "fault/injector.h"
 #include "fault/policies.h"
@@ -64,8 +65,13 @@ class Runtime {
   reconfig::ReconfigurationEngine& engine() { return *engine_; }
   fault::FaultInjector& faults() { return *injector_; }
   bool has_raml() const { return raml_ != nullptr; }
-  /// Precondition: built with with_raml().
+  /// Precondition: built with with_raml() (or an ADL source declaring
+  /// `when … reconfigure` rules, which auto-creates RAML).
   meta::Raml& raml();
+  /// The installed ADL rule set; null when no ADL source declared rules.
+  reconfig::RuleSet* adl_rules() {
+    return raml_ == nullptr ? nullptr : raml_->rule_set().get();
+  }
 
   // --- name lookups ------------------------------------------------------------
   util::NodeId host(const std::string& name) const;
@@ -102,13 +108,11 @@ class Runtime {
       breakers_;
 };
 
-class Runtime::Builder {
+class Runtime::Builder : public api::OptionsBuilder<Runtime::Builder> {
  public:
-  // --- world configuration -----------------------------------------------------
-  Builder& seed(std::uint64_t seed);
-  Builder& config(runtime::Application::Config config);
-  /// Enables the global obs registry (metrics + traces).
-  Builder& metrics(bool on = true);
+  // World configuration (seed/config/metrics), ADL sources (adl/with_adl),
+  // managers (with_reconfig/with_verification/with_raml) come from the
+  // shared api::OptionsBuilder mixin.
 
   // --- topology ----------------------------------------------------------------
   Builder& host(const std::string& name, double capacity);
@@ -159,18 +163,8 @@ class Runtime::Builder {
   Builder& with_degraded_mode(const std::string& connector_name,
                               overload::OverloadTrigger trigger,
                               overload::DegradedMode mode);
-  /// Deploys an ADL source on top of the declared world.
-  Builder& adl(std::string source);
 
   // --- managers ----------------------------------------------------------------
-  Builder& with_reconfig(reconfig::ReconfigurationEngine::Options options);
-  /// Gates every engine mutation (and RAML self-repair) behind the static
-  /// plan verifier: off (default), warn (log findings, proceed) or enforce
-  /// (reject with kVerificationFailed + "verify.rejected" metric).
-  /// Overrides the verify fields of with_reconfig() options.
-  Builder& with_verification(analysis::VerifyMode mode,
-                             std::size_t max_states = 100000);
-  Builder& with_raml(util::Duration period);
   /// Requires with_raml(): wires the fault injector into RAML's rule engine
   /// and enables the built-in host-down repair rule.
   Builder& with_self_repair();
@@ -226,8 +220,6 @@ class Runtime::Builder {
     overload::DegradedMode mode;
   };
 
-  runtime::Application::Config config_;
-  bool metrics_ = false;
   std::vector<HostDecl> hosts_;
   std::vector<LinkDecl> links_;
   std::optional<sim::LinkSpec> mesh_;
@@ -240,11 +232,6 @@ class Runtime::Builder {
   std::vector<AdmissionDecl> admissions_;
   std::vector<BreakerDecl> breakers_;
   std::vector<DegradedDecl> degraded_modes_;
-  std::vector<std::string> adl_sources_;
-  std::optional<reconfig::ReconfigurationEngine::Options> engine_options_;
-  std::optional<analysis::VerifyMode> verify_mode_;
-  std::size_t verify_max_states_ = 100000;
-  std::optional<util::Duration> raml_period_;
   bool self_repair_ = false;
   std::vector<fault::FaultScenario> scenarios_;
   std::vector<std::string> scenario_texts_;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "analysis/adl_screen.h"
+
 namespace aars {
 
 using util::Error;
@@ -159,16 +161,6 @@ ShardedRuntime::Builder& ShardedRuntime::Builder::with_shards(std::size_t n) {
   return *this;
 }
 
-ShardedRuntime::Builder& ShardedRuntime::Builder::seed(std::uint64_t seed) {
-  seed_ = seed;
-  return *this;
-}
-
-ShardedRuntime::Builder& ShardedRuntime::Builder::metrics(bool on) {
-  metrics_ = on;
-  return *this;
-}
-
 ShardedRuntime::Builder& ShardedRuntime::Builder::cross_shard_link(
     sim::LinkSpec spec) {
   fabric_ = spec;
@@ -216,19 +208,6 @@ ShardedRuntime::Builder& ShardedRuntime::Builder::deploy(
 ShardedRuntime::Builder& ShardedRuntime::Builder::connect(
     connector::ConnectorSpec spec, std::vector<std::string> providers) {
   connects_.push_back(ConnectDecl{std::move(spec), std::move(providers)});
-  return *this;
-}
-
-ShardedRuntime::Builder& ShardedRuntime::Builder::with_reconfig(
-    reconfig::ReconfigurationEngine::Options options) {
-  engine_options_ = options;
-  return *this;
-}
-
-ShardedRuntime::Builder& ShardedRuntime::Builder::with_verification(
-    analysis::VerifyMode mode, std::size_t max_states) {
-  verify_mode_ = mode;
-  verify_max_states_ = max_states;
   return *this;
 }
 
@@ -295,6 +274,47 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Builder::build() {
     router->assign_connector(c.spec.name, *home);
   }
 
+  // ADL worlds are homed on shard 0.  Compile each source up front so the
+  // router learns every declared name (cross-shard calls may target ADL
+  // connectors); shard 0's own builder recompiles and deploys them.
+  constexpr std::size_t kAdlShard = 0;
+  std::vector<adl::CompilationResult> adl_compiled;
+  if (!options_.adl_sources.empty() || !options_.adl_files.empty()) {
+    analysis::VerifierOptions screen_options;
+    screen_options.max_states = options_.verify_max_states;
+    for (const std::string& source : options_.adl_sources) {
+      adl_compiled.push_back(analysis::compile_adl(source, screen_options));
+    }
+    for (const std::string& path : options_.adl_files) {
+      adl_compiled.push_back(
+          analysis::compile_adl_file(path, screen_options));
+    }
+    for (adl::CompilationResult& result : adl_compiled) {
+      if (!result.ok()) return result.diagnostics.to_error();
+      for (const adl::AstNode& node : result.config.ast.nodes) {
+        if (router->host_shard(node.name).has_value()) {
+          return Error{ErrorCode::kAlreadyExists,
+                       "host declared twice: " + node.name};
+        }
+        router->assign_host(node.name, kAdlShard);
+      }
+      for (const adl::AstInstance& inst : result.config.ast.instances) {
+        if (router->component_shard(inst.name).has_value()) {
+          return Error{ErrorCode::kAlreadyExists,
+                       "instance declared twice: " + inst.name};
+        }
+        router->assign_component(inst.name, kAdlShard);
+      }
+      for (const adl::AstConnector& conn : result.config.ast.connectors) {
+        if (router->connector_shard(conn.name).has_value()) {
+          return Error{ErrorCode::kAlreadyExists,
+                       "connector declared twice: " + conn.name};
+        }
+        router->assign_connector(conn.name, kAdlShard);
+      }
+    }
+  }
+
   // Declare each shard's world through the ordinary Runtime builder, in
   // declaration order, so a 1-shard world is built exactly like the
   // equivalent unsharded Runtime (byte-identical execution).
@@ -302,8 +322,15 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Builder::build() {
   sharded->link_latency_ = fabric_.latency;
   for (std::size_t s = 0; s < shards_; ++s) {
     Runtime::Builder rb = Runtime::builder();
-    rb.seed(seed_ + s);
-    if (metrics_ && s == 0) rb.metrics();
+    rb.seed(options_.config.seed + s);
+    if (options_.metrics && s == 0) rb.metrics();
+    if (s == kAdlShard) {
+      for (const std::string& source : options_.adl_sources) rb.adl(source);
+      for (const std::string& path : options_.adl_files) rb.with_adl(path);
+      if (options_.raml_period.has_value()) {
+        rb.with_raml(*options_.raml_period);
+      }
+    }
     for (const HostDecl& h : hosts_) {
       if (h.shard == s) rb.host(h.name, h.capacity);
     }
@@ -333,9 +360,11 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Builder::build() {
         rb.connect(c.spec, c.providers);
       }
     }
-    if (engine_options_.has_value()) rb.with_reconfig(*engine_options_);
-    if (verify_mode_.has_value()) {
-      rb.with_verification(*verify_mode_, verify_max_states_);
+    if (options_.engine_options.has_value()) {
+      rb.with_reconfig(*options_.engine_options);
+    }
+    if (options_.verify_mode.has_value()) {
+      rb.with_verification(*options_.verify_mode, options_.verify_max_states);
     }
     auto built = rb.build();
     if (!built.ok()) return built.error();
@@ -347,6 +376,14 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Builder::build() {
     const std::size_t home = *router->connector_shard(c.spec.name);
     Runtime& rt = *sharded->runtimes_[home];
     rt.app().find_connector(rt.connector(c.spec.name))->set_home_shard(home);
+  }
+  for (const adl::CompilationResult& result : adl_compiled) {
+    Runtime& rt = *sharded->runtimes_[kAdlShard];
+    for (const adl::AstConnector& conn : result.config.ast.connectors) {
+      rt.app()
+          .find_connector(rt.connector(conn.name))
+          ->set_home_shard(kAdlShard);
+    }
   }
 
   std::vector<sim::EventLoop*> loops;

@@ -98,14 +98,22 @@ class ShardedRuntime {
   util::Duration link_latency_ = util::kMillisecond;
 };
 
-class ShardedRuntime::Builder {
+class ShardedRuntime::Builder
+    : public api::OptionsBuilder<ShardedRuntime::Builder> {
  public:
+  // Shared verbs (seed/config/metrics, adl/with_adl, with_reconfig,
+  // with_verification, with_raml) come from the api::OptionsBuilder mixin.
+  // Shard semantics: seed is the base RNG seed — shard i's stack seeds with
+  // (seed + i), so shard 0 of a 1-shard world matches an unsharded Runtime
+  // with the same seed.  ADL worlds are homed on shard 0: sources compile
+  // up front (full five-stage pipeline, analysis screen included) so the
+  // router learns every declared host/instance/connector, then shard 0's
+  // builder deploys them and installs any `when … reconfigure` rules into
+  // its RAML.  with_raml() applies to shard 0.  Engine/verification options
+  // apply to every shard.
+
   /// Number of shards (worker threads). 1 = single-threaded fast path.
   Builder& with_shards(std::size_t n);
-  /// Base RNG seed; shard i's stack seeds with (seed + i), so shard 0 of a
-  /// 1-shard world matches an unsharded Runtime with the same seed.
-  Builder& seed(std::uint64_t seed);
-  Builder& metrics(bool on = true);
   /// The fabric connecting shards; its latency becomes the conservative
   /// window lookahead (so it lower-bounds every cross-shard delivery).
   Builder& cross_shard_link(sim::LinkSpec spec);
@@ -142,11 +150,6 @@ class ShardedRuntime::Builder {
   Builder& connect(connector::ConnectorSpec spec,
                    std::vector<std::string> providers);
 
-  // --- managers (applied to every shard's engine) ------------------------------
-  Builder& with_reconfig(reconfig::ReconfigurationEngine::Options options);
-  Builder& with_verification(analysis::VerifyMode mode,
-                             std::size_t max_states = 100000);
-
   /// Materialises the sharded world.
   util::Result<std::unique_ptr<ShardedRuntime>> build();
 
@@ -173,8 +176,6 @@ class ShardedRuntime::Builder {
   };
 
   std::size_t shards_ = 1;
-  std::uint64_t seed_ = 42;
-  bool metrics_ = false;
   sim::LinkSpec fabric_;
   std::size_t mailbox_capacity_ = 4096;
   std::vector<HostDecl> hosts_;
@@ -184,9 +185,6 @@ class ShardedRuntime::Builder {
       types_;
   std::vector<DeployDecl> deploys_;
   std::vector<ConnectDecl> connects_;
-  std::optional<reconfig::ReconfigurationEngine::Options> engine_options_;
-  std::optional<analysis::VerifyMode> verify_mode_;
-  std::size_t verify_max_states_ = 100000;
 };
 
 }  // namespace aars

@@ -73,6 +73,20 @@ void Raml::watch_faults(fault::FaultInjector& injector) {
   });
 }
 
+void Raml::install_rule_set(std::shared_ptr<reconfig::RuleSet> rules) {
+  util::require(rules != nullptr, "rule set required");
+  util::require(adl_rules_ == nullptr, "rule set already installed");
+  adl_rules_ = std::move(rules);
+  // Event-conditioned rules don't poll: route each trigger through the
+  // FLO/C engine so they fire the instant the event is emitted.
+  for (const auto& [event, index] : adl_rules_->event_rules()) {
+    const std::size_t idx = index;
+    rule_engine_.subscribe(event.str(), [this, idx](const Event& event) {
+      adl_rules_->fire_event_rule(idx, event.at);
+    });
+  }
+}
+
 void Raml::enable_self_repair(fault::FaultInjector& injector) {
   watch_faults(injector);
   Rule repair;
@@ -195,6 +209,11 @@ void Raml::tick() {
     }
   }
   last_sample_ = sample;
+  // ADL-declared metric rules sample live application state through
+  // pre-bound ids — no strings, no allocation on the steady-state path.
+  if (adl_rules_ != nullptr) {
+    adl_rules_->evaluate(sample.at);
+  }
   // Analyze + plan + execute.
   for (const Policy& policy : policies_) {
     if (policy.cooldown > 0) {

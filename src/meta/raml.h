@@ -26,6 +26,7 @@
 #include "fault/injector.h"
 #include "meta/introspection.h"
 #include "meta/rules.h"
+#include "reconfig/rules.h"
 #include "obs/metrics.h"
 #include "overload/degraded.h"
 #include "qos/monitor.h"
@@ -105,6 +106,17 @@ class Raml {
     return overload_controllers_;
   }
 
+  // --- ADL-declared rules -----------------------------------------------------
+  /// Installs a compiled `when … reconfigure` rule set: metric-conditioned
+  /// rules are evaluated every MAPE tick (same hysteresis clock as the
+  /// policies); event-conditioned rules subscribe to the FLO/C rule engine
+  /// and fire when their trigger event arrives.  Pair with watch_faults()
+  /// so "fault.*" triggers are actually emitted.
+  void install_rule_set(std::shared_ptr<reconfig::RuleSet> rules);
+  const std::shared_ptr<reconfig::RuleSet>& rule_set() const {
+    return adl_rules_;
+  }
+
   // --- execution (intercession surface) -----------------------------------------
   runtime::Application& app() { return app_; }
   reconfig::ReconfigurationEngine& engine() { return engine_; }
@@ -139,6 +151,7 @@ class Raml {
   sim::EventHandle pending_;
   std::uint64_t ticks_ = 0;
   std::uint64_t actions_taken_ = 0;
+  std::shared_ptr<reconfig::RuleSet> adl_rules_;
   fault::FaultInjector* injector_ = nullptr;
   std::uint64_t repairs_started_ = 0;
   std::uint64_t repairs_succeeded_ = 0;

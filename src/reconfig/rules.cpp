@@ -1,0 +1,319 @@
+#include "reconfig/rules.h"
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "util/strings.h"
+
+namespace aars::reconfig {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+bool compare(adl::AstCompare op, double value, double threshold) {
+  switch (op) {
+    case adl::AstCompare::kLt: return value < threshold;
+    case adl::AstCompare::kLe: return value <= threshold;
+    case adl::AstCompare::kGt: return value > threshold;
+    case adl::AstCompare::kGe: return value >= threshold;
+    case adl::AstCompare::kEq: return value == threshold;
+    case adl::AstCompare::kNe: return value != threshold;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<RuleSet>> RuleSet::install(
+    const adl::RuleProgram& program, Application& app,
+    ReconfigurationEngine& engine, fault::FaultInjector* injector) {
+  std::shared_ptr<RuleSet> set(new RuleSet(app, engine, injector));
+  std::size_t max_actions = 0;
+
+  for (const adl::CompiledRule& compiled : program.rules) {
+    BoundRule rule;
+    rule.name = compiled.name;
+    rule.compare = compiled.condition.compare;
+    rule.threshold = compiled.condition.threshold;
+    rule.sustain_ticks = compiled.condition.sustain_ticks;
+    rule.cooldown = compiled.cooldown_us;
+    rule.is_event = compiled.condition.is_event;
+    if (rule.is_event) {
+      set->event_rules_.emplace_back(compiled.condition.event,
+                                     set->rules_.size());
+    } else {
+      rule.source = compiled.condition.source;
+      switch (rule.source) {
+        case adl::MetricSource::kQueueDepth:
+          rule.metric_connector =
+              app.connector_id(compiled.condition.subject.str());
+          if (!rule.metric_connector.valid()) {
+            return Error{ErrorCode::kNotFound,
+                         "rule '" + rule.name.str() +
+                             "': connector '" +
+                             compiled.condition.subject.str() +
+                             "' is not deployed"};
+          }
+          break;
+        case adl::MetricSource::kNodeBacklog:
+          rule.metric_node =
+              app.network().node_id(compiled.condition.subject.str());
+          if (!rule.metric_node.valid()) {
+            return Error{ErrorCode::kNotFound,
+                         "rule '" + rule.name.str() + "': node '" +
+                             compiled.condition.subject.str() +
+                             "' is not deployed"};
+          }
+          break;
+        case adl::MetricSource::kFaultActive:
+          if (injector == nullptr) {
+            return Error{ErrorCode::kInvalidArgument,
+                         "rule '" + rule.name.str() +
+                             "' samples fault.active but no fault injector "
+                             "was supplied"};
+          }
+          break;
+      }
+    }
+
+    rule.actions.reserve(compiled.actions.size());
+    for (const adl::CompiledAction& action : compiled.actions) {
+      BoundAction bound;
+      bound.op = action.op;
+      bound.instance_name = action.instance;
+      bound.type = action.type;
+      bound.port = action.port;
+      switch (action.op) {
+        case adl::RuleOp::kAdd:
+          bound.name = action.name;
+          bound.node = app.network().node_id(action.node.str());
+          if (!bound.node.valid()) {
+            return Error{ErrorCode::kNotFound,
+                         "rule '" + rule.name.str() + "': node '" +
+                             action.node.str() + "' is not deployed"};
+          }
+          break;
+        case adl::RuleOp::kReplace:
+          // A replacement needs a fresh instance name; precompute one here
+          // so firing never builds a string.
+          bound.name = action.name.empty()
+                           ? util::Symbol(action.instance.str() + "_new")
+                           : action.name;
+          break;
+        case adl::RuleOp::kMigrate:
+          bound.node = app.network().node_id(action.node.str());
+          if (!bound.node.valid()) {
+            return Error{ErrorCode::kNotFound,
+                         "rule '" + rule.name.str() + "': node '" +
+                             action.node.str() + "' is not deployed"};
+          }
+          break;
+        case adl::RuleOp::kRebind:
+          bound.connector = app.connector_id(action.connector.str());
+          if (!bound.connector.valid()) {
+            return Error{ErrorCode::kNotFound,
+                         "rule '" + rule.name.str() + "': connector '" +
+                             action.connector.str() + "' is not deployed"};
+          }
+          break;
+        case adl::RuleOp::kReroute:
+          // The replica may be created by an earlier action of this rule
+          // (scale-out: add w2; reroute w to w2) — leave it symbolic then
+          // and resolve through the scratch table at fire time.
+          bound.replica_name = action.replica;
+          bound.replica = app.component_id(action.replica.str());
+          break;
+        case adl::RuleOp::kRemove:
+          break;
+      }
+      if (action.op != adl::RuleOp::kAdd) {
+        // Bind the target now when it is part of the declared deployment;
+        // targets created by earlier actions of the same rule stay symbolic
+        // and resolve through the firing-local scratch table.
+        bound.instance = app.component_id(action.instance.str());
+      }
+      rule.actions.push_back(bound);
+    }
+    max_actions = std::max(max_actions, rule.actions.size());
+    set->rules_.push_back(std::move(rule));
+  }
+  set->scratch_.reserve(max_actions);
+  return set;
+}
+
+double RuleSet::sample(const BoundRule& rule, SimTime now) const {
+  switch (rule.source) {
+    case adl::MetricSource::kQueueDepth:
+      return static_cast<double>(app_.queue_depth(rule.metric_connector));
+    case adl::MetricSource::kNodeBacklog:
+      return static_cast<double>(
+          app_.network().node(rule.metric_node).backlog(now));
+    case adl::MetricSource::kFaultActive:
+      return static_cast<double>(injector_->active_faults());
+  }
+  return 0.0;
+}
+
+bool RuleSet::condition_holds(const BoundRule& rule, SimTime now) const {
+  return compare(rule.compare, sample(rule, now), rule.threshold);
+}
+
+void RuleSet::evaluate(SimTime now) {
+  ++stats_.evaluations;
+  for (BoundRule& rule : rules_) {
+    if (rule.is_event) continue;
+    if (!condition_holds(rule, now)) {
+      rule.streak = 0;
+      continue;
+    }
+    if (rule.streak < rule.sustain_ticks) ++rule.streak;
+    if (rule.streak < rule.sustain_ticks) continue;
+    if (rule.inflight > 0 ||
+        (rule.ever_fired && now - rule.last_fired < rule.cooldown)) {
+      ++stats_.suppressed;
+      continue;
+    }
+    rule.streak = 0;
+    fire(rule, now);
+  }
+}
+
+void RuleSet::fire_event_rule(std::size_t index, SimTime now) {
+  if (index >= event_rules_.size()) return;
+  BoundRule& rule = rules_[event_rules_[index].second];
+  if (rule.inflight > 0 ||
+      (rule.ever_fired && now - rule.last_fired < rule.cooldown)) {
+    ++stats_.suppressed;
+    return;
+  }
+  fire(rule, now);
+}
+
+ComponentId RuleSet::resolve(ComponentId bound, util::Symbol name) const {
+  if (bound.valid()) return bound;
+  // Instances created by an earlier action of this firing: linear scan,
+  // Symbol equality is pointer comparison.
+  for (const auto& [entry, id] : scratch_) {
+    if (entry == name) return id;
+  }
+  return ComponentId::invalid();
+}
+
+void RuleSet::rebind_instance(ComponentId from, ComponentId to) {
+  if (!from.valid() || !to.valid() || from == to) return;
+  for (BoundRule& rule : rules_) {
+    for (BoundAction& action : rule.actions) {
+      if (action.instance == from) action.instance = to;
+      if (action.replica == from) action.replica = to;
+    }
+  }
+}
+
+void RuleSet::fire(BoundRule& rule, SimTime now) {
+  ++stats_.fired;
+  rule.ever_fired = true;
+  rule.last_fired = now;
+  scratch_.clear();
+
+  for (BoundAction& action : rule.actions) {
+    ++stats_.actions;
+    // Async protocols report through this; firing-time allocation is fine —
+    // a reconfiguration is in progress.
+    ++rule.inflight;
+    BoundRule* rule_ptr = &rule;
+    const Done done = [this, rule_ptr](const ReconfigReport& report) {
+      --rule_ptr->inflight;
+      if (!report.ok()) ++stats_.failed;
+    };
+    switch (action.op) {
+      case adl::RuleOp::kAdd: {
+        Result<ComponentId> added = engine_.add_component(
+            action.type.str(), action.name.str(), action.node, Value{});
+        --rule.inflight;  // synchronous
+        if (added.ok()) {
+          scratch_.emplace_back(action.name, added.value());
+        } else {
+          ++stats_.failed;
+        }
+        break;
+      }
+      case adl::RuleOp::kRemove: {
+        const ComponentId target = resolve(action.instance, action.instance_name);
+        if (!target.valid()) {
+          --rule.inflight;
+          ++stats_.failed;
+          break;
+        }
+        engine_.remove_component(target, done);
+        break;
+      }
+      case adl::RuleOp::kReplace: {
+        const ComponentId target = resolve(action.instance, action.instance_name);
+        if (!target.valid()) {
+          --rule.inflight;
+          ++stats_.failed;
+          break;
+        }
+        engine_.replace_component(
+            target, action.type.str(), action.name.str(),
+            [this, rule_ptr, target](const ReconfigReport& report) {
+              --rule_ptr->inflight;
+              if (report.ok()) {
+                rebind_instance(target, report.new_component);
+              } else {
+                ++stats_.failed;
+              }
+            });
+        break;
+      }
+      case adl::RuleOp::kMigrate: {
+        const ComponentId target = resolve(action.instance, action.instance_name);
+        if (!target.valid()) {
+          --rule.inflight;
+          ++stats_.failed;
+          break;
+        }
+        engine_.migrate_component(target, action.node, done);
+        break;
+      }
+      case adl::RuleOp::kRebind: {
+        const ComponentId target = resolve(action.instance, action.instance_name);
+        --rule.inflight;  // synchronous
+        if (!target.valid()) {
+          ++stats_.failed;
+          break;
+        }
+        if (!engine_.rebind(target, action.port.str(), action.connector)
+                 .ok()) {
+          ++stats_.failed;
+        }
+        break;
+      }
+      case adl::RuleOp::kReroute: {
+        const ComponentId target = resolve(action.instance, action.instance_name);
+        const ComponentId replica =
+            resolve(action.replica, action.replica_name);
+        if (!target.valid() || !replica.valid()) {
+          --rule.inflight;
+          ++stats_.failed;
+          break;
+        }
+        engine_.reroute_to_replica(
+            target, replica,
+            [this, rule_ptr, target, replica](const ReconfigReport& report) {
+              --rule_ptr->inflight;
+              if (report.ok()) {
+                rebind_instance(target, replica);
+              } else {
+                ++stats_.failed;
+              }
+            });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace aars::reconfig

@@ -1,0 +1,130 @@
+// Runtime rule set for ADL-declared `when … reconfigure` rules.
+//
+// The compiler emits a RuleProgram whose names are interned Symbols;
+// install() binds it to a live application exactly once — every instance,
+// node and connector name becomes a raw id, every metric source an enum.
+// From then on:
+//
+//   * evaluate(now) — the steady-state path — samples each metric condition
+//     through id-indexed lookups (queue depth by ConnectorId, node backlog
+//     by NodeId, injector fault count) and advances the sustain/cooldown
+//     hysteresis counters.  It performs no string parsing, no hashing and
+//     no allocation.
+//   * firing walks the rule's pre-bound action table and calls the
+//     reconfiguration engine's change-class entrypoints with the
+//     pre-resolved ids/Symbols.  Instances created by an earlier action of
+//     the same firing resolve through a linear scan of a pre-reserved
+//     scratch table (Symbol equality is pointer comparison).
+//
+// Event-conditioned rules don't poll: meta::Raml subscribes them to its
+// FLO/C rule engine and calls fire_event_rule() when the trigger arrives.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adl/ir.h"
+#include "fault/injector.h"
+#include "reconfig/engine.h"
+
+namespace aars::reconfig {
+
+class RuleSet {
+ public:
+  struct Stats {
+    std::uint64_t evaluations = 0;  // evaluate() calls
+    std::uint64_t fired = 0;        // rules whose actions were dispatched
+    std::uint64_t actions = 0;      // individual engine calls issued
+    std::uint64_t failed = 0;       // engine calls that reported failure
+    std::uint64_t suppressed = 0;   // firings skipped by cooldown/in-flight
+  };
+
+  /// Binds `program` to the live application. Fails (kNotFound) when a rule
+  /// references a declared name that does not exist in the deployment —
+  /// compile-time sema guarantees this never happens for configurations
+  /// deployed through the same compile, so a failure here means the program
+  /// and the deployment diverged.
+  static util::Result<std::shared_ptr<RuleSet>> install(
+      const adl::RuleProgram& program, Application& app,
+      ReconfigurationEngine& engine,
+      fault::FaultInjector* injector = nullptr);
+
+  /// Samples every metric-conditioned rule and fires those whose condition
+  /// has held for its sustain window. Allocation-free while nothing fires.
+  void evaluate(SimTime now);
+
+  /// Fires event rule `index` (an index into event_rules()) unless its
+  /// cooldown or an in-flight protocol suppresses it.
+  void fire_event_rule(std::size_t index, SimTime now);
+
+  /// (event name, index) pairs for Raml to subscribe.
+  const std::vector<std::pair<util::Symbol, std::size_t>>& event_rules()
+      const {
+    return event_rules_;
+  }
+
+  std::size_t rule_count() const { return rules_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct BoundAction {
+    adl::RuleOp op = adl::RuleOp::kRemove;
+    ComponentId instance;    // target (all ops but kAdd)
+    ComponentId replica;     // kReroute
+    NodeId node;             // kAdd / kMigrate
+    ConnectorId connector;   // kRebind
+    // Names the engine still needs (Symbol -> const std::string& is free).
+    util::Symbol instance_name;
+    util::Symbol replica_name;  // kReroute
+    util::Symbol type;
+    util::Symbol name;  // kAdd: new instance; kReplace: replacement name
+    util::Symbol port;  // kRebind
+  };
+
+  struct BoundRule {
+    util::Symbol name;
+    // Condition (metric rules only; event rules dispatch via Raml).
+    bool is_event = false;
+    adl::MetricSource source = adl::MetricSource::kQueueDepth;
+    ConnectorId metric_connector;  // kQueueDepth
+    NodeId metric_node;            // kNodeBacklog
+    adl::AstCompare compare = adl::AstCompare::kGt;
+    double threshold = 0.0;
+    int sustain_ticks = 1;
+    Duration cooldown = 0;
+    std::vector<BoundAction> actions;
+    // Hysteresis state.
+    int streak = 0;
+    SimTime last_fired = -1;
+    bool ever_fired = false;
+    int inflight = 0;  // async protocols still running
+  };
+
+  RuleSet(Application& app, ReconfigurationEngine& engine,
+          fault::FaultInjector* injector)
+      : app_(app), engine_(engine), injector_(injector) {}
+
+  /// Current value of a metric condition. Id-indexed lookups only.
+  double sample(const BoundRule& rule, SimTime now) const;
+  bool condition_holds(const BoundRule& rule, SimTime now) const;
+  void fire(BoundRule& rule, SimTime now);
+  /// Resolves a pre-bound id, else `name` against the firing-local scratch
+  /// table of instances added earlier in this firing.
+  ComponentId resolve(ComponentId bound, util::Symbol name) const;
+  /// Rewrites every pre-bound reference to `from` (a replaced/rerouted
+  /// instance) to `to`, keeping rules live across implementation swaps.
+  void rebind_instance(ComponentId from, ComponentId to);
+
+  Application& app_;
+  ReconfigurationEngine& engine_;
+  fault::FaultInjector* injector_;
+  std::vector<BoundRule> rules_;
+  std::vector<std::pair<util::Symbol, std::size_t>> event_rules_;
+  /// Firing-local name -> id table for instances created by earlier actions
+  /// of the same firing. Reserved at install; cleared (size 0, capacity
+  /// kept) per firing.
+  std::vector<std::pair<util::Symbol, ComponentId>> scratch_;
+  Stats stats_;
+};
+
+}  // namespace aars::reconfig

@@ -1,6 +1,6 @@
 #include "runtime/deployer.h"
 
-#include "adl/parser.h"
+#include "adl/compiler.h"
 
 namespace aars::runtime {
 
@@ -152,12 +152,12 @@ Result<Deployment> deploy(const CompiledConfiguration& config,
 }
 
 Result<Deployment> deploy_source(const std::string& source, Application& app) {
-  Result<adl::Configuration> parsed = adl::parse(source);
-  if (!parsed.ok()) return parsed.error();
-  Result<CompiledConfiguration> compiled =
-      adl::validate(std::move(parsed).value());
-  if (!compiled.ok()) return compiled.error();
-  return deploy(compiled.value(), app);
+  // Topology-only compile (no analysis screen: the runtime layer cannot
+  // link the analyser).  Callers that want rules pre-verified should
+  // compile through analysis::compile_adl and deploy the result.
+  adl::CompilationResult result = adl::compile(source);
+  if (!result.ok()) return result.diagnostics.to_error();
+  return deploy(result.config, app);
 }
 
 }  // namespace aars::runtime

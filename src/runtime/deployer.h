@@ -11,7 +11,7 @@
 #include <map>
 #include <string>
 
-#include "adl/validator.h"
+#include "adl/compiler.h"
 #include "runtime/application.h"
 
 namespace aars::runtime {

@@ -11,6 +11,7 @@
 
 #include "adl/parser.h"
 #include "adl/validator.h"
+#include "analysis/adl_screen.h"
 #include "analysis/architecture.h"
 #include "analysis/scenario_lint.h"
 #include "analysis/verifier.h"
@@ -39,8 +40,8 @@ ArchitectureModel compile_config(const std::string& relative) {
 }
 
 const std::vector<std::string> kCleanConfigs = {
-    "quickstart.adl",   "load_balancing.adl", "self_healing.adl",
-    "telecom.adl",      "three_tier.adl",
+    "quickstart.adl", "load_balancing.adl", "self_healing.adl",
+    "telecom.adl",    "three_tier.adl",     "adaptive.adl",
 };
 
 /// Seeded defect -> the diagnostic code the verifier must emit for it.
@@ -111,6 +112,45 @@ TEST(CorpusTest, DefectDiagnosticsCarrySourceLines) {
       }
     }
   }
+}
+
+/// Rule/goal defects (d11+) go through the full compiler + compile-time
+/// screen — d11 is a parse failure, so the legacy parse+validate path used
+/// by compile_config() can't express these; compile_adl() reports them as
+/// structured diagnostics instead.
+const std::vector<SeededDefect> kRuleDefects = {
+    {"defects/d11_unterminated_rule.adl", "unterminated-rule"},
+    {"defects/d12_unknown_metric.adl", "unknown-metric"},
+    {"defects/d13_rule_unknown_instance.adl", "unknown-instance"},
+    {"defects/d14_goal_contradiction.adl", "contradictory-qos"},
+    {"defects/d15_scenario_unknown_goal.adl", "unknown-goal"},
+    {"defects/d16_rule_plan_unverifiable.adl", "no-route"},
+};
+
+TEST(CorpusTest, EverySeededRuleDefectIsCaughtAtCompileTime) {
+  for (const SeededDefect& defect : kRuleDefects) {
+    const adl::CompilationResult result = compile_adl(read_file(defect.file));
+    EXPECT_FALSE(result.ok()) << defect.file << " compiled clean";
+    bool hit = false;
+    for (const adl::Diagnostic& d : result.diagnostics.items()) {
+      if (d.code == defect.code) {
+        hit = true;
+        EXPECT_GT(d.line, 0) << defect.file << ": " << d.code
+                             << " lost its source line";
+      }
+    }
+    EXPECT_TRUE(hit) << defect.file << " did not trigger " << defect.code
+                     << ":\n"
+                     << result.diagnostics.render();
+  }
+}
+
+TEST(CorpusTest, AdaptiveConfigCompilesWithItsFullProgram) {
+  const adl::CompilationResult result = compile_adl(read_file("adaptive.adl"));
+  ASSERT_TRUE(result.ok()) << result.diagnostics.render();
+  EXPECT_EQ(result.program.rules.size(), 3u);
+  EXPECT_EQ(result.program.goals.size(), 1u);
+  EXPECT_EQ(result.program.scenarios.size(), 1u);
 }
 
 TEST(CorpusTest, ProtocolBearingConfigsReportVerificationCost) {

@@ -21,7 +21,7 @@ trap 'rm -f "$OUT"' EXIT
 # 1. Clean corpus: exit 0 even under --strict.
 "$LINT" --json --strict \
   quickstart.adl load_balancing.adl telecom.adl three_tier.adl \
-  self_healing.adl scenarios/storm.fault >> "$OUT" 2>/dev/null || {
+  adaptive.adl self_healing.adl scenarios/storm.fault >> "$OUT" 2>/dev/null || {
   echo "FAIL: clean corpus produced diagnostics" >&2
   exit 1
 }

@@ -28,8 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "adl/parser.h"
-#include "adl/validator.h"
+#include "analysis/adl_screen.h"
 #include "analysis/architecture.h"
 #include "analysis/diagnostics.h"
 #include "analysis/scenario_lint.h"
@@ -41,40 +40,31 @@ namespace {
 using aars::analysis::AnalysisReport;
 using aars::analysis::Severity;
 
-/// Pulls "line N" out of front-end error messages so parse failures keep
-/// clickable locations in lint output.
-int line_from_message(const std::string& message) {
-  const auto pos = message.find("line ");
-  if (pos == std::string::npos) return 0;
-  return std::atoi(message.c_str() + pos + 5);
-}
-
 bool ends_with_adl(const std::string& path) {
   return aars::util::ends_with(path, ".adl");
 }
 
+/// Full five-stage compile (lex -> parse -> sema -> emit -> analysis
+/// screen): the compiler's structured diagnostics carry line AND column,
+/// so lint output stays clickable without scraping error messages.  A
+/// configuration that compiles also runs the whole-architecture verifier.
 AnalysisReport lint_adl_file(
     const std::string& text,
     const aars::analysis::VerifierOptions& options,
     std::optional<aars::analysis::ArchitectureModel>& last_model) {
   AnalysisReport report;
-  auto parsed = aars::adl::parse(text);
-  if (!parsed.ok()) {
-    report.add(Severity::kError, "parse-error", "",
-               parsed.error().message(),
-               line_from_message(parsed.error().message()));
-    return report;
+  aars::adl::CompilationResult result =
+      aars::analysis::compile_adl(text, options);
+  for (const aars::adl::Diagnostic& d : result.diagnostics.items()) {
+    report.add(d.severity == aars::adl::DiagSeverity::kError
+                   ? Severity::kError
+                   : Severity::kWarning,
+               d.code, "", d.message, d.line, d.column);
   }
-  auto compiled = aars::adl::validate(std::move(parsed).value());
-  if (!compiled.ok()) {
-    report.add(Severity::kError, "validate-error", "",
-               compiled.error().message(),
-               line_from_message(compiled.error().message()));
-    return report;
-  }
+  if (!result.ok()) return report;
   const aars::analysis::ArchitectureModel model =
-      aars::analysis::model_from(compiled.value());
-  report = aars::analysis::verify_architecture(model, options);
+      aars::analysis::model_from(result.config);
+  report.merge(aars::analysis::verify_architecture(model, options));
   last_model = model;
   return report;
 }
