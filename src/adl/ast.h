@@ -164,6 +164,7 @@ struct AstBinding {
 //
 //   when queue_depth(jobs) > 48 for 2 ticks reconfigure shed_load {
 //     cooldown 2s;
+//     deadline 200ms;
 //     replace worker with CheapWorker;
 //   }
 //   when event fault.host_down reconfigure {
@@ -218,6 +219,11 @@ struct AstRule {
   AstCondition condition;
   std::vector<AstRuleAction> actions;
   std::int64_t cooldown_us = 0;  // `cooldown 2s;` property
+  /// `deadline 200ms;` property: whole-firing budget for the transactional
+  /// enactment of this rule — when it expires mid-plan, the steps applied so
+  /// far are rolled back in reverse order. 0 = no rule-level deadline (the
+  /// runtime default applies).
+  std::int64_t deadline_us = 0;
   SourceLoc loc;
 };
 

@@ -23,6 +23,7 @@ RuleProgram emit_program(const Configuration& ast) {
                    ? util::Symbol("rule_" + std::to_string(i))
                    : util::Symbol(rule.name);
     out.cooldown_us = rule.cooldown_us;
+    out.deadline_us = rule.deadline_us;
     const AstCondition& cond = rule.condition;
     out.condition.is_event = cond.is_event;
     out.condition.compare = cond.compare;

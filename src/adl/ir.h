@@ -83,6 +83,8 @@ struct CompiledRule {
   CompiledCondition condition;
   std::vector<CompiledAction> actions;
   std::int64_t cooldown_us = 0;
+  /// Whole-firing transactional deadline (0 = use the runtime default).
+  std::int64_t deadline_us = 0;
 };
 
 struct CompiledGoal {

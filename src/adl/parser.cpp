@@ -518,7 +518,8 @@ class Parser {
 
   // --- reconfiguration rules ---------------------------------------------
 
-  // when <condition> [for N ticks] reconfigure [name] { [cooldown D;] action* }
+  // when <condition> [for N ticks] reconfigure [name]
+  //   { [cooldown D;] [deadline D;] action* }
   void parse_rule(Configuration& config) {
     AstRule rule;
     rule.loc = peek().loc;
@@ -550,6 +551,13 @@ class Parser {
       }
       if (match_keyword("cooldown")) {
         if (!expect_integer("duration after 'cooldown'", rule.cooldown_us)) {
+          return;
+        }
+        if (!expect_punct(";")) return;
+        continue;
+      }
+      if (match_keyword("deadline")) {
+        if (!expect_integer("duration after 'deadline'", rule.deadline_us)) {
           return;
         }
         if (!expect_punct(";")) return;
@@ -650,7 +658,8 @@ class Parser {
     } else {
       return fail(
           "expected a reconfiguration action "
-          "(add/remove/replace/migrate/rebind/reroute) or 'cooldown'");
+          "(add/remove/replace/migrate/rebind/reroute), 'cooldown' or "
+          "'deadline'");
     }
     return expect_punct(";");
   }

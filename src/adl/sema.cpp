@@ -44,8 +44,8 @@ const std::set<std::string>& known_events() {
   static const std::set<std::string> kEvents{
       "fault.host_down",     "fault.host_up",   "fault.link_down",
       "fault.link_up",       "fault.degrade_start", "fault.degrade_end",
-      "fault.loss_start",    "fault.loss_end",  "overload.enter",
-      "overload.exit",
+      "fault.loss_start",    "fault.loss_end",  "fault.step_armed",
+      "fault.step_cleared",  "overload.enter",  "overload.exit",
   };
   return kEvents;
 }
@@ -441,6 +441,9 @@ class Sema {
       analyze_condition(rule.condition);
       if (rule.cooldown_us < 0) {
         error(rule.loc, "invalid-value", "rule cooldown must be >= 0");
+      }
+      if (rule.deadline_us < 0) {
+        error(rule.loc, "invalid-value", "rule deadline must be >= 0");
       }
       RuleScope scope(out_.instance_index);
       for (const AstRuleAction& action : rule.actions) {

@@ -44,6 +44,22 @@ void screen_rules(const ArchitectureModel& model,
     const adl::SourceLoc loc = result.config.ast.rules[i].loc;
     const PlanReview review = verify_plan(model, plan_from(rule), options);
     forward(review.report, loc, "rule '" + rule.name.str() + "': ", result);
+    // Deadline-guarded rules enact transactionally and may need rollback,
+    // but `remove` is only weakly invertible: the forward protocol drops
+    // the removed instance's held traffic, so undoing a later step cannot
+    // restore it.  A final remove is fine — nothing after it can fail.
+    if (rule.deadline_us > 0) {
+      for (std::size_t a = 0; a + 1 < rule.actions.size(); ++a) {
+        if (rule.actions[a].op != adl::RuleOp::kRemove) continue;
+        result.diagnostics.error(
+            loc, "uninvertible-plan",
+            "rule '" + rule.name.str() + "': 'remove " +
+                rule.actions[a].instance.str() + "' before the end of a " +
+                "deadline-guarded plan cannot be rolled back losslessly; " +
+                "move it last or drop the deadline",
+            util::ErrorCode::kVerificationFailed);
+      }
+    }
   }
 }
 

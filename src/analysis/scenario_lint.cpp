@@ -42,6 +42,10 @@ void lint_line(const std::string& line, int line_no,
                line_no);
   }
 
+  // fail-step targets the reconfiguration path, not the topology: nothing
+  // to check against the model.
+  if (spec.kind == fault::FaultKind::kStepFault) return;
+
   if (model == nullptr) return;
   if (spec.kind == fault::FaultKind::kHostCrash) {
     if (!model->has_node(spec.host)) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "reconfig/engine.h"
+#include "reconfig/rules.h"
 #include "runtime/application.h"
 #include "util/time.h"
 
@@ -38,6 +39,9 @@ struct RuntimeOptions {
   std::optional<analysis::VerifyMode> verify_mode;
   std::size_t verify_max_states = 100000;
   std::optional<util::Duration> raml_period;
+  /// How ADL rule firings are enacted: transactional (undo journal +
+  /// rollback) with an optional default whole-firing deadline.
+  reconfig::TxnPolicy txn_policy;
 };
 
 /// CRTP mixin providing the shared fluent verbs.  `Derived` is the concrete
@@ -87,6 +91,16 @@ class OptionsBuilder {
   }
   Derived& with_raml(util::Duration period) {
     options_.raml_period = period;
+    return self();
+  }
+  /// Transactional enactment of rule firings (the default): a failed step
+  /// or an expired whole-firing deadline rolls the applied prefix back.
+  /// `default_deadline` bounds firings whose rule declares no `deadline`
+  /// property (0 = unbounded).
+  Derived& transactional_rules(bool on = true,
+                               util::Duration default_deadline = 0) {
+    options_.txn_policy.transactional = on;
+    options_.txn_policy.default_deadline = default_deadline;
     return self();
   }
 

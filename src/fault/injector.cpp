@@ -1,5 +1,6 @@
 #include "fault/injector.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -36,6 +37,12 @@ Status FaultInjector::arm(const FaultScenario& scenario) {
   for (const FaultSpec& spec : scenario.faults()) {
     Armed entry;
     entry.spec = spec;
+    if (spec.kind == FaultKind::kStepFault) {
+      // Targets the reconfiguration path, not the topology: nothing to
+      // resolve.
+      armed.push_back(std::move(entry));
+      continue;
+    }
     if (spec.kind == FaultKind::kHostCrash) {
       entry.host = net.node_id(spec.host);
       if (!entry.host.valid()) {
@@ -226,6 +233,15 @@ std::vector<NodeId> FaultInjector::down_hosts() const {
   return std::vector<NodeId>(crashed_.begin(), crashed_.end());
 }
 
+bool FaultInjector::should_fail_step(std::size_t step, std::size_t n) const {
+  for (const auto& [k, of] : step_faults_) {
+    if (static_cast<std::size_t>(k) != step) continue;
+    if (of > 0 && static_cast<std::size_t>(of) != n) continue;
+    return true;
+  }
+  return false;
+}
+
 std::uint64_t FaultInjector::dropped_during_faults() const {
   if (active_ > 0) {
     return dropped_during_faults_ +
@@ -245,6 +261,9 @@ void FaultInjector::begin(const FaultSpec& spec, NodeId host, NodeId a,
     case FaultKind::kLinkLoss:
       (void)set_link_loss(a, b, spec.loss_probability);
       break;
+    case FaultKind::kStepFault:
+      step_faults_.emplace_back(spec.step, spec.of);
+      break;
   }
   note_fault_started();
   publish(spec, FaultEvent::Phase::kBegin, host, a, b);
@@ -257,6 +276,12 @@ void FaultInjector::end(const FaultSpec& spec, NodeId host, NodeId a,
     case FaultKind::kLinkPartition: (void)heal_link(a, b); break;
     case FaultKind::kLinkDegrade: (void)restore_link_quality(a, b); break;
     case FaultKind::kLinkLoss: (void)restore_link_loss(a, b); break;
+    case FaultKind::kStepFault: {
+      const auto it = std::find(step_faults_.begin(), step_faults_.end(),
+                                std::make_pair(spec.step, spec.of));
+      if (it != step_faults_.end()) step_faults_.erase(it);
+      break;
+    }
   }
   note_fault_ended();
   publish(spec, FaultEvent::Phase::kEnd, host, a, b);

@@ -74,6 +74,10 @@ class FaultInjector {
   std::vector<NodeId> down_hosts() const;
   /// Number of currently-active faults (begun, not yet ended).
   std::size_t active_faults() const { return active_; }
+  /// True when an open `fail-step` window targets step `step` (1-based) of
+  /// an `n`-step plan. Consulted by reconfig::Txn before each step; the
+  /// directive is deterministic — no randomness, no network mutation.
+  bool should_fail_step(std::size_t step, std::size_t n) const;
   /// Total fault transitions applied so far.
   std::uint64_t injected() const { return injected_; }
   /// Messages the network dropped while at least one fault was active.
@@ -105,6 +109,10 @@ class FaultInjector {
   std::map<LinkKey, int> degrade_depth_;
   std::map<LinkKey, int> loss_depth_;
   std::set<NodeId> crashed_;
+  /// Open fail-step windows: (step, of) pairs, one entry per active window
+  /// (duplicates allowed — overlap is begin/end counted by erasing one
+  /// matching entry at end).
+  std::vector<std::pair<int, int>> step_faults_;
   std::vector<FaultListener> listeners_;
   std::size_t active_ = 0;
   std::uint64_t injected_ = 0;

@@ -17,6 +17,10 @@ using util::SimTime;
 
 std::string FaultSpec::subject() const {
   if (kind == FaultKind::kHostCrash) return "host " + host;
+  if (kind == FaultKind::kStepFault) {
+    return "step " + std::to_string(step) +
+           (of > 0 ? "/" + std::to_string(of) : "");
+  }
   return "link " + link_a + "-" + link_b;
 }
 
@@ -69,6 +73,18 @@ FaultScenario& FaultScenario::loss(const std::string& a, const std::string& b,
   spec.link_a = a;
   spec.link_b = b;
   spec.loss_probability = p;
+  faults_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultScenario& FaultScenario::fail_step(int step, SimTime at, Duration window,
+                                        int of) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kStepFault;
+  spec.at = at;
+  spec.duration = window;
+  spec.step = step;
+  spec.of = of;
   faults_.push_back(std::move(spec));
   return *this;
 }
@@ -174,6 +190,8 @@ Result<FaultScenario> FaultScenario::parse(const std::string& text) {
       spec.kind = FaultKind::kLinkDegrade;
     } else if (kind == "loss") {
       spec.kind = FaultKind::kLinkLoss;
+    } else if (kind == "fail-step") {
+      spec.kind = FaultKind::kStepFault;
     } else {
       return line_error(line_no, "unknown fault kind '" + kind + "'");
     }
@@ -214,6 +232,16 @@ Result<FaultScenario> FaultScenario::parse(const std::string& text) {
         if (spec.loss_probability < 0.0 || spec.loss_probability > 1.0) {
           return line_error(line_no, "loss p must be in [0,1]");
         }
+      } else if (key == "step") {
+        spec.step = std::atoi(value.c_str());
+        if (spec.step < 1) {
+          return line_error(line_no, "fail-step wants step=<k> with k >= 1");
+        }
+      } else if (key == "of") {
+        spec.of = std::atoi(value.c_str());
+        if (spec.of < 1) {
+          return line_error(line_no, "fail-step of=<n> wants n >= 1");
+        }
       } else {
         return line_error(line_no, "unknown key '" + key + "'");
       }
@@ -225,7 +253,16 @@ Result<FaultScenario> FaultScenario::parse(const std::string& text) {
     if (spec.kind == FaultKind::kHostCrash && spec.host.empty()) {
       return line_error(line_no, "crash wants host=<name>");
     }
-    if (spec.kind != FaultKind::kHostCrash && spec.link_a.empty()) {
+    if (spec.kind == FaultKind::kStepFault) {
+      if (spec.step < 1) {
+        return line_error(line_no, "fail-step wants step=<k>");
+      }
+      if (spec.of > 0 && spec.step > spec.of) {
+        return line_error(line_no, "fail-step step=<k> must be <= of=<n>");
+      }
+    }
+    if (spec.kind != FaultKind::kHostCrash &&
+        spec.kind != FaultKind::kStepFault && spec.link_a.empty()) {
       return line_error(line_no, "link fault wants link=a-b");
     }
     if (spec.kind == FaultKind::kLinkLoss && spec.loss_probability <= 0.0) {
@@ -253,6 +290,9 @@ std::string FaultScenario::to_text() const {
     out << "at " << render_duration(f.at) << " " << to_string(f.kind);
     if (f.kind == FaultKind::kHostCrash) {
       out << " host=" << f.host;
+    } else if (f.kind == FaultKind::kStepFault) {
+      out << " step=" << f.step;
+      if (f.of > 0) out << " of=" << f.of;
     } else {
       out << " link=" << f.link_a << "-" << f.link_b;
     }

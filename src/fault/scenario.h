@@ -13,9 +13,17 @@
 //   at 1s    partition link=a-b for 200ms
 //   at 2s    degrade link=a-b latency=5ms jitter=1ms for 1s
 //   at 3s    loss link=a-b p=0.3 for 250ms
+//   at 4s    fail-step step=2 of=3 for 100ms
 //
 // Times accept `us`, `ms` and `s` suffixes.  Host and link endpoints are
 // node *names*, resolved against the network when the scenario is armed.
+//
+// `fail-step` targets the reconfiguration path itself: while the window is
+// open, transactional enactment (reconfig::Txn) fails step k of an n-step
+// plan deterministically — `of=<n>` restricts the directive to plans of
+// exactly n steps and may be omitted to match any plan length.  It touches
+// no links or hosts; it exists to prove that a mid-plan failure rolls the
+// configuration back cleanly.
 #pragma once
 
 #include <string>
@@ -32,6 +40,7 @@ enum class FaultKind {
   kLinkPartition,  // a duplex link pair is severed, then healed
   kLinkDegrade,    // extra latency + jitter on a duplex link for a window
   kLinkLoss,       // elevated loss probability on a duplex link for a window
+  kStepFault,      // reconfiguration txn step k of n fails inside the window
 };
 
 constexpr const char* to_string(FaultKind k) {
@@ -40,6 +49,7 @@ constexpr const char* to_string(FaultKind k) {
     case FaultKind::kLinkPartition: return "partition";
     case FaultKind::kLinkDegrade: return "degrade";
     case FaultKind::kLinkLoss: return "loss";
+    case FaultKind::kStepFault: return "fail-step";
   }
   return "?";
 }
@@ -57,6 +67,9 @@ struct FaultSpec {
   util::Duration extra_latency = 0;  // kLinkDegrade
   util::Duration extra_jitter = 0;   // kLinkDegrade
   double loss_probability = 0.0;     // kLinkLoss
+
+  int step = 0;  // kStepFault: which step (1-based) of a plan fails
+  int of = 0;    // kStepFault: restrict to n-step plans (0 = any length)
 
   /// When the fault ends (heal/restart instant).
   util::SimTime ends_at() const { return at + duration; }
@@ -87,6 +100,11 @@ class FaultScenario {
   /// (a correlated message-loss burst).
   FaultScenario& loss(const std::string& a, const std::string& b,
                       util::SimTime at, util::Duration window, double p);
+  /// While the window is open, step `step` (1-based) of any transactional
+  /// reconfiguration fails deterministically; `of` restricts the directive
+  /// to plans of exactly `of` steps (0 = any length).
+  FaultScenario& fail_step(int step, util::SimTime at, util::Duration window,
+                           int of = 0);
 
   const std::vector<FaultSpec>& faults() const { return faults_; }
   bool empty() const { return faults_.empty(); }

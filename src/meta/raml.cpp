@@ -51,6 +51,8 @@ const char* fault_event_name(const fault::FaultEvent& event) {
       return begin ? "fault.degrade_start" : "fault.degrade_end";
     case fault::FaultKind::kLinkLoss:
       return begin ? "fault.loss_start" : "fault.loss_end";
+    case fault::FaultKind::kStepFault:
+      return begin ? "fault.step_armed" : "fault.step_cleared";
   }
   return "fault.unknown";
 }

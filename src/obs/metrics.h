@@ -131,6 +131,7 @@ enum class TraceKind {
   kDecision,      // a RAML policy fired
   kQosViolation,  // a QoS contract evaluation failed
   kFault,         // an injected fault began or ended, or a repair completed
+  kTxn,           // a transactional enactment committed or rolled back
   kCustom,        // anything else an experiment wants on the timeline
 };
 
@@ -141,6 +142,7 @@ constexpr const char* to_string(TraceKind k) {
     case TraceKind::kDecision: return "decision";
     case TraceKind::kQosViolation: return "qos_violation";
     case TraceKind::kFault: return "fault";
+    case TraceKind::kTxn: return "txn";
     case TraceKind::kCustom: return "custom";
   }
   return "?";

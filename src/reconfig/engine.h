@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "analysis/plan.h"
 #include "obs/metrics.h"
@@ -37,6 +38,40 @@ using util::Result;
 using util::SimTime;
 using util::Status;
 using util::Value;
+
+/// Transactional verdict of a multi-step enactment (reconfig::Txn).
+/// Single-op protocols driven directly through the engine stay kNone.
+enum class TxnVerdict {
+  kNone,        // not enacted transactionally
+  kCommitted,   // every step applied
+  kRolledBack,  // a step failed (or the deadline expired); undone in reverse
+};
+
+constexpr const char* to_string(TxnVerdict v) {
+  switch (v) {
+    case TxnVerdict::kNone: return "none";
+    case TxnVerdict::kCommitted: return "committed";
+    case TxnVerdict::kRolledBack: return "rolled_back";
+  }
+  return "?";
+}
+
+/// Per-step outcome inside a transactional enactment.
+struct StepOutcome {
+  analysis::PlanOp op = analysis::PlanOp::kAdd;
+  /// Step status; defaults to "not attempted" so steps skipped after an
+  /// abort read as such rather than as silent successes.
+  Status status =
+      util::Error{util::ErrorCode::kInternal, "step not attempted"};
+  bool attempted = false;
+  /// Set when the step was applied and then reverted during rollback.
+  bool undone = false;
+  /// For replace/reroute steps that retire one instance in favour of
+  /// another: the swap the caller must mirror (e.g. RuleSet rebinding its
+  /// action tables) — only meaningful once the txn committed.
+  ComponentId swapped_from;
+  ComponentId swapped_to;
+};
 
 /// Outcome of one reconfiguration protocol run.
 struct ReconfigReport {
@@ -61,6 +96,14 @@ struct ReconfigReport {
   std::size_t replayed_messages = 0;
   /// New component (for replace/update flows).
   ComponentId new_component;
+  /// Transactional enactment (reconfig::Txn) only: committed/rolled-back
+  /// verdict, per-step outcomes and rollback accounting. Engine-level
+  /// single-op protocols leave these at their defaults.
+  TxnVerdict verdict = TxnVerdict::kNone;
+  std::vector<StepOutcome> steps;
+  /// Undo records applied (and how many of those failed) while rolling back.
+  std::size_t rollback_steps = 0;
+  std::size_t rollback_failures = 0;
 };
 
 using Done = std::function<void(const ReconfigReport&)>;

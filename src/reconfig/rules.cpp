@@ -24,13 +24,25 @@ bool compare(adl::AstCompare op, double value, double threshold) {
   return false;
 }
 
+analysis::PlanOp to_plan_op(adl::RuleOp op) {
+  switch (op) {
+    case adl::RuleOp::kAdd: return analysis::PlanOp::kAdd;
+    case adl::RuleOp::kRemove: return analysis::PlanOp::kRemove;
+    case adl::RuleOp::kReplace: return analysis::PlanOp::kReplace;
+    case adl::RuleOp::kMigrate: return analysis::PlanOp::kMigrate;
+    case adl::RuleOp::kRebind: return analysis::PlanOp::kRebind;
+    case adl::RuleOp::kReroute: return analysis::PlanOp::kReroute;
+  }
+  return analysis::PlanOp::kRemove;
+}
+
 }  // namespace
 
 Result<std::shared_ptr<RuleSet>> RuleSet::install(
     const adl::RuleProgram& program, Application& app,
-    ReconfigurationEngine& engine, fault::FaultInjector* injector) {
-  std::shared_ptr<RuleSet> set(new RuleSet(app, engine, injector));
-  std::size_t max_actions = 0;
+    ReconfigurationEngine& engine, fault::FaultInjector* injector,
+    TxnPolicy policy) {
+  std::shared_ptr<RuleSet> set(new RuleSet(app, engine, injector, policy));
 
   for (const adl::CompiledRule& compiled : program.rules) {
     BoundRule rule;
@@ -39,6 +51,8 @@ Result<std::shared_ptr<RuleSet>> RuleSet::install(
     rule.threshold = compiled.condition.threshold;
     rule.sustain_ticks = compiled.condition.sustain_ticks;
     rule.cooldown = compiled.cooldown_us;
+    rule.deadline = compiled.deadline_us > 0 ? compiled.deadline_us
+                                             : policy.default_deadline;
     rule.is_event = compiled.condition.is_event;
     if (rule.is_event) {
       set->event_rules_.emplace_back(compiled.condition.event,
@@ -121,7 +135,7 @@ Result<std::shared_ptr<RuleSet>> RuleSet::install(
         case adl::RuleOp::kReroute:
           // The replica may be created by an earlier action of this rule
           // (scale-out: add w2; reroute w to w2) — leave it symbolic then
-          // and resolve through the scratch table at fire time.
+          // and resolve through the txn's scratch table at fire time.
           bound.replica_name = action.replica;
           bound.replica = app.component_id(action.replica.str());
           break;
@@ -131,15 +145,17 @@ Result<std::shared_ptr<RuleSet>> RuleSet::install(
       if (action.op != adl::RuleOp::kAdd) {
         // Bind the target now when it is part of the declared deployment;
         // targets created by earlier actions of the same rule stay symbolic
-        // and resolve through the firing-local scratch table.
+        // and resolve through the txn's firing-local scratch table.
         bound.instance = app.component_id(action.instance.str());
       }
       rule.actions.push_back(bound);
     }
-    max_actions = std::max(max_actions, rule.actions.size());
     set->rules_.push_back(std::move(rule));
   }
-  set->scratch_.reserve(max_actions);
+  obs::Registry& reg = obs::Registry::global();
+  set->obs_fired_ = &reg.counter("rules.fired");
+  set->obs_failed_ = &reg.counter("rules.failed");
+  set->obs_suppressed_ = &reg.counter("rules.suppressed");
   return set;
 }
 
@@ -162,7 +178,8 @@ bool RuleSet::condition_holds(const BoundRule& rule, SimTime now) const {
 
 void RuleSet::evaluate(SimTime now) {
   ++stats_.evaluations;
-  for (BoundRule& rule : rules_) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    BoundRule& rule = rules_[i];
     if (rule.is_event) continue;
     if (!condition_holds(rule, now)) {
       rule.streak = 0;
@@ -170,35 +187,28 @@ void RuleSet::evaluate(SimTime now) {
     }
     if (rule.streak < rule.sustain_ticks) ++rule.streak;
     if (rule.streak < rule.sustain_ticks) continue;
-    if (rule.inflight > 0 ||
+    if (rule.inflight ||
         (rule.ever_fired && now - rule.last_fired < rule.cooldown)) {
       ++stats_.suppressed;
+      obs_suppressed_->inc();
       continue;
     }
     rule.streak = 0;
-    fire(rule, now);
+    fire(i, now);
   }
 }
 
 void RuleSet::fire_event_rule(std::size_t index, SimTime now) {
   if (index >= event_rules_.size()) return;
-  BoundRule& rule = rules_[event_rules_[index].second];
-  if (rule.inflight > 0 ||
+  const std::size_t rule_index = event_rules_[index].second;
+  BoundRule& rule = rules_[rule_index];
+  if (rule.inflight ||
       (rule.ever_fired && now - rule.last_fired < rule.cooldown)) {
     ++stats_.suppressed;
+    obs_suppressed_->inc();
     return;
   }
-  fire(rule, now);
-}
-
-ComponentId RuleSet::resolve(ComponentId bound, util::Symbol name) const {
-  if (bound.valid()) return bound;
-  // Instances created by an earlier action of this firing: linear scan,
-  // Symbol equality is pointer comparison.
-  for (const auto& [entry, id] : scratch_) {
-    if (entry == name) return id;
-  }
-  return ComponentId::invalid();
+  fire(rule_index, now);
 }
 
 void RuleSet::rebind_instance(ComponentId from, ComponentId to) {
@@ -211,109 +221,87 @@ void RuleSet::rebind_instance(ComponentId from, ComponentId to) {
   }
 }
 
-void RuleSet::fire(BoundRule& rule, SimTime now) {
+void RuleSet::fire(std::size_t rule_index, SimTime now) {
+  BoundRule& rule = rules_[rule_index];
   ++stats_.fired;
+  obs_fired_->inc();
   rule.ever_fired = true;
   rule.last_fired = now;
-  scratch_.clear();
+  rule.inflight = true;
 
-  for (BoundAction& action : rule.actions) {
+  // Firing-time allocation is fine — a reconfiguration is in progress.
+  Txn::Options options;
+  options.deadline = rule.deadline;
+  options.injector = injector_;
+  options.atomic = policy_.transactional;
+  auto txn = Txn::create(app_, engine_, rule.name.str(), options);
+  for (const BoundAction& action : rule.actions) {
+    TxnAction step;
+    step.op = to_plan_op(action.op);
+    step.instance = action.instance;
+    step.instance_name = action.instance_name;
+    step.replica = action.replica;
+    step.replica_name = action.replica_name;
+    step.node = action.node;
+    step.connector = action.connector;
+    step.type = action.type;
+    step.name = action.name;
+    step.port = action.port;
+    txn->enqueue(step);
+  }
+
+  // The txn outlives anything: its protocol callbacks keep it alive on the
+  // event loop, and the RuleSet may be torn down (or rules_ reallocated)
+  // while a protocol is still in flight.  Hence a weak_ptr plus a stable
+  // rule index — never a BoundRule pointer.
+  std::weak_ptr<RuleSet> weak = weak_from_this();
+  txn->run([weak, rule_index](const ReconfigReport& report) {
+    if (auto self = weak.lock()) self->on_firing_done(rule_index, report);
+  });
+}
+
+void RuleSet::on_firing_done(std::size_t rule_index,
+                             const ReconfigReport& report) {
+  BoundRule& rule = rules_[rule_index];
+  rule.inflight = false;
+
+  std::uint64_t failed_steps = 0;
+  for (const StepOutcome& step : report.steps) {
+    if (!step.attempted) continue;
     ++stats_.actions;
-    // Async protocols report through this; firing-time allocation is fine —
-    // a reconfiguration is in progress.
-    ++rule.inflight;
-    BoundRule* rule_ptr = &rule;
-    const Done done = [this, rule_ptr](const ReconfigReport& report) {
-      --rule_ptr->inflight;
-      if (!report.ok()) ++stats_.failed;
-    };
-    switch (action.op) {
-      case adl::RuleOp::kAdd: {
-        Result<ComponentId> added = engine_.add_component(
-            action.type.str(), action.name.str(), action.node, Value{});
-        --rule.inflight;  // synchronous
-        if (added.ok()) {
-          scratch_.emplace_back(action.name, added.value());
-        } else {
-          ++stats_.failed;
-        }
-        break;
+    if (!step.status.ok()) ++failed_steps;
+  }
+  // A deadline abort can roll back a firing whose every attempted step
+  // succeeded; make sure that still counts as a failed firing.
+  if (failed_steps == 0 && !report.ok()) failed_steps = 1;
+  if (failed_steps > 0) {
+    stats_.failed += failed_steps;
+    obs_failed_->inc(failed_steps);
+  }
+
+  if (report.verdict == TxnVerdict::kCommitted) {
+    ++stats_.committed;
+    // Mirror committed instance swaps into the pre-bound action tables so
+    // later firings target the live implementation.
+    for (const StepOutcome& step : report.steps) {
+      if (step.swapped_from.valid() && step.swapped_to.valid()) {
+        rebind_instance(step.swapped_from, step.swapped_to);
       }
-      case adl::RuleOp::kRemove: {
-        const ComponentId target = resolve(action.instance, action.instance_name);
-        if (!target.valid()) {
-          --rule.inflight;
-          ++stats_.failed;
-          break;
-        }
-        engine_.remove_component(target, done);
-        break;
-      }
-      case adl::RuleOp::kReplace: {
-        const ComponentId target = resolve(action.instance, action.instance_name);
-        if (!target.valid()) {
-          --rule.inflight;
-          ++stats_.failed;
-          break;
-        }
-        engine_.replace_component(
-            target, action.type.str(), action.name.str(),
-            [this, rule_ptr, target](const ReconfigReport& report) {
-              --rule_ptr->inflight;
-              if (report.ok()) {
-                rebind_instance(target, report.new_component);
-              } else {
-                ++stats_.failed;
-              }
-            });
-        break;
-      }
-      case adl::RuleOp::kMigrate: {
-        const ComponentId target = resolve(action.instance, action.instance_name);
-        if (!target.valid()) {
-          --rule.inflight;
-          ++stats_.failed;
-          break;
-        }
-        engine_.migrate_component(target, action.node, done);
-        break;
-      }
-      case adl::RuleOp::kRebind: {
-        const ComponentId target = resolve(action.instance, action.instance_name);
-        --rule.inflight;  // synchronous
-        if (!target.valid()) {
-          ++stats_.failed;
-          break;
-        }
-        if (!engine_.rebind(target, action.port.str(), action.connector)
-                 .ok()) {
-          ++stats_.failed;
-        }
-        break;
-      }
-      case adl::RuleOp::kReroute: {
-        const ComponentId target = resolve(action.instance, action.instance_name);
-        const ComponentId replica =
-            resolve(action.replica, action.replica_name);
-        if (!target.valid() || !replica.valid()) {
-          --rule.inflight;
-          ++stats_.failed;
-          break;
-        }
-        engine_.reroute_to_replica(
-            target, replica,
-            [this, rule_ptr, target, replica](const ReconfigReport& report) {
-              --rule_ptr->inflight;
-              if (report.ok()) {
-                rebind_instance(target, replica);
-              } else {
-                ++stats_.failed;
-              }
-            });
-        break;
+    }
+  } else if (report.verdict == TxnVerdict::kRolledBack) {
+    ++stats_.rolled_back;
+  } else if (report.ok()) {
+    // Sequencer mode (non-transactional) with every step applied: still
+    // mirror the swaps.
+    for (const StepOutcome& step : report.steps) {
+      if (step.status.ok() && step.swapped_from.valid() &&
+          step.swapped_to.valid()) {
+        rebind_instance(step.swapped_from, step.swapped_to);
       }
     }
   }
+
+  if (firing_observer_) firing_observer_(rule.name, report);
 }
 
 }  // namespace aars::reconfig

@@ -10,34 +10,55 @@
 //     by NodeId, injector fault count) and advances the sustain/cooldown
 //     hysteresis counters.  It performs no string parsing, no hashing and
 //     no allocation.
-//   * firing walks the rule's pre-bound action table and calls the
-//     reconfiguration engine's change-class entrypoints with the
-//     pre-resolved ids/Symbols.  Instances created by an earlier action of
-//     the same firing resolve through a linear scan of a pre-reserved
-//     scratch table (Symbol equality is pointer comparison).
+//   * firing enacts the rule's pre-bound action table as one reconfig::Txn:
+//     steps run in order, each journals its inverse, and a failed step (or
+//     an expired whole-firing deadline) rolls the applied prefix back in
+//     reverse, so a half-fired rule never leaves a partial topology behind
+//     (TxnPolicy::transactional can downgrade this to the legacy
+//     sequence-and-record behaviour).
 //
 // Event-conditioned rules don't poll: meta::Raml subscribes them to its
 // FLO/C rule engine and calls fire_event_rule() when the trigger arrives.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "adl/ir.h"
 #include "fault/injector.h"
 #include "reconfig/engine.h"
+#include "reconfig/txn.h"
 
 namespace aars::reconfig {
 
-class RuleSet {
+/// How RuleSet enacts a firing.
+struct TxnPolicy {
+  /// Atomic enactment: stop on the first failed step and roll the journal
+  /// back.  false = legacy sequencer (failures recorded, nothing undone).
+  bool transactional = true;
+  /// Whole-firing deadline applied to rules that don't declare their own
+  /// `deadline` property.  0 = unbounded.
+  Duration default_deadline = 0;
+};
+
+class RuleSet : public std::enable_shared_from_this<RuleSet> {
  public:
   struct Stats {
     std::uint64_t evaluations = 0;  // evaluate() calls
     std::uint64_t fired = 0;        // rules whose actions were dispatched
-    std::uint64_t actions = 0;      // individual engine calls issued
-    std::uint64_t failed = 0;       // engine calls that reported failure
+    std::uint64_t actions = 0;      // individual plan steps attempted
+    std::uint64_t failed = 0;       // steps (or whole firings) that failed
     std::uint64_t suppressed = 0;   // firings skipped by cooldown/in-flight
+    std::uint64_t committed = 0;    // firings whose txn committed
+    std::uint64_t rolled_back = 0;  // firings whose txn rolled back
   };
+
+  /// Called after every firing settles (txn committed or rolled back), with
+  /// the rule's name and the aggregated report.  Benches and tests hook
+  /// this to verify the post-firing configuration.
+  using FiringObserver =
+      std::function<void(util::Symbol rule, const ReconfigReport& report)>;
 
   /// Binds `program` to the live application. Fails (kNotFound) when a rule
   /// references a declared name that does not exist in the deployment —
@@ -47,14 +68,14 @@ class RuleSet {
   static util::Result<std::shared_ptr<RuleSet>> install(
       const adl::RuleProgram& program, Application& app,
       ReconfigurationEngine& engine,
-      fault::FaultInjector* injector = nullptr);
+      fault::FaultInjector* injector = nullptr, TxnPolicy policy = {});
 
   /// Samples every metric-conditioned rule and fires those whose condition
   /// has held for its sustain window. Allocation-free while nothing fires.
   void evaluate(SimTime now);
 
   /// Fires event rule `index` (an index into event_rules()) unless its
-  /// cooldown or an in-flight protocol suppresses it.
+  /// cooldown or an in-flight firing suppresses it.
   void fire_event_rule(std::size_t index, SimTime now);
 
   /// (event name, index) pairs for Raml to subscribe.
@@ -63,8 +84,13 @@ class RuleSet {
     return event_rules_;
   }
 
+  void set_firing_observer(FiringObserver observer) {
+    firing_observer_ = std::move(observer);
+  }
+
   std::size_t rule_count() const { return rules_.size(); }
   const Stats& stats() const { return stats_; }
+  const TxnPolicy& policy() const { return policy_; }
 
  private:
   struct BoundAction {
@@ -92,25 +118,31 @@ class RuleSet {
     double threshold = 0.0;
     int sustain_ticks = 1;
     Duration cooldown = 0;
+    /// Whole-firing txn deadline (rule `deadline` property, else the
+    /// policy default). 0 = unbounded.
+    Duration deadline = 0;
     std::vector<BoundAction> actions;
     // Hysteresis state.
     int streak = 0;
     SimTime last_fired = -1;
     bool ever_fired = false;
-    int inflight = 0;  // async protocols still running
+    bool inflight = false;  // a firing's txn is still running
   };
 
   RuleSet(Application& app, ReconfigurationEngine& engine,
-          fault::FaultInjector* injector)
-      : app_(app), engine_(engine), injector_(injector) {}
+          fault::FaultInjector* injector, TxnPolicy policy)
+      : app_(app), engine_(engine), injector_(injector), policy_(policy) {}
 
   /// Current value of a metric condition. Id-indexed lookups only.
   double sample(const BoundRule& rule, SimTime now) const;
   bool condition_holds(const BoundRule& rule, SimTime now) const;
-  void fire(BoundRule& rule, SimTime now);
-  /// Resolves a pre-bound id, else `name` against the firing-local scratch
-  /// table of instances added earlier in this firing.
-  ComponentId resolve(ComponentId bound, util::Symbol name) const;
+  /// Enacts rule `rule_index` as one Txn.  Takes the index, not a
+  /// reference: the completion callback must survive rules_ reallocation
+  /// and RuleSet teardown (it holds a weak_ptr + this stable index).
+  void fire(std::size_t rule_index, SimTime now);
+  /// Settles a firing: per-step accounting, action-table rebinds for
+  /// committed swaps, observer notification.
+  void on_firing_done(std::size_t rule_index, const ReconfigReport& report);
   /// Rewrites every pre-bound reference to `from` (a replaced/rerouted
   /// instance) to `to`, keeping rules live across implementation swaps.
   void rebind_instance(ComponentId from, ComponentId to);
@@ -118,13 +150,17 @@ class RuleSet {
   Application& app_;
   ReconfigurationEngine& engine_;
   fault::FaultInjector* injector_;
+  TxnPolicy policy_;
   std::vector<BoundRule> rules_;
   std::vector<std::pair<util::Symbol, std::size_t>> event_rules_;
-  /// Firing-local name -> id table for instances created by earlier actions
-  /// of the same firing. Reserved at install; cleared (size 0, capacity
-  /// kept) per firing.
-  std::vector<std::pair<util::Symbol, ComponentId>> scratch_;
   Stats stats_;
+  FiringObserver firing_observer_;
+  /// Cached obs instruments (resolved once at install; the suppressed
+  /// counter sits on the steady-state evaluate path, which must not hash
+  /// metric names per tick).
+  obs::Counter* obs_fired_ = nullptr;
+  obs::Counter* obs_failed_ = nullptr;
+  obs::Counter* obs_suppressed_ = nullptr;
 };
 
 }  // namespace aars::reconfig

@@ -181,5 +181,32 @@ TEST_F(InjectorTest, ArmTextParsesAndArms) {
   EXPECT_EQ(bad.code(), ErrorCode::kParseError);
 }
 
+TEST_F(InjectorTest, FailStepWindowGatesShouldFailStep) {
+  FaultScenario scenario;
+  scenario.fail_step(2, util::milliseconds(10), util::milliseconds(5), 3);
+  ASSERT_TRUE(injector_.arm(scenario).ok());
+
+  // Before the window opens nothing fails.
+  EXPECT_FALSE(injector_.should_fail_step(2, 3));
+  loop_.run_until(util::milliseconds(12));
+  // Window open: only step 2 of a 3-step plan matches.
+  EXPECT_TRUE(injector_.should_fail_step(2, 3));
+  EXPECT_FALSE(injector_.should_fail_step(1, 3));
+  EXPECT_FALSE(injector_.should_fail_step(2, 2));
+  loop_.run_until(util::milliseconds(20));
+  // Window closed again.
+  EXPECT_FALSE(injector_.should_fail_step(2, 3));
+}
+
+TEST_F(InjectorTest, FailStepWithoutOfMatchesAnyPlanLength) {
+  FaultScenario scenario;
+  scenario.fail_step(1, util::milliseconds(1), util::milliseconds(5));
+  ASSERT_TRUE(injector_.arm(scenario).ok());
+  loop_.run_until(util::milliseconds(2));
+  EXPECT_TRUE(injector_.should_fail_step(1, 2));
+  EXPECT_TRUE(injector_.should_fail_step(1, 7));
+  EXPECT_FALSE(injector_.should_fail_step(2, 7));
+}
+
 }  // namespace
 }  // namespace aars::fault

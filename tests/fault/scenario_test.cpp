@@ -119,5 +119,36 @@ TEST(FaultScenarioTest, EmptyScenarioHasZeroHorizon) {
   EXPECT_EQ(empty.horizon(), 0);
 }
 
+TEST(FaultScenarioTest, FailStepParsesBuildsAndRoundTrips) {
+  const auto parsed = FaultScenario::parse(
+      "at 4s fail-step step=2 of=3 for 100ms\n"
+      "at 6s fail-step step=1 for 50ms\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  const FaultScenario& scenario = parsed.value();
+  ASSERT_EQ(scenario.size(), 2u);
+  EXPECT_EQ(scenario.faults()[0].kind, FaultKind::kStepFault);
+  EXPECT_EQ(scenario.faults()[0].step, 2);
+  EXPECT_EQ(scenario.faults()[0].of, 3);
+  EXPECT_EQ(scenario.faults()[1].step, 1);
+  EXPECT_EQ(scenario.faults()[1].of, 0);  // any plan length
+
+  // The builder produces the same spec, and to_text round-trips.
+  FaultScenario built;
+  built.fail_step(2, util::seconds(4), util::milliseconds(100), 3)
+      .fail_step(1, util::seconds(6), util::milliseconds(50));
+  EXPECT_EQ(built.to_text(), scenario.to_text());
+  const auto reparsed = FaultScenario::parse(scenario.to_text());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().to_text(), scenario.to_text());
+}
+
+TEST(FaultScenarioTest, FailStepRejectsBadIndices) {
+  // step is 1-based and must fit inside `of` when one is declared.
+  EXPECT_FALSE(FaultScenario::parse("at 1s fail-step step=0 for 1s\n").ok());
+  EXPECT_FALSE(
+      FaultScenario::parse("at 1s fail-step step=4 of=3 for 1s\n").ok());
+  EXPECT_FALSE(FaultScenario::parse("at 1s fail-step of=3 for 1s\n").ok());
+}
+
 }  // namespace
 }  // namespace aars::fault

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/injector.h"
+#include "fault/scenario.h"
 #include "testing/test_components.h"
 
 namespace aars::reconfig {
@@ -417,6 +419,80 @@ TEST_F(EngineTest, HoldOverflowDuringQuiescenceAbortsTheSwap) {
   EXPECT_EQ(overloaded, 3);
   EXPECT_EQ(oks, 2);  // held requests replayed on rollback
   EXPECT_NE(app_.find_component(comp.value()), nullptr);
+}
+
+TEST_F(EngineTest, CrashLandingMidQuiesceRollsBackCleanly) {
+  // A host crash arriving while the protocol is still waiting for
+  // quiescence: the wait times out (the stalled call never ends), the swap
+  // is abandoned and rollback unblocks the channels — no half-replaced
+  // component, no channel left blocked.
+  ReconfigurationEngine::Options opts;
+  opts.quiescence_poll = util::microseconds(100);
+  opts.quiescence_timeout = util::milliseconds(5);
+  ReconfigurationEngine impatient(app_, opts);
+
+  const auto conn = direct_to("CounterServer", "busy", node_a_);
+  const auto id = app_.component_id("busy");
+  auto* comp = app_.find_component(id);
+  ASSERT_NE(comp, nullptr);
+  comp->begin_activity();  // quiescence never arrives
+
+  fault::FaultInjector injector(app_);
+  fault::FaultScenario scenario;
+  scenario.crash("node_a", util::milliseconds(2), util::milliseconds(20));
+  ASSERT_TRUE(injector.arm(scenario).ok());
+
+  ReconfigReport report;
+  bool done = false;
+  impatient.replace_component(id, "CounterServer", "busy_v2",
+                              [&](const ReconfigReport& r) {
+                                report = r;
+                                done = true;
+                              });
+  loop_.run();
+
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), ErrorCode::kNotQuiescent);
+  // The original survived, the replacement never landed and the channel is
+  // usable again once the host heals and the stalled call ends.
+  EXPECT_NE(app_.find_component(id), nullptr);
+  EXPECT_FALSE(app_.component_id("busy_v2").valid());
+  comp->end_activity();
+  loop_.run();
+  auto total = app_.invoke_sync(conn, "total", Value{}, node_b_);
+  ASSERT_TRUE(total.result.ok()) << total.result.error().message();
+}
+
+TEST_F(EngineTest, ReportStartsUnfinishedUntilTheProtocolCompletes) {
+  direct_to("CounterServer", "c", node_a_);
+  const auto id = app_.component_id("c");
+
+  // A report that nobody finished must never read as success.
+  ReconfigReport unfinished;
+  EXPECT_FALSE(unfinished.ok());
+  EXPECT_EQ(unfinished.error_message(), "protocol did not complete");
+
+  // Keep the component mid-activity so the remove cannot quiesce — and
+  // thus cannot complete — before the loop runs.
+  auto* comp = app_.find_component(id);
+  ASSERT_NE(comp, nullptr);
+  comp->begin_activity();
+  loop_.schedule_after(util::milliseconds(1), [comp] { comp->end_activity(); });
+
+  ReconfigReport report;
+  bool done = false;
+  engine_.remove_component(id, [&](const ReconfigReport& r) {
+    report = r;
+    done = true;
+  });
+  // Asynchronous: nothing has happened yet, the captured report still
+  // carries the unfinished sentinel.
+  EXPECT_FALSE(done);
+  EXPECT_FALSE(report.ok());
+  loop_.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.ok()) << report.error_message();
 }
 
 }  // namespace

@@ -182,5 +182,37 @@ TEST(AdlRulesTest, InstallRejectsRulesAgainstAMissingDeployment) {
   EXPECT_EQ(installed.error().code(), util::ErrorCode::kNotFound);
 }
 
+TEST(AdlRulesTest, TeardownMidProtocolDoesNotTouchFreedRules) {
+  // Regression: fire() used to capture a raw BoundRule* in the async Done
+  // callback, so destroying the RuleSet while a firing's protocol was
+  // still on the event loop wrote through a stale pointer.  The completion
+  // path now holds a weak_ptr plus a stable rule index: the firing's txn
+  // finishes on its own and the bookkeeping is silently skipped.
+  auto built = build_world(kEchoWorld);  // world only, rules installed below
+  ASSERT_TRUE(built.ok()) << built.error().message();
+  auto rt = std::move(built).value();
+
+  adl::CompilationResult result = adl::compile(scale_out_world());
+  ASSERT_TRUE(result.ok());
+  auto installed = reconfig::RuleSet::install(result.program, rt->app(),
+                                              rt->engine());
+  ASSERT_TRUE(installed.ok()) << installed.error().message();
+  auto rules = std::move(installed).value();
+
+  // Fire: the add lands synchronously, the reroute protocol stays in
+  // flight on the loop.
+  rules->evaluate(0);
+  EXPECT_EQ(rules->stats().fired, 1u);
+  rules.reset();  // tear the RuleSet down mid-protocol
+
+  // Driving the loop to completion must not crash (ASan-clean) and the
+  // orphaned firing still commits.
+  rt->loop().run_until(util::seconds(1));
+  const util::ComponentId replica = rt->component("server2");
+  ASSERT_TRUE(replica.valid());
+  EXPECT_TRUE(rt->app().find_connector(rt->connector("main"))
+                  ->has_provider(replica));
+}
+
 }  // namespace
 }  // namespace aars
