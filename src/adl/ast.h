@@ -281,6 +281,58 @@ struct AstScenario {
   SourceLoc loc;
 };
 
+// --- path properties -----------------------------------------------------------
+//
+// Temporal properties checked along reconfiguration paths (Hufflen-style):
+// the explorer enumerates the configurations reachable by firing rules and
+// checks each clause over that graph instead of over a single snapshot.
+//
+//   property resilience {
+//     always replicas(Worker) >= 1;
+//     always routed(jobs);
+//     eventually running(worker, Worker);
+//     reverts degrade;
+//   }
+
+/// Atomic predicate over one configuration:
+///   [not] exists(inst)          — the instance is deployed
+///   [not] routed(conn)          — every binding through the connector keeps
+///                                 a provider with a feasible (budget-
+///                                 respecting) route
+///   [not] running(inst, Type)   — the instance exists and currently runs
+///                                 implementation Type (degraded-mode flag)
+///   replicas(Type) CMP N        — deployed instance count of the type
+struct AstPredicate {
+  enum class Kind { kExists, kRouted, kRunning, kReplicas };
+  Kind kind = Kind::kExists;
+  bool negated = false;  // `not <pred>`
+  /// kExists/kRunning: instance; kRouted: connector; kReplicas: type.
+  std::string subject;
+  std::string type;  // kRunning: expected implementation type
+  AstCompare compare = AstCompare::kGe;  // kReplicas
+  int count = 0;                         // kReplicas
+  SourceLoc loc;
+};
+
+/// One clause of a property block. `always` must hold in every reachable
+/// configuration (including mid-firing intermediate states); `eventually`
+/// requires a satisfying configuration to stay reliably reachable;
+/// `reverts` requires every firing of the named rule to be reliably
+/// undoable (the pre-firing configuration stays reachable).
+struct AstPropertyClause {
+  enum class Kind { kAlways, kEventually, kReverts };
+  Kind kind = Kind::kAlways;
+  AstPredicate pred;  // kAlways / kEventually
+  std::string rule;   // kReverts: the rule whose effect must be revertible
+  SourceLoc loc;
+};
+
+struct AstProperty {
+  std::string name;
+  std::vector<AstPropertyClause> clauses;
+  SourceLoc loc;
+};
+
 /// A whole configuration unit.
 struct Configuration {
   std::vector<AstInterface> interfaces;
@@ -293,6 +345,7 @@ struct Configuration {
   std::vector<AstRule> rules;
   std::vector<AstGoal> goals;
   std::vector<AstScenario> scenarios;
+  std::vector<AstProperty> properties;
 };
 
 }  // namespace aars::adl

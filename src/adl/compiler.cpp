@@ -24,6 +24,8 @@ RuleProgram emit_program(const Configuration& ast) {
                    : util::Symbol(rule.name);
     out.cooldown_us = rule.cooldown_us;
     out.deadline_us = rule.deadline_us;
+    out.line = rule.loc.line;
+    out.column = rule.loc.column;
     const AstCondition& cond = rule.condition;
     out.condition.is_event = cond.is_event;
     out.condition.compare = cond.compare;
@@ -101,6 +103,8 @@ RuleProgram emit_program(const Configuration& ast) {
     out.duration_us = scenario.duration_us;
     program.scenarios.push_back(std::move(out));
   }
+
+  program.properties = lower_properties(ast);
   return program;
 }
 

@@ -85,6 +85,47 @@ struct CompiledRule {
   std::int64_t cooldown_us = 0;
   /// Whole-firing transactional deadline (0 = use the runtime default).
   std::int64_t deadline_us = 0;
+  /// Source location of the `when` keyword — the explorer anchors
+  /// counterexample diagnostics to the last rule of the firing sequence.
+  int line = 0;
+  int column = 0;
+};
+
+/// Interned predicate-table entry: the explorer evaluates these against
+/// every reached configuration without touching the AST or hashing names.
+enum class PredicateKind { kExists, kRouted, kRunning, kReplicas };
+
+struct CompiledPredicate {
+  PredicateKind kind = PredicateKind::kExists;
+  bool negated = false;
+  /// kExists/kRunning: instance; kRouted: connector; kReplicas: type.
+  util::Symbol subject;
+  util::Symbol type;  // kRunning
+  AstCompare compare = AstCompare::kGe;  // kReplicas
+  int count = 0;                         // kReplicas
+};
+
+enum class PathPropertyKind { kAlways, kEventually, kReverts };
+
+constexpr const char* to_string(PathPropertyKind k) {
+  switch (k) {
+    case PathPropertyKind::kAlways: return "always";
+    case PathPropertyKind::kEventually: return "eventually";
+    case PathPropertyKind::kReverts: return "reverts";
+  }
+  return "?";
+}
+
+/// One lowered property clause. The enclosing block's name is repeated on
+/// each clause so a flat table is all the explorer ever walks.
+struct CompiledPathProperty {
+  util::Symbol property;  // enclosing `property <name>` block
+  PathPropertyKind kind = PathPropertyKind::kAlways;
+  CompiledPredicate pred;  // kAlways / kEventually
+  util::Symbol rule;       // kReverts
+  /// Clause source location, for counterexample diagnostics.
+  int line = 0;
+  int column = 0;
 };
 
 struct CompiledGoal {
@@ -122,8 +163,10 @@ struct RuleProgram {
   std::vector<CompiledRule> rules;
   std::vector<CompiledGoal> goals;
   std::vector<CompiledScenario> scenarios;
+  std::vector<CompiledPathProperty> properties;
   bool empty() const {
-    return rules.empty() && goals.empty() && scenarios.empty();
+    return rules.empty() && goals.empty() && scenarios.empty() &&
+           properties.empty();
   }
 };
 

@@ -57,6 +57,8 @@ class Parser {
         parse_goal(config);
       } else if (head.text == "scenario") {
         parse_scenario(config);
+      } else if (head.text == "property" || head.text == "invariant") {
+        parse_property(config);
       } else {
         fail("unknown declaration '" + head.text + "'");
       }
@@ -771,6 +773,99 @@ class Parser {
     }
     advance();  // }
     config.scenarios.push_back(std::move(scenario));
+  }
+
+  // --- path properties ----------------------------------------------------
+
+  // property name { always <pred>; eventually <pred>; reverts rule; }
+  // (`invariant` is an accepted synonym for `property`.)
+  void parse_property(Configuration& config) {
+    AstProperty prop;
+    prop.loc = peek().loc;
+    advance();  // property | invariant
+    if (!expect_identifier("property name", prop.name)) return;
+    if (!expect_punct("{")) return;
+    while (!check_punct("}")) {
+      if (at_end()) {
+        fail("unterminated property block", "unterminated-property");
+        return;
+      }
+      AstPropertyClause clause;
+      clause.loc = peek().loc;
+      if (match_keyword("always")) {
+        clause.kind = AstPropertyClause::Kind::kAlways;
+        if (!parse_predicate(clause.pred)) return;
+      } else if (match_keyword("eventually")) {
+        clause.kind = AstPropertyClause::Kind::kEventually;
+        if (!parse_predicate(clause.pred)) return;
+      } else if (match_keyword("reverts")) {
+        clause.kind = AstPropertyClause::Kind::kReverts;
+        if (!expect_identifier("rule name after 'reverts'", clause.rule)) {
+          return;
+        }
+      } else {
+        fail("expected 'always', 'eventually' or 'reverts'");
+        return;
+      }
+      if (!expect_punct(";")) return;
+      prop.clauses.push_back(std::move(clause));
+    }
+    advance();  // }
+    if (prop.clauses.empty()) {
+      fail("property block declares no clauses");
+      return;
+    }
+    config.properties.push_back(std::move(prop));
+  }
+
+  //   [not] exists(inst) | routed(conn) | running(inst, Type)
+  //   replicas(Type) CMP N      (negation not allowed — use the dual CMP)
+  bool parse_predicate(AstPredicate& pred) {
+    pred.loc = peek().loc;
+    if (match_keyword("not")) pred.negated = true;
+    std::string head;
+    if (!expect_identifier("a predicate (exists/routed/running/replicas)",
+                          head)) {
+      return false;
+    }
+    if (head == "exists") {
+      pred.kind = AstPredicate::Kind::kExists;
+    } else if (head == "routed") {
+      pred.kind = AstPredicate::Kind::kRouted;
+    } else if (head == "running") {
+      pred.kind = AstPredicate::Kind::kRunning;
+    } else if (head == "replicas") {
+      pred.kind = AstPredicate::Kind::kReplicas;
+    } else {
+      return fail("unknown predicate '" + head +
+                  "' (expected exists/routed/running/replicas)");
+    }
+    if (!expect_punct("(")) return false;
+    const char* subject_what =
+        pred.kind == AstPredicate::Kind::kRouted     ? "connector name"
+        : pred.kind == AstPredicate::Kind::kReplicas ? "component type"
+                                                     : "instance name";
+    if (!expect_identifier(subject_what, pred.subject)) return false;
+    if (pred.kind == AstPredicate::Kind::kRunning) {
+      if (!expect_punct(",")) return false;
+      if (!expect_identifier("implementation type", pred.type)) return false;
+    }
+    if (!expect_punct(")")) return false;
+    if (pred.kind == AstPredicate::Kind::kReplicas) {
+      if (pred.negated) {
+        return fail("'not replicas(...)' is not supported; "
+                    "negate the comparison instead");
+      }
+      if (peek().kind != TokenKind::kCompare) {
+        return fail("expected a comparison operator after replicas(...)");
+      }
+      pred.compare = compare_from(advance().text);
+      std::int64_t count = 0;
+      if (!expect_integer("replica count", count)) return false;
+      if (count < 0) return fail("replica count must be >= 0");
+      pred.count = static_cast<int>(count);
+    }
+    return true;
   }
 
   std::vector<Token> tokens_;

@@ -83,6 +83,7 @@ class Sema {
     analyze_rules();
     analyze_goals();
     analyze_scenarios();
+    analyze_properties();
     out_.ast = std::move(config_);
     return std::move(out_);
   }
@@ -664,6 +665,74 @@ class Sema {
     }
   }
 
+  // --- path properties -----------------------------------------------------
+  void analyze_properties() {
+    check_unique(config_.properties, "property");
+    // Predicates range over every instance name a reconfiguration path can
+    // produce: the declared instances plus names rule actions introduce
+    // (add, replace-as). An unknown name would be vacuously false forever.
+    std::set<std::string> instance_universe;
+    for (const auto& [name, idx] : out_.instance_index) {
+      instance_universe.insert(name);
+    }
+    std::set<std::string> rule_names;
+    for (std::size_t i = 0; i < config_.rules.size(); ++i) {
+      const AstRule& rule = config_.rules[i];
+      rule_names.insert(rule.name.empty() ? util::format("rule_%zu", i)
+                                          : rule.name);
+      for (const AstRuleAction& action : rule.actions) {
+        if (!action.name.empty()) instance_universe.insert(action.name);
+      }
+    }
+    for (const AstProperty& prop : config_.properties) {
+      for (const AstPropertyClause& clause : prop.clauses) {
+        if (clause.kind == AstPropertyClause::Kind::kReverts) {
+          if (!rule_names.count(clause.rule)) {
+            error(clause.loc, "unknown-rule",
+                  "property '" + prop.name + "' reverts unknown rule '" +
+                      clause.rule + "'");
+          }
+          continue;
+        }
+        const AstPredicate& pred = clause.pred;
+        switch (pred.kind) {
+          case AstPredicate::Kind::kExists:
+          case AstPredicate::Kind::kRunning:
+            if (!instance_universe.count(pred.subject)) {
+              error(pred.loc, "unknown-instance",
+                    "property '" + prop.name +
+                        "' references unknown instance '" + pred.subject +
+                        "'");
+            }
+            if (pred.kind == AstPredicate::Kind::kRunning &&
+                !components_.count(pred.type)) {
+              error(pred.loc, "unknown-type",
+                    "property '" + prop.name +
+                        "' references unknown component type '" + pred.type +
+                        "'");
+            }
+            break;
+          case AstPredicate::Kind::kRouted:
+            if (!out_.connector_index.count(pred.subject)) {
+              error(pred.loc, "unknown-connector",
+                    "property '" + prop.name +
+                        "' references unknown connector '" + pred.subject +
+                        "'");
+            }
+            break;
+          case AstPredicate::Kind::kReplicas:
+            if (!components_.count(pred.subject)) {
+              error(pred.loc, "unknown-type",
+                    "property '" + prop.name +
+                        "' references unknown component type '" +
+                        pred.subject + "'");
+            }
+            break;
+        }
+      }
+    }
+  }
+
   Configuration config_;
   Diagnostics& diags_;
   CompiledConfiguration out_;
@@ -676,6 +745,55 @@ class Sema {
 CompiledConfiguration analyze(Configuration config, Diagnostics& diags) {
   Sema sema(std::move(config), diags);
   return sema.run();
+}
+
+std::vector<CompiledPathProperty> lower_properties(const Configuration& ast) {
+  std::vector<CompiledPathProperty> out;
+  for (const AstProperty& prop : ast.properties) {
+    for (const AstPropertyClause& clause : prop.clauses) {
+      CompiledPathProperty lowered;
+      lowered.property = util::Symbol(prop.name);
+      lowered.line = clause.loc.line;
+      lowered.column = clause.loc.column;
+      switch (clause.kind) {
+        case AstPropertyClause::Kind::kAlways:
+          lowered.kind = PathPropertyKind::kAlways;
+          break;
+        case AstPropertyClause::Kind::kEventually:
+          lowered.kind = PathPropertyKind::kEventually;
+          break;
+        case AstPropertyClause::Kind::kReverts:
+          lowered.kind = PathPropertyKind::kReverts;
+          lowered.rule = util::Symbol(clause.rule);
+          break;
+      }
+      if (clause.kind != AstPropertyClause::Kind::kReverts) {
+        const AstPredicate& pred = clause.pred;
+        CompiledPredicate& p = lowered.pred;
+        switch (pred.kind) {
+          case AstPredicate::Kind::kExists:
+            p.kind = PredicateKind::kExists;
+            break;
+          case AstPredicate::Kind::kRouted:
+            p.kind = PredicateKind::kRouted;
+            break;
+          case AstPredicate::Kind::kRunning:
+            p.kind = PredicateKind::kRunning;
+            break;
+          case AstPredicate::Kind::kReplicas:
+            p.kind = PredicateKind::kReplicas;
+            break;
+        }
+        p.negated = pred.negated;
+        p.subject = util::Symbol(pred.subject);
+        p.type = util::Symbol(pred.type);
+        p.compare = pred.compare;
+        p.count = pred.count;
+      }
+      out.push_back(std::move(lowered));
+    }
+  }
+  return out;
 }
 
 }  // namespace aars::adl

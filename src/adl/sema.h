@@ -24,4 +24,9 @@ util::Result<util::ValueType> value_type_from_name(const std::string& name);
 /// check `diags.ok()` before deploying it.
 CompiledConfiguration analyze(Configuration config, Diagnostics& diags);
 
+/// Lowers `property { ... }` blocks into the flat interned-Symbol clause
+/// table the configuration-space explorer consumes. Names must already have
+/// been resolved by `analyze`.
+std::vector<CompiledPathProperty> lower_properties(const Configuration& ast);
+
 }  // namespace aars::adl

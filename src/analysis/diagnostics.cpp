@@ -1,5 +1,8 @@
 #include "analysis/diagnostics.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "obs/export.h"
 #include "util/strings.h"
 
@@ -18,6 +21,28 @@ void AnalysisReport::merge(const AnalysisReport& other) {
                      other.diagnostics.end());
   states_explored += other.states_explored;
   truncated = truncated || other.truncated;
+}
+
+void AnalysisReport::sort() {
+  const auto rank = [](Severity s) {
+    switch (s) {
+      case Severity::kError: return 0;
+      case Severity::kWarning: return 1;
+      case Severity::kInfo: return 2;
+    }
+    return 3;
+  };
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     return std::make_tuple(rank(a.severity), a.line, a.column,
+                                            std::cref(a.code),
+                                            std::cref(a.subject),
+                                            std::cref(a.message)) <
+                            std::make_tuple(rank(b.severity), b.line, b.column,
+                                            std::cref(b.code),
+                                            std::cref(b.subject),
+                                            std::cref(b.message));
+                   });
 }
 
 std::size_t AnalysisReport::errors() const {

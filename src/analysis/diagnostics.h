@@ -52,6 +52,11 @@ struct AnalysisReport {
   void add(Severity severity, std::string code, std::string subject,
            std::string message, int line = 0, int column = 0);
   void merge(const AnalysisReport& other);
+  /// Orders findings by severity (errors first), then source location, then
+  /// code, subject and message. Stable, so equal-keyed findings keep their
+  /// report order — golden-JSON corpus diffs stay identical across platforms
+  /// regardless of which analysis pass emitted first.
+  void sort();
 
   std::size_t errors() const;
   std::size_t warnings() const;

@@ -71,8 +71,9 @@ void substitute_provider(ArchitectureModel& model, const std::string& from,
   for (ModelBinding& bind : model.bindings) swap_in(bind.providers);
 }
 
-/// Applies one step whose preconditions already passed.
-void apply_step(ArchitectureModel& model, const PlanStep& step) {
+}  // namespace
+
+void apply_plan_step(ArchitectureModel& model, const PlanStep& step) {
   switch (step.op) {
     case PlanOp::kAdd: {
       ModelInstance inst;
@@ -119,7 +120,74 @@ void apply_step(ArchitectureModel& model, const PlanStep& step) {
   }
 }
 
-}  // namespace
+bool plan_step_applicable(const ArchitectureModel& model, const PlanStep& step,
+                          std::size_t index, AnalysisReport* report) {
+  // Precondition failures short-circuit on the first violation when no
+  // report is wanted — the explorer probes enabledness in a hot loop.
+  AnalysisReport scratch;
+  AnalysisReport& out = report != nullptr ? *report : scratch;
+  bool ok = true;
+  const ModelInstance* target = model.find_instance(step.instance);
+
+  if (step.op == PlanOp::kAdd) {
+    if (target != nullptr) {
+      step_error(out, index, step,
+                 "instance '" + step.instance + "' already exists");
+      ok = false;
+    }
+    if (!step.node.empty() && !model.has_node(step.node)) {
+      step_error(out, index, step,
+                 "destination node '" + step.node + "' does not exist");
+      ok = false;
+    }
+  } else if (target == nullptr) {
+    step_error(out, index, step,
+               "instance '" + step.instance + "' does not exist");
+    ok = false;
+  }
+  if (!ok && report == nullptr) return false;
+
+  if (ok && (step.op == PlanOp::kMigrate || step.op == PlanOp::kRedeploy) &&
+      !model.has_node(step.node)) {
+    step_error(out, index, step,
+               "destination node '" + step.node + "' does not exist");
+    ok = false;
+  }
+  if (ok && step.op == PlanOp::kRebind &&
+      model.find_connector(step.connector) == nullptr) {
+    step_error(out, index, step,
+               "connector '" + step.connector + "' does not exist");
+    ok = false;
+  }
+  if (ok && step.op == PlanOp::kReroute) {
+    const ModelInstance* replica = model.find_instance(step.replica);
+    if (replica == nullptr) {
+      step_error(out, index, step,
+                 "replica '" + step.replica + "' does not exist");
+      ok = false;
+    } else if (target != nullptr && replica->type != target->type) {
+      step_error(out, index, step,
+                 "replica '" + step.replica + "' has type '" + replica->type +
+                     "', expected '" + target->type + "'");
+      ok = false;
+    }
+  }
+
+  if (ok && quiesces_target(step.op)) {
+    const std::vector<std::string> stuck = quiescence_unreachable(model);
+    if (std::find(stuck.begin(), stuck.end(), step.instance) != stuck.end()) {
+      out.add(
+          Severity::kError, "quiescence-unreachable",
+          util::format("step %zu (%s %s)", index + 1, to_string(step.op),
+                       step.instance.c_str()),
+          "target sits on an all-synchronous call cycle; block -> drain "
+          "can never complete, so the protocol would hang until timeout",
+          0);
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 PlanReview verify_plan(const ArchitectureModel& current, const Plan& plan,
                        const VerifierOptions& options) {
@@ -129,68 +197,9 @@ PlanReview verify_plan(const ArchitectureModel& current, const Plan& plan,
 
   for (std::size_t i = 0; i < plan.size(); ++i) {
     const PlanStep& step = plan[i];
-    bool ok = true;
-    const ModelInstance* target = model.find_instance(step.instance);
-
-    if (step.op == PlanOp::kAdd) {
-      if (target != nullptr) {
-        step_error(review.report, i, step,
-                   "instance '" + step.instance + "' already exists");
-        ok = false;
-      }
-      if (!step.node.empty() && !model.has_node(step.node)) {
-        step_error(review.report, i, step,
-                   "destination node '" + step.node + "' does not exist");
-        ok = false;
-      }
-    } else if (target == nullptr) {
-      step_error(review.report, i, step,
-                 "instance '" + step.instance + "' does not exist");
-      ok = false;
+    if (plan_step_applicable(model, step, i, &review.report)) {
+      apply_plan_step(model, step);
     }
-
-    if (ok && (step.op == PlanOp::kMigrate || step.op == PlanOp::kRedeploy) &&
-        !model.has_node(step.node)) {
-      step_error(review.report, i, step,
-                 "destination node '" + step.node + "' does not exist");
-      ok = false;
-    }
-    if (ok && step.op == PlanOp::kRebind &&
-        model.find_connector(step.connector) == nullptr) {
-      step_error(review.report, i, step,
-                 "connector '" + step.connector + "' does not exist");
-      ok = false;
-    }
-    if (ok && step.op == PlanOp::kReroute) {
-      const ModelInstance* replica = model.find_instance(step.replica);
-      if (replica == nullptr) {
-        step_error(review.report, i, step,
-                   "replica '" + step.replica + "' does not exist");
-        ok = false;
-      } else if (target != nullptr && replica->type != target->type) {
-        step_error(review.report, i, step,
-                   "replica '" + step.replica + "' has type '" +
-                       replica->type + "', expected '" + target->type + "'");
-        ok = false;
-      }
-    }
-
-    if (ok && quiesces_target(step.op)) {
-      const std::vector<std::string> stuck = quiescence_unreachable(model);
-      if (std::find(stuck.begin(), stuck.end(), step.instance) !=
-          stuck.end()) {
-        review.report.add(
-            Severity::kError, "quiescence-unreachable",
-            util::format("step %zu (%s %s)", i + 1, to_string(step.op),
-                         step.instance.c_str()),
-            "target sits on an all-synchronous call cycle; block -> drain "
-            "can never complete, so the protocol would hang until timeout",
-            0);
-        ok = false;
-      }
-    }
-
-    if (ok) apply_step(model, step);
   }
 
   review.report.merge(verify_architecture(model, options));

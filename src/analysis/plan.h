@@ -67,6 +67,20 @@ struct PlanReview {
   bool ok() const { return report.errors() == 0; }
 };
 
+/// Checks one step's preconditions against `model` (targets exist,
+/// destinations exist, quiescing targets can actually quiesce) without
+/// mutating anything. When `report` is non-null, each violated precondition
+/// is recorded as a "plan-invalid"/"quiescence-unreachable" error with the
+/// step labelled `index` + 1. The configuration-space explorer uses this to
+/// decide whether a rule's plan template is enabled in a given state.
+bool plan_step_applicable(const ArchitectureModel& model, const PlanStep& step,
+                          std::size_t index = 0,
+                          AnalysisReport* report = nullptr);
+
+/// Applies one step whose preconditions already passed (see
+/// `plan_step_applicable`). Mutates `model` in place.
+void apply_plan_step(ArchitectureModel& model, const PlanStep& step);
+
 /// Applies `plan` to a copy of `current` step by step, checking each step's
 /// preconditions (targets exist, destinations exist, quiescing targets can
 /// actually quiesce), then verifies the post-state architecture.

@@ -42,6 +42,9 @@ struct RuntimeOptions {
   /// How ADL rule firings are enacted: transactional (undo journal +
   /// rollback) with an optional default whole-firing deadline.
   reconfig::TxnPolicy txn_policy;
+  /// Install-time model checking of ADL rule programs (off by default):
+  /// explore the reachable-configuration graph before any rule can fire.
+  reconfig::ExploreGate explore_gate;
 };
 
 /// CRTP mixin providing the shared fluent verbs.  `Derived` is the concrete
@@ -87,6 +90,19 @@ class OptionsBuilder {
                              std::size_t max_states = 100000) {
     options_.verify_mode = mode;
     options_.verify_max_states = max_states;
+    return self();
+  }
+  /// Model-checks every ADL rule program at install: the analysis explorer
+  /// enumerates the configurations the rules can reach from the deployed
+  /// architecture (bounded by `max_configs`/`max_depth`) and checks the
+  /// per-state verifier plus declared `property` blocks. enforce rejects
+  /// an unsafe program at build(); warn counts findings and proceeds.
+  Derived& explore_rules(analysis::VerifyMode mode,
+                         std::size_t max_configs = 4096,
+                         std::size_t max_depth = 64) {
+    options_.explore_gate.mode = mode;
+    options_.explore_gate.options.max_configs = max_configs;
+    options_.explore_gate.options.max_depth = max_depth;
     return self();
   }
   Derived& with_raml(util::Duration period) {

@@ -371,9 +371,9 @@ Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
     // instances too.  watch_faults so "fault.*" triggers and the
     // fault.active metric reach the rules.
     rt->raml_->watch_faults(*rt->injector_);
-    auto rules =
-        reconfig::RuleSet::install(rule_program, *rt->app_, *rt->engine_,
-                                   rt->injector_.get(), options_.txn_policy);
+    auto rules = reconfig::RuleSet::install(
+        rule_program, *rt->app_, *rt->engine_, rt->injector_.get(),
+        options_.txn_policy, options_.explore_gate);
     if (!rules.ok()) return rules.error();
     rt->raml_->install_rule_set(std::move(rules).value());
   }

@@ -41,7 +41,27 @@ analysis::PlanOp to_plan_op(adl::RuleOp op) {
 Result<std::shared_ptr<RuleSet>> RuleSet::install(
     const adl::RuleProgram& program, Application& app,
     ReconfigurationEngine& engine, fault::FaultInjector* injector,
-    TxnPolicy policy) {
+    TxnPolicy policy, const ExploreGate& gate) {
+  // Model-check the program against the live deployment before binding a
+  // single rule: an unsafe program is rejected (kEnforce) or counted
+  // (kWarn) without ever becoming able to fire.
+  if (gate.mode != analysis::VerifyMode::kOff && !program.rules.empty()) {
+    const analysis::ExplorationResult exploration = analysis::explore(
+        analysis::model_from(app), program, gate.options);
+    const std::size_t errors = exploration.report.errors();
+    if (errors > 0) {
+      if (gate.mode == analysis::VerifyMode::kEnforce) {
+        return Error{ErrorCode::kVerificationFailed,
+                     "rule program rejected by configuration-space "
+                     "exploration: " +
+                         exploration.report.first_error()};
+      }
+      obs::Registry::global()
+          .counter("rules.explore_findings")
+          .inc(errors);
+    }
+  }
+
   std::shared_ptr<RuleSet> set(new RuleSet(app, engine, injector, policy));
 
   for (const adl::CompiledRule& compiled : program.rules) {

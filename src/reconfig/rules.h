@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "adl/ir.h"
+#include "analysis/explorer.h"
 #include "fault/injector.h"
 #include "reconfig/engine.h"
 #include "reconfig/txn.h"
@@ -40,6 +41,17 @@ struct TxnPolicy {
   /// Whole-firing deadline applied to rules that don't declare their own
   /// `deadline` property.  0 = unbounded.
   Duration default_deadline = 0;
+};
+
+/// Install-time configuration-space exploration gate: before a rule program
+/// binds to the live application, the analysis explorer enumerates the
+/// configurations its rules can reach from the current deployment and
+/// checks the per-state verifier plus any ADL-declared path properties.
+/// kEnforce rejects a program whose exploration finds an error; kWarn
+/// counts findings (obs "rules.explore_findings") and proceeds.
+struct ExploreGate {
+  analysis::VerifyMode mode = analysis::VerifyMode::kOff;
+  analysis::ExplorerOptions options;
 };
 
 class RuleSet : public std::enable_shared_from_this<RuleSet> {
@@ -68,7 +80,8 @@ class RuleSet : public std::enable_shared_from_this<RuleSet> {
   static util::Result<std::shared_ptr<RuleSet>> install(
       const adl::RuleProgram& program, Application& app,
       ReconfigurationEngine& engine,
-      fault::FaultInjector* injector = nullptr, TxnPolicy policy = {});
+      fault::FaultInjector* injector = nullptr, TxnPolicy policy = {},
+      const ExploreGate& gate = {});
 
   /// Samples every metric-conditioned rule and fires those whose condition
   /// has held for its sustain window. Allocation-free while nothing fires.

@@ -13,6 +13,7 @@
 #include "adl/validator.h"
 #include "analysis/adl_screen.h"
 #include "analysis/architecture.h"
+#include "analysis/explorer.h"
 #include "analysis/scenario_lint.h"
 #include "analysis/verifier.h"
 
@@ -142,6 +143,50 @@ TEST(CorpusTest, EverySeededRuleDefectIsCaughtAtCompileTime) {
     EXPECT_TRUE(hit) << defect.file << " did not trigger " << defect.code
                      << ":\n"
                      << result.diagnostics.render();
+  }
+}
+
+/// Path defects (d18+) compile clean — every snapshot a compile-time screen
+/// can see is fine.  Only exploring the reachable-configuration graph
+/// exposes them, each with a rule-firing counterexample path.
+const std::vector<SeededDefect> kPathDefects = {
+    {"defects/d18_unsafe_reachable.adl", "unsafe-config"},
+    {"defects/d19_eventually_starved.adl", "eventually-starved"},
+    {"defects/d20_rollback_witness.adl", "transient-violation"},
+};
+
+TEST(CorpusTest, EverySeededPathDefectIsCaughtByExploration) {
+  for (const SeededDefect& defect : kPathDefects) {
+    const adl::CompilationResult result = compile_adl(read_file(defect.file));
+    ASSERT_TRUE(result.ok())
+        << defect.file << " must compile clean (the whole point is that "
+        << "only exploration catches it):\n"
+        << result.diagnostics.render();
+    const ExplorationResult explored =
+        explore(model_from(result.config), result.program);
+    EXPECT_TRUE(explored.report.has(defect.code))
+        << defect.file << " did not trigger " << defect.code << " (got: "
+        << explored.report.summary() << ")";
+    for (const Diagnostic& d : explored.report.diagnostics) {
+      if (d.code == defect.code) {
+        EXPECT_GT(d.line, 0) << defect.file << ": " << d.code
+                             << " lost its source line";
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, CleanConfigsExploreWithoutFindings) {
+  for (const std::string& file : kCleanConfigs) {
+    const adl::CompilationResult result = compile_adl(read_file(file));
+    ASSERT_TRUE(result.ok()) << file << ": " << result.diagnostics.render();
+    const ExplorationResult explored =
+        explore(model_from(result.config), result.program);
+    EXPECT_TRUE(explored.report.diagnostics.empty())
+        << file << " exploration is not clean: " << explored.report.summary()
+        << " — " << explored.report.first_error();
+    EXPECT_FALSE(explored.report.truncated)
+        << file << " exceeded the default exploration bounds";
   }
 }
 

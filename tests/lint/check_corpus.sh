@@ -18,8 +18,9 @@ OUT="${TMPDIR:-/tmp}/aars_lint_corpus.$$"
 trap 'rm -f "$OUT"' EXIT
 : > "$OUT"
 
-# 1. Clean corpus: exit 0 even under --strict.
-"$LINT" --json --strict \
+# 1. Clean corpus: exit 0 even under --strict, with configuration-space
+# exploration on — rule programs must have zero reachable violations.
+"$LINT" --json --strict --explore \
   quickstart.adl load_balancing.adl telecom.adl three_tier.adl \
   adaptive.adl self_healing.adl scenarios/storm.fault >> "$OUT" 2>/dev/null || {
   echo "FAIL: clean corpus produced diagnostics" >&2
@@ -28,12 +29,12 @@ trap 'rm -f "$OUT"' EXIT
 
 # 2. Seeded defects: every file must be caught under --strict.
 for f in defects/*.adl; do
-  if "$LINT" --json --strict "$f" >> "$OUT" 2>/dev/null; then
+  if "$LINT" --json --strict --explore "$f" >> "$OUT" 2>/dev/null; then
     echo "FAIL: seeded defect not caught: $f" >&2
     exit 1
   fi
 done
-if "$LINT" --json --strict self_healing.adl defects/d10_bad_scenario.fault \
+if "$LINT" --json --strict --explore self_healing.adl defects/d10_bad_scenario.fault \
     >> "$OUT" 2>/dev/null; then
   echo "FAIL: seeded defect not caught: defects/d10_bad_scenario.fault" >&2
   exit 1

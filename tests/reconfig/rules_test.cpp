@@ -11,6 +11,7 @@
 
 #include "adl/compiler.h"
 #include "api/runtime.h"
+#include "obs/metrics.h"
 #include "testing/test_components.h"
 #include "util/time.h"
 
@@ -180,6 +181,71 @@ TEST(AdlRulesTest, InstallRejectsRulesAgainstAMissingDeployment) {
   auto installed = reconfig::RuleSet::install(result.program, app, engine);
   ASSERT_FALSE(installed.ok());
   EXPECT_EQ(installed.error().code(), util::ErrorCode::kNotFound);
+}
+
+// A program whose only rule strands the live binding: removing `server`
+// leaves client.out's connector with no provider, so the explorer finds an
+// unsafe reachable configuration.
+std::string unsafe_world() {
+  return std::string(kEchoWorld) +
+         R"(when queue_depth(main) >= 0 reconfigure drop_server {
+  remove server;
+}
+)";
+}
+
+TEST(AdlRulesTest, EnforceGateRejectsExplorablyUnsafeProgram) {
+  auto built = build_world(kEchoWorld);
+  ASSERT_TRUE(built.ok()) << built.error().message();
+  auto rt = std::move(built).value();
+
+  adl::CompilationResult result = adl::compile(unsafe_world());
+  ASSERT_TRUE(result.ok()) << result.diagnostics.render();
+
+  reconfig::ExploreGate gate;
+  gate.mode = analysis::VerifyMode::kEnforce;
+  auto installed = reconfig::RuleSet::install(
+      result.program, rt->app(), rt->engine(), nullptr, {}, gate);
+  ASSERT_FALSE(installed.ok());
+  EXPECT_EQ(installed.error().code(), util::ErrorCode::kVerificationFailed);
+}
+
+TEST(AdlRulesTest, WarnGateInstallsAndCountsFindings) {
+  auto built = build_world(kEchoWorld);
+  ASSERT_TRUE(built.ok()) << built.error().message();
+  auto rt = std::move(built).value();
+
+  adl::CompilationResult result = adl::compile(unsafe_world());
+  ASSERT_TRUE(result.ok()) << result.diagnostics.render();
+
+  obs::Registry& registry = obs::Registry::global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const std::uint64_t before =
+      registry.counter("rules.explore_findings").value();
+
+  reconfig::ExploreGate gate;
+  gate.mode = analysis::VerifyMode::kWarn;
+  auto installed = reconfig::RuleSet::install(
+      result.program, rt->app(), rt->engine(), nullptr, {}, gate);
+  EXPECT_TRUE(installed.ok()) << installed.error().message();
+  EXPECT_GT(registry.counter("rules.explore_findings").value(), before);
+  registry.set_enabled(was_enabled);
+}
+
+TEST(AdlRulesTest, EnforceGateAcceptsSafeProgram) {
+  auto built = build_world(kEchoWorld);
+  ASSERT_TRUE(built.ok()) << built.error().message();
+  auto rt = std::move(built).value();
+
+  adl::CompilationResult result = adl::compile(scale_out_world());
+  ASSERT_TRUE(result.ok()) << result.diagnostics.render();
+
+  reconfig::ExploreGate gate;
+  gate.mode = analysis::VerifyMode::kEnforce;
+  auto installed = reconfig::RuleSet::install(
+      result.program, rt->app(), rt->engine(), nullptr, {}, gate);
+  EXPECT_TRUE(installed.ok()) << installed.error().message();
 }
 
 TEST(AdlRulesTest, TeardownMidProtocolDoesNotTouchFreedRules) {

@@ -9,12 +9,19 @@
 //   --strict         exit nonzero on warnings too
 //   --no-protocols   skip n-way protocol composition (large architectures)
 //   --max-states N   joint-state bound for protocol composition
+//   --explore        model-check reconfiguration rules: explore the
+//                    reachable-configuration graph, verify every reached
+//                    configuration and check declared `property` blocks,
+//                    reporting counterexample rule-firing paths
+//   --max-configs N  exploration bound on discovered configurations
+//   --max-depth N    exploration bound on firing-sequence depth
 //
 // Files ending in .adl are parsed, validated and run through the whole-
 // architecture verifier.  Every other file is treated as a fault-scenario
 // text file; its host and link names are cross-checked against the most
 // recently compiled architecture on the command line (list the .adl before
-// its storms).  Diagnostics carry 1-based line numbers.
+// its storms).  Diagnostics carry 1-based line numbers and are ordered by
+// severity, then source location, then message.
 //
 // Exit code: 0 clean, 1 diagnostics found (errors; warnings too under
 // --strict), 2 usage or I/O failure.  Timing goes to stderr so --json
@@ -31,6 +38,7 @@
 #include "analysis/adl_screen.h"
 #include "analysis/architecture.h"
 #include "analysis/diagnostics.h"
+#include "analysis/explorer.h"
 #include "analysis/scenario_lint.h"
 #include "analysis/verifier.h"
 #include "util/strings.h"
@@ -44,13 +52,41 @@ bool ends_with_adl(const std::string& path) {
   return aars::util::ends_with(path, ".adl");
 }
 
+/// Parses the value of a numeric `flag` at argv[i + 1]. Missing or
+/// non-numeric values are usage errors (exit 2) — a silent strtoull
+/// fallback to 0 would disable the bound instead of enforcing it.
+bool parse_count(int argc, char** argv, int& i, const char* flag,
+                 std::size_t& out) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "aars-lint: %s needs a value\n", flag);
+    return false;
+  }
+  const char* text = argv[++i];
+  if (*text == '\0') {
+    std::fprintf(stderr, "aars-lint: %s needs a value\n", flag);
+    return false;
+  }
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::fprintf(stderr, "aars-lint: %s needs a non-negative integer, got "
+                           "'%s'\n",
+                   flag, text);
+      return false;
+    }
+  }
+  out = std::strtoull(text, nullptr, 10);
+  return true;
+}
+
 /// Full five-stage compile (lex -> parse -> sema -> emit -> analysis
 /// screen): the compiler's structured diagnostics carry line AND column,
 /// so lint output stays clickable without scraping error messages.  A
-/// configuration that compiles also runs the whole-architecture verifier.
+/// configuration that compiles also runs the whole-architecture verifier
+/// and — under --explore — the configuration-space explorer.
 AnalysisReport lint_adl_file(
     const std::string& text,
-    const aars::analysis::VerifierOptions& options,
+    const aars::analysis::VerifierOptions& options, bool explore,
+    const aars::analysis::ExplorerOptions& explorer_options,
     std::optional<aars::analysis::ArchitectureModel>& last_model) {
   AnalysisReport report;
   aars::adl::CompilationResult result =
@@ -65,6 +101,14 @@ AnalysisReport lint_adl_file(
   const aars::analysis::ArchitectureModel model =
       aars::analysis::model_from(result.config);
   report.merge(aars::analysis::verify_architecture(model, options));
+  // Explore only architectures whose snapshot is clean: a defective initial
+  // configuration would be re-reported from every reachable state.
+  if (explore && report.errors() == 0 &&
+      (!result.program.rules.empty() || !result.program.properties.empty())) {
+    report.merge(
+        aars::analysis::explore(model, result.program, explorer_options)
+            .report);
+  }
   last_model = model;
   return report;
 }
@@ -74,7 +118,9 @@ AnalysisReport lint_adl_file(
 int main(int argc, char** argv) {
   bool json = false;
   bool strict = false;
+  bool explore = false;
   aars::analysis::VerifierOptions options;
+  aars::analysis::ExplorerOptions explorer_options;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,16 +131,27 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--no-protocols") {
       options.check_protocols = false;
+    } else if (arg == "--explore") {
+      explore = true;
     } else if (arg == "--max-states") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "aars-lint: --max-states needs a value\n");
+      if (!parse_count(argc, argv, i, "--max-states", options.max_states)) {
         return 2;
       }
-      options.max_states = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-configs") {
+      if (!parse_count(argc, argv, i, "--max-configs",
+                       explorer_options.max_configs)) {
+        return 2;
+      }
+    } else if (arg == "--max-depth") {
+      if (!parse_count(argc, argv, i, "--max-depth",
+                       explorer_options.max_depth)) {
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: aars-lint [--json] [--strict] [--no-protocols] "
-                   "[--max-states N] file.adl [storm.fault ...]\n");
+                   "[--max-states N] [--explore] [--max-configs N] "
+                   "[--max-depth N] file.adl [storm.fault ...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "aars-lint: unknown option '%s'\n", arg.c_str());
@@ -128,12 +185,14 @@ int main(int argc, char** argv) {
 
     AnalysisReport report;
     if (ends_with_adl(path)) {
-      report = lint_adl_file(text, options, last_model);
+      report = lint_adl_file(text, options, explore, explorer_options,
+                             last_model);
     } else if (last_model.has_value()) {
       report = aars::analysis::lint_scenario(text, *last_model);
     } else {
       report = aars::analysis::lint_scenario(text);
     }
+    report.sort();
     errors += report.errors();
     warnings += report.warnings();
     states += report.states_explored;
