@@ -18,6 +18,11 @@ gated numbers. Metric extraction comes from either:
     segments index into lists), or
   * the legacy built-in e14/e1 mapping (used when "series" is absent).
 
+A series entry may set "direction": "lower" for metrics where smaller is
+better (memory footprints like peak_rss_kb, latencies). Those fail when the
+fresh number rises more than `tolerance` ABOVE baseline, and shrinking
+counts as the improvement. The default direction is "higher".
+
 Re-baselining is deliberate, not automatic: run with --update on an idle
 machine after an intentional perf change, review the diff, and commit the
 new baseline together with the change that moved it (see the _comment block
@@ -92,22 +97,33 @@ def gate_one(baseline_path: pathlib.Path, build_dir: pathlib.Path,
         return []
 
     tolerance = float(baseline_doc.get("tolerance", 0.20))
+    series = baseline_doc.get("series") or {}
     failures = []
-    print(f"{baseline_path.name} (tolerance {tolerance:.0%} below baseline):")
+    print(f"{baseline_path.name} (tolerance {tolerance:.0%}):")
     for key, base in baseline_doc["metrics"].items():
         got = measured.get(key)
         if got is None:
             failures.append(f"{key}: missing from bench output")
             continue
-        floor = base * (1.0 - tolerance)
+        direction = series.get(key, {}).get("direction", "higher")
         ratio = got / base if base else float("inf")
         status = "ok"
-        if got < floor:
-            status = "FAIL"
-            failures.append(f"{key}: {got:,.0f} < floor {floor:,.0f} "
-                            f"({ratio:.2f}x of baseline {base:,.0f})")
-        elif ratio > 1.0 + tolerance:
-            status = "ok (improved; consider --update)"
+        if direction == "lower":
+            ceiling = base * (1.0 + tolerance)
+            if got > ceiling:
+                status = "FAIL"
+                failures.append(f"{key}: {got:,.0f} > ceiling {ceiling:,.0f} "
+                                f"({ratio:.2f}x of baseline {base:,.0f})")
+            elif ratio < 1.0 - tolerance:
+                status = "ok (improved; consider --update)"
+        else:
+            floor = base * (1.0 - tolerance)
+            if got < floor:
+                status = "FAIL"
+                failures.append(f"{key}: {got:,.0f} < floor {floor:,.0f} "
+                                f"({ratio:.2f}x of baseline {base:,.0f})")
+            elif ratio > 1.0 + tolerance:
+                status = "ok (improved; consider --update)"
         print(f"  {key:32s} {got:>14,.1f}  baseline {base:>14,.1f}  "
               f"{ratio:>5.2f}x  {status}")
     return failures

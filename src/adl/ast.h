@@ -271,12 +271,15 @@ struct AstGoal {
 };
 
 /// A named operating scenario: a description, the goals that must hold
-/// during it and optional fault-scenario lines (FaultScenario text format).
+/// during it, optional fault-scenario lines (FaultScenario text format) and
+/// optional load-phase lines (scenario::LoadPhase text format) that the
+/// campaign generator lowers into an arrival model.
 struct AstScenario {
   std::string name;
   std::string description;
   std::vector<std::string> goals;
   std::vector<std::pair<std::string, SourceLoc>> faults;
+  std::vector<std::pair<std::string, SourceLoc>> loads;
   std::int64_t duration_us = 0;
   SourceLoc loc;
 };

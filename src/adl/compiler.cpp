@@ -100,6 +100,9 @@ RuleProgram emit_program(const Configuration& ast) {
     for (const auto& [fault, loc] : scenario.faults) {
       out.faults.push_back(fault);
     }
+    for (const auto& [load, loc] : scenario.loads) {
+      out.loads.push_back(load);
+    }
     out.duration_us = scenario.duration_us;
     program.scenarios.push_back(std::move(out));
   }

@@ -154,6 +154,7 @@ struct CompiledScenario {
   std::string description;
   std::vector<util::Symbol> goals;
   std::vector<std::string> faults;  // FaultScenario text lines
+  std::vector<std::string> loads;   // scenario::LoadPhase text lines
   std::int64_t duration_us = 0;
 };
 

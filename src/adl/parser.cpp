@@ -729,7 +729,8 @@ class Parser {
     config.goals.push_back(std::move(goal));
   }
 
-  // scenario name { description "..."; goal g; fault "..."; duration D; }
+  // scenario name { description "..."; goal g; fault "..."; load "...";
+  //                 duration D; }
   void parse_scenario(Configuration& config) {
     AstScenario scenario;
     scenario.loc = peek().loc;
@@ -761,13 +762,21 @@ class Parser {
         }
         scenario.faults.emplace_back(advance().text, loc);
         if (!expect_punct(";")) return;
+      } else if (match_keyword("load")) {
+        const SourceLoc loc = peek().loc;
+        if (peek().kind != TokenKind::kString) {
+          fail("expected a quoted load-phase line");
+          return;
+        }
+        scenario.loads.emplace_back(advance().text, loc);
+        if (!expect_punct(";")) return;
       } else if (match_keyword("duration")) {
         if (!expect_integer("duration (e.g. 10s)", scenario.duration_us)) {
           return;
         }
         if (!expect_punct(";")) return;
       } else {
-        fail("expected 'description', 'goal', 'fault' or 'duration'");
+        fail("expected 'description', 'goal', 'fault', 'load' or 'duration'");
         return;
       }
     }

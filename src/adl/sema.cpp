@@ -662,6 +662,21 @@ class Sema {
         error(scenario.loc, "invalid-value",
               "scenario duration must be >= 0");
       }
+      // Full fault/load line syntax is validated by the consumers
+      // (fault::FaultScenario::parse, scenario::LoadPhase::parse), which
+      // live above this layer; sema only rejects obviously-dead lines.
+      for (const auto& [fault, loc] : scenario.faults) {
+        if (fault.find_first_not_of(" \t") == std::string::npos) {
+          error(loc, "empty-line",
+                "scenario '" + scenario.name + "' has an empty fault line");
+        }
+      }
+      for (const auto& [load, loc] : scenario.loads) {
+        if (load.find_first_not_of(" \t") == std::string::npos) {
+          error(loc, "empty-line",
+                "scenario '" + scenario.name + "' has an empty load line");
+        }
+      }
     }
   }
 

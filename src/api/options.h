@@ -45,6 +45,8 @@ struct RuntimeOptions {
   /// Install-time model checking of ADL rule programs (off by default):
   /// explore the reachable-configuration graph before any rule can fire.
   reconfig::ExploreGate explore_gate;
+  /// Rebounds the global trace ring at build() (unset = keep the default).
+  std::optional<std::size_t> trace_capacity;
 };
 
 /// CRTP mixin providing the shared fluent verbs.  `Derived` is the concrete
@@ -64,6 +66,22 @@ class OptionsBuilder {
   /// Enables the global obs registry (metrics + traces).
   Derived& metrics(bool on = true) {
     options_.metrics = on;
+    return self();
+  }
+  /// Bounds per-channel memory: `hold_limit` caps the quiescence hold
+  /// buffer (0 keeps the per-connector queue_capacity rule) and
+  /// `audit_window` bounds the out-of-order span the duplicate audit
+  /// tracks exactly.  Capacity campaigns shrink both so channel state
+  /// scales with the declared bound, not with traffic.
+  Derived& channel_limits(std::size_t hold_limit, std::size_t audit_window) {
+    options_.config.channel_hold_limit = hold_limit;
+    options_.config.channel_audit_window = audit_window;
+    return self();
+  }
+  /// Rebounds the global trace ring at build() — the observability side of
+  /// the footprint budget (events beyond the capacity overwrite oldest).
+  Derived& trace_ring(std::size_t capacity) {
+    options_.trace_capacity = capacity;
     return self();
   }
   /// Compiles and deploys an ADL source on top of the declared world.

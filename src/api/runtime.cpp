@@ -149,6 +149,9 @@ Runtime::Builder& Runtime::Builder::with_fault_text(
 
 Result<std::unique_ptr<Runtime>> Runtime::Builder::build() {
   if (options_.metrics) obs::Registry::global().set_enabled(true);
+  if (options_.trace_capacity) {
+    obs::Registry::global().set_trace_capacity(*options_.trace_capacity);
+  }
 
   auto rt = std::unique_ptr<Runtime>(new Runtime());
   for (auto& installer : installers_) installer(rt->types_);

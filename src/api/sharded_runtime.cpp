@@ -322,8 +322,14 @@ Result<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Builder::build() {
   sharded->link_latency_ = fabric_.latency;
   for (std::size_t s = 0; s < shards_; ++s) {
     Runtime::Builder rb = Runtime::builder();
+    // Config first, seed after: config() replaces the whole struct and
+    // would clobber the per-shard seed offset.
+    rb.config(options_.config);
     rb.seed(options_.config.seed + s);
     if (options_.metrics && s == 0) rb.metrics();
+    if (options_.trace_capacity && s == 0) {
+      rb.trace_ring(*options_.trace_capacity);
+    }
     if (s == kAdlShard) {
       for (const std::string& source : options_.adl_sources) rb.adl(source);
       for (const std::string& path : options_.adl_files) rb.with_adl(path);

@@ -50,6 +50,20 @@ void TraceBuffer::record(TraceEvent event) {
   ++recorded_;
 }
 
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  if (capacity == capacity_) return;
+  // Keep the newest events (snapshot is oldest-first, so take its tail).
+  std::vector<TraceEvent> ordered = snapshot();
+  if (ordered.size() > capacity) {
+    ordered.erase(ordered.begin(),
+                  ordered.end() - static_cast<std::ptrdiff_t>(capacity));
+  }
+  capacity_ = capacity;
+  ring_ = std::move(ordered);
+  ring_.shrink_to_fit();
+  head_ = 0;
+}
+
 std::size_t TraceBuffer::size() const { return ring_.size(); }
 
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
@@ -128,6 +142,11 @@ void Registry::trace(util::SimTime at, TraceKind kind, std::string name,
   std::lock_guard<std::mutex> lock(mu_);
   trace_.record(TraceEvent{at, kind, sanitize_trace_name(std::move(name)),
                            std::move(detail)});
+}
+
+void Registry::set_trace_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.set_capacity(capacity);
 }
 
 void Registry::reset_values() {

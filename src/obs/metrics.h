@@ -173,6 +173,10 @@ class TraceBuffer {
   explicit TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
 
   void record(TraceEvent event);
+  /// Rebounds the ring, keeping the newest `capacity` events (0 disables
+  /// retention; `recorded()` still counts).  Capacity runs size the ring
+  /// down so tracing stays O(1) regardless of population.
+  void set_capacity(std::size_t capacity);
   /// Events oldest-first (at most `capacity()` of them).
   std::vector<TraceEvent> snapshot() const;
   std::size_t size() const;
@@ -223,6 +227,10 @@ class Registry {
   /// Records a trace event (no-op while disabled).
   void trace(util::SimTime at, TraceKind kind, std::string name,
              std::string detail = {});
+  /// Rebounds the trace ring (keeping the newest events).  Sharded capacity
+  /// campaigns shrink this per run so N shards' worth of tracing stays a
+  /// fixed fraction of the footprint budget.  Call at quiescent points.
+  void set_trace_capacity(std::size_t capacity);
   const TraceBuffer& trace_buffer() const { return trace_; }
 
   // --- export / inspection --------------------------------------------------

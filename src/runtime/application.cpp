@@ -309,7 +309,10 @@ Channel& Application::channel(ConnectorId connector, ComponentId provider) {
   if (it == channels_.end()) {
     auto chan = std::make_unique<Channel>(channel_ids_.next(), connector,
                                           provider, config_.audit_channels);
-    if (const Connector* conn = find_connector(connector)) {
+    chan->set_audit_window(config_.channel_audit_window);
+    if (config_.channel_hold_limit != 0) {
+      chan->set_hold_limit(config_.channel_hold_limit);
+    } else if (const Connector* conn = find_connector(connector)) {
       chan->set_hold_limit(conn->spec().queue_capacity);
     }
     it = channels_.emplace(key, std::move(chan)).first;

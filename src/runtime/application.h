@@ -67,6 +67,14 @@ class Application {
     /// Extra per-interceptor CPU work charged on the serving node, in work
     /// units (models the glue cost of layered interception).
     double interceptor_work = 0.01;
+    /// Quiescence hold-buffer bound applied to every channel; 0 sizes each
+    /// channel's buffer by its connector's queue_capacity (the legacy
+    /// rule).  At million-session scale the hold buffers are a real memory
+    /// term, so capacity runs pin them explicitly.
+    std::size_t channel_hold_limit = 0;
+    /// Out-of-order span each channel's duplicate audit tracks exactly
+    /// (entries beyond it force the delivered watermark forward).
+    std::size_t channel_audit_window = 1024;
   };
 
   using ResponseCallback =

@@ -63,12 +63,12 @@ bool Channel::audit_seen(std::uint64_t sequence) {
   // Advance the contiguous delivered watermark, shedding entries as the
   // frontier closes up — in-order traffic keeps recent_ at one entry.
   while (recent_.erase(watermark_ + 1) != 0) ++watermark_;
-  if (recent_.size() > kAuditWindow) {
+  if (recent_.size() > audit_window_) {
     // A permanent gap (dropped message) is pinning the watermark. Force it
     // forward so the tracked span stays bounded; sequences at or below the
     // new watermark now count as seen.
     const std::uint64_t floor =
-        std::max(watermark_, max_seen_ - kAuditWindow);
+        std::max(watermark_, max_seen_ - audit_window_);
     for (auto it = recent_.begin(); it != recent_.end();) {
       if (*it <= floor) {
         it = recent_.erase(it);

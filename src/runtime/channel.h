@@ -53,10 +53,18 @@ class Channel {
   void set_provider(ComponentId provider) { provider_ = provider; }
 
   // --- sequencing & integrity ----------------------------------------------
-  /// Out-of-order span the duplicate audit tracks exactly. Deliveries more
-  /// than this many sequence numbers behind the forced watermark are
-  /// classified duplicates (the memory-bound trade-off; see seen below).
+  /// Default out-of-order span the duplicate audit tracks exactly.
+  /// Deliveries more than this many sequence numbers behind the forced
+  /// watermark are classified duplicates (the memory-bound trade-off; see
+  /// seen below).  Tunable per application via Config::channel_audit_window.
   static constexpr std::size_t kAuditWindow = 1024;
+
+  /// Rebounds the audit span (>= 1).  Shrinking takes effect as traffic
+  /// flows; entries already tracked are shed on the next forced advance.
+  void set_audit_window(std::size_t window) {
+    audit_window_ = std::max<std::size_t>(window, 1);
+  }
+  std::size_t audit_window() const { return audit_window_; }
 
   std::uint64_t next_sequence() { return next_seq_++; }
   /// Records a delivery. With auditing on, flags duplicates.
@@ -151,6 +159,7 @@ class Channel {
   // (one hash-set entry per message, forever) sank long-running workloads.
   std::uint64_t watermark_ = 0;
   std::uint64_t max_seen_ = 0;
+  std::size_t audit_window_ = kAuditWindow;
   std::unordered_set<std::uint64_t> recent_;
   std::deque<std::function<void()>> drain_waiters_;
   // Observability mirrors (no-ops while the global registry is disabled).

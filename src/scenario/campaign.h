@@ -1,0 +1,136 @@
+// The compiled campaign: a CampaignSpec lowered into a deterministic
+// arrival model.
+//
+// The central property is *shard-count independence*: every user's whole
+// lifetime (arrival instant, session length, QoS tier, home cell) is a pure
+// function of (seed, user index).  Arrivals follow the spec's summed
+// piecewise-linear rate profile via inverse-CDF sampling — user i arrives
+// at A⁻¹(i + uᵢ) where A is the cumulative expected-arrival curve and uᵢ is
+// the user's own hash-derived jitter — so the campaign timeline is
+// *identical* whether one driver walks all users or eight shards each walk
+// every 8th index.  That is what lets e19 compare 1-shard and 8-shard runs
+// of the same million-user rush hour, and what the 1/2/4-shard determinism
+// tests pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "sim/workload.h"
+
+namespace aars::adl {
+struct CompiledScenario;
+}  // namespace aars::adl
+
+namespace aars::scenario {
+
+/// One user's precomputed lifetime.
+struct UserLife {
+  SimTime arrival = 0;      // absolute arrival instant
+  Duration session = 0;     // session length (exponential per phase mean)
+  Tier tier = Tier::kBestEffort;
+  std::uint32_t cell = 0;   // abstract home cell in [0, spec.cells)
+};
+
+/// A cell-outage window derived from failover/cascade phases: users homed
+/// in `cell` must re-home at `at` and may return after `until`.
+struct Evacuation {
+  std::uint32_t cell = 0;
+  SimTime at = 0;
+  SimTime until = 0;
+};
+
+/// The deterministic, queryable form of a campaign.
+class Campaign {
+ public:
+  /// Lowers a spec under a seed.  Pure; no clock, no global state.
+  Campaign(CampaignSpec spec, std::uint64_t seed);
+
+  /// Lowers a compiled ADL `scenario` block: `load` lines through
+  /// LoadPhase::parse, `fault` lines through fault::FaultScenario::parse,
+  /// duration and goals carried over.  Errors name the offending line.
+  static util::Result<Campaign> from_compiled(
+      const adl::CompiledScenario& scenario, std::uint64_t seed);
+
+  const CampaignSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Expected arrival count over the whole campaign (= user index space).
+  std::uint64_t total_users() const { return total_users_; }
+
+  /// The lifetime of user `index` in [0, total_users()).  O(log phases);
+  /// no allocation — shards call this on their own index subsequence.
+  UserLife user(std::uint64_t index) const;
+
+  /// Instantaneous total arrival rate (users/sec) at `t`.
+  double rate_at(SimTime t) const;
+
+  /// Cell outage windows, ordered by start time.
+  const std::vector<Evacuation>& evacuations() const { return evacuations_; }
+  /// True when `cell` is inside an outage window at `t`.
+  bool evacuated(std::uint32_t cell, SimTime t) const;
+
+  /// Mean handover dwell (0 = no mobility churn in this campaign).
+  Duration handover_dwell() const { return handover_dwell_; }
+
+  // --- sim::workload integration --------------------------------------------
+  /// The summed rate profile as TraceArrivals breakpoints, for driving a
+  /// sim::WorkloadDriver with the campaign's load shape.
+  std::vector<sim::TraceArrivals::Point> trace_points() const;
+  /// Convenience: the profile wrapped as an ArrivalProcess.
+  std::unique_ptr<sim::ArrivalProcess> arrivals() const;
+
+  // --- deterministic timeline ------------------------------------------------
+  /// One campaign event, totally ordered by (at, kind, user, cell).
+  struct Event {
+    enum Kind : std::uint8_t { kArrive, kDepart, kEvacuate, kRestore };
+    SimTime at = 0;
+    Kind kind = kArrive;
+    std::uint64_t user = 0;
+    std::uint32_t cell = 0;
+    Tier tier = Tier::kBestEffort;
+  };
+
+  /// Materializes the ordered event timeline for the first
+  /// min(max_users, total_users()) users plus all evacuation windows.
+  /// For inspection and determinism tests — O(n) memory, so cap `max_users`
+  /// on large campaigns.
+  std::vector<Event> timeline(std::uint64_t max_users = UINT64_MAX) const;
+
+  /// Order-sensitive 64-bit digest of `timeline(max_users)`.  Golden value
+  /// pinned in tests; cap `max_users` on large campaigns.
+  std::uint64_t timeline_digest(std::uint64_t max_users = UINT64_MAX) const;
+
+ private:
+  // Summed rate profile breakpoint.  Rates are in users/sec; times in
+  // seconds (double) for exact quadratic inversion.  `left`/`right` are the
+  // one-sided limits so step discontinuities (ramp ends) stay sharp.
+  struct Breakpoint {
+    double t = 0;
+    double left = 0;
+    double right = 0;
+    double cum = 0;  // A(t): expected arrivals in [0, t]
+  };
+  // Per-arrival-phase linear rate segment [t0, t1) from r0 to r1.
+  struct Segment {
+    double t0 = 0, t1 = 0, r0 = 0, r1 = 0;
+    std::uint32_t phase = 0;  // index into spec_.loads
+  };
+
+  void build_profile();
+  void build_evacuations();
+  double phase_rate_at(std::uint32_t phase, double t) const;
+  double inverse(double x) const;  // A⁻¹, in seconds
+
+  CampaignSpec spec_;
+  std::uint64_t seed_ = 0;
+  std::vector<Segment> segments_;
+  std::vector<Breakpoint> profile_;
+  std::vector<Evacuation> evacuations_;
+  std::uint64_t total_users_ = 0;
+  Duration handover_dwell_ = 0;
+};
+
+}  // namespace aars::scenario

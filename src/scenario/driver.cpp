@@ -1,0 +1,246 @@
+#include "scenario/driver.h"
+
+#include <algorithm>
+
+namespace aars::scenario {
+
+namespace {
+// Salt separating the handover draw stream from the lifetime draws.
+constexpr std::uint64_t kMoveSalt = 0x6d6f76655f726e67ULL;  // "move_rng"
+}  // namespace
+
+CampaignDriver::CampaignDriver(runtime::Application& app,
+                               const Campaign& campaign, Options options)
+    : app_(app), campaign_(campaign), options_(std::move(options)) {
+  util::require(!options_.cells.empty(), "driver needs at least one cell");
+  util::require(options_.stride > 0, "stride must be >= 1");
+  util::require(options_.offset < options_.stride, "offset < stride required");
+  const auto& tiers = standard_tiers();
+  for (std::size_t k = 0; k < kTierCount; ++k) {
+    telecom::SessionManager::Options mgr;
+    mgr.service = options_.service;
+    mgr.fps = tiers[k].fps;
+    if (options_.frame_quantum > 0) {
+      // Wheel batching needs several buckets per frame gap to phase-stagger
+      // sessions; with fewer, whole populations collapse onto bucket
+      // boundaries and the resulting frame storms inflate p99.  Fast tiers
+      // (small populations, latency-critical) therefore keep exact
+      // per-session timers; slow mass tiers — where the per-session pending
+      // event is the footprint problem — take the wheel.
+      const auto gap = static_cast<Duration>(util::kSecond / tiers[k].fps);
+      if (gap / options_.frame_quantum >= 4) {
+        mgr.frame_quantum = options_.frame_quantum;
+      }
+    }
+    managers_[k] = std::make_unique<telecom::SessionManager>(app_, mgr);
+    TierStats* stats = &stats_[k];
+    managers_[k]->on_frame([stats](util::SessionId, Duration latency, bool ok,
+                                   int) {
+      if (ok) {
+        ++stats->frames_ok;
+        stats->latency.record(latency);
+      } else {
+        ++stats->frames_failed;
+      }
+    });
+  }
+}
+
+std::uint64_t CampaignDriver::end_index() const {
+  return std::min(campaign_.total_users(), options_.max_users);
+}
+
+std::size_t CampaignDriver::active_sessions() const {
+  std::size_t total = 0;
+  for (const auto& mgr : managers_) total += mgr->active_count();
+  return total;
+}
+
+void CampaignDriver::start() {
+  cursor_ = options_.offset;
+  const std::uint64_t end = end_index();
+  if (cursor_ < end) {
+    users_.reserve((end - options_.offset + options_.stride - 1) /
+                   options_.stride);
+  }
+  schedule_next_arrival();
+
+  const bool mobility =
+      campaign_.handover_dwell() > 0 && options_.wheel_quantum > 0 &&
+      options_.cells.size() > 1;
+  const bool evacs = !campaign_.evacuations().empty();
+  if (mobility || evacs) {
+    const std::size_t buckets =
+        options_.wheel_quantum > 0
+            ? static_cast<std::size_t>(campaign_.spec().duration /
+                                       options_.wheel_quantum) +
+                  2
+            : 2;
+    wheel_.assign(buckets, {});
+    schedule_tick();
+  }
+}
+
+void CampaignDriver::schedule_next_arrival() {
+  const std::uint64_t end = end_index();
+  if (cursor_ >= end) return;
+  next_life_ = campaign_.user(cursor_);
+  cursor_primed_ = true;
+  const SimTime now = app_.loop().now();
+  app_.loop().schedule_at(std::max(next_life_.arrival, now),
+                          [this] { drain_arrivals(); });
+}
+
+void CampaignDriver::drain_arrivals() {
+  const SimTime now = app_.loop().now();
+  const std::uint64_t end = end_index();
+  // Arrivals are monotone in index (inverse-CDF), so admit everything due
+  // and chain one event for the next future arrival.
+  while (cursor_ < end) {
+    if (!cursor_primed_) next_life_ = campaign_.user(cursor_);
+    cursor_primed_ = false;
+    if (next_life_.arrival > now) {
+      cursor_primed_ = true;
+      app_.loop().schedule_at(next_life_.arrival, [this] { drain_arrivals(); });
+      return;
+    }
+    admit(cursor_, next_life_);
+    cursor_ += options_.stride;
+  }
+}
+
+void CampaignDriver::admit(std::uint64_t index, const UserLife& life) {
+  const SimTime now = app_.loop().now();
+  const SimTime until =
+      std::min<SimTime>(life.arrival + life.session, campaign_.spec().duration);
+  if (until <= now) return;  // whole life inside the past (clamped arrival)
+
+  UserRec rec;
+  rec.index = index;
+  rec.tier = static_cast<std::uint8_t>(life.tier);
+  rec.cell = pick_cell(life.cell, now);
+  const QosTier& tier = standard_tiers()[rec.tier];
+  rec.sid = managers_[rec.tier]->start_session(tier.quality,
+                                               node_for(rec.cell), until);
+  rec.started = true;
+  ++arrivals_;
+  ++stats_[rec.tier].started;
+
+  const std::uint32_t slot = static_cast<std::uint32_t>(users_.size());
+  users_.push_back(rec);
+
+  if (campaign_.handover_dwell() > 0 && !wheel_.empty() &&
+      options_.cells.size() > 1) {
+    UserRng rng(campaign_.seed() ^ kMoveSalt, index);
+    const double dwell_sec =
+        rng.exponential(static_cast<double>(campaign_.handover_dwell()) / 1e6);
+    users_[slot].moves = 1;
+    schedule_move(slot, now + static_cast<Duration>(dwell_sec * 1e6));
+  }
+}
+
+util::NodeId CampaignDriver::node_for(std::uint32_t cell) const {
+  return options_.cells[cell % options_.cells.size()];
+}
+
+std::uint32_t CampaignDriver::pick_cell(std::uint32_t preferred,
+                                        SimTime t) const {
+  const std::uint32_t cells =
+      std::max<std::uint32_t>(1, campaign_.spec().cells);
+  for (std::uint32_t k = 0; k < cells; ++k) {
+    const std::uint32_t candidate = (preferred + k) % cells;
+    if (!campaign_.evacuated(candidate, t)) return candidate;
+  }
+  return preferred;  // everything down: stay put
+}
+
+void CampaignDriver::schedule_move(std::uint32_t slot, SimTime at) {
+  if (wheel_.empty()) return;
+  const auto quantum = options_.wheel_quantum;
+  std::size_t bucket = static_cast<std::size_t>(
+      std::max<SimTime>(at, 0) / std::max<Duration>(quantum, 1));
+  bucket = std::min(bucket, wheel_.size() - 1);
+  if (bucket < next_bucket_) bucket = std::min(next_bucket_, wheel_.size() - 1);
+  wheel_[bucket].push_back(slot);
+}
+
+void CampaignDriver::schedule_tick() {
+  if (next_bucket_ >= wheel_.size()) return;
+  const SimTime at =
+      static_cast<SimTime>(next_bucket_ + 1) * options_.wheel_quantum;
+  if (at > campaign_.spec().duration) return;
+  app_.loop().schedule_at(at, [this] { tick(); });
+}
+
+void CampaignDriver::tick() {
+  const SimTime now = app_.loop().now();
+
+  // Evacuation windows opening inside this tick.
+  const auto& evacs = campaign_.evacuations();
+  while (next_evac_ < evacs.size() && evacs[next_evac_].at <= now) {
+    enact_evacuation(evacs[next_evac_]);
+    ++next_evac_;
+  }
+
+  // Handover moves due in the elapsed bucket.
+  if (next_bucket_ < wheel_.size()) {
+    std::vector<std::uint32_t> due;
+    due.swap(wheel_[next_bucket_]);
+    ++next_bucket_;
+    for (std::uint32_t slot : due) {
+      UserRec& rec = users_[slot];
+      if (!rec.started || !managers_[rec.tier]->active(rec.sid)) continue;
+      UserRng rng(campaign_.seed() ^ kMoveSalt, rec.index);
+      // Burn draws consumed by earlier moves so the stream continues.
+      for (std::uint16_t k = 0; k < rec.moves; ++k) rng.exponential(1.0);
+      const std::uint32_t cells =
+          std::max<std::uint32_t>(1, campaign_.spec().cells);
+      std::uint32_t target =
+          static_cast<std::uint32_t>(rng.below(cells - 1));
+      if (target >= rec.cell) ++target;  // uniform over the other cells
+      rehome(rec, pick_cell(target, now), now);
+      ++handovers_;
+      const double dwell_sec = rng.exponential(
+          static_cast<double>(campaign_.handover_dwell()) / 1e6);
+      rec.moves = static_cast<std::uint16_t>(
+          std::min<std::uint32_t>(rec.moves + 2, UINT16_MAX));
+      schedule_move(slot, now + static_cast<Duration>(dwell_sec * 1e6));
+    }
+  } else {
+    ++next_bucket_;
+  }
+  schedule_tick();
+}
+
+void CampaignDriver::enact_evacuation(const Evacuation& evac) {
+  const SimTime now = app_.loop().now();
+  for (std::uint32_t slot = 0; slot < users_.size(); ++slot) {
+    UserRec& rec = users_[slot];
+    if (!rec.started || rec.cell != evac.cell) continue;
+    if (!managers_[rec.tier]->active(rec.sid)) continue;
+    const std::uint32_t target = pick_cell(rec.cell + 1, now);
+    if (target == rec.cell) continue;  // nowhere to go
+    rehome(rec, target, now);
+    ++evacuated_;
+  }
+}
+
+void CampaignDriver::rehome(UserRec& rec, std::uint32_t to_cell, SimTime now) {
+  telecom::SessionManager& mgr = *managers_[rec.tier];
+  const auto quality = mgr.quality(rec.sid);
+  // Re-establish the session against the new cell's node, preserving the
+  // departure instant (the handover re-homes, it does not extend the stay).
+  SimTime until = campaign_.spec().duration;
+  // The session's own `until` is not readable pre-overhaul; recompute from
+  // the campaign — cheap and exact.
+  const UserLife life = campaign_.user(rec.index);
+  until = std::min<SimTime>(life.arrival + life.session, until);
+  mgr.end_session(rec.sid);
+  if (until <= now) return;
+  const QosTier& tier = standard_tiers()[rec.tier];
+  rec.sid = mgr.start_session(quality.ok() ? quality.value() : tier.quality,
+                              node_for(to_cell), until);
+  rec.cell = to_cell;
+}
+
+}  // namespace aars::scenario

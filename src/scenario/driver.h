@@ -1,0 +1,126 @@
+// CampaignDriver: enacts a Campaign against one runtime::Application.
+//
+// The driver owns per-tier SessionManagers (each QoS tier has its own frame
+// rate, so a tier is a manager — no per-session tier map needed), walks its
+// slice of the campaign's user index space (stride/offset, so S sharded
+// drivers split one campaign without coordination), homes users onto local
+// cell nodes, evacuates cells on failover windows, and hands users over
+// between cells on a coarse timing wheel when the campaign has mobility
+// churn.  Per-user bookkeeping is a flat slot-indexed vector — no per-user
+// heap nodes, no per-user pending events: one chained arrival event and one
+// wheel tick drive everything.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "scenario/campaign.h"
+#include "telecom/session.h"
+
+namespace aars::scenario {
+
+class CampaignDriver {
+ public:
+  struct Options {
+    util::ConnectorId service;          // media connector frames target
+    std::vector<util::NodeId> cells;    // local nodes abstract cells map onto
+    std::uint64_t stride = 1;           // walk indices offset, offset+stride…
+    std::uint64_t offset = 0;
+    std::uint64_t max_users = UINT64_MAX;  // cap on the global index space
+    /// Mobility/evacuation wheel coarseness. Handover instants are rounded
+    /// up to the next tick; 0 disables mobility even if the campaign has a
+    /// handover phase.
+    Duration wheel_quantum = util::milliseconds(100);
+    /// Frame-scheduling wheel coarseness for the per-tier session managers.
+    /// 0 = exact per-session timers; > 0 batches frame deadlines into
+    /// quantum-wide buckets (one pending event per bucket instead of one
+    /// per session — the difference between 1e6 queued events and a few
+    /// hundred).  Each tier uses min(frame_quantum, its frame gap) so fast
+    /// tiers never skip frames.
+    Duration frame_quantum = 0;
+  };
+
+  struct TierStats {
+    std::uint64_t started = 0;
+    std::uint64_t frames_ok = 0;
+    std::uint64_t frames_failed = 0;
+    LatencyBuckets latency;
+
+    double fail_ratio() const {
+      const std::uint64_t total = frames_ok + frames_failed;
+      return total == 0 ? 0.0
+                        : static_cast<double>(frames_failed) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// Per-user bookkeeping record (slot-indexed; exposed for tests and the
+  /// capacity bench's cross-shard determinism checks).
+  struct UserRec {
+    util::SessionId sid{};   // last session id (may have expired)
+    std::uint64_t index = 0; // global campaign index
+    std::uint32_t cell = 0;  // abstract cell currently homed
+    std::uint16_t moves = 0; // handover draw counter (rng stream position)
+    std::uint8_t tier = 2;
+    bool started = false;
+  };
+
+  CampaignDriver(runtime::Application& app, const Campaign& campaign,
+                 Options options);
+
+  /// Schedules the arrival chain, evacuation windows and the mobility
+  /// wheel. Call once before running the loop to the campaign horizon.
+  void start();
+
+  const TierStats& tier_stats(Tier tier) const {
+    return stats_[static_cast<std::size_t>(tier)];
+  }
+  telecom::SessionManager& sessions(Tier tier) {
+    return *managers_[static_cast<std::size_t>(tier)];
+  }
+
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t handovers() const { return handovers_; }
+  std::uint64_t evacuated_sessions() const { return evacuated_; }
+  /// Sessions still live across all tiers.
+  std::size_t active_sessions() const;
+  /// Admitted users in arrival order (this driver's stride slice).
+  const std::vector<UserRec>& records() const { return users_; }
+
+ private:
+  void schedule_next_arrival();
+  void drain_arrivals();
+  void admit(std::uint64_t index, const UserLife& life);
+  void schedule_tick();
+  void tick();
+  void enact_evacuation(const Evacuation& evac);
+  void rehome(UserRec& rec, std::uint32_t to_cell, SimTime now);
+  void schedule_move(std::uint32_t slot, SimTime at);
+  util::NodeId node_for(std::uint32_t cell) const;
+  std::uint32_t pick_cell(std::uint32_t preferred, SimTime t) const;
+  std::uint64_t end_index() const;
+
+  runtime::Application& app_;
+  const Campaign& campaign_;
+  Options options_;
+  std::array<std::unique_ptr<telecom::SessionManager>, kTierCount> managers_;
+  std::array<TierStats, kTierCount> stats_;
+
+  std::vector<UserRec> users_;  // indexed by local slot = (index-offset)/stride
+  std::uint64_t cursor_ = 0;    // next global index to admit
+  bool cursor_primed_ = false;
+  UserLife next_life_{};
+
+  // Mobility wheel: bucket b holds local slots moving in
+  // [b·quantum, (b+1)·quantum); one chained tick event services it.
+  std::vector<std::vector<std::uint32_t>> wheel_;
+  std::size_t next_bucket_ = 0;
+  std::size_t next_evac_ = 0;
+
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t handovers_ = 0;
+  std::uint64_t evacuated_ = 0;
+};
+
+}  // namespace aars::scenario

@@ -1,0 +1,418 @@
+#include "scenario/spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace aars::scenario {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const std::array<QosTier, kTierCount>& standard_tiers() {
+  static const std::array<QosTier, kTierCount> kTiers{{
+      {"premium", 10.0, 4, util::milliseconds(25), 0.01},
+      {"standard", 2.0, 2, util::milliseconds(50), 0.02},
+      {"best_effort", 0.5, 0, util::milliseconds(200), 0.05},
+  }};
+  return kTiers;
+}
+
+const char* to_string(LoadKind kind) {
+  switch (kind) {
+    case LoadKind::kBaseline: return "baseline";
+    case LoadKind::kFlashCrowd: return "flash-crowd";
+    case LoadKind::kDiurnal: return "diurnal";
+    case LoadKind::kFailover: return "failover";
+    case LoadKind::kCascade: return "cascade";
+    case LoadKind::kHandover: return "handover";
+  }
+  return "?";
+}
+
+// --- load-phase parsing --------------------------------------------------------
+
+namespace {
+
+/// Splits "key=value" tokens after the leading kind word.
+Result<std::vector<std::pair<std::string, std::string>>> split_pairs(
+    std::istringstream& in, const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "load line '" + line + "': expected key=value, got '" +
+                       token + "'"};
+    }
+    pairs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return pairs;
+}
+
+Result<double> parse_count(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size() || v < 0 || !std::isfinite(v)) {
+      return Error{ErrorCode::kInvalidArgument, "bad count '" + text + "'"};
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Error{ErrorCode::kInvalidArgument, "bad count '" + text + "'"};
+  }
+}
+
+Result<std::uint32_t> parse_index(const std::string& text) {
+  const auto count = parse_count(text);
+  if (!count.ok()) return count.error();
+  return static_cast<std::uint32_t>(count.value());
+}
+
+}  // namespace
+
+Result<LoadPhase> LoadPhase::parse(const std::string& line) {
+  std::istringstream in(line);
+  std::string head;
+  if (!(in >> head)) {
+    return Error{ErrorCode::kInvalidArgument, "empty load line"};
+  }
+  LoadPhase phase;
+  if (head == "baseline") {
+    phase.kind = LoadKind::kBaseline;
+    phase.ramp = util::milliseconds(500);
+  } else if (head == "flash-crowd") {
+    phase.kind = LoadKind::kFlashCrowd;
+    phase.ramp = util::milliseconds(200);
+  } else if (head == "diurnal") {
+    phase.kind = LoadKind::kDiurnal;
+  } else if (head == "failover") {
+    phase.kind = LoadKind::kFailover;
+    phase.down_for = util::seconds(1);
+  } else if (head == "cascade") {
+    phase.kind = LoadKind::kCascade;
+    phase.depth = 2;
+    phase.gap = util::milliseconds(500);
+    phase.down_for = util::seconds(1);
+  } else if (head == "handover") {
+    phase.kind = LoadKind::kHandover;
+    phase.dwell = util::seconds(30);
+  } else {
+    return Error{ErrorCode::kInvalidArgument,
+                 "unknown load kind '" + head + "'"};
+  }
+
+  auto pairs = split_pairs(in, line);
+  if (!pairs.ok()) return pairs.error();
+  for (const auto& [key, text] : pairs.value()) {
+    const auto duration = [&]() { return fault::parse_duration(text); };
+    if (key == "users") {
+      auto v = parse_count(text);
+      if (!v.ok()) return v.error();
+      phase.users = v.value();
+    } else if (key == "base") {
+      auto v = parse_count(text);
+      if (!v.ok()) return v.error();
+      phase.base = v.value();
+    } else if (key == "peak") {
+      auto v = parse_count(text);
+      if (!v.ok()) return v.error();
+      phase.peak = v.value();
+    } else if (key == "at") {
+      auto v = duration();
+      if (!v.ok()) return v.error();
+      phase.at = v.value();
+    } else if (key == "ramp") {
+      auto v = duration();
+      if (!v.ok()) return v.error();
+      phase.ramp = v.value();
+    } else if (key == "period") {
+      auto v = duration();
+      if (!v.ok()) return v.error();
+      phase.period = v.value();
+    } else if (key == "session") {
+      auto v = duration();
+      if (!v.ok()) return v.error();
+      phase.session = v.value();
+    } else if (key == "dwell") {
+      auto v = duration();
+      if (!v.ok()) return v.error();
+      phase.dwell = v.value();
+    } else if (key == "gap") {
+      auto v = duration();
+      if (!v.ok()) return v.error();
+      phase.gap = v.value();
+    } else if (key == "for") {
+      auto v = duration();
+      if (!v.ok()) return v.error();
+      phase.down_for = v.value();
+    } else if (key == "cell") {
+      auto v = parse_index(text);
+      if (!v.ok()) return v.error();
+      phase.cell = v.value();
+    } else if (key == "depth") {
+      auto v = parse_index(text);
+      if (!v.ok()) return v.error();
+      phase.depth = v.value();
+    } else {
+      return Error{ErrorCode::kInvalidArgument,
+                   "load line '" + line + "': unknown key '" + key + "'"};
+    }
+  }
+
+  // Kind-specific validation.
+  switch (phase.kind) {
+    case LoadKind::kBaseline:
+    case LoadKind::kFlashCrowd:
+      if (phase.users <= 0) {
+        return Error{ErrorCode::kInvalidArgument,
+                     std::string(to_string(phase.kind)) + " needs users=N"};
+      }
+      if (phase.ramp <= 0) {
+        return Error{ErrorCode::kInvalidArgument, "ramp must be > 0"};
+      }
+      break;
+    case LoadKind::kDiurnal:
+      if (phase.peak <= 0 || phase.period <= 0) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "diurnal needs peak=N period=D"};
+      }
+      break;
+    case LoadKind::kFailover:
+      break;
+    case LoadKind::kCascade:
+      if (phase.depth == 0) {
+        return Error{ErrorCode::kInvalidArgument, "cascade needs depth >= 1"};
+      }
+      break;
+    case LoadKind::kHandover:
+      if (phase.dwell <= 0) {
+        return Error{ErrorCode::kInvalidArgument, "dwell must be > 0"};
+      }
+      break;
+  }
+  return phase;
+}
+
+namespace {
+
+std::string render_duration(Duration d) {
+  if (d % util::kSecond == 0) return std::to_string(d / util::kSecond) + "s";
+  if (d % util::kMillisecond == 0) {
+    return std::to_string(d / util::kMillisecond) + "ms";
+  }
+  return std::to_string(d) + "us";
+}
+
+std::string render_count(double v) {
+  if (v == std::floor(v)) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string LoadPhase::to_text() const {
+  std::string out = to_string(kind);
+  switch (kind) {
+    case LoadKind::kBaseline:
+      out += " users=" + render_count(users) + " ramp=" + render_duration(ramp);
+      break;
+    case LoadKind::kFlashCrowd:
+      out += " at=" + render_duration(at) + " users=" + render_count(users) +
+             " ramp=" + render_duration(ramp);
+      if (session > 0) out += " session=" + render_duration(session);
+      break;
+    case LoadKind::kDiurnal:
+      out += " base=" + render_count(base) + " peak=" + render_count(peak) +
+             " period=" + render_duration(period);
+      break;
+    case LoadKind::kFailover:
+      out += " cell=" + std::to_string(cell) + " at=" + render_duration(at) +
+             " for=" + render_duration(down_for);
+      break;
+    case LoadKind::kCascade:
+      out += " cell=" + std::to_string(cell) +
+             " depth=" + std::to_string(depth) + " at=" + render_duration(at) +
+             " gap=" + render_duration(gap) +
+             " for=" + render_duration(down_for);
+      break;
+    case LoadKind::kHandover:
+      out += " dwell=" + render_duration(dwell);
+      break;
+  }
+  return out;
+}
+
+// --- fluent composition --------------------------------------------------------
+
+CampaignSpec& CampaignSpec::baseline(double users, Duration ramp) {
+  LoadPhase phase;
+  phase.kind = LoadKind::kBaseline;
+  phase.users = users;
+  phase.ramp = ramp;
+  loads.push_back(phase);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::flash_crowd(SimTime at, double users,
+                                        Duration ramp, Duration session) {
+  LoadPhase phase;
+  phase.kind = LoadKind::kFlashCrowd;
+  phase.at = at;
+  phase.users = users;
+  phase.ramp = ramp;
+  phase.session = session;
+  loads.push_back(phase);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::diurnal(double base, double peak,
+                                    Duration period) {
+  LoadPhase phase;
+  phase.kind = LoadKind::kDiurnal;
+  phase.base = base;
+  phase.peak = peak;
+  phase.period = period;
+  loads.push_back(phase);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::regional_failover(std::uint32_t cell, SimTime at,
+                                              Duration down_for) {
+  LoadPhase phase;
+  phase.kind = LoadKind::kFailover;
+  phase.cell = cell;
+  phase.at = at;
+  phase.down_for = down_for;
+  loads.push_back(phase);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::cascade(std::uint32_t first_cell,
+                                    std::uint32_t depth, SimTime at,
+                                    Duration gap, Duration down_for) {
+  LoadPhase phase;
+  phase.kind = LoadKind::kCascade;
+  phase.cell = first_cell;
+  phase.depth = depth;
+  phase.at = at;
+  phase.gap = gap;
+  phase.down_for = down_for;
+  loads.push_back(phase);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::handover(Duration mean_dwell) {
+  LoadPhase phase;
+  phase.kind = LoadKind::kHandover;
+  phase.dwell = mean_dwell;
+  loads.push_back(phase);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::with_faults(const fault::FaultScenario& scenario) {
+  for (const fault::FaultSpec& spec : scenario.faults()) {
+    switch (spec.kind) {
+      case fault::FaultKind::kHostCrash:
+        faults.crash(spec.host, spec.at, spec.duration);
+        break;
+      case fault::FaultKind::kLinkPartition:
+        faults.partition(spec.link_a, spec.link_b, spec.at, spec.duration);
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        faults.degrade(spec.link_a, spec.link_b, spec.at, spec.duration,
+                       spec.extra_latency, spec.extra_jitter);
+        break;
+      case fault::FaultKind::kLinkLoss:
+        faults.loss(spec.link_a, spec.link_b, spec.at, spec.duration,
+                    spec.loss_probability);
+        break;
+      case fault::FaultKind::kStepFault:
+        faults.fail_step(spec.step, spec.at, spec.duration, spec.of);
+        break;
+    }
+  }
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::tier_mix(double premium, double standard,
+                                     double best_effort) {
+  tier_weights = {premium, standard, best_effort};
+  return *this;
+}
+
+// --- per-user rng --------------------------------------------------------------
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+UserRng::UserRng(std::uint64_t seed, std::uint64_t user)
+    : state_(mix64(seed ^ mix64(user ^ 0x5851f42d4c957f2dULL))) {}
+
+std::uint64_t UserRng::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double UserRng::uniform() {
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double UserRng::exponential(double mean) {
+  double u = uniform();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+std::uint64_t UserRng::below(std::uint64_t n) {
+  return n == 0 ? 0 : next() % n;
+}
+
+// --- latency buckets -----------------------------------------------------------
+
+void LatencyBuckets::record(Duration d) {
+  if (d < 0) d = 0;
+  // Bucket k holds [2^k, 2^(k+1)) microseconds; bucket 0 holds [0, 2).
+  std::size_t bucket = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(d);
+  while (v > 1 && bucket + 1 < kBuckets) {
+    v >>= 1;
+    ++bucket;
+  }
+  ++counts_[bucket];
+  ++count_;
+  if (d > max_) max_ = d;
+}
+
+Duration LatencyBuckets::quantile(double q) const {
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += counts_[k];
+    if (seen >= target) {
+      const Duration upper = static_cast<Duration>(1) << (k + 1);
+      return std::min(upper, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace aars::scenario

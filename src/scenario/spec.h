@@ -1,0 +1,181 @@
+// Campaign specifications: the declarative inputs of the scenario generator.
+//
+// The source paper's motivating setting is telecom-scale adaptive
+// infrastructure: "users get connected to wireless multimedia telecom
+// services during rush hours" (§2), services follow "user's mobility" (§1).
+// A CampaignSpec describes such a workload as a composition of load phases
+// (flash crowds, diurnal cycles, regional failover, cascading failures,
+// handover churn) plus a fault schedule, in units of *concurrent users* —
+// the axis the capacity bench (E19) searches.
+//
+// Load-phase text format, one phase per line ('#' starts a comment) — the
+// same quoting convention the ADL `scenario` block uses for `fault` lines:
+//
+//   baseline users=1000 ramp=500ms
+//   flash-crowd at=2s users=5000 ramp=200ms session=3s
+//   diurnal base=200 peak=2000 period=30s
+//   failover cell=1 at=3s for=1s
+//   cascade cell=0 depth=3 at=4s gap=300ms for=2s
+//   handover dwell=20s
+//
+// Durations accept `us`, `ms` and `s` suffixes (fault::parse_duration).
+// `cell` is an abstract cell index in [0, cells); the driver maps indices
+// onto the simulated hosts of whatever world it runs against, so one
+// campaign drives both Runtime and ShardedRuntime topologies unchanged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/scenario.h"
+#include "util/errors.h"
+#include "util/time.h"
+
+namespace aars::scenario {
+
+using util::Duration;
+using util::SimTime;
+
+// --- QoS tiers -----------------------------------------------------------------
+
+/// The service classes the capacity envelope is reported against.  A tier
+/// fixes the per-session demand (frame rate, quality level) and the bound a
+/// sustained population must hold (frame p99 latency, failure ratio).
+struct QosTier {
+  const char* name = "";
+  double fps = 1.0;          // frame requests per second per session
+  int quality = 0;           // telecom::QualityLadder level
+  Duration p99_bound = 0;    // max acceptable frame p99 latency
+  double max_failure = 0.0;  // max acceptable failed-frame ratio
+};
+
+enum class Tier : std::uint8_t { kPremium = 0, kStandard = 1, kBestEffort = 2 };
+inline constexpr std::size_t kTierCount = 3;
+
+/// The standard tier table: premium (HD, tight latency), standard (SD),
+/// best-effort (audio-only, loose bound).
+const std::array<QosTier, kTierCount>& standard_tiers();
+
+// --- load phases ---------------------------------------------------------------
+
+enum class LoadKind : std::uint8_t {
+  kBaseline,    // steady population: fill over `ramp`, replenish departures
+  kFlashCrowd,  // a burst of extra users arriving over `ramp` at `at`
+  kDiurnal,     // population swinging base..peak over `period` (double-peak)
+  kFailover,    // regional failover: evacuate cell (+ crash fault if mapped)
+  kCascade,     // staggered failovers of `depth` cells starting at `cell`
+  kHandover,    // mobility churn: users hand over at exponential `dwell`
+};
+
+const char* to_string(LoadKind kind);
+
+/// One parsed load-phase line. Which fields are meaningful depends on
+/// `kind`; see the text format above.
+struct LoadPhase {
+  LoadKind kind = LoadKind::kBaseline;
+  double users = 0.0;       // kBaseline / kFlashCrowd: target population
+  double base = 0.0;        // kDiurnal: trough population
+  double peak = 0.0;        // kDiurnal: crest population
+  SimTime at = 0;           // kFlashCrowd / kFailover / kCascade: start
+  Duration ramp = 0;        // arrival window (default: see parse)
+  Duration period = 0;      // kDiurnal: cycle length
+  Duration session = 0;     // per-phase mean session length override (0=spec)
+  Duration dwell = 0;       // kHandover: mean cell dwell time
+  Duration gap = 0;         // kCascade: stagger between failing cells
+  Duration down_for = 0;    // kFailover / kCascade: cell outage window
+  std::uint32_t cell = 0;   // kFailover / kCascade: first failing cell index
+  std::uint32_t depth = 0;  // kCascade: how many cells fail
+
+  /// Parses one load-phase line; errors name the offending token.
+  static util::Result<LoadPhase> parse(const std::string& line);
+  /// Renders the phase back into the parseable text format.
+  std::string to_text() const;
+};
+
+// --- campaign spec -------------------------------------------------------------
+
+/// The full declarative campaign: phases + faults + tier mix.  Built
+/// fluently, parsed from load lines, or lowered from a compiled ADL
+/// `scenario` block (Campaign::from_compiled).
+struct CampaignSpec {
+  std::string name = "campaign";
+  Duration duration = util::seconds(10);
+  /// Mean session length (exponential) for phases without an override.
+  Duration mean_session = util::seconds(60);
+  /// Abstract cell count users are spread over (per driver instance).
+  std::uint32_t cells = 4;
+  /// Tier mix weights (premium, standard, best-effort); normalized.
+  std::array<double, kTierCount> tier_weights{0.0, 0.0, 1.0};
+  std::vector<LoadPhase> loads;
+  /// Composed fault schedule (FaultScenario text lines compose verbatim).
+  fault::FaultScenario faults;
+  /// Goal names the scenario references (carried for reporting).
+  std::vector<std::string> goals;
+
+  // Fluent composition -------------------------------------------------------
+  CampaignSpec& baseline(double users, Duration ramp = util::milliseconds(500));
+  CampaignSpec& flash_crowd(SimTime at, double users, Duration ramp,
+                            Duration session = 0);
+  CampaignSpec& diurnal(double base, double peak, Duration period);
+  CampaignSpec& regional_failover(std::uint32_t cell, SimTime at,
+                                  Duration down_for);
+  CampaignSpec& cascade(std::uint32_t first_cell, std::uint32_t depth,
+                        SimTime at, Duration gap, Duration down_for);
+  CampaignSpec& handover(Duration mean_dwell);
+  CampaignSpec& with_faults(const fault::FaultScenario& scenario);
+  CampaignSpec& tier_mix(double premium, double standard, double best_effort);
+};
+
+// --- per-user deterministic randomness ----------------------------------------
+
+/// Counter-based per-user generator (splitmix64 core).  Every user's whole
+/// lifetime derives from hash(seed, user_index), so the campaign timeline
+/// is identical no matter how users are partitioned across shards — the
+/// property the 1/2/4-shard determinism tests pin.  Cheap to construct
+/// (three multiplies), no allocation, no global state.
+class UserRng {
+ public:
+  UserRng(std::uint64_t seed, std::uint64_t user);
+
+  std::uint64_t next();
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// splitmix64 finalizer — exposed for digests.
+std::uint64_t mix64(std::uint64_t z);
+
+// --- bounded latency histogram -------------------------------------------------
+
+/// Fixed-size logarithmic latency buckets: p99-style quantiles in O(1)
+/// memory regardless of frame count.  util::Histogram keeps every sample
+/// exactly (fine for bounded experiment outputs); at 10^6-user campaigns
+/// that would cost 8 bytes per frame, so the driver records into this
+/// instead — observability cost stays constant in user count.
+class LatencyBuckets {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(Duration d);
+  std::uint64_t count() const { return count_; }
+  /// Upper edge of the bucket containing quantile `q` (conservative:
+  /// reported value >= true quantile, never under-reports a violation).
+  Duration quantile(double q) const;
+  Duration max() const { return max_; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  Duration max_ = 0;
+};
+
+}  // namespace aars::scenario

@@ -1,5 +1,8 @@
 #include "telecom/media.h"
 
+#include <cstdint>
+#include <string>
+
 #include "telecom/quality.h"
 
 namespace aars::telecom {
@@ -113,15 +116,26 @@ Status Transmitter::load_state(const Value& state) {
 
 // --- MediaServer ------------------------------------------------------------
 
+namespace {
+std::uint64_t mix_session_key(std::int64_t key) {
+  auto x = static_cast<std::uint64_t>(key);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
 MediaServer::MediaServer(const std::string& instance_name)
     : Component("MediaServer", instance_name) {
   set_provided(media_service_interface());
   register_operation("frame", 1.0, [this](const Value& args)
                                        -> Result<Value> {
     ++frames_served_;
-    const std::string key = std::to_string(args.at("session").as_int());
-    Value& count = per_session_[key];
-    count = Value{count.is_int() ? count.as_int() + 1 : 1};
+    SessionSlot& slot = slot_for(args.at("session").as_int());
+    ++slot.count;
     const int quality = args.contains("quality")
                             ? static_cast<int>(args.at("quality").as_int())
                             : 2;
@@ -130,13 +144,49 @@ MediaServer::MediaServer(const std::string& instance_name)
     return Value::object({{"session", args.at("session")},
                           {"quality", static_cast<std::int64_t>(q.level)},
                           {"bytes", static_cast<std::int64_t>(q.frame_bytes)},
-                          {"frame_no", count}});
+                          {"frame_no", slot.count}});
   });
+}
+
+Status MediaServer::on_initialize(const Value& attributes) {
+  const Value slots = attributes.at("session_slots");
+  if (slots.is_int()) {
+    if (slots.as_int() < 1) {
+      return Error{ErrorCode::kInvalidArgument,
+                   instance_name() + ": session_slots must be positive"};
+    }
+    // Round up to a power of two so the direct map can mask.
+    std::size_t n = 1;
+    while (n < static_cast<std::size_t>(slots.as_int())) n <<= 1;
+    session_slots_ = n;
+    per_session_.clear();
+  }
+  return Status::success();
+}
+
+MediaServer::SessionSlot& MediaServer::slot_for(std::int64_t session) {
+  if (per_session_.empty()) per_session_.assign(session_slots_, SessionSlot{});
+  SessionSlot& slot =
+      per_session_[mix_session_key(session) & (session_slots_ - 1)];
+  if (slot.count != 0 && slot.key != session) {
+    ++session_evictions_;
+    slot.count = 0;
+  }
+  slot.key = session;
+  return slot;
 }
 
 void MediaServer::save_state(Value& state) const {
   state["frames_served"] = frames_served_;
-  state["per_session"] = Value{per_session_};
+  // Exported in the historical JSON shape (session id as string -> count)
+  // so snapshots cross the overhaul unchanged.
+  util::ValueMap sessions;
+  for (const SessionSlot& slot : per_session_) {
+    if (slot.count != 0) {
+      sessions[std::to_string(slot.key)] = Value{slot.count};
+    }
+  }
+  state["per_session"] = Value{sessions};
 }
 
 Status MediaServer::load_state(const Value& state) {
@@ -144,7 +194,12 @@ Status MediaServer::load_state(const Value& state) {
     frames_served_ = state.at("frames_served").as_int();
   }
   if (state.at("per_session").is_map()) {
-    per_session_ = state.at("per_session").as_map();
+    per_session_.clear();
+    for (const auto& [key, count] : state.at("per_session").as_map()) {
+      if (!count.is_int()) continue;
+      SessionSlot& slot = slot_for(std::stoll(key));
+      slot.count = count.as_int();
+    }
   }
   return Status::success();
 }

@@ -7,6 +7,9 @@
 // so they are deployable from the ADL.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "component/component.h"
 #include "component/registry.h"
 
@@ -55,19 +58,41 @@ class Transmitter final : public component::Component {
 /// The stateful media server: serves "frame" requests whose work scales
 /// with the session's quality level (via the "__work_scale" header).  Keeps
 /// a per-session frame counter so strong reconfiguration is observable.
+///
+/// The counter table is bounded: a direct-mapped array of `session_slots`
+/// entries (attribute, power of two) keyed by the raw session id.  A
+/// colliding session evicts the slot's previous occupant, whose count
+/// restarts — the same memory-bound trade the channel audit makes.  The
+/// old string-keyed map grew one heap node per session ever seen and sank
+/// million-user campaigns (E19).
 class MediaServer final : public component::Component {
  public:
   explicit MediaServer(const std::string& instance_name);
 
   std::int64_t frames_served() const { return frames_served_; }
+  /// Bound of the per-session counter table (attribute "session_slots").
+  std::size_t session_slots() const { return session_slots_; }
+  /// Sessions whose counter was evicted by a direct-map collision.
+  std::uint64_t session_evictions() const { return session_evictions_; }
 
  protected:
+  util::Status on_initialize(const util::Value& attributes) override;
   void save_state(util::Value& state) const override;
   util::Status load_state(const util::Value& state) override;
 
  private:
+  struct SessionSlot {
+    std::int64_t key = 0;
+    std::int64_t count = 0;  // 0 = slot empty
+  };
+  /// Returns the slot for `session`, evicting a collider (table allocated
+  /// on first use).
+  SessionSlot& slot_for(std::int64_t session);
+
   std::int64_t frames_served_ = 0;
-  util::ValueMap per_session_;  // session id (as string) -> frame count
+  std::size_t session_slots_ = 4096;
+  std::uint64_t session_evictions_ = 0;
+  std::vector<SessionSlot> per_session_;  // direct-mapped by session id
 };
 
 /// Registers all telecom component types ("FrameExtractor", "VideoEncoder",

@@ -1,32 +1,37 @@
 #include "telecom/mobility.h"
 
+#include <algorithm>
+
 #include "util/errors.h"
 
 namespace aars::telecom {
 
 MobilityModel::MobilityModel(sim::EventLoop& loop, std::vector<NodeId> cells,
-                             Duration mean_dwell, std::uint64_t seed)
+                             Duration mean_dwell, std::uint64_t seed,
+                             Duration move_quantum)
     : loop_(loop),
       cells_(std::move(cells)),
       mean_dwell_(mean_dwell),
+      move_quantum_(move_quantum),
       rng_(seed) {
   util::require(cells_.size() >= 2, "mobility needs at least two cells");
   util::require(mean_dwell_ > 0, "dwell time must be positive");
+  util::require(move_quantum_ >= 0, "move quantum must be >= 0");
 }
 
 MobilityModel::UserId MobilityModel::add_user() {
-  const UserId id = next_user_++;
-  const auto cell_index = static_cast<std::size_t>(
+  const UserId id = user_cell_.size();
+  const auto cell_index = static_cast<std::uint32_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(cells_.size()) - 1));
-  users_[id] = cells_[cell_index];
+  user_cell_.push_back(cell_index);
+  move_link_.push_back(kNil);
   if (running_) schedule_move(id);
   return id;
 }
 
 NodeId MobilityModel::cell_of(UserId user) const {
-  auto it = users_.find(user);
-  util::require(it != users_.end(), "unknown user");
-  return it->second;
+  util::require(user < user_cell_.size(), "unknown user");
+  return cells_[user_cell_[user]];
 }
 
 void MobilityModel::on_handover(HandoverHook hook) {
@@ -38,31 +43,72 @@ void MobilityModel::start(SimTime end) {
   util::require(!running_, "mobility already running");
   running_ = true;
   end_ = end;
-  for (const auto& [user, cell] : users_) schedule_move(user);
+  for (UserId user = 0; user < user_cell_.size(); ++user) {
+    schedule_move(user);
+  }
 }
 
 void MobilityModel::schedule_move(UserId user) {
   const auto dwell = static_cast<Duration>(
       rng_.exponential(static_cast<double>(mean_dwell_)));
   const SimTime at = loop_.now() + std::max<Duration>(dwell, 1);
-  if (at > end_) return;
-  loop_.schedule_at(at, [this, user] {
-    if (!running_) return;
-    auto it = users_.find(user);
-    if (it == users_.end()) return;
-    const NodeId from = it->second;
-    // Move to a different uniformly chosen cell.
-    NodeId to = from;
-    while (to == from && cells_.size() > 1) {
-      const auto idx = static_cast<std::size_t>(rng_.uniform_int(
-          0, static_cast<std::int64_t>(cells_.size()) - 1));
-      to = cells_[idx];
-    }
-    it->second = to;
-    ++handovers_;
-    for (const HandoverHook& hook : hooks_) hook(user, from, to);
-    schedule_move(user);
-  });
+  if (move_quantum_ == 0) {
+    // Exact mode: one pending event per user.
+    if (at > end_) return;
+    loop_.schedule_at(at, [this, user] {
+      if (!running_) return;
+      perform_move(user);
+    });
+    return;
+  }
+  // Wheel mode: quantize up to the bucket boundary (never move early).
+  const std::uint64_t bucket =
+      (static_cast<std::uint64_t>(at) + move_quantum_ - 1) /
+      static_cast<std::uint64_t>(move_quantum_);
+  if (static_cast<SimTime>(bucket) * move_quantum_ > end_) return;
+  chain_into_bucket(user, bucket);
+}
+
+void MobilityModel::chain_into_bucket(UserId user, std::uint64_t bucket) {
+  auto [it, fresh] =
+      move_buckets_.emplace(bucket, static_cast<std::uint32_t>(user));
+  if (fresh) {
+    move_link_[user] = kNil;
+    const SimTime at = static_cast<SimTime>(bucket) * move_quantum_;
+    loop_.schedule_at(at, [this, bucket] { fire_bucket(bucket); });
+  } else {
+    move_link_[user] = it->second;
+    it->second = static_cast<std::uint32_t>(user);
+  }
+}
+
+void MobilityModel::fire_bucket(std::uint64_t bucket) {
+  auto it = move_buckets_.find(bucket);
+  if (it == move_buckets_.end()) return;
+  std::uint32_t user = it->second;
+  move_buckets_.erase(it);
+  while (user != kNil) {
+    const std::uint32_t next = move_link_[user];
+    move_link_[user] = kNil;
+    if (running_) perform_move(user);
+    user = next;
+  }
+}
+
+void MobilityModel::perform_move(UserId user) {
+  const std::uint32_t from = user_cell_[user];
+  // Move to a different uniformly chosen cell.
+  std::uint32_t to = from;
+  while (to == from && cells_.size() > 1) {
+    to = static_cast<std::uint32_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(cells_.size()) - 1));
+  }
+  user_cell_[user] = to;
+  ++handovers_;
+  for (const HandoverHook& hook : hooks_) {
+    hook(user, cells_[from], cells_[to]);
+  }
+  schedule_move(user);
 }
 
 }  // namespace aars::telecom

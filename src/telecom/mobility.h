@@ -5,8 +5,16 @@
 // MobilityModel moves users between cells (edge nodes) at exponential dwell
 // times; handover hooks let the application re-home sessions (rebind to a
 // closer server or migrate components towards the demand, §1).
+//
+// Per-user state is a flat slab (4-byte cell index + 4-byte wheel link per
+// user, ids are dense), and movement generation has two modes: exact
+// per-user events (default, the behaviour the mobility tests pin), or a
+// coarse move wheel (`move_quantum`) that batches every user due in a
+// bucket behind one event-loop entry — the same footprint trade the
+// session manager makes for million-user campaigns (E19).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
@@ -27,13 +35,17 @@ class MobilityModel {
   using HandoverHook =
       std::function<void(UserId user, NodeId from, NodeId to)>;
 
+  /// `move_quantum` 0 schedules every user's next move as its own event at
+  /// its exact dwell expiry; positive batches moves into buckets of that
+  /// width (move times quantized up to the bucket boundary).
   MobilityModel(sim::EventLoop& loop, std::vector<NodeId> cells,
-                Duration mean_dwell, std::uint64_t seed);
+                Duration mean_dwell, std::uint64_t seed,
+                Duration move_quantum = 0);
 
   /// Adds a user in a uniformly chosen cell.
   UserId add_user();
   NodeId cell_of(UserId user) const;
-  std::size_t user_count() const { return users_.size(); }
+  std::size_t user_count() const { return user_cell_.size(); }
 
   /// Starts generating movements until `end`.
   void start(SimTime end);
@@ -43,18 +55,30 @@ class MobilityModel {
   std::uint64_t handovers() const { return handovers_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   void schedule_move(UserId user);
+  void chain_into_bucket(UserId user, std::uint64_t bucket);
+  void fire_bucket(std::uint64_t bucket);
+  /// Moves the user to a different uniformly chosen cell, fires hooks and
+  /// schedules the follow-up move.
+  void perform_move(UserId user);
 
   sim::EventLoop& loop_;
   std::vector<NodeId> cells_;
   Duration mean_dwell_;
+  Duration move_quantum_;
   util::Rng rng_;
-  std::map<UserId, NodeId> users_;
+  std::vector<std::uint32_t> user_cell_;  // cell index per user (dense ids)
+  std::vector<std::uint32_t> move_link_;  // wheel chain per user
+  /// Sparse calendar: absolute bucket -> chain head.  Dwells are unbounded
+  /// (exponential), so the calendar is a map rather than a fixed ring; only
+  /// buckets with pending movers hold an entry.
+  std::map<std::uint64_t, std::uint32_t> move_buckets_;
   std::vector<HandoverHook> hooks_;
   bool running_ = false;
   SimTime end_ = 0;
   std::uint64_t handovers_ = 0;
-  UserId next_user_ = 0;
 };
 
 }  // namespace aars::telecom

@@ -193,6 +193,28 @@ TEST(RuntimeBuilderTest, WithVerificationGatesTheEngine) {
   EXPECT_NE(rt->app().find_component(rt->component("svc")), nullptr);
 }
 
+TEST(RuntimeBuilderTest, ChannelLimitsAndTraceRingReachTheWorld) {
+  auto rt = Runtime::builder()
+                .host("a", 10000)
+                .host("b", 10000)
+                .link("a", "b", ms_link(1))
+                .component_class<EchoServer>("EchoServer")
+                .deploy("EchoServer", "svc", "a")
+                .connect(named("to_svc"), {"svc"})
+                .channel_limits(5, 17)
+                .trace_ring(64)
+                .build()
+                .value();
+  runtime::Channel& chan =
+      rt->app().channel(rt->connector("to_svc"), rt->component("svc"));
+  EXPECT_EQ(chan.hold_limit(), 5u);
+  EXPECT_EQ(chan.audit_window(), 17u);
+  EXPECT_EQ(obs::Registry::global().trace_buffer().capacity(), 64u);
+  // Restore the process-wide default for the other tests.
+  obs::Registry::global().set_trace_capacity(
+      obs::Registry::kDefaultTraceCapacity);
+}
+
 TEST(RuntimeBuilderTest, VerificationMaxStatesIsForwarded) {
   auto rt = Runtime::builder()
                 .host("a", 10000)

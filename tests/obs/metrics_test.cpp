@@ -128,6 +128,40 @@ TEST(TraceBufferTest, RingOverwritesOldestAndCountsDropped) {
   EXPECT_EQ(events[2].name, "e5");
 }
 
+TEST(TraceBufferTest, SetCapacityKeepsNewestEvents) {
+  TraceBuffer buf(8);
+  for (int i = 0; i < 10; ++i) {
+    buf.record(TraceEvent{i, TraceKind::kCustom, "e" + std::to_string(i), ""});
+  }
+  ASSERT_EQ(buf.size(), 8u);
+  buf.set_capacity(4);
+  EXPECT_EQ(buf.capacity(), 4u);
+  ASSERT_EQ(buf.size(), 4u);
+  const auto events = buf.snapshot();  // oldest-first
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+  EXPECT_EQ(buf.recorded(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  // The shrunk ring keeps recording, overwriting oldest.
+  buf.record(TraceEvent{10, TraceKind::kCustom, "e10", ""});
+  EXPECT_EQ(buf.snapshot().front().name, "e7");
+  EXPECT_EQ(buf.snapshot().back().name, "e10");
+  // Growing preserves contents.
+  buf.set_capacity(16);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.snapshot().back().name, "e10");
+}
+
+TEST(TraceBufferTest, RegistryReboundsTraceRing) {
+  Registry reg(8);
+  reg.set_enabled(true);
+  for (int i = 0; i < 6; ++i) reg.trace(i, TraceKind::kCustom, "x");
+  reg.set_trace_capacity(2);
+  EXPECT_EQ(reg.trace_buffer().capacity(), 2u);
+  EXPECT_EQ(reg.trace_buffer().size(), 2u);
+  EXPECT_EQ(reg.trace_buffer().recorded(), 6u);
+}
+
 TEST(TraceKindTest, AllKindsStringify) {
   EXPECT_STREQ(to_string(TraceKind::kRelay), "relay");
   EXPECT_STREQ(to_string(TraceKind::kReconfig), "reconfig");

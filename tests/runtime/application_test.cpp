@@ -311,5 +311,48 @@ TEST_F(ApplicationTest, WorkScaleHeaderMultipliesCost) {
   EXPECT_GT(slow_latency, fast_latency);
 }
 
+TEST_F(ApplicationTest, ConfigBoundsChannelHoldAndAuditWindow) {
+  Application::Config config;
+  config.channel_hold_limit = 3;
+  config.channel_audit_window = 8;
+  Application app(loop_, network_, registry_, config);
+  auto comp = app.instantiate("EchoServer", "e1", node_a_, Value{});
+  ASSERT_TRUE(comp.ok());
+  connector::ConnectorSpec spec;
+  spec.name = "to_e1";
+  spec.queue_capacity = 64;  // the legacy bound the explicit limit overrides
+  auto conn = app.create_connector(spec);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(app.add_provider(conn.value(), comp.value()).ok());
+  Channel& chan = app.channel(conn.value(), comp.value());
+  EXPECT_EQ(chan.hold_limit(), 3u);
+  EXPECT_EQ(chan.audit_window(), 8u);
+
+  // Overflow regression: with the channel blocked, same-priority traffic
+  // beyond the bound is refused (kOverloaded) instead of growing the
+  // buffer.
+  ASSERT_TRUE(app.block_channels_to(comp.value()).ok());
+  int rejected = 0;
+  for (int i = 0; i < 5; ++i) {
+    app.invoke_async(conn.value(), "echo", Value::object({{"text", "x"}}),
+                     node_b_,
+                     [&](util::Result<Value> result, util::Duration) {
+                       if (!result.ok()) ++rejected;
+                     });
+  }
+  loop_.run();
+  EXPECT_EQ(chan.held_count(), 3u);
+  EXPECT_GE(chan.hold_overflows(), 2u);
+  EXPECT_EQ(rejected, 2);
+}
+
+TEST_F(ApplicationTest, DefaultConfigSizesHoldBufferFromConnectorQueue) {
+  const auto conn = direct_to("EchoServer", "e1", node_a_);
+  Channel& chan = app_.channel(conn, app_.component_id("e1"));
+  // channel_hold_limit 0 keeps the per-connector queue_capacity rule.
+  EXPECT_EQ(chan.hold_limit(), app_.find_connector(conn)->spec().queue_capacity);
+  EXPECT_EQ(chan.audit_window(), Channel::kAuditWindow);
+}
+
 }  // namespace
 }  // namespace aars::runtime

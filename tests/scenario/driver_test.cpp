@@ -1,0 +1,187 @@
+#include "scenario/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "telecom/media.h"
+#include "testing/test_components.h"
+
+namespace aars::scenario {
+namespace {
+
+using aars::testing::AppFixture;
+
+class DriverTest : public AppFixture {
+ protected:
+  DriverTest() {
+    telecom::register_media_components(registry_);
+    service_ = direct_to("MediaServer", "srv", node_a_);
+  }
+
+  CampaignDriver::Options driver_options() const {
+    CampaignDriver::Options options;
+    options.service = service_;
+    options.cells = {node_b_, node_c_};
+    return options;
+  }
+
+  util::ConnectorId service_;
+};
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.name = "small";
+  spec.duration = util::seconds(3);
+  spec.mean_session = util::seconds(1);
+  spec.cells = 2;
+  spec.baseline(30, util::milliseconds(400));
+  spec.tier_mix(0.2, 0.3, 0.5);
+  return spec;
+}
+
+TEST_F(DriverTest, AdmitsTheWholeCampaign) {
+  Campaign campaign(small_spec(), 42);
+  CampaignDriver driver(app_, campaign, driver_options());
+  driver.start();
+  loop_.run();
+
+  EXPECT_EQ(driver.arrivals(), campaign.total_users());
+  std::uint64_t started = 0;
+  std::uint64_t frames = 0;
+  for (std::size_t k = 0; k < kTierCount; ++k) {
+    const auto& stats = driver.tier_stats(static_cast<Tier>(k));
+    started += stats.started;
+    frames += stats.frames_ok + stats.frames_failed;
+  }
+  EXPECT_EQ(started, campaign.total_users());
+  EXPECT_GT(frames, 0u);
+  EXPECT_EQ(driver.active_sessions(), 0u);  // everything expired by horizon
+}
+
+TEST_F(DriverTest, RecordsLatencyPerTier) {
+  Campaign campaign(small_spec(), 42);
+  CampaignDriver driver(app_, campaign, driver_options());
+  driver.start();
+  loop_.run();
+  // At least the dominant best-effort tier streamed and measured latency.
+  const auto& stats = driver.tier_stats(Tier::kBestEffort);
+  ASSERT_GT(stats.frames_ok, 0u);
+  EXPECT_GT(stats.latency.count(), 0u);
+  EXPECT_GT(stats.latency.quantile(0.99), 0);
+  EXPECT_LT(stats.fail_ratio(), 0.5);
+}
+
+TEST_F(DriverTest, StrideDriversPartitionOneCampaign) {
+  Campaign campaign(small_spec(), 42);
+
+  // One driver walking everything.
+  CampaignDriver full(app_, campaign, driver_options());
+  full.start();
+  loop_.run();
+
+  // Two drivers splitting the same campaign by parity, each in its own
+  // isolated world.
+  std::array<std::uint64_t, kTierCount> split_started{};
+  std::set<std::uint64_t> seen;
+  std::uint64_t split_arrivals = 0;
+  for (std::uint64_t offset = 0; offset < 2; ++offset) {
+    sim::EventLoop loop;
+    sim::Network network;
+    component::ComponentRegistry registry;
+    telecom::register_media_components(registry);
+    runtime::Application app(loop, network, registry);
+    const auto core = network.add_node("core", 10000).id();
+    const auto edge1 = network.add_node("edge1", 10000).id();
+    const auto edge2 = network.add_node("edge2", 2000).id();
+    sim::LinkSpec link;
+    link.latency = util::milliseconds(1);
+    network.add_duplex_link(core, edge1, link);
+    network.add_duplex_link(edge1, edge2, link);
+    auto comp = app.instantiate("MediaServer", "srv", core, util::Value{});
+    ASSERT_TRUE(comp.ok());
+    connector::ConnectorSpec spec;
+    spec.name = "media";
+    auto conn = app.create_connector(spec);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(app.add_provider(conn.value(), comp.value()).ok());
+
+    CampaignDriver::Options options;
+    options.service = conn.value();
+    options.cells = {edge1, edge2};
+    options.stride = 2;
+    options.offset = offset;
+    CampaignDriver driver(app, campaign, options);
+    driver.start();
+    loop.run();
+
+    split_arrivals += driver.arrivals();
+    for (std::size_t k = 0; k < kTierCount; ++k) {
+      split_started[k] += driver.tier_stats(static_cast<Tier>(k)).started;
+    }
+    for (const auto& rec : driver.records()) {
+      EXPECT_EQ(rec.index % 2, offset);
+      EXPECT_TRUE(seen.insert(rec.index).second) << "duplicate " << rec.index;
+    }
+  }
+
+  // The partition admits exactly the same population as the full walk.
+  EXPECT_EQ(split_arrivals, full.arrivals());
+  EXPECT_EQ(seen.size(), full.arrivals());
+  for (std::size_t k = 0; k < kTierCount; ++k) {
+    EXPECT_EQ(split_started[k],
+              full.tier_stats(static_cast<Tier>(k)).started)
+        << "tier " << k;
+  }
+}
+
+TEST_F(DriverTest, HandoverCampaignMovesUsersBetweenCells) {
+  CampaignSpec spec = small_spec();
+  spec.mean_session = util::seconds(2);
+  spec.handover(util::milliseconds(600));
+  Campaign campaign(spec, 42);
+  CampaignDriver driver(app_, campaign, driver_options());
+  driver.start();
+  loop_.run();
+  EXPECT_GT(driver.handovers(), 0u);
+  // Rehomed sessions keep streaming.
+  std::uint64_t frames = 0;
+  for (std::size_t k = 0; k < kTierCount; ++k) {
+    frames += driver.tier_stats(static_cast<Tier>(k)).frames_ok;
+  }
+  EXPECT_GT(frames, 0u);
+}
+
+TEST_F(DriverTest, WheelQuantumZeroDisablesMobility) {
+  CampaignSpec spec = small_spec();
+  spec.handover(util::milliseconds(600));
+  Campaign campaign(spec, 42);
+  auto options = driver_options();
+  options.wheel_quantum = 0;
+  CampaignDriver driver(app_, campaign, options);
+  driver.start();
+  loop_.run();
+  EXPECT_EQ(driver.handovers(), 0u);
+}
+
+TEST_F(DriverTest, EvacuationRehomesActiveSessions) {
+  CampaignSpec spec = small_spec();
+  spec.mean_session = util::seconds(3);
+  spec.regional_failover(0, util::seconds(1), util::seconds(1));
+  Campaign campaign(spec, 42);
+  CampaignDriver driver(app_, campaign, driver_options());
+  driver.start();
+  loop_.run();
+  EXPECT_GT(driver.evacuated_sessions(), 0u);
+  // Users admitted during the outage avoid the evacuated cell.
+  for (const auto& rec : driver.records()) {
+    const UserLife life = campaign.user(rec.index);
+    if (life.arrival >= util::seconds(1) &&
+        life.arrival < util::seconds(2) && rec.moves == 0) {
+      EXPECT_NE(rec.cell, 0u) << "user " << rec.index;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aars::scenario

@@ -1,0 +1,157 @@
+#include "scenario/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace aars::scenario {
+namespace {
+
+TEST(LoadPhaseTest, ParsesEveryKind) {
+  const char* lines[] = {
+      "baseline users=1000 ramp=500ms",
+      "flash-crowd at=2s users=5000 ramp=200ms session=3s",
+      "diurnal base=200 peak=2000 period=30s",
+      "failover cell=1 at=3s for=1s",
+      "cascade cell=0 depth=3 at=4s gap=300ms for=2s",
+      "handover dwell=20s",
+  };
+  for (const char* line : lines) {
+    auto phase = LoadPhase::parse(line);
+    ASSERT_TRUE(phase.ok()) << line << ": " << phase.error().message();
+  }
+}
+
+TEST(LoadPhaseTest, RoundTripsThroughText) {
+  const char* lines[] = {
+      "baseline users=1000 ramp=500ms",
+      "flash-crowd at=2s users=5000 ramp=200ms session=3s",
+      "diurnal base=200 peak=2000 period=30s",
+      "failover cell=1 at=3s for=1s",
+      "cascade cell=0 depth=3 at=4s gap=300ms for=2s",
+      "handover dwell=20s",
+  };
+  for (const char* line : lines) {
+    auto phase = LoadPhase::parse(line);
+    ASSERT_TRUE(phase.ok());
+    EXPECT_EQ(phase.value().to_text(), line);
+    // A second trip is a fixed point.
+    auto again = LoadPhase::parse(phase.value().to_text());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().to_text(), line);
+  }
+}
+
+TEST(LoadPhaseTest, FieldsLandWhereExpected) {
+  auto phase =
+      LoadPhase::parse("cascade cell=2 depth=3 at=4s gap=300ms for=2s");
+  ASSERT_TRUE(phase.ok());
+  EXPECT_EQ(phase.value().kind, LoadKind::kCascade);
+  EXPECT_EQ(phase.value().cell, 2u);
+  EXPECT_EQ(phase.value().depth, 3u);
+  EXPECT_EQ(phase.value().at, util::seconds(4));
+  EXPECT_EQ(phase.value().gap, util::milliseconds(300));
+  EXPECT_EQ(phase.value().down_for, util::seconds(2));
+}
+
+TEST(LoadPhaseTest, RejectsMalformedLines) {
+  EXPECT_FALSE(LoadPhase::parse("").ok());
+  EXPECT_FALSE(LoadPhase::parse("tsunami users=1").ok());
+  EXPECT_FALSE(LoadPhase::parse("baseline users").ok());
+  EXPECT_FALSE(LoadPhase::parse("baseline users=-5 ramp=1s").ok());
+  EXPECT_FALSE(LoadPhase::parse("baseline ramp=1s").ok());  // users missing
+  EXPECT_FALSE(LoadPhase::parse("baseline users=10 bogus=1").ok());
+  EXPECT_FALSE(LoadPhase::parse("diurnal base=10").ok());  // peak/period
+  EXPECT_FALSE(LoadPhase::parse("handover dwell=0s").ok());
+  EXPECT_FALSE(LoadPhase::parse("baseline users=10 ramp=5parsecs").ok());
+}
+
+TEST(CampaignSpecTest, FluentVerbsAccumulatePhases) {
+  CampaignSpec spec;
+  spec.baseline(100)
+      .flash_crowd(util::seconds(2), 500, util::milliseconds(200))
+      .diurnal(10, 200, util::seconds(30))
+      .regional_failover(1, util::seconds(3), util::seconds(1))
+      .cascade(0, 3, util::seconds(4), util::milliseconds(300),
+               util::seconds(2))
+      .handover(util::seconds(20))
+      .tier_mix(0.1, 0.3, 0.6);
+  ASSERT_EQ(spec.loads.size(), 6u);
+  EXPECT_EQ(spec.loads[0].kind, LoadKind::kBaseline);
+  EXPECT_EQ(spec.loads[5].kind, LoadKind::kHandover);
+  EXPECT_DOUBLE_EQ(spec.tier_weights[0], 0.1);
+  EXPECT_DOUBLE_EQ(spec.tier_weights[2], 0.6);
+}
+
+TEST(CampaignSpecTest, WithFaultsComposesScenarioLines) {
+  fault::FaultScenario storm;
+  storm.crash("core", util::milliseconds(500), util::milliseconds(300))
+      .partition("a", "b", util::seconds(1), util::milliseconds(200));
+  CampaignSpec spec;
+  spec.with_faults(storm);
+  ASSERT_EQ(spec.faults.size(), 2u);
+  EXPECT_EQ(spec.faults.to_text(), storm.to_text());
+}
+
+TEST(UserRngTest, DeterministicPerUserStreams) {
+  UserRng a(42, 7);
+  UserRng b(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+  // Different users and different seeds give different streams.
+  UserRng c(42, 8);
+  UserRng d(43, 7);
+  UserRng e(42, 7);
+  EXPECT_NE(e.next(), c.next());
+  UserRng f(42, 7);
+  EXPECT_NE(f.next(), d.next());
+}
+
+TEST(UserRngTest, UniformInUnitInterval) {
+  UserRng rng(1, 1);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(UserRngTest, ExponentialHasRequestedMean) {
+  UserRng rng(9, 3);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 5000.0, 2.0, 0.15);
+}
+
+TEST(StandardTiersTest, OrderedPremiumToBestEffort) {
+  const auto& tiers = standard_tiers();
+  EXPECT_STREQ(tiers[0].name, "premium");
+  EXPECT_STREQ(tiers[2].name, "best_effort");
+  EXPECT_GT(tiers[0].fps, tiers[1].fps);
+  EXPECT_GT(tiers[1].fps, tiers[2].fps);
+  EXPECT_LT(tiers[0].p99_bound, tiers[2].p99_bound);
+}
+
+TEST(LatencyBucketsTest, QuantileIsConservativeUpperBound) {
+  LatencyBuckets buckets;
+  for (int i = 1; i <= 1000; ++i) buckets.record(i);  // 1us..1000us
+  EXPECT_EQ(buckets.count(), 1000u);
+  EXPECT_EQ(buckets.max(), 1000);
+  const auto p50 = buckets.quantile(0.5);
+  const auto p99 = buckets.quantile(0.99);
+  EXPECT_GE(p50, 500);
+  EXPECT_LE(p50, 1024);
+  EXPECT_GE(p99, 990);
+  EXPECT_LE(p99, 1000);  // capped at observed max
+  EXPECT_LE(p50, p99);
+}
+
+TEST(LatencyBucketsTest, EmptyAndSingleSample) {
+  LatencyBuckets buckets;
+  EXPECT_EQ(buckets.quantile(0.99), 0);
+  buckets.record(util::milliseconds(5));
+  EXPECT_EQ(buckets.quantile(0.99), util::milliseconds(5));
+}
+
+}  // namespace
+}  // namespace aars::scenario

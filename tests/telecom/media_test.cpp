@@ -103,6 +103,37 @@ TEST_F(MediaTest, MediaServerStateSurvivesSnapshotRestore) {
   EXPECT_EQ(outcome.result.value().at("frame_no").as_int(), 3);
 }
 
+TEST_F(MediaTest, MediaServerSessionTableIsBoundedWithEviction) {
+  auto made = app_.instantiate("MediaServer", "bounded", node_a_,
+                               Value::object({{"session_slots", 2}}));
+  ASSERT_TRUE(made.ok()) << made.error().message();
+  connector::ConnectorSpec spec;
+  spec.name = "to_bounded";
+  auto conn = app_.create_connector(spec);
+  ASSERT_TRUE(app_.add_provider(conn.value(), made.value()).ok());
+  auto* server = dynamic_cast<MediaServer*>(app_.find_component(made.value()));
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->session_slots(), 2u);
+
+  // Stream frames for far more distinct sessions than the table holds:
+  // colliding sessions evict each other (their frame_no restarts) instead
+  // of growing per-session state without bound.
+  for (std::int64_t s = 0; s < 64; ++s) {
+    auto outcome = app_.invoke_sync(
+        conn.value(), "frame", Value::object({{"session", s}}), node_b_);
+    ASSERT_TRUE(outcome.result.ok());
+    EXPECT_EQ(outcome.result.value().at("frame_no").as_int(), 1);
+  }
+  EXPECT_GT(server->session_evictions(), 0u);
+  EXPECT_EQ(server->frames_served(), 64);
+}
+
+TEST_F(MediaTest, MediaServerRejectsNonPositiveSessionSlots) {
+  auto bad = app_.instantiate("MediaServer", "bad", node_a_,
+                              Value::object({{"session_slots", 0}}));
+  EXPECT_FALSE(bad.ok());
+}
+
 TEST_F(MediaTest, InterfacesSatisfyDeclaredShapes) {
   FrameExtractor extractor("x");
   EXPECT_TRUE(

@@ -77,6 +77,26 @@ TEST_F(MobilityTest, UsersAddedAfterStartAlsoMove) {
   EXPECT_GT(late_moves, 0u);
 }
 
+TEST_F(MobilityTest, WheelModeStillMovesEveryUser) {
+  // Batched move generation (one event per 100ms bucket instead of one per
+  // user) must preserve the model's contract: users keep moving, hooks see
+  // genuine cell changes, and movement stops at the horizon.
+  sim::EventLoop loop;
+  MobilityModel wheel(loop, cells_, util::seconds(1), 42,
+                      util::milliseconds(100));
+  for (int i = 0; i < 10; ++i) wheel.add_user();
+  std::uint64_t hook_count = 0;
+  wheel.on_handover([&](MobilityModel::UserId, NodeId from, NodeId to) {
+    EXPECT_NE(from, to);
+    ++hook_count;
+  });
+  wheel.start(util::seconds(30));
+  loop.run();
+  EXPECT_GT(wheel.handovers(), 10u);
+  EXPECT_EQ(hook_count, wheel.handovers());
+  EXPECT_LE(loop.now(), util::seconds(30) + util::milliseconds(100));
+}
+
 TEST_F(MobilityTest, DeterministicForSeed) {
   sim::EventLoop loop_a;
   sim::EventLoop loop_b;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "telecom/media.h"
 #include "testing/test_components.h"
 
@@ -125,6 +128,104 @@ TEST_F(SessionTest, HigherQualityCostsMoreServerTime) {
   loop_.run();
   const double high_work = network_.node(node_a_).total_work() - low_work;
   EXPECT_GT(high_work, low_work * 2);
+}
+
+TEST_F(SessionTest, StaleHandleRejectedAfterSlotReuse) {
+  const auto first = sessions_->start_session(3, node_b_, util::seconds(10));
+  ASSERT_TRUE(sessions_->end_session(first).ok());
+  const auto second = sessions_->start_session(2, node_b_, util::seconds(10));
+  // The slab recycled the slot, but the generation brand changed: the
+  // retired handle must not alias the new occupant.
+  EXPECT_EQ(second.raw() & 0xffffffffu, first.raw() & 0xffffffffu);
+  EXPECT_NE(second.raw(), first.raw());
+  EXPECT_FALSE(sessions_->active(first));
+  EXPECT_FALSE(sessions_->set_quality(first, 1).ok());
+  EXPECT_EQ(sessions_->quality(second).value(), 2);
+}
+
+TEST_F(SessionTest, ForgedHandlesNeverResolve) {
+  (void)sessions_->start_session(3, node_b_, util::seconds(1));
+  EXPECT_FALSE(sessions_->active(util::SessionId{}));
+  // Small-integer forgery: generations start at 1, so a raw slot number
+  // with generation 0 can never match.
+  EXPECT_FALSE(sessions_->active(util::SessionId{1}));
+  EXPECT_FALSE(sessions_->active(util::SessionId{999}));
+  // Right slot, wrong generation.
+  EXPECT_FALSE(
+      sessions_->quality(util::SessionId{(0xdeadbeefULL << 32) | 1}).ok());
+}
+
+TEST_F(SessionTest, SlabRecyclesSlotsUnderChurn) {
+  for (int round = 0; round < 50; ++round) {
+    std::vector<util::SessionId> ids;
+    for (int i = 0; i < 4; ++i) {
+      ids.push_back(sessions_->start_session(2, node_b_, util::seconds(100)));
+    }
+    for (const auto id : ids) ASSERT_TRUE(sessions_->end_session(id).ok());
+  }
+  EXPECT_EQ(sessions_->active_count(), 0u);
+  // 200 sessions churned through at most 4 slots.
+  EXPECT_LE(sessions_->slot_count(), 4u);
+}
+
+/// Wheel-mode fixture: 2 fps (500ms gap) batched into 100ms buckets.
+class WheelSessionTest : public AppFixture {
+ protected:
+  WheelSessionTest() {
+    register_media_components(registry_);
+    service_ = direct_to("MediaServer", "srv", node_a_);
+    SessionManager::Options options;
+    options.service = service_;
+    options.fps = 2.0;
+    options.frame_quantum = util::milliseconds(100);
+    sessions_ = std::make_unique<SessionManager>(app_, options);
+  }
+
+  util::ConnectorId service_;
+  std::unique_ptr<SessionManager> sessions_;
+};
+
+TEST_F(WheelSessionTest, WheelModeMatchesExactFrameBudget) {
+  // The first slot's phase stagger is zero, so the wheel fires this
+  // session's frames at exactly the instants exact mode would: 500ms,
+  // 1000ms, 1500ms, 2000ms.
+  const auto id = sessions_->start_session(3, node_b_, util::seconds(2));
+  loop_.run();
+  EXPECT_EQ(sessions_->frames_attempted(), 4u);
+  EXPECT_EQ(sessions_->frames_ok(), 4u);
+  EXPECT_FALSE(sessions_->active(id));  // expired
+}
+
+TEST_F(WheelSessionTest, PhaseStaggerSpreadsFirstFrames) {
+  // Sessions admitted at the same instant must not collapse onto one
+  // bucket: the deterministic phase stagger spreads them across the gap's
+  // buckets so no single event fires the whole population (the frame-storm
+  // guard the capacity bench depends on).
+  std::set<SimTime> fire_times;
+  sessions_->on_frame([&](util::SessionId, Duration latency, bool, int) {
+    fire_times.insert(loop_.now() - latency);
+  });
+  for (int i = 0; i < 10; ++i) {
+    (void)sessions_->start_session(2, node_b_, util::milliseconds(950));
+  }
+  loop_.run();
+  EXPECT_GE(fire_times.size(), 4u);
+}
+
+TEST_F(WheelSessionTest, EndSessionStopsWheelFramesAndRecyclesSlot) {
+  const auto id = sessions_->start_session(3, node_b_, util::seconds(30));
+  loop_.run_until(util::milliseconds(600));  // one frame fired, rechained
+  EXPECT_EQ(sessions_->frames_attempted(), 1u);
+  ASSERT_TRUE(sessions_->end_session(id).ok());
+  const auto frames = sessions_->frames_attempted();
+  loop_.run_until(util::seconds(3));
+  EXPECT_EQ(sessions_->frames_attempted(), frames);
+  EXPECT_FALSE(sessions_->active(id));
+  // The retired slot was freed when its pending bucket fired; a new
+  // session reuses it instead of growing the slab.
+  const auto next = sessions_->start_session(2, node_b_, util::seconds(30));
+  EXPECT_TRUE(sessions_->active(next));
+  EXPECT_EQ(sessions_->slot_count(), 1u);
 }
 
 }  // namespace
